@@ -1,0 +1,127 @@
+// Ablation: cost of admission control as the QoS state grows.
+//
+//  * BM_PathOrientedRateOnly — the §3.1 O(1) test on a warm MIB with n
+//    flows: cost must be flat in n.
+//  * BM_PathOrientedMixed — the §3.2 Figure-4 scan: cost grows with the
+//    number of DISTINCT delay values M, not the number of flows.
+//  * BM_Fig4ScanVsDistinctDelays — M synthetic delay classes on the path's
+//    VT-EDF links: near-linear in M (the paper's O(M) claim).
+//  * BM_HopByHopSignaling — the IntServ/GS PATH/RESV walk for comparison:
+//    per-request message count scales with the hop count, and every router
+//    pays a local test.
+//
+// Domains are capacity-scaled so the warm state actually holds n flows.
+
+#include <benchmark/benchmark.h>
+
+#include "core/broker.h"
+#include "core/perflow_admission.h"
+#include "gs/gs_admission.h"
+#include "topo/fig8.h"
+
+namespace {
+
+using namespace qosbb;
+
+TrafficProfile type0() {
+  return TrafficProfile::make(60000, 50000, 100000, 12000);
+}
+
+void BM_PathOrientedRateOnly(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  // Scale capacity so n flows fit with slack for the probe flow.
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kRateBasedOnly,
+                                   50000.0 * (n + 10)));
+  FlowServiceRequest req{type0(), 2.44, "I1", "E1"};
+  for (int i = 0; i < n; ++i) {
+    if (!bb.request_service(req).is_ok()) {
+      state.SkipWithError("warmup admission failed");
+      return;
+    }
+  }
+  const PathId path = bb.paths().find("I1", "E1");
+  for (auto _ : state) {
+    auto view = bb.path_view(path);
+    auto out = admit_rate_only(view, type0(), 2.44);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel("warm flows: " + std::to_string(n));
+}
+BENCHMARK(BM_PathOrientedRateOnly)->RangeMultiplier(8)->Range(8, 4096);
+
+void BM_PathOrientedMixed(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  BandwidthBroker bb(
+      fig8_topology(Fig8Setting::kMixed, 60000.0 * (n + 10)));
+  FlowServiceRequest req{type0(), 2.19, "I1", "E1"};
+  for (int i = 0; i < n; ++i) {
+    if (!bb.request_service(req).is_ok()) {
+      state.SkipWithError("warmup admission failed");
+      return;
+    }
+  }
+  const PathId path = bb.paths().find("I1", "E1");
+  for (auto _ : state) {
+    auto view = bb.path_view(path);
+    auto out = admit_mixed(view, type0(), 2.19);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_PathOrientedMixed)->RangeMultiplier(8)->Range(8, 4096);
+
+void BM_Fig4ScanVsDistinctDelays(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  // Big pipe; install m distinct delay classes directly in the node MIB.
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kMixed, 1e9));
+  (void)bb.provision_path("I1", "E1");
+  for (const char* ln : {"R3->R4", "R4->R5"}) {
+    LinkQosState& link = bb.nodes().link(ln);
+    for (int k = 0; k < m; ++k) {
+      const double d = 0.02 + 0.002 * k;
+      link.add_edf_entry(50000.0, d, 12000.0);
+      (void)link.reserve(50000.0);
+    }
+  }
+  const PathId path = bb.paths().find("I1", "E1");
+  for (auto _ : state) {
+    auto view = bb.path_view(path);
+    auto out = admit_mixed(view, type0(), 2.19);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetComplexityN(m);
+}
+BENCHMARK(BM_Fig4ScanVsDistinctDelays)
+    ->RangeMultiplier(4)
+    ->Range(4, 4096)
+    ->Complexity();
+
+void BM_HopByHopSignaling(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  GsAdmissionControl gs(fig8_gs_topology(Fig8Setting::kRateBasedOnly,
+                                         50000.0 * (n + 10)));
+  FlowServiceRequest req{type0(), 2.44, "I1", "E1"};
+  for (int i = 0; i < n; ++i) {
+    if (!gs.request_service(req).admitted) {
+      state.SkipWithError("warmup admission failed");
+      return;
+    }
+  }
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    auto res = gs.request_service(req);
+    benchmark::DoNotOptimize(res);
+    messages += static_cast<std::uint64_t>(res.messages);
+    if (res.admitted) {
+      state.PauseTiming();
+      (void)gs.release_service(res.flow);
+      state.ResumeTiming();
+    }
+  }
+  state.counters["messages/req"] = benchmark::Counter(
+      static_cast<double>(messages), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_HopByHopSignaling)->RangeMultiplier(8)->Range(8, 4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// Scalability of the bandwidth broker itself (Section 2's motivation): how
+// many flow service requests per second can one BB process?
+//
+//  * BM_PerFlowAdmitRelease — full request_service + release_service cycle
+//    (policy check, routing, §3 test, bookkeeping) on a warm MIB.
+//  * BM_ClassJoinLeave — class-based join + leave cycle: the paper's
+//    scalability argument is that aggregation shrinks BB state and speeds
+//    up admission; compare ns/op against the per-flow rows.
+//  * BM_PolicyCheckOnly / BM_PathViewOnly — pipeline stage breakdown.
+
+#include <benchmark/benchmark.h>
+
+#include "core/broker.h"
+#include "topo/fig8.h"
+
+namespace {
+
+using namespace qosbb;
+
+TrafficProfile type0() {
+  return TrafficProfile::make(60000, 50000, 100000, 12000);
+}
+
+void BM_PerFlowAdmitRelease(benchmark::State& state) {
+  const int warm = static_cast<int>(state.range(0));
+  const bool mixed = state.range(1) != 0;
+  BandwidthBroker bb(fig8_topology(
+      mixed ? Fig8Setting::kMixed : Fig8Setting::kRateBasedOnly,
+      60000.0 * (warm + 10)));
+  FlowServiceRequest req{type0(), mixed ? 2.19 : 2.44, "I1", "E1"};
+  for (int i = 0; i < warm; ++i) {
+    if (!bb.request_service(req).is_ok()) {
+      state.SkipWithError("warmup admission failed");
+      return;
+    }
+  }
+  for (auto _ : state) {
+    auto res = bb.request_service(req);
+    if (!res.is_ok()) {
+      state.SkipWithError("admission unexpectedly rejected");
+      return;
+    }
+    (void)bb.release_service(res.value().flow);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(mixed ? "mixed path" : "rate-only path");
+}
+BENCHMARK(BM_PerFlowAdmitRelease)
+    ->ArgsProduct({{0, 64, 512}, {0, 1}});
+
+void BM_ClassJoinLeave(benchmark::State& state) {
+  const int warm = static_cast<int>(state.range(0));
+  BandwidthBroker bb(
+      fig8_topology(Fig8Setting::kMixed, 60000.0 * (warm + 10)),
+      BrokerOptions{ContingencyMethod::kFeedback});
+  const ClassId cls = bb.define_class(2.19, 0.10);
+  Seconds now = 0.0;
+  for (int i = 0; i < warm; ++i) {
+    auto join =
+        bb.request_class_service(cls, type0(), "I1", "E1", now, 0.0);
+    if (!join.admitted) {
+      state.SkipWithError("warmup join failed");
+      return;
+    }
+    now += 1.0;
+  }
+  for (auto _ : state) {
+    auto join = bb.request_class_service(cls, type0(), "I1", "E1", now, 0.0);
+    if (!join.admitted) {
+      state.SkipWithError("join unexpectedly rejected");
+      return;
+    }
+    now += 1.0;
+    (void)bb.leave_class_service(join.microflow, now, 0.0);
+    now += 1.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClassJoinLeave)->Arg(0)->Arg(64)->Arg(512);
+
+void BM_PolicyCheckOnly(benchmark::State& state) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kRateBasedOnly));
+  PolicyRule rule;
+  rule.max_peak_rate = 1e6;
+  rule.max_burst = 1e6;
+  rule.min_delay_req = 0.1;
+  bb.policy().set_default_rule(rule);
+  FlowServiceRequest req{type0(), 2.44, "I1", "E1"};
+  for (auto _ : state) {
+    auto s = bb.policy().check(req, 10);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_PolicyCheckOnly);
+
+void BM_PathViewOnly(benchmark::State& state) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kMixed));
+  const PathId path = bb.provision_path("I1", "E1").value();
+  for (auto _ : state) {
+    auto view = bb.path_view(path);
+    benchmark::DoNotOptimize(view);
+  }
+}
+BENCHMARK(BM_PathViewOnly);
+
+}  // namespace
+
+BENCHMARK_MAIN();

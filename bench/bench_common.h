@@ -1,0 +1,77 @@
+// Shared helpers for the benchmark binaries reproducing the paper's
+// evaluation (Section 5).
+
+#ifndef QOSBB_BENCH_BENCH_COMMON_H_
+#define QOSBB_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/broker.h"
+#include "flowsim/workload.h"
+#include "gs/gs_admission.h"
+#include "topo/fig8.h"
+
+namespace qosbb::bench {
+
+/// Admit type-0 flows from S1 until the first reject (per-flow BB/VTRS).
+/// Returns the admitted count; optionally records every reserved rate.
+inline int fill_perflow_bb(Fig8Setting setting, Seconds bound,
+                           std::vector<double>* rates = nullptr) {
+  BandwidthBroker bb(fig8_topology(setting));
+  FlowServiceRequest req{paper_traffic_type(0), bound, "I1", "E1"};
+  int n = 0;
+  while (true) {
+    auto res = bb.request_service(req);
+    if (!res.is_ok()) break;
+    if (rates) rates->push_back(res.value().params.rate);
+    ++n;
+  }
+  return n;
+}
+
+/// Admit type-0 flows until first reject (IntServ/GS hop-by-hop).
+inline int fill_intserv_gs(Fig8Setting setting, Seconds bound,
+                           std::vector<double>* rates = nullptr) {
+  GsAdmissionControl gs(fig8_gs_topology(setting));
+  FlowServiceRequest req{paper_traffic_type(0), bound, "I1", "E1"};
+  int n = 0;
+  while (true) {
+    auto res = gs.request_service(req);
+    if (!res.admitted) break;
+    if (rates) rates->push_back(res.rate);
+    ++n;
+  }
+  return n;
+}
+
+/// Admit type-0 microflows into one delay class until first reject
+/// (aggregate BB/VTRS). Arrivals are spaced out (as in the paper's
+/// infinite-lifetime setup), so each join's contingency period has lapsed
+/// before the next join: we expire the grant right after the join. Records
+/// the macroflow base rate after each join (per-flow share = base/n).
+inline int fill_aggregate_bb(Fig8Setting setting, Seconds bound, Seconds cd,
+                             std::vector<double>* base_rates = nullptr) {
+  BandwidthBroker bb(fig8_topology(setting),
+                     BrokerOptions{ContingencyMethod::kBounding});
+  const ClassId cls = bb.define_class(bound, cd);
+  int n = 0;
+  Seconds now = 0.0;
+  while (true) {
+    JoinResult join = bb.request_class_service(cls, paper_traffic_type(0),
+                                               "I1", "E1", now);
+    if (!join.admitted) break;
+    if (join.grant != kInvalidGrantId) {
+      bb.expire_contingency(join.grant, join.contingency_expires_at);
+      now = std::max(now, join.contingency_expires_at);
+    }
+    if (base_rates) base_rates->push_back(join.base_rate);
+    ++n;
+    now += 1.0;
+  }
+  return n;
+}
+
+}  // namespace qosbb::bench
+
+#endif  // QOSBB_BENCH_BENCH_COMMON_H_

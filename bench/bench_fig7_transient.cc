@@ -1,0 +1,148 @@
+// Reproduces the Section-4.1 dynamic-aggregation transient (the Figure-7
+// phenomenon) and its repair by contingency bandwidth.
+//
+// The paper shows that around a microflow join/leave, backlog accumulated
+// under the OLD reservation can push edge delays past the NEW aggregate's
+// bound d_edge^α'. The starkest instance is a microflow LEAVE with an
+// immediate rate decrease (Section 4.1, last paragraph; Theorem 3):
+//
+//   * macroflow α = 2 greedy type-0 microflows from t = 0, shaped at
+//     r^α = ρ^α = 100 kb/s; edge bound d_edge^α = 1.2 s;
+//   * at t* = T_on^α = 0.96 s — when the conditioner backlog peaks at
+//     Q = (P^α − r^α)·T_on + L^α = 120 kb — microflow 2 leaves;
+//   * NAIVE policy: the rate drops to r^α' = 50 kb/s immediately. The old
+//     120 kb backlog now drains at half speed: packets wait up to
+//     Q/r^α' ≈ 2.4 s, double the new bound d_edge^α' = 1.2 s;
+//   * CONTINGENCY policy (Thm 3): keep Δr^ν = r^α − r^α' for
+//     τ = Q(t*)/Δr^ν, then drop. Delays stay within
+//     max{d_edge^α, d_edge^α'} = 1.2 s (eq. 13).
+//
+// (The join-side transient of Figure 7 proper exists too but its violation
+// margin for the paper's profiles is smaller than one packet transmission
+// time, so the packetized data plane cannot resolve it; the leave-side
+// transient exhibits the same mechanism at 2x magnitude.)
+
+#include <iostream>
+#include <memory>
+
+#include "topo/fig8.h"
+#include "util/table.h"
+#include "vtrs/provisioned_network.h"
+
+namespace {
+
+using namespace qosbb;
+
+struct RunResult {
+  double max_edge_delay_after_leave = 0.0;
+  std::uint64_t packets = 0;
+};
+
+RunResult run_scenario(bool with_contingency, double r_alpha,
+                       double r_alpha_prime, Seconds t_star, Seconds tau) {
+  const DomainSpec spec = fig8_topology(Fig8Setting::kRateBasedOnly);
+  ProvisionedNetwork pn(spec);
+  const FlowId macro = 1;
+  EdgeConditioner& cond =
+      pn.install_flow(macro, fig8_path_s1(), r_alpha, 0.0);
+
+  const TrafficProfile type0 =
+      TrafficProfile::make(60000, 50000, 100000, 12000);
+  // Microflow 1 lives on; microflow 2 stops sending at the leave instant.
+  pn.attach_source(macro, std::make_unique<GreedySource>(type0, 0.0), 101,
+                   20.0)
+      .start();
+  pn.attach_source(macro, std::make_unique<GreedySource>(type0, 0.0), 102,
+                   t_star)
+      .start();
+
+  if (with_contingency) {
+    // Theorem 3: hold r^α for τ, then drop to r^α'.
+    pn.events().schedule(t_star + tau, [&, t = t_star + tau] {
+      cond.set_rate(t, r_alpha_prime);
+    });
+  } else {
+    pn.events().schedule(t_star,
+                         [&] { cond.set_rate(t_star, r_alpha_prime); });
+  }
+
+  // Track the worst edge delay among packets released after t*.
+  struct LeaveMeter final : PacketSink {
+    Seconds t_star;
+    double worst = 0.0;
+    std::uint64_t packets = 0;
+    void deliver(Seconds, const Packet& p) override {
+      ++packets;
+      if (p.edge_time >= t_star) {
+        worst = std::max(worst, p.edge_time - p.source_time);
+      }
+    }
+  };
+  // Replace the default sink with the leave-aware one.
+  LeaveMeter meter;
+  meter.t_star = t_star;
+  pn.network().node("E1").set_sink(macro, &meter);
+
+  pn.run_until(40.0);
+  return RunResult{meter.worst, meter.packets};
+}
+
+}  // namespace
+
+int main() {
+  using namespace qosbb;
+
+  const TrafficProfile type0 =
+      TrafficProfile::make(60000, 50000, 100000, 12000);
+  const TrafficProfile alpha = type0 + type0;
+
+  const double r_alpha = alpha.rho;        // 100 kb/s
+  const double r_alpha_prime = type0.rho;  // 50 kb/s after the leave
+  const double delta_r = r_alpha - r_alpha_prime;  // Δr^ν = r^ν (Thm 3)
+  const Seconds t_star = alpha.t_on();     // 0.96 s: backlog peak
+  // Worst-case backlog at t*: E^α(T_on) − r^α·T_on.
+  const double q_star =
+      (alpha.peak - r_alpha) * alpha.t_on() + alpha.l_max;
+  const Seconds tau = q_star / delta_r;  // Theorem 3: τ >= Q(t*)/Δr^ν
+
+  const Seconds d_edge_old = alpha.edge_delay_bound(r_alpha);        // 1.2 s
+  const Seconds d_edge_new = type0.edge_delay_bound(r_alpha_prime);  // 1.2 s
+  const Seconds repaired_bound = std::max(d_edge_old, d_edge_new);
+
+  std::cout << "=== Section 4.1 transient: microflow leave ===\n"
+            << "macroflow: 2x type-0 greedy, r_alpha = " << r_alpha
+            << " b/s; microflow 2 leaves at t* = " << t_star
+            << " s with backlog Q(t*) = " << q_star << " b\n"
+            << "naive: rate drops to " << r_alpha_prime
+            << " b/s at t*; contingency: hold " << r_alpha << " b/s for tau = "
+            << TextTable::fmt(tau, 2) << " s (Thm 3), then drop\n\n";
+
+  auto naive =
+      run_scenario(false, r_alpha, r_alpha_prime, t_star, tau);
+  auto repaired =
+      run_scenario(true, r_alpha, r_alpha_prime, t_star, tau);
+
+  TextTable table({"policy", "edge bound (s)", "measured max after t* (s)",
+                   "violated?", "packets"});
+  table.add_row({"naive rate drop", TextTable::fmt(d_edge_new, 4),
+                 TextTable::fmt(naive.max_edge_delay_after_leave, 4),
+                 naive.max_edge_delay_after_leave > d_edge_new + 1e-9
+                     ? "YES"
+                     : "no",
+                 TextTable::fmt_int(static_cast<long long>(naive.packets))});
+  table.add_row(
+      {"contingency (Thm 3)", TextTable::fmt(repaired_bound, 4),
+       TextTable::fmt(repaired.max_edge_delay_after_leave, 4),
+       repaired.max_edge_delay_after_leave > repaired_bound + 1e-9 ? "YES"
+                                                                   : "no",
+       TextTable::fmt_int(static_cast<long long>(repaired.packets))});
+  table.print(std::cout);
+
+  std::cout << "\nPaper claim (Sec 4.1-4.2): an immediate rate decrease lets "
+               "old backlog violate the new edge bound (expected ~2x here); "
+               "Theorem-3 contingency bandwidth restores eq. (13).\n";
+  return naive.max_edge_delay_after_leave > d_edge_new + 1e-9 &&
+                 repaired.max_edge_delay_after_leave <= repaired_bound + 1e-9
+             ? 0
+             : 1;
+}

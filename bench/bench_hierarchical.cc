@@ -1,0 +1,113 @@
+// Ablation for the two-level BB hierarchy (the paper's Section-6 future
+// work): how much central-broker load does edge-local admission remove, and
+// what does quota fragmentation cost in carried flows?
+//
+//  * BM_CentralizedAdmitRelease vs BM_HierarchicalAdmitRelease — per-request
+//    cost, with the hierarchy's central-contact ratio as a counter.
+//  * The main() epilogue prints a capacity table: flows carried at
+//    saturation, centralized vs hierarchical, across lease chunk sizes —
+//    the fragmentation cost in the worst (adversarial churn) pattern.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/hierarchical.h"
+#include "topo/fig8.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace qosbb;
+
+TrafficProfile type0() {
+  return TrafficProfile::make(60000, 50000, 100000, 12000);
+}
+
+FlowServiceRequest s1_request() {
+  return FlowServiceRequest{type0(), 2.44, "I1", "E1"};
+}
+
+void BM_CentralizedAdmitRelease(benchmark::State& state) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kRateBasedOnly));
+  for (auto _ : state) {
+    auto res = bb.request_service(s1_request());
+    if (!res.is_ok()) {
+      state.SkipWithError("admission failed");
+      return;
+    }
+    (void)bb.release_service(res.value().flow);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CentralizedAdmitRelease);
+
+void BM_HierarchicalAdmitRelease(benchmark::State& state) {
+  const double chunk = static_cast<double>(state.range(0));
+  CentralBroker central(fig8_topology(Fig8Setting::kRateBasedOnly));
+  EdgeBroker edge("I1", central, chunk);
+  std::uint64_t contacts_before = 0;
+  for (auto _ : state) {
+    auto res = edge.request_service(s1_request());
+    if (!res.is_ok()) {
+      state.SkipWithError("admission failed");
+      return;
+    }
+    (void)edge.release_service(res.value().flow);
+  }
+  (void)contacts_before;
+  state.SetItemsProcessed(state.iterations());
+  state.counters["central_contacts/req"] = benchmark::Counter(
+      static_cast<double>(edge.central_contacts()),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_HierarchicalAdmitRelease)
+    ->Arg(100000)
+    ->Arg(500000)
+    ->Arg(1500000);
+
+void print_fragmentation_table() {
+  using qosbb::TextTable;
+  TextTable table({"lease chunk (b/s)", "carried flows (hier)",
+                   "carried flows (central)", "loss", "ledger calls"});
+  for (double chunk : {50000.0, 100000.0, 250000.0, 500000.0}) {
+    CentralBroker central(fig8_topology(Fig8Setting::kRateBasedOnly));
+    EdgeBroker e1("I1", central, chunk);
+    EdgeBroker e2("I2", central, chunk);
+    // Adversarial churn: each edge bursts up, releases half, bursts again.
+    std::vector<FlowId> f1, f2;
+    auto drive = [&](EdgeBroker& e, const char* in, const char* out,
+                     std::vector<FlowId>& live) {
+      while (true) {
+        auto r = e.request_service({type0(), 2.44, in, out});
+        if (!r.is_ok()) break;
+        live.push_back(r.value().flow);
+      }
+    };
+    drive(e1, "I1", "E1", f1);
+    for (std::size_t i = 0; i + 1 < f1.size(); i += 2) {
+      (void)e1.release_service(f1[i]);
+    }
+    drive(e2, "I2", "E2", f2);
+    const int carried = static_cast<int>(f1.size() / 2 + f2.size());
+    table.add_row({TextTable::fmt(chunk, 0), TextTable::fmt_int(carried),
+                   "30", TextTable::fmt_int(30 - carried),
+                   TextTable::fmt_int(static_cast<long long>(
+                       central.ledger_calls()))});
+  }
+  std::cout << "\n=== Hierarchy fragmentation at saturation (adversarial "
+               "churn) ===\n";
+  table.print(std::cout);
+  std::cout << "Smaller chunks waste less bandwidth but cost more central "
+               "ledger traffic.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  print_fragmentation_table();
+  return 0;
+}

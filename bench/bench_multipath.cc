@@ -1,0 +1,98 @@
+// Multipath ablation: carried capacity and load balance vs the number of
+// candidate routes k (Yen) and the selection policy, on a three-route
+// domain. Min-hop-only leaves the alternates dark; admission fallback uses
+// them when the primary fills; widest-residual keeps them balanced from the
+// start (useful when transient load spikes would otherwise concentrate).
+
+#include <iostream>
+
+#include "core/broker.h"
+#include "topo/fig8.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace qosbb;
+
+TrafficProfile type0() {
+  return TrafficProfile::make(60000, 50000, 100000, 12000);
+}
+
+/// I -> E via a 2-hop route (A), a 3-hop route (B1,B2), and a 4-hop route
+/// (C1..C3); all links 1.5 Mb/s C̸SVC.
+DomainSpec three_route_spec() {
+  DomainSpec spec;
+  spec.nodes = {"I", "A", "B1", "B2", "C1", "C2", "C3", "E"};
+  spec.l_max = 12000.0;
+  auto add = [&](const char* f, const char* t) {
+    spec.links.push_back(
+        LinkSpec{f, t, 1.5e6, 0.0, SchedPolicy::kCsvc,
+                 std::numeric_limits<double>::infinity()});
+  };
+  add("I", "A");
+  add("A", "E");
+  add("I", "B1");
+  add("B1", "B2");
+  add("B2", "E");
+  add("I", "C1");
+  add("C1", "C2");
+  add("C2", "C3");
+  add("C3", "E");
+  return spec;
+}
+
+struct RunResult {
+  int admitted = 0;
+  /// Load imbalance after 30 admissions (one route's worth): max − min
+  /// reserved among the three exit links. Min-hop piles everything on the
+  /// shortest route (1.5 Mb/s spread); widest-residual spreads it.
+  double spread_at_30 = 0.0;
+};
+
+RunResult fill(int k, PathSelection policy) {
+  BrokerOptions opt;
+  opt.k_paths = k;
+  opt.path_selection = policy;
+  BandwidthBroker bb(three_route_spec(), opt);
+  FlowServiceRequest req{type0(), 5.0, "I", "E"};
+  RunResult out;
+  while (bb.request_service(req).is_ok()) {
+    ++out.admitted;
+    if (out.admitted == 30) {
+      const double a = bb.nodes().link("A->E").reserved();
+      const double b = bb.nodes().link("B2->E").reserved();
+      const double c = bb.nodes().link("C3->E").reserved();
+      out.spread_at_30 = std::max({a, b, c}) - std::min({a, b, c});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace qosbb;
+
+  std::cout << "=== Multipath ablation: 3-route domain, mean-rate type-0 "
+               "flows ===\n"
+            << "Single-route ceiling: 30 flows; three routes: 90.\n\n";
+
+  TextTable table({"k paths", "selection", "admitted",
+                   "spread after 30 flows (b/s)"});
+  for (int k : {1, 2, 3}) {
+    for (PathSelection policy :
+         {PathSelection::kMinHop, PathSelection::kWidestResidual}) {
+      const RunResult r = fill(k, policy);
+      table.add_row({TextTable::fmt_int(k),
+                     policy == PathSelection::kMinHop ? "min-hop"
+                                                      : "widest-residual",
+                     TextTable::fmt_int(r.admitted),
+                     TextTable::fmt(r.spread_at_30, 0)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape: capacity scales with k (30 -> 60 -> 90); widest-"
+               "residual keeps the routes balanced (small spread) while "
+               "min-hop fills them sequentially.\n";
+  return 0;
+}

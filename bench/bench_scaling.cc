@@ -1,0 +1,105 @@
+// Domain-scale ablation: how the BB's admission cost and the data plane's
+// simulation throughput scale with topology size — long chains (path
+// length) and wide dumbbells (flow-count pressure on one path MIB entry).
+//
+//  * BM_AdmissionVsPathLength — the §3.1 test is O(h) only through the
+//    residual-min scan; the hop count is the entire cost driver.
+//  * BM_AdmissionVsDumbbellWidth — many ingress pairs sharing a bottleneck:
+//    per-request cost stays flat because the path MIB keys pairs
+//    independently.
+//  * BM_PacketSimThroughput — events/second of the packet-level data plane
+//    on a loaded chain, the number that bounds every delay-validation run.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/broker.h"
+#include "topo/builders.h"
+#include "vtrs/provisioned_network.h"
+
+namespace {
+
+using namespace qosbb;
+
+TrafficProfile type0() {
+  return TrafficProfile::make(60000, 50000, 100000, 12000);
+}
+
+void BM_AdmissionVsPathLength(benchmark::State& state) {
+  ChainOptions opt;
+  opt.hops = static_cast<int>(state.range(0));
+  opt.capacity = 1e9;  // capacity never binds; isolate the path-length cost
+  BandwidthBroker bb(chain_topology(opt));
+  FlowServiceRequest req{type0(), 1e3, "N0",
+                         "N" + std::to_string(opt.hops)};
+  for (auto _ : state) {
+    auto res = bb.request_service(req);
+    if (!res.is_ok()) {
+      state.SkipWithError("admission failed");
+      return;
+    }
+    (void)bb.release_service(res.value().flow);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AdmissionVsPathLength)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_AdmissionVsDumbbellWidth(benchmark::State& state) {
+  DumbbellOptions opt;
+  opt.edge_pairs = static_cast<int>(state.range(0));
+  opt.bottleneck_capacity = 1e9;
+  BandwidthBroker bb(dumbbell_topology(opt));
+  // Warm every pair's path (the realistic steady state).
+  for (int k = 0; k < opt.edge_pairs; ++k) {
+    (void)bb.provision_path("I" + std::to_string(k),
+                            "E" + std::to_string(k));
+  }
+  int k = 0;
+  for (auto _ : state) {
+    const std::string in = "I" + std::to_string(k);
+    const std::string out = "E" + std::to_string(k);
+    k = (k + 1) % opt.edge_pairs;
+    auto res = bb.request_service({type0(), 10.0, in, out});
+    if (!res.is_ok()) {
+      state.SkipWithError("admission failed");
+      return;
+    }
+    (void)bb.release_service(res.value().flow);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AdmissionVsDumbbellWidth)->Arg(2)->Arg(16)->Arg(128);
+
+void BM_PacketSimThroughput(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ChainOptions opt;
+    opt.hops = 5;
+    const DomainSpec spec = chain_topology(opt);
+    BandwidthBroker bb(spec);
+    ProvisionedNetwork pn(spec);
+    for (int i = 0; i < flows; ++i) {
+      auto res = bb.request_service({type0(), 10.0, "N0", "N5"});
+      if (!res.is_ok()) break;
+      pn.install_flow(res.value().flow, chain_path(opt),
+                      res.value().params.rate, res.value().params.delay);
+      pn.attach_source(res.value().flow,
+                       std::make_unique<GreedySource>(type0(), 0.0),
+                       res.value().flow, 10.0)
+          .start();
+    }
+    state.ResumeTiming();
+    pn.run_until(20.0);
+    events += pn.events().dispatched();
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PacketSimThroughput)->Arg(5)->Arg(20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Statistical-multiplexing extension study (Section 6 future work):
+// admitted type-0 flows and realized overflow probability vs the overflow
+// target ε, on a 15 Mb/s core where flows are small relative to the pipe.
+//
+// Baselines: LOW-DELAY deterministic service needs near-peak reservations
+// (the edge shaping delay T_on·(P−r)/r blows up below the peak), carrying
+// C/P = 150 flows; Σρ = C bounds ANY scheme at 300. Statistical admission
+// books Σρ + sqrt(ln(1/ε)·ΣP²/2) and lands in between — trading a small
+// overflow probability for up to ~1.8x the peak-allocated capacity.
+//
+// Realized overflow is Monte-Carlo over the stationary on–off aggregate
+// (each flow ON with probability ρ/P at its peak rate). Hoeffding is
+// conservative, so the realized rate sits well below ε — the admitted-count
+// column shows what that conservatism costs against the 300 ceiling.
+
+#include <cmath>
+#include <iostream>
+
+#include "core/stat_admission.h"
+#include "topo/fig8.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace qosbb;
+
+  const TrafficProfile type0 =
+      TrafficProfile::make(60000, 50000, 100000, 12000);
+  const double capacity = 15e6;
+  const double p_on = type0.rho / type0.peak;
+
+  std::cout << "=== Statistical admission: ε sweep (type-0 flows, 15 Mb/s "
+               "core) ===\n"
+            << "Baselines: peak-rate deterministic (low delay) = 150 flows; "
+               "mean-rate ceiling = 300 flows.\n\n";
+
+  TextTable table({"epsilon", "admitted", "vs peak-det (x)",
+                   "utilization Srho/C", "headroom (b/s)",
+                   "realized overflow p"});
+
+  Rng rng(20260707);
+  for (double eps : {1e-1, 1e-2, 1e-3, 1e-4, 1e-6}) {
+    StatisticalAdmission stat(
+        fig8_topology(Fig8Setting::kRateBasedOnly, capacity), eps);
+    int n = 0;
+    while (stat.request_service(type0, "I1", "E1").is_ok()) ++n;
+    const StatLinkState& s = stat.link_state("R2->R3");
+    const double headroom =
+        StatisticalAdmission::headroom(s.sum_peak_sq, eps);
+
+    const int trials = 50000;
+    int overflow = 0;
+    for (int t = 0; t < trials; ++t) {
+      double load = 0.0;
+      for (int j = 0; j < n; ++j) {
+        if (rng.bernoulli(p_on)) load += type0.peak;
+      }
+      if (load > capacity) ++overflow;
+    }
+    table.add_row({"1e" + TextTable::fmt(std::log10(eps), 0),
+                   TextTable::fmt_int(n),
+                   TextTable::fmt(n / 150.0, 2),
+                   TextTable::fmt(s.sum_mean / capacity, 3),
+                   TextTable::fmt(headroom, 0),
+                   TextTable::fmt(static_cast<double>(overflow) / trials,
+                                  6)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape: every ε admits well above the 150-flow peak-rate "
+               "baseline and below the 300-flow ceiling; realized overflow "
+               "stays under ε.\n";
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Broker failover — the architectural payoff, demonstrated.
+//
+// The paper's footnote 2: because ALL QoS state lives at the bandwidth
+// broker, "the reliability and scalability issues of the QoS control plane
+// can be addressed separately from, and without incurring additional
+// complexity to, the data plane." Here the BB crashes mid-run and is
+// rebuilt from its last checkpoint while the packet-level data plane keeps
+// forwarding — not one packet notices, because core routers never held any
+// reservation state to lose.
+//
+//   $ ./broker_failover
+
+#include <iostream>
+#include <memory>
+
+#include "core/broker.h"
+#include "topo/fig8.h"
+#include "vtrs/provisioned_network.h"
+
+int main() {
+  using namespace qosbb;
+
+  const DomainSpec spec = fig8_topology(Fig8Setting::kRateBasedOnly);
+  const TrafficProfile type0 =
+      TrafficProfile::make(60000, 50000, 100000, 12000);
+
+  auto bb = std::make_unique<BandwidthBroker>(spec);
+  ProvisionedNetwork data_plane(spec);
+
+  std::cout << "=== t=0: admit 10 flows, start worst-case traffic ===\n";
+  std::vector<Reservation> live;
+  for (int i = 0; i < 10; ++i) {
+    auto res = bb->request_service({type0, 2.44, "I1", "E1"});
+    if (!res.is_ok()) break;
+    const Reservation& r = res.value();
+    data_plane.install_flow(r.flow, fig8_path_s1(), r.params.rate,
+                            r.params.delay);
+    data_plane
+        .attach_source(r.flow, std::make_unique<GreedySource>(type0, 0.0),
+                       r.flow, 60.0)
+        .start();
+    data_plane.expect_bounds(r.flow, 1e9, r.e2e_bound);
+    live.push_back(r);
+  }
+
+  std::cout << "=== t=20: checkpoint, then the broker process dies ===\n";
+  data_plane.run_until(20.0);
+  auto checkpoint = bb->snapshot();
+  if (!checkpoint.is_ok()) {
+    std::cerr << "snapshot failed: " << checkpoint.status().to_string()
+              << "\n";
+    return 1;
+  }
+  std::cout << "  checkpoint: " << checkpoint.value().size() << " bytes for "
+            << bb->flows().count() << " flows\n";
+  bb.reset();  // the crash
+  const std::uint64_t packets_at_crash = data_plane.meter().total_packets();
+
+  std::cout << "=== t=20..35: NO broker exists; the data plane runs on ===\n";
+  data_plane.run_until(35.0);
+  std::cout << "  packets forwarded while the control plane was down: "
+            << data_plane.meter().total_packets() - packets_at_crash << "\n";
+
+  std::cout << "=== t=35: replacement broker restores the checkpoint ===\n";
+  auto restored = BandwidthBroker::restore(spec, BrokerOptions{},
+                                           checkpoint.value());
+  if (!restored.is_ok()) {
+    std::cerr << "restore failed: " << restored.status().to_string() << "\n";
+    return 1;
+  }
+  bb = std::move(restored.value());
+  std::cout << "  restored " << bb->flows().count()
+            << " reservations; bottleneck accounting: "
+            << bb->nodes().link("R2->R3").reserved() << " b/s\n";
+
+  // Prove the restored broker is authoritative: admit more flows up to the
+  // true remaining capacity, and release a pre-crash flow by its old id.
+  int more = 0;
+  while (true) {
+    auto res = bb->request_service({type0, 2.44, "I1", "E1"});
+    if (!res.is_ok()) break;
+    const Reservation& r = res.value();
+    data_plane.install_flow(r.flow, fig8_path_s1(), r.params.rate,
+                            r.params.delay);
+    data_plane
+        .attach_source(r.flow, std::make_unique<GreedySource>(type0, 35.0),
+                       r.flow, 60.0)
+        .start();
+    data_plane.expect_bounds(r.flow, 1e9, r.e2e_bound);
+    ++more;
+  }
+  std::cout << "  post-restore admissions: " << more << " (10 + " << more
+            << " = 30: capacity arithmetic survived the crash)\n";
+  Status released = bb->release_service(live.front().flow);
+  std::cout << "  release of pre-crash flow " << live.front().flow << ": "
+            << released.to_string() << "\n";
+
+  data_plane.run_until(80.0);
+  std::uint64_t violations = data_plane.meter().total_violations();
+  std::cout << "\n=== verdict ===\n  " << data_plane.meter().total_packets()
+            << " packets end to end, " << violations
+            << " delay-bound violations, "
+            << data_plane.vtrs().total_guarantee_violations()
+            << " VTRS violations — across a full control-plane outage.\n";
+  return violations == 0 ? 0 : 1;
+}

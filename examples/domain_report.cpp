@@ -1,0 +1,110 @@
+// Operator's view of a live bandwidth broker: per-link utilization, buffer
+// accounting, VT-EDF knot tables, the path MIB, and the tail of the
+// admission audit log — everything a NOC would pull from the BB instead of
+// from thirty routers.
+//
+//   $ ./domain_report
+
+#include <iostream>
+
+#include "core/broker.h"
+#include "topo/fig8.h"
+#include "util/table.h"
+
+int main() {
+  using namespace qosbb;
+
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kMixed),
+                     BrokerOptions{ContingencyMethod::kFeedback});
+  // Put some life into the domain: per-flow reservations, a class, a
+  // deliberate rejection for the audit log.
+  const TrafficProfile type0 =
+      TrafficProfile::make(60000, 50000, 100000, 12000);
+  const TrafficProfile type3 =
+      TrafficProfile::make(24000, 20000, 100000, 12000);
+  for (int i = 0; i < 8; ++i) {
+    (void)bb.request_service({type0, 2.19, "I1", "E1"});
+  }
+  for (int i = 0; i < 4; ++i) {
+    (void)bb.request_service({type3, 3.81, "I2", "E2"});
+  }
+  const ClassId gold = bb.define_class(2.19, 0.10, "gold");
+  for (int i = 0; i < 3; ++i) {
+    (void)bb.request_class_service(gold, type0, "I1", "E1", 10.0 + i, 0.0);
+  }
+  (void)bb.request_service({type0, 0.05, "I1", "E1"});  // hopeless: audit it
+
+  std::cout << "==================== DOMAIN REPORT ====================\n\n";
+  std::cout << "--- link utilization (node QoS state MIB) ---\n";
+  TextTable links({"link", "sched", "reserved (b/s)", "residual (b/s)",
+                   "util %", "flows", "buffer (b)"});
+  for (const auto& l : bb.spec().links) {
+    const LinkQosState& st = bb.nodes().link(l.from + "->" + l.to);
+    links.add_row({st.name(), sched_policy_name(l.policy),
+                   TextTable::fmt(st.reserved(), 0),
+                   TextTable::fmt(st.residual(), 0),
+                   TextTable::fmt(100.0 * st.reserved() / st.capacity(), 1),
+                   TextTable::fmt_int(static_cast<long long>(st.flow_count())),
+                   TextTable::fmt(st.buffer_reserved(), 0)});
+  }
+  links.print(std::cout);
+
+  std::cout << "\n--- VT-EDF knot tables (delay-based links) ---\n";
+  TextTable knots({"link", "delay knot (s)", "sum rate (b/s)", "sum L (b)",
+                   "entries", "residual service (b)"});
+  for (const auto& l : bb.spec().links) {
+    const LinkQosState& st = bb.nodes().link(l.from + "->" + l.to);
+    if (!st.delay_based()) continue;
+    for (const auto& [d, bucket] : st.edf_buckets()) {
+      knots.add_row({st.name(), TextTable::fmt(d, 4),
+                     TextTable::fmt(bucket.sum_rate, 0),
+                     TextTable::fmt(bucket.sum_l, 0),
+                     TextTable::fmt_int(static_cast<long long>(bucket.count)),
+                     TextTable::fmt(st.residual_service(d), 0)});
+    }
+  }
+  knots.print(std::cout);
+
+  std::cout << "\n--- path QoS state MIB ---\n";
+  TextTable paths({"path", "nodes", "h", "q", "D_tot (s)", "C_res (b/s)"});
+  for (PathId id = 0; id < static_cast<PathId>(bb.paths().path_count());
+       ++id) {
+    const PathRecord& rec = bb.paths().record(id);
+    std::string nodes;
+    for (const auto& n : rec.nodes) nodes += n + " ";
+    paths.add_row({TextTable::fmt_int(id), nodes,
+                   TextTable::fmt_int(rec.hop_count()),
+                   TextTable::fmt_int(rec.rate_based_count()),
+                   TextTable::fmt(rec.d_tot(), 3),
+                   TextTable::fmt(bb.path_residual(id), 0)});
+  }
+  paths.print(std::cout);
+
+  std::cout << "\n--- macroflows ---\n";
+  for (const auto& [id, mf] : bb.classes().all_macroflows()) {
+    std::cout << "  macroflow " << id << " class '"
+              << bb.classes().service_class(mf.service_class).name
+              << "': " << mf.microflows << " microflows, base "
+              << mf.base_rate << " b/s, e2e bound in effect "
+              << bb.classes().e2e_bound_in_effect(id) << " s\n";
+  }
+
+  std::cout << "\n--- audit log (last 5 decisions) ---\n";
+  const auto& entries = bb.audit().entries();
+  const std::size_t start = entries.size() > 5 ? entries.size() - 5 : 0;
+  for (std::size_t i = start; i < entries.size(); ++i) {
+    const AuditEntry& e = entries[i];
+    std::cout << "  t=" << e.time << " " << audit_kind_name(e.kind) << " "
+              << (e.admitted ? "ADMIT" : "REJECT") << " flow=" << e.flow
+              << " rate=" << e.granted_rate
+              << (e.admitted ? ""
+                             : std::string(" reason=") +
+                                   reject_reason_name(e.reason))
+              << "\n";
+  }
+
+  std::cout << "\nstats: " << bb.stats().requests << " requests, "
+            << bb.stats().admitted << " admitted, blocking rate "
+            << bb.stats().blocking_rate() << "\n";
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Command-line front end for the flow-level simulator: run any admission
+// scheme against a generated or replayed workload, optionally exporting the
+// workload for exact re-runs elsewhere.
+//
+//   $ ./flow_sim_cli --scheme=perflow --rate=0.12 --horizon=4000 --seed=7
+//   $ ./flow_sim_cli --scheme=feedback --save-workload=w.csv
+//   $ ./flow_sim_cli --scheme=bounding --load-workload=w.csv
+//
+// Schemes: perflow | gs | bounding | feedback. Unknown flags are an error
+// (catching typos beats silently ignoring them).
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "flowsim/flow_sim.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace qosbb;
+
+struct CliOptions {
+  FlowSimConfig sim;
+  std::string save_workload;
+  std::string load_workload;
+};
+
+bool parse_flag(const std::string& arg, const char* name,
+                std::string* value) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [--scheme=perflow|gs|bounding|feedback] [--rate=<flows/s/src>]\n"
+         "       [--horizon=<s>] [--holding=<s>] [--seed=<n>] [--tight]\n"
+         "       [--setting=rate|mixed] [--cd=<s>]\n"
+         "       [--save-workload=<csv>] [--load-workload=<csv>]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opt;
+  opt.sim.scheme = AdmissionScheme::kPerFlowBB;
+  opt.sim.workload.arrival_rate_per_source = 0.1;
+  opt.sim.workload.horizon = 4000.0;
+  opt.sim.seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    if (parse_flag(arg, "scheme", &v)) {
+      if (v == "perflow") opt.sim.scheme = AdmissionScheme::kPerFlowBB;
+      else if (v == "gs") opt.sim.scheme = AdmissionScheme::kIntServGs;
+      else if (v == "bounding") opt.sim.scheme = AdmissionScheme::kAggrBounding;
+      else if (v == "feedback") opt.sim.scheme = AdmissionScheme::kAggrFeedback;
+      else return usage(argv[0]);
+    } else if (parse_flag(arg, "rate", &v)) {
+      opt.sim.workload.arrival_rate_per_source = std::stod(v);
+    } else if (parse_flag(arg, "horizon", &v)) {
+      opt.sim.workload.horizon = std::stod(v);
+    } else if (parse_flag(arg, "holding", &v)) {
+      opt.sim.workload.mean_holding = std::stod(v);
+    } else if (parse_flag(arg, "seed", &v)) {
+      opt.sim.seed = std::stoull(v);
+    } else if (parse_flag(arg, "cd", &v)) {
+      opt.sim.class_delay_param = std::stod(v);
+    } else if (parse_flag(arg, "setting", &v)) {
+      if (v == "rate") opt.sim.setting = Fig8Setting::kRateBasedOnly;
+      else if (v == "mixed") opt.sim.setting = Fig8Setting::kMixed;
+      else return usage(argv[0]);
+    } else if (arg == "--tight") {
+      opt.sim.tight_delay = true;
+    } else if (parse_flag(arg, "save-workload", &v)) {
+      opt.save_workload = v;
+    } else if (parse_flag(arg, "load-workload", &v)) {
+      opt.load_workload = v;
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return usage(argv[0]);
+    }
+  }
+
+  // Workload handling: generate (and optionally save) or replay. The
+  // simulator itself regenerates from the seed, so "replay" means checking
+  // the CSV describes the same seeded workload — a guard against mismatched
+  // configs — and is mostly useful with --save-workload for archiving.
+  Rng rng(opt.sim.seed);
+  const auto workload = generate_workload(opt.sim.workload, rng);
+  if (!opt.save_workload.empty()) {
+    std::ofstream os(opt.save_workload);
+    if (!os) {
+      std::cerr << "cannot write " << opt.save_workload << "\n";
+      return 1;
+    }
+    save_workload_csv(workload, os);
+    std::cout << "saved " << workload.size() << " arrivals to "
+              << opt.save_workload << "\n";
+  }
+  if (!opt.load_workload.empty()) {
+    std::ifstream is(opt.load_workload);
+    if (!is) {
+      std::cerr << "cannot read " << opt.load_workload << "\n";
+      return 1;
+    }
+    auto loaded = load_workload_csv(is);
+    if (!loaded.is_ok()) {
+      std::cerr << loaded.status().to_string() << "\n";
+      return 1;
+    }
+    if (loaded.value().size() != workload.size()) {
+      std::cerr << "warning: loaded workload has " << loaded.value().size()
+                << " arrivals but the seeded config generates "
+                << workload.size()
+                << "; adjust --seed/--rate/--horizon to match\n";
+    }
+  }
+
+  const FlowSimResult res = run_flow_sim(opt.sim);
+  TextTable table({"metric", "value"});
+  table.add_row({"scheme", admission_scheme_name(opt.sim.scheme)});
+  table.add_row({"offered flows", TextTable::fmt_int(
+                                      static_cast<long long>(res.offered))});
+  table.add_row({"admitted", TextTable::fmt_int(
+                                 static_cast<long long>(res.admitted))});
+  table.add_row({"blocked", TextTable::fmt_int(
+                                static_cast<long long>(res.blocked))});
+  table.add_row({"blocking rate", TextTable::fmt(res.blocking_rate, 4)});
+  table.add_row({"offered load", TextTable::fmt(res.offered_load, 3)});
+  table.add_row({"mean active flows", TextTable::fmt(res.mean_active_flows, 1)});
+  table.add_row({"mean bottleneck reserved (b/s)",
+                 TextTable::fmt(res.mean_bottleneck_reserved, 0)});
+  table.print(std::cout);
+  for (const auto& [reason, count] : res.reject_reasons) {
+    std::cout << "  reject[" << reject_reason_name(reason) << "] = " << count
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Control-plane comparison (the paper's architectural argument): the same
+// admission arithmetic, run as IntServ/GS hop-by-hop signaling with
+// per-router state vs the BB's path-oriented test against central MIBs.
+// Counts routers touched and signaling messages per request — the cost the
+// bandwidth broker removes from the core.
+//
+//   $ ./hop_by_hop_vs_path
+
+#include <iostream>
+
+#include "core/broker.h"
+#include "gs/gs_admission.h"
+#include "topo/fig8.h"
+#include "util/table.h"
+
+int main() {
+  using namespace qosbb;
+
+  const TrafficProfile type0 =
+      TrafficProfile::make(60000, 50000, 100000, 12000);
+  FlowServiceRequest req{type0, 2.44, "I1", "E1"};
+
+  GsAdmissionControl gs(fig8_gs_topology(Fig8Setting::kRateBasedOnly));
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kRateBasedOnly));
+
+  int gs_admitted = 0;
+  std::uint64_t gs_router_visits = 0;
+  while (true) {
+    auto res = gs.request_service(req);
+    if (!res.admitted) break;
+    ++gs_admitted;
+    gs_router_visits += static_cast<std::uint64_t>(res.hops_visited);
+  }
+
+  int bb_admitted = 0;
+  while (bb.request_service(req).is_ok()) ++bb_admitted;
+
+  TextTable table({"metric", "IntServ/GS (hop-by-hop)", "BB/VTRS (path)"});
+  table.add_row({"flows admitted", TextTable::fmt_int(gs_admitted),
+                 TextTable::fmt_int(bb_admitted)});
+  table.add_row({"signaling messages",
+                 TextTable::fmt_int(
+                     static_cast<long long>(gs.domain().total_messages())),
+                 "2 per request (request + reply)"});
+  table.add_row({"router visits for admission",
+                 TextTable::fmt_int(static_cast<long long>(gs_router_visits)),
+                 "0"});
+  table.add_row({"QoS state in core routers",
+                 TextTable::fmt_int(static_cast<long long>(
+                     gs.domain().router_state("R2->R3").flow_count())),
+                 TextTable::fmt_int(0)});
+  table.add_row({"QoS state at the BB", "n/a",
+                 TextTable::fmt_int(
+                     static_cast<long long>(bb.flows().count()))});
+  table.print(std::cout);
+
+  std::cout << "\nSame admission arithmetic -> same admitted count; the BB "
+               "does it without touching a single core router.\n";
+  return gs_admitted == bb_admitted ? 0 : 1;
+}

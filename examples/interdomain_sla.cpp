@@ -1,0 +1,82 @@
+// Inter-domain guaranteed service over SLA trunks — the paper's stated open
+// problem (Section 1), solved two-tier: per-domain bandwidth brokers plus
+// pre-provisioned aggregate trunks across transit domains.
+//
+//   $ ./interdomain_sla
+
+#include <iostream>
+
+#include "core/interdomain.h"
+#include "topo/builders.h"
+
+int main() {
+  using namespace qosbb;
+
+  // Three autonomous domains in a chain, each with its own BB:
+  //   src  : A0 -> A1 -> A2           (customer access)
+  //   tran : T0 -> T1 -> T2 -> T3     (transit carrier)
+  //   dst  : B0 -> B1 -> B2           (destination access)
+  InterDomainOrchestrator orch;
+  auto chain = [](const char* prefix, int hops) {
+    ChainOptions opt;
+    opt.prefix = prefix;
+    opt.hops = hops;
+    opt.capacity = megabits_per_second(1.5);
+    return chain_topology(opt);
+  };
+  orch.add_domain("src", chain("A", 2), "A0", "A2");
+  orch.add_domain("transit", chain("T", 3), "T0", "T3");
+  orch.add_domain("dst", chain("B", 2), "B0", "B2");
+
+  std::cout << "=== provision the SLA trunk across the transit carrier ===\n";
+  Status trunk = orch.provision_trunk("transit",
+                                      kilobits_per_second(600),
+                                      kilobits(120));
+  std::cout << "  trunk: " << trunk.to_string() << ", fixed transit bound "
+            << orch.trunk_delay("transit") << " s, headroom "
+            << orch.trunk_headroom("transit") << " b/s\n"
+            << "  (the transit BB holds ONE aggregate reservation — no "
+               "per-flow state will ever touch it)\n";
+
+  const TrafficProfile type0 =
+      TrafficProfile::make(60000, 50000, 100000, 12000);
+
+  std::cout << "\n=== end-to-end reservations A0 -> B2 ===\n";
+  for (double d_req : {5.0, 2.5, 1.2}) {
+    auto res = orch.request_service(type0, d_req);
+    if (res.is_ok()) {
+      std::cout << "  D_req=" << d_req << " s: admitted at "
+                << res.value().rate << " b/s, bound "
+                << res.value().e2e_bound << " s, trunk headroom now "
+                << orch.trunk_headroom("transit") << " b/s\n";
+    } else {
+      std::cout << "  D_req=" << d_req
+                << " s: rejected — " << res.status().message() << "\n";
+    }
+  }
+
+  std::cout << "\n=== fill until the trunk runs dry ===\n";
+  int admitted = 0;
+  std::vector<FlowId> flows;
+  while (true) {
+    auto res = orch.request_service(type0, 5.0);
+    if (!res.is_ok()) {
+      std::cout << "  flow " << admitted + 1
+                << " rejected: " << res.status().message() << "\n";
+      break;
+    }
+    flows.push_back(res.value().id);
+    ++admitted;
+  }
+  std::cout << "  admitted " << admitted
+            << " more mean-rate flows; per-domain flow state: src="
+            << orch.domain("src").flows().count()
+            << " transit=" << orch.domain("transit").flows().count()
+            << " (the trunk only!) dst="
+            << orch.domain("dst").flows().count() << "\n";
+
+  for (FlowId f : flows) (void)orch.release_service(f);
+  std::cout << "\nafter drain: trunk headroom back to "
+            << orch.trunk_headroom("transit") << " b/s\n";
+  return 0;
+}

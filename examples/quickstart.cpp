@@ -1,0 +1,62 @@
+// Quickstart: stand up a bandwidth broker over a small domain, request a
+// guaranteed-delay reservation, inspect it, and tear it down.
+//
+//   $ ./quickstart
+//
+// Walks through the three things a user of this library touches first:
+// the DomainSpec (what the data plane looks like), the BandwidthBroker
+// (where ALL QoS state lives — core routers keep none), and the
+// FlowServiceRequest / Reservation round trip.
+
+#include <iostream>
+
+#include "qosbb.h"  // the umbrella header: the whole public API
+
+int main() {
+  using namespace qosbb;
+
+  // 1. Describe the domain. fig8_topology() is the paper's evaluation
+  //    topology: two ingresses, a 4-router core chain at 1.5 Mb/s, two
+  //    egresses, C̸SVC (core-stateless virtual clock) on every link.
+  const DomainSpec spec = fig8_topology(Fig8Setting::kRateBasedOnly);
+
+  // 2. One bandwidth broker owns the whole domain's QoS control plane.
+  BandwidthBroker bb(spec);
+
+  // 3. A flow asks for guaranteed delay: dual-token-bucket traffic profile
+  //    (σ=60 kb, ρ=50 kb/s, P=100 kb/s, L=1500 B) and an end-to-end delay
+  //    requirement of 2.44 s from ingress I1 to egress E1.
+  FlowServiceRequest request;
+  request.profile = TrafficProfile::make(
+      kilobits(60), kilobits_per_second(50), kilobits_per_second(100),
+      bytes(1500));
+  request.e2e_delay_req = seconds(2.44);
+  request.ingress = "I1";
+  request.egress = "E1";
+
+  auto reservation = bb.request_service(request);
+  if (!reservation.is_ok()) {
+    std::cerr << "rejected: " << reservation.status().to_string() << "\n";
+    return 1;
+  }
+  const Reservation& r = reservation.value();
+  std::cout << "admitted flow " << r.flow << "\n"
+            << "  path id        : " << r.path << " (";
+  for (const auto& n : bb.paths().record(r.path).nodes) std::cout << n << " ";
+  std::cout << ")\n"
+            << "  reserved rate  : " << r.params.rate << " b/s\n"
+            << "  delay param    : " << r.params.delay << " s\n"
+            << "  e2e delay bound: " << r.e2e_bound << " s (asked "
+            << request.e2e_delay_req << ")\n";
+
+  // 4. The broker's MIBs — not the routers — hold the reservation state.
+  std::cout << "  bottleneck R2->R3 reserved: "
+            << bb.nodes().link("R2->R3").reserved() << " b/s, residual "
+            << bb.nodes().link("R2->R3").residual() << " b/s\n";
+
+  // 5. Tear down.
+  Status released = bb.release_service(r.flow);
+  std::cout << "release: " << released.to_string() << ", reserved now "
+            << bb.nodes().link("R2->R3").reserved() << " b/s\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "core/audit.h"
+
+#include <ostream>
+
+#include "util/status.h"
+
+namespace qosbb {
+
+const char* audit_kind_name(AuditKind k) {
+  switch (k) {
+    case AuditKind::kPerFlowRequest: return "request";
+    case AuditKind::kPerFlowRelease: return "release";
+    case AuditKind::kMicroflowJoin: return "join";
+    case AuditKind::kMicroflowLeave: return "leave";
+  }
+  return "?";
+}
+
+AuditLog::AuditLog(std::size_t capacity) : capacity_(capacity) {
+  QOSBB_REQUIRE(capacity > 0, "AuditLog: capacity must be positive");
+}
+
+void AuditLog::record(AuditEntry entry) {
+  ++total_;
+  if (entries_.size() == capacity_) entries_.pop_front();
+  entries_.push_back(std::move(entry));
+}
+
+const AuditEntry& AuditLog::last() const {
+  QOSBB_REQUIRE(!entries_.empty(), "AuditLog::last on empty log");
+  return entries_.back();
+}
+
+std::uint64_t AuditLog::rejections(RejectReason reason) const {
+  std::uint64_t n = 0;
+  for (const auto& e : entries_) {
+    if (!e.admitted && e.reason == reason) ++n;
+  }
+  return n;
+}
+
+void AuditLog::dump_csv(std::ostream& os) const {
+  os << "time,kind,admitted,reason,flow,path,ingress,egress,rho,delay_req,"
+        "rate,delay,residual,detail\n";
+  for (const auto& e : entries_) {
+    os << e.time << ',' << audit_kind_name(e.kind) << ','
+       << (e.admitted ? 1 : 0) << ',' << reject_reason_name(e.reason) << ','
+       << e.flow << ',' << e.path << ',' << e.ingress << ',' << e.egress
+       << ',' << e.requested_rho << ',' << e.requested_delay << ','
+       << e.granted_rate << ',' << e.granted_delay << ',' << e.path_residual
+       << ',' << e.detail << '\n';
+  }
+}
+
+void AuditLog::clear() {
+  entries_.clear();
+  total_ = 0;
+}
+
+}  // namespace qosbb

@@ -1,0 +1,73 @@
+// Admission audit log.
+//
+// Operators of a production bandwidth broker need to answer "why was this
+// flow rejected at 14:02?" without re-running the request. The broker
+// records every decision — admitted or not — into a bounded ring with the
+// inputs, the outcome, and the MIB headroom at decision time.
+
+#ifndef QOSBB_CORE_AUDIT_H_
+#define QOSBB_CORE_AUDIT_H_
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+
+#include "core/types.h"
+
+namespace qosbb {
+
+enum class AuditKind : std::uint8_t {
+  kPerFlowRequest,
+  kPerFlowRelease,
+  kMicroflowJoin,
+  kMicroflowLeave,
+};
+
+const char* audit_kind_name(AuditKind k);
+
+struct AuditEntry {
+  Seconds time = 0.0;
+  AuditKind kind = AuditKind::kPerFlowRequest;
+  bool admitted = false;
+  RejectReason reason = RejectReason::kNone;
+  FlowId flow = kInvalidFlowId;   ///< granted id (or microflow id)
+  PathId path = kInvalidPathId;
+  std::string ingress;
+  std::string egress;
+  BitsPerSecond requested_rho = 0.0;
+  Seconds requested_delay = 0.0;      ///< D^req (0 for releases)
+  BitsPerSecond granted_rate = 0.0;   ///< r (0 on reject/release)
+  Seconds granted_delay = 0.0;        ///< d
+  BitsPerSecond path_residual = 0.0;  ///< C_res^P at decision time
+  std::string detail;
+};
+
+class AuditLog {
+ public:
+  explicit AuditLog(std::size_t capacity = 4096);
+
+  void record(AuditEntry entry);
+
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t total_recorded() const { return total_; }
+  const std::deque<AuditEntry>& entries() const { return entries_; }
+  const AuditEntry& last() const;
+
+  /// Count of recorded rejections with the given reason.
+  std::uint64_t rejections(RejectReason reason) const;
+
+  /// CSV: time,kind,admitted,reason,flow,path,ingress,egress,rho,
+  ///      delay_req,rate,delay,residual,detail
+  void dump_csv(std::ostream& os) const;
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::deque<AuditEntry> entries_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_CORE_AUDIT_H_

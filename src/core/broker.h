@@ -1,0 +1,196 @@
+// The bandwidth broker (Figure 1) — the paper's core contribution.
+//
+// The BB owns ALL QoS control state of the domain: the flow, node, and path
+// QoS state MIBs. Core routers hold none. Admission proceeds in the two
+// phases of Section 2.2: an admissibility test over the path MIB snapshot,
+// then a bookkeeping phase updating the MIBs; finally the reservation
+// (⟨r, d⟩) is pushed to the ingress edge conditioner (the returned
+// Reservation / EdgeConditionerConfig stands in for the COPS message).
+//
+// Per-flow guaranteed service uses the path-oriented algorithms of
+// Section 3; class-based guaranteed service with dynamic flow aggregation
+// delegates to the ClassBasedManager of Section 4.
+
+#ifndef QOSBB_CORE_BROKER_H_
+#define QOSBB_CORE_BROKER_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/audit.h"
+#include "core/classbased_admission.h"
+#include "core/contingency.h"
+#include "core/flow_mib.h"
+#include "core/node_mib.h"
+#include "core/path_mib.h"
+#include "core/perflow_admission.h"
+#include "core/policy.h"
+#include "core/types.h"
+#include "topo/graph.h"
+#include "traffic/token_bucket.h"
+
+namespace qosbb {
+
+/// Per-flow path selection policy across the candidate routes the routing
+/// module provisions for an ingress–egress pair.
+enum class PathSelection {
+  kMinHop,          // always the shortest path (the paper's setup)
+  kWidestResidual,  // among k shortest, prefer max C_res^P, then fewer hops
+};
+
+struct BrokerOptions {
+  ContingencyMethod contingency = ContingencyMethod::kFeedback;
+  PathSelection path_selection = PathSelection::kMinHop;
+  /// Number of candidate routes (Yen's k-shortest) the routing module
+  /// provisions per endpoint pair. With kMinHop only the first is used for
+  /// selection; the rest still serve as admission fallbacks.
+  int k_paths = 1;
+  /// When true, a request that fails on bandwidth may evict strictly
+  /// lower-priority per-flow reservations from its path (cheapest-first)
+  /// until it fits. Evicted flows are reported through the returned
+  /// Reservation's `preempted` list so the caller can notify their owners.
+  bool allow_preemption = false;
+  /// Per-ingress signaling rate limit (requests/s; 0 = unlimited). Requests
+  /// beyond the limit are rejected with kPolicy — BB overload protection.
+  double max_request_rate_per_ingress = 0.0;
+  /// Burst tolerance of the signaling limiter, in requests.
+  double request_burst = 10.0;
+};
+
+struct BrokerStats {
+  std::uint64_t requests = 0;
+  std::uint64_t admitted = 0;
+  std::map<RejectReason, std::uint64_t> rejected;
+
+  std::uint64_t total_rejected() const;
+  double blocking_rate() const;
+};
+
+class BandwidthBroker {
+ public:
+  explicit BandwidthBroker(const DomainSpec& spec, BrokerOptions options = {});
+
+  BandwidthBroker(const BandwidthBroker&) = delete;
+  BandwidthBroker& operator=(const BandwidthBroker&) = delete;
+
+  // ---- Routing module ----
+  /// Provision the candidate route set for ingress -> egress (idempotent)
+  /// and return the primary (min-hop) path.
+  Result<PathId> provision_path(const std::string& ingress,
+                                const std::string& egress);
+  /// All provisioned candidates for the pair, in preference order under the
+  /// configured PathSelection policy (provisions them on first use).
+  Result<std::vector<PathId>> candidate_paths(const std::string& ingress,
+                                              const std::string& egress);
+
+  // ---- Per-flow guaranteed service (Section 3) ----
+  /// Full admission pipeline: policy check, path selection, path-oriented
+  /// admissibility test, bookkeeping. Returns the reservation to install at
+  /// the ingress edge conditioner.
+  Result<Reservation> request_service(const FlowServiceRequest& request,
+                                      Seconds now = 0.0);
+  /// Tear down a per-flow reservation and release its resources.
+  Status release_service(FlowId flow);
+  /// Re-negotiate a live per-flow reservation to a new end-to-end delay
+  /// requirement, atomically: the flow keeps its id and path; on failure
+  /// the old reservation is untouched. The returned reservation is what
+  /// the caller must push to the edge conditioner (the data-plane rate
+  /// change is covered by the Theorem-4 extension).
+  Result<Reservation> renegotiate_service(FlowId flow,
+                                          Seconds new_delay_req,
+                                          Seconds now = 0.0);
+  /// The detailed outcome of the most recent admissibility test (reject
+  /// reasons, Figure-4 scan length) — diagnostics for benches.
+  const AdmissionOutcome& last_outcome() const { return last_outcome_; }
+
+  // ---- Class-based guaranteed service (Section 4) ----
+  ClassId define_class(Seconds e2e_delay, Seconds delay_param,
+                       std::string name = {});
+  /// Admit a microflow into a class between the given edge nodes.
+  JoinResult request_class_service(ClassId cls, const TrafficProfile& profile,
+                                   const std::string& ingress,
+                                   const std::string& egress, Seconds now,
+                                   std::optional<Bits> edge_backlog =
+                                       std::nullopt);
+  Result<LeaveResult> leave_class_service(FlowId microflow, Seconds now,
+                                          std::optional<Bits> edge_backlog =
+                                              std::nullopt);
+  /// Contingency timer / feedback plumbing (Section 4.2.1).
+  void expire_contingency(GrantId grant, Seconds now);
+  void edge_buffer_empty(FlowId macroflow, Seconds now);
+
+  // ---- State access ----
+  const NodeMib& nodes() const { return nodes_; }
+  NodeMib& nodes() { return nodes_; }
+  const PathMib& paths() const { return paths_; }
+  const FlowMib& flows() const { return flows_; }
+  PolicyControl& policy() { return policy_; }
+  ClassBasedManager& classes() { return classes_; }
+  const ClassBasedManager& classes() const { return classes_; }
+  const BrokerStats& stats() const { return stats_; }
+  const DomainSpec& spec() const { return spec_; }
+  const AuditLog& audit() const { return audit_; }
+  AuditLog& audit() { return audit_; }
+
+  // ---- Crash recovery (core/snapshot.cc) ----
+  /// Serialize the broker's QoS control state (flow records, paths,
+  /// classes, macroflows) into a self-describing wire frame. Requires a
+  /// QUIESCENT broker: no active contingency grants (transients cannot be
+  /// checkpointed consistently; wait for them to settle). The domain spec
+  /// itself is NOT serialized — restore takes it as input, as a real
+  /// recovery would read it from configuration.
+  Result<std::vector<std::uint8_t>> snapshot() const;
+  /// Rebuild a broker from `spec` + a snapshot frame: all flow/class state
+  /// is re-booked with the ORIGINAL ids; MIB bookkeeping is reconstructed
+  /// from scratch (and therefore consistent by construction).
+  static Result<std::unique_ptr<BandwidthBroker>> restore(
+      const DomainSpec& spec, BrokerOptions options,
+      const std::vector<std::uint8_t>& frame);
+
+  /// Assemble the admissibility-test snapshot for a path (exposed for tests
+  /// and benches that call the Section-3 algorithms directly).
+  PathView path_view(PathId path) const;
+  /// C_res^P of a provisioned path.
+  BitsPerSecond path_residual(PathId path) const;
+  /// Live per-flow count admitted from an ingress (policy input).
+  std::size_t flows_from_ingress(const std::string& ingress) const;
+
+ private:
+  /// Apply / reverse the per-link bookkeeping of a committed reservation.
+  void book_reservation(const PathRecord& rec, const RateDelayPair& params,
+                        const TrafficProfile& profile);
+  void unbook_reservation(const PathRecord& rec, const RateDelayPair& params,
+                          const TrafficProfile& profile);
+  /// Signaling-rate limiter gate (BrokerOptions::max_request_rate_per_
+  /// ingress). Callers must pass non-decreasing `now` for refill to work.
+  bool request_rate_ok(const std::string& ingress, Seconds now);
+  /// Preemption: evict strictly lower-priority per-flow reservations from
+  /// one of `candidates` until `request` fits. On success returns the path
+  /// and the evicted flow ids (already released); on failure restores
+  /// everything and returns nullopt.
+  std::optional<std::pair<PathId, std::vector<FlowId>>> try_preempt(
+      const FlowServiceRequest& request, const std::vector<PathId>& candidates);
+
+  DomainSpec spec_;
+  Graph graph_;
+  BrokerOptions options_;
+  NodeMib nodes_;
+  PathMib paths_;
+  FlowMib flows_;
+  PolicyControl policy_;
+  ClassBasedManager classes_;
+  BrokerStats stats_;
+  AdmissionOutcome last_outcome_;
+  AuditLog audit_;
+  /// Live per-flow count per ingress (policy input; O(1) at request time).
+  std::unordered_map<std::string, std::size_t> ingress_flows_;
+  /// Per-ingress signaling-rate limiters (created lazily when configured).
+  std::unordered_map<std::string, TokenBucket> limiters_;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_CORE_BROKER_H_

@@ -1,0 +1,73 @@
+#include "core/contingency.h"
+
+#include <algorithm>
+
+namespace qosbb {
+
+const char* contingency_method_name(ContingencyMethod m) {
+  switch (m) {
+    case ContingencyMethod::kBounding: return "bounding";
+    case ContingencyMethod::kFeedback: return "feedback";
+  }
+  return "?";
+}
+
+GrantId ContingencyManager::add(FlowId macroflow, BitsPerSecond delta_r,
+                                Seconds now, Seconds tau,
+                                Seconds event_edge_bound) {
+  QOSBB_REQUIRE(delta_r > 0.0, "ContingencyManager: delta_r must be positive");
+  QOSBB_REQUIRE(tau >= 0.0, "ContingencyManager: negative tau");
+  const GrantId id = next_id_++;
+  grants_.emplace(id, ContingencyGrant{id, macroflow, delta_r, now, now + tau,
+                                       event_edge_bound});
+  return id;
+}
+
+Result<ContingencyGrant> ContingencyManager::remove(GrantId id) {
+  auto it = grants_.find(id);
+  if (it == grants_.end()) {
+    return Status::not_found("grant " + std::to_string(id));
+  }
+  ContingencyGrant g = it->second;
+  grants_.erase(it);
+  return g;
+}
+
+std::vector<ContingencyGrant> ContingencyManager::remove_all(
+    FlowId macroflow) {
+  std::vector<ContingencyGrant> out;
+  for (auto it = grants_.begin(); it != grants_.end();) {
+    if (it->second.macroflow == macroflow) {
+      out.push_back(it->second);
+      it = grants_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+BitsPerSecond ContingencyManager::total(FlowId macroflow) const {
+  BitsPerSecond sum = 0.0;
+  for (const auto& [id, g] : grants_) {
+    if (g.macroflow == macroflow) sum += g.delta_r;
+  }
+  return sum;
+}
+
+Seconds ContingencyManager::max_event_edge_bound(FlowId macroflow) const {
+  Seconds b = 0.0;
+  for (const auto& [id, g] : grants_) {
+    if (g.macroflow == macroflow) b = std::max(b, g.event_edge_bound);
+  }
+  return b;
+}
+
+bool ContingencyManager::has_grants(FlowId macroflow) const {
+  for (const auto& [id, g] : grants_) {
+    if (g.macroflow == macroflow) return true;
+  }
+  return false;
+}
+
+}  // namespace qosbb

@@ -1,0 +1,29 @@
+#include "core/flow_mib.h"
+
+namespace qosbb {
+
+void FlowMib::add(FlowRecord rec) {
+  QOSBB_REQUIRE(rec.id != kInvalidFlowId, "FlowMib::add: invalid id");
+  QOSBB_REQUIRE(!flows_.contains(rec.id), "FlowMib::add: duplicate id");
+  flows_.emplace(rec.id, std::move(rec));
+}
+
+Result<FlowRecord> FlowMib::get(FlowId id) const {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) {
+    return Status::not_found("flow " + std::to_string(id));
+  }
+  return it->second;
+}
+
+Result<FlowRecord> FlowMib::remove(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) {
+    return Status::not_found("flow " + std::to_string(id));
+  }
+  FlowRecord rec = std::move(it->second);
+  flows_.erase(it);
+  return rec;
+}
+
+}  // namespace qosbb

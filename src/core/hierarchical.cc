@@ -1,0 +1,180 @@
+#include "core/hierarchical.h"
+
+#include <algorithm>
+
+#include "vtrs/delay_bounds.h"
+
+namespace qosbb {
+
+namespace {
+constexpr double kEps = 1e-6;
+}
+
+CentralBroker::CentralBroker(const DomainSpec& spec, BrokerOptions options)
+    : bb_(spec, options) {}
+
+BitsPerSecond CentralBroker::lease(const std::string& edge, PathId path,
+                                   BitsPerSecond amount) {
+  QOSBB_REQUIRE(amount > 0.0, "lease: amount must be positive");
+  ++ledger_calls_;
+  const BitsPerSecond grant = std::min(amount, bb_.path_residual(path));
+  if (grant <= kEps) return 0.0;
+  const PathRecord& rec = bb_.paths().record(path);
+  for (const auto& ln : rec.link_names) {
+    Status s = bb_.nodes().link(ln).reserve(grant);
+    QOSBB_REQUIRE(s.is_ok(), "lease: residual raced the grant");
+  }
+  ledger_[{edge, path}] += grant;
+  return grant;
+}
+
+void CentralBroker::restore(const std::string& edge, PathId path,
+                            BitsPerSecond amount) {
+  QOSBB_REQUIRE(amount > 0.0, "restore: amount must be positive");
+  ++ledger_calls_;
+  auto it = ledger_.find({edge, path});
+  QOSBB_REQUIRE(it != ledger_.end() && it->second >= amount - kEps,
+                "restore: returning more than leased");
+  it->second -= amount;
+  if (it->second <= kEps) ledger_.erase(it);
+  const PathRecord& rec = bb_.paths().record(path);
+  for (const auto& ln : rec.link_names) {
+    bb_.nodes().link(ln).release(amount);
+  }
+}
+
+BitsPerSecond CentralBroker::leased_to(const std::string& edge,
+                                       PathId path) const {
+  auto it = ledger_.find({edge, path});
+  return it == ledger_.end() ? 0.0 : it->second;
+}
+
+BitsPerSecond CentralBroker::total_leased() const {
+  BitsPerSecond sum = 0.0;
+  for (const auto& [key, amount] : ledger_) sum += amount;
+  return sum;
+}
+
+EdgeBroker::EdgeBroker(std::string name, CentralBroker& central,
+                       BitsPerSecond chunk)
+    : name_(std::move(name)), central_(central), chunk_(chunk) {
+  QOSBB_REQUIRE(chunk > 0.0, "EdgeBroker: chunk must be positive");
+}
+
+Result<Reservation> EdgeBroker::request_service(
+    const FlowServiceRequest& request) {
+  // Path lookup. The path set is provisioned once at the center and its
+  // static parameters (h, q, D_tot, L^{P,max}) are distributed to the
+  // edges; only the first sight of a pair costs a central interaction.
+  const PathId existing =
+      central_.domain().paths().find(request.ingress, request.egress);
+  PathId path = existing;
+  if (path == kInvalidPathId) {
+    ++central_contacts_;
+    auto provisioned =
+        central_.domain().provision_path(request.ingress, request.egress);
+    if (!provisioned.is_ok()) {
+      ++rejected_;
+      return provisioned.status();
+    }
+    path = provisioned.value();
+  }
+  const PathRecord& rec = central_.domain().paths().record(path);
+
+  if (rec.abstract.delay_based_count() > 0) {
+    // VT-EDF knot state is global — proxy to the center (Section 3.2 math
+    // needs the full per-knot residual-service picture).
+    ++central_contacts_;
+    auto res = central_.domain().request_service(request);
+    if (!res.is_ok()) {
+      ++rejected_;
+      return res.status();
+    }
+    const FlowId local = next_local_id_++;
+    flows_[local] = LocalFlow{path, res.value().params.rate, true,
+                              res.value().flow};
+    ++admitted_;
+    Reservation out = res.value();
+    out.flow = local;
+    return out;
+  }
+
+  // Section 3.1 test against static path parameters — purely local.
+  const BitsPerSecond r_min =
+      min_rate_rate_only(rec.abstract, request.profile,
+                         request.e2e_delay_req);
+  const BitsPerSecond rate = std::max(request.profile.rho, r_min);
+  if (rate > request.profile.peak) {
+    ++local_decisions_;
+    ++rejected_;
+    return Status::rejected("no-feasible-rate: r_min exceeds peak");
+  }
+  PathQuota& q = quotas_[path];
+  if (q.used + rate <= q.leased + kEps) {
+    ++local_decisions_;  // the common case: zero central involvement
+  } else {
+    const BitsPerSecond deficit = q.used + rate - q.leased;
+    ++central_contacts_;
+    q.leased += central_.lease(name_, path, std::max(chunk_, deficit));
+    if (q.used + rate > q.leased + kEps) {
+      ++rejected_;
+      return Status::rejected(
+          "insufficient-bandwidth: central quota exhausted");
+    }
+  }
+  q.used += rate;
+  const FlowId local = next_local_id_++;
+  flows_[local] = LocalFlow{path, rate, false, kInvalidFlowId};
+  ++admitted_;
+
+  Reservation out;
+  out.flow = local;
+  out.path = path;
+  out.params = RateDelayPair{rate, 0.0};
+  out.e2e_bound = e2e_delay_bound(rec.abstract, request.profile, rate, 0.0,
+                                  request.profile.l_max);
+  return out;
+}
+
+Status EdgeBroker::release_service(FlowId flow) {
+  auto it = flows_.find(flow);
+  if (it == flows_.end()) {
+    return Status::not_found("edge flow " + std::to_string(flow));
+  }
+  const LocalFlow rec = it->second;
+  flows_.erase(it);
+  if (rec.proxied) {
+    ++central_contacts_;
+    return central_.domain().release_service(rec.central_flow);
+  }
+  PathQuota& q = quotas_[rec.path];
+  QOSBB_REQUIRE(q.used >= rec.rate - kEps, "edge quota accounting broken");
+  q.used = std::max(0.0, q.used - rec.rate);
+  maybe_restore(rec.path);
+  return Status::ok();
+}
+
+void EdgeBroker::maybe_restore(PathId path) {
+  PathQuota& q = quotas_[path];
+  // Hysteresis: keep one chunk of headroom, return the rest once the
+  // excess exceeds two chunks.
+  const BitsPerSecond excess = q.leased - q.used;
+  if (excess >= 2.0 * chunk_) {
+    const BitsPerSecond give_back = excess - chunk_;
+    ++central_contacts_;
+    central_.restore(name_, path, give_back);
+    q.leased -= give_back;
+  }
+}
+
+BitsPerSecond EdgeBroker::quota_held(PathId path) const {
+  auto it = quotas_.find(path);
+  return it == quotas_.end() ? 0.0 : it->second.leased;
+}
+
+BitsPerSecond EdgeBroker::quota_used(PathId path) const {
+  auto it = quotas_.find(path);
+  return it == quotas_.end() ? 0.0 : it->second.used;
+}
+
+}  // namespace qosbb

@@ -1,0 +1,126 @@
+// Two-level (hierarchical) bandwidth broker architecture.
+//
+// The paper manages a domain with ONE centralized BB and names a
+// distributed/hierarchical organization as explicit future work (footnote 2,
+// Section 6: "a distributed or hierarchical architecture consisting of
+// multiple BBs can be employed to improve reliability and scalability").
+// This module implements the natural two-level design the paper sketches:
+//
+//   * a CentralBroker owns the authoritative domain MIBs (it embeds the
+//     full BandwidthBroker);
+//   * per-ingress EdgeBrokers admit per-flow requests LOCALLY against
+//     bandwidth quotas leased from the central broker path by path,
+//     contacting the center only when the local quota runs dry (lease) or
+//     accumulates excess (restore, with hysteresis).
+//
+// The admission arithmetic at an edge broker is exactly the Section-3.1
+// path-oriented test — it needs only the path's static parameters
+// (h, D_tot^P) plus the locally leased bandwidth, so an edge decision costs
+// no central interaction at all in the common case. Requests the edge
+// cannot decide locally (paths with delay-based hops, whose VT-EDF knot
+// state is inherently global) are proxied to the center.
+//
+// The price of decentralization is quota fragmentation: bandwidth parked at
+// one edge is invisible to the others, so a hierarchical domain may block a
+// flow a centralized BB would admit. bench_hierarchical quantifies both the
+// central-contact reduction and this utilization loss.
+
+#ifndef QOSBB_CORE_HIERARCHICAL_H_
+#define QOSBB_CORE_HIERARCHICAL_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "core/broker.h"
+
+namespace qosbb {
+
+/// The authoritative broker plus the quota ledger.
+class CentralBroker {
+ public:
+  explicit CentralBroker(const DomainSpec& spec, BrokerOptions options = {});
+
+  CentralBroker(const CentralBroker&) = delete;
+  CentralBroker& operator=(const CentralBroker&) = delete;
+
+  /// The underlying domain broker (authoritative MIBs; also serves
+  /// requests the edges proxy up).
+  BandwidthBroker& domain() { return bb_; }
+  const BandwidthBroker& domain() const { return bb_; }
+
+  /// Lease up to `amount` b/s on `path` to edge broker `edge`. Returns the
+  /// granted amount — `amount` when the path has that much residual, else
+  /// whatever is left (possibly 0). Leased bandwidth is reserved on every
+  /// link of the path in the central node MIB.
+  BitsPerSecond lease(const std::string& edge, PathId path,
+                      BitsPerSecond amount);
+  /// Return previously leased bandwidth.
+  void restore(const std::string& edge, PathId path, BitsPerSecond amount);
+
+  BitsPerSecond leased_to(const std::string& edge, PathId path) const;
+  BitsPerSecond total_leased() const;
+  std::uint64_t ledger_calls() const { return ledger_calls_; }
+
+ private:
+  BandwidthBroker bb_;
+  std::map<std::pair<std::string, PathId>, BitsPerSecond> ledger_;
+  std::uint64_t ledger_calls_ = 0;
+};
+
+/// A per-ingress admission front end holding leased quotas.
+class EdgeBroker {
+ public:
+  /// `chunk`: lease granularity (b/s). Larger chunks mean fewer central
+  /// contacts but coarser fragmentation.
+  EdgeBroker(std::string name, CentralBroker& central, BitsPerSecond chunk);
+
+  EdgeBroker(const EdgeBroker&) = delete;
+  EdgeBroker& operator=(const EdgeBroker&) = delete;
+
+  /// Per-flow admission. Rate-based-only paths are decided locally against
+  /// the leased quota (leasing more on demand); mixed paths are proxied to
+  /// the central broker.
+  Result<Reservation> request_service(const FlowServiceRequest& request);
+  Status release_service(FlowId flow);
+
+  const std::string& name() const { return name_; }
+  /// Requests decided purely from local state (no central interaction).
+  std::uint64_t local_decisions() const { return local_decisions_; }
+  /// Central interactions: leases, restores, and proxied requests.
+  std::uint64_t central_contacts() const { return central_contacts_; }
+  std::uint64_t admitted() const { return admitted_; }
+  std::uint64_t rejected() const { return rejected_; }
+  BitsPerSecond quota_held(PathId path) const;
+  BitsPerSecond quota_used(PathId path) const;
+
+ private:
+  struct PathQuota {
+    BitsPerSecond leased = 0.0;
+    BitsPerSecond used = 0.0;
+  };
+  struct LocalFlow {
+    PathId path = kInvalidPathId;
+    BitsPerSecond rate = 0.0;
+    bool proxied = false;  // lives in the central broker instead
+    FlowId central_flow = kInvalidFlowId;  // set when proxied
+  };
+
+  /// Shrink the held quota when it exceeds used + 2 chunks (hysteresis).
+  void maybe_restore(PathId path);
+
+  std::string name_;
+  CentralBroker& central_;
+  BitsPerSecond chunk_;
+  std::unordered_map<PathId, PathQuota> quotas_;
+  std::unordered_map<FlowId, LocalFlow> flows_;
+  FlowId next_local_id_ = 1;
+  std::uint64_t local_decisions_ = 0;
+  std::uint64_t central_contacts_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_CORE_HIERARCHICAL_H_

@@ -1,0 +1,213 @@
+#include "core/interdomain.h"
+
+#include <algorithm>
+
+#include "vtrs/delay_bounds.h"
+
+namespace qosbb {
+
+void InterDomainOrchestrator::add_domain(std::string name,
+                                         const DomainSpec& spec,
+                                         std::string entry,
+                                         std::string exit) {
+  for (const auto& d : domains_) {
+    QOSBB_REQUIRE(d.name != name, "add_domain: duplicate domain " + name);
+  }
+  Domain d;
+  d.name = std::move(name);
+  d.bb = std::make_unique<BandwidthBroker>(spec);
+  d.entry = std::move(entry);
+  d.exit = std::move(exit);
+  domains_.push_back(std::move(d));
+}
+
+InterDomainOrchestrator::Domain& InterDomainOrchestrator::domain_ref(
+    const std::string& name) {
+  for (auto& d : domains_) {
+    if (d.name == name) return d;
+  }
+  throw std::logic_error("InterDomainOrchestrator: unknown domain " + name);
+}
+
+const InterDomainOrchestrator::Domain& InterDomainOrchestrator::domain_ref(
+    const std::string& name) const {
+  for (const auto& d : domains_) {
+    if (d.name == name) return d;
+  }
+  throw std::logic_error("InterDomainOrchestrator: unknown domain " + name);
+}
+
+BandwidthBroker& InterDomainOrchestrator::domain(const std::string& name) {
+  return *domain_ref(name).bb;
+}
+
+Status InterDomainOrchestrator::provision_trunk(const std::string& name,
+                                                BitsPerSecond rate,
+                                                Bits sigma) {
+  Domain& d = domain_ref(name);
+  QOSBB_REQUIRE(!d.has_trunk, "provision_trunk: trunk already provisioned");
+  QOSBB_REQUIRE(rate > 0.0, "provision_trunk: rate must be positive");
+  const Bits l_max = d.bb->spec().l_max;
+  QOSBB_REQUIRE(sigma >= l_max, "provision_trunk: sigma below L_max");
+  // The trunk is a static aggregate pipe shaped at exactly its rate
+  // (P = ρ = rate): the transit BB reserves it once through the ordinary
+  // per-flow machinery, with a permissive delay requirement so the minimal
+  // (h+1)·L/r + D_tot bound is what comes back.
+  FlowServiceRequest req;
+  req.profile = TrafficProfile::make(sigma, rate, rate, l_max);
+  req.e2e_delay_req = 1e6;
+  req.ingress = d.entry;
+  req.egress = d.exit;
+  auto res = d.bb->request_service(req);
+  if (!res.is_ok()) return res.status();
+  d.has_trunk = true;
+  d.trunk_flow = res.value().flow;
+  d.trunk_rate = rate;
+  d.trunk_used = 0.0;
+  d.trunk_delay = res.value().e2e_bound;
+  return Status::ok();
+}
+
+Result<E2eReservation> InterDomainOrchestrator::request_service(
+    const TrafficProfile& profile, Seconds e2e_delay_req) {
+  QOSBB_REQUIRE(!domains_.empty(), "request_service: no domains");
+  Domain& src = domains_.front();
+  if (domains_.size() == 1) {
+    // Degenerate chain: plain intra-domain admission.
+    auto res = src.bb->request_service(
+        {profile, e2e_delay_req, src.entry, src.exit});
+    if (!res.is_ok()) return res.status();
+    const FlowId id = next_id_++;
+    flows_.emplace(id, E2eFlow{res.value().flow, kInvalidFlowId,
+                               res.value().params.rate});
+    E2eReservation out;
+    out.id = id;
+    out.rate = res.value().params.rate;
+    out.e2e_bound = res.value().e2e_bound;
+    out.source_leg = res.value().flow;
+    return out;
+  }
+  Domain& dst = domains_.back();
+
+  // Edge-leg geometry (v1: rate-based-only edge domains).
+  auto src_path = src.bb->provision_path(src.entry, src.exit);
+  auto dst_path = dst.bb->provision_path(dst.entry, dst.exit);
+  if (!src_path.is_ok()) return src_path.status();
+  if (!dst_path.is_ok()) return dst_path.status();
+  const PathRecord& src_rec = src.bb->paths().record(src_path.value());
+  const PathRecord& dst_rec = dst.bb->paths().record(dst_path.value());
+  if (src_rec.abstract.delay_based_count() != 0 ||
+      dst_rec.abstract.delay_based_count() != 0) {
+    return Status::rejected(
+        "inter-domain v1 requires rate-based-only edge domains");
+  }
+
+  // Fixed transit delay across the SLA trunks.
+  Seconds transit = 0.0;
+  for (std::size_t i = 1; i + 1 < domains_.size(); ++i) {
+    if (!domains_[i].has_trunk) {
+      return Status::failed_precondition("transit domain " +
+                                         domains_[i].name + " has no trunk");
+    }
+    transit += domains_[i].trunk_delay;
+  }
+
+  // Closed-form minimal rate. Both edge legs book the full shaping term
+  // (conservative: re-shaping at the destination ingress is bounded by the
+  // same worst case), so
+  //   d(r) = 2·T_on·(P−r)/r + (h1+h2+2)·L/r + D_tot,1 + D_tot,2 + transit.
+  const double t_on = profile.t_on();
+  const double h1 = src_rec.hop_count();
+  const double h2 = dst_rec.hop_count();
+  const double d_tot =
+      src_rec.d_tot() + dst_rec.d_tot() + transit;
+  const double denom = e2e_delay_req - d_tot + 2.0 * t_on;
+  if (denom <= 0.0) {
+    return Status::rejected("delay requirement below fixed chain latency");
+  }
+  const double numerator =
+      2.0 * t_on * profile.peak + (h1 + h2 + 2.0) * profile.l_max;
+  const BitsPerSecond rate = std::max(numerator / denom, profile.rho);
+  if (rate > profile.peak) {
+    return Status::rejected("no feasible rate: even the peak cannot meet " +
+                            std::to_string(e2e_delay_req) + " s");
+  }
+  // Trunk headroom on every transit domain.
+  for (std::size_t i = 1; i + 1 < domains_.size(); ++i) {
+    if (domains_[i].trunk_rate - domains_[i].trunk_used < rate - 1e-6) {
+      return Status::rejected("SLA trunk across " + domains_[i].name +
+                              " has insufficient headroom");
+    }
+  }
+
+  // Book the two edge legs at exactly this rate (their local minimal rate
+  // for the budget below is `rate` by construction).
+  const Seconds src_budget = e2e_delay_bound(src_rec.abstract, profile, rate,
+                                             0.0, profile.l_max) +
+                             1e-9;
+  auto src_res = src.bb->request_service(
+      {profile, src_budget, src.entry, src.exit});
+  if (!src_res.is_ok()) return src_res.status();
+  const Seconds dst_budget = e2e_delay_bound(dst_rec.abstract, profile, rate,
+                                             0.0, profile.l_max) +
+                             1e-9;
+  auto dst_res = dst.bb->request_service(
+      {profile, dst_budget, dst.entry, dst.exit});
+  if (!dst_res.is_ok()) {
+    Status undo = src.bb->release_service(src_res.value().flow);
+    QOSBB_REQUIRE(undo.is_ok(), "inter-domain rollback failed");
+    return dst_res.status();
+  }
+  for (std::size_t i = 1; i + 1 < domains_.size(); ++i) {
+    domains_[i].trunk_used += rate;
+  }
+
+  const FlowId id = next_id_++;
+  flows_.emplace(id, E2eFlow{src_res.value().flow, dst_res.value().flow,
+                             rate});
+  E2eReservation out;
+  out.id = id;
+  out.rate = rate;
+  out.e2e_bound =
+      src_res.value().e2e_bound + transit + dst_res.value().e2e_bound;
+  out.source_leg = src_res.value().flow;
+  out.destination_leg = dst_res.value().flow;
+  return out;
+}
+
+Status InterDomainOrchestrator::release_service(FlowId flow) {
+  auto it = flows_.find(flow);
+  if (it == flows_.end()) {
+    return Status::not_found("e2e flow " + std::to_string(flow));
+  }
+  const E2eFlow rec = it->second;
+  flows_.erase(it);
+  Status s1 = domains_.front().bb->release_service(rec.source_leg);
+  QOSBB_REQUIRE(s1.is_ok(), "inter-domain release: source leg");
+  if (rec.destination_leg != kInvalidFlowId) {
+    Status s2 = domains_.back().bb->release_service(rec.destination_leg);
+    QOSBB_REQUIRE(s2.is_ok(), "inter-domain release: destination leg");
+    for (std::size_t i = 1; i + 1 < domains_.size(); ++i) {
+      QOSBB_REQUIRE(domains_[i].trunk_used >= rec.rate - 1e-6,
+                    "trunk accounting underflow");
+      domains_[i].trunk_used =
+          std::max(0.0, domains_[i].trunk_used - rec.rate);
+    }
+  }
+  return Status::ok();
+}
+
+BitsPerSecond InterDomainOrchestrator::trunk_headroom(
+    const std::string& name) const {
+  const Domain& d = domain_ref(name);
+  QOSBB_REQUIRE(d.has_trunk, "trunk_headroom: no trunk in " + name);
+  return d.trunk_rate - d.trunk_used;
+}
+
+Seconds InterDomainOrchestrator::trunk_delay(const std::string& name) const {
+  const Domain& d = domain_ref(name);
+  QOSBB_REQUIRE(d.has_trunk, "trunk_delay: no trunk in " + name);
+  return d.trunk_delay;
+}
+
+}  // namespace qosbb

@@ -1,0 +1,109 @@
+// Inter-domain QoS reservation over SLA trunks.
+//
+// The paper confines its BB to a single domain and names "the problem of
+// inter-domain QoS reservation and service-level agreement [2, 7]" as an
+// open issue (Section 1). This module implements the standard two-tier
+// answer sketched by the DiffServ two-bit architecture the paper cites:
+//
+//   * Each domain keeps its own BandwidthBroker.
+//   * Across every TRANSIT domain, an **SLA trunk** is pre-provisioned: an
+//     aggregate reservation (rate R_sla between the domain's peering
+//     points) bought once via the transit BB's ordinary per-flow API. The
+//     trunk behaves like a static macroflow (Section 4 with no dynamics:
+//     fixed rate, so none of the §4.1 transients arise), and its
+//     e2e bound inside the transit domain is fixed at provisioning time.
+//   * An end-to-end flow is admitted by the InterDomainOrchestrator:
+//     per-flow admission in the source and destination domains, plus a
+//     headroom check (Σ r <= R_sla) on every trunk — no transit-core
+//     involvement per flow, which is the whole point.
+//
+// Delay budgeting: the flow is shaped once, at the source edge, and
+// re-spaced (one L/r packet term) at each subsequent domain ingress. With
+// rate-only edge-domain paths the end-to-end bound is the closed form
+//   d(r) = T_on·(P−r)/r + (h_src+1)·L/r + D_tot,src      (source domain)
+//        + Σ_trunks d_trunk                              (fixed)
+//        + (h_dst+1)·L/r + D_tot,dst                     (destination)
+// which is monotone decreasing in r, so the minimal feasible rate is a
+// closed-form inversion, exactly like Section 3.1. v1 scope: edge domains
+// must be rate-based-only (delay-based budget splitting across domains
+// needs inter-BB negotiation we do not model); trunks may cross any domain.
+
+#ifndef QOSBB_CORE_INTERDOMAIN_H_
+#define QOSBB_CORE_INTERDOMAIN_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/broker.h"
+
+namespace qosbb {
+
+/// An end-to-end, multi-domain reservation.
+struct E2eReservation {
+  FlowId id = kInvalidFlowId;
+  BitsPerSecond rate = 0.0;
+  Seconds e2e_bound = 0.0;
+  /// Per-domain flow ids for the source/destination legs (diagnostics).
+  FlowId source_leg = kInvalidFlowId;
+  FlowId destination_leg = kInvalidFlowId;
+};
+
+class InterDomainOrchestrator {
+ public:
+  /// Append a domain to the chain. `entry`/`exit` are its peering edge
+  /// nodes (entry of the first domain = the e2e ingress; exit of the last =
+  /// the e2e egress). Domains are traversed in insertion order.
+  void add_domain(std::string name, const DomainSpec& spec,
+                  std::string entry, std::string exit);
+
+  /// Pre-provision the SLA trunk across transit domain `name` (every
+  /// domain except the first and last needs one): an aggregate pipe of
+  /// `rate` b/s with burst `sigma` between its peering points. The trunk's
+  /// fixed transit delay bound is computed by the transit BB.
+  Status provision_trunk(const std::string& name, BitsPerSecond rate,
+                         Bits sigma);
+
+  /// End-to-end per-flow admission across the whole chain.
+  Result<E2eReservation> request_service(const TrafficProfile& profile,
+                                         Seconds e2e_delay_req);
+  Status release_service(FlowId flow);
+
+  std::size_t domain_count() const { return domains_.size(); }
+  BandwidthBroker& domain(const std::string& name);
+  /// Remaining trunk headroom across transit domain `name`.
+  BitsPerSecond trunk_headroom(const std::string& name) const;
+  Seconds trunk_delay(const std::string& name) const;
+  std::size_t flow_count() const { return flows_.size(); }
+
+ private:
+  struct Domain {
+    std::string name;
+    std::unique_ptr<BandwidthBroker> bb;
+    std::string entry;
+    std::string exit;
+    // Trunk state (transit domains only).
+    bool has_trunk = false;
+    FlowId trunk_flow = kInvalidFlowId;  ///< trunk's reservation in `bb`
+    BitsPerSecond trunk_rate = 0.0;
+    BitsPerSecond trunk_used = 0.0;
+    Seconds trunk_delay = 0.0;
+  };
+  struct E2eFlow {
+    FlowId source_leg;
+    FlowId destination_leg;
+    BitsPerSecond rate;
+  };
+
+  Domain& domain_ref(const std::string& name);
+  const Domain& domain_ref(const std::string& name) const;
+
+  std::vector<Domain> domains_;
+  std::unordered_map<FlowId, E2eFlow> flows_;
+  FlowId next_id_ = 1;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_CORE_INTERDOMAIN_H_

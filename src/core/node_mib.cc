@@ -1,0 +1,178 @@
+#include "core/node_mib.h"
+
+#include <algorithm>
+
+namespace qosbb {
+
+namespace {
+constexpr double kRateTolerance = 1e-6;  // b/s slack for float bookkeeping
+}
+
+LinkQosState::LinkQosState(std::string name, BitsPerSecond capacity,
+                           SchedPolicy policy, Seconds error_term,
+                           Seconds propagation_delay, Bits buffer_capacity)
+    : name_(std::move(name)),
+      capacity_(capacity),
+      policy_(policy),
+      error_term_(error_term),
+      propagation_delay_(propagation_delay),
+      buffer_capacity_(buffer_capacity) {
+  QOSBB_REQUIRE(capacity > 0.0, "LinkQosState: capacity must be positive");
+  QOSBB_REQUIRE(buffer_capacity > 0.0,
+                "LinkQosState: buffer capacity must be positive");
+}
+
+Status LinkQosState::reserve_buffer(Bits b) {
+  QOSBB_REQUIRE(b >= 0.0, "reserve_buffer: negative amount");
+  if (buffer_reserved_ + b > buffer_capacity_ + 1e-6) {
+    return Status::rejected("link " + name_ + ": buffer residual " +
+                            std::to_string(buffer_residual()) + " < " +
+                            std::to_string(b));
+  }
+  buffer_reserved_ += b;
+  return Status::ok();
+}
+
+void LinkQosState::release_buffer(Bits b) {
+  QOSBB_REQUIRE(b >= 0.0, "release_buffer: negative amount");
+  QOSBB_REQUIRE(buffer_reserved_ >= b - 1e-6,
+                "release_buffer: releasing more than reserved");
+  buffer_reserved_ = std::max(0.0, buffer_reserved_ - b);
+}
+
+bool LinkQosState::delay_based() const { return !is_rate_based(policy_); }
+
+Status LinkQosState::reserve(BitsPerSecond r) {
+  QOSBB_REQUIRE(r > 0.0, "LinkQosState::reserve: rate must be positive");
+  if (reserved_ + r > capacity_ + kRateTolerance) {
+    return Status::rejected("link " + name_ + ": residual " +
+                            std::to_string(residual()) + " < " +
+                            std::to_string(r));
+  }
+  reserved_ += r;
+  return Status::ok();
+}
+
+void LinkQosState::release(BitsPerSecond r) {
+  QOSBB_REQUIRE(r > 0.0, "LinkQosState::release: rate must be positive");
+  QOSBB_REQUIRE(reserved_ >= r - kRateTolerance,
+                "LinkQosState::release: releasing more than reserved");
+  reserved_ = std::max(0.0, reserved_ - r);
+}
+
+void LinkQosState::note_flow_removed() {
+  QOSBB_REQUIRE(flows_ > 0, "LinkQosState: flow count underflow");
+  --flows_;
+}
+
+void LinkQosState::add_edf_entry(BitsPerSecond r, Seconds d, Bits l_max) {
+  QOSBB_REQUIRE(delay_based(), "add_edf_entry on a rate-based link");
+  QOSBB_REQUIRE(r > 0.0 && d >= 0.0 && l_max > 0.0,
+                "add_edf_entry: bad entry");
+  EdfBucket& b = edf_[d];
+  b.sum_rate += r;
+  b.sum_l += l_max;
+  ++b.count;
+}
+
+void LinkQosState::remove_edf_entry(BitsPerSecond r, Seconds d, Bits l_max) {
+  auto it = edf_.find(d);
+  QOSBB_REQUIRE(it != edf_.end(), "remove_edf_entry: unknown delay knot");
+  EdfBucket& b = it->second;
+  QOSBB_REQUIRE(b.count > 0, "remove_edf_entry: empty bucket");
+  b.sum_rate -= r;
+  b.sum_l -= l_max;
+  --b.count;
+  if (b.count == 0) edf_.erase(it);
+}
+
+double LinkQosState::residual_service(Seconds t) const {
+  QOSBB_REQUIRE(t >= 0.0, "residual_service: negative time");
+  double demand = 0.0;
+  for (const auto& [d, b] : edf_) {
+    if (d > t) break;
+    demand += b.sum_rate * (t - d) + b.sum_l;
+  }
+  return capacity_ * t - demand;
+}
+
+std::vector<std::pair<Seconds, double>>
+LinkQosState::residual_service_at_knots() const {
+  std::vector<std::pair<Seconds, double>> out;
+  out.reserve(edf_.size());
+  double rate_sum = 0.0;   // Σ r_j over d_j <= current knot
+  double fixed_sum = 0.0;  // Σ (L_j − r_j·d_j)
+  for (const auto& [d, b] : edf_) {
+    rate_sum += b.sum_rate;
+    fixed_sum += b.sum_l - b.sum_rate * d;
+    // demand(d) = rate_sum·d + fixed_sum
+    out.emplace_back(d, capacity_ * d - (rate_sum * d + fixed_sum));
+  }
+  return out;
+}
+
+bool LinkQosState::edf_schedulable_with(BitsPerSecond r, Seconds d,
+                                        Bits l_max) const {
+  QOSBB_REQUIRE(delay_based(), "edf_schedulable_with on a rate-based link");
+  // Single ascending walk over the knots with running prefix sums — O(K),
+  // keeping the whole admission test within the paper's O(M) budget.
+  double rate_sum = 0.0;   // Σ r_j over knots <= current
+  double fixed_sum = 0.0;  // Σ (L_j − r_j·d_j) over knots <= current
+  bool own_checked = false;
+  for (const auto& [dk, b] : edf_) {
+    if (!own_checked && dk > d) {
+      // Own-deadline knot (eq. 5 at t = d): demand uses entries with
+      // d_j <= d, i.e. the prefix accumulated so far.
+      if (capacity_ * d - (rate_sum * d + fixed_sum) < l_max - 1e-6) {
+        return false;
+      }
+      own_checked = true;
+    }
+    rate_sum += b.sum_rate;
+    fixed_sum += b.sum_l - b.sum_rate * dk;
+    if (dk >= d) {
+      // Existing knot d^k >= d: residual there must absorb the new flow's
+      // demand r·(d^k − d) + L (eq. 8).
+      const double residual = capacity_ * dk - (rate_sum * dk + fixed_sum);
+      if (residual < r * (dk - d) + l_max - 1e-6) return false;
+    }
+  }
+  if (!own_checked) {
+    // d lies at or beyond the last knot: all entries contribute.
+    if (capacity_ * d - (rate_sum * d + fixed_sum) < l_max - 1e-6) {
+      return false;
+    }
+  }
+  // Slope condition (t -> infinity).
+  return rate_sum + r <= capacity_ + kRateTolerance;
+}
+
+NodeMib::NodeMib(const DomainSpec& spec) {
+  for (const auto& l : spec.links) {
+    const std::string key = l.from + "->" + l.to;
+    links_.emplace(key,
+                   LinkQosState(key, l.capacity, l.policy,
+                                spec.l_max / l.capacity, l.propagation_delay,
+                                l.buffer));
+  }
+}
+
+LinkQosState& NodeMib::link(const std::string& name) {
+  auto it = links_.find(name);
+  QOSBB_REQUIRE(it != links_.end(), "NodeMib: unknown link " + name);
+  return it->second;
+}
+
+const LinkQosState& NodeMib::link(const std::string& name) const {
+  auto it = links_.find(name);
+  QOSBB_REQUIRE(it != links_.end(), "NodeMib: unknown link " + name);
+  return it->second;
+}
+
+BitsPerSecond NodeMib::total_reserved() const {
+  BitsPerSecond sum = 0.0;
+  for (const auto& [name, link] : links_) sum += link.reserved();
+  return sum;
+}
+
+}  // namespace qosbb

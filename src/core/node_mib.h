@@ -1,0 +1,119 @@
+// Node QoS state information base (Section 2.2, item 2).
+//
+// For every outgoing link (scheduler) in the domain the BB records: the
+// bandwidth C_i, scheduler type (rate- or delay-based) and error term Ψ_i,
+// and the current QoS reservations. For delay-based (VT-EDF) schedulers the
+// MIB additionally keeps the multiset of ⟨r_j, d_j, L_j⟩ reservations, from
+// which the residual-service values S_i^k of Section 3.2 are computed:
+//   S_i^k = C_i·d^k − Σ_{j: d_j <= d^k} [r_j (d^k − d_j) + L_j].
+// Core routers hold NONE of this state — that is the paper's point.
+
+#ifndef QOSBB_CORE_NODE_MIB_H_
+#define QOSBB_CORE_NODE_MIB_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.h"
+#include "topo/fig8.h"
+#include "util/status.h"
+#include "util/units.h"
+
+namespace qosbb {
+
+/// QoS reservation state of one link (one scheduler).
+class LinkQosState {
+ public:
+  LinkQosState(std::string name, BitsPerSecond capacity, SchedPolicy policy,
+               Seconds error_term, Seconds propagation_delay,
+               Bits buffer_capacity);
+
+  const std::string& name() const { return name_; }
+  BitsPerSecond capacity() const { return capacity_; }
+  SchedPolicy policy() const { return policy_; }
+  bool delay_based() const;
+  Seconds error_term() const { return error_term_; }
+  Seconds propagation_delay() const { return propagation_delay_; }
+
+  BitsPerSecond reserved() const { return reserved_; }
+  BitsPerSecond residual() const { return capacity_ - reserved_; }
+  std::size_t flow_count() const { return flows_; }
+
+  /// Reserve `r` b/s (rate-based bookkeeping; also the Σr <= C slope
+  /// condition of VT-EDF). Fails if residual is insufficient. Pure
+  /// bandwidth accounting: flow counting is separate (note_flow_added)
+  /// because contingency grants adjust bandwidth several times per flow.
+  Status reserve(BitsPerSecond r);
+  void release(BitsPerSecond r);
+  void note_flow_added() { ++flows_; }
+  void note_flow_removed();
+
+  // --- Buffer accounting (Section 2.2 lists buffer capacity in the node
+  // MIB). The per-hop backlog bound of a reservation is linear in its
+  // rate (see per_hop_buffer_bound in vtrs/delay_bounds.h). ---
+  Bits buffer_capacity() const { return buffer_capacity_; }
+  Bits buffer_reserved() const { return buffer_reserved_; }
+  Bits buffer_residual() const { return buffer_capacity_ - buffer_reserved_; }
+  Status reserve_buffer(Bits b);
+  void release_buffer(Bits b);
+
+  /// Install / remove a delay-based reservation entry ⟨r, d, L⟩. Valid only
+  /// on delay-based links; `reserve`/`release` must be called separately
+  /// (the broker's bookkeeping keeps both in sync).
+  void add_edf_entry(BitsPerSecond r, Seconds d, Bits l_max);
+  void remove_edf_entry(BitsPerSecond r, Seconds d, Bits l_max);
+
+  /// Distinct delay parameters with aggregate demand per delay.
+  struct EdfBucket {
+    BitsPerSecond sum_rate = 0.0;
+    Bits sum_l = 0.0;
+    std::size_t count = 0;
+  };
+  const std::map<Seconds, EdfBucket>& edf_buckets() const { return edf_; }
+
+  /// Residual service R(t) = C·t − Σ_{d_j <= t}[r_j (t − d_j) + L_j].
+  double residual_service(Seconds t) const;
+  /// (d^k, S^k = R(d^k)) for every distinct delay d^k, ascending — one walk.
+  std::vector<std::pair<Seconds, double>> residual_service_at_knots() const;
+
+  /// Exact VT-EDF schedulability test (eq. 5) for the current entries plus
+  /// a hypothetical new entry ⟨r, d, L⟩. Checks every knot including d.
+  bool edf_schedulable_with(BitsPerSecond r, Seconds d, Bits l_max) const;
+
+ private:
+  std::string name_;
+  BitsPerSecond capacity_;
+  SchedPolicy policy_;
+  Seconds error_term_;
+  Seconds propagation_delay_;
+  Bits buffer_capacity_;
+  Bits buffer_reserved_ = 0.0;
+  BitsPerSecond reserved_ = 0.0;
+  std::size_t flows_ = 0;
+  std::map<Seconds, EdfBucket> edf_;
+};
+
+/// The node MIB: all links of the domain, keyed "from->to".
+class NodeMib {
+ public:
+  /// Populate from a domain spec (error terms Ψ = L^{P,max}/C).
+  explicit NodeMib(const DomainSpec& spec);
+
+  LinkQosState& link(const std::string& name);
+  const LinkQosState& link(const std::string& name) const;
+  bool has_link(const std::string& name) const { return links_.contains(name); }
+  std::size_t link_count() const { return links_.size(); }
+
+  /// Sum of reserved bandwidth across all links (diagnostics).
+  BitsPerSecond total_reserved() const;
+
+ private:
+  std::unordered_map<std::string, LinkQosState> links_;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_CORE_NODE_MIB_H_

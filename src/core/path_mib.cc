@@ -1,0 +1,61 @@
+#include "core/path_mib.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace qosbb {
+
+PathId PathMib::provision(const std::vector<std::string>& nodes) {
+  QOSBB_REQUIRE(nodes.size() >= 2, "PathMib::provision: need >= 2 nodes");
+  std::string node_key;
+  for (const auto& n : nodes) {
+    node_key += n;
+    node_key += '|';
+  }
+  if (auto it = by_nodes_.find(node_key); it != by_nodes_.end()) {
+    return it->second;
+  }
+  PathRecord rec;
+  rec.id = static_cast<PathId>(records_.size());
+  rec.nodes = nodes;
+  rec.abstract = path_abstract(spec_, nodes);
+  rec.l_path_max = spec_.l_max;
+  rec.link_names.reserve(nodes.size() - 1);
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    rec.link_names.push_back(nodes[i] + "->" + nodes[i + 1]);
+  }
+  by_nodes_.emplace(node_key, rec.id);
+  by_endpoints_[nodes.front() + "|" + nodes.back()].push_back(rec.id);
+  records_.push_back(std::move(rec));
+  return records_.back().id;
+}
+
+PathId PathMib::find(const std::string& ingress,
+                     const std::string& egress) const {
+  auto it = by_endpoints_.find(ingress + "|" + egress);
+  if (it == by_endpoints_.end() || it->second.empty()) return kInvalidPathId;
+  return it->second.front();
+}
+
+std::vector<PathId> PathMib::find_all(const std::string& ingress,
+                                      const std::string& egress) const {
+  auto it = by_endpoints_.find(ingress + "|" + egress);
+  return it == by_endpoints_.end() ? std::vector<PathId>{} : it->second;
+}
+
+const PathRecord& PathMib::record(PathId id) const {
+  QOSBB_REQUIRE(id >= 0 && id < static_cast<PathId>(records_.size()),
+                "PathMib: bad path id");
+  return records_[static_cast<std::size_t>(id)];
+}
+
+BitsPerSecond PathMib::min_residual(PathId id, const NodeMib& nodes) const {
+  const PathRecord& rec = record(id);
+  BitsPerSecond res = std::numeric_limits<BitsPerSecond>::infinity();
+  for (const auto& ln : rec.link_names) {
+    res = std::min(res, nodes.link(ln).residual());
+  }
+  return res;
+}
+
+}  // namespace qosbb

@@ -1,0 +1,66 @@
+// Path QoS state information base (Section 2.2, item 3).
+//
+// For each provisioned ingress–egress path the BB keeps the path-level QoS
+// parameters that make the admissibility test path-oriented: the hop count
+// h, the number of rate-based hops q, the accumulated error/propagation term
+// D_tot^P = Σ(Ψ_i + π_i), the path maximum packet size L^{P,max}, and the
+// minimal residual bandwidth C_res^P (derived from the node MIB).
+
+#ifndef QOSBB_CORE_PATH_MIB_H_
+#define QOSBB_CORE_PATH_MIB_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/node_mib.h"
+#include "core/types.h"
+#include "vtrs/delay_bounds.h"
+
+namespace qosbb {
+
+struct PathRecord {
+  PathId id = kInvalidPathId;
+  std::vector<std::string> nodes;       ///< [ingress, ..., egress]
+  std::vector<std::string> link_names;  ///< h entries, "from->to"
+  PathAbstract abstract;
+  Bits l_path_max = 0.0;  ///< L^{P,max}
+
+  int hop_count() const { return abstract.hop_count(); }
+  int rate_based_count() const { return abstract.rate_based_count(); }
+  Seconds d_tot() const { return abstract.total_error_and_prop(); }
+  const std::string& ingress() const { return nodes.front(); }
+  const std::string& egress() const { return nodes.back(); }
+};
+
+class PathMib {
+ public:
+  explicit PathMib(const DomainSpec& spec) : spec_(spec) {}
+
+  /// Provision (or return the already-provisioned) path along `nodes`.
+  /// Multiple distinct paths per ingress–egress pair are supported
+  /// (alternate routes for widest-path selection).
+  PathId provision(const std::vector<std::string>& nodes);
+  /// The first provisioned path from ingress to egress, or kInvalidPathId.
+  PathId find(const std::string& ingress, const std::string& egress) const;
+  /// Every provisioned path for the pair, in provisioning order.
+  std::vector<PathId> find_all(const std::string& ingress,
+                               const std::string& egress) const;
+
+  const PathRecord& record(PathId id) const;
+  std::size_t path_count() const { return records_.size(); }
+
+  /// C_res^P: minimal residual bandwidth along the path (Section 3.1),
+  /// evaluated against the current node MIB.
+  BitsPerSecond min_residual(PathId id, const NodeMib& nodes) const;
+
+ private:
+  const DomainSpec& spec_;
+  std::vector<PathRecord> records_;
+  std::unordered_map<std::string, std::vector<PathId>> by_endpoints_;
+  std::unordered_map<std::string, PathId> by_nodes_;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_CORE_PATH_MIB_H_

@@ -1,0 +1,74 @@
+// Path-oriented admission control for per-flow guaranteed services
+// (Section 3).
+//
+// Unlike hop-by-hop (RSVP-style) admission, these algorithms examine the
+// resource constraints of the ENTIRE path simultaneously against the BB's
+// path/node MIBs, and return the MINIMAL feasible reserved rate:
+//
+//  * admit_rate_only (§3.1) — rate-based-only paths. O(1) given the path
+//    parameters D_tot^P and C_res^P: feasible range
+//    R*_fea = [max{ρ, r_min}, min{P, C_res}] with
+//    r_min = [T_on·P + (h+1)·L] / [D_req − D_tot + T_on].
+//
+//  * admit_mixed (§3.2, Figure 4) — mixed rate/delay-based paths. Scans the
+//    distinct delay values d^1 < ... < d^M of flows at the path's
+//    delay-based (VT-EDF) schedulers from the right-most candidate interval
+//    leftwards, intersecting the end-to-end-feasibility rate range R_fea^m
+//    (eq. 10) with the schedulability rate range R_del^m (eq. 11). The
+//    monotonicity of the two ranges (Theorem 1) lets the scan stop early
+//    and guarantees the returned rate is globally minimal. We derive
+//    R_del^m from the exact VT-EDF constraints (eq. 8 plus the new flow's
+//    own-deadline knot) per delay-based hop, and re-validate the final
+//    ⟨r, d⟩ against eq. (5) exactly — defense in depth.
+
+#ifndef QOSBB_CORE_PERFLOW_ADMISSION_H_
+#define QOSBB_CORE_PERFLOW_ADMISSION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/node_mib.h"
+#include "core/path_mib.h"
+#include "core/types.h"
+
+namespace qosbb {
+
+/// The outcome of an admissibility test. No MIB state is modified by the
+/// test itself; bookkeeping is the broker's second phase (Section 2.2).
+struct AdmissionOutcome {
+  bool admitted = false;
+  RejectReason reason = RejectReason::kNone;
+  RateDelayPair params;     ///< minimal-rate reservation when admitted
+  Seconds e2e_bound = 0.0;  ///< resulting end-to-end delay bound (eq. 4)
+  int intervals_scanned = 0;  ///< Figure-4 loop iterations (diagnostics)
+  std::string detail;
+};
+
+/// Read-only view of one path's QoS state, assembled by the broker from the
+/// path and node MIBs at test time.
+struct PathView {
+  const PathRecord* record = nullptr;
+  BitsPerSecond c_res = 0.0;  ///< C_res^P
+  /// The path's delay-based links, in path order (empty on rate-only paths).
+  std::vector<const LinkQosState*> edf_links;
+  /// ALL links of the path in hop order (aligned with record->abstract.hops);
+  /// used for the per-hop buffer feasibility check.
+  std::vector<const LinkQosState*> links;
+};
+
+/// §3.1 test. Requires a path with no delay-based hops.
+AdmissionOutcome admit_rate_only(const PathView& view,
+                                 const TrafficProfile& profile,
+                                 Seconds d_req);
+
+/// §3.2 Figure-4 test. Requires at least one delay-based hop.
+AdmissionOutcome admit_mixed(const PathView& view,
+                             const TrafficProfile& profile, Seconds d_req);
+
+/// Dispatcher: picks the §3.1 or §3.2 test by path composition.
+AdmissionOutcome admit_per_flow(const PathView& view,
+                                const TrafficProfile& profile, Seconds d_req);
+
+}  // namespace qosbb
+
+#endif  // QOSBB_CORE_PERFLOW_ADMISSION_H_

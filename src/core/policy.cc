@@ -1,0 +1,41 @@
+#include "core/policy.h"
+
+namespace qosbb {
+
+void PolicyControl::set_ingress_rule(const std::string& ingress,
+                                     PolicyRule rule) {
+  ingress_rules_[ingress] = rule;
+}
+
+void PolicyControl::clear_ingress_rule(const std::string& ingress) {
+  ingress_rules_.erase(ingress);
+}
+
+const PolicyRule& PolicyControl::rule_for(const std::string& ingress) const {
+  auto it = ingress_rules_.find(ingress);
+  return it == ingress_rules_.end() ? default_rule_ : it->second;
+}
+
+Status PolicyControl::check(const FlowServiceRequest& request,
+                            std::size_t current_flows_from_ingress) const {
+  const PolicyRule& rule = rule_for(request.ingress);
+  if (rule.deny) {
+    return Status::rejected("policy: ingress " + request.ingress + " denied");
+  }
+  if (rule.max_flows && current_flows_from_ingress >= *rule.max_flows) {
+    return Status::rejected("policy: flow quota reached for " +
+                            request.ingress);
+  }
+  if (rule.max_peak_rate && request.profile.peak > *rule.max_peak_rate) {
+    return Status::rejected("policy: peak rate above ingress cap");
+  }
+  if (rule.max_burst && request.profile.sigma > *rule.max_burst) {
+    return Status::rejected("policy: burst size above ingress cap");
+  }
+  if (rule.min_delay_req && request.e2e_delay_req < *rule.min_delay_req) {
+    return Status::rejected("policy: delay requirement tighter than allowed");
+  }
+  return Status::ok();
+}
+
+}  // namespace qosbb

@@ -1,0 +1,54 @@
+// Policy control module (Section 2, Figure 1).
+//
+// The BB consults the policy information base before running any
+// admissibility test: a request failing policy is rejected immediately.
+// We implement a practical subset — per-ingress rules bounding flow counts,
+// peak rates, burst sizes, and the tightest delay requirement a customer may
+// ask for — with a domain-wide default.
+
+#ifndef QOSBB_CORE_POLICY_H_
+#define QOSBB_CORE_POLICY_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/types.h"
+#include "util/status.h"
+
+namespace qosbb {
+
+struct PolicyRule {
+  /// Maximum simultaneously admitted flows from this ingress.
+  std::optional<std::size_t> max_flows;
+  /// Maximum peak rate a single flow may declare.
+  std::optional<BitsPerSecond> max_peak_rate;
+  /// Maximum burst size a single flow may declare.
+  std::optional<Bits> max_burst;
+  /// Tightest (smallest) end-to-end delay requirement accepted.
+  std::optional<Seconds> min_delay_req;
+  /// Refuse everything from this ingress.
+  bool deny = false;
+};
+
+class PolicyControl {
+ public:
+  void set_default_rule(PolicyRule rule) { default_rule_ = rule; }
+  void set_ingress_rule(const std::string& ingress, PolicyRule rule);
+  void clear_ingress_rule(const std::string& ingress);
+
+  /// Policy verdict for a request given the ingress's current live flow
+  /// count. OK or kRejected.
+  Status check(const FlowServiceRequest& request,
+               std::size_t current_flows_from_ingress) const;
+
+ private:
+  const PolicyRule& rule_for(const std::string& ingress) const;
+
+  PolicyRule default_rule_;
+  std::unordered_map<std::string, PolicyRule> ingress_rules_;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_CORE_POLICY_H_

@@ -1,0 +1,295 @@
+// Broker state checkpoint / recovery (declared in broker.h).
+//
+// Footnote 2 of the paper argues that moving QoS control out of the routers
+// lets reliability be solved in the control plane alone; this file is that
+// argument made concrete: the broker's entire QoS state serializes into one
+// frame, and a replacement broker rebuilds every MIB from it — core routers
+// notice nothing, because they never held any of this state.
+//
+// Frame layout (wire.h primitives, kBrokerSnapshot envelope):
+//   u32 path_count      { str... nodes }            per provisioned path
+//   u32 perflow_count   { flow fields }             per per-flow record
+//   u32 class_count     { class fields }            per service class
+//   u32 macroflow_count { state + members }         per settled macroflow
+// Snapshot requires quiescence (no live contingency grants): transients
+// reference wall-clock timers that cannot be checkpointed consistently.
+
+#include <algorithm>
+
+#include "core/broker.h"
+#include "core/wire.h"
+
+namespace qosbb {
+namespace {
+
+void put_profile(WireWriter& w, const TrafficProfile& p) {
+  w.f64(p.sigma);
+  w.f64(p.rho);
+  w.f64(p.peak);
+  w.f64(p.l_max);
+}
+
+Result<TrafficProfile> get_profile(WireReader& r) {
+  auto sigma = r.f64();
+  auto rho = r.f64();
+  auto peak = r.f64();
+  auto l_max = r.f64();
+  for (const Status& s : {sigma.status(), rho.status(), peak.status(),
+                          l_max.status()}) {
+    if (!s.is_ok()) return s;
+  }
+  if (!(l_max.value() > 0.0) || sigma.value() < l_max.value() ||
+      !(rho.value() > 0.0) || peak.value() < rho.value()) {
+    return Status::invalid_argument("snapshot: corrupt traffic profile");
+  }
+  return TrafficProfile::make(sigma.value(), rho.value(), peak.value(),
+                              l_max.value());
+}
+
+void put_nodes(WireWriter& w, const std::vector<std::string>& nodes) {
+  w.u32(static_cast<std::uint32_t>(nodes.size()));
+  for (const auto& n : nodes) w.str(n);
+}
+
+Result<std::vector<std::string>> get_nodes(WireReader& r) {
+  auto count = r.u32();
+  if (!count.is_ok()) return count.status();
+  if (count.value() > 4096) {
+    return Status::invalid_argument("snapshot: absurd node count");
+  }
+  std::vector<std::string> nodes;
+  nodes.reserve(count.value());
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto n = r.str();
+    if (!n.is_ok()) return n.status();
+    nodes.push_back(n.value());
+  }
+  return nodes;
+}
+
+}  // namespace
+
+Result<std::vector<std::uint8_t>> BandwidthBroker::snapshot() const {
+  if (classes_.active_grants() != 0) {
+    return Status::failed_precondition(
+        "snapshot requires a quiescent broker (active contingency grants)");
+  }
+  WireWriter w;
+  // Paths (by id order; ids are dense).
+  w.u32(static_cast<std::uint32_t>(paths_.path_count()));
+  for (PathId id = 0; id < static_cast<PathId>(paths_.path_count()); ++id) {
+    put_nodes(w, paths_.record(id).nodes);
+  }
+  // Per-flow reservations (sorted by id for determinism).
+  std::vector<const FlowRecord*> per_flow;
+  std::vector<const FlowRecord*> micro;
+  for (const auto& [id, rec] : flows_.all()) {
+    (rec.kind == FlowKind::kPerFlow ? per_flow : micro).push_back(&rec);
+  }
+  auto by_id = [](const FlowRecord* a, const FlowRecord* b) {
+    return a->id < b->id;
+  };
+  std::sort(per_flow.begin(), per_flow.end(), by_id);
+  std::sort(micro.begin(), micro.end(), by_id);
+  w.u32(static_cast<std::uint32_t>(per_flow.size()));
+  for (const FlowRecord* rec : per_flow) {
+    w.i64(rec->id);
+    put_profile(w, rec->profile);
+    w.f64(rec->e2e_delay_req);
+    w.i64(rec->path);
+    w.f64(rec->reservation.rate);
+    w.f64(rec->reservation.delay);
+    w.f64(rec->admitted_at);
+    w.i64(rec->priority);
+  }
+  // Service classes.
+  w.u32(static_cast<std::uint32_t>(classes_.all_classes().size()));
+  for (const auto& [id, cls] : classes_.all_classes()) {
+    w.i64(cls.id);
+    w.f64(cls.e2e_delay);
+    w.f64(cls.delay_param);
+    w.str(cls.name);
+  }
+  // Macroflows with their member microflows.
+  w.u32(static_cast<std::uint32_t>(classes_.all_macroflows().size()));
+  for (const auto& [id, mf] : classes_.all_macroflows()) {
+    w.i64(mf.id);
+    w.i64(mf.service_class);
+    w.i64(mf.path);
+    put_profile(w, mf.aggregate);
+    w.f64(mf.base_rate);
+    w.f64(mf.core_bound_in_effect);
+    std::vector<const FlowRecord*> members;
+    for (const FlowRecord* rec : micro) {
+      if (rec->service_class == mf.service_class && rec->path == mf.path) {
+        members.push_back(rec);
+      }
+    }
+    w.u32(static_cast<std::uint32_t>(members.size()));
+    for (const FlowRecord* rec : members) {
+      w.i64(rec->id);
+      put_profile(w, rec->profile);
+      w.f64(rec->reservation.rate);
+      w.f64(rec->admitted_at);
+    }
+  }
+
+  WireWriter head;
+  head.u16(kWireMagic);
+  head.u8(kWireVersion);
+  head.u8(static_cast<std::uint8_t>(MessageType::kBrokerSnapshot));
+  head.u32(static_cast<std::uint32_t>(w.buffer().size()));
+  WireBuffer out = head.take();
+  const WireBuffer& body = w.buffer();
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+Result<std::unique_ptr<BandwidthBroker>> BandwidthBroker::restore(
+    const DomainSpec& spec, BrokerOptions options,
+    const std::vector<std::uint8_t>& frame) {
+  auto type = peek_type(frame);
+  if (!type.is_ok()) return type.status();
+  if (type.value() != MessageType::kBrokerSnapshot) {
+    return Status::invalid_argument("not a broker snapshot frame");
+  }
+  WireReader r(frame);
+  (void)r.u16();
+  (void)r.u8();
+  (void)r.u8();
+  auto body_len = r.u32();
+  if (!body_len.is_ok() ||
+      static_cast<std::size_t>(body_len.value()) + 8 != frame.size()) {
+    return Status::invalid_argument("snapshot length mismatch");
+  }
+
+  auto bb = std::make_unique<BandwidthBroker>(spec, options);
+
+  // Paths, in original id order (provision() assigns dense ids).
+  auto path_count = r.u32();
+  if (!path_count.is_ok()) return path_count.status();
+  for (std::uint32_t i = 0; i < path_count.value(); ++i) {
+    auto nodes = get_nodes(r);
+    if (!nodes.is_ok()) return nodes.status();
+    const PathId id = bb->paths_.provision(nodes.value());
+    if (id != static_cast<PathId>(i)) {
+      return Status::invalid_argument("snapshot: path id drift");
+    }
+  }
+  // Per-flow reservations.
+  auto pf_count = r.u32();
+  if (!pf_count.is_ok()) return pf_count.status();
+  for (std::uint32_t i = 0; i < pf_count.value(); ++i) {
+    auto id = r.i64();
+    auto profile = get_profile(r);
+    auto d_req = r.f64();
+    auto path = r.i64();
+    auto rate = r.f64();
+    auto delay = r.f64();
+    auto admitted_at = r.f64();
+    auto priority = r.i64();
+    for (const Status& s :
+         {id.status(), profile.status(), d_req.status(), path.status(),
+          rate.status(), delay.status(), admitted_at.status(),
+          priority.status()}) {
+      if (!s.is_ok()) return s;
+    }
+    if (path.value() < 0 ||
+        path.value() >= static_cast<PathId>(bb->paths_.path_count()) ||
+        !(rate.value() > 0.0) || delay.value() < 0.0) {
+      return Status::invalid_argument("snapshot: corrupt flow record");
+    }
+    const PathRecord& rec = bb->paths_.record(path.value());
+    FlowRecord flow;
+    flow.id = id.value();
+    flow.kind = FlowKind::kPerFlow;
+    flow.profile = profile.value();
+    flow.e2e_delay_req = d_req.value();
+    flow.path = path.value();
+    flow.reservation = RateDelayPair{rate.value(), delay.value()};
+    flow.admitted_at = admitted_at.value();
+    flow.priority = static_cast<FlowPriority>(priority.value());
+    bb->book_reservation(rec, flow.reservation, flow.profile);
+    bb->flows_.add(flow);
+    bb->flows_.bump_next_id(flow.id);
+    ++bb->ingress_flows_[rec.ingress()];
+  }
+  // Service classes.
+  auto cls_count = r.u32();
+  if (!cls_count.is_ok()) return cls_count.status();
+  for (std::uint32_t i = 0; i < cls_count.value(); ++i) {
+    auto id = r.i64();
+    auto e2e = r.f64();
+    auto cd = r.f64();
+    auto name = r.str();
+    for (const Status& s :
+         {id.status(), e2e.status(), cd.status(), name.status()}) {
+      if (!s.is_ok()) return s;
+    }
+    bb->classes_.restore_class(
+        ServiceClass{id.value(), e2e.value(), cd.value(), name.value()});
+  }
+  // Macroflows.
+  auto mf_count = r.u32();
+  if (!mf_count.is_ok()) return mf_count.status();
+  for (std::uint32_t i = 0; i < mf_count.value(); ++i) {
+    auto id = r.i64();
+    auto cls = r.i64();
+    auto path = r.i64();
+    auto aggregate = get_profile(r);
+    auto base = r.f64();
+    auto core_bound = r.f64();
+    auto member_count = r.u32();
+    for (const Status& s :
+         {id.status(), cls.status(), path.status(), aggregate.status(),
+          base.status(), core_bound.status(), member_count.status()}) {
+      if (!s.is_ok()) return s;
+    }
+    if (member_count.value() > 1 << 20) {
+      return Status::invalid_argument("snapshot: absurd member count");
+    }
+    MacroflowState state;
+    state.id = id.value();
+    state.service_class = cls.value();
+    state.path = path.value();
+    state.aggregate = aggregate.value();
+    state.microflows = static_cast<int>(member_count.value());
+    state.base_rate = base.value();
+    state.core_bound_in_effect = core_bound.value();
+    std::vector<FlowRecord> members;
+    members.reserve(member_count.value());
+    const Seconds class_delay =
+        bb->classes_.service_class(cls.value()).e2e_delay;
+    for (std::uint32_t k = 0; k < member_count.value(); ++k) {
+      auto mid = r.i64();
+      auto profile = get_profile(r);
+      auto rate = r.f64();
+      auto admitted_at = r.f64();
+      for (const Status& s : {mid.status(), profile.status(), rate.status(),
+                              admitted_at.status()}) {
+        if (!s.is_ok()) return s;
+      }
+      FlowRecord rec;
+      rec.id = mid.value();
+      rec.kind = FlowKind::kMicroflow;
+      rec.profile = profile.value();
+      rec.e2e_delay_req = class_delay;
+      rec.path = path.value();
+      rec.reservation =
+          RateDelayPair{rate.value(),
+                        bb->classes_.service_class(cls.value()).delay_param};
+      rec.service_class = cls.value();
+      rec.admitted_at = admitted_at.value();
+      bb->flows_.bump_next_id(rec.id);
+      members.push_back(std::move(rec));
+    }
+    bb->flows_.bump_next_id(state.id);
+    bb->classes_.restore_macroflow(state, members);
+  }
+  if (!r.exhausted()) {
+    return Status::invalid_argument("snapshot: trailing bytes");
+  }
+  return bb;
+}
+
+}  // namespace qosbb

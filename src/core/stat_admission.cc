@@ -1,0 +1,100 @@
+#include "core/stat_admission.h"
+
+#include <cmath>
+
+#include "topo/routing.h"
+
+namespace qosbb {
+
+StatisticalAdmission::StatisticalAdmission(const DomainSpec& spec,
+                                           double epsilon)
+    : spec_(spec),
+      graph_(spec_.to_graph()),
+      paths_(spec_),
+      epsilon_(epsilon) {
+  QOSBB_REQUIRE(epsilon > 0.0 && epsilon < 1.0,
+                "StatisticalAdmission: epsilon outside (0, 1)");
+  for (const auto& l : spec_.links) {
+    StatLinkState s;
+    s.capacity = l.capacity;
+    links_.emplace(l.from + "->" + l.to, s);
+  }
+}
+
+double StatisticalAdmission::headroom(double sum_peak_sq, double epsilon) {
+  QOSBB_REQUIRE(sum_peak_sq >= 0.0, "headroom: negative Σ P²");
+  return std::sqrt(std::log(1.0 / epsilon) * sum_peak_sq / 2.0);
+}
+
+const StatLinkState& StatisticalAdmission::link_state(
+    const std::string& link_name) const {
+  auto it = links_.find(link_name);
+  QOSBB_REQUIRE(it != links_.end(),
+                "StatisticalAdmission: unknown link " + link_name);
+  return it->second;
+}
+
+double StatisticalAdmission::effective_bandwidth(
+    const std::string& link_name) const {
+  const StatLinkState& s = link_state(link_name);
+  return s.sum_mean + headroom(s.sum_peak_sq, epsilon_);
+}
+
+Result<StatReservation> StatisticalAdmission::request_service(
+    const TrafficProfile& profile, const std::string& ingress,
+    const std::string& egress) {
+  PathId path = paths_.find(ingress, egress);
+  if (path == kInvalidPathId) {
+    auto route = shortest_path(graph_, ingress, egress);
+    if (!route.is_ok()) return route.status();
+    path = paths_.provision(route.value());
+  }
+  const PathRecord& rec = paths_.record(path);
+  // Probabilistic capacity test on every link of the path.
+  for (const auto& ln : rec.link_names) {
+    const StatLinkState& s = link_state(ln);
+    const double mean = s.sum_mean + profile.rho;
+    const double peak_sq = s.sum_peak_sq + profile.peak * profile.peak;
+    if (mean + headroom(peak_sq, epsilon_) > s.capacity + 1e-6) {
+      return Status::rejected("link " + ln +
+                              ": overflow probability would exceed epsilon");
+    }
+  }
+  // Bookkeeping.
+  for (const auto& ln : rec.link_names) {
+    StatLinkState& s = links_.at(ln);
+    s.sum_mean += profile.rho;
+    s.sum_peak_sq += profile.peak * profile.peak;
+    ++s.flows;
+  }
+  const FlowId id = next_id_++;
+  flows_.emplace(id, StatFlow{profile, path});
+  StatReservation out;
+  out.flow = id;
+  out.path = path;
+  out.mean_rate = profile.rho;
+  return out;
+}
+
+Status StatisticalAdmission::release_service(FlowId flow) {
+  auto it = flows_.find(flow);
+  if (it == flows_.end()) {
+    return Status::not_found("stat flow " + std::to_string(flow));
+  }
+  const StatFlow rec = it->second;
+  flows_.erase(it);
+  for (const auto& ln : paths_.record(rec.path).link_names) {
+    StatLinkState& s = links_.at(ln);
+    QOSBB_REQUIRE(s.flows > 0, "stat release: flow count underflow");
+    s.sum_mean -= rec.profile.rho;
+    s.sum_peak_sq -= rec.profile.peak * rec.profile.peak;
+    --s.flows;
+    if (s.flows == 0) {
+      s.sum_mean = 0.0;
+      s.sum_peak_sq = 0.0;
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace qosbb

@@ -1,0 +1,92 @@
+// Statistical guaranteed service — the "statistical and other forms of QoS
+// guarantees" extension the paper leaves as future work (Section 6).
+//
+// Deterministic VTRS admission reserves at least the sustained rate ρ^j per
+// flow, so a link of capacity C carries at most C/ρ flows no matter how
+// bursty they are. When flows are independent on–off sources (instantaneous
+// rate R_j ∈ [0, P^j], mean m_j = ρ^j), the BB can instead enforce a
+// PROBABILISTIC capacity constraint
+//   P{ Σ_j R_j > C } <= ε
+// using the Hoeffding bound for sums of independent bounded variables:
+//   P{ Σ R_j − Σ m_j >= t } <= exp(−2 t² / Σ (P^j)²),
+// giving the admission test (per link of the path)
+//   Σ m_j + sqrt( ln(1/ε) · Σ (P^j)² / 2 ) <= C.
+// The sqrt term is the statistical-multiplexing headroom: it grows like
+// sqrt(n), not n, so utilization approaches Σm/C = 1 as flows get smaller
+// relative to C — the classic effective-bandwidth gain.
+//
+// The guarantee is correspondingly weaker: delays are bounded only while
+// the aggregate stays below C, so the per-flow VTRS delay bound holds with
+// probability >= 1 − ε per link rather than deterministically.
+// bench_statistical measures the realized overflow probability against ε
+// by Monte-Carlo over the stationary on–off states.
+
+#ifndef QOSBB_CORE_STAT_ADMISSION_H_
+#define QOSBB_CORE_STAT_ADMISSION_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "core/path_mib.h"
+#include "core/types.h"
+#include "topo/graph.h"
+
+namespace qosbb {
+
+/// Per-link state of the statistical admission test.
+struct StatLinkState {
+  double capacity = 0.0;     ///< C (b/s)
+  double sum_mean = 0.0;     ///< Σ m_j (b/s)
+  double sum_peak_sq = 0.0;  ///< Σ (P^j)² ((b/s)²)
+  std::size_t flows = 0;
+};
+
+struct StatReservation {
+  FlowId flow = kInvalidFlowId;
+  PathId path = kInvalidPathId;
+  /// The flow's share of the probabilistic capacity: its mean rate (the
+  /// sqrt headroom is shared, not attributed per flow).
+  BitsPerSecond mean_rate = 0.0;
+};
+
+class StatisticalAdmission {
+ public:
+  /// `epsilon`: per-link overflow probability target, in (0, 1).
+  StatisticalAdmission(const DomainSpec& spec, double epsilon);
+
+  StatisticalAdmission(const StatisticalAdmission&) = delete;
+  StatisticalAdmission& operator=(const StatisticalAdmission&) = delete;
+
+  /// Admit `profile` between the given edge nodes iff every link of the
+  /// min-hop path keeps P{Σ R_j > C} <= ε with the flow added.
+  Result<StatReservation> request_service(const TrafficProfile& profile,
+                                          const std::string& ingress,
+                                          const std::string& egress);
+  Status release_service(FlowId flow);
+
+  double epsilon() const { return epsilon_; }
+  const StatLinkState& link_state(const std::string& link_name) const;
+  /// Σm + headroom for the link with the flow mix it currently carries.
+  double effective_bandwidth(const std::string& link_name) const;
+  /// The Hoeffding headroom sqrt(ln(1/ε)·Σ P² / 2) for a given state.
+  static double headroom(double sum_peak_sq, double epsilon);
+  std::size_t flow_count() const { return flows_.size(); }
+
+ private:
+  struct StatFlow {
+    TrafficProfile profile;
+    PathId path;
+  };
+
+  DomainSpec spec_;
+  Graph graph_;
+  PathMib paths_;
+  double epsilon_;
+  std::unordered_map<std::string, StatLinkState> links_;
+  std::unordered_map<FlowId, StatFlow> flows_;
+  FlowId next_id_ = 1;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_CORE_STAT_ADMISSION_H_

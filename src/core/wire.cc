@@ -1,0 +1,361 @@
+#include "core/wire.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+namespace qosbb {
+namespace {
+
+/// Header: magic(u16) version(u8) type(u8) body_len(u32).
+constexpr std::size_t kHeaderSize = 8;
+
+WireBuffer finish(MessageType type, WireWriter body) {
+  WireWriter head;
+  head.u16(kWireMagic);
+  head.u8(kWireVersion);
+  head.u8(static_cast<std::uint8_t>(type));
+  head.u32(static_cast<std::uint32_t>(body.buffer().size()));
+  WireBuffer out = head.take();
+  const WireBuffer& b = body.buffer();
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+/// Validates the frame and returns a reader positioned at the body.
+Result<WireReader> open_body(const WireBuffer& buffer,
+                             MessageType expected) {
+  if (buffer.size() < kHeaderSize) {
+    return Status::invalid_argument("frame shorter than header");
+  }
+  WireReader head(buffer);
+  auto magic = head.u16();
+  auto version = head.u8();
+  auto type = head.u8();
+  auto body_len = head.u32();
+  if (!magic.is_ok() || magic.value() != kWireMagic) {
+    return Status::invalid_argument("bad magic");
+  }
+  if (!version.is_ok() || version.value() != kWireVersion) {
+    return Status::invalid_argument("unsupported version");
+  }
+  if (!type.is_ok() ||
+      type.value() != static_cast<std::uint8_t>(expected)) {
+    return Status::invalid_argument("unexpected message type");
+  }
+  if (!body_len.is_ok() ||
+      static_cast<std::size_t>(body_len.value()) + kHeaderSize !=
+          buffer.size()) {
+    return Status::invalid_argument("body length mismatch");
+  }
+  WireReader body(buffer);
+  // Skip the header (reads cannot fail: checked above).
+  (void)body.u16();
+  (void)body.u8();
+  (void)body.u8();
+  (void)body.u32();
+  return body;
+}
+
+Status check_rate(double v, const char* field) {
+  if (!(v > 0.0) || !std::isfinite(v)) {
+    return Status::invalid_argument(std::string(field) +
+                                    " must be positive and finite");
+  }
+  return Status::ok();
+}
+
+Status check_nonneg(double v, const char* field) {
+  if (v < 0.0 || !std::isfinite(v)) {
+    return Status::invalid_argument(std::string(field) +
+                                    " must be non-negative and finite");
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+// ---- WireWriter ----
+
+void WireWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void WireWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void WireWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void WireWriter::i64(std::int64_t v) {
+  u64(static_cast<std::uint64_t>(v));
+}
+
+void WireWriter::f64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void WireWriter::str(const std::string& v) {
+  const std::size_t n = std::min<std::size_t>(v.size(), 255);
+  u8(static_cast<std::uint8_t>(n));
+  buf_.insert(buf_.end(), v.begin(), v.begin() + static_cast<long>(n));
+}
+
+// ---- WireReader ----
+
+Result<std::uint8_t> WireReader::u8() {
+  if (remaining() < 1) return Status::invalid_argument("truncated u8");
+  return buf_[pos_++];
+}
+
+Result<std::uint16_t> WireReader::u16() {
+  if (remaining() < 2) return Status::invalid_argument("truncated u16");
+  std::uint16_t v = static_cast<std::uint16_t>(buf_[pos_]) |
+                    static_cast<std::uint16_t>(buf_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+Result<std::uint32_t> WireReader::u32() {
+  if (remaining() < 4) return Status::invalid_argument("truncated u32");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(buf_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<std::uint64_t> WireReader::u64() {
+  if (remaining() < 8) return Status::invalid_argument("truncated u64");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(buf_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<std::int64_t> WireReader::i64() {
+  auto v = u64();
+  if (!v.is_ok()) return v.status();
+  return static_cast<std::int64_t>(v.value());
+}
+
+Result<double> WireReader::f64() {
+  auto bits = u64();
+  if (!bits.is_ok()) return bits.status();
+  double v;
+  std::uint64_t raw = bits.value();
+  std::memcpy(&v, &raw, sizeof(v));
+  if (std::isnan(v) || std::isinf(v)) {
+    return Status::invalid_argument("non-finite float on the wire");
+  }
+  return v;
+}
+
+Result<std::string> WireReader::str() {
+  auto n = u8();
+  if (!n.is_ok()) return n.status();
+  if (remaining() < n.value()) {
+    return Status::invalid_argument("truncated string");
+  }
+  std::string s(reinterpret_cast<const char*>(&buf_[pos_]), n.value());
+  pos_ += n.value();
+  return s;
+}
+
+// ---- Messages ----
+
+WireBuffer encode(const FlowServiceRequest& msg) {
+  WireWriter w;
+  w.f64(msg.profile.sigma);
+  w.f64(msg.profile.rho);
+  w.f64(msg.profile.peak);
+  w.f64(msg.profile.l_max);
+  w.f64(msg.e2e_delay_req);
+  w.str(msg.ingress);
+  w.str(msg.egress);
+  return finish(MessageType::kFlowServiceRequest, std::move(w));
+}
+
+Result<FlowServiceRequest> decode_flow_service_request(
+    const WireBuffer& buffer) {
+  auto body = open_body(buffer, MessageType::kFlowServiceRequest);
+  if (!body.is_ok()) return body.status();
+  WireReader& r = body.value();
+  auto sigma = r.f64();
+  auto rho = r.f64();
+  auto peak = r.f64();
+  auto l_max = r.f64();
+  auto d_req = r.f64();
+  auto ingress = r.str();
+  auto egress = r.str();
+  for (const Status& s :
+       {sigma.status(), rho.status(), peak.status(), l_max.status(),
+        d_req.status(), ingress.status(), egress.status()}) {
+    if (!s.is_ok()) return s;
+  }
+  if (!r.exhausted()) return Status::invalid_argument("trailing bytes");
+  // Semantic validation: a hostile peer must not be able to smuggle a
+  // profile that violates TrafficProfile's invariants into the broker
+  // (TrafficProfile::make throws on contract violations; here they are
+  // input errors, so pre-check).
+  if (Status s = check_rate(rho.value(), "rho"); !s.is_ok()) return s;
+  if (Status s = check_rate(l_max.value(), "l_max"); !s.is_ok()) return s;
+  if (Status s = check_nonneg(d_req.value(), "delay requirement"); !s.is_ok())
+    return s;
+  if (sigma.value() < l_max.value() || peak.value() < rho.value() ||
+      !std::isfinite(sigma.value()) || !std::isfinite(peak.value())) {
+    return Status::invalid_argument("profile violates sigma>=L, P>=rho");
+  }
+  FlowServiceRequest out;
+  out.profile = TrafficProfile::make(sigma.value(), rho.value(),
+                                     peak.value(), l_max.value());
+  out.e2e_delay_req = d_req.value();
+  out.ingress = ingress.value();
+  out.egress = egress.value();
+  return out;
+}
+
+WireBuffer encode(const Reservation& msg) {
+  WireWriter w;
+  w.i64(msg.flow);
+  w.i64(msg.path);
+  w.f64(msg.params.rate);
+  w.f64(msg.params.delay);
+  w.f64(msg.e2e_bound);
+  return finish(MessageType::kReservationReply, std::move(w));
+}
+
+Result<Reservation> decode_reservation(const WireBuffer& buffer) {
+  auto body = open_body(buffer, MessageType::kReservationReply);
+  if (!body.is_ok()) return body.status();
+  WireReader& r = body.value();
+  auto flow = r.i64();
+  auto path = r.i64();
+  auto rate = r.f64();
+  auto delay = r.f64();
+  auto bound = r.f64();
+  for (const Status& s : {flow.status(), path.status(), rate.status(),
+                          delay.status(), bound.status()}) {
+    if (!s.is_ok()) return s;
+  }
+  if (!r.exhausted()) return Status::invalid_argument("trailing bytes");
+  if (Status s = check_rate(rate.value(), "rate"); !s.is_ok()) return s;
+  if (Status s = check_nonneg(delay.value(), "delay"); !s.is_ok()) return s;
+  Reservation out;
+  out.flow = flow.value();
+  out.path = path.value();
+  out.params = RateDelayPair{rate.value(), delay.value()};
+  out.e2e_bound = bound.value();
+  return out;
+}
+
+WireBuffer encode(const RejectReply& msg) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(msg.reason));
+  w.str(msg.detail);
+  return finish(MessageType::kRejectReply, std::move(w));
+}
+
+Result<RejectReply> decode_reject_reply(const WireBuffer& buffer) {
+  auto body = open_body(buffer, MessageType::kRejectReply);
+  if (!body.is_ok()) return body.status();
+  WireReader& r = body.value();
+  auto reason = r.u8();
+  auto detail = r.str();
+  if (!reason.is_ok()) return reason.status();
+  if (!detail.is_ok()) return detail.status();
+  if (!r.exhausted()) return Status::invalid_argument("trailing bytes");
+  if (reason.value() >
+      static_cast<std::uint8_t>(RejectReason::kInsufficientBuffer)) {
+    return Status::invalid_argument("unknown reject reason");
+  }
+  RejectReply out;
+  out.reason = static_cast<RejectReason>(reason.value());
+  out.detail = detail.value();
+  return out;
+}
+
+WireBuffer encode(const EdgeConditionerConfig& msg) {
+  WireWriter w;
+  w.i64(msg.flow);
+  w.f64(msg.rate);
+  w.f64(msg.delay_param);
+  return finish(MessageType::kEdgeConditionerConfig, std::move(w));
+}
+
+Result<EdgeConditionerConfig> decode_edge_conditioner_config(
+    const WireBuffer& buffer) {
+  auto body = open_body(buffer, MessageType::kEdgeConditionerConfig);
+  if (!body.is_ok()) return body.status();
+  WireReader& r = body.value();
+  auto flow = r.i64();
+  auto rate = r.f64();
+  auto delay = r.f64();
+  for (const Status& s : {flow.status(), rate.status(), delay.status()}) {
+    if (!s.is_ok()) return s;
+  }
+  if (!r.exhausted()) return Status::invalid_argument("trailing bytes");
+  if (Status s = check_rate(rate.value(), "rate"); !s.is_ok()) return s;
+  if (Status s = check_nonneg(delay.value(), "delay"); !s.is_ok()) return s;
+  EdgeConditionerConfig out;
+  out.flow = flow.value();
+  out.rate = rate.value();
+  out.delay_param = delay.value();
+  return out;
+}
+
+WireBuffer encode(const TeardownRequest& msg) {
+  WireWriter w;
+  w.i64(msg.flow);
+  return finish(MessageType::kTeardownRequest, std::move(w));
+}
+
+Result<TeardownRequest> decode_teardown_request(const WireBuffer& buffer) {
+  auto body = open_body(buffer, MessageType::kTeardownRequest);
+  if (!body.is_ok()) return body.status();
+  WireReader& r = body.value();
+  auto flow = r.i64();
+  if (!flow.is_ok()) return flow.status();
+  if (!r.exhausted()) return Status::invalid_argument("trailing bytes");
+  return TeardownRequest{flow.value()};
+}
+
+Result<MessageType> peek_type(const WireBuffer& buffer) {
+  if (buffer.size() < kHeaderSize) {
+    return Status::invalid_argument("frame shorter than header");
+  }
+  WireReader head(buffer);
+  auto magic = head.u16();
+  auto version = head.u8();
+  auto type = head.u8();
+  if (!magic.is_ok() || magic.value() != kWireMagic) {
+    return Status::invalid_argument("bad magic");
+  }
+  if (!version.is_ok() || version.value() != kWireVersion) {
+    return Status::invalid_argument("unsupported version");
+  }
+  if (!type.is_ok() || type.value() < 1 ||
+      type.value() > static_cast<std::uint8_t>(kMaxMessageType)) {
+    return Status::invalid_argument("unknown message type");
+  }
+  return static_cast<MessageType>(type.value());
+}
+
+}  // namespace qosbb

@@ -1,0 +1,117 @@
+// Binary wire format for the BB's signaling messages.
+//
+// In a deployment the ingress routers talk to the bandwidth broker over a
+// protocol such as COPS (Section 2.2: the BB "will also pass (using, e.g.,
+// COPS) the QoS reservation information ... to the ingress router"). This
+// module defines that exchange's payload encoding:
+//
+//   message  := magic(u16) version(u8) type(u8) body_len(u32) body
+//   body     := message-specific fixed-layout fields (little-endian)
+//
+// Encoding never fails; decoding is hardened against untrusted input —
+// every read is bounds-checked and returns a Status instead of reading out
+// of bounds, throwing, or trusting embedded lengths. Floating-point fields
+// are validated (finite, non-negative where the domain demands it) before a
+// decoded message is handed to the control plane.
+
+#ifndef QOSBB_CORE_WIRE_H_
+#define QOSBB_CORE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "util/status.h"
+
+namespace qosbb {
+
+using WireBuffer = std::vector<std::uint8_t>;
+
+constexpr std::uint16_t kWireMagic = 0x51B2;  // "QB"
+constexpr std::uint8_t kWireVersion = 1;
+
+enum class MessageType : std::uint8_t {
+  kFlowServiceRequest = 1,  // ingress -> BB
+  kReservationReply = 2,    // BB -> ingress (admitted)
+  kRejectReply = 3,         // BB -> ingress (rejected)
+  kEdgeConditionerConfig = 4,  // BB -> edge conditioner
+  kTeardownRequest = 5,     // ingress -> BB
+  kBrokerSnapshot = 6,      // BB state checkpoint (crash recovery)
+};
+constexpr MessageType kMaxMessageType = MessageType::kBrokerSnapshot;
+
+/// Reject reply payload.
+struct RejectReply {
+  RejectReason reason = RejectReason::kNone;
+  std::string detail;  // truncated to 255 bytes on the wire
+};
+
+/// Teardown payload.
+struct TeardownRequest {
+  FlowId flow = kInvalidFlowId;
+};
+
+// ---- Encoding (infallible) ----
+WireBuffer encode(const FlowServiceRequest& msg);
+WireBuffer encode(const Reservation& msg);
+WireBuffer encode(const RejectReply& msg);
+WireBuffer encode(const EdgeConditionerConfig& msg);
+WireBuffer encode(const TeardownRequest& msg);
+
+// ---- Decoding (hardened) ----
+/// Type of a well-formed frame without decoding the body.
+Result<MessageType> peek_type(const WireBuffer& buffer);
+
+Result<FlowServiceRequest> decode_flow_service_request(
+    const WireBuffer& buffer);
+Result<Reservation> decode_reservation(const WireBuffer& buffer);
+Result<RejectReply> decode_reject_reply(const WireBuffer& buffer);
+Result<EdgeConditionerConfig> decode_edge_conditioner_config(
+    const WireBuffer& buffer);
+Result<TeardownRequest> decode_teardown_request(const WireBuffer& buffer);
+
+/// Low-level cursor primitives (exposed for tests and for extending the
+/// protocol). All reads are bounds-checked.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  /// Length-prefixed (u8) string, truncated to 255 bytes.
+  void str(const std::string& v);
+
+  const WireBuffer& buffer() const { return buf_; }
+  WireBuffer take() { return std::move(buf_); }
+
+ private:
+  WireBuffer buf_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(const WireBuffer& buffer) : buf_(buffer) {}
+
+  Result<std::uint8_t> u8();
+  Result<std::uint16_t> u16();
+  Result<std::uint32_t> u32();
+  Result<std::uint64_t> u64();
+  Result<std::int64_t> i64();
+  /// Rejects NaN/Inf — wire floats must be finite.
+  Result<double> f64();
+  Result<std::string> str();
+
+  std::size_t remaining() const { return buf_.size() - pos_; }
+  bool exhausted() const { return pos_ == buf_.size(); }
+
+ private:
+  const WireBuffer& buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_CORE_WIRE_H_

@@ -1,0 +1,32 @@
+#include "flowsim/blocking.h"
+
+#include "util/stats.h"
+
+namespace qosbb {
+
+std::vector<BlockingPoint> blocking_sweep(const BlockingSweepConfig& config) {
+  std::vector<BlockingPoint> out;
+  out.reserve(config.arrival_rates.size());
+  for (std::size_t i = 0; i < config.arrival_rates.size(); ++i) {
+    BlockingPoint pt;
+    pt.arrival_rate_per_source = config.arrival_rates[i];
+    RunningStats blocking;
+    RunningStats load;
+    for (int run = 0; run < config.runs_per_point; ++run) {
+      FlowSimConfig cfg = config.base;
+      cfg.workload.arrival_rate_per_source = config.arrival_rates[i];
+      cfg.seed = config.seed0 + 7919 * i + static_cast<std::uint64_t>(run);
+      const FlowSimResult res = run_flow_sim(cfg);
+      blocking.add(res.blocking_rate);
+      load.add(res.offered_load);
+    }
+    pt.blocking_rate = blocking.mean();
+    pt.blocking_stddev = blocking.stddev();
+    pt.offered_load = load.mean();
+    pt.runs = config.runs_per_point;
+    out.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace qosbb

@@ -1,0 +1,32 @@
+// Figure-10 sweep harness: blocking rate vs offered load, averaged over
+// independent seeded runs per point (the paper averages 5 runs).
+
+#ifndef QOSBB_FLOWSIM_BLOCKING_H_
+#define QOSBB_FLOWSIM_BLOCKING_H_
+
+#include <vector>
+
+#include "flowsim/flow_sim.h"
+
+namespace qosbb {
+
+struct BlockingPoint {
+  double arrival_rate_per_source = 0.0;
+  double offered_load = 0.0;   ///< mean over runs
+  double blocking_rate = 0.0;  ///< mean over runs
+  double blocking_stddev = 0.0;
+  int runs = 0;
+};
+
+struct BlockingSweepConfig {
+  FlowSimConfig base;  ///< scheme/setting/workload template
+  std::vector<double> arrival_rates;  ///< per-source λ values to sweep
+  int runs_per_point = 5;
+  std::uint64_t seed0 = 1000;
+};
+
+std::vector<BlockingPoint> blocking_sweep(const BlockingSweepConfig& config);
+
+}  // namespace qosbb
+
+#endif  // QOSBB_FLOWSIM_BLOCKING_H_

@@ -1,0 +1,314 @@
+#include "flowsim/flow_sim.h"
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "core/broker.h"
+#include "flowsim/fluid_edge.h"
+#include "gs/gs_admission.h"
+#include "sim/event_queue.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace qosbb {
+
+const char* admission_scheme_name(AdmissionScheme s) {
+  switch (s) {
+    case AdmissionScheme::kPerFlowBB: return "Per-flow BB/VTRS";
+    case AdmissionScheme::kAggrBounding: return "Aggr BB/VTRS (bounding)";
+    case AdmissionScheme::kAggrFeedback: return "Aggr BB/VTRS (feedback)";
+    case AdmissionScheme::kIntServGs: return "IntServ/GS";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr const char* kBottleneckLink = "R2->R3";
+
+/// Shared simulation scaffolding: events, workload, and the running
+/// time-weighted statistics every scheme reports.
+struct SimContext {
+  explicit SimContext(const FlowSimConfig& config)
+      : rng(config.seed), workload(generate_workload(config.workload, rng)) {}
+
+  Rng rng;
+  std::vector<FlowArrival> workload;
+  EventQueue events;
+  std::uint64_t admitted = 0;
+  std::uint64_t blocked = 0;
+  std::map<RejectReason, std::uint64_t> reject_reasons;
+  int active = 0;
+  TimeWeightedMean active_flows;
+  TimeWeightedMean bottleneck_bw;
+
+  void note_admitted(Seconds now) {
+    ++admitted;
+    ++active;
+    active_flows.update(now, active);
+  }
+  void note_departed(Seconds now) {
+    --active;
+    active_flows.update(now, active);
+  }
+  void note_blocked(RejectReason reason) {
+    ++blocked;
+    ++reject_reasons[reason];
+  }
+};
+
+Seconds delay_bound_for(const FlowSimConfig& config, int type) {
+  return config.tight_delay ? paper_delay_tight(type)
+                            : paper_delay_loose(type);
+}
+
+const char* ingress_for(int source) { return source == 0 ? "I1" : "I2"; }
+const char* egress_for(int source) { return source == 0 ? "E1" : "E2"; }
+
+FlowSimResult finish(const FlowSimConfig& config, SimContext& ctx) {
+  FlowSimResult out;
+  out.offered = ctx.workload.size();
+  out.admitted = ctx.admitted;
+  out.blocked = ctx.blocked;
+  out.blocking_rate =
+      out.offered == 0
+          ? 0.0
+          : static_cast<double>(out.blocked) / static_cast<double>(out.offered);
+  out.offered_load = offered_load(ctx.workload, config.workload.horizon,
+                                  1.5e6);
+  out.mean_active_flows = ctx.active_flows.finish(config.workload.horizon);
+  out.mean_bottleneck_reserved =
+      ctx.bottleneck_bw.finish(config.workload.horizon);
+  out.reject_reasons = ctx.reject_reasons;
+  return out;
+}
+
+FlowSimResult run_per_flow(const FlowSimConfig& config) {
+  SimContext ctx(config);
+  BandwidthBroker bb(fig8_topology(config.setting));
+  ctx.active_flows.update(0.0, 0);
+  ctx.bottleneck_bw.update(0.0, 0.0);
+
+  for (const FlowArrival& a : ctx.workload) {
+    ctx.events.schedule(a.arrival, [&ctx, &bb, &config, a] {
+      const Seconds now = ctx.events.now();
+      FlowServiceRequest req;
+      req.profile = paper_traffic_type(a.type);
+      req.e2e_delay_req = delay_bound_for(config, a.type);
+      req.ingress = ingress_for(a.source);
+      req.egress = egress_for(a.source);
+      auto res = bb.request_service(req, now);
+      if (!res.is_ok()) {
+        ctx.note_blocked(bb.last_outcome().reason);
+        return;
+      }
+      ctx.note_admitted(now);
+      ctx.bottleneck_bw.update(now, bb.nodes().link(kBottleneckLink).reserved());
+      const FlowId id = res.value().flow;
+      ctx.events.schedule(now + a.holding, [&ctx, &bb, id] {
+        const Seconds t = ctx.events.now();
+        Status s = bb.release_service(id);
+        QOSBB_REQUIRE(s.is_ok(), "per-flow release failed");
+        ctx.note_departed(t);
+        ctx.bottleneck_bw.update(t, bb.nodes().link(kBottleneckLink).reserved());
+      });
+    });
+  }
+  ctx.events.run_until(config.workload.horizon);
+  return finish(config, ctx);
+}
+
+FlowSimResult run_intserv_gs(const FlowSimConfig& config) {
+  SimContext ctx(config);
+  GsAdmissionControl gs(fig8_gs_topology(config.setting));
+  ctx.active_flows.update(0.0, 0);
+  ctx.bottleneck_bw.update(0.0, 0.0);
+
+  for (const FlowArrival& a : ctx.workload) {
+    ctx.events.schedule(a.arrival, [&ctx, &gs, &config, a] {
+      const Seconds now = ctx.events.now();
+      FlowServiceRequest req;
+      req.profile = paper_traffic_type(a.type);
+      req.e2e_delay_req = delay_bound_for(config, a.type);
+      req.ingress = ingress_for(a.source);
+      req.egress = egress_for(a.source);
+      GsReservationResult res = gs.request_service(req);
+      if (!res.admitted) {
+        ctx.note_blocked(res.reason);
+        return;
+      }
+      ctx.note_admitted(now);
+      ctx.bottleneck_bw.update(
+          now, gs.domain().router_state(kBottleneckLink).reserved());
+      const FlowId id = res.flow;
+      ctx.events.schedule(now + a.holding, [&ctx, &gs, id] {
+        const Seconds t = ctx.events.now();
+        Status s = gs.release_service(id);
+        QOSBB_REQUIRE(s.is_ok(), "GS release failed");
+        ctx.note_departed(t);
+        ctx.bottleneck_bw.update(
+            t, gs.domain().router_state(kBottleneckLink).reserved());
+      });
+    });
+  }
+  ctx.events.run_until(config.workload.horizon);
+  return finish(config, ctx);
+}
+
+/// Aggregate (class-based) simulation with either contingency method.
+class AggrSim {
+ public:
+  AggrSim(const FlowSimConfig& config, SimContext& ctx)
+      : config_(config),
+        ctx_(ctx),
+        feedback_(config.scheme == AdmissionScheme::kAggrFeedback),
+        bb_(fig8_topology(config.setting),
+            BrokerOptions{feedback_ ? ContingencyMethod::kFeedback
+                                    : ContingencyMethod::kBounding}) {
+    for (int type : config.workload.types) {
+      if (!classes_.contains(type)) {
+        classes_[type] = bb_.define_class(delay_bound_for(config, type),
+                                          config.class_delay_param,
+                                          "type-" + std::to_string(type));
+      }
+    }
+  }
+
+  void run() {
+    ctx_.active_flows.update(0.0, 0);
+    ctx_.bottleneck_bw.update(0.0, 0.0);
+    for (const FlowArrival& a : ctx_.workload) {
+      ctx_.events.schedule(a.arrival, [this, a] { on_arrival(a); });
+    }
+    ctx_.events.run_until(config_.workload.horizon);
+  }
+
+ private:
+  struct MacroKey {
+    int type;
+    int source;
+    bool operator==(const MacroKey&) const = default;
+  };
+  struct MacroKeyHash {
+    std::size_t operator()(const MacroKey& k) const {
+      return std::hash<int>()(k.type * 2 + k.source);
+    }
+  };
+
+  FluidMacroflowQueue& fluid_for(const MacroKey& key) {
+    auto it = fluid_.find(key);
+    if (it == fluid_.end()) {
+      auto q = std::make_unique<FluidMacroflowQueue>(ctx_.events,
+                                                     ctx_.rng.fork());
+      it = fluid_.emplace(key, std::move(q)).first;
+    }
+    return *it->second;
+  }
+
+  void sync_service_rate(const MacroKey& key, FlowId macroflow) {
+    if (!feedback_) return;
+    FluidMacroflowQueue& q = fluid_for(key);
+    const MacroflowState* mf = bb_.classes().macroflow(macroflow);
+    q.set_service_rate(mf == nullptr ? 0.0 : bb_.classes().allocated(macroflow));
+  }
+
+  void install_drain_hook(const MacroKey& key, FlowId macroflow) {
+    if (!feedback_) return;
+    fluid_for(key).set_drain_callback([this, key, macroflow](Seconds now) {
+      bb_.edge_buffer_empty(macroflow, now);
+      sync_service_rate(key, macroflow);
+    });
+  }
+
+  void schedule_expiry(const MacroKey& key, const JoinResult& join) {
+    if (join.grant == kInvalidGrantId) return;
+    schedule_expiry_impl(key, join.grant, join.macroflow,
+                         join.contingency_expires_at);
+  }
+  void schedule_expiry(const MacroKey& key, const LeaveResult& leave) {
+    if (leave.grant == kInvalidGrantId) return;
+    schedule_expiry_impl(key, leave.grant, leave.macroflow,
+                         leave.contingency_expires_at);
+  }
+  void schedule_expiry_impl(const MacroKey& key, GrantId grant,
+                            FlowId macroflow, Seconds when) {
+    ctx_.events.schedule(when, [this, key, grant, macroflow] {
+      bb_.expire_contingency(grant, ctx_.events.now());
+      sync_service_rate(key, macroflow);
+      ctx_.bottleneck_bw.update(ctx_.events.now(),
+                                bb_.nodes().link(kBottleneckLink).reserved());
+    });
+  }
+
+  void on_arrival(const FlowArrival& a) {
+    const Seconds now = ctx_.events.now();
+    const MacroKey key{a.type, a.source};
+    std::optional<Bits> backlog;
+    if (feedback_) backlog = fluid_for(key).backlog();
+    JoinResult join = bb_.request_class_service(
+        classes_.at(a.type), paper_traffic_type(a.type),
+        ingress_for(a.source), egress_for(a.source), now, backlog);
+    if (!join.admitted) {
+      ctx_.note_blocked(join.reason);
+      return;
+    }
+    ctx_.note_admitted(now);
+    if (feedback_) {
+      fluid_for(key).add_microflow(join.microflow, paper_traffic_type(a.type));
+      install_drain_hook(key, join.macroflow);
+      sync_service_rate(key, join.macroflow);
+    }
+    schedule_expiry(key, join);
+    ctx_.bottleneck_bw.update(now, bb_.nodes().link(kBottleneckLink).reserved());
+
+    const FlowId micro = join.microflow;
+    ctx_.events.schedule(now + a.holding, [this, key, micro] {
+      const Seconds t = ctx_.events.now();
+      std::optional<Bits> q;
+      if (feedback_) {
+        fluid_for(key).remove_microflow(micro);
+        q = fluid_for(key).backlog();
+      }
+      auto leave = bb_.leave_class_service(micro, t, q);
+      QOSBB_REQUIRE(leave.is_ok(), "microflow leave failed");
+      ctx_.note_departed(t);
+      if (feedback_) sync_service_rate(key, leave.value().macroflow);
+      schedule_expiry(key, leave.value());
+      ctx_.bottleneck_bw.update(t, bb_.nodes().link(kBottleneckLink).reserved());
+    });
+  }
+
+  const FlowSimConfig& config_;
+  SimContext& ctx_;
+  bool feedback_;
+  BandwidthBroker bb_;
+  std::map<int, ClassId> classes_;
+  std::unordered_map<MacroKey, std::unique_ptr<FluidMacroflowQueue>,
+                     MacroKeyHash>
+      fluid_;
+};
+
+FlowSimResult run_aggregate(const FlowSimConfig& config) {
+  SimContext ctx(config);
+  AggrSim sim(config, ctx);
+  sim.run();
+  return finish(config, ctx);
+}
+
+}  // namespace
+
+FlowSimResult run_flow_sim(const FlowSimConfig& config) {
+  switch (config.scheme) {
+    case AdmissionScheme::kPerFlowBB:
+      return run_per_flow(config);
+    case AdmissionScheme::kIntServGs:
+      return run_intserv_gs(config);
+    case AdmissionScheme::kAggrBounding:
+    case AdmissionScheme::kAggrFeedback:
+      return run_aggregate(config);
+  }
+  throw std::logic_error("run_flow_sim: unknown scheme");
+}
+
+}  // namespace qosbb

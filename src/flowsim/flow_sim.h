@@ -1,0 +1,60 @@
+// Dynamic flow-level simulator (Section 5, second experiment set).
+//
+// Drives Poisson flow arrivals with exponential holding times through one of
+// four admission-control schemes over the Figure-8 domain:
+//   * per-flow BB/VTRS       (Section 3 algorithms)
+//   * aggregate BB/VTRS with the contingency-period BOUNDING method
+//   * aggregate BB/VTRS with the contingency-period FEEDBACK method
+//   * IntServ/GS             (hop-by-hop WFQ reference baseline)
+// and measures flow blocking rates — the Figure-10 series. The feedback
+// variant runs a fluid edge-backlog model per macroflow (see fluid_edge.h)
+// to supply Q(t*) and buffer-empty signals.
+
+#ifndef QOSBB_FLOWSIM_FLOW_SIM_H_
+#define QOSBB_FLOWSIM_FLOW_SIM_H_
+
+#include <cstdint>
+#include <map>
+
+#include "core/types.h"
+#include "flowsim/workload.h"
+#include "topo/fig8.h"
+
+namespace qosbb {
+
+enum class AdmissionScheme {
+  kPerFlowBB,
+  kAggrBounding,
+  kAggrFeedback,
+  kIntServGs,
+};
+
+const char* admission_scheme_name(AdmissionScheme s);
+
+struct FlowSimConfig {
+  AdmissionScheme scheme = AdmissionScheme::kPerFlowBB;
+  Fig8Setting setting = Fig8Setting::kRateBasedOnly;
+  WorkloadConfig workload;
+  /// Use Table 1's tight delay column instead of the loose one.
+  bool tight_delay = false;
+  /// Fixed delay parameter cd for class-based service at delay-based hops.
+  Seconds class_delay_param = 0.10;
+  std::uint64_t seed = 1;
+};
+
+struct FlowSimResult {
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t blocked = 0;
+  double blocking_rate = 0.0;
+  double offered_load = 0.0;  ///< normalized to the bottleneck capacity
+  double mean_active_flows = 0.0;     ///< time-weighted
+  double mean_bottleneck_reserved = 0.0;  ///< time-weighted, R2->R3 (b/s)
+  std::map<RejectReason, std::uint64_t> reject_reasons;
+};
+
+FlowSimResult run_flow_sim(const FlowSimConfig& config);
+
+}  // namespace qosbb
+
+#endif  // QOSBB_FLOWSIM_FLOW_SIM_H_

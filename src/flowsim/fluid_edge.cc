@@ -1,0 +1,100 @@
+#include "flowsim/fluid_edge.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace qosbb {
+
+FluidMacroflowQueue::FluidMacroflowQueue(EventQueue& events, Rng rng)
+    : events_(events), rng_(rng) {}
+
+void FluidMacroflowQueue::advance(Seconds now) {
+  QOSBB_REQUIRE(now >= last_update_ - 1e-9, "FluidMacroflowQueue: time ran backwards");
+  if (now > last_update_) {
+    const double net = arrival_rate_ - service_rate_;
+    const bool was_positive = backlog_ > 1e-9;
+    backlog_ = std::max(0.0, backlog_ + net * (now - last_update_));
+    last_update_ = now;
+    if (was_positive && backlog_ <= 1e-9 && drain_cb_) {
+      // Drain happened somewhere inside the window; report at `now` (the
+      // scheduled drain event lands exactly on the zero crossing).
+      drain_cb_(now);
+    }
+  }
+}
+
+void FluidMacroflowQueue::schedule_drain_check() {
+  ++drain_epoch_;
+  if (backlog_ <= 1e-9) return;
+  const double net = arrival_rate_ - service_rate_;
+  if (net >= 0.0) return;  // not draining
+  const Seconds when = last_update_ + backlog_ / (-net);
+  const std::uint64_t epoch = drain_epoch_;
+  events_.schedule(when, [this, epoch] {
+    if (epoch != drain_epoch_) return;  // state changed since scheduling
+    advance(events_.now());
+  });
+}
+
+void FluidMacroflowQueue::add_microflow(FlowId id,
+                                        const TrafficProfile& profile) {
+  advance(events_.now());
+  QOSBB_REQUIRE(!flows_.contains(id), "FluidMacroflowQueue: duplicate flow");
+  Microflow mf;
+  mf.profile = profile;
+  mf.on = true;
+  flows_.emplace(id, mf);
+  arrival_rate_ += profile.peak;
+  schedule_toggle(id, events_.now());
+  schedule_drain_check();
+}
+
+void FluidMacroflowQueue::remove_microflow(FlowId id) {
+  advance(events_.now());
+  auto it = flows_.find(id);
+  QOSBB_REQUIRE(it != flows_.end(), "FluidMacroflowQueue: unknown flow");
+  if (it->second.on) arrival_rate_ -= it->second.profile.peak;
+  if (arrival_rate_ < 1e-9) arrival_rate_ = 0.0;
+  flows_.erase(it);
+  schedule_drain_check();
+}
+
+void FluidMacroflowQueue::set_service_rate(BitsPerSecond rate) {
+  advance(events_.now());
+  QOSBB_REQUIRE(rate >= 0.0, "FluidMacroflowQueue: negative service rate");
+  service_rate_ = rate;
+  schedule_drain_check();
+}
+
+Bits FluidMacroflowQueue::backlog() const {
+  const double net = arrival_rate_ - service_rate_;
+  return std::max(0.0, backlog_ + net * (events_.now() - last_update_));
+}
+
+void FluidMacroflowQueue::schedule_toggle(FlowId id, Seconds now) {
+  auto it = flows_.find(id);
+  QOSBB_REQUIRE(it != flows_.end(), "schedule_toggle: unknown flow");
+  Microflow& mf = it->second;
+  const std::uint64_t epoch = ++mf.epoch;
+  // ON duration with mean T_on; OFF duration sized for duty cycle ρ/P.
+  const TrafficProfile& p = mf.profile;
+  const Seconds mean_on = std::max(p.t_on(), 1e-3);
+  const Seconds mean_off = mean_on * (p.peak - p.rho) / p.rho;
+  const Seconds dur =
+      mf.on ? rng_.exponential(mean_on)
+            : (mean_off > 0.0 ? rng_.exponential(mean_off) : 0.0);
+  events_.schedule(now + dur, [this, id, epoch] {
+    auto jt = flows_.find(id);
+    if (jt == flows_.end() || jt->second.epoch != epoch) return;
+    advance(events_.now());
+    Microflow& m = jt->second;
+    m.on = !m.on;
+    arrival_rate_ += m.on ? m.profile.peak : -m.profile.peak;
+    if (arrival_rate_ < 1e-9) arrival_rate_ = 0.0;
+    schedule_drain_check();
+    schedule_toggle(id, events_.now());
+  });
+}
+
+}  // namespace qosbb

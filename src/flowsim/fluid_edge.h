@@ -1,0 +1,82 @@
+// Fluid model of a macroflow's edge-conditioner backlog.
+//
+// The feedback contingency method (Section 4.2.1) needs the edge
+// conditioner's actual backlog Q(t*) at join/leave instants and a "buffer
+// empty" signal when the queue drains. The packet-level simulator provides
+// both exactly (EdgeConditioner), but the Figure-10 blocking sweeps simulate
+// thousands of flow arrivals — packet granularity would dominate the run
+// time without changing the admission dynamics. This fluid model is the
+// documented substitution: each microflow is an exponential on–off fluid
+// (rate P while ON, silent while OFF, duty cycle ρ/P so the long-run rate is
+// ρ), and the macroflow queue drains at the currently allocated service
+// rate. Backlog is piecewise linear between events; drain instants fire a
+// callback — the same interface the real conditioner offers the BB.
+
+#ifndef QOSBB_FLOWSIM_FLUID_EDGE_H_
+#define QOSBB_FLOWSIM_FLUID_EDGE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "sched/packet.h"
+#include "sim/event_queue.h"
+#include "traffic/profile.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace qosbb {
+
+class FluidMacroflowQueue {
+ public:
+  /// `service_rate` starts at 0 (no reservation yet).
+  FluidMacroflowQueue(EventQueue& events, Rng rng);
+
+  FluidMacroflowQueue(const FluidMacroflowQueue&) = delete;
+  FluidMacroflowQueue& operator=(const FluidMacroflowQueue&) = delete;
+
+  /// Add an on–off microflow; it starts in the ON state (a joining flow has
+  /// traffic to send). Schedules its toggle events.
+  void add_microflow(FlowId id, const TrafficProfile& profile);
+  void remove_microflow(FlowId id);
+
+  /// The BB re-provisioned the macroflow (base rate or contingency change).
+  void set_service_rate(BitsPerSecond rate);
+
+  /// Current backlog Q(now) in bits.
+  Bits backlog() const;
+  bool idle() const { return backlog() <= 0.0; }
+  BitsPerSecond arrival_rate() const { return arrival_rate_; }
+  BitsPerSecond service_rate() const { return service_rate_; }
+  std::size_t microflows() const { return flows_.size(); }
+
+  /// Fires whenever the backlog returns to zero.
+  void set_drain_callback(std::function<void(Seconds)> cb) {
+    drain_cb_ = std::move(cb);
+  }
+
+ private:
+  struct Microflow {
+    TrafficProfile profile;
+    bool on = false;
+    std::uint64_t epoch = 0;  // invalidates stale toggle events
+  };
+
+  void advance(Seconds now);
+  void schedule_toggle(FlowId id, Seconds now);
+  void schedule_drain_check();
+
+  EventQueue& events_;
+  Rng rng_;
+  std::unordered_map<FlowId, Microflow> flows_;
+  BitsPerSecond arrival_rate_ = 0.0;
+  BitsPerSecond service_rate_ = 0.0;
+  Bits backlog_ = 0.0;
+  Seconds last_update_ = 0.0;
+  std::uint64_t drain_epoch_ = 0;  // invalidates stale drain events
+  std::function<void(Seconds)> drain_cb_;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_FLOWSIM_FLUID_EDGE_H_

@@ -1,0 +1,116 @@
+#include "flowsim/workload.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace qosbb {
+
+TrafficProfile paper_traffic_type(int type) {
+  QOSBB_REQUIRE(type >= 0 && type < kPaperTrafficTypes,
+                "paper_traffic_type: type out of range");
+  static const TrafficProfile kTypes[kPaperTrafficTypes] = {
+      TrafficProfile::make(60000.0, 50000.0, 100000.0, 12000.0),
+      TrafficProfile::make(48000.0, 40000.0, 100000.0, 12000.0),
+      TrafficProfile::make(36000.0, 30000.0, 100000.0, 12000.0),
+      TrafficProfile::make(24000.0, 20000.0, 100000.0, 12000.0),
+  };
+  return kTypes[type];
+}
+
+Seconds paper_delay_loose(int type) {
+  QOSBB_REQUIRE(type >= 0 && type < kPaperTrafficTypes,
+                "paper_delay_loose: type out of range");
+  static const Seconds kBounds[kPaperTrafficTypes] = {2.44, 2.74, 3.24, 4.24};
+  return kBounds[type];
+}
+
+Seconds paper_delay_tight(int type) {
+  QOSBB_REQUIRE(type >= 0 && type < kPaperTrafficTypes,
+                "paper_delay_tight: type out of range");
+  static const Seconds kBounds[kPaperTrafficTypes] = {2.19, 2.46, 2.91, 3.81};
+  return kBounds[type];
+}
+
+std::vector<FlowArrival> generate_workload(const WorkloadConfig& config,
+                                           Rng& rng) {
+  QOSBB_REQUIRE(config.arrival_rate_per_source > 0.0,
+                "generate_workload: non-positive arrival rate");
+  QOSBB_REQUIRE(!config.types.empty(), "generate_workload: no traffic types");
+  std::vector<FlowArrival> out;
+  for (int s = 0; s < config.sources; ++s) {
+    Seconds t = 0.0;
+    while (true) {
+      t += rng.exponential(1.0 / config.arrival_rate_per_source);
+      if (t > config.horizon) break;
+      FlowArrival a;
+      a.arrival = t;
+      a.holding = rng.exponential(config.mean_holding);
+      a.type = config.types[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(config.types.size()) - 1))];
+      a.source = s;
+      out.push_back(a);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlowArrival& a, const FlowArrival& b) {
+              return a.arrival < b.arrival;
+            });
+  return out;
+}
+
+void save_workload_csv(const std::vector<FlowArrival>& arrivals,
+                       std::ostream& os) {
+  // Round-trip-exact doubles.
+  os.precision(17);
+  os << "arrival,holding,type,source\n";
+  for (const auto& a : arrivals) {
+    os << a.arrival << ',' << a.holding << ',' << a.type << ',' << a.source
+       << '\n';
+  }
+}
+
+Result<std::vector<FlowArrival>> load_workload_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != "arrival,holding,type,source") {
+    return Status::invalid_argument("workload CSV: missing/bad header");
+  }
+  std::vector<FlowArrival> out;
+  int lineno = 1;
+  Seconds prev = -1.0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream cells(line);
+    FlowArrival a;
+    char c1 = 0, c2 = 0, c3 = 0;
+    if (!(cells >> a.arrival >> c1 >> a.holding >> c2 >> a.type >> c3 >>
+          a.source) ||
+        c1 != ',' || c2 != ',' || c3 != ',') {
+      return Status::invalid_argument("workload CSV: malformed line " +
+                                      std::to_string(lineno));
+    }
+    if (a.arrival < prev || a.holding < 0.0 || a.type < 0 ||
+        a.type >= kPaperTrafficTypes || a.source < 0) {
+      return Status::invalid_argument("workload CSV: invalid fields at line " +
+                                      std::to_string(lineno));
+    }
+    prev = a.arrival;
+    out.push_back(a);
+  }
+  return out;
+}
+
+double offered_load(const std::vector<FlowArrival>& arrivals, Seconds horizon,
+                    BitsPerSecond bottleneck_capacity) {
+  QOSBB_REQUIRE(horizon > 0.0 && bottleneck_capacity > 0.0,
+                "offered_load: bad normalization");
+  double bits = 0.0;
+  for (const auto& a : arrivals) {
+    bits += paper_traffic_type(a.type).rho * a.holding;
+  }
+  return bits / (horizon * bottleneck_capacity);
+}
+
+}  // namespace qosbb

@@ -1,0 +1,76 @@
+// The paper's simulation workload (Section 5, Table 1) and the dynamic
+// flow arrival process of the Figure-10 experiments.
+//
+// Table 1 — traffic profiles (burst in bits, rates in b/s, packets 1500 B):
+//   type  σ      ρ       P       L      D_loose  D_tight
+//   0     60000  50000   100000  12000  2.44     2.19
+//   1     48000  40000   100000  12000  2.74     2.46
+//   2     36000  30000   100000  12000  3.24     2.91
+//   3     24000  20000   100000  12000  4.24     3.81
+
+#ifndef QOSBB_FLOWSIM_WORKLOAD_H_
+#define QOSBB_FLOWSIM_WORKLOAD_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "util/status.h"
+
+#include "traffic/profile.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace qosbb {
+
+constexpr int kPaperTrafficTypes = 4;
+
+/// Table-1 traffic profile for `type` in [0, 3].
+TrafficProfile paper_traffic_type(int type);
+/// Table-1 delay bounds: loose column (2.44 / 2.74 / 3.24 / 4.24).
+Seconds paper_delay_loose(int type);
+/// Table-1 delay bounds: tight column (2.19 / 2.46 / 2.91 / 3.81).
+Seconds paper_delay_tight(int type);
+
+/// One flow-level event in the dynamic workload: a flow of `type` arrives
+/// at `arrival` from `source` (0 = S1, 1 = S2) and, if admitted, departs
+/// after `holding` seconds.
+struct FlowArrival {
+  Seconds arrival = 0.0;
+  Seconds holding = 0.0;
+  int type = 0;
+  int source = 0;
+};
+
+struct WorkloadConfig {
+  /// Aggregate Poisson arrival rate (flows/s) per source.
+  double arrival_rate_per_source = 0.05;
+  /// Mean exponential holding time (the paper uses 200 s).
+  Seconds mean_holding = 200.0;
+  Seconds horizon = 10000.0;
+  int sources = 2;
+  /// Traffic types to draw from, uniformly. Default: all four Table-1 types.
+  std::vector<int> types = {0, 1, 2, 3};
+};
+
+/// Generate the full arrival sequence (sorted by arrival time).
+std::vector<FlowArrival> generate_workload(const WorkloadConfig& config,
+                                           Rng& rng);
+
+/// Offered load of a workload in reserved-bandwidth terms: Σ over arrivals
+/// of ρ·holding divided by (horizon · bottleneck capacity). A rough
+/// normalization used to label the Figure-10 x-axis.
+double offered_load(const std::vector<FlowArrival>& arrivals,
+                    Seconds horizon, BitsPerSecond bottleneck_capacity);
+
+/// Export / import an arrival sequence as CSV
+/// (arrival,holding,type,source) — so a sweep can be replayed outside the
+/// seeded generator, or an external trace can drive the simulators.
+/// Loading validates every field (sorted arrivals, known types) and
+/// reports the first malformed line.
+void save_workload_csv(const std::vector<FlowArrival>& arrivals,
+                       std::ostream& os);
+Result<std::vector<FlowArrival>> load_workload_csv(std::istream& is);
+
+}  // namespace qosbb
+
+#endif  // QOSBB_FLOWSIM_WORKLOAD_H_

@@ -1,0 +1,33 @@
+#include "gs/gs_admission.h"
+
+namespace qosbb {
+
+GsAdmissionControl::GsAdmissionControl(const DomainSpec& spec)
+    : spec_(spec), graph_(spec_.to_graph()), hop_by_hop_(spec_) {}
+
+GsReservationResult GsAdmissionControl::request_service(
+    const FlowServiceRequest& request) {
+  ++stats_.requests;
+  auto route = shortest_path(graph_, request.ingress, request.egress);
+  if (!route.is_ok()) {
+    ++stats_.rejected[RejectReason::kNoPath];
+    GsReservationResult out;
+    out.reason = RejectReason::kNoPath;
+    out.detail = route.status().message();
+    return out;
+  }
+  GsReservationResult out = hop_by_hop_.reserve(
+      route.value(), request.profile, request.e2e_delay_req);
+  if (out.admitted) {
+    ++stats_.admitted;
+  } else {
+    ++stats_.rejected[out.reason];
+  }
+  return out;
+}
+
+Status GsAdmissionControl::release_service(FlowId flow) {
+  return hop_by_hop_.release(flow);
+}
+
+}  // namespace qosbb

@@ -1,0 +1,39 @@
+// IntServ/GS admission-control facade mirroring the BandwidthBroker API so
+// benches can drive both schemes with the same loop (Section 5 comparison).
+
+#ifndef QOSBB_GS_GS_ADMISSION_H_
+#define QOSBB_GS_GS_ADMISSION_H_
+
+#include <string>
+
+#include "core/broker.h"
+#include "gs/hop_by_hop.h"
+#include "topo/graph.h"
+#include "topo/routing.h"
+
+namespace qosbb {
+
+class GsAdmissionControl {
+ public:
+  /// `spec` must be a GS domain spec (VC/WFQ + RC-EDF schedulers); use
+  /// fig8_gs_topology or an equivalent.
+  explicit GsAdmissionControl(const DomainSpec& spec);
+
+  /// PATH/RESV exchange along the min-hop route.
+  GsReservationResult request_service(const FlowServiceRequest& request);
+  Status release_service(FlowId flow);
+
+  const GsHopByHop& domain() const { return hop_by_hop_; }
+  GsHopByHop& domain() { return hop_by_hop_; }
+  const BrokerStats& stats() const { return stats_; }
+
+ private:
+  DomainSpec spec_;
+  Graph graph_;
+  GsHopByHop hop_by_hop_;
+  BrokerStats stats_;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_GS_GS_ADMISSION_H_

@@ -1,0 +1,159 @@
+#include "gs/hop_by_hop.h"
+
+#include <algorithm>
+
+#include "vtrs/delay_bounds.h"
+
+namespace qosbb {
+namespace {
+
+/// Per-router buffer bound for a GS reservation (same backlog arithmetic as
+/// the BB's, vtrs/delay_bounds.h) — evaluated against the router's OWN
+/// buffer state, hop by hop.
+Bits gs_buffer_bound(const LinkQosState& router, BitsPerSecond rate,
+                     Seconds local_deadline, Bits l_max) {
+  return per_hop_buffer_bound(router.delay_based()
+                                  ? SchedulerKind::kDelayBased
+                                  : SchedulerKind::kRateBased,
+                              rate, local_deadline, l_max,
+                              router.error_term());
+}
+
+}  // namespace
+
+GsHopByHop::GsHopByHop(const DomainSpec& spec)
+    : spec_(spec), routers_(spec) {}
+
+GsAdspec GsHopByHop::path_advertisement(
+    const std::vector<std::string>& node_path) const {
+  QOSBB_REQUIRE(node_path.size() >= 2, "path_advertisement: short path");
+  GsAdspec adspec;
+  for (std::size_t i = 0; i + 1 < node_path.size(); ++i) {
+    const LinkSpec& l = spec_.link(node_path[i], node_path[i + 1]);
+    // Every GS hop exports one packet term and D_i = Ψ_i + π_i.
+    adspec.add_hop(spec_.l_max / l.capacity + l.propagation_delay);
+  }
+  return adspec;
+}
+
+GsReservationResult GsHopByHop::reserve(
+    const std::vector<std::string>& node_path, const TrafficProfile& profile,
+    Seconds d_req) {
+  GsReservationResult out;
+  const int h = static_cast<int>(node_path.size()) - 1;
+
+  // --- PATH walk (ingress -> egress): one message per hop. ---
+  const GsAdspec adspec = path_advertisement(node_path);
+  out.hops_visited += h;
+  out.messages += h;
+  total_messages_ += static_cast<std::uint64_t>(h);
+
+  // Receiver computes the reservation from the WFQ reference model.
+  const BitsPerSecond r_min = gs_min_rate(adspec, profile, d_req);
+  const BitsPerSecond rate = std::max(profile.rho, r_min);
+  if (rate > profile.peak) {
+    out.reason = RejectReason::kNoFeasibleRate;
+    out.detail = "GS reservation exceeds peak rate";
+    return out;
+  }
+
+  // --- RESV walk (egress -> ingress): local admission at every router. ---
+  GsFlowRecord rec;
+  rec.rate = rate;
+  rec.l_max = profile.l_max;
+  std::vector<std::string> reserved_links;
+  std::vector<Seconds> reserved_deadlines;
+  for (int i = h - 1; i >= 0; --i) {
+    const std::string link_name = node_path[static_cast<std::size_t>(i)] +
+                                  "->" +
+                                  node_path[static_cast<std::size_t>(i) + 1];
+    LinkQosState& router = routers_.link(link_name);
+    ++out.hops_visited;
+    ++out.messages;
+    ++total_messages_;
+    Status local = router.reserve(rate);
+    Seconds deadline = 0.0;
+    if (local.is_ok() && router.delay_based()) {
+      // Local deadline assignment: the WFQ-equivalent per-hop delay.
+      deadline = profile.l_max / rate + router.error_term();
+      if (!router.edf_schedulable_with(rate, deadline, profile.l_max)) {
+        router.release(rate);
+        local = Status::rejected("RC-EDF unschedulable at " + link_name);
+      } else {
+        router.add_edf_entry(rate, deadline, profile.l_max);
+      }
+    }
+    if (local.is_ok()) {
+      Status buf = router.reserve_buffer(
+          gs_buffer_bound(router, rate, deadline, profile.l_max));
+      if (!buf.is_ok()) {
+        router.release(rate);
+        if (router.delay_based()) {
+          router.remove_edf_entry(rate, deadline, profile.l_max);
+        }
+        local = buf;
+      }
+    }
+    if (!local.is_ok()) {
+      // Tear down the partial reservation (ResvErr walk back) — more
+      // messages, the hop-by-hop tax.
+      for (std::size_t k = 0; k < reserved_links.size(); ++k) {
+        LinkQosState& r2 = routers_.link(reserved_links[k]);
+        r2.release(rate);
+        r2.release_buffer(
+            gs_buffer_bound(r2, rate, reserved_deadlines[k], profile.l_max));
+        if (r2.delay_based()) {
+          r2.remove_edf_entry(rate, reserved_deadlines[k], profile.l_max);
+        }
+        ++out.messages;
+        ++total_messages_;
+      }
+      if (local.message().find("RC-EDF") != std::string::npos) {
+        out.reason = RejectReason::kEdfUnschedulable;
+      } else if (local.message().find("buffer") != std::string::npos) {
+        out.reason = RejectReason::kInsufficientBuffer;
+      } else {
+        out.reason = RejectReason::kInsufficientBandwidth;
+      }
+      out.detail = local.message();
+      return out;
+    }
+    router.note_flow_added();
+    reserved_links.push_back(link_name);
+    reserved_deadlines.push_back(deadline);
+  }
+
+  rec.link_names = std::move(reserved_links);
+  rec.local_deadlines = std::move(reserved_deadlines);
+  const FlowId id = next_id_++;
+  flows_.emplace(id, std::move(rec));
+
+  out.admitted = true;
+  out.flow = id;
+  out.rate = rate;
+  out.e2e_bound = gs_delay_bound(adspec, profile, rate);
+  return out;
+}
+
+Status GsHopByHop::release(FlowId flow) {
+  auto it = flows_.find(flow);
+  if (it == flows_.end()) {
+    return Status::not_found("GS flow " + std::to_string(flow));
+  }
+  const GsFlowRecord& rec = it->second;
+  for (std::size_t k = 0; k < rec.link_names.size(); ++k) {
+    LinkQosState& router = routers_.link(rec.link_names[k]);
+    router.release(rec.rate);
+    router.release_buffer(
+        gs_buffer_bound(router, rec.rate, rec.local_deadlines[k], rec.l_max));
+    router.note_flow_removed();
+    if (router.delay_based()) {
+      router.remove_edf_entry(rec.rate, rec.local_deadlines[k], rec.l_max);
+    }
+    ++total_messages_;  // teardown message per hop
+  }
+  flows_.erase(it);
+  return Status::ok();
+}
+
+}  // namespace qosbb

@@ -1,0 +1,79 @@
+// Hop-by-hop RSVP-style reservation setup over per-router QoS state —
+// the conventional control plane the BB architecture replaces.
+//
+// Two-pass protocol: a PATH message walks ingress -> egress accumulating the
+// Adspec (C/D error terms); a RESV message walks egress -> ingress, and at
+// EVERY router a local admission test runs against the router's own QoS
+// state database:
+//   * WFQ/VC hop:    Σ_j R_j + R <= C_i
+//   * RC-EDF hop:    EDF schedulability with the local deadline assignment
+//                    d_i = L/R + Ψ_i (the per-hop delay the WFQ reference
+//                    model attributes to this hop).
+// Per-router reservation state is exactly what this class stores — contrast
+// with NodeMib, which stores the same information centrally at the BB.
+
+#ifndef QOSBB_GS_HOP_BY_HOP_H_
+#define QOSBB_GS_HOP_BY_HOP_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/node_mib.h"
+#include "core/types.h"
+#include "gs/wfq_reference.h"
+#include "util/status.h"
+
+namespace qosbb {
+
+/// Outcome of a hop-by-hop reservation attempt, with signaling-cost
+/// diagnostics for the path-oriented-vs-hop-by-hop comparison bench.
+struct GsReservationResult {
+  bool admitted = false;
+  RejectReason reason = RejectReason::kNone;
+  FlowId flow = kInvalidFlowId;
+  BitsPerSecond rate = 0.0;
+  Seconds e2e_bound = 0.0;
+  int hops_visited = 0;    ///< routers touched by PATH + RESV walks
+  int messages = 0;        ///< signaling messages exchanged
+  std::string detail;
+};
+
+class GsHopByHop {
+ public:
+  /// `spec` should be a GS domain (fig8_gs_topology): VC/WFQ and RC-EDF.
+  explicit GsHopByHop(const DomainSpec& spec);
+
+  /// PATH walk: accumulate the Adspec along the node path.
+  GsAdspec path_advertisement(const std::vector<std::string>& node_path) const;
+
+  /// Full PATH + RESV exchange for a new flow.
+  GsReservationResult reserve(const std::vector<std::string>& node_path,
+                              const TrafficProfile& profile, Seconds d_req);
+
+  Status release(FlowId flow);
+
+  const LinkQosState& router_state(const std::string& link_name) const {
+    return routers_.link(link_name);
+  }
+  std::size_t active_flows() const { return flows_.size(); }
+  std::uint64_t total_messages() const { return total_messages_; }
+
+ private:
+  struct GsFlowRecord {
+    std::vector<std::string> link_names;
+    BitsPerSecond rate;
+    std::vector<Seconds> local_deadlines;  // per hop; 0 on rate-based hops
+    Bits l_max;
+  };
+
+  DomainSpec spec_;  // by value: callers may pass temporaries
+  NodeMib routers_;  ///< stands in for the per-router QoS state databases
+  std::unordered_map<FlowId, GsFlowRecord> flows_;
+  FlowId next_id_ = 1;
+  std::uint64_t total_messages_ = 0;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_GS_HOP_BY_HOP_H_

@@ -1,0 +1,85 @@
+#include "gs/soft_state.h"
+
+namespace qosbb {
+
+RsvpSoftStateDomain::RsvpSoftStateDomain(const DomainSpec& spec,
+                                         EventQueue& events, Options options,
+                                         std::uint64_t seed)
+    : hop_by_hop_(spec), events_(events), options_(options), rng_(seed) {
+  QOSBB_REQUIRE(options.refresh_period > 0.0,
+                "soft state: refresh period must be positive");
+  QOSBB_REQUIRE(options.lifetime_refreshes >= 1,
+                "soft state: lifetime must cover at least one refresh");
+  QOSBB_REQUIRE(options.jitter >= 0.0 && options.jitter < 1.0,
+                "soft state: jitter fraction outside [0, 1)");
+}
+
+GsReservationResult RsvpSoftStateDomain::reserve(
+    const std::vector<std::string>& node_path, const TrafficProfile& profile,
+    Seconds d_req) {
+  GsReservationResult res = hop_by_hop_.reserve(node_path, profile, d_req);
+  if (!res.admitted) return res;
+  Session s;
+  s.hops = static_cast<int>(node_path.size()) - 1;
+  s.last_refresh = events_.now();
+  sessions_.emplace(res.flow, s);
+  schedule_refresh(res.flow);
+  schedule_expiry_check(res.flow);
+  return res;
+}
+
+Status RsvpSoftStateDomain::release(FlowId flow) {
+  auto it = sessions_.find(flow);
+  if (it == sessions_.end()) {
+    return Status::not_found("soft-state flow " + std::to_string(flow));
+  }
+  sessions_.erase(it);  // pending timers find no session and die
+  return hop_by_hop_.release(flow);
+}
+
+void RsvpSoftStateDomain::stop_refreshing(FlowId flow) {
+  auto it = sessions_.find(flow);
+  QOSBB_REQUIRE(it != sessions_.end(), "stop_refreshing: unknown flow");
+  it->second.refreshing = false;
+}
+
+void RsvpSoftStateDomain::schedule_refresh(FlowId flow) {
+  auto it = sessions_.find(flow);
+  QOSBB_REQUIRE(it != sessions_.end(), "schedule_refresh: unknown flow");
+  Session& s = it->second;
+  const std::uint64_t epoch = ++s.epoch;
+  const double lo = 1.0 - options_.jitter / 2.0;
+  const double hi = 1.0 + options_.jitter / 2.0;
+  const Seconds period =
+      options_.refresh_period *
+      (options_.jitter > 0.0 ? rng_.uniform(lo, hi) : 1.0);
+  events_.schedule(events_.now() + period, [this, flow, epoch] {
+    auto jt = sessions_.find(flow);
+    if (jt == sessions_.end() || jt->second.epoch != epoch) return;
+    if (!jt->second.refreshing) return;  // sender is gone: no more refreshes
+    jt->second.last_refresh = events_.now();
+    refresh_messages_ += static_cast<std::uint64_t>(jt->second.hops);
+    schedule_refresh(flow);
+  });
+}
+
+void RsvpSoftStateDomain::schedule_expiry_check(FlowId flow) {
+  auto it = sessions_.find(flow);
+  QOSBB_REQUIRE(it != sessions_.end(), "schedule_expiry_check: unknown flow");
+  const Seconds deadline = it->second.last_refresh + lifetime();
+  events_.schedule(deadline, [this, flow] {
+    auto jt = sessions_.find(flow);
+    if (jt == sessions_.end()) return;  // explicitly torn down
+    if (events_.now() - jt->second.last_refresh >= lifetime() - 1e-9) {
+      // State decayed: reclaim router resources.
+      sessions_.erase(jt);
+      ++expired_flows_;
+      Status s = hop_by_hop_.release(flow);
+      QOSBB_REQUIRE(s.is_ok(), "soft-state expiry failed to release");
+      return;
+    }
+    schedule_expiry_check(flow);  // refreshed meanwhile: re-arm
+  });
+}
+
+}  // namespace qosbb

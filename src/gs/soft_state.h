@@ -1,0 +1,85 @@
+// RSVP-style soft QoS state for the hop-by-hop baseline.
+//
+// RSVP keeps the per-router reservation state of Section 1 alive with
+// periodic PATH/RESV refreshes: a reservation that is not refreshed within
+// its lifetime L = k·R expires and its resources are reclaimed (RFC 2205
+// uses L >= (K + 0.5)·1.5·R; we expose k directly). The paper's
+// Introduction counts exactly this "periodic state exchange among routers"
+// as overhead the BB architecture eliminates — this module makes that
+// overhead measurable (bench_signaling_overhead) and its failure semantics
+// testable (a dead sender's state decays on its own).
+
+#ifndef QOSBB_GS_SOFT_STATE_H_
+#define QOSBB_GS_SOFT_STATE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gs/hop_by_hop.h"
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace qosbb {
+
+class RsvpSoftStateDomain {
+ public:
+  struct Options {
+    Seconds refresh_period = 30.0;  ///< R
+    int lifetime_refreshes = 3;     ///< k: state expires after k·R silence
+    /// Refresh jitter fraction (RSVP staggers refreshes to avoid message
+    /// synchronization): each period is drawn uniformly from
+    /// [R·(1−jitter/2), R·(1+jitter/2)].
+    double jitter = 0.5;
+  };
+
+  RsvpSoftStateDomain(const DomainSpec& spec, EventQueue& events,
+                      Options options, std::uint64_t seed);
+
+  RsvpSoftStateDomain(const RsvpSoftStateDomain&) = delete;
+  RsvpSoftStateDomain& operator=(const RsvpSoftStateDomain&) = delete;
+
+  /// Set up a reservation (PATH + RESV walk) and start its refresh clock.
+  GsReservationResult reserve(const std::vector<std::string>& node_path,
+                              const TrafficProfile& profile, Seconds d_req);
+  /// Explicit teardown (ResvTear): stops refreshes and frees state now.
+  Status release(FlowId flow);
+  /// Simulate a failed/disconnected sender: refreshes stop, the state must
+  /// decay by itself after the lifetime.
+  void stop_refreshing(FlowId flow);
+
+  bool alive(FlowId flow) const { return sessions_.contains(flow); }
+  std::size_t active_flows() const { return sessions_.size(); }
+  /// Refresh messages sent so far (one per hop per refresh event).
+  std::uint64_t refresh_messages() const { return refresh_messages_; }
+  /// Flows reclaimed by lifetime expiry (not explicit teardown).
+  std::uint64_t expired_flows() const { return expired_flows_; }
+  const GsHopByHop& domain() const { return hop_by_hop_; }
+  GsHopByHop& domain() { return hop_by_hop_; }
+
+ private:
+  struct Session {
+    int hops = 0;
+    Seconds last_refresh = 0.0;
+    bool refreshing = true;
+    std::uint64_t epoch = 0;  // invalidates stale timer events
+  };
+
+  void schedule_refresh(FlowId flow);
+  void schedule_expiry_check(FlowId flow);
+  Seconds lifetime() const {
+    return options_.refresh_period * options_.lifetime_refreshes;
+  }
+
+  GsHopByHop hop_by_hop_;
+  EventQueue& events_;
+  Options options_;
+  Rng rng_;
+  std::unordered_map<FlowId, Session> sessions_;
+  std::uint64_t refresh_messages_ = 0;
+  std::uint64_t expired_flows_ = 0;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_GS_SOFT_STATE_H_

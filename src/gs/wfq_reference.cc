@@ -1,0 +1,28 @@
+#include "gs/wfq_reference.h"
+
+#include <limits>
+
+#include "util/status.h"
+
+namespace qosbb {
+
+Seconds gs_delay_bound(const GsAdspec& adspec, const TrafficProfile& p,
+                       BitsPerSecond r) {
+  QOSBB_REQUIRE(r >= p.rho && r <= p.peak,
+                "gs_delay_bound: reservation outside [rho, peak]");
+  return p.t_on() * (p.peak - r) / r +
+         static_cast<double>(adspec.packet_terms + 1) * p.l_max / r +
+         adspec.d_tot;
+}
+
+BitsPerSecond gs_min_rate(const GsAdspec& adspec, const TrafficProfile& p,
+                          Seconds d_req) {
+  const Seconds t_on = p.t_on();
+  const Seconds denom = d_req - adspec.d_tot + t_on;
+  if (denom <= 0.0) return std::numeric_limits<BitsPerSecond>::infinity();
+  return (t_on * p.peak +
+          static_cast<double>(adspec.packet_terms + 1) * p.l_max) /
+         denom;
+}
+
+}  // namespace qosbb

@@ -1,0 +1,47 @@
+// IntServ Guaranteed Service rate computation (RFC 2212) under the WFQ
+// reference model — the baseline the paper compares against (Section 5).
+//
+// Each hop advertises its deviation from the fluid WFQ model through the
+// exported error terms: a rate-dependent term C_i (one maximum packet per
+// hop) and a rate-independent term D_i (= Ψ_i = L*max/C_i for WFQ and, by
+// convention, for RC-EDF hops too — the reference model is WFQ everywhere).
+// The end-to-end GS delay bound for reservation R is
+//   d = T_on·(P − R)/R + (n + 1)·L/R + D_tot,
+// where n is the number of hops contributing a packet term, identical in
+// form to the VTRS bound (4) with q = h. The minimal reservation follows in
+// closed form.
+
+#ifndef QOSBB_GS_WFQ_REFERENCE_H_
+#define QOSBB_GS_WFQ_REFERENCE_H_
+
+#include <vector>
+
+#include "traffic/profile.h"
+#include "util/units.h"
+
+namespace qosbb {
+
+/// The Adspec accumulated by a PATH message as it crosses the domain.
+struct GsAdspec {
+  int packet_terms = 0;  ///< number of hops contributing an L/R term
+  Seconds d_tot = 0.0;   ///< Σ D_i (+ propagation)
+
+  void add_hop(Seconds d_term) {
+    ++packet_terms;
+    d_tot += d_term;
+  }
+};
+
+/// End-to-end GS delay bound for reservation R (RFC 2212 with the dual
+/// token bucket profile). Requires ρ <= R <= P.
+Seconds gs_delay_bound(const GsAdspec& adspec, const TrafficProfile& p,
+                       BitsPerSecond reservation);
+
+/// Minimal reservation R meeting `d_req`; +infinity if unattainable even as
+/// R -> infinity (d_req <= D_tot).
+BitsPerSecond gs_min_rate(const GsAdspec& adspec, const TrafficProfile& p,
+                          Seconds d_req);
+
+}  // namespace qosbb
+
+#endif  // QOSBB_GS_WFQ_REFERENCE_H_

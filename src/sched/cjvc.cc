@@ -1,0 +1,44 @@
+#include "sched/cjvc.h"
+
+namespace qosbb {
+
+CjvcScheduler::CjvcScheduler(BitsPerSecond capacity, Bits l_max)
+    : Scheduler(capacity, l_max) {}
+
+void CjvcScheduler::enqueue(Seconds now, Packet p) {
+  const Seconds eligible_at = p.state.virtual_time;
+  if (eligible_at <= now) {
+    eligible_.push(virtual_finish_time(kind(), p), std::move(p));
+  } else {
+    held_.push(eligible_at, std::move(p));
+  }
+}
+
+void CjvcScheduler::promote(Seconds now) {
+  while (!held_.empty() && held_.peek_key() <= now) {
+    Packet p = held_.pop();
+    eligible_.push(virtual_finish_time(kind(), p), std::move(p));
+  }
+}
+
+std::optional<Packet> CjvcScheduler::dequeue(Seconds now) {
+  promote(now);
+  if (eligible_.empty()) return std::nullopt;
+  return eligible_.pop();
+}
+
+bool CjvcScheduler::empty() const {
+  return held_.empty() && eligible_.empty();
+}
+
+std::size_t CjvcScheduler::queue_length() const {
+  return held_.size() + eligible_.size();
+}
+
+std::optional<Seconds> CjvcScheduler::next_eligible_after(Seconds now) const {
+  if (!eligible_.empty()) return now;
+  if (held_.empty()) return std::nullopt;
+  return held_.peek_key();
+}
+
+}  // namespace qosbb

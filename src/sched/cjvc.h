@@ -1,0 +1,38 @@
+// Core-Jitter Virtual Clock (CJVC), Stoica & Zhang, SIGCOMM 1999.
+//
+// The non-work-conserving sibling of C̸SVC: a packet is held until its
+// virtual arrival time ω̃ (jitter control, which enforces the reality-check
+// property exactly), then serviced in virtual-finish-time order. Same error
+// term Ψ = L*max/C under Σ r^j <= C.
+
+#ifndef QOSBB_SCHED_CJVC_H_
+#define QOSBB_SCHED_CJVC_H_
+
+#include "sched/scheduler.h"
+
+namespace qosbb {
+
+class CjvcScheduler final : public Scheduler {
+ public:
+  CjvcScheduler(BitsPerSecond capacity, Bits l_max);
+
+  void enqueue(Seconds now, Packet p) override;
+  std::optional<Packet> dequeue(Seconds now) override;
+  bool empty() const override;
+  std::size_t queue_length() const override;
+  std::optional<Seconds> next_eligible_after(Seconds now) const override;
+
+  SchedulerKind kind() const override { return SchedulerKind::kRateBased; }
+  const char* name() const override { return "CJVC"; }
+
+ private:
+  /// Move packets whose eligibility time has passed into the service queue.
+  void promote(Seconds now);
+
+  DeadlineQueue held_;     // keyed by eligibility time ω̃
+  DeadlineQueue eligible_; // keyed by virtual finish time ν̃
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_SCHED_CJVC_H_

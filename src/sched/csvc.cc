@@ -1,0 +1,17 @@
+#include "sched/csvc.h"
+
+namespace qosbb {
+
+CsvcScheduler::CsvcScheduler(BitsPerSecond capacity, Bits l_max)
+    : Scheduler(capacity, l_max) {}
+
+void CsvcScheduler::enqueue(Seconds /*now*/, Packet p) {
+  queue_.push(virtual_finish_time(kind(), p), std::move(p));
+}
+
+std::optional<Packet> CsvcScheduler::dequeue(Seconds /*now*/) {
+  if (queue_.empty()) return std::nullopt;
+  return queue_.pop();
+}
+
+}  // namespace qosbb

@@ -1,0 +1,33 @@
+// Core-stateless Virtual Clock (C̸SVC).
+//
+// The work-conserving counterpart of CJVC (Section 2.1): packets are
+// serviced in order of their virtual finish times ν̃ = ω̃ + L/r + δ, computed
+// purely from the carried packet state. If Σ_j r^j <= C, C̸SVC guarantees
+// each flow its reserved rate with error term Ψ = L*max/C.
+
+#ifndef QOSBB_SCHED_CSVC_H_
+#define QOSBB_SCHED_CSVC_H_
+
+#include "sched/scheduler.h"
+
+namespace qosbb {
+
+class CsvcScheduler final : public Scheduler {
+ public:
+  CsvcScheduler(BitsPerSecond capacity, Bits l_max);
+
+  void enqueue(Seconds now, Packet p) override;
+  std::optional<Packet> dequeue(Seconds now) override;
+  bool empty() const override { return queue_.empty(); }
+  std::size_t queue_length() const override { return queue_.size(); }
+
+  SchedulerKind kind() const override { return SchedulerKind::kRateBased; }
+  const char* name() const override { return "CSVC"; }
+
+ private:
+  DeadlineQueue queue_;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_SCHED_CSVC_H_

@@ -1,0 +1,25 @@
+#include "sched/fifo.h"
+
+#include <limits>
+
+namespace qosbb {
+
+FifoScheduler::FifoScheduler(BitsPerSecond capacity, Bits l_max)
+    : Scheduler(capacity, l_max) {}
+
+void FifoScheduler::enqueue(Seconds /*now*/, Packet p) {
+  queue_.push_back(std::move(p));
+}
+
+std::optional<Packet> FifoScheduler::dequeue(Seconds /*now*/) {
+  if (queue_.empty()) return std::nullopt;
+  Packet p = std::move(queue_.front());
+  queue_.pop_front();
+  return p;
+}
+
+Seconds FifoScheduler::error_term() const {
+  return std::numeric_limits<Seconds>::infinity();
+}
+
+}  // namespace qosbb

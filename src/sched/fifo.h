@@ -1,0 +1,35 @@
+// First-in first-out scheduler — the null baseline (no QoS differentiation).
+
+#ifndef QOSBB_SCHED_FIFO_H_
+#define QOSBB_SCHED_FIFO_H_
+
+#include <deque>
+
+#include "sched/scheduler.h"
+
+namespace qosbb {
+
+class FifoScheduler final : public Scheduler {
+ public:
+  FifoScheduler(BitsPerSecond capacity, Bits l_max);
+
+  void enqueue(Seconds now, Packet p) override;
+  std::optional<Packet> dequeue(Seconds now) override;
+  bool empty() const override { return queue_.empty(); }
+  std::size_t queue_length() const override { return queue_.size(); }
+
+  SchedulerKind kind() const override { return SchedulerKind::kRateBased; }
+  const char* name() const override { return "FIFO"; }
+  /// FIFO provides no per-flow guarantee; its "error term" is the full
+  /// worst-case busy period, which the VTRS cannot bound in general. We
+  /// report infinity so admission logic never treats FIFO hops as
+  /// guaranteed-service capable.
+  Seconds error_term() const override;
+
+ private:
+  std::deque<Packet> queue_;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_SCHED_FIFO_H_

@@ -1,0 +1,47 @@
+// Packet representation with VTRS dynamic packet state.
+//
+// Under the Virtual Time Reference System (Section 2.1) every packet
+// entering the network core carries: the flow's rate–delay parameter pair
+// ⟨r, d⟩, the packet's virtual time stamp ω̃ (virtual arrival time at the
+// router currently being traversed), and the virtual time adjustment term δ.
+// Core routers schedule using ONLY this carried state — no per-flow lookup.
+
+#ifndef QOSBB_SCHED_PACKET_H_
+#define QOSBB_SCHED_PACKET_H_
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace qosbb {
+
+using FlowId = std::int64_t;
+constexpr FlowId kInvalidFlowId = -1;
+
+/// Dynamic packet state inserted by the edge conditioner (Section 2.1,
+/// "Packet State"). For a macroflow the state is the aggregate's.
+struct PacketState {
+  BitsPerSecond rate = 0.0;     ///< reserved rate r^j
+  Seconds delay_param = 0.0;    ///< delay parameter d^j (delay-based hops)
+  Seconds virtual_time = 0.0;   ///< ω̃_i^{j,k}: virtual arrival at current hop
+  Seconds delta = 0.0;          ///< δ^{j,k}: virtual time adjustment term
+};
+
+/// A packet in flight. Value type; moved through the simulator.
+struct Packet {
+  FlowId flow = kInvalidFlowId;      ///< flow (or macroflow) id
+  std::uint64_t seq = 0;             ///< per-flow sequence number
+  Bits size = 0.0;                   ///< L^{j,k}, bits
+  PacketState state;                 ///< VTRS dynamic packet state
+
+  // --- measurement bookkeeping (not visible to core schedulers) ---
+  Seconds source_time = 0.0;  ///< arrival at the edge conditioner
+  Seconds edge_time = 0.0;    ///< â_1^{j,k}: injection into the first core hop
+  Seconds hop_arrival = 0.0;  ///< actual arrival time at the current hop
+  int hop_index = 0;          ///< 0-based index of the current hop
+  FlowId microflow = kInvalidFlowId;  ///< original microflow id (aggregation)
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_SCHED_PACKET_H_

@@ -1,0 +1,53 @@
+// Rate-Controlled Earliest Deadline First (RC-EDF) — stateful IntServ
+// baseline (Georgiadis et al. 1996; Zhang & Ferrari 1993).
+//
+// Each flow passes through a per-flow rate regulator that releases packet k
+// no earlier than e^k = max(a^k, e^{k-1} + L^k/r_j) (spacing at the reserved
+// rate), then an EDF queue with deadline e^k + d_j where d_j is the flow's
+// local delay assignment at this hop. Requires per-flow state ⟨r_j, d_j⟩ at
+// the router — the cost the BB/VTRS architecture eliminates.
+
+#ifndef QOSBB_SCHED_RCEDF_H_
+#define QOSBB_SCHED_RCEDF_H_
+
+#include <unordered_map>
+
+#include "sched/scheduler.h"
+
+namespace qosbb {
+
+class RcEdfScheduler final : public Scheduler {
+ public:
+  RcEdfScheduler(BitsPerSecond capacity, Bits l_max);
+
+  /// Install per-flow ⟨rate, local delay⟩ reservation state. A packet from
+  /// an unconfigured flow uses the ⟨r, d⟩ carried in its header.
+  void configure_flow(FlowId flow, BitsPerSecond rate, Seconds local_delay);
+  void remove_flow(FlowId flow);
+
+  void enqueue(Seconds now, Packet p) override;
+  std::optional<Packet> dequeue(Seconds now) override;
+  bool empty() const override;
+  std::size_t queue_length() const override;
+  std::optional<Seconds> next_eligible_after(Seconds now) const override;
+
+  SchedulerKind kind() const override { return SchedulerKind::kDelayBased; }
+  const char* name() const override { return "RC-EDF"; }
+
+ private:
+  struct FlowConfig {
+    BitsPerSecond rate;
+    Seconds local_delay;
+  };
+  FlowConfig config_for(const Packet& p) const;
+  void promote(Seconds now);
+
+  DeadlineQueue regulated_;  // keyed by eligibility time e^k
+  DeadlineQueue edf_;        // keyed by deadline e^k + d_j
+  std::unordered_map<FlowId, FlowConfig> config_;
+  std::unordered_map<FlowId, Seconds> last_eligible_;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_SCHED_RCEDF_H_

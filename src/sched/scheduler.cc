@@ -1,0 +1,52 @@
+#include "sched/scheduler.h"
+
+#include "util/status.h"
+
+namespace qosbb {
+
+Seconds virtual_deadline(SchedulerKind kind, const Packet& p) {
+  switch (kind) {
+    case SchedulerKind::kRateBased:
+      return p.size / p.state.rate + p.state.delta;
+    case SchedulerKind::kDelayBased:
+      return p.state.delay_param;
+  }
+  return 0.0;
+}
+
+Seconds virtual_finish_time(SchedulerKind kind, const Packet& p) {
+  return p.state.virtual_time + virtual_deadline(kind, p);
+}
+
+Scheduler::Scheduler(BitsPerSecond capacity, Bits l_max)
+    : capacity_(capacity), l_max_(l_max) {
+  QOSBB_REQUIRE(capacity > 0.0, "Scheduler: capacity must be positive");
+  QOSBB_REQUIRE(l_max > 0.0, "Scheduler: l_max must be positive");
+}
+
+std::optional<Seconds> Scheduler::next_eligible_after(Seconds) const {
+  return std::nullopt;
+}
+
+void DeadlineQueue::push(Seconds key, Packet p) {
+  heap_.push(Entry{key, next_tie_++, std::move(p)});
+}
+
+Packet DeadlineQueue::pop() {
+  QOSBB_REQUIRE(!heap_.empty(), "DeadlineQueue::pop on empty queue");
+  Packet p = heap_.top().packet;
+  heap_.pop();
+  return p;
+}
+
+const Packet& DeadlineQueue::peek() const {
+  QOSBB_REQUIRE(!heap_.empty(), "DeadlineQueue::peek on empty queue");
+  return heap_.top().packet;
+}
+
+Seconds DeadlineQueue::peek_key() const {
+  QOSBB_REQUIRE(!heap_.empty(), "DeadlineQueue::peek_key on empty queue");
+  return heap_.top().key;
+}
+
+}  // namespace qosbb

@@ -1,0 +1,104 @@
+// Scheduler interface and shared machinery.
+//
+// The VTRS characterizes every scheduler by (i) whether it is rate-based or
+// delay-based — which determines the virtual deadline d̃ used in the per-hop
+// virtual time update — and (ii) an error term Ψ such that every packet
+// departs by ν̃ + Ψ, where ν̃ = ω̃ + d̃ is the packet's virtual finish time
+// (Section 2.1). Both C̸SVC and VT-EDF achieve the minimum Ψ = L*max/C.
+
+#ifndef QOSBB_SCHED_SCHEDULER_H_
+#define QOSBB_SCHED_SCHEDULER_H_
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "sched/packet.h"
+#include "util/units.h"
+
+namespace qosbb {
+
+enum class SchedulerKind {
+  kRateBased,   // virtual deadline d̃ = L/r + δ (e.g. C̸SVC, CJVC, VC)
+  kDelayBased,  // virtual deadline d̃ = d      (e.g. VT-EDF, RC-EDF)
+};
+
+/// Virtual deadline of a packet at a scheduler of the given kind
+/// (Section 2.1, "Virtual Time Reference/Update Mechanism").
+Seconds virtual_deadline(SchedulerKind kind, const Packet& p);
+
+/// Virtual finish time ν̃ = ω̃ + d̃.
+Seconds virtual_finish_time(SchedulerKind kind, const Packet& p);
+
+/// Abstract packet scheduler attached to one outgoing link.
+///
+/// Contract: `enqueue` is called at the packet's arrival instant; `dequeue`
+/// is called only when the link transmitter is idle and returns the packet
+/// to serialize next, or nullopt if nothing is eligible yet. In that case
+/// `next_eligible_after` tells the link when to retry (non-work-conserving
+/// schedulers); work-conserving schedulers always return a packet when
+/// non-empty.
+class Scheduler {
+ public:
+  /// `capacity`: link speed C (b/s). `l_max`: the largest packet size of any
+  /// flow that may traverse this scheduler; sets the error term Ψ = L*max/C.
+  Scheduler(BitsPerSecond capacity, Bits l_max);
+  virtual ~Scheduler() = default;
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  virtual void enqueue(Seconds now, Packet p) = 0;
+  virtual std::optional<Packet> dequeue(Seconds now) = 0;
+  virtual bool empty() const = 0;
+  virtual std::size_t queue_length() const = 0;
+  /// Earliest future instant at which a currently held packet becomes
+  /// eligible; nullopt for work-conserving schedulers.
+  virtual std::optional<Seconds> next_eligible_after(Seconds now) const;
+
+  virtual SchedulerKind kind() const = 0;
+  virtual const char* name() const = 0;
+
+  BitsPerSecond capacity() const { return capacity_; }
+  Bits l_max() const { return l_max_; }
+  /// Error term Ψ (Section 2.1). Both C̸SVC and VT-EDF achieve L*max/C;
+  /// subclasses with a different guarantee override.
+  virtual Seconds error_term() const { return l_max_ / capacity_; }
+
+ private:
+  BitsPerSecond capacity_;
+  Bits l_max_;
+};
+
+/// Priority queue of packets keyed by a deadline, FIFO within equal keys.
+/// Shared by every deadline-ordered scheduler in this library.
+class DeadlineQueue {
+ public:
+  void push(Seconds key, Packet p);
+  /// Smallest-key packet. Requires non-empty.
+  Packet pop();
+  const Packet& peek() const;
+  Seconds peek_key() const;
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    Seconds key;
+    std::uint64_t tie;
+    Packet packet;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.key != b.key) return a.key > b.key;
+      return a.tie > b.tie;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_tie_ = 0;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_SCHED_SCHEDULER_H_

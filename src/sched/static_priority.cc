@@ -1,0 +1,63 @@
+#include "sched/static_priority.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace qosbb {
+
+StaticPriorityScheduler::StaticPriorityScheduler(
+    BitsPerSecond capacity, Bits l_max, std::vector<Seconds> level_delays)
+    : Scheduler(capacity, l_max), level_delays_(std::move(level_delays)) {
+  QOSBB_REQUIRE(!level_delays_.empty(),
+                "StaticPriorityScheduler: need at least one level");
+  QOSBB_REQUIRE(std::is_sorted(level_delays_.begin(), level_delays_.end()),
+                "StaticPriorityScheduler: level delays must ascend");
+  queues_.resize(level_delays_.size());
+}
+
+int StaticPriorityScheduler::level_for(Seconds delay_param) const {
+  for (std::size_t k = 0; k < level_delays_.size(); ++k) {
+    if (delay_param <= level_delays_[k] + 1e-12) {
+      return static_cast<int>(k);
+    }
+  }
+  return static_cast<int>(level_delays_.size()) - 1;
+}
+
+void StaticPriorityScheduler::enqueue(Seconds /*now*/, Packet p) {
+  queues_[static_cast<std::size_t>(level_for(p.state.delay_param))]
+      .push_back(std::move(p));
+}
+
+std::optional<Packet> StaticPriorityScheduler::dequeue(Seconds /*now*/) {
+  for (auto& q : queues_) {
+    if (!q.empty()) {
+      Packet p = std::move(q.front());
+      q.pop_front();
+      return p;
+    }
+  }
+  return std::nullopt;
+}
+
+bool StaticPriorityScheduler::empty() const {
+  for (const auto& q : queues_) {
+    if (!q.empty()) return false;
+  }
+  return true;
+}
+
+std::size_t StaticPriorityScheduler::queue_length() const {
+  std::size_t n = 0;
+  for (const auto& q : queues_) n += q.size();
+  return n;
+}
+
+std::size_t StaticPriorityScheduler::level_backlog(int level) const {
+  QOSBB_REQUIRE(level >= 0 && level < levels(),
+                "StaticPriorityScheduler: bad level");
+  return queues_[static_cast<std::size_t>(level)].size();
+}
+
+}  // namespace qosbb

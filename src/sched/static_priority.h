@@ -1,0 +1,54 @@
+// Static Priority (SP) — a delay-based scheduler with per-class FIFO queues.
+//
+// The VTRS framework (Section 2.1) claims "almost all known scheduling
+// algorithms" can be characterized by an error term; SP is the classic
+// delay-class workhorse: packets map to a fixed priority level by their
+// carried delay parameter, levels are served strictly highest-first, FIFO
+// within a level. With level delay targets d_1 < d_2 < ... and per-level
+// admission keeping each level's demand within its schedulable region, SP
+// guarantees level k its target with error term
+//   Ψ_k = L*max / C   (one cross-level packet of blocking, as for VT-EDF)
+// provided the aggregate demand of levels 1..k fits C·d_k. That
+// schedulability arithmetic is the same knot test the BB already runs
+// (LinkQosState::edf_schedulable_with with the class delays as knots), so
+// SP slots into the existing admission machinery as a VT-EDF stand-in with
+// a coarser (per-class) deadline resolution.
+
+#ifndef QOSBB_SCHED_STATIC_PRIORITY_H_
+#define QOSBB_SCHED_STATIC_PRIORITY_H_
+
+#include <deque>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace qosbb {
+
+class StaticPriorityScheduler final : public Scheduler {
+ public:
+  /// `level_delays`: ascending per-level delay targets; a packet joins the
+  /// first level whose target is >= its carried delay parameter (packets
+  /// tighter than every level join level 0; looser ones join the last).
+  StaticPriorityScheduler(BitsPerSecond capacity, Bits l_max,
+                          std::vector<Seconds> level_delays);
+
+  void enqueue(Seconds now, Packet p) override;
+  std::optional<Packet> dequeue(Seconds now) override;
+  bool empty() const override;
+  std::size_t queue_length() const override;
+
+  SchedulerKind kind() const override { return SchedulerKind::kDelayBased; }
+  const char* name() const override { return "SP"; }
+
+  int levels() const { return static_cast<int>(queues_.size()); }
+  int level_for(Seconds delay_param) const;
+  std::size_t level_backlog(int level) const;
+
+ private:
+  std::vector<Seconds> level_delays_;
+  std::vector<std::deque<Packet>> queues_;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_SCHED_STATIC_PRIORITY_H_

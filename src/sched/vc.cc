@@ -1,0 +1,37 @@
+#include "sched/vc.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace qosbb {
+
+VcScheduler::VcScheduler(BitsPerSecond capacity, Bits l_max)
+    : Scheduler(capacity, l_max) {}
+
+void VcScheduler::configure_flow(FlowId flow, BitsPerSecond rate) {
+  QOSBB_REQUIRE(rate > 0.0, "VcScheduler: rate must be positive");
+  rate_[flow] = rate;
+}
+
+void VcScheduler::remove_flow(FlowId flow) {
+  rate_.erase(flow);
+  clock_.erase(flow);
+}
+
+void VcScheduler::enqueue(Seconds now, Packet p) {
+  auto it = rate_.find(p.flow);
+  const BitsPerSecond r =
+      it != rate_.end() ? it->second : p.state.rate;
+  QOSBB_REQUIRE(r > 0.0, "VcScheduler: packet with no usable rate");
+  Seconds& vc = clock_[p.flow];  // zero-initialized on first use
+  vc = std::max(now, vc) + p.size / r;
+  queue_.push(vc, std::move(p));
+}
+
+std::optional<Packet> VcScheduler::dequeue(Seconds /*now*/) {
+  if (queue_.empty()) return std::nullopt;
+  return queue_.pop();
+}
+
+}  // namespace qosbb

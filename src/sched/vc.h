@@ -1,0 +1,46 @@
+// Virtual Clock (VC) — stateful IntServ baseline.
+//
+// The stateful counterpart of C̸SVC used by the paper's IntServ/GS
+// comparison (Section 5): the router keeps a per-flow virtual clock
+//   VC_j <- max(arrival, VC_j) + L/r_j
+// and services packets in VC order. Rates come from per-flow reservation
+// state installed at the router (configure_flow), exactly what the BB
+// architecture removes from the core.
+
+#ifndef QOSBB_SCHED_VC_H_
+#define QOSBB_SCHED_VC_H_
+
+#include <unordered_map>
+
+#include "sched/scheduler.h"
+
+namespace qosbb {
+
+class VcScheduler final : public Scheduler {
+ public:
+  VcScheduler(BitsPerSecond capacity, Bits l_max);
+
+  /// Install per-flow reservation state (the hop-by-hop model). A packet
+  /// from a flow without installed state falls back to the rate carried in
+  /// its packet header, so mixed experiments still run.
+  void configure_flow(FlowId flow, BitsPerSecond rate);
+  void remove_flow(FlowId flow);
+  std::size_t configured_flows() const { return rate_.size(); }
+
+  void enqueue(Seconds now, Packet p) override;
+  std::optional<Packet> dequeue(Seconds now) override;
+  bool empty() const override { return queue_.empty(); }
+  std::size_t queue_length() const override { return queue_.size(); }
+
+  SchedulerKind kind() const override { return SchedulerKind::kRateBased; }
+  const char* name() const override { return "VC"; }
+
+ private:
+  DeadlineQueue queue_;
+  std::unordered_map<FlowId, BitsPerSecond> rate_;
+  std::unordered_map<FlowId, Seconds> clock_;  // per-flow virtual clock
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_SCHED_VC_H_

@@ -1,0 +1,17 @@
+#include "sched/vtedf.h"
+
+namespace qosbb {
+
+VtEdfScheduler::VtEdfScheduler(BitsPerSecond capacity, Bits l_max)
+    : Scheduler(capacity, l_max) {}
+
+void VtEdfScheduler::enqueue(Seconds /*now*/, Packet p) {
+  queue_.push(virtual_finish_time(kind(), p), std::move(p));
+}
+
+std::optional<Packet> VtEdfScheduler::dequeue(Seconds /*now*/) {
+  if (queue_.empty()) return std::nullopt;
+  return queue_.pop();
+}
+
+}  // namespace qosbb

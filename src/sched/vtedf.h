@@ -1,0 +1,38 @@
+// Virtual-Time Earliest Deadline First (VT-EDF).
+//
+// Delay-based core-stateless scheduler (Section 2.1): packets are serviced
+// in order of virtual finish time ν̃ = ω̃ + d, where d is the flow's delay
+// parameter carried in the packet state. Unlike RC-EDF it needs no per-flow
+// rate control. Under the schedulability condition (eq. 5)
+//   Σ_j [r^j (t − d^j) + L^{j,max}] · 1{t >= d^j} <= C·t   for all t >= 0,
+// VT-EDF guarantees each flow its delay parameter with Ψ = L*max/C.
+//
+// The schedulability test itself lives in the bandwidth broker
+// (core/perflow_admission.*); the scheduler here is pure data plane.
+
+#ifndef QOSBB_SCHED_VTEDF_H_
+#define QOSBB_SCHED_VTEDF_H_
+
+#include "sched/scheduler.h"
+
+namespace qosbb {
+
+class VtEdfScheduler final : public Scheduler {
+ public:
+  VtEdfScheduler(BitsPerSecond capacity, Bits l_max);
+
+  void enqueue(Seconds now, Packet p) override;
+  std::optional<Packet> dequeue(Seconds now) override;
+  bool empty() const override { return queue_.empty(); }
+  std::size_t queue_length() const override { return queue_.size(); }
+
+  SchedulerKind kind() const override { return SchedulerKind::kDelayBased; }
+  const char* name() const override { return "VT-EDF"; }
+
+ private:
+  DeadlineQueue queue_;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_SCHED_VTEDF_H_

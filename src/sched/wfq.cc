@@ -1,0 +1,77 @@
+#include "sched/wfq.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace qosbb {
+
+WfqScheduler::WfqScheduler(BitsPerSecond capacity, Bits l_max)
+    : Scheduler(capacity, l_max) {}
+
+void WfqScheduler::configure_flow(FlowId flow, BitsPerSecond rate) {
+  QOSBB_REQUIRE(rate > 0.0, "WfqScheduler: rate must be positive");
+  rate_[flow] = rate;
+}
+
+void WfqScheduler::remove_flow(FlowId flow) {
+  // Removing a flow whose packets are still queued would corrupt the
+  // active-weight accounting (its queued packets would release a different
+  // weight than they charged). Drain first.
+  auto it = backlog_.find(flow);
+  QOSBB_REQUIRE(it == backlog_.end() || it->second == 0,
+                "WfqScheduler::remove_flow: flow still backlogged");
+  rate_.erase(flow);
+  finish_.erase(flow);
+}
+
+BitsPerSecond WfqScheduler::flow_rate(const Packet& p) const {
+  auto it = rate_.find(p.flow);
+  const BitsPerSecond r = it != rate_.end() ? it->second : p.state.rate;
+  QOSBB_REQUIRE(r > 0.0, "WfqScheduler: packet with no usable rate");
+  return r;
+}
+
+void WfqScheduler::advance(Seconds now) {
+  QOSBB_REQUIRE(now >= vt_updated_, "WfqScheduler: time went backwards");
+  if (active_weight_ > 0.0) {
+    vt_ += capacity() * (now - vt_updated_) / active_weight_;
+  } else {
+    // Idle system: virtual time tracks real time so fresh arrivals are not
+    // penalized by stale tags.
+    vt_ = std::max(vt_, now);
+  }
+  vt_updated_ = now;
+}
+
+Seconds WfqScheduler::virtual_time(Seconds now) {
+  advance(now);
+  return vt_;
+}
+
+void WfqScheduler::enqueue(Seconds now, Packet p) {
+  advance(now);
+  const BitsPerSecond r = flow_rate(p);
+  Seconds& f = finish_[p.flow];
+  f = std::max(vt_, f) + p.size / r;
+  auto [it, inserted] = backlog_.try_emplace(p.flow, 0);
+  if (it->second == 0) active_weight_ += r;
+  ++it->second;
+  queue_.push(f, std::move(p));
+}
+
+std::optional<Packet> WfqScheduler::dequeue(Seconds now) {
+  if (queue_.empty()) return std::nullopt;
+  advance(now);
+  Packet p = queue_.pop();
+  auto it = backlog_.find(p.flow);
+  QOSBB_REQUIRE(it != backlog_.end() && it->second > 0,
+                "WfqScheduler: backlog accounting broken");
+  if (--it->second == 0) {
+    active_weight_ -= flow_rate(p);
+    if (active_weight_ < 1e-9) active_weight_ = 0.0;
+  }
+  return p;
+}
+
+}  // namespace qosbb

@@ -1,0 +1,56 @@
+// Weighted Fair Queueing (WFQ) — stateful IntServ reference scheduler.
+//
+// Packetized GPS with weights equal to reserved rates: finish tag
+//   F_j^k = max(V(a^k), F_j^{k-1}) + L^k / r_j,
+// service in increasing F order. The GPS virtual time V(t) is tracked with
+// the standard event-driven approximation: V advances at rate
+// C / Σ_{backlogged j} r_j between queue events (the practical
+// implementation used in production WFQ routers). The WFQ delay guarantee
+// behind the IntServ/GS admission test uses the error term Ψ = L*max/C,
+// identical in form to C̸SVC's.
+
+#ifndef QOSBB_SCHED_WFQ_H_
+#define QOSBB_SCHED_WFQ_H_
+
+#include <unordered_map>
+
+#include "sched/scheduler.h"
+
+namespace qosbb {
+
+class WfqScheduler final : public Scheduler {
+ public:
+  WfqScheduler(BitsPerSecond capacity, Bits l_max);
+
+  /// Install per-flow reservation state. Packets of unconfigured flows use
+  /// their carried rate as the weight.
+  void configure_flow(FlowId flow, BitsPerSecond rate);
+  void remove_flow(FlowId flow);
+
+  void enqueue(Seconds now, Packet p) override;
+  std::optional<Packet> dequeue(Seconds now) override;
+  bool empty() const override { return queue_.empty(); }
+  std::size_t queue_length() const override { return queue_.size(); }
+
+  SchedulerKind kind() const override { return SchedulerKind::kRateBased; }
+  const char* name() const override { return "WFQ"; }
+
+  /// Current GPS virtual time (exposed for tests).
+  Seconds virtual_time(Seconds now);
+
+ private:
+  BitsPerSecond flow_rate(const Packet& p) const;
+  void advance(Seconds now);
+
+  DeadlineQueue queue_;
+  std::unordered_map<FlowId, BitsPerSecond> rate_;
+  std::unordered_map<FlowId, Seconds> finish_;     // last finish tag
+  std::unordered_map<FlowId, std::size_t> backlog_;  // queued packets
+  BitsPerSecond active_weight_ = 0.0;  // Σ rates of backlogged flows
+  Seconds vt_ = 0.0;
+  Seconds vt_updated_ = 0.0;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_SCHED_WFQ_H_

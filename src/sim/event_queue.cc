@@ -1,0 +1,41 @@
+#include "sim/event_queue.h"
+
+#include "util/status.h"
+
+namespace qosbb {
+
+void EventQueue::schedule(Seconds t, Action action) {
+  QOSBB_REQUIRE(t >= now_ - 1e-12, "EventQueue: scheduling into the past");
+  heap_.push(Event{t < now_ ? now_ : t, next_seq_++, std::move(action)});
+}
+
+Seconds EventQueue::next_time() const {
+  QOSBB_REQUIRE(!heap_.empty(), "EventQueue::next_time on empty queue");
+  return heap_.top().time;
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // Move the action out before popping so the closure may schedule more
+  // events (which can reallocate the heap).
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = ev.time;
+  ++dispatched_;
+  ev.action();
+  return true;
+}
+
+void EventQueue::run_until(Seconds t_end) {
+  while (!heap_.empty() && heap_.top().time <= t_end) {
+    step();
+  }
+  if (now_ < t_end) now_ = t_end;
+}
+
+void EventQueue::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace qosbb

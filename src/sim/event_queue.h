@@ -1,0 +1,67 @@
+// Discrete-event engine.
+//
+// A deterministic min-heap of timestamped closures. Ties are broken by
+// insertion order so simulation runs are exactly reproducible.
+
+#ifndef QOSBB_SIM_EVENT_QUEUE_H_
+#define QOSBB_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/units.h"
+
+namespace qosbb {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulation time (time of the last dispatched event).
+  Seconds now() const { return now_; }
+
+  /// Schedule `action` at absolute time `t` (t >= now()).
+  void schedule(Seconds t, Action action);
+  /// Schedule `action` `dt` seconds from now.
+  void schedule_in(Seconds dt, Action action) { schedule(now_ + dt, std::move(action)); }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+  /// Time of the next event; requires non-empty.
+  Seconds next_time() const;
+
+  /// Dispatch a single event. Returns false if the queue is empty.
+  bool step();
+  /// Run until the queue is empty or time would exceed `t_end`. Events at
+  /// exactly t_end are dispatched. Advances now() to at most t_end.
+  void run_until(Seconds t_end);
+  /// Run to exhaustion (use with finite workloads only).
+  void run_all();
+
+  /// Total number of events dispatched (for perf reporting).
+  std::uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  struct Event {
+    Seconds time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  Seconds now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,61 @@
+#include "sim/link.h"
+
+#include "sim/node.h"
+#include "util/status.h"
+
+namespace qosbb {
+
+Link::Link(std::string name, EventQueue& events,
+           std::unique_ptr<Scheduler> sched, Seconds propagation_delay,
+           Node* dst)
+    : name_(std::move(name)),
+      events_(events),
+      sched_(std::move(sched)),
+      propagation_delay_(propagation_delay),
+      dst_(dst) {
+  QOSBB_REQUIRE(sched_ != nullptr, "Link: null scheduler");
+  QOSBB_REQUIRE(propagation_delay >= 0.0, "Link: negative propagation delay");
+  QOSBB_REQUIRE(dst != nullptr, "Link: null destination");
+}
+
+void Link::accept(Seconds now, Packet p) {
+  sched_->enqueue(now, std::move(p));
+  try_start(now);
+}
+
+void Link::try_start(Seconds now) {
+  if (busy_) return;
+  auto pkt = sched_->dequeue(now);
+  if (!pkt) {
+    // Non-work-conserving scheduler holding packets: arrange a retry at the
+    // next eligibility instant (deduplicated).
+    auto t = sched_->next_eligible_after(now);
+    if (t && (!retry_at_ || *t < *retry_at_)) {
+      retry_at_ = *t;
+      events_.schedule(*t, [this, t = *t] {
+        if (retry_at_ && *retry_at_ == t) retry_at_.reset();
+        try_start(events_.now());
+      });
+    }
+    return;
+  }
+  busy_ = true;
+  const Seconds tx_end = now + pkt->size / capacity();
+  events_.schedule(tx_end, [this, p = std::move(*pkt)]() mutable {
+    on_tx_complete(events_.now(), std::move(p));
+  });
+}
+
+void Link::on_tx_complete(Seconds now, Packet p) {
+  busy_ = false;
+  ++packets_sent_;
+  bits_sent_ += p.size;
+  if (hook_) hook_(now, p);
+  const Seconds arrive = now + propagation_delay_;
+  events_.schedule(arrive, [this, p = std::move(p)]() mutable {
+    dst_->receive(events_.now(), std::move(p));
+  });
+  try_start(now);
+}
+
+}  // namespace qosbb

@@ -1,0 +1,71 @@
+// A unidirectional link: scheduler + serializing transmitter + propagation.
+//
+// The link owns its packet scheduler. When the transmitter goes idle it asks
+// the scheduler for the next packet, serializes it for size/C seconds, fires
+// the departure hook (where the VTRS per-hop virtual-time update lives —
+// see vtrs/core_hop.h), and delivers the packet to the downstream node after
+// the propagation delay π.
+
+#ifndef QOSBB_SIM_LINK_H_
+#define QOSBB_SIM_LINK_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "sched/scheduler.h"
+#include "sim/event_queue.h"
+#include "util/units.h"
+
+namespace qosbb {
+
+class Node;
+
+class Link {
+ public:
+  /// Called when a packet finishes serialization, before propagation.
+  /// May mutate the packet (VTRS virtual-time update).
+  using DepartureHook = std::function<void(Seconds, Packet&)>;
+
+  Link(std::string name, EventQueue& events, std::unique_ptr<Scheduler> sched,
+       Seconds propagation_delay, Node* dst);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Hand a packet to this link at time `now` (usually events.now()).
+  void accept(Seconds now, Packet p);
+
+  /// Install the departure hook (at most one; later installs replace).
+  void set_departure_hook(DepartureHook hook) { hook_ = std::move(hook); }
+
+  const std::string& name() const { return name_; }
+  Scheduler& scheduler() { return *sched_; }
+  const Scheduler& scheduler() const { return *sched_; }
+  BitsPerSecond capacity() const { return sched_->capacity(); }
+  Seconds propagation_delay() const { return propagation_delay_; }
+  Node* destination() const { return dst_; }
+  bool busy() const { return busy_; }
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  Bits bits_sent() const { return bits_sent_; }
+
+ private:
+  void try_start(Seconds now);
+  void on_tx_complete(Seconds now, Packet p);
+
+  std::string name_;
+  EventQueue& events_;
+  std::unique_ptr<Scheduler> sched_;
+  Seconds propagation_delay_;
+  Node* dst_;
+  DepartureHook hook_;
+  bool busy_ = false;
+  std::optional<Seconds> retry_at_;
+  std::uint64_t packets_sent_ = 0;
+  Bits bits_sent_ = 0.0;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_SIM_LINK_H_

@@ -1,0 +1,50 @@
+#include "sim/meter.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace qosbb {
+
+void DelayMeter::deliver(Seconds now, const Packet& p) {
+  ++total_packets_;
+  FlowRecord& rec = records_[p.flow];
+  const Seconds core = now - p.edge_time;
+  const Seconds total = now - p.source_time;
+  rec.core_delay.add(core);
+  rec.total_delay.add(total);
+  rec.edge_delay.add(p.edge_time - p.source_time);
+  if (rec.last_delivery >= 0.0) {
+    rec.delivery_spacing.add(now - rec.last_delivery);
+  }
+  rec.last_delivery = now;
+  const Seconds core_slack = rec.core_bound - core;
+  const Seconds total_slack = rec.total_bound - total;
+  rec.min_core_slack = std::min(rec.min_core_slack, core_slack);
+  rec.min_total_slack = std::min(rec.min_total_slack, total_slack);
+  if (core_slack < -kTolerance) ++rec.core_violations;
+  if (total_slack < -kTolerance) ++rec.total_violations;
+}
+
+void DelayMeter::set_bounds(FlowId flow, Seconds core_bound,
+                            Seconds total_bound) {
+  FlowRecord& rec = records_[flow];
+  rec.core_bound = core_bound;
+  rec.total_bound = total_bound;
+}
+
+const DelayMeter::FlowRecord& DelayMeter::record(FlowId flow) const {
+  auto it = records_.find(flow);
+  QOSBB_REQUIRE(it != records_.end(), "DelayMeter: unknown flow");
+  return it->second;
+}
+
+std::uint64_t DelayMeter::total_violations() const {
+  std::uint64_t v = 0;
+  for (const auto& [id, rec] : records_) {
+    v += rec.core_violations + rec.total_violations;
+  }
+  return v;
+}
+
+}  // namespace qosbb

@@ -1,0 +1,65 @@
+// Measurement sinks: per-flow end-to-end delay statistics and delay-bound
+// violation accounting. Attached at egress nodes.
+
+#ifndef QOSBB_SIM_METER_H_
+#define QOSBB_SIM_METER_H_
+
+#include <limits>
+#include <unordered_map>
+
+#include "sim/node.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace qosbb {
+
+/// Records, for every delivered packet of every flow:
+///   * core delay   = delivery − â_1 (injection into the first core hop),
+///     the quantity bounded by eq. (2);
+///   * total delay  = delivery − arrival at the edge conditioner,
+///     the quantity bounded by eq. (4);
+/// and counts violations against per-flow bounds registered with
+/// `set_bounds`.
+class DelayMeter final : public PacketSink {
+ public:
+  struct FlowRecord {
+    RunningStats core_delay;
+    RunningStats total_delay;
+    RunningStats edge_delay;  ///< conditioner queueing: â_1 − arrival
+    /// Delivery jitter: inter-arrival spacing at the sink. Non-work-
+    /// conserving schedulers (CJVC) compress its variance.
+    RunningStats delivery_spacing;
+    Seconds last_delivery = -1.0;
+    Seconds core_bound = std::numeric_limits<Seconds>::infinity();
+    Seconds total_bound = std::numeric_limits<Seconds>::infinity();
+    std::uint64_t core_violations = 0;
+    std::uint64_t total_violations = 0;
+    /// Worst observed slack (bound − delay); negative means violated.
+    Seconds min_core_slack = std::numeric_limits<Seconds>::infinity();
+    Seconds min_total_slack = std::numeric_limits<Seconds>::infinity();
+  };
+
+  void deliver(Seconds now, const Packet& p) override;
+
+  /// Register the analytic bounds for a flow; subsequent deliveries are
+  /// checked. `tolerance` absorbs floating-point noise.
+  void set_bounds(FlowId flow, Seconds core_bound, Seconds total_bound);
+
+  bool has_flow(FlowId flow) const { return records_.contains(flow); }
+  const FlowRecord& record(FlowId flow) const;
+  const std::unordered_map<FlowId, FlowRecord>& records() const {
+    return records_;
+  }
+  std::uint64_t total_packets() const { return total_packets_; }
+  std::uint64_t total_violations() const;
+
+  static constexpr Seconds kTolerance = 1e-9;
+
+ private:
+  std::unordered_map<FlowId, FlowRecord> records_;
+  std::uint64_t total_packets_ = 0;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_SIM_METER_H_

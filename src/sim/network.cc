@@ -1,0 +1,75 @@
+#include "sim/network.h"
+
+#include "util/status.h"
+
+namespace qosbb {
+
+Node& Network::add_node(const std::string& name) {
+  QOSBB_REQUIRE(!nodes_.contains(name), "Network: duplicate node " + name);
+  auto node = std::make_unique<Node>(name);
+  Node& ref = *node;
+  nodes_.emplace(name, std::move(node));
+  return ref;
+}
+
+Node& Network::node(const std::string& name) {
+  auto it = nodes_.find(name);
+  QOSBB_REQUIRE(it != nodes_.end(), "Network: unknown node " + name);
+  return *it->second;
+}
+
+Link& Network::add_link(const std::string& from, const std::string& to,
+                        std::unique_ptr<Scheduler> sched,
+                        Seconds propagation_delay) {
+  const std::string key = link_key(from, to);
+  QOSBB_REQUIRE(!links_.contains(key), "Network: duplicate link " + key);
+  (void)node(from);  // validate endpoints exist
+  Node& dst = node(to);
+  auto link = std::make_unique<Link>(key, events_, std::move(sched),
+                                     propagation_delay, &dst);
+  Link& ref = *link;
+  links_.emplace(key, std::move(link));
+  return ref;
+}
+
+Link& Network::link(const std::string& from, const std::string& to) {
+  auto it = links_.find(link_key(from, to));
+  QOSBB_REQUIRE(it != links_.end(),
+                "Network: unknown link " + link_key(from, to));
+  return *it->second;
+}
+
+bool Network::has_link(const std::string& from, const std::string& to) const {
+  return links_.contains(link_key(from, to));
+}
+
+std::vector<Link*> Network::links_on_path(
+    const std::vector<std::string>& path) {
+  QOSBB_REQUIRE(path.size() >= 2, "links_on_path: need at least two nodes");
+  std::vector<Link*> out;
+  out.reserve(path.size() - 1);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    out.push_back(&link(path[i], path[i + 1]));
+  }
+  return out;
+}
+
+void Network::install_flow_path(FlowId flow,
+                                const std::vector<std::string>& path,
+                                PacketSink* sink) {
+  QOSBB_REQUIRE(sink != nullptr, "install_flow_path: null sink");
+  auto links = links_on_path(path);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    node(path[i]).set_route(flow, links[i]);
+  }
+  node(path.back()).set_sink(flow, sink);
+}
+
+void Network::remove_flow_path(FlowId flow,
+                               const std::vector<std::string>& path) {
+  for (const auto& name : path) {
+    node(name).clear_flow(flow);
+  }
+}
+
+}  // namespace qosbb

@@ -1,0 +1,64 @@
+// Network container: owns the event queue, nodes, links, and sinks, and
+// provides construction and flow-path wiring helpers.
+
+#ifndef QOSBB_SIM_NETWORK_H_
+#define QOSBB_SIM_NETWORK_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/link.h"
+#include "sim/meter.h"
+#include "sim/node.h"
+
+namespace qosbb {
+
+class Network {
+ public:
+  Network() = default;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  EventQueue& events() { return events_; }
+
+  /// Create a node with a unique name.
+  Node& add_node(const std::string& name);
+  Node& node(const std::string& name);
+  bool has_node(const std::string& name) const { return nodes_.contains(name); }
+
+  /// Create a directed link `from -> to` with the given scheduler and
+  /// propagation delay; the link is named "from->to".
+  Link& add_link(const std::string& from, const std::string& to,
+                 std::unique_ptr<Scheduler> sched, Seconds propagation_delay);
+  Link& link(const std::string& from, const std::string& to);
+  bool has_link(const std::string& from, const std::string& to) const;
+
+  /// Wire the forwarding state for `flow` along node names
+  /// [ingress, ..., egress]; each consecutive pair must be connected by a
+  /// link. The egress node delivers to `sink`.
+  void install_flow_path(FlowId flow, const std::vector<std::string>& path,
+                         PacketSink* sink);
+  void remove_flow_path(FlowId flow, const std::vector<std::string>& path);
+
+  /// The links along `path`, in order (h entries for h+1 nodes).
+  std::vector<Link*> links_on_path(const std::vector<std::string>& path);
+
+  void run_until(Seconds t) { events_.run_until(t); }
+  void run_all() { events_.run_all(); }
+
+ private:
+  static std::string link_key(const std::string& from, const std::string& to) {
+    return from + "->" + to;
+  }
+
+  EventQueue events_;
+  std::unordered_map<std::string, std::unique_ptr<Node>> nodes_;
+  std::unordered_map<std::string, std::unique_ptr<Link>> links_;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_SIM_NETWORK_H_

@@ -1,0 +1,36 @@
+#include "sim/node.h"
+
+#include "sim/link.h"
+#include "util/status.h"
+
+namespace qosbb {
+
+void Node::receive(Seconds now, Packet p) {
+  ++packets_received_;
+  if (auto it = sinks_.find(p.flow); it != sinks_.end()) {
+    it->second->deliver(now, p);
+    return;
+  }
+  if (auto it = routes_.find(p.flow); it != routes_.end()) {
+    it->second->accept(now, std::move(p));
+    return;
+  }
+  ++packets_dropped_;
+}
+
+void Node::set_route(FlowId flow, Link* link) {
+  QOSBB_REQUIRE(link != nullptr, "Node::set_route: null link");
+  routes_[flow] = link;
+}
+
+void Node::set_sink(FlowId flow, PacketSink* sink) {
+  QOSBB_REQUIRE(sink != nullptr, "Node::set_sink: null sink");
+  sinks_[flow] = sink;
+}
+
+void Node::clear_flow(FlowId flow) {
+  routes_.erase(flow);
+  sinks_.erase(flow);
+}
+
+}  // namespace qosbb

@@ -1,0 +1,56 @@
+// Router / host node: forwards packets to outgoing links or local sinks by
+// flow id. Note that under the BB architecture this forwarding state is
+// route state (which core routers always have), NOT QoS reservation state.
+
+#ifndef QOSBB_SIM_NODE_H_
+#define QOSBB_SIM_NODE_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "sched/packet.h"
+#include "util/units.h"
+
+namespace qosbb {
+
+class Link;
+
+/// Terminal consumer of packets (egress measurement point).
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void deliver(Seconds now, const Packet& p) = 0;
+};
+
+class Node {
+ public:
+  explicit Node(std::string name) : name_(std::move(name)) {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// A packet arrives at this node at time `now`.
+  void receive(Seconds now, Packet p);
+
+  /// Install forwarding: packets of `flow` go out on `link`.
+  void set_route(FlowId flow, Link* link);
+  /// Install local delivery: packets of `flow` terminate at `sink`.
+  void set_sink(FlowId flow, PacketSink* sink);
+  void clear_flow(FlowId flow);
+
+  const std::string& name() const { return name_; }
+  std::uint64_t packets_received() const { return packets_received_; }
+  /// Packets with neither route nor sink (should stay 0 in experiments).
+  std::uint64_t packets_dropped() const { return packets_dropped_; }
+
+ private:
+  std::string name_;
+  std::unordered_map<FlowId, Link*> routes_;
+  std::unordered_map<FlowId, PacketSink*> sinks_;
+  std::uint64_t packets_received_ = 0;
+  std::uint64_t packets_dropped_ = 0;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_SIM_NODE_H_

@@ -1,0 +1,55 @@
+#include "sim/trace.h"
+
+#include <ostream>
+
+#include "util/status.h"
+
+namespace qosbb {
+
+const char* trace_event_kind_name(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::kEdgeRelease: return "edge";
+    case TraceEventKind::kHopDeparture: return "hop";
+    case TraceEventKind::kDelivery: return "deliver";
+  }
+  return "?";
+}
+
+PacketTrace::PacketTrace(std::size_t capacity) : capacity_(capacity) {
+  QOSBB_REQUIRE(capacity > 0, "PacketTrace: capacity must be positive");
+}
+
+void PacketTrace::record(TraceEvent event) {
+  ++total_;
+  if (events_.size() == capacity_) events_.pop_front();
+  events_.push_back(std::move(event));
+}
+
+void PacketTrace::record(Seconds time, TraceEventKind kind, const Packet& p,
+                         std::string point) {
+  TraceEvent ev;
+  ev.time = time;
+  ev.kind = kind;
+  ev.flow = p.flow;
+  ev.seq = p.seq;
+  ev.hop_index = p.hop_index;
+  ev.virtual_time = p.state.virtual_time;
+  ev.point = std::move(point);
+  record(std::move(ev));
+}
+
+void PacketTrace::dump_csv(std::ostream& os) const {
+  os << "time,kind,flow,seq,hop,virtual_time,point\n";
+  for (const auto& ev : events_) {
+    os << ev.time << ',' << trace_event_kind_name(ev.kind) << ',' << ev.flow
+       << ',' << ev.seq << ',' << ev.hop_index << ',' << ev.virtual_time
+       << ',' << ev.point << '\n';
+  }
+}
+
+void PacketTrace::clear() {
+  events_.clear();
+  total_ = 0;
+}
+
+}  // namespace qosbb

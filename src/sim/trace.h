@@ -1,0 +1,67 @@
+// Packet event tracing for the simulator.
+//
+// A bounded ring of per-packet events (edge release, hop departure, final
+// delivery) that examples and debugging sessions can dump as CSV. Tracing
+// is opt-in per link/meter via the same hook points the VTRS machinery
+// uses, and costs nothing when not installed.
+
+#ifndef QOSBB_SIM_TRACE_H_
+#define QOSBB_SIM_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+
+#include "sched/packet.h"
+#include "util/units.h"
+
+namespace qosbb {
+
+enum class TraceEventKind : std::uint8_t {
+  kEdgeRelease,   // packet injected into the first core hop
+  kHopDeparture,  // packet finished serialization at a link
+  kDelivery,      // packet consumed at the egress sink
+};
+
+const char* trace_event_kind_name(TraceEventKind k);
+
+struct TraceEvent {
+  Seconds time = 0.0;
+  TraceEventKind kind = TraceEventKind::kHopDeparture;
+  FlowId flow = kInvalidFlowId;
+  std::uint64_t seq = 0;
+  int hop_index = 0;
+  Seconds virtual_time = 0.0;  ///< ω̃ after the event
+  std::string point;           ///< link or node name
+};
+
+/// Fixed-capacity ring buffer of trace events (oldest evicted first).
+class PacketTrace {
+ public:
+  explicit PacketTrace(std::size_t capacity = 65536);
+
+  void record(TraceEvent event);
+  /// Convenience for hook call sites.
+  void record(Seconds time, TraceEventKind kind, const Packet& p,
+              std::string point);
+
+  std::size_t size() const { return events_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t total_recorded() const { return total_; }
+  bool overflowed() const { return total_ > events_.size(); }
+  const std::deque<TraceEvent>& events() const { return events_; }
+
+  /// CSV: time,kind,flow,seq,hop,virtual_time,point
+  void dump_csv(std::ostream& os) const;
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::deque<TraceEvent> events_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_SIM_TRACE_H_

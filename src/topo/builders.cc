@@ -1,0 +1,95 @@
+#include "topo/builders.h"
+
+#include "util/status.h"
+
+namespace qosbb {
+
+DomainSpec chain_topology(const ChainOptions& options) {
+  QOSBB_REQUIRE(options.hops >= 1, "chain_topology: need >= 1 hop");
+  DomainSpec spec;
+  spec.l_max = options.l_max;
+  for (int i = 0; i <= options.hops; ++i) {
+    spec.nodes.push_back(options.prefix + std::to_string(i));
+  }
+  for (int i = 0; i < options.hops; ++i) {
+    LinkSpec l;
+    l.from = spec.nodes[static_cast<std::size_t>(i)];
+    l.to = spec.nodes[static_cast<std::size_t>(i) + 1];
+    l.capacity = options.capacity;
+    l.propagation_delay = options.propagation_delay;
+    l.policy = options.policy;
+    spec.links.push_back(std::move(l));
+  }
+  return spec;
+}
+
+std::vector<std::string> chain_path(const ChainOptions& options) {
+  std::vector<std::string> path;
+  for (int i = 0; i <= options.hops; ++i) {
+    path.push_back(options.prefix + std::to_string(i));
+  }
+  return path;
+}
+
+DomainSpec dumbbell_topology(const DumbbellOptions& options) {
+  QOSBB_REQUIRE(options.edge_pairs >= 1, "dumbbell: need >= 1 pair");
+  DomainSpec spec;
+  spec.l_max = options.l_max;
+  spec.nodes = {"L", "R"};
+  auto add_link = [&](std::string from, std::string to, BitsPerSecond c) {
+    LinkSpec l;
+    l.from = std::move(from);
+    l.to = std::move(to);
+    l.capacity = c;
+    l.propagation_delay = options.propagation_delay;
+    l.policy = options.policy;
+    spec.links.push_back(std::move(l));
+  };
+  for (int k = 0; k < options.edge_pairs; ++k) {
+    const std::string in = "I" + std::to_string(k);
+    const std::string out = "E" + std::to_string(k);
+    spec.nodes.push_back(in);
+    spec.nodes.push_back(out);
+    add_link(in, "L", options.access_capacity);
+    add_link("R", out, options.access_capacity);
+  }
+  add_link("L", "R", options.bottleneck_capacity);
+  return spec;
+}
+
+std::vector<std::string> dumbbell_path(int pair) {
+  QOSBB_REQUIRE(pair >= 0, "dumbbell_path: negative pair");
+  return {"I" + std::to_string(pair), "L", "R", "E" + std::to_string(pair)};
+}
+
+DomainSpec star_topology(const StarOptions& options) {
+  QOSBB_REQUIRE(options.leaves >= 2, "star: need >= 2 leaves");
+  DomainSpec spec;
+  spec.l_max = options.l_max;
+  spec.nodes = {"hub"};
+  for (int k = 0; k < options.leaves; ++k) {
+    const std::string host = "H" + std::to_string(k);
+    spec.nodes.push_back(host);
+    LinkSpec up;
+    up.from = host;
+    up.to = "hub";
+    up.capacity = options.capacity;
+    up.propagation_delay = options.propagation_delay;
+    up.policy = options.policy;
+    spec.links.push_back(up);
+    LinkSpec down = up;
+    down.from = "hub";
+    down.to = host;
+    spec.links.push_back(std::move(down));
+  }
+  return spec;
+}
+
+std::vector<std::string> star_path(int from_leaf, int to_leaf) {
+  QOSBB_REQUIRE(from_leaf >= 0 && to_leaf >= 0 && from_leaf != to_leaf,
+                "star_path: bad leaves");
+  return {"H" + std::to_string(from_leaf), "hub",
+          "H" + std::to_string(to_leaf)};
+}
+
+}  // namespace qosbb

@@ -1,0 +1,60 @@
+// Parametric domain builders beyond the paper's Figure-8 topology.
+//
+// Useful for scaling studies and property tests: linear chains, dumbbells
+// (N ingresses and N egresses sharing one bottleneck), and stars. All
+// builders produce plain DomainSpecs consumable by the broker, the GS
+// baseline, and the packet simulator alike.
+
+#ifndef QOSBB_TOPO_BUILDERS_H_
+#define QOSBB_TOPO_BUILDERS_H_
+
+#include <string>
+#include <vector>
+
+#include "topo/fig8.h"
+
+namespace qosbb {
+
+struct ChainOptions {
+  int hops = 5;
+  BitsPerSecond capacity = 1.5e6;
+  Seconds propagation_delay = 0.0;
+  SchedPolicy policy = SchedPolicy::kCsvc;
+  Bits l_max = 12000.0;
+  std::string prefix = "N";
+};
+
+/// Linear chain N0 -> N1 -> ... -> N<hops>. The canonical single-path
+/// domain; `chain_path` returns its full node sequence.
+DomainSpec chain_topology(const ChainOptions& options);
+std::vector<std::string> chain_path(const ChainOptions& options);
+
+struct DumbbellOptions {
+  int edge_pairs = 4;  ///< ingress/egress pairs I<k> / E<k>
+  BitsPerSecond access_capacity = 10e6;
+  BitsPerSecond bottleneck_capacity = 1.5e6;
+  Seconds propagation_delay = 0.0;
+  SchedPolicy policy = SchedPolicy::kCsvc;
+  Bits l_max = 12000.0;
+};
+
+/// Dumbbell: I0..I<n-1> -> L -> R -> E0..E<n-1>; every Ik->Ek path crosses
+/// the single L->R bottleneck. The classic contention topology.
+DomainSpec dumbbell_topology(const DumbbellOptions& options);
+std::vector<std::string> dumbbell_path(int pair);
+
+struct StarOptions {
+  int leaves = 4;  ///< hosts H0..H<n-1> around the hub
+  BitsPerSecond capacity = 1.5e6;
+  Seconds propagation_delay = 0.0;
+  SchedPolicy policy = SchedPolicy::kCsvc;
+  Bits l_max = 12000.0;
+};
+
+/// Star: every leaf connects to and from the hub; Hi -> hub -> Hj paths.
+DomainSpec star_topology(const StarOptions& options);
+std::vector<std::string> star_path(int from_leaf, int to_leaf);
+
+}  // namespace qosbb
+
+#endif  // QOSBB_TOPO_BUILDERS_H_

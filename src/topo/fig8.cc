@@ -1,0 +1,154 @@
+#include "topo/fig8.h"
+
+#include "sched/cjvc.h"
+#include "sched/csvc.h"
+#include "sched/fifo.h"
+#include "sched/rcedf.h"
+#include "sched/vc.h"
+#include "sched/vtedf.h"
+#include "sched/wfq.h"
+#include "util/status.h"
+
+namespace qosbb {
+
+const char* sched_policy_name(SchedPolicy p) {
+  switch (p) {
+    case SchedPolicy::kCsvc: return "CSVC";
+    case SchedPolicy::kCjvc: return "CJVC";
+    case SchedPolicy::kVtEdf: return "VT-EDF";
+    case SchedPolicy::kVc: return "VC";
+    case SchedPolicy::kWfq: return "WFQ";
+    case SchedPolicy::kRcEdf: return "RC-EDF";
+    case SchedPolicy::kFifo: return "FIFO";
+  }
+  return "?";
+}
+
+bool is_rate_based(SchedPolicy p) {
+  switch (p) {
+    case SchedPolicy::kCsvc:
+    case SchedPolicy::kCjvc:
+    case SchedPolicy::kVc:
+    case SchedPolicy::kWfq:
+    case SchedPolicy::kFifo:
+      return true;
+    case SchedPolicy::kVtEdf:
+    case SchedPolicy::kRcEdf:
+      return false;
+  }
+  return true;
+}
+
+bool is_stateful(SchedPolicy p) {
+  switch (p) {
+    case SchedPolicy::kVc:
+    case SchedPolicy::kWfq:
+    case SchedPolicy::kRcEdf:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Graph DomainSpec::to_graph() const {
+  Graph g;
+  for (const auto& n : nodes) g.add_node(n);
+  for (const auto& l : links) g.add_edge(l.from, l.to, 1.0);
+  return g;
+}
+
+const LinkSpec& DomainSpec::link(const std::string& from,
+                                 const std::string& to) const {
+  for (const auto& l : links) {
+    if (l.from == from && l.to == to) return l;
+  }
+  throw std::logic_error("DomainSpec: unknown link " + from + "->" + to);
+}
+
+std::unique_ptr<Scheduler> make_scheduler(SchedPolicy policy,
+                                          BitsPerSecond capacity,
+                                          Bits l_max) {
+  switch (policy) {
+    case SchedPolicy::kCsvc:
+      return std::make_unique<CsvcScheduler>(capacity, l_max);
+    case SchedPolicy::kCjvc:
+      return std::make_unique<CjvcScheduler>(capacity, l_max);
+    case SchedPolicy::kVtEdf:
+      return std::make_unique<VtEdfScheduler>(capacity, l_max);
+    case SchedPolicy::kVc:
+      return std::make_unique<VcScheduler>(capacity, l_max);
+    case SchedPolicy::kWfq:
+      return std::make_unique<WfqScheduler>(capacity, l_max);
+    case SchedPolicy::kRcEdf:
+      return std::make_unique<RcEdfScheduler>(capacity, l_max);
+    case SchedPolicy::kFifo:
+      return std::make_unique<FifoScheduler>(capacity, l_max);
+  }
+  throw std::logic_error("make_scheduler: unknown policy");
+}
+
+void build_network(const DomainSpec& spec, Network& net) {
+  for (const auto& n : spec.nodes) net.add_node(n);
+  for (const auto& l : spec.links) {
+    net.add_link(l.from, l.to, make_scheduler(l.policy, l.capacity, spec.l_max),
+                 l.propagation_delay);
+  }
+}
+
+namespace {
+
+DomainSpec fig8_base(BitsPerSecond c, Bits l_max) {
+  DomainSpec spec;
+  spec.nodes = {"I1", "I2", "R2", "R3", "R4", "R5", "E1", "E2"};
+  spec.l_max = l_max;
+  auto add = [&](const char* from, const char* to) {
+    spec.links.push_back(LinkSpec{from, to, c, 0.0, SchedPolicy::kCsvc});
+  };
+  add("I1", "R2");
+  add("I2", "R2");
+  add("R2", "R3");
+  add("R3", "R4");
+  add("R4", "R5");
+  add("R5", "E1");
+  add("R5", "E2");
+  return spec;
+}
+
+void apply_mixed_setting(DomainSpec& spec) {
+  // Setting B: R3->R4, R4->R5, R5->E2 are delay-based (Section 5).
+  for (auto& l : spec.links) {
+    const bool delay_based = (l.from == "R3" && l.to == "R4") ||
+                             (l.from == "R4" && l.to == "R5") ||
+                             (l.from == "R5" && l.to == "E2");
+    if (delay_based) l.policy = SchedPolicy::kVtEdf;
+  }
+}
+
+}  // namespace
+
+DomainSpec fig8_topology(Fig8Setting setting, BitsPerSecond core_capacity,
+                         Bits l_max) {
+  DomainSpec spec = fig8_base(core_capacity, l_max);
+  if (setting == Fig8Setting::kMixed) apply_mixed_setting(spec);
+  return spec;
+}
+
+DomainSpec fig8_gs_topology(Fig8Setting setting, BitsPerSecond core_capacity,
+                            Bits l_max) {
+  DomainSpec spec = fig8_topology(setting, core_capacity, l_max);
+  for (auto& l : spec.links) {
+    l.policy = l.policy == SchedPolicy::kVtEdf ? SchedPolicy::kRcEdf
+                                               : SchedPolicy::kVc;
+  }
+  return spec;
+}
+
+std::vector<std::string> fig8_path_s1() {
+  return {"I1", "R2", "R3", "R4", "R5", "E1"};
+}
+
+std::vector<std::string> fig8_path_s2() {
+  return {"I2", "R2", "R3", "R4", "R5", "E2"};
+}
+
+}  // namespace qosbb

@@ -1,0 +1,99 @@
+// Declarative domain specifications and the paper's Figure-8 topology.
+//
+// A DomainSpec lists routers and unidirectional links with their scheduler
+// policy, capacity, and propagation delay — the information the BB's node
+// QoS state MIB holds about the data plane. Helpers instantiate a packet
+// simulator Network from a spec and derive the routing graph.
+//
+// Figure 8 (Section 5): sources S1/S2 feed ingress I1/I2; core chain
+// R2 -> R3 -> R4 -> R5 fans out to egress E1/E2. All core/egress links are
+// 1.5 Mb/s with zero propagation delay; max packet 1500 B.
+//   Setting A (rate-based only): every link runs C̸SVC.
+//   Setting B (mixed): I1->R2, I2->R2, R2->R3, R5->E1 run C̸SVC;
+//                      R3->R4, R4->R5, R5->E2 run VT-EDF.
+// The IntServ/GS comparison replaces C̸SVC with VC and VT-EDF with RC-EDF.
+
+#ifndef QOSBB_TOPO_FIG8_H_
+#define QOSBB_TOPO_FIG8_H_
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.h"
+#include "sim/network.h"
+#include "topo/graph.h"
+#include "util/units.h"
+
+namespace qosbb {
+
+/// Scheduler policy on a link, as recorded in the BB's node MIB.
+enum class SchedPolicy {
+  kCsvc,   // rate-based, core stateless
+  kCjvc,   // rate-based, core stateless, non-work-conserving
+  kVtEdf,  // delay-based, core stateless
+  kVc,     // rate-based, stateful (IntServ baseline)
+  kWfq,    // rate-based, stateful (IntServ baseline)
+  kRcEdf,  // delay-based, stateful (IntServ baseline)
+  kFifo,   // no guarantee
+};
+
+const char* sched_policy_name(SchedPolicy p);
+bool is_rate_based(SchedPolicy p);
+/// True for the schedulers that keep per-flow reservation state.
+bool is_stateful(SchedPolicy p);
+
+struct LinkSpec {
+  std::string from;
+  std::string to;
+  BitsPerSecond capacity = 0.0;
+  Seconds propagation_delay = 0.0;
+  SchedPolicy policy = SchedPolicy::kCsvc;
+  /// Packet buffer at the scheduler, bits. Defaults to unlimited (the
+  /// paper's experiments never bound buffers); finite values make the BB
+  /// include the per-hop backlog bound in its admission test.
+  Bits buffer = std::numeric_limits<double>::infinity();
+};
+
+struct DomainSpec {
+  std::vector<std::string> nodes;
+  std::vector<LinkSpec> links;
+  /// Domain-wide maximum packet size L^{P,max} (sets error terms Ψ = L/C).
+  Bits l_max = 0.0;
+
+  /// Routing graph (unit edge weights — min-hop routing).
+  Graph to_graph() const;
+  const LinkSpec& link(const std::string& from, const std::string& to) const;
+};
+
+/// Construct a Scheduler instance for a policy.
+std::unique_ptr<Scheduler> make_scheduler(SchedPolicy policy,
+                                          BitsPerSecond capacity, Bits l_max);
+
+/// Instantiate all nodes and links of `spec` into `net`.
+void build_network(const DomainSpec& spec, Network& net);
+
+enum class Fig8Setting {
+  kRateBasedOnly,  // Setting A
+  kMixed,          // Setting B
+};
+
+/// The Figure-8 domain under the BB/VTRS data plane.
+DomainSpec fig8_topology(Fig8Setting setting,
+                         BitsPerSecond core_capacity = 1.5e6,
+                         Bits l_max = 12000.0 /* 1500 B */);
+
+/// The same domain with IntServ/GS stateful schedulers
+/// (C̸SVC -> VC, VT-EDF -> RC-EDF).
+DomainSpec fig8_gs_topology(Fig8Setting setting,
+                            BitsPerSecond core_capacity = 1.5e6,
+                            Bits l_max = 12000.0);
+
+/// Node sequences of the two provisioned paths.
+std::vector<std::string> fig8_path_s1();  // I1,R2,R3,R4,R5,E1 (h = 5)
+std::vector<std::string> fig8_path_s2();  // I2,R2,R3,R4,R5,E2 (h = 5)
+
+}  // namespace qosbb
+
+#endif  // QOSBB_TOPO_FIG8_H_

@@ -1,0 +1,53 @@
+#include "topo/graph.h"
+
+namespace qosbb {
+
+NodeIndex Graph::add_node(const std::string& name) {
+  QOSBB_REQUIRE(!index_.contains(name), "Graph: duplicate node " + name);
+  const NodeIndex n = static_cast<NodeIndex>(names_.size());
+  names_.push_back(name);
+  index_.emplace(name, n);
+  adjacency_.emplace_back();
+  return n;
+}
+
+EdgeIndex Graph::add_edge(NodeIndex from, NodeIndex to, double weight) {
+  QOSBB_REQUIRE(from >= 0 && from < node_count(), "Graph: bad from node");
+  QOSBB_REQUIRE(to >= 0 && to < node_count(), "Graph: bad to node");
+  QOSBB_REQUIRE(weight >= 0.0, "Graph: negative edge weight");
+  const EdgeIndex e = static_cast<EdgeIndex>(edges_.size());
+  edges_.push_back(Edge{from, to, weight});
+  adjacency_[static_cast<std::size_t>(from)].push_back(e);
+  return e;
+}
+
+EdgeIndex Graph::add_edge(const std::string& from, const std::string& to,
+                          double weight) {
+  const NodeIndex f = index(from);
+  const NodeIndex t = index(to);
+  QOSBB_REQUIRE(f != kInvalidNode, "Graph: unknown node " + from);
+  QOSBB_REQUIRE(t != kInvalidNode, "Graph: unknown node " + to);
+  return add_edge(f, t, weight);
+}
+
+const std::string& Graph::name(NodeIndex n) const {
+  QOSBB_REQUIRE(n >= 0 && n < node_count(), "Graph: bad node index");
+  return names_[static_cast<std::size_t>(n)];
+}
+
+NodeIndex Graph::index(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? kInvalidNode : it->second;
+}
+
+const Graph::Edge& Graph::edge(EdgeIndex e) const {
+  QOSBB_REQUIRE(e >= 0 && e < edge_count(), "Graph: bad edge index");
+  return edges_[static_cast<std::size_t>(e)];
+}
+
+const std::vector<EdgeIndex>& Graph::edges_from(NodeIndex n) const {
+  QOSBB_REQUIRE(n >= 0 && n < node_count(), "Graph: bad node index");
+  return adjacency_[static_cast<std::size_t>(n)];
+}
+
+}  // namespace qosbb

@@ -1,0 +1,53 @@
+// Directed graph of the network domain, as maintained by the bandwidth
+// broker's routing module (Section 2: "The routing module peers with routers
+// to obtain the topology information of the network domain").
+
+#ifndef QOSBB_TOPO_GRAPH_H_
+#define QOSBB_TOPO_GRAPH_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+#include "util/units.h"
+
+namespace qosbb {
+
+using NodeIndex = int;
+using EdgeIndex = int;
+constexpr NodeIndex kInvalidNode = -1;
+
+class Graph {
+ public:
+  struct Edge {
+    NodeIndex from;
+    NodeIndex to;
+    double weight;  // routing metric (hops by default)
+  };
+
+  /// Adds a node; duplicate names are a contract violation.
+  NodeIndex add_node(const std::string& name);
+  /// Adds a directed edge. Both endpoints must exist.
+  EdgeIndex add_edge(NodeIndex from, NodeIndex to, double weight = 1.0);
+  EdgeIndex add_edge(const std::string& from, const std::string& to,
+                     double weight = 1.0);
+
+  int node_count() const { return static_cast<int>(names_.size()); }
+  int edge_count() const { return static_cast<int>(edges_.size()); }
+  const std::string& name(NodeIndex n) const;
+  /// Index for a name; kInvalidNode if absent.
+  NodeIndex index(const std::string& name) const;
+  const Edge& edge(EdgeIndex e) const;
+  const std::vector<EdgeIndex>& edges_from(NodeIndex n) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, NodeIndex> index_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeIndex>> adjacency_;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_TOPO_GRAPH_H_

@@ -1,0 +1,35 @@
+#include "traffic/envelope.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace qosbb {
+
+PiecewiseLinear arrival_envelope(const TrafficProfile& p) {
+  return PiecewiseLinear::dual_token_bucket(p.sigma, p.rho, p.peak, p.l_max);
+}
+
+Bits worst_case_backlog(const TrafficProfile& p, BitsPerSecond r) {
+  QOSBB_REQUIRE(r >= p.rho, "worst_case_backlog: r < rho diverges");
+  // E(t) − r·t is maximized at the envelope knee t = T_on (or t = 0 when
+  // the peak line never binds / r >= P).
+  const Seconds t_on = p.t_on();
+  const Bits at_zero = p.l_max;
+  const Bits at_knee = p.l_max + (p.peak - r) * t_on;
+  return std::max(at_zero, at_knee);
+}
+
+Seconds worst_case_delay(const TrafficProfile& p, BitsPerSecond r) {
+  QOSBB_REQUIRE(r >= p.rho && r > 0.0, "worst_case_delay: need rho <= r");
+  if (r >= p.peak) return p.l_max / r;
+  return p.t_on() * (p.peak - r) / r + p.l_max / r;
+}
+
+Seconds worst_case_busy_period(const TrafficProfile& p, BitsPerSecond r) {
+  QOSBB_REQUIRE(r > p.rho, "worst_case_busy_period: need r > rho");
+  // Solve E(t) = r·t on the sustained branch: ρt + σ = rt.
+  return p.sigma / (r - p.rho);
+}
+
+}  // namespace qosbb

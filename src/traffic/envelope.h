@@ -1,0 +1,40 @@
+// Arrival envelopes and fluid network-calculus helpers.
+//
+// The dual-token-bucket profile induces the arrival envelope
+//   E(t) = min{ P·t + L_max, ρ·t + σ },  t > 0
+// (Section 4.1 uses this as the greedy arrival process A(0,t) = E(t)).
+// These helpers compute worst-case backlog and delay of such an envelope
+// against a constant-rate server — the quantities behind eq. (3) and the
+// Figure-7 transient analysis.
+
+#ifndef QOSBB_TRAFFIC_ENVELOPE_H_
+#define QOSBB_TRAFFIC_ENVELOPE_H_
+
+#include "traffic/profile.h"
+#include "util/piecewise_linear.h"
+#include "util/units.h"
+
+namespace qosbb {
+
+/// The arrival envelope E(t) of `p` as a piecewise-linear function
+/// (E(0) = L_max by right-continuity; the paper's greedy source dumps L_max
+/// instantaneously at t = 0).
+PiecewiseLinear arrival_envelope(const TrafficProfile& p);
+
+/// Worst-case backlog of envelope E against a constant-rate server r:
+///   sup_{t>=0} [E(t) − r·t].  Requires r >= ρ for finiteness.
+Bits worst_case_backlog(const TrafficProfile& p, BitsPerSecond r);
+
+/// Worst-case queueing delay of envelope E against constant-rate server r
+/// (horizontal deviation). For the dual token bucket this equals eq. (3):
+///   d = T_on (P − r)/r + L_max/r.
+Seconds worst_case_delay(const TrafficProfile& p, BitsPerSecond r);
+
+/// Time for a server of rate r to drain the worst-case backlog while the
+/// source continues at its sustained rate ρ (r > ρ). Used to bound
+/// contingency periods in tests.
+Seconds worst_case_busy_period(const TrafficProfile& p, BitsPerSecond r);
+
+}  // namespace qosbb
+
+#endif  // QOSBB_TRAFFIC_ENVELOPE_H_

@@ -1,0 +1,51 @@
+#include "traffic/profile.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/status.h"
+
+namespace qosbb {
+
+TrafficProfile TrafficProfile::make(Bits sigma, BitsPerSecond rho,
+                                    BitsPerSecond peak, Bits l_max) {
+  QOSBB_REQUIRE(l_max > 0.0, "TrafficProfile: L_max must be positive");
+  QOSBB_REQUIRE(sigma >= l_max, "TrafficProfile: sigma must be >= L_max");
+  QOSBB_REQUIRE(rho > 0.0, "TrafficProfile: rho must be positive");
+  QOSBB_REQUIRE(peak >= rho, "TrafficProfile: peak must be >= rho");
+  return TrafficProfile{sigma, rho, peak, l_max};
+}
+
+Seconds TrafficProfile::t_on() const {
+  if (peak == rho) return 0.0;
+  return (sigma - l_max) / (peak - rho);
+}
+
+Seconds TrafficProfile::edge_delay_bound(BitsPerSecond r) const {
+  QOSBB_REQUIRE(r >= rho && r <= peak,
+                "edge_delay_bound: reserved rate outside [rho, peak]");
+  return t_on() * (peak - r) / r + l_max / r;
+}
+
+TrafficProfile TrafficProfile::operator+(const TrafficProfile& o) const {
+  return TrafficProfile{sigma + o.sigma, rho + o.rho, peak + o.peak,
+                        l_max + o.l_max};
+}
+
+TrafficProfile TrafficProfile::operator-(const TrafficProfile& o) const {
+  TrafficProfile p{sigma - o.sigma, rho - o.rho, peak - o.peak,
+                   l_max - o.l_max};
+  QOSBB_REQUIRE(p.l_max > 0.0 && p.sigma >= p.l_max && p.rho > 0.0 &&
+                    p.peak >= p.rho,
+                "TrafficProfile: subtraction broke profile invariants");
+  return p;
+}
+
+std::string TrafficProfile::to_string() const {
+  std::ostringstream os;
+  os << "(sigma=" << sigma << "b, rho=" << rho << "b/s, P=" << peak
+     << "b/s, Lmax=" << l_max << "b)";
+  return os.str();
+}
+
+}  // namespace qosbb

@@ -1,0 +1,55 @@
+// Traffic profiles and flow requirements.
+//
+// The paper specifies every flow with a dual-token-bucket profile
+// (σ^j, ρ^j, P^j, L^{j,max}) and an end-to-end delay requirement D^{j,req}
+// (Section 2.2). Class-based service aggregates profiles component-wise
+// (Section 4.1): σ^α = Σσ^j, ρ^α = Σρ^j, P^α = ΣP^j, L^{α,max} = ΣL^{j,max}.
+
+#ifndef QOSBB_TRAFFIC_PROFILE_H_
+#define QOSBB_TRAFFIC_PROFILE_H_
+
+#include <string>
+
+#include "util/units.h"
+
+namespace qosbb {
+
+/// Dual-token-bucket traffic profile (σ, ρ, P, L_max). Immutable value type.
+struct TrafficProfile {
+  Bits sigma = 0.0;          ///< maximum burst size σ, bits (σ >= L_max)
+  BitsPerSecond rho = 0.0;   ///< sustained (mean) rate ρ, b/s
+  BitsPerSecond peak = 0.0;  ///< peak rate P, b/s (P >= ρ)
+  Bits l_max = 0.0;          ///< maximum packet size, bits
+
+  /// Validates the invariants σ >= L_max > 0, P >= ρ > 0. Throws on failure.
+  static TrafficProfile make(Bits sigma, BitsPerSecond rho,
+                             BitsPerSecond peak, Bits l_max);
+
+  /// On-period length T_on = (σ − L_max)/(P − ρ); the time a greedy source
+  /// can sustain its peak rate (eq. 3 context). Zero if P == ρ.
+  Seconds t_on() const;
+
+  /// Edge-shaping delay bound for a reserved rate r (eq. 3):
+  ///   d_edge = T_on · (P − r)/r + L_max / r,   with ρ <= r <= P.
+  Seconds edge_delay_bound(BitsPerSecond reserved_rate) const;
+
+  /// Component-wise aggregation of profiles (Section 4.1).
+  TrafficProfile operator+(const TrafficProfile& other) const;
+  /// Remove a constituent profile from an aggregate (microflow leave).
+  TrafficProfile operator-(const TrafficProfile& other) const;
+
+  bool operator==(const TrafficProfile& other) const = default;
+
+  std::string to_string() const;
+};
+
+/// A flow service request as submitted to the bandwidth broker: profile plus
+/// the end-to-end delay requirement D^req.
+struct FlowRequirements {
+  TrafficProfile profile;
+  Seconds e2e_delay_req = 0.0;  ///< D^{j,req}, seconds
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_TRAFFIC_PROFILE_H_

@@ -1,0 +1,99 @@
+#include "traffic/source.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace qosbb {
+
+GreedySource::GreedySource(TrafficProfile profile, Seconds start_time)
+    : profile_(profile),
+      bucket_(profile.sigma, profile.rho, profile.peak, profile.l_max),
+      clock_(start_time) {
+  bucket_.refill(start_time);
+}
+
+std::optional<PacketArrival> GreedySource::next() {
+  const Bits size = profile_.l_max;
+  const Seconds t = bucket_.earliest_conform(clock_, size);
+  bucket_.consume(t, size);
+  clock_ = t;
+  return PacketArrival{t, size};
+}
+
+CbrSource::CbrSource(TrafficProfile profile, Seconds start_time)
+    : profile_(profile), next_time_(start_time) {}
+
+std::optional<PacketArrival> CbrSource::next() {
+  const PacketArrival a{next_time_, profile_.l_max};
+  next_time_ += profile_.l_max / profile_.rho;
+  return a;
+}
+
+OnOffSource::OnOffSource(TrafficProfile profile, Seconds start_time,
+                         Seconds mean_on, Seconds mean_off, Rng rng)
+    : profile_(profile),
+      bucket_(profile.sigma, profile.rho, profile.peak, profile.l_max),
+      rng_(rng),
+      mean_on_(mean_on),
+      mean_off_(mean_off),
+      clock_(start_time),
+      on_until_(start_time) {
+  QOSBB_REQUIRE(mean_on > 0.0 && mean_off >= 0.0,
+                "OnOffSource: bad on/off durations");
+  bucket_.refill(start_time);
+  on_until_ = clock_ + rng_.exponential(mean_on_);
+}
+
+std::optional<PacketArrival> OnOffSource::next() {
+  const Bits size = profile_.l_max;
+  Seconds t = bucket_.earliest_conform(clock_, size);
+  // Skip OFF periods: if the conforming instant falls beyond the current ON
+  // window, jump through OFF periods until a window contains it.
+  while (t >= on_until_) {
+    const Seconds off_end = on_until_ + rng_.exponential(mean_off_);
+    t = std::max(t, off_end);
+    t = bucket_.earliest_conform(t, size);
+    on_until_ = off_end + rng_.exponential(mean_on_);
+  }
+  bucket_.consume(t, size);
+  clock_ = t;
+  return PacketArrival{t, size};
+}
+
+PoissonSource::PoissonSource(TrafficProfile profile, Seconds start_time,
+                             Rng rng)
+    : profile_(profile),
+      bucket_(profile.sigma, profile.rho, profile.peak, profile.l_max),
+      rng_(rng),
+      raw_clock_(start_time),
+      shaped_clock_(start_time) {
+  bucket_.refill(start_time);
+}
+
+std::optional<PacketArrival> PoissonSource::next() {
+  const Bits size = profile_.l_max;
+  // Mean packet inter-arrival so that the raw rate equals ρ.
+  raw_clock_ += rng_.exponential(profile_.l_max / profile_.rho);
+  Seconds t = std::max(raw_clock_, shaped_clock_);
+  t = bucket_.earliest_conform(t, size);
+  bucket_.consume(t, size);
+  shaped_clock_ = t;
+  return PacketArrival{t, size};
+}
+
+BoundedSource::BoundedSource(std::unique_ptr<TrafficSource> inner,
+                             std::size_t max_packets, Seconds horizon)
+    : inner_(std::move(inner)), remaining_(max_packets), horizon_(horizon) {
+  QOSBB_REQUIRE(inner_ != nullptr, "BoundedSource: null inner source");
+}
+
+std::optional<PacketArrival> BoundedSource::next() {
+  if (remaining_ == 0) return std::nullopt;
+  auto a = inner_->next();
+  if (!a || a->time > horizon_) return std::nullopt;
+  --remaining_;
+  return a;
+}
+
+}  // namespace qosbb

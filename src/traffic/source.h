@@ -1,0 +1,123 @@
+// Packet-level traffic sources for the discrete-event simulator.
+//
+// A source produces a non-decreasing sequence of packet arrivals that
+// conforms to its dual-token-bucket profile. The "greedy" source realizes
+// the paper's worst case A(0,t) = E(t) = min{Pt + L^max, ρt + σ}
+// (Section 4.1): it is always backlogged and sends each packet at the
+// earliest conforming instant.
+
+#ifndef QOSBB_TRAFFIC_SOURCE_H_
+#define QOSBB_TRAFFIC_SOURCE_H_
+
+#include <memory>
+#include <optional>
+
+#include "traffic/profile.h"
+#include "traffic/token_bucket.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace qosbb {
+
+/// One packet arrival at the network edge.
+struct PacketArrival {
+  Seconds time = 0.0;
+  Bits size = 0.0;
+};
+
+/// Pull-based arrival generator. Successive calls return non-decreasing
+/// times; std::nullopt means the source has finished (finite sources).
+class TrafficSource {
+ public:
+  virtual ~TrafficSource() = default;
+  virtual std::optional<PacketArrival> next() = 0;
+  virtual const TrafficProfile& profile() const = 0;
+};
+
+/// Maximally bursty source: always backlogged with packets of size L_max,
+/// each sent at the earliest instant permitted by the profile's dual token
+/// bucket. Cumulative arrivals track the envelope E(t) to within one packet.
+class GreedySource final : public TrafficSource {
+ public:
+  GreedySource(TrafficProfile profile, Seconds start_time);
+
+  std::optional<PacketArrival> next() override;
+  const TrafficProfile& profile() const override { return profile_; }
+
+ private:
+  TrafficProfile profile_;
+  DualTokenBucket bucket_;
+  Seconds clock_;
+};
+
+/// Constant bit rate at the sustained rate ρ: packets of size L_max spaced
+/// exactly L_max/ρ apart. Trivially profile-conforming.
+class CbrSource final : public TrafficSource {
+ public:
+  CbrSource(TrafficProfile profile, Seconds start_time);
+
+  std::optional<PacketArrival> next() override;
+  const TrafficProfile& profile() const override { return profile_; }
+
+ private:
+  TrafficProfile profile_;
+  Seconds next_time_;
+};
+
+/// Exponential on/off fluid-like source: during ON it behaves greedily,
+/// during OFF it is silent (buckets replenish). Mean on/off durations are
+/// parameters; long-run rate stays below ρ when calibrated accordingly.
+class OnOffSource final : public TrafficSource {
+ public:
+  OnOffSource(TrafficProfile profile, Seconds start_time, Seconds mean_on,
+              Seconds mean_off, Rng rng);
+
+  std::optional<PacketArrival> next() override;
+  const TrafficProfile& profile() const override { return profile_; }
+
+ private:
+  TrafficProfile profile_;
+  DualTokenBucket bucket_;
+  Rng rng_;
+  Seconds mean_on_;
+  Seconds mean_off_;
+  Seconds clock_;
+  Seconds on_until_;
+};
+
+/// Poisson packet arrivals at mean rate ρ, shaped through the profile's
+/// dual token bucket so the emitted sequence still conforms.
+class PoissonSource final : public TrafficSource {
+ public:
+  PoissonSource(TrafficProfile profile, Seconds start_time, Rng rng);
+
+  std::optional<PacketArrival> next() override;
+  const TrafficProfile& profile() const override { return profile_; }
+
+ private:
+  TrafficProfile profile_;
+  DualTokenBucket bucket_;
+  Rng rng_;
+  Seconds raw_clock_;     // un-shaped Poisson arrival clock
+  Seconds shaped_clock_;  // last emitted (shaped) time
+};
+
+/// Caps any source after `max_packets` packets or `horizon` seconds,
+/// whichever comes first. Owns the wrapped source.
+class BoundedSource final : public TrafficSource {
+ public:
+  BoundedSource(std::unique_ptr<TrafficSource> inner, std::size_t max_packets,
+                Seconds horizon);
+
+  std::optional<PacketArrival> next() override;
+  const TrafficProfile& profile() const override { return inner_->profile(); }
+
+ private:
+  std::unique_ptr<TrafficSource> inner_;
+  std::size_t remaining_;
+  Seconds horizon_;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_TRAFFIC_SOURCE_H_

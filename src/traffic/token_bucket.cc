@@ -1,0 +1,67 @@
+#include "traffic/token_bucket.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace qosbb {
+
+TokenBucket::TokenBucket(Bits burst, BitsPerSecond rate)
+    : burst_(burst), rate_(rate), level_(burst) {
+  QOSBB_REQUIRE(burst > 0.0, "TokenBucket: burst must be positive");
+  QOSBB_REQUIRE(rate >= 0.0, "TokenBucket: rate must be non-negative");
+}
+
+Bits TokenBucket::tokens_at(Seconds t) const {
+  QOSBB_REQUIRE(t >= last_time_, "TokenBucket: time went backwards");
+  return std::min(burst_, level_ + rate_ * (t - last_time_));
+}
+
+Seconds TokenBucket::earliest_conform(Seconds t, Bits size) const {
+  QOSBB_REQUIRE(size <= burst_,
+                "TokenBucket: packet larger than bucket depth can never conform");
+  const Bits have = tokens_at(t);
+  if (have >= size) return t;
+  QOSBB_REQUIRE(rate_ > 0.0, "TokenBucket: zero rate and insufficient tokens");
+  return t + (size - have) / rate_;
+}
+
+void TokenBucket::consume(Seconds t, Bits size) {
+  const Bits have = tokens_at(t);
+  // Tolerate tiny floating-point shortfalls from earliest_conform round-trips.
+  QOSBB_REQUIRE(have >= size - 1e-6, "TokenBucket: non-conforming consume");
+  level_ = std::max(0.0, have - size);
+  last_time_ = t;
+}
+
+void TokenBucket::refill(Seconds t) {
+  QOSBB_REQUIRE(t >= last_time_, "TokenBucket: time went backwards");
+  level_ = burst_;
+  last_time_ = t;
+}
+
+DualTokenBucket::DualTokenBucket(Bits sigma, BitsPerSecond rho,
+                                 BitsPerSecond peak, Bits l_max)
+    : sustained_(sigma, rho), peak_(l_max, peak) {
+  QOSBB_REQUIRE(sigma >= l_max, "DualTokenBucket: sigma < L_max");
+  QOSBB_REQUIRE(peak >= rho, "DualTokenBucket: peak < sustained rate");
+}
+
+Seconds DualTokenBucket::earliest_conform(Seconds t, Bits size) const {
+  // The conform time of the conjunction is the max of the two, and since
+  // token levels only grow while idle, the max is simultaneously feasible.
+  return std::max(sustained_.earliest_conform(t, size),
+                  peak_.earliest_conform(t, size));
+}
+
+void DualTokenBucket::consume(Seconds t, Bits size) {
+  sustained_.consume(t, size);
+  peak_.consume(t, size);
+}
+
+void DualTokenBucket::refill(Seconds t) {
+  sustained_.refill(t);
+  peak_.refill(t);
+}
+
+}  // namespace qosbb

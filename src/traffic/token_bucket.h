@@ -1,0 +1,62 @@
+// Continuous-time token buckets and the dual-token-bucket regulator
+// (σ, ρ, P, L_max) the paper uses as its traffic profile (Section 2.1).
+
+#ifndef QOSBB_TRAFFIC_TOKEN_BUCKET_H_
+#define QOSBB_TRAFFIC_TOKEN_BUCKET_H_
+
+#include "util/units.h"
+
+namespace qosbb {
+
+/// A (burst, rate) token bucket in continuous time. Tokens accumulate at
+/// `rate` b/s up to `burst` bits; sending `n` bits consumes `n` tokens.
+class TokenBucket {
+ public:
+  /// Starts full at time 0.
+  TokenBucket(Bits burst, BitsPerSecond rate);
+
+  Bits burst() const { return burst_; }
+  BitsPerSecond rate() const { return rate_; }
+
+  /// Token level at time t (t must not precede the last mutation).
+  Bits tokens_at(Seconds t) const;
+  /// Earliest time >= t at which `size` tokens are available.
+  Seconds earliest_conform(Seconds t, Bits size) const;
+  /// Consume `size` tokens at time t. Caller must ensure conformance
+  /// (earliest_conform(t, size) <= t); enforced.
+  void consume(Seconds t, Bits size);
+  /// Reset to full at time t.
+  void refill(Seconds t);
+
+ private:
+  Bits burst_;
+  BitsPerSecond rate_;
+  Seconds last_time_ = 0.0;
+  Bits level_;  // tokens at last_time_
+};
+
+/// Dual-token-bucket regulator (σ, ρ, P, L_max): conjunction of a (σ, ρ)
+/// bucket and an (L_max, P) peak-rate bucket. A packet sequence conforms iff
+/// every packet conforms to both buckets.
+class DualTokenBucket {
+ public:
+  DualTokenBucket(Bits sigma, BitsPerSecond rho, BitsPerSecond peak,
+                  Bits l_max);
+
+  /// Earliest time >= t a packet of `size` bits may be sent.
+  Seconds earliest_conform(Seconds t, Bits size) const;
+  /// Record the send. Enforces conformance.
+  void consume(Seconds t, Bits size);
+  void refill(Seconds t);
+
+  const TokenBucket& sustained() const { return sustained_; }
+  const TokenBucket& peak() const { return peak_; }
+
+ private:
+  TokenBucket sustained_;
+  TokenBucket peak_;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_TRAFFIC_TOKEN_BUCKET_H_

@@ -1,0 +1,232 @@
+#include "util/piecewise_linear.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/status.h"
+
+namespace qosbb {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Merge the breakpoint x-coordinates of two PL functions.
+std::vector<double> merged_knots(const PiecewiseLinear& a,
+                                 const PiecewiseLinear& b) {
+  std::vector<double> xs;
+  xs.reserve(a.points().size() + b.points().size());
+  for (const auto& p : a.points()) xs.push_back(p.x);
+  for (const auto& p : b.points()) xs.push_back(p.x);
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end(),
+                       [](double u, double v) { return u == v; }),
+           xs.end());
+  return xs;
+}
+
+}  // namespace
+
+PiecewiseLinear::PiecewiseLinear() : points_{{0.0, 0.0}}, final_slope_(0.0) {}
+
+PiecewiseLinear PiecewiseLinear::affine(double value0, double slope) {
+  PiecewiseLinear f;
+  f.points_ = {{0.0, value0}};
+  f.final_slope_ = slope;
+  return f;
+}
+
+PiecewiseLinear PiecewiseLinear::from_points(std::vector<Point> points,
+                                             double final_slope) {
+  QOSBB_REQUIRE(!points.empty(), "from_points: need at least one point");
+  QOSBB_REQUIRE(points.front().x == 0.0, "from_points: must start at x=0");
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    QOSBB_REQUIRE(points[i].x > points[i - 1].x,
+                  "from_points: x not strictly increasing");
+  }
+  PiecewiseLinear f;
+  f.points_ = std::move(points);
+  f.final_slope_ = final_slope;
+  return f;
+}
+
+PiecewiseLinear PiecewiseLinear::dual_token_bucket(double sigma, double rho,
+                                                   double peak,
+                                                   double burst_peak) {
+  QOSBB_REQUIRE(peak >= rho, "dual_token_bucket: peak < sustained rate");
+  QOSBB_REQUIRE(sigma >= burst_peak,
+                "dual_token_bucket: sigma must be >= peak-line offset");
+  if (peak == rho || sigma == burst_peak) {
+    // The two lines never cross (or coincide at 0): the binding constraint
+    // is the lower of the two offsets with its own slope.
+    if (burst_peak <= sigma) return affine(burst_peak, peak == rho ? rho : peak);
+    return affine(sigma, rho);
+  }
+  // Crossing time of Pt + burst_peak and ρt + σ.
+  const double t_on = (sigma - burst_peak) / (peak - rho);
+  return from_points({{0.0, burst_peak}, {t_on, burst_peak + peak * t_on}},
+                     rho);
+}
+
+double PiecewiseLinear::operator()(double x) const {
+  QOSBB_REQUIRE(x >= 0.0, "PiecewiseLinear evaluated at negative x");
+  // Find last breakpoint with point.x <= x.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), x,
+      [](double v, const Point& p) { return v < p.x; });
+  --it;  // safe: points_.front().x == 0 <= x
+  const Point& p = *it;
+  double slope;
+  if (std::next(it) == points_.end()) {
+    slope = final_slope_;
+  } else {
+    const Point& q = *std::next(it);
+    slope = (q.y - p.y) / (q.x - p.x);
+  }
+  return p.y + slope * (x - p.x);
+}
+
+PiecewiseLinear PiecewiseLinear::operator+(const PiecewiseLinear& o) const {
+  std::vector<Point> pts;
+  for (double x : merged_knots(*this, o)) {
+    pts.push_back({x, (*this)(x) + o(x)});
+  }
+  return from_points(std::move(pts), final_slope_ + o.final_slope_);
+}
+
+PiecewiseLinear PiecewiseLinear::operator-(const PiecewiseLinear& o) const {
+  std::vector<Point> pts;
+  for (double x : merged_knots(*this, o)) {
+    pts.push_back({x, (*this)(x) - o(x)});
+  }
+  return from_points(std::move(pts), final_slope_ - o.final_slope_);
+}
+
+namespace {
+
+PiecewiseLinear combine(const PiecewiseLinear& a, const PiecewiseLinear& b,
+                        bool take_min) {
+  // Evaluate on merged knots and insert crossing points within segments.
+  std::vector<double> xs = merged_knots(a, b);
+  std::vector<PiecewiseLinear::Point> pts;
+  auto pick = [take_min](double u, double v) {
+    return take_min ? std::min(u, v) : std::max(u, v);
+  };
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double x0 = xs[i];
+    pts.push_back({x0, pick(a(x0), b(x0))});
+    // Check for a crossing strictly inside (xs[i], xs[i+1]).
+    const bool last = (i + 1 == xs.size());
+    const double x1 = last ? x0 + 1.0 : xs[i + 1];
+    const double da = last ? a.final_slope()
+                           : (a(x1) - a(x0)) / (x1 - x0);
+    const double db = last ? b.final_slope()
+                           : (b(x1) - b(x0)) / (x1 - x0);
+    const double fa = a(x0), fb = b(x0);
+    const double dd = da - db;
+    if (dd != 0.0) {
+      const double xc = x0 + (fb - fa) / dd;  // where a == b
+      if (xc > x0 && (!last ? xc < x1 : true) &&
+          std::isfinite(xc)) {
+        if (last || xc < x1) {
+          pts.push_back({xc, a(xc)});
+        }
+      }
+    }
+  }
+  std::sort(pts.begin(), pts.end(),
+            [](const auto& u, const auto& v) { return u.x < v.x; });
+  pts.erase(std::unique(pts.begin(), pts.end(),
+                        [](const auto& u, const auto& v) {
+                          return u.x == v.x;
+                        }),
+            pts.end());
+  // Final slope: whichever function is selected at infinity. Compare at a
+  // point beyond all knots using values + slopes.
+  const double xlast = pts.back().x + 1.0;
+  const double va = a(xlast), vb = b(xlast);
+  double fs;
+  if (va == vb) {
+    fs = take_min ? std::min(a.final_slope(), b.final_slope())
+                  : std::max(a.final_slope(), b.final_slope());
+  } else {
+    const bool a_wins = take_min ? (va < vb) : (va > vb);
+    // If slopes will cross later, that crossing is beyond xlast only if the
+    // losing function catches up; handle by adding one more knot at the
+    // crossing if it exists.
+    const double da = a.final_slope(), db = b.final_slope();
+    const bool loser_catches_up = take_min ? (a_wins ? db < da : da < db)
+                                           : (a_wins ? db > da : da > db);
+    if (loser_catches_up) {
+      const double xc = xlast + std::abs(va - vb) / std::abs(da - db);
+      pts.push_back({xc, a(xc)});  // a(xc) == b(xc) up to roundoff
+      fs = take_min ? std::min(da, db) : std::max(da, db);
+    } else {
+      fs = a_wins ? da : db;
+    }
+  }
+  return PiecewiseLinear::from_points(std::move(pts), fs);
+}
+
+}  // namespace
+
+PiecewiseLinear PiecewiseLinear::min(const PiecewiseLinear& a,
+                                     const PiecewiseLinear& b) {
+  return combine(a, b, /*take_min=*/true);
+}
+
+PiecewiseLinear PiecewiseLinear::max(const PiecewiseLinear& a,
+                                     const PiecewiseLinear& b) {
+  return combine(a, b, /*take_min=*/false);
+}
+
+double PiecewiseLinear::sup(double lo, double hi) const {
+  QOSBB_REQUIRE(lo >= 0.0 && hi >= lo, "sup: bad interval");
+  double best = (*this)(lo);
+  for (const auto& p : points_) {
+    if (p.x >= lo && p.x <= hi) best = std::max(best, p.y);
+  }
+  if (std::isinf(hi)) {
+    if (final_slope_ > 0.0) return kInf;
+    // Value just after the last knot dominates the tail.
+    best = std::max(best, (*this)(points_.back().x < lo ? lo
+                                                        : points_.back().x));
+  } else {
+    best = std::max(best, (*this)(hi));
+  }
+  return best;
+}
+
+double PiecewiseLinear::first_nonpositive(double from) const {
+  QOSBB_REQUIRE(from >= 0.0, "first_nonpositive: negative start");
+  if ((*this)(from) <= 0.0) return from;
+  // Scan segments after `from`.
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const double x0 = std::max(points_[i].x, from);
+    const bool last = (i + 1 == points_.size());
+    const double x1 = last ? kInf : points_[i + 1].x;
+    if (x1 <= from) continue;
+    const double y0 = (*this)(x0);
+    const double slope =
+        last ? final_slope_
+             : (points_[i + 1].y - points_[i].y) /
+                   (points_[i + 1].x - points_[i].x);
+    if (y0 <= 0.0) return x0;
+    if (slope < 0.0) {
+      const double xc = x0 - y0 / slope;
+      if (last || xc <= x1) return xc;
+    }
+  }
+  return kInf;
+}
+
+std::string PiecewiseLinear::to_string() const {
+  std::ostringstream os;
+  os << "PL[";
+  for (const auto& p : points_) os << "(" << p.x << "," << p.y << ")";
+  os << " slope=" << final_slope_ << "]";
+  return os.str();
+}
+
+}  // namespace qosbb

@@ -1,0 +1,72 @@
+// Piecewise-linear functions on [0, ∞).
+//
+// Network-calculus objects in this library — dual-token-bucket arrival
+// envelopes E(t) = min{Pt + L, ρt + σ}, service curves Ct, and fluid queue
+// backlogs — are piecewise linear. This class provides the small algebra the
+// admission algorithms and the fluid edge model need: evaluation, addition,
+// minimum, horizontal/vertical shifts, and the supremum of f(t) − g(t) over
+// an interval (worst-case backlog).
+
+#ifndef QOSBB_UTIL_PIECEWISE_LINEAR_H_
+#define QOSBB_UTIL_PIECEWISE_LINEAR_H_
+
+#include <string>
+#include <vector>
+
+namespace qosbb {
+
+/// A continuous piecewise-linear function defined by breakpoints
+/// (x_0=0, y_0), (x_1, y_1), ... with slope `final_slope` after the last
+/// breakpoint. Breakpoints are strictly increasing in x.
+class PiecewiseLinear {
+ public:
+  struct Point {
+    double x;
+    double y;
+  };
+
+  /// The zero function.
+  PiecewiseLinear();
+  /// f(t) = value0 + slope·t.
+  static PiecewiseLinear affine(double value0, double slope);
+  /// From explicit breakpoints; points must start at x=0 and be strictly
+  /// increasing in x. `final_slope` extends beyond the last point.
+  static PiecewiseLinear from_points(std::vector<Point> points,
+                                     double final_slope);
+  /// Dual-token-bucket envelope E(t) = min{P·t + burst_peak, rho·t + sigma}
+  /// for t > 0 and E(0) = 0 convention is NOT applied here; this returns the
+  /// right-continuous envelope with E(0) = min{burst_peak, sigma}.
+  static PiecewiseLinear dual_token_bucket(double sigma, double rho,
+                                           double peak, double burst_peak);
+
+  double operator()(double x) const;
+  double final_slope() const { return final_slope_; }
+  const std::vector<Point>& points() const { return points_; }
+
+  PiecewiseLinear operator+(const PiecewiseLinear& other) const;
+  PiecewiseLinear operator-(const PiecewiseLinear& other) const;
+  /// Pointwise minimum. Requires both functions to be concave for the result
+  /// to remain valid under this representation? No — min of PL is PL; this
+  /// computes the exact pointwise min including interior crossings.
+  static PiecewiseLinear min(const PiecewiseLinear& a,
+                             const PiecewiseLinear& b);
+  static PiecewiseLinear max(const PiecewiseLinear& a,
+                             const PiecewiseLinear& b);
+
+  /// sup_{x in [lo, hi]} f(x). hi may be +infinity; result may be +infinity.
+  double sup(double lo, double hi) const;
+  /// First x >= from with f(x) <= 0, or +infinity if none (requires the
+  /// function to eventually stay positive or become non-positive; correct
+  /// for any PL function).
+  double first_nonpositive(double from) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<Point> points_;  // first point always has x == 0
+  double final_slope_;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_UTIL_PIECEWISE_LINEAR_H_

@@ -1,0 +1,45 @@
+#include "util/rng.h"
+
+#include "util/status.h"
+
+namespace qosbb {
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  QOSBB_REQUIRE(lo <= hi, "uniform: lo > hi");
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  QOSBB_REQUIRE(lo <= hi, "uniform_int: lo > hi");
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::exponential(double mean) {
+  QOSBB_REQUIRE(mean > 0.0, "exponential: mean must be positive");
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+std::int64_t Rng::poisson(double mean) {
+  QOSBB_REQUIRE(mean >= 0.0, "poisson: mean must be non-negative");
+  if (mean == 0.0) return 0;
+  return std::poisson_distribution<std::int64_t>(mean)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  QOSBB_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli: p outside [0,1]");
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+Rng Rng::fork() {
+  // splitmix-style decorrelation of a child seed.
+  std::uint64_t z = engine_() + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return Rng(z ^ (z >> 31));
+}
+
+}  // namespace qosbb

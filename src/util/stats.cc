@@ -1,0 +1,127 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/status.h"
+
+namespace qosbb {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats(); }
+
+double RunningStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return n_ == 0 ? 0.0 : min_; }
+
+double RunningStats::max() const { return n_ == 0 ? 0.0 : max_; }
+
+std::string RunningStats::summary() const {
+  std::ostringstream os;
+  os << "n=" << n_ << " mean=" << mean() << " sd=" << stddev()
+     << " min=" << min() << " max=" << max();
+  return os.str();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  QOSBB_REQUIRE(hi > lo, "Histogram: hi must exceed lo");
+  QOSBB_REQUIRE(bins > 0, "Histogram: need at least one bin");
+}
+
+void Histogram::add(double x) {
+  std::ptrdiff_t i =
+      static_cast<std::ptrdiff_t>(std::floor((x - lo_) / width_));
+  i = std::clamp<std::ptrdiff_t>(i, 0,
+                                 static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(i)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::quantile(double q) const {
+  QOSBB_REQUIRE(total_ > 0, "Histogram::quantile on empty histogram");
+  QOSBB_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q outside [0,1]");
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      const double frac =
+          counts_[i] == 0 ? 0.0
+                          : (target - cum) / static_cast<double>(counts_[i]);
+      return bin_lo(i) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+void TimeWeightedMean::update(double t, double value) {
+  if (!started_) {
+    started_ = true;
+    t0_ = t;
+  } else {
+    QOSBB_REQUIRE(t >= last_t_, "TimeWeightedMean: time went backwards");
+    area_ += last_v_ * (t - last_t_);
+  }
+  last_t_ = t;
+  last_v_ = value;
+}
+
+double TimeWeightedMean::mean_so_far(double t) const {
+  if (!started_ || t <= t0_) return 0.0;
+  const double area = area_ + last_v_ * (t - last_t_);
+  return area / (t - t0_);
+}
+
+double TimeWeightedMean::finish(double t) {
+  const double m = mean_so_far(t);
+  *this = TimeWeightedMean();
+  return m;
+}
+
+}  // namespace qosbb

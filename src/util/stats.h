@@ -1,0 +1,86 @@
+// Online statistics used by simulator meters and benchmark harnesses.
+
+#ifndef QOSBB_UTIL_STATS_H_
+#define QOSBB_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace qosbb {
+
+/// Welford online mean/variance plus min/max. O(1) per sample.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+  std::string summary() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bin histogram over [lo, hi); samples outside are clamped into the
+/// edge bins. Used for delay distributions in the packet simulator.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t total() const { return total_; }
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  /// Linear-interpolated quantile in [0,1]; requires at least one sample.
+  double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Time-weighted average of a piecewise-constant signal, e.g. link
+/// utilization or reserved bandwidth over a simulation run.
+class TimeWeightedMean {
+ public:
+  /// Record that the signal takes value `value` starting at time `t`.
+  /// Times must be non-decreasing.
+  void update(double t, double value);
+  /// Close the window at time `t` and return the time-weighted mean over
+  /// [first_update_time, t].
+  double finish(double t);
+  double mean_so_far(double t) const;
+
+ private:
+  bool started_ = false;
+  double last_t_ = 0.0;
+  double last_v_ = 0.0;
+  double area_ = 0.0;
+  double t0_ = 0.0;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_UTIL_STATS_H_

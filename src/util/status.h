@@ -1,0 +1,147 @@
+// Minimal Status / Result<T> types.
+//
+// Per the C++ Core Guidelines (E.*, I.10): recoverable outcomes — an
+// admission rejection, an infeasible reservation, a missing path — are
+// ordinary values, not exceptions. Exceptions are reserved for contract
+// violations, which we check with QOSBB_REQUIRE.
+
+#ifndef QOSBB_UTIL_STATUS_H_
+#define QOSBB_UTIL_STATUS_H_
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace qosbb {
+
+enum class StatusCode {
+  kOk = 0,
+  kRejected,         // admission control says no (normal outcome)
+  kNotFound,         // unknown flow/path/node id
+  kInvalidArgument,  // caller supplied an ill-formed request
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Human-readable name for a StatusCode.
+constexpr const char* status_code_name(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kRejected: return "REJECTED";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+/// A status code plus an optional diagnostic message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+  static Status rejected(std::string msg) {
+    return Status(StatusCode::kRejected, std::move(msg));
+  }
+  static Status not_found(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status invalid_argument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status failed_precondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const {
+    std::string s = status_code_name(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. `value()` on an error is a
+/// contract violation and throws.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Status status) : v_(std::move(status)) {    // NOLINT(google-explicit-constructor)
+    if (std::get<Status>(v_).is_ok()) {
+      throw std::logic_error("Result constructed from OK status without value");
+    }
+  }
+
+  bool is_ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return is_ok(); }
+
+  const T& value() const& {
+    require_ok();
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    require_ok();
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    require_ok();
+    return std::get<T>(std::move(v_));
+  }
+  const T& operator*() const& { return value(); }
+  const T* operator->() const { return &value(); }
+
+  Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(v_);
+  }
+
+  /// Value if OK, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return is_ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+ private:
+  void require_ok() const {
+    if (!is_ok()) {
+      throw std::logic_error("Result::value() on error: " +
+                             std::get<Status>(v_).to_string());
+    }
+  }
+  std::variant<T, Status> v_;
+};
+
+/// Contract check: throws std::logic_error on violation. Used for caller
+/// contract enforcement in public APIs (I.5/I.6 in the Core Guidelines).
+#define QOSBB_REQUIRE(cond, msg)                                  \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      throw std::logic_error(std::string("QOSBB_REQUIRE failed: ") + (msg)); \
+    }                                                             \
+  } while (0)
+
+}  // namespace qosbb
+
+#endif  // QOSBB_UTIL_STATUS_H_

@@ -1,0 +1,40 @@
+// Plain-text table and CSV emission for benchmark harnesses.
+//
+// Every bench binary prints the rows/series the paper's table or figure
+// reports; this class renders them aligned for the terminal and optionally
+// as CSV for plotting.
+
+#ifndef QOSBB_UTIL_TABLE_H_
+#define QOSBB_UTIL_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qosbb {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+  /// Convenience: format doubles with the given precision.
+  static std::string fmt(double v, int precision = 4);
+  static std::string fmt_int(long long v);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with aligned columns and a separator under the header.
+  void print(std::ostream& os) const;
+  /// Render as CSV (no quoting; cells must not contain commas).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_UTIL_TABLE_H_

@@ -1,0 +1,47 @@
+// Unit conventions and named helpers.
+//
+// Throughout the library:
+//   * time      — seconds, `double` (the paper's math is continuous-time)
+//   * data size — bits, `double` for fluid quantities, `int64_t` for packets
+//   * rate      — bits per second, `double`
+//
+// These helpers exist so call sites read like the paper: `kilobits(60)`,
+// `megabits_per_second(1.5)`, `bytes(1500)`.
+
+#ifndef QOSBB_UTIL_UNITS_H_
+#define QOSBB_UTIL_UNITS_H_
+
+#include <cstdint>
+
+namespace qosbb {
+
+/// Seconds. All simulator and bound computations use this scalar type.
+using Seconds = double;
+/// Bits (fluid). Packet sizes use BitCount.
+using Bits = double;
+/// Bits, exact (packet sizes on the wire).
+using BitCount = std::int64_t;
+/// Bits per second.
+using BitsPerSecond = double;
+
+constexpr Bits bits(double v) { return v; }
+constexpr Bits kilobits(double v) { return v * 1e3; }
+constexpr Bits megabits(double v) { return v * 1e6; }
+constexpr Bits bytes(double v) { return v * 8.0; }
+
+constexpr BitsPerSecond bits_per_second(double v) { return v; }
+constexpr BitsPerSecond kilobits_per_second(double v) { return v * 1e3; }
+constexpr BitsPerSecond megabits_per_second(double v) { return v * 1e6; }
+
+constexpr Seconds seconds(double v) { return v; }
+constexpr Seconds milliseconds(double v) { return v * 1e-3; }
+constexpr Seconds microseconds(double v) { return v * 1e-6; }
+
+/// Transmission time of `size` bits on a link of capacity `rate` b/s.
+constexpr Seconds transmission_time(Bits size, BitsPerSecond rate) {
+  return size / rate;
+}
+
+}  // namespace qosbb
+
+#endif  // QOSBB_UTIL_UNITS_H_

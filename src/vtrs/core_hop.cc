@@ -1,0 +1,92 @@
+#include "vtrs/core_hop.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace qosbb {
+
+VtrsHop::VtrsHop(SchedulerKind kind, Seconds error_term,
+                 Seconds propagation_delay)
+    : kind_(kind), psi_(error_term), pi_(propagation_delay) {}
+
+void VtrsHop::on_departure(Seconds now, Packet& p) {
+  ++packets_;
+  // Reality check: the packet's actual arrival at this hop must not exceed
+  // its virtual arrival time ω̃ (Section 2.1, property 2).
+  if (p.hop_arrival > p.state.virtual_time + kTolerance) {
+    ++reality_;
+  }
+  // Virtual spacing within the flow at this hop (property 1). Only
+  // meaningful between packets shaped at the same rate; the Theorem-4 edge
+  // extension re-establishes spacing across rate changes, so we reset the
+  // trace when the carried rate changes.
+  FlowTrace& tr = trace_[p.flow];
+  if (tr.last_rate == p.state.rate) {
+    if (p.state.virtual_time - tr.last_virtual_time <
+        p.size / p.state.rate - kTolerance) {
+      ++spacing_;
+    }
+  }
+  tr.last_virtual_time = p.state.virtual_time;
+  tr.last_rate = p.state.rate;
+
+  // Scheduler guarantee: actual departure by ν̃ + Ψ.
+  const Seconds vft = virtual_finish_time(kind_, p);
+  const Seconds lateness = now - (vft + psi_);
+  max_lateness_ = std::max(max_lateness_, lateness);
+  if (lateness > kTolerance) ++guarantee_;
+
+  // Concatenation rule (eq. 1): ω̃_{i+1} = ν̃_i + Ψ_i + π_i.
+  p.state.virtual_time = vft + psi_ + pi_;
+  p.hop_arrival = now + pi_;
+  ++p.hop_index;
+}
+
+VtrsInstrumentation VtrsInstrumentation::install(Network& net,
+                                                 const DomainSpec& spec,
+                                                 PacketTrace* trace) {
+  VtrsInstrumentation inst;
+  for (const auto& l : spec.links) {
+    Link& link = net.link(l.from, l.to);
+    auto hop = std::make_shared<VtrsHop>(link.scheduler().kind(),
+                                         link.scheduler().error_term(),
+                                         link.propagation_delay());
+    const std::string name = link.name();
+    link.set_departure_hook([hop, trace, name](Seconds now, Packet& p) {
+      hop->on_departure(now, p);
+      if (trace) {
+        trace->record(now, TraceEventKind::kHopDeparture, p, name);
+      }
+    });
+    inst.hops_.emplace(link.name(), std::move(hop));
+  }
+  return inst;
+}
+
+const VtrsHop& VtrsInstrumentation::hop(const std::string& link_name) const {
+  auto it = hops_.find(link_name);
+  QOSBB_REQUIRE(it != hops_.end(),
+                "VtrsInstrumentation: unknown link " + link_name);
+  return *it->second;
+}
+
+std::uint64_t VtrsInstrumentation::total_reality_check_violations() const {
+  std::uint64_t v = 0;
+  for (const auto& [name, hop] : hops_) v += hop->reality_check_violations();
+  return v;
+}
+
+std::uint64_t VtrsInstrumentation::total_spacing_violations() const {
+  std::uint64_t v = 0;
+  for (const auto& [name, hop] : hops_) v += hop->spacing_violations();
+  return v;
+}
+
+std::uint64_t VtrsInstrumentation::total_guarantee_violations() const {
+  std::uint64_t v = 0;
+  for (const auto& [name, hop] : hops_) v += hop->guarantee_violations();
+  return v;
+}
+
+}  // namespace qosbb

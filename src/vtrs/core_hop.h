@@ -1,0 +1,85 @@
+// Per-hop virtual time reference/update mechanism (Section 2.1).
+//
+// At packet departure from scheduler S_i the virtual time stamp is advanced
+// by the concatenation rule (eq. 1):
+//   ω̃_{i+1} = ω̃_i + d̃_i + Ψ_i + π_i,
+// where d̃_i = L/r + δ (rate-based) or d (delay-based). The hook installed on
+// each simulator link performs this update and simultaneously *audits* the
+// three VTRS properties the theory promises:
+//   * reality check:   â_i <= ω̃_i          (packet arrived no later than its
+//                                            virtual arrival time)
+//   * virtual spacing: ω̃_i^{k+1} − ω̃_i^k >= L^{k+1}/r
+//   * scheduler guarantee: f̂_i <= ν̃_i + Ψ_i
+// Violations are counted, never "fixed": a non-zero count in a test means
+// either the scheduler or the admission control broke its contract.
+
+#ifndef QOSBB_VTRS_CORE_HOP_H_
+#define QOSBB_VTRS_CORE_HOP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "sim/network.h"
+#include "sim/trace.h"
+#include "topo/fig8.h"
+#include "util/units.h"
+
+namespace qosbb {
+
+/// The per-link VTRS updater + property auditor. Installed as the link's
+/// departure hook.
+class VtrsHop {
+ public:
+  VtrsHop(SchedulerKind kind, Seconds error_term, Seconds propagation_delay);
+
+  /// Departure-hook body: audits properties, then applies eq. (1).
+  void on_departure(Seconds now, Packet& p);
+
+  std::uint64_t packets() const { return packets_; }
+  std::uint64_t reality_check_violations() const { return reality_; }
+  std::uint64_t spacing_violations() const { return spacing_; }
+  std::uint64_t guarantee_violations() const { return guarantee_; }
+  /// Worst observed lateness f̂ − (ν̃ + Ψ); <= 0 when the guarantee holds.
+  Seconds max_lateness() const { return max_lateness_; }
+
+  static constexpr Seconds kTolerance = 1e-9;
+
+ private:
+  SchedulerKind kind_;
+  Seconds psi_;
+  Seconds pi_;
+  std::uint64_t packets_ = 0;
+  std::uint64_t reality_ = 0;
+  std::uint64_t spacing_ = 0;
+  std::uint64_t guarantee_ = 0;
+  Seconds max_lateness_ = -1e30;
+  struct FlowTrace {
+    Seconds last_virtual_time = -1e30;
+    BitsPerSecond last_rate = 0.0;
+  };
+  std::unordered_map<FlowId, FlowTrace> trace_;
+};
+
+/// Installs a VtrsHop on every link of `net` described by `spec` and keeps
+/// them addressable by link name for post-run auditing.
+class VtrsInstrumentation {
+ public:
+  /// `trace` (optional, not owned, must outlive the network) records a
+  /// kHopDeparture event per packet per link.
+  static VtrsInstrumentation install(Network& net, const DomainSpec& spec,
+                                     PacketTrace* trace = nullptr);
+
+  const VtrsHop& hop(const std::string& link_name) const;
+  std::uint64_t total_reality_check_violations() const;
+  std::uint64_t total_spacing_violations() const;
+  std::uint64_t total_guarantee_violations() const;
+
+ private:
+  std::unordered_map<std::string, std::shared_ptr<VtrsHop>> hops_;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_VTRS_CORE_HOP_H_

@@ -1,0 +1,98 @@
+#include "vtrs/delay_bounds.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/status.h"
+
+namespace qosbb {
+
+int PathAbstract::rate_based_count() const {
+  int q = 0;
+  for (const auto& h : hops) {
+    if (h.kind == SchedulerKind::kRateBased) ++q;
+  }
+  return q;
+}
+
+Seconds PathAbstract::total_error_and_prop() const {
+  Seconds d = 0.0;
+  for (const auto& h : hops) d += h.error_term + h.propagation_delay;
+  return d;
+}
+
+BitsPerSecond PathAbstract::min_capacity() const {
+  BitsPerSecond c = std::numeric_limits<BitsPerSecond>::infinity();
+  for (const auto& h : hops) c = std::min(c, h.capacity);
+  return c;
+}
+
+PathAbstract path_abstract(const DomainSpec& spec,
+                           const std::vector<std::string>& node_path) {
+  QOSBB_REQUIRE(node_path.size() >= 2, "path_abstract: need >= 2 nodes");
+  PathAbstract pa;
+  pa.hops.reserve(node_path.size() - 1);
+  for (std::size_t i = 0; i + 1 < node_path.size(); ++i) {
+    const LinkSpec& l = spec.link(node_path[i], node_path[i + 1]);
+    HopAbstract hop;
+    hop.kind = is_rate_based(l.policy) ? SchedulerKind::kRateBased
+                                       : SchedulerKind::kDelayBased;
+    hop.error_term = spec.l_max / l.capacity;
+    hop.propagation_delay = l.propagation_delay;
+    hop.capacity = l.capacity;
+    hop.link_name = l.from + "->" + l.to;
+    pa.hops.push_back(std::move(hop));
+  }
+  return pa;
+}
+
+Seconds core_delay_bound(const PathAbstract& path, BitsPerSecond r, Seconds d,
+                         Bits l_core) {
+  QOSBB_REQUIRE(r > 0.0, "core_delay_bound: rate must be positive");
+  QOSBB_REQUIRE(d >= 0.0, "core_delay_bound: negative delay parameter");
+  const int q = path.rate_based_count();
+  const int hd = path.delay_based_count();
+  return static_cast<double>(q) * l_core / r + static_cast<double>(hd) * d +
+         path.total_error_and_prop();
+}
+
+Seconds core_delay_bound_rate_change(const PathAbstract& path,
+                                     BitsPerSecond r_old, BitsPerSecond r_new,
+                                     Seconds d, Bits l_core) {
+  return core_delay_bound(path, std::min(r_old, r_new), d, l_core);
+}
+
+Seconds edge_delay_bound(const TrafficProfile& profile, BitsPerSecond r) {
+  return profile.edge_delay_bound(r);
+}
+
+Seconds e2e_delay_bound(const PathAbstract& path, const TrafficProfile& p,
+                        BitsPerSecond r, Seconds d, Bits l_core) {
+  return edge_delay_bound(p, r) + core_delay_bound(path, r, d, l_core);
+}
+
+Bits per_hop_buffer_bound(SchedulerKind kind, BitsPerSecond r, Seconds d,
+                          Bits l_max, Seconds error_term) {
+  QOSBB_REQUIRE(r > 0.0, "per_hop_buffer_bound: rate must be positive");
+  switch (kind) {
+    case SchedulerKind::kRateBased:
+      return 2.0 * l_max + r * error_term;
+    case SchedulerKind::kDelayBased:
+      return l_max + r * (d + error_term);
+  }
+  return 0.0;
+}
+
+BitsPerSecond min_rate_rate_only(const PathAbstract& path,
+                                 const TrafficProfile& p, Seconds d_req) {
+  QOSBB_REQUIRE(path.delay_based_count() == 0,
+                "min_rate_rate_only: path has delay-based hops");
+  const Seconds d_tot = path.total_error_and_prop();
+  const Seconds t_on = p.t_on();
+  const Seconds denom = d_req - d_tot + t_on;
+  if (denom <= 0.0) return std::numeric_limits<BitsPerSecond>::infinity();
+  const int h = path.hop_count();
+  return (t_on * p.peak + static_cast<double>(h + 1) * p.l_max) / denom;
+}
+
+}  // namespace qosbb

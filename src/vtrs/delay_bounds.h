@@ -1,0 +1,99 @@
+// VTRS end-to-end delay bounds — the QoS abstraction of the data plane that
+// the bandwidth broker computes with (Section 2.1).
+//
+// A path is abstracted as a sequence of hops, each characterized by its
+// scheduler kind (rate- or delay-based), error term Ψ_i, and downstream
+// propagation delay π_i. For a flow with reserved rate r, delay parameter d,
+// and maximum packet size L:
+//
+//   core  (eq. 2):  d_core = q·L/r + (h−q)·d + Σ_i (Ψ_i + π_i)
+//   edge  (eq. 3):  d_edge = T_on·(P−r)/r + L/r
+//   e2e   (eq. 4):  d_e2e = d_edge + d_core  (the edge L/r and the q rate
+//                   hops together give the (q+1)·L/r term)
+//
+// For macroflows, the core bound uses the path maximum packet size L^{P,max}
+// while the edge bound uses the aggregate L^{α,max} (eq. 12), and after a
+// reserved-rate change r -> r' the core bound becomes eq. (18):
+//   q·max{L^{P,max}/r, L^{P,max}/r'} + (h−q)·d + D_tot.
+
+#ifndef QOSBB_VTRS_DELAY_BOUNDS_H_
+#define QOSBB_VTRS_DELAY_BOUNDS_H_
+
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.h"
+#include "topo/fig8.h"
+#include "traffic/profile.h"
+#include "util/units.h"
+
+namespace qosbb {
+
+/// One hop of a path as the BB sees it.
+struct HopAbstract {
+  SchedulerKind kind = SchedulerKind::kRateBased;
+  Seconds error_term = 0.0;        ///< Ψ_i
+  Seconds propagation_delay = 0.0; ///< π_i to the next hop
+  BitsPerSecond capacity = 0.0;    ///< C_i
+  std::string link_name;           ///< "from->to", keys into the node MIB
+};
+
+/// Path abstraction: the per-path QoS parameters of Section 2.2.
+struct PathAbstract {
+  std::vector<HopAbstract> hops;
+
+  int hop_count() const { return static_cast<int>(hops.size()); }  ///< h
+  int rate_based_count() const;                                    ///< q
+  int delay_based_count() const { return hop_count() - rate_based_count(); }
+  /// D_tot^P = Σ_i (Ψ_i + π_i).
+  Seconds total_error_and_prop() const;
+  /// min_i C_i (static capacity; residual capacity lives in the path MIB).
+  BitsPerSecond min_capacity() const;
+};
+
+/// Derive the abstraction of the node path [ingress..egress] from a domain
+/// spec. Error terms are Ψ_i = L^{P,max}/C_i (the minimum error term of
+/// C̸SVC / VT-EDF / VC / WFQ / RC-EDF).
+PathAbstract path_abstract(const DomainSpec& spec,
+                           const std::vector<std::string>& node_path);
+
+/// Core delay bound, eq. (2): q·l_core/r + (h−q)·d + D_tot.
+/// `l_core` is L^{j,max} for a per-flow reservation, L^{P,max} for a
+/// macroflow.
+Seconds core_delay_bound(const PathAbstract& path, BitsPerSecond r, Seconds d,
+                         Bits l_core);
+
+/// Core delay bound across a rate change r_old -> r_new, eq. (18).
+Seconds core_delay_bound_rate_change(const PathAbstract& path,
+                                     BitsPerSecond r_old, BitsPerSecond r_new,
+                                     Seconds d, Bits l_core);
+
+/// Edge conditioner delay bound, eq. (3). Thin wrapper over
+/// TrafficProfile::edge_delay_bound for symmetry.
+Seconds edge_delay_bound(const TrafficProfile& profile, BitsPerSecond r);
+
+/// End-to-end bound, eq. (4)/(12): edge + core. `l_core` as above.
+Seconds e2e_delay_bound(const PathAbstract& path, const TrafficProfile& p,
+                        BitsPerSecond r, Seconds d, Bits l_core);
+
+/// Per-hop buffer (backlog) bound for a reservation ⟨r, d⟩ at a hop with
+/// error term Ψ. Under the VTRS a packet departs scheduler S_i by
+/// ν̃ + Ψ = ω̃ + d̃ + Ψ, and the virtual-spacing property limits arrivals in
+/// any window of length (d̃ + Ψ) to r·(d̃ + Ψ) + L, so the resident backlog
+/// obeys
+///   rate-based hop  (d̃ = L/r):  B <= L + r·(L/r + Ψ) = 2L + r·Ψ
+///   delay-based hop (d̃ = d):    B <= L + r·(d + Ψ)
+/// Linear in r with a constant L offset — which keeps the BB's buffer
+/// bookkeeping incremental.
+Bits per_hop_buffer_bound(SchedulerKind kind, BitsPerSecond r, Seconds d,
+                          Bits l_max, Seconds error_term);
+
+/// Minimal rate meeting `d_req` on a rate-based-only path (Section 3.1):
+///   r_min = [T_on·P + (h+1)·L] / [D_req − D_tot + T_on].
+/// Returns +infinity when D_req <= D_tot (unreachable with any rate).
+BitsPerSecond min_rate_rate_only(const PathAbstract& path,
+                                 const TrafficProfile& p, Seconds d_req);
+
+}  // namespace qosbb
+
+#endif  // QOSBB_VTRS_DELAY_BOUNDS_H_

@@ -1,0 +1,125 @@
+#include "vtrs/edge_conditioner.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace qosbb {
+
+EdgeConditioner::EdgeConditioner(EventQueue& events, Node& ingress,
+                                 FlowId flow, BitsPerSecond rate,
+                                 Seconds delay_param)
+    : events_(events),
+      ingress_(ingress),
+      flow_(flow),
+      rate_(rate),
+      delay_param_(delay_param) {
+  QOSBB_REQUIRE(rate > 0.0, "EdgeConditioner: rate must be positive");
+  QOSBB_REQUIRE(delay_param >= 0.0, "EdgeConditioner: negative delay param");
+}
+
+void EdgeConditioner::submit(Seconds now, Bits size, FlowId microflow) {
+  QOSBB_REQUIRE(size > 0.0, "EdgeConditioner: empty packet");
+  queue_.push_back(Pending{now, size, microflow});
+  backlog_ += size;
+  schedule_release(now);
+}
+
+void EdgeConditioner::set_rate(Seconds now, BitsPerSecond new_rate) {
+  QOSBB_REQUIRE(new_rate > 0.0, "EdgeConditioner: rate must be positive");
+  rate_ = new_rate;
+  // Re-derive the head packet's release instant under the new rate; the
+  // epoch bump supersedes any release event scheduled under the old rate.
+  if (!queue_.empty()) schedule_release(now);
+}
+
+void EdgeConditioner::schedule_release(Seconds now) {
+  if (queue_.empty()) return;
+  const Pending& head = queue_.front();
+  const Seconds earliest =
+      std::max(head.arrival,
+               first_packet_ ? head.arrival
+                             : last_release_ + head.size / rate_);
+  const std::uint64_t epoch = ++release_epoch_;
+  events_.schedule(std::max(now, earliest), [this, epoch] {
+    if (epoch != release_epoch_) return;  // superseded by a newer schedule
+    release_front(events_.now());
+  });
+}
+
+void EdgeConditioner::release_front(Seconds now) {
+  if (queue_.empty()) return;
+  const Pending head = queue_.front();
+  // Re-check conformance under the *current* rate (it may have changed
+  // since the event was scheduled).
+  const Seconds earliest =
+      std::max(head.arrival,
+               first_packet_ ? head.arrival
+                             : last_release_ + head.size / rate_);
+  if (earliest > now + 1e-12) {
+    schedule_release(now);
+    return;
+  }
+  queue_.pop_front();
+  backlog_ -= head.size;
+
+  Packet p;
+  p.flow = flow_;
+  p.microflow = head.microflow;
+  p.seq = seq_++;
+  p.size = head.size;
+  p.source_time = head.arrival;
+  p.edge_time = now;
+  p.hop_arrival = now;
+  p.hop_index = 0;
+  p.state.rate = rate_;
+  p.state.delay_param = delay_param_;
+  p.state.virtual_time = now;  // ω̃_1 = â_1
+  // Sufficient δ update (see header). Reset across the first packet.
+  const Seconds delta =
+      first_packet_
+          ? 0.0
+          : std::max(0.0, last_delta_ + (last_size_ - head.size) / rate_);
+  p.state.delta = delta;
+
+  last_release_ = now;
+  last_size_ = head.size;
+  last_delta_ = delta;
+  first_packet_ = false;
+  ++released_;
+
+  ingress_.receive(now, std::move(p));
+
+  if (queue_.empty()) {
+    if (drain_cb_) drain_cb_(now);
+  } else {
+    schedule_release(now);
+  }
+}
+
+SourceDriver::SourceDriver(EventQueue& events,
+                           std::unique_ptr<TrafficSource> source,
+                           EdgeConditioner& conditioner, FlowId microflow,
+                           Seconds stop_time)
+    : events_(events),
+      source_(std::move(source)),
+      conditioner_(conditioner),
+      microflow_(microflow),
+      stop_time_(stop_time) {
+  QOSBB_REQUIRE(source_ != nullptr, "SourceDriver: null source");
+}
+
+void SourceDriver::start() { pump(); }
+
+void SourceDriver::pump() {
+  auto arrival = source_->next();
+  if (!arrival || arrival->time > stop_time_) return;
+  events_.schedule(arrival->time, [this, a = *arrival] {
+    if (stopped_) return;
+    conditioner_.submit(events_.now(), a.size, microflow_);
+    ++submitted_;
+    pump();
+  });
+}
+
+}  // namespace qosbb

@@ -1,0 +1,129 @@
+// Edge traffic conditioner (Section 2.1, "Edge Traffic Conditioning").
+//
+// Co-located at the ingress router. For a flow (or macroflow) with reserved
+// rate r it enforces the injection spacing
+//   â_1^{k+1} − â_1^k >= L^{k+1} / r
+// and initializes the dynamic packet state: ⟨r, d⟩, ω̃ = â_1 (the injection
+// time), and the virtual time adjustment δ. Supports reserved-rate changes
+// at arbitrary instants — the Theorem-4 extension for dynamic flow
+// aggregation: packets released after the change are spaced at the new rate
+// and the spacing trace restarts.
+//
+// δ rule: we apply the sufficient update δ^{k+1} = max{0, δ^k + (L^k −
+// L^{k+1})/r}, which preserves the virtual spacing property at every hop for
+// arbitrary packet sizes (with equal-size packets δ stays 0, matching the
+// experiments). The technical-report-exact minimal δ needs the hop count h;
+// the sufficient rule is independent of it and never smaller, so all VTRS
+// properties still hold.
+//
+// The conditioner also exposes the instantaneous backlog Q(t) and a drain
+// callback — the feedback channel the BB's contingency-bandwidth feedback
+// method relies on (Section 4.2.1).
+
+#ifndef QOSBB_VTRS_EDGE_CONDITIONER_H_
+#define QOSBB_VTRS_EDGE_CONDITIONER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "sim/event_queue.h"
+#include "sim/node.h"
+#include "traffic/source.h"
+#include "util/units.h"
+
+namespace qosbb {
+
+class EdgeConditioner {
+ public:
+  /// `ingress` receives the conditioned packets (it forwards them onto the
+  /// first-hop scheduler). `rate` must be positive; `delay_param` is the d
+  /// of the flow's rate–delay pair (0 on rate-based-only paths).
+  EdgeConditioner(EventQueue& events, Node& ingress, FlowId flow,
+                  BitsPerSecond rate, Seconds delay_param);
+
+  EdgeConditioner(const EdgeConditioner&) = delete;
+  EdgeConditioner& operator=(const EdgeConditioner&) = delete;
+
+  /// A raw packet of `size` bits from `microflow` arrives at time `now`.
+  void submit(Seconds now, Bits size, FlowId microflow);
+
+  /// Change the reserved rate at time `now` (>= current time). Takes effect
+  /// for every packet released after `now` (Theorem 4).
+  void set_rate(Seconds now, BitsPerSecond new_rate);
+  /// Change the delay parameter carried by subsequently released packets.
+  /// The class-based scheme keeps d^α fixed (Section 4.2.2), but per-flow
+  /// re-negotiation uses this.
+  void set_delay_param(Seconds delay_param) { delay_param_ = delay_param; }
+
+  BitsPerSecond rate() const { return rate_; }
+  Seconds delay_param() const { return delay_param_; }
+  FlowId flow() const { return flow_; }
+  /// Bits queued and not yet injected into the core.
+  Bits backlog() const { return backlog_; }
+  bool idle() const { return queue_.empty(); }
+  std::uint64_t packets_released() const { return released_; }
+
+  /// Invoked (at most once per busy period) when the queue drains — the
+  /// "buffer empty" message to the BB (Section 4.2.1).
+  void set_drain_callback(std::function<void(Seconds)> cb) {
+    drain_cb_ = std::move(cb);
+  }
+
+ private:
+  struct Pending {
+    Seconds arrival;
+    Bits size;
+    FlowId microflow;
+  };
+
+  void schedule_release(Seconds now);
+  void release_front(Seconds now);
+
+  EventQueue& events_;
+  Node& ingress_;
+  FlowId flow_;
+  BitsPerSecond rate_;
+  Seconds delay_param_;
+  std::deque<Pending> queue_;
+  Bits backlog_ = 0.0;
+  std::uint64_t release_epoch_ = 0;  // invalidates superseded release events
+  Seconds last_release_ = -1e30;
+  Bits last_size_ = 0.0;
+  Seconds last_delta_ = 0.0;
+  bool first_packet_ = true;
+  std::uint64_t released_ = 0;
+  std::uint64_t seq_ = 0;
+  std::function<void(Seconds)> drain_cb_;
+};
+
+/// Pumps a TrafficSource into an EdgeConditioner one arrival at a time.
+/// Owns the source; lifetime must cover the simulation run.
+class SourceDriver {
+ public:
+  SourceDriver(EventQueue& events, std::unique_ptr<TrafficSource> source,
+               EdgeConditioner& conditioner, FlowId microflow,
+               Seconds stop_time);
+
+  /// Schedule the first arrival. Call once.
+  void start();
+  /// Stop feeding (microflow leave): no further arrivals are scheduled.
+  void stop() { stopped_ = true; }
+  std::uint64_t packets_submitted() const { return submitted_; }
+
+ private:
+  void pump();
+
+  EventQueue& events_;
+  std::unique_ptr<TrafficSource> source_;
+  EdgeConditioner& conditioner_;
+  FlowId microflow_;
+  Seconds stop_time_;
+  bool stopped_ = false;
+  std::uint64_t submitted_ = 0;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_VTRS_EDGE_CONDITIONER_H_

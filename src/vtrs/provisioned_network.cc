@@ -1,0 +1,76 @@
+#include "vtrs/provisioned_network.h"
+
+#include "sched/rcedf.h"
+#include "sched/vc.h"
+#include "sched/wfq.h"
+#include "util/status.h"
+
+namespace qosbb {
+
+ProvisionedNetwork::ProvisionedNetwork(const DomainSpec& spec,
+                                       std::size_t trace_capacity)
+    : spec_(spec) {
+  build_network(spec_, net_);
+  if (trace_capacity > 0) {
+    trace_ = std::make_unique<PacketTrace>(trace_capacity);
+  }
+  vtrs_ = VtrsInstrumentation::install(net_, spec_, trace_.get());
+}
+
+PacketTrace& ProvisionedNetwork::trace() {
+  QOSBB_REQUIRE(trace_ != nullptr,
+                "trace(): construct with trace_capacity > 0");
+  return *trace_;
+}
+
+EdgeConditioner& ProvisionedNetwork::install_flow(
+    FlowId flow, const std::vector<std::string>& path, BitsPerSecond rate,
+    Seconds delay_param) {
+  QOSBB_REQUIRE(!conditioners_.contains(flow),
+                "install_flow: flow already installed");
+  net_.install_flow_path(flow, path, &meter_);
+  auto cond = std::make_unique<EdgeConditioner>(
+      net_.events(), net_.node(path.front()), flow, rate, delay_param);
+  EdgeConditioner& ref = *cond;
+  conditioners_.emplace(flow, std::move(cond));
+  return ref;
+}
+
+void ProvisionedNetwork::set_flow_rate(FlowId flow, Seconds now,
+                                       BitsPerSecond rate) {
+  conditioner(flow).set_rate(now, rate);
+}
+
+EdgeConditioner& ProvisionedNetwork::conditioner(FlowId flow) {
+  auto it = conditioners_.find(flow);
+  QOSBB_REQUIRE(it != conditioners_.end(),
+                "conditioner: unknown flow " + std::to_string(flow));
+  return *it->second;
+}
+
+void ProvisionedNetwork::configure_stateful_flow(
+    FlowId flow, const std::vector<std::string>& path, BitsPerSecond rate,
+    Seconds local_delay) {
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    Scheduler& s = net_.link(path[i], path[i + 1]).scheduler();
+    if (auto* vc = dynamic_cast<VcScheduler*>(&s)) {
+      vc->configure_flow(flow, rate);
+    } else if (auto* wfq = dynamic_cast<WfqScheduler*>(&s)) {
+      wfq->configure_flow(flow, rate);
+    } else if (auto* edf = dynamic_cast<RcEdfScheduler*>(&s)) {
+      edf->configure_flow(flow, rate, local_delay);
+    }
+    // Core-stateless schedulers need nothing — that is the point.
+  }
+}
+
+SourceDriver& ProvisionedNetwork::attach_source(
+    FlowId flow, std::unique_ptr<TrafficSource> source, FlowId microflow,
+    Seconds stop_time) {
+  EdgeConditioner& cond = conditioner(flow);
+  drivers_.push_back(std::make_unique<SourceDriver>(
+      net_.events(), std::move(source), cond, microflow, stop_time));
+  return *drivers_.back();
+}
+
+}  // namespace qosbb

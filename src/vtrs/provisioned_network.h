@@ -1,0 +1,91 @@
+// Glue between the control plane and the packet-level data plane: builds a
+// simulator network from a domain spec, installs the VTRS per-hop machinery
+// on every link, and materializes BB reservations as edge conditioners,
+// forwarding state, and an egress delay meter.
+//
+// This is the harness used by the examples, the delay-validation bench, and
+// the end-to-end tests: admit flows through a BandwidthBroker, install the
+// resulting reservations here, attach (greedy / on–off / Poisson) sources,
+// run, and check measured delays against the analytic bounds.
+
+#ifndef QOSBB_VTRS_PROVISIONED_NETWORK_H_
+#define QOSBB_VTRS_PROVISIONED_NETWORK_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/meter.h"
+#include "sim/network.h"
+#include "topo/fig8.h"
+#include "traffic/source.h"
+#include "vtrs/core_hop.h"
+#include "vtrs/edge_conditioner.h"
+
+namespace qosbb {
+
+class ProvisionedNetwork {
+ public:
+  /// `trace_capacity` > 0 enables per-hop packet tracing into trace().
+  explicit ProvisionedNetwork(const DomainSpec& spec,
+                              std::size_t trace_capacity = 0);
+
+  ProvisionedNetwork(const ProvisionedNetwork&) = delete;
+  ProvisionedNetwork& operator=(const ProvisionedNetwork&) = delete;
+
+  Network& network() { return net_; }
+  EventQueue& events() { return net_.events(); }
+  DelayMeter& meter() { return meter_; }
+  const VtrsInstrumentation& vtrs() const { return vtrs_; }
+  /// Valid only when constructed with trace_capacity > 0.
+  PacketTrace& trace();
+
+  /// Materialize a reservation ⟨rate, delay_param⟩ for `flow` along the
+  /// node path [ingress..egress]: edge conditioner at the ingress,
+  /// forwarding entries, measurement sink at the egress.
+  EdgeConditioner& install_flow(FlowId flow,
+                                const std::vector<std::string>& path,
+                                BitsPerSecond rate, Seconds delay_param);
+
+  /// Reconfigure an installed flow's reserved rate at time `now`
+  /// (dynamic aggregation, Theorem 4).
+  void set_flow_rate(FlowId flow, Seconds now, BitsPerSecond rate);
+
+  EdgeConditioner& conditioner(FlowId flow);
+
+  /// For stateful (VC/WFQ/RC-EDF) data planes: push the per-flow
+  /// reservation into every router along the path — the router-resident
+  /// state the BB architecture eliminates. `local_delay` is used by RC-EDF
+  /// hops only.
+  void configure_stateful_flow(FlowId flow,
+                               const std::vector<std::string>& path,
+                               BitsPerSecond rate, Seconds local_delay);
+
+  /// Attach a source feeding `flow`'s conditioner as `microflow`; pumps
+  /// until `stop_time`. Returns the driver (call start()).
+  SourceDriver& attach_source(FlowId flow,
+                              std::unique_ptr<TrafficSource> source,
+                              FlowId microflow, Seconds stop_time);
+
+  /// Register analytic bounds with the meter for post-run auditing.
+  void expect_bounds(FlowId flow, Seconds core_bound, Seconds total_bound) {
+    meter_.set_bounds(flow, core_bound, total_bound);
+  }
+
+  void run_until(Seconds t) { net_.run_until(t); }
+  void run_all() { net_.run_all(); }
+
+ private:
+  DomainSpec spec_;
+  Network net_;
+  std::unique_ptr<PacketTrace> trace_;  // before vtrs_: hooks point at it
+  VtrsInstrumentation vtrs_;
+  DelayMeter meter_;
+  std::unordered_map<FlowId, std::unique_ptr<EdgeConditioner>> conditioners_;
+  std::vector<std::unique_ptr<SourceDriver>> drivers_;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_VTRS_PROVISIONED_NETWORK_H_

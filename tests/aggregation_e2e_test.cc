@@ -1,0 +1,175 @@
+// Packet-level validation of Section 4 under churn: microflows join AND
+// leave a live macroflow carrying greedy worst-case traffic; the broker's
+// contingency machinery drives the edge conditioner's rate changes; every
+// packet must meet the class delay bound throughout every transient.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/broker.h"
+#include "topo/fig8.h"
+#include "vtrs/provisioned_network.h"
+
+namespace qosbb {
+namespace {
+
+TrafficProfile type0() {
+  return TrafficProfile::make(60000, 50000, 100000, 12000);
+}
+
+/// Test harness that keeps the conditioner rate in lockstep with the
+/// broker's allocation (base + contingency) for one macroflow.
+class MacroflowDriver {
+ public:
+  MacroflowDriver(BandwidthBroker& bb, ProvisionedNetwork& pn, ClassId cls)
+      : bb_(bb), pn_(pn), cls_(cls) {}
+
+  FlowId join(Seconds now, FlowId microflow_tag, Seconds traffic_until) {
+    auto j = bb_.request_class_service(cls_, type0(), "I1", "E1", now,
+                                       backlog(now));
+    EXPECT_TRUE(j.admitted) << j.detail;
+    if (!j.admitted) return kInvalidFlowId;
+    if (macroflow_ == kInvalidFlowId) {
+      macroflow_ = j.macroflow;
+      cond_ = &pn_.install_flow(macroflow_, fig8_path_s1(),
+                                bb_.classes().allocated(macroflow_), 0.0);
+      cond_->set_drain_callback([this](Seconds t) {
+        bb_.edge_buffer_empty(macroflow_, t);
+        sync(t);
+      });
+    }
+    sync(now);
+    schedule_expiry(j.grant, j.contingency_expires_at);
+    SourceDriver& src = pn_.attach_source(
+        macroflow_, std::make_unique<GreedySource>(type0(), now),
+        microflow_tag, traffic_until);
+    src.start();
+    sources_[j.microflow] = &src;
+    return j.microflow;
+  }
+
+  void leave(Seconds now, FlowId microflow) {
+    // The departing microflow stops sending (its already-queued packets
+    // drain under the Theorem-3 contingency window).
+    auto it = sources_.find(microflow);
+    ASSERT_NE(it, sources_.end());
+    it->second->stop();
+    sources_.erase(it);
+    auto l = bb_.leave_class_service(microflow, now, backlog(now));
+    ASSERT_TRUE(l.is_ok());
+    sync(now);
+    schedule_expiry(l.value().grant, l.value().contingency_expires_at);
+  }
+
+  FlowId macroflow() const { return macroflow_; }
+  EdgeConditioner& conditioner() { return *cond_; }
+
+ private:
+  std::optional<Bits> backlog(Seconds) const {
+    return cond_ == nullptr ? 0.0 : cond_->backlog();
+  }
+  void sync(Seconds now) {
+    if (cond_ == nullptr) return;
+    const MacroflowState* mf = bb_.classes().macroflow(macroflow_);
+    if (mf != nullptr) {
+      cond_->set_rate(now, bb_.classes().allocated(macroflow_));
+    }
+  }
+  void schedule_expiry(GrantId grant, Seconds when) {
+    if (grant == kInvalidGrantId) return;
+    pn_.events().schedule(when, [this, grant, when] {
+      bb_.expire_contingency(grant, when);
+      sync(when);
+    });
+  }
+
+  BandwidthBroker& bb_;
+  ProvisionedNetwork& pn_;
+  ClassId cls_;
+  FlowId macroflow_ = kInvalidFlowId;
+  EdgeConditioner* cond_ = nullptr;
+  std::unordered_map<FlowId, SourceDriver*> sources_;
+};
+
+class AggregationChurn : public ::testing::TestWithParam<ContingencyMethod> {
+};
+
+TEST_P(AggregationChurn, ClassBoundHoldsThroughJoinsAndLeaves) {
+  const DomainSpec spec = fig8_topology(Fig8Setting::kRateBasedOnly);
+  BandwidthBroker bb(spec, BrokerOptions{GetParam()});
+  ProvisionedNetwork pn(spec);
+  const Seconds class_bound = 2.44;
+  const ClassId cls = bb.define_class(class_bound, 0.0);
+  MacroflowDriver driver(bb, pn, cls);
+
+  // Churn schedule: joins at 0/15/30/45, leaves at 60/75 — every event
+  // lands while greedy traffic is in full flight.
+  std::vector<FlowId> members;
+  const Seconds horizon = 110.0;
+  members.push_back(driver.join(0.0, 101, horizon));
+  pn.events().schedule(15.0, [&] {
+    members.push_back(driver.join(15.0, 102, horizon));
+  });
+  pn.events().schedule(30.0, [&] {
+    members.push_back(driver.join(30.0, 103, horizon));
+  });
+  pn.events().schedule(45.0, [&] {
+    members.push_back(driver.join(45.0, 104, horizon));
+  });
+  pn.events().schedule(60.0, [&] { driver.leave(60.0, members[1]); });
+  pn.events().schedule(75.0, [&] { driver.leave(75.0, members[2]); });
+
+  pn.run_until(horizon + 30.0);
+
+  const auto& rec = pn.meter().record(driver.macroflow());
+  EXPECT_GT(rec.total_delay.count(), 1000u);
+  // Every packet within the class bound, through four joins, two leaves,
+  // and all their contingency windows.
+  EXPECT_LE(rec.total_delay.max(), class_bound + 1e-9)
+      << contingency_method_name(GetParam());
+  EXPECT_EQ(pn.vtrs().total_guarantee_violations(), 0u);
+  EXPECT_EQ(pn.vtrs().total_reality_check_violations(), 0u);
+
+  // The broker settles back to a 2-microflow macroflow at the mean rate.
+  const MacroflowState* mf = bb.classes().macroflow(driver.macroflow());
+  ASSERT_NE(mf, nullptr);
+  EXPECT_EQ(mf->microflows, 2);
+  EXPECT_NEAR(mf->base_rate, 100000, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, AggregationChurn,
+                         ::testing::Values(ContingencyMethod::kBounding,
+                                           ContingencyMethod::kFeedback),
+                         [](const auto& info) {
+                           return info.param == ContingencyMethod::kBounding
+                                      ? "Bounding"
+                                      : "Feedback";
+                         });
+
+TEST(AggregationChurn, FeedbackReleasesFasterThanBounding) {
+  // Same join under both methods with real (packet-measured) backlog: the
+  // feedback method's contingency window must be no longer than the
+  // bounding method's eq.-17 worst case.
+  auto window = [](ContingencyMethod method) {
+    const DomainSpec spec = fig8_topology(Fig8Setting::kRateBasedOnly);
+    BandwidthBroker bb(spec, BrokerOptions{method});
+    ProvisionedNetwork pn(spec);
+    const ClassId cls = bb.define_class(2.44, 0.0);
+    MacroflowDriver driver(bb, pn, cls);
+    driver.join(0.0, 101, 40.0);
+    pn.run_until(10.0);
+    const Bits q = driver.conditioner().backlog();
+    auto j = bb.request_class_service(cls, type0(), "I1", "E1", 10.0, q);
+    EXPECT_TRUE(j.admitted);
+    return j.grant == kInvalidGrantId ? 0.0
+                                      : j.contingency_expires_at - 10.0;
+  };
+  const Seconds bounding = window(ContingencyMethod::kBounding);
+  const Seconds feedback = window(ContingencyMethod::kFeedback);
+  EXPECT_GT(bounding, 0.0);
+  EXPECT_LE(feedback, bounding + 1e-9);
+}
+
+}  // namespace
+}  // namespace qosbb

@@ -1,0 +1,148 @@
+// Tests for the admission audit log and per-flow renegotiation.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/broker.h"
+#include "topo/fig8.h"
+
+namespace qosbb {
+namespace {
+
+TrafficProfile type0() {
+  return TrafficProfile::make(60000, 50000, 100000, 12000);
+}
+
+FlowServiceRequest req(double bound = 2.44) {
+  return FlowServiceRequest{type0(), bound, "I1", "E1"};
+}
+
+TEST(AuditLog, RingSemanticsAndCsv) {
+  AuditLog log(2);
+  AuditEntry e;
+  e.kind = AuditKind::kPerFlowRequest;
+  e.admitted = true;
+  e.flow = 1;
+  log.record(e);
+  e.flow = 2;
+  log.record(e);
+  e.flow = 3;
+  log.record(e);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.total_recorded(), 3u);
+  EXPECT_EQ(log.entries().front().flow, 2);
+  EXPECT_EQ(log.last().flow, 3);
+  std::ostringstream os;
+  log.dump_csv(os);
+  EXPECT_NE(os.str().find("time,kind,admitted"), std::string::npos);
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_THROW(log.last(), std::logic_error);
+  EXPECT_THROW(AuditLog(0), std::logic_error);
+}
+
+TEST(BrokerAudit, RecordsAdmissionsAndRejections) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kRateBasedOnly));
+  while (bb.request_service(req()).is_ok()) {
+  }
+  // 30 admissions + 1 rejection.
+  EXPECT_EQ(bb.audit().total_recorded(), 31u);
+  EXPECT_EQ(bb.audit().rejections(RejectReason::kInsufficientBandwidth), 1u);
+  const AuditEntry& last = bb.audit().last();
+  EXPECT_FALSE(last.admitted);
+  EXPECT_EQ(last.ingress, "I1");
+  EXPECT_DOUBLE_EQ(last.requested_rho, 50000);
+  // Residual recorded at decision time: 0 after the path filled.
+  EXPECT_NEAR(last.path_residual, 0.0, 1e-6);
+}
+
+TEST(BrokerAudit, RecordsGrantedParameters) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kMixed));
+  ASSERT_TRUE(bb.request_service(req(2.19)).is_ok());
+  const AuditEntry& e = bb.audit().last();
+  EXPECT_TRUE(e.admitted);
+  EXPECT_NEAR(e.granted_rate, 50000, 1e-3);
+  EXPECT_GT(e.granted_delay, 0.0);
+  EXPECT_EQ(e.kind, AuditKind::kPerFlowRequest);
+}
+
+TEST(BrokerAudit, RecordsClassEvents) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kRateBasedOnly));
+  const ClassId cls = bb.define_class(2.44, 0.0);
+  auto j = bb.request_class_service(cls, type0(), "I1", "E1", 5.0, 0.0);
+  ASSERT_TRUE(j.admitted);
+  EXPECT_EQ(bb.audit().last().kind, AuditKind::kMicroflowJoin);
+  EXPECT_DOUBLE_EQ(bb.audit().last().time, 5.0);
+  ASSERT_TRUE(bb.leave_class_service(j.microflow, 10.0, 0.0).is_ok());
+  EXPECT_EQ(bb.audit().last().kind, AuditKind::kMicroflowLeave);
+}
+
+TEST(Renegotiation, TightenRaisesRate) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kRateBasedOnly));
+  auto res = bb.request_service(req(2.44));
+  ASSERT_TRUE(res.is_ok());
+  EXPECT_NEAR(res.value().params.rate, 50000, 1e-6);
+  auto tightened = bb.renegotiate_service(res.value().flow, 2.19);
+  ASSERT_TRUE(tightened.is_ok());
+  EXPECT_EQ(tightened.value().flow, res.value().flow);  // same id
+  EXPECT_NEAR(tightened.value().params.rate, 168000.0 / 3.11, 1e-3);
+  EXPECT_LE(tightened.value().e2e_bound, 2.19 + 1e-9);
+  // MIBs reflect the new rate exactly once.
+  EXPECT_NEAR(bb.nodes().link("R2->R3").reserved(), 168000.0 / 3.11, 1e-3);
+  EXPECT_EQ(bb.nodes().link("R2->R3").flow_count(), 1u);
+}
+
+TEST(Renegotiation, LoosenLowersRate) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kRateBasedOnly));
+  auto res = bb.request_service(req(2.19));
+  ASSERT_TRUE(res.is_ok());
+  auto loosened = bb.renegotiate_service(res.value().flow, 2.44);
+  ASSERT_TRUE(loosened.is_ok());
+  EXPECT_NEAR(loosened.value().params.rate, 50000, 1e-6);
+}
+
+TEST(Renegotiation, InfeasibleKeepsOriginal) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kRateBasedOnly));
+  // Fill 29 flows, then the 30th cannot tighten past what residual allows.
+  std::vector<FlowId> flows;
+  for (int i = 0; i < 30; ++i) {
+    auto r = bb.request_service(req(2.44));
+    ASSERT_TRUE(r.is_ok());
+    flows.push_back(r.value().flow);
+  }
+  auto tightened = bb.renegotiate_service(flows.back(), 2.19);
+  EXPECT_FALSE(tightened.is_ok());  // needs 54 kb/s, only its own 50k free
+  // Original reservation intact.
+  auto rec = bb.flows().get(flows.back());
+  ASSERT_TRUE(rec.is_ok());
+  EXPECT_NEAR(rec.value().reservation.rate, 50000, 1e-6);
+  EXPECT_DOUBLE_EQ(rec.value().e2e_delay_req, 2.44);
+  EXPECT_NEAR(bb.nodes().link("R2->R3").reserved(), 1.5e6, 1e-6);
+  // Impossible requirement also keeps the original.
+  EXPECT_FALSE(bb.renegotiate_service(flows.front(), 0.01).is_ok());
+  EXPECT_NEAR(bb.nodes().link("R2->R3").reserved(), 1.5e6, 1e-6);
+}
+
+TEST(Renegotiation, MixedPathSwapsEdfEntries) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kMixed));
+  auto res = bb.request_service(req(2.19));
+  ASSERT_TRUE(res.is_ok());
+  auto renew = bb.renegotiate_service(res.value().flow, 2.30);
+  ASSERT_TRUE(renew.is_ok());
+  const LinkQosState& edf = bb.nodes().link("R3->R4");
+  // Exactly one entry, at the NEW delay parameter.
+  ASSERT_EQ(edf.edf_buckets().size(), 1u);
+  EXPECT_TRUE(edf.edf_buckets().contains(renew.value().params.delay));
+  ASSERT_TRUE(bb.release_service(res.value().flow).is_ok());
+  EXPECT_TRUE(edf.edf_buckets().empty());
+}
+
+TEST(Renegotiation, UnknownFlowIsNotFound) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kRateBasedOnly));
+  EXPECT_EQ(bb.renegotiate_service(999, 2.0).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace qosbb

@@ -1,0 +1,159 @@
+// Tests for the BandwidthBroker facade: the two-phase admission pipeline,
+// policy gating, bookkeeping consistency, teardown, stats.
+
+#include <gtest/gtest.h>
+
+#include "core/broker.h"
+#include "topo/fig8.h"
+
+namespace qosbb {
+namespace {
+
+TrafficProfile type0() {
+  return TrafficProfile::make(60000, 50000, 100000, 12000);
+}
+
+FlowServiceRequest req_s1(Seconds bound = 2.44) {
+  return FlowServiceRequest{type0(), bound, "I1", "E1"};
+}
+
+TEST(Broker, ProvisionPathIsIdempotentAndRouted) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kRateBasedOnly));
+  auto p1 = bb.provision_path("I1", "E1");
+  ASSERT_TRUE(p1.is_ok());
+  auto p2 = bb.provision_path("I1", "E1");
+  ASSERT_TRUE(p2.is_ok());
+  EXPECT_EQ(p1.value(), p2.value());
+  EXPECT_EQ(bb.paths().record(p1.value()).nodes, fig8_path_s1());
+  auto bad = bb.provision_path("E1", "I2");
+  EXPECT_FALSE(bad.is_ok());
+}
+
+TEST(Broker, AdmissionReservesOnEveryLinkOfPath) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kRateBasedOnly));
+  auto res = bb.request_service(req_s1());
+  ASSERT_TRUE(res.is_ok());
+  for (const char* ln : {"I1->R2", "R2->R3", "R3->R4", "R4->R5", "R5->E1"}) {
+    EXPECT_NEAR(bb.nodes().link(ln).reserved(), res.value().params.rate, 1e-9)
+        << ln;
+    EXPECT_EQ(bb.nodes().link(ln).flow_count(), 1u) << ln;
+  }
+  // Off-path link untouched.
+  EXPECT_DOUBLE_EQ(bb.nodes().link("I2->R2").reserved(), 0.0);
+  EXPECT_DOUBLE_EQ(bb.nodes().link("R5->E2").reserved(), 0.0);
+}
+
+TEST(Broker, ReleaseRestoresAllState) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kMixed));
+  auto res = bb.request_service(req_s1(2.19));
+  ASSERT_TRUE(res.is_ok());
+  ASSERT_TRUE(bb.release_service(res.value().flow).is_ok());
+  for (const char* ln : {"I1->R2", "R2->R3", "R3->R4", "R4->R5", "R5->E1"}) {
+    EXPECT_DOUBLE_EQ(bb.nodes().link(ln).reserved(), 0.0) << ln;
+    EXPECT_EQ(bb.nodes().link(ln).flow_count(), 0u) << ln;
+  }
+  EXPECT_TRUE(bb.nodes().link("R3->R4").edf_buckets().empty());
+  EXPECT_EQ(bb.flows().count(), 0u);
+  // Double release reports not-found.
+  EXPECT_EQ(bb.release_service(res.value().flow).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Broker, AdmitReleaseChurnIsLossless) {
+  // Property: any admit/release sequence that ends empty leaves zero
+  // reservations everywhere.
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kMixed));
+  std::vector<FlowId> live;
+  for (int round = 0; round < 50; ++round) {
+    if (round % 3 == 2 && !live.empty()) {
+      ASSERT_TRUE(bb.release_service(live.back()).is_ok());
+      live.pop_back();
+    } else {
+      auto res = bb.request_service(req_s1(2.19));
+      if (res.is_ok()) live.push_back(res.value().flow);
+    }
+  }
+  for (FlowId f : live) ASSERT_TRUE(bb.release_service(f).is_ok());
+  EXPECT_DOUBLE_EQ(bb.nodes().total_reserved(), 0.0);
+  EXPECT_TRUE(bb.nodes().link("R3->R4").edf_buckets().empty());
+}
+
+TEST(Broker, PolicyRejectsBeforeAdmission) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kRateBasedOnly));
+  PolicyRule rule;
+  rule.max_flows = 2;
+  bb.policy().set_ingress_rule("I1", rule);
+  ASSERT_TRUE(bb.request_service(req_s1()).is_ok());
+  ASSERT_TRUE(bb.request_service(req_s1()).is_ok());
+  auto third = bb.request_service(req_s1());
+  EXPECT_FALSE(third.is_ok());
+  EXPECT_EQ(bb.last_outcome().reason, RejectReason::kPolicy);
+  // Other ingresses unaffected.
+  EXPECT_TRUE(bb.request_service({type0(), 2.44, "I2", "E2"}).is_ok());
+}
+
+TEST(Broker, PolicyDenyAndCaps) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kRateBasedOnly));
+  PolicyRule deny;
+  deny.deny = true;
+  bb.policy().set_ingress_rule("I2", deny);
+  EXPECT_FALSE(bb.request_service({type0(), 2.44, "I2", "E2"}).is_ok());
+  bb.policy().clear_ingress_rule("I2");
+  EXPECT_TRUE(bb.request_service({type0(), 2.44, "I2", "E2"}).is_ok());
+
+  PolicyRule caps;
+  caps.max_peak_rate = 50000;  // below type-0 peak
+  bb.policy().set_default_rule(caps);
+  EXPECT_FALSE(bb.request_service(req_s1()).is_ok());
+  PolicyRule delay_floor;
+  delay_floor.min_delay_req = 3.0;
+  bb.policy().set_default_rule(delay_floor);
+  EXPECT_FALSE(bb.request_service(req_s1(2.44)).is_ok());
+  EXPECT_TRUE(bb.request_service(req_s1(3.5)).is_ok());
+}
+
+TEST(Broker, StatsCountReasons) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kRateBasedOnly));
+  while (bb.request_service(req_s1()).is_ok()) {
+  }
+  const BrokerStats& st = bb.stats();
+  EXPECT_EQ(st.admitted, 30u);
+  EXPECT_EQ(st.requests, 31u);
+  EXPECT_EQ(st.total_rejected(), 1u);
+  EXPECT_EQ(st.rejected.at(RejectReason::kInsufficientBandwidth), 1u);
+  EXPECT_NEAR(st.blocking_rate(), 1.0 / 31.0, 1e-12);
+}
+
+TEST(Broker, UnknownEndpointIsNoPath) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kRateBasedOnly));
+  auto res = bb.request_service({type0(), 2.44, "I1", "nowhere"});
+  EXPECT_FALSE(res.is_ok());
+  EXPECT_EQ(bb.last_outcome().reason, RejectReason::kNoPath);
+}
+
+TEST(Broker, TwoPathsContendOnSharedLinks) {
+  // S1 and S2 share R2->R3->R4->R5: totals add up on shared links only.
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kRateBasedOnly));
+  int admitted = 0;
+  for (int i = 0; i < 40; ++i) {
+    const bool s1 = (i % 2 == 0);
+    auto res = bb.request_service(
+        {type0(), 2.44, s1 ? "I1" : "I2", s1 ? "E1" : "E2"});
+    if (res.is_ok()) ++admitted;
+  }
+  // The shared 1.5 Mb/s core still caps the total at 30 mean-rate flows.
+  EXPECT_EQ(admitted, 30);
+  EXPECT_NEAR(bb.nodes().link("R2->R3").reserved(), 1.5e6, 1e-6);
+  EXPECT_NEAR(bb.nodes().link("I1->R2").reserved(), 15 * 50000.0, 1e-6);
+}
+
+TEST(Broker, MicroflowReleaseViaWrongApiIsContractViolation) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kRateBasedOnly));
+  const ClassId cls = bb.define_class(2.44, 0.0);
+  auto join = bb.request_class_service(cls, type0(), "I1", "E1", 0.0, 0.0);
+  ASSERT_TRUE(join.admitted);
+  EXPECT_THROW((void)bb.release_service(join.microflow), std::logic_error);
+}
+
+}  // namespace
+}  // namespace qosbb

@@ -1,0 +1,174 @@
+// Buffer dimensioning tests: the node MIB's buffer capacity (Section 2.2
+// lists it explicitly) participates in admission — per-hop backlog bounds
+// are reserved per flow/macroflow and returned in full on teardown.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/broker.h"
+#include "gs/gs_admission.h"
+#include "topo/fig8.h"
+#include "vtrs/delay_bounds.h"
+
+namespace qosbb {
+namespace {
+
+TrafficProfile type0() {
+  return TrafficProfile::make(60000, 50000, 100000, 12000);
+}
+
+DomainSpec finite_buffer_spec(Bits buffer, Fig8Setting setting =
+                                               Fig8Setting::kRateBasedOnly) {
+  DomainSpec spec = fig8_topology(setting);
+  for (auto& l : spec.links) l.buffer = buffer;
+  return spec;
+}
+
+TEST(BufferBound, RateBasedFormula) {
+  // 2L + r·Ψ: 24000 + 50000·0.008 = 24400 bits.
+  EXPECT_NEAR(per_hop_buffer_bound(SchedulerKind::kRateBased, 50000, 0.0,
+                                   12000, 0.008),
+              24400, 1e-9);
+}
+
+TEST(BufferBound, DelayBasedFormula) {
+  // L + r·(d + Ψ): 12000 + 50000·0.108 = 17400 bits.
+  EXPECT_NEAR(per_hop_buffer_bound(SchedulerKind::kDelayBased, 50000, 0.1,
+                                   12000, 0.008),
+              17400, 1e-9);
+}
+
+TEST(LinkBuffer, ReserveReleaseAndContracts) {
+  NodeMib mib(finite_buffer_spec(100000));
+  LinkQosState& l = mib.link("I1->R2");
+  EXPECT_DOUBLE_EQ(l.buffer_capacity(), 100000);
+  EXPECT_TRUE(l.reserve_buffer(60000).is_ok());
+  EXPECT_DOUBLE_EQ(l.buffer_residual(), 40000);
+  EXPECT_FALSE(l.reserve_buffer(50000).is_ok());
+  EXPECT_DOUBLE_EQ(l.buffer_reserved(), 60000);
+  l.release_buffer(60000);
+  EXPECT_DOUBLE_EQ(l.buffer_reserved(), 0.0);
+  EXPECT_THROW(l.release_buffer(1.0), std::logic_error);
+}
+
+TEST(LinkBuffer, InfiniteByDefault) {
+  NodeMib mib(fig8_topology(Fig8Setting::kRateBasedOnly));
+  LinkQosState& l = mib.link("I1->R2");
+  EXPECT_TRUE(l.reserve_buffer(1e12).is_ok());
+  EXPECT_TRUE(std::isinf(l.buffer_residual()));
+}
+
+TEST(BufferAdmission, PerFlowRejectsWhenBufferTight) {
+  // Each type-0 flow at mean rate needs 24400 bits per hop; 3 flows fit in
+  // a 75,000-bit buffer, the 4th does not (bandwidth would allow 30).
+  BandwidthBroker bb(finite_buffer_spec(75000));
+  FlowServiceRequest req{type0(), 2.44, "I1", "E1"};
+  ASSERT_TRUE(bb.request_service(req).is_ok());
+  ASSERT_TRUE(bb.request_service(req).is_ok());
+  ASSERT_TRUE(bb.request_service(req).is_ok());
+  auto fourth = bb.request_service(req);
+  EXPECT_FALSE(fourth.is_ok());
+  EXPECT_EQ(bb.last_outcome().reason, RejectReason::kInsufficientBuffer);
+  // Bandwidth is NOT the binding constraint.
+  EXPECT_GT(bb.nodes().link("I1->R2").residual(), 50000);
+}
+
+TEST(BufferAdmission, ReleaseRestoresBufferExactly) {
+  BandwidthBroker bb(finite_buffer_spec(75000, Fig8Setting::kMixed));
+  std::vector<FlowId> live;
+  FlowServiceRequest req{type0(), 2.19, "I1", "E1"};
+  while (true) {
+    auto res = bb.request_service(req);
+    if (!res.is_ok()) break;
+    live.push_back(res.value().flow);
+  }
+  ASSERT_FALSE(live.empty());
+  for (FlowId f : live) ASSERT_TRUE(bb.release_service(f).is_ok());
+  for (const auto& spec_link : bb.spec().links) {
+    const auto& link =
+        bb.nodes().link(spec_link.from + "->" + spec_link.to);
+    EXPECT_NEAR(link.buffer_reserved(), 0.0, 1e-6) << link.name();
+  }
+}
+
+TEST(BufferAdmission, ClassBasedReservesOffsetPlusSlope) {
+  BandwidthBroker bb(finite_buffer_spec(200000),
+                     BrokerOptions{ContingencyMethod::kFeedback});
+  const ClassId cls = bb.define_class(2.44, 0.0);
+  auto j = bb.request_class_service(cls, type0(), "I1", "E1", 0.0, 0.0);
+  ASSERT_TRUE(j.admitted) << j.detail;
+  // Rate-based hop: offset 2L + slope Ψ·alloc = 24000 + 0.008·50000.
+  EXPECT_NEAR(bb.nodes().link("I1->R2").buffer_reserved(),
+              24000 + 0.008 * 50000, 1e-6);
+  auto l = bb.leave_class_service(j.microflow, 10.0, 0.0);
+  ASSERT_TRUE(l.is_ok());
+  EXPECT_TRUE(l.value().macroflow_removed);
+  EXPECT_NEAR(bb.nodes().link("I1->R2").buffer_reserved(), 0.0, 1e-6);
+}
+
+TEST(BufferAdmission, ClassBasedChurnReturnsAllBuffer) {
+  BandwidthBroker bb(finite_buffer_spec(5e6, Fig8Setting::kMixed),
+                     BrokerOptions{ContingencyMethod::kBounding});
+  const ClassId cls = bb.define_class(2.19, 0.10);
+  std::vector<FlowId> live;
+  std::vector<std::pair<GrantId, Seconds>> timers;
+  Seconds now = 0.0;
+  for (int round = 0; round < 30; ++round) {
+    now += 5.0;
+    if (round % 3 == 2 && !live.empty()) {
+      auto l = bb.leave_class_service(live.back(), now, 10000.0);
+      ASSERT_TRUE(l.is_ok());
+      live.pop_back();
+      if (l.value().grant != kInvalidGrantId) {
+        timers.emplace_back(l.value().grant,
+                            l.value().contingency_expires_at);
+      }
+    } else {
+      auto j = bb.request_class_service(cls, type0(), "I1", "E1", now);
+      if (!j.admitted) continue;
+      live.push_back(j.microflow);
+      if (j.grant != kInvalidGrantId) {
+        timers.emplace_back(j.grant, j.contingency_expires_at);
+      }
+    }
+  }
+  now += 1e6;
+  for (auto [g, t] : timers) bb.expire_contingency(g, t);
+  for (FlowId f : live) {
+    auto l = bb.leave_class_service(f, now, 0.0);
+    ASSERT_TRUE(l.is_ok());
+    if (l.value().grant != kInvalidGrantId) {
+      bb.expire_contingency(l.value().grant,
+                            l.value().contingency_expires_at);
+    }
+  }
+  for (const auto& spec_link : bb.spec().links) {
+    const auto& link = bb.nodes().link(spec_link.from + "->" + spec_link.to);
+    EXPECT_NEAR(link.buffer_reserved(), 0.0, 1e-3) << link.name();
+    EXPECT_NEAR(link.reserved(), 0.0, 1e-3) << link.name();
+  }
+  EXPECT_EQ(bb.classes().macroflow_count(), 0u);
+}
+
+TEST(BufferAdmission, GsAlsoGatesOnBuffers) {
+  DomainSpec spec = fig8_gs_topology(Fig8Setting::kRateBasedOnly);
+  for (auto& l : spec.links) l.buffer = 75000;
+  GsAdmissionControl gs(spec);
+  FlowServiceRequest req{type0(), 2.44, "I1", "E1"};
+  int admitted = 0;
+  GsReservationResult last;
+  while (true) {
+    last = gs.request_service(req);
+    if (!last.admitted) break;
+    ++admitted;
+  }
+  EXPECT_EQ(admitted, 3);  // same 24400-bit bound per hop as the BB
+  EXPECT_EQ(last.reason, RejectReason::kInsufficientBuffer);
+  // Partial reservation fully rolled back, including buffers.
+  EXPECT_NEAR(gs.domain().router_state("R5->E1").buffer_reserved(),
+              3 * 24400.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace qosbb

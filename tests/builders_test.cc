@@ -1,0 +1,118 @@
+// Tests for the parametric topology builders and their interaction with the
+// broker: chains scale the Figure-8 arithmetic, dumbbells concentrate
+// contention on one bottleneck, stars route leaf-to-leaf through the hub.
+
+#include <gtest/gtest.h>
+
+#include "core/broker.h"
+#include "topo/builders.h"
+#include "topo/routing.h"
+
+namespace qosbb {
+namespace {
+
+TrafficProfile type0() {
+  return TrafficProfile::make(60000, 50000, 100000, 12000);
+}
+
+TEST(Chain, ShapeAndPath) {
+  ChainOptions opt;
+  opt.hops = 7;
+  const DomainSpec spec = chain_topology(opt);
+  EXPECT_EQ(spec.nodes.size(), 8u);
+  EXPECT_EQ(spec.links.size(), 7u);
+  EXPECT_EQ(chain_path(opt).front(), "N0");
+  EXPECT_EQ(chain_path(opt).back(), "N7");
+  const Graph g = spec.to_graph();
+  auto p = shortest_path(g, "N0", "N7");
+  ASSERT_TRUE(p.is_ok());
+  EXPECT_EQ(p.value(), chain_path(opt));
+}
+
+TEST(Chain, DelayBoundScalesWithHops) {
+  // On an h-hop chain at rate ρ the type-0 bound is
+  // 1.2 + h·(0.24 + 0.008): h=5 reproduces the paper's 2.44.
+  for (int h : {1, 3, 5, 9}) {
+    ChainOptions opt;
+    opt.hops = h;
+    BandwidthBroker bb(chain_topology(opt));
+    FlowServiceRequest req{type0(), 10.0, "N0",
+                           "N" + std::to_string(h)};
+    auto res = bb.request_service(req);
+    ASSERT_TRUE(res.is_ok());
+    EXPECT_NEAR(res.value().e2e_bound, 1.2 + h * 0.248, 1e-9) << h;
+  }
+}
+
+TEST(Dumbbell, AllPairsShareTheBottleneck) {
+  DumbbellOptions opt;
+  opt.edge_pairs = 4;
+  BandwidthBroker bb(dumbbell_topology(opt));
+  // Mean-rate flows: the 1.5 Mb/s bottleneck carries 30 total regardless of
+  // which pair they come from.
+  int admitted = 0;
+  for (int i = 0; i < 40; ++i) {
+    const int pair = i % 4;
+    FlowServiceRequest req{type0(), 3.0, "I" + std::to_string(pair),
+                           "E" + std::to_string(pair)};
+    if (bb.request_service(req).is_ok()) ++admitted;
+  }
+  EXPECT_EQ(admitted, 30);
+  EXPECT_NEAR(bb.nodes().link("L->R").reserved(), 1.5e6, 1e-6);
+  // Access links are far from full.
+  EXPECT_LT(bb.nodes().link("I0->L").reserved(), 1.0e6);
+}
+
+TEST(Dumbbell, PathHelperMatchesRouting) {
+  const DomainSpec spec = dumbbell_topology(DumbbellOptions{});
+  const Graph g = spec.to_graph();
+  auto p = shortest_path(g, "I2", "E2");
+  ASSERT_TRUE(p.is_ok());
+  EXPECT_EQ(p.value(), dumbbell_path(2));
+}
+
+TEST(Star, LeafToLeafThroughHub) {
+  StarOptions opt;
+  opt.leaves = 5;
+  const DomainSpec spec = star_topology(opt);
+  EXPECT_EQ(spec.links.size(), 10u);  // up + down per leaf
+  BandwidthBroker bb(spec);
+  FlowServiceRequest req{type0(), 3.0, "H0", "H3"};
+  auto res = bb.request_service(req);
+  ASSERT_TRUE(res.is_ok());
+  EXPECT_EQ(bb.paths().record(res.value().path).nodes, star_path(0, 3));
+  // Both directions of a leaf are independent links.
+  EXPECT_NEAR(bb.nodes().link("H0->hub").reserved(), 50000, 1e-6);
+  EXPECT_DOUBLE_EQ(bb.nodes().link("hub->H0").reserved(), 0.0);
+}
+
+TEST(Star, HubContentionIsPerDirection) {
+  StarOptions opt;
+  opt.leaves = 3;
+  BandwidthBroker bb(star_topology(opt));
+  // Fill hub->H2: all traffic converging on one leaf contends there.
+  int admitted = 0;
+  for (int i = 0; i < 40; ++i) {
+    const int src = (i % 2 == 0) ? 0 : 1;
+    FlowServiceRequest req{type0(), 3.0, "H" + std::to_string(src), "H2"};
+    if (bb.request_service(req).is_ok()) ++admitted;
+  }
+  EXPECT_EQ(admitted, 30);
+  EXPECT_NEAR(bb.nodes().link("hub->H2").reserved(), 1.5e6, 1e-6);
+}
+
+TEST(Builders, Contracts) {
+  ChainOptions bad_chain;
+  bad_chain.hops = 0;
+  EXPECT_THROW(chain_topology(bad_chain), std::logic_error);
+  DumbbellOptions bad_db;
+  bad_db.edge_pairs = 0;
+  EXPECT_THROW(dumbbell_topology(bad_db), std::logic_error);
+  StarOptions bad_star;
+  bad_star.leaves = 1;
+  EXPECT_THROW(star_topology(bad_star), std::logic_error);
+  EXPECT_THROW(star_path(1, 1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace qosbb

@@ -1,0 +1,142 @@
+// Property: after ANY quiesced churn history, snapshot+restore yields a
+// broker whose observable behavior is indistinguishable from the original —
+// identical MIB accounting and the identical next admission decision.
+
+#include <gtest/gtest.h>
+
+#include "core/broker.h"
+#include "topo/fig8.h"
+#include "util/rng.h"
+
+namespace qosbb {
+namespace {
+
+TrafficProfile random_profile(Rng& rng) {
+  const double l_max = 12000.0;
+  const double rho = rng.uniform(20000.0, 60000.0);
+  const double peak = rho * rng.uniform(1.2, 2.5);
+  const double sigma = l_max + rng.uniform(10000.0, 60000.0);
+  return TrafficProfile::make(sigma, rho, peak, l_max);
+}
+
+class ChurnSnapshot : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChurnSnapshot, RestoreIsObservationallyEquivalent) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 977);
+  const DomainSpec spec = fig8_topology(Fig8Setting::kMixed);
+  BandwidthBroker bb(spec, BrokerOptions{ContingencyMethod::kFeedback});
+  const ClassId cls = bb.define_class(2.19, 0.10, "cls");
+
+  std::vector<FlowId> per_flow, micro;
+  Seconds now = 0.0;
+  for (int round = 0; round < 80; ++round) {
+    now += 1.0;
+    switch (rng.uniform_int(0, 3)) {
+      case 0: {
+        const bool s1 = rng.bernoulli(0.5);
+        auto res = bb.request_service(
+            {random_profile(rng), rng.uniform(1.8, 4.0),
+             s1 ? "I1" : "I2", s1 ? "E1" : "E2"},
+            now);
+        if (res.is_ok()) per_flow.push_back(res.value().flow);
+        break;
+      }
+      case 1: {
+        auto j = bb.request_class_service(
+            cls, TrafficProfile::make(60000, 50000, 100000, 12000), "I1",
+            "E1", now, 0.0);
+        if (j.admitted) {
+          micro.push_back(j.microflow);
+          if (j.grant != kInvalidGrantId) {
+            bb.expire_contingency(j.grant, j.contingency_expires_at);
+          }
+        }
+        break;
+      }
+      case 2: {
+        if (per_flow.empty()) break;
+        ASSERT_TRUE(bb.release_service(per_flow.back()).is_ok());
+        per_flow.pop_back();
+        break;
+      }
+      default: {
+        if (micro.empty()) break;
+        auto l = bb.leave_class_service(micro.back(), now, 0.0);
+        ASSERT_TRUE(l.is_ok());
+        if (l.value().grant != kInvalidGrantId) {
+          bb.expire_contingency(l.value().grant,
+                                l.value().contingency_expires_at);
+        }
+        micro.pop_back();
+        break;
+      }
+    }
+  }
+
+  auto frame = bb.snapshot();
+  ASSERT_TRUE(frame.is_ok()) << frame.status().to_string();
+  auto restored = BandwidthBroker::restore(
+      spec, BrokerOptions{ContingencyMethod::kFeedback}, frame.value());
+  ASSERT_TRUE(restored.is_ok()) << restored.status().to_string();
+  BandwidthBroker& rb = *restored.value();
+
+  // Identical accounting on every link.
+  for (const auto& l : spec.links) {
+    const std::string name = l.from + "->" + l.to;
+    EXPECT_NEAR(bb.nodes().link(name).reserved(),
+                rb.nodes().link(name).reserved(), 1e-6)
+        << name;
+    EXPECT_NEAR(bb.nodes().link(name).buffer_reserved(),
+                rb.nodes().link(name).buffer_reserved(), 1e-6)
+        << name;
+    EXPECT_EQ(bb.nodes().link(name).edf_buckets().size(),
+              rb.nodes().link(name).edf_buckets().size())
+        << name;
+  }
+  EXPECT_EQ(bb.flows().count(), rb.flows().count());
+
+  // Identical next decision on a probe request.
+  const TrafficProfile probe =
+      TrafficProfile::make(60000, 50000, 100000, 12000);
+  auto a = bb.request_service({probe, 2.19, "I1", "E1"}, now + 1.0);
+  auto b = rb.request_service({probe, 2.19, "I1", "E1"}, now + 1.0);
+  ASSERT_EQ(a.is_ok(), b.is_ok());
+  if (a.is_ok()) {
+    EXPECT_NEAR(a.value().params.rate, b.value().params.rate, 1e-6);
+    EXPECT_NEAR(a.value().params.delay, b.value().params.delay, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnSnapshot, ::testing::Range(1, 13));
+
+// Rate-only golden sweep: on the all-rate-based path the returned rate must
+// equal the closed form for random profiles and requirements.
+class RateOnlyGolden : public ::testing::TestWithParam<int> {};
+
+TEST_P(RateOnlyGolden, MatchesClosedForm) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kRateBasedOnly));
+  for (int i = 0; i < 10; ++i) {
+    const TrafficProfile p = random_profile(rng);
+    const Seconds d_req = rng.uniform(0.3, 5.0);
+    auto res = bb.request_service({p, d_req, "I1", "E1"});
+    const double t_on = p.t_on();
+    const double denom = d_req - 0.04 + t_on;
+    const double r_min =
+        denom > 0.0 ? (t_on * p.peak + 6.0 * p.l_max) / denom : 1e18;
+    const double expect = std::max(r_min, p.rho);
+    const double residual = bb.path_residual(bb.paths().find("I1", "E1")) +
+                            (res.is_ok() ? res.value().params.rate : 0.0);
+    if (expect <= p.peak && expect <= residual + 1e-6) {
+      ASSERT_TRUE(res.is_ok()) << "profile " << p.to_string();
+      EXPECT_NEAR(res.value().params.rate, expect, 1e-6);
+    } else {
+      EXPECT_FALSE(res.is_ok());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RateOnlyGolden, ::testing::Range(1, 16));
+
+}  // namespace
+}  // namespace qosbb

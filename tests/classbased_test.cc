@@ -1,0 +1,238 @@
+// Tests for class-based guaranteed services with dynamic flow aggregation
+// (Section 4): join/leave rate math, peak-rate contingency, Theorems 2/3
+// bookkeeping, bounding vs feedback contingency periods, settling.
+
+#include <gtest/gtest.h>
+
+#include "core/broker.h"
+#include "topo/fig8.h"
+
+namespace qosbb {
+namespace {
+
+TrafficProfile type0() {
+  return TrafficProfile::make(60000, 50000, 100000, 12000);
+}
+
+class AggrRateOnly : public ::testing::Test {
+ protected:
+  AggrRateOnly()
+      : bb_(fig8_topology(Fig8Setting::kRateBasedOnly),
+            BrokerOptions{ContingencyMethod::kFeedback}),
+        cls_(bb_.define_class(2.44, 0.0)) {}
+
+  JoinResult join(Seconds now, std::optional<Bits> backlog = 0.0) {
+    return bb_.request_class_service(cls_, type0(), "I1", "E1", now, backlog);
+  }
+
+  BandwidthBroker bb_;
+  ClassId cls_;
+};
+
+TEST_F(AggrRateOnly, FirstJoinReservesMeanRate) {
+  auto r = join(0.0);
+  ASSERT_TRUE(r.admitted) << r.detail;
+  EXPECT_TRUE(r.new_macroflow);
+  // Rate-only path, D=2.44: minimal rate = ρ (the same arithmetic as the
+  // per-flow case with h = q = 5).
+  EXPECT_NEAR(r.base_rate, 50000, 1e-3);
+  EXPECT_LE(r.e2e_bound, 2.44 + 1e-9);
+  // Feedback with empty backlog: the peak allocation drains instantly.
+  EXPECT_EQ(r.grant, kInvalidGrantId);
+  EXPECT_NEAR(bb_.classes().allocated(r.macroflow), r.base_rate, 1e-6);
+}
+
+TEST_F(AggrRateOnly, RateFloorGrowsByMeanRatePerJoin) {
+  auto r1 = join(0.0);
+  ASSERT_TRUE(r1.admitted);
+  auto r2 = join(10.0);
+  ASSERT_TRUE(r2.admitted);
+  EXPECT_FALSE(r2.new_macroflow);
+  EXPECT_EQ(r2.macroflow, r1.macroflow);
+  EXPECT_NEAR(r2.base_rate, 100000, 1e-3);  // ρ-floor: 2·50k
+  const MacroflowState* mf = bb_.classes().macroflow(r1.macroflow);
+  ASSERT_NE(mf, nullptr);
+  EXPECT_EQ(mf->microflows, 2);
+  EXPECT_DOUBLE_EQ(mf->aggregate.rho, 100000);
+  EXPECT_DOUBLE_EQ(mf->aggregate.l_max, 24000);
+}
+
+TEST_F(AggrRateOnly, PeakContingencyBlocks30thFlow) {
+  // Paper Table 2: the Aggr scheme admits 29, one fewer than per-flow —
+  // the 30th join needs P = 100 kb/s headroom on top of 29·50 kb/s.
+  int admitted = 0;
+  Seconds t = 0.0;
+  while (true) {
+    auto r = join(t);
+    if (!r.admitted) {
+      EXPECT_EQ(r.reason, RejectReason::kInsufficientBandwidth);
+      break;
+    }
+    ++admitted;
+    t += 10.0;
+    ASSERT_LT(admitted, 40);
+  }
+  EXPECT_EQ(admitted, 29);
+}
+
+TEST_F(AggrRateOnly, LeaveHoldsRateDuringContingency) {
+  auto r1 = join(0.0);
+  auto r2 = join(10.0);
+  ASSERT_TRUE(r2.admitted);
+  // Leave with a non-empty backlog: Theorem 3 keeps Δr = r^α − r^α' for
+  // τ = Q/Δr.
+  auto leave = bb_.leave_class_service(r2.microflow, 20.0, 25000.0);
+  ASSERT_TRUE(leave.is_ok());
+  EXPECT_NEAR(leave.value().base_rate, 50000, 1e-3);
+  EXPECT_NEAR(leave.value().contingency, 50000, 1e-3);
+  ASSERT_NE(leave.value().grant, kInvalidGrantId);
+  EXPECT_NEAR(leave.value().contingency_expires_at, 20.0 + 25000.0 / 50000.0,
+              1e-9);
+  // Allocation unchanged until expiry.
+  EXPECT_NEAR(bb_.classes().allocated(r1.macroflow), 100000, 1e-6);
+  bb_.expire_contingency(leave.value().grant, leave.value().contingency_expires_at);
+  EXPECT_NEAR(bb_.classes().allocated(r1.macroflow), 50000, 1e-6);
+}
+
+TEST_F(AggrRateOnly, LastLeaveTearsDownMacroflow) {
+  auto r1 = join(0.0);
+  ASSERT_TRUE(r1.admitted);
+  auto leave = bb_.leave_class_service(r1.microflow, 10.0, 0.0);
+  ASSERT_TRUE(leave.is_ok());
+  EXPECT_TRUE(leave.value().macroflow_removed);
+  EXPECT_EQ(bb_.classes().macroflow_count(), 0u);
+  EXPECT_DOUBLE_EQ(bb_.nodes().link("R2->R3").reserved(), 0.0);
+}
+
+TEST_F(AggrRateOnly, UnknownMicroflowLeaveIsNotFound) {
+  auto leave = bb_.leave_class_service(999, 0.0, 0.0);
+  EXPECT_FALSE(leave.is_ok());
+  EXPECT_EQ(leave.status().code(), StatusCode::kNotFound);
+}
+
+TEST(AggrBounding, Eq17TauIsConservative) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kRateBasedOnly),
+                     BrokerOptions{ContingencyMethod::kBounding});
+  const ClassId cls = bb.define_class(2.44, 0.0);
+  auto r1 = bb.request_class_service(cls, type0(), "I1", "E1", 0.0);
+  ASSERT_TRUE(r1.admitted);
+  // First join of a fresh macroflow: d_edge_old = 0 → τ̂ = 0, no grant.
+  EXPECT_EQ(r1.grant, kInvalidGrantId);
+  auto r2 = bb.request_class_service(cls, type0(), "I1", "E1", 100.0);
+  ASSERT_TRUE(r2.admitted);
+  // Second join: Δr = P − δ = 50 kb/s, d_edge_old = 1.2 s at r = 50 kb/s,
+  // in-service = 50 kb/s → τ̂ = 1.2·50000/50000 = 1.2 s (eq. 17).
+  ASSERT_NE(r2.grant, kInvalidGrantId);
+  EXPECT_NEAR(r2.contingency, 50000, 1e-3);
+  EXPECT_NEAR(r2.contingency_expires_at - 100.0, 1.2, 1e-6);
+  // During the contingency period the macroflow holds r^α + P^ν.
+  EXPECT_NEAR(bb.classes().allocated(r2.macroflow), 150000, 1e-3);
+  bb.expire_contingency(r2.grant, r2.contingency_expires_at);
+  EXPECT_NEAR(bb.classes().allocated(r2.macroflow), 100000, 1e-3);
+}
+
+TEST(AggrFeedback, BufferEmptyReleasesEarly) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kRateBasedOnly),
+                     BrokerOptions{ContingencyMethod::kFeedback});
+  const ClassId cls = bb.define_class(2.44, 0.0);
+  auto r1 = bb.request_class_service(cls, type0(), "I1", "E1", 0.0, 0.0);
+  ASSERT_TRUE(r1.admitted);
+  // Join with a large reported backlog: long feedback τ.
+  auto r2 = bb.request_class_service(cls, type0(), "I1", "E1", 10.0, 60000.0);
+  ASSERT_TRUE(r2.admitted);
+  ASSERT_NE(r2.grant, kInvalidGrantId);
+  EXPECT_GT(r2.contingency_expires_at, 10.0 + 1.0);
+  // The conditioner drains at t = 10.5: all contingency released at once.
+  bb.edge_buffer_empty(r2.macroflow, 10.5);
+  EXPECT_NEAR(bb.classes().allocated(r2.macroflow), r2.base_rate, 1e-6);
+  // The stale timer is now a no-op.
+  bb.expire_contingency(r2.grant, r2.contingency_expires_at);
+  EXPECT_NEAR(bb.classes().allocated(r2.macroflow), r2.base_rate, 1e-6);
+}
+
+TEST(AggrMixed, DelayParamEntersCoreBound) {
+  // Mixed setting, D = 2.19, cd = 0.50: the first join already needs more
+  // than the mean rate (per-flow floor 144000/2.11 ≈ 68246 b/s).
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kMixed),
+                     BrokerOptions{ContingencyMethod::kFeedback});
+  const ClassId cls = bb.define_class(2.19, 0.50);
+  auto r = bb.request_class_service(cls, type0(), "I1", "E1", 0.0, 0.0);
+  ASSERT_TRUE(r.admitted) << r.detail;
+  EXPECT_NEAR(r.base_rate, 144000.0 / 2.11, 1.0);
+  // And with cd = 0.10 the mean-rate floor binds instead.
+  BandwidthBroker bb2(fig8_topology(Fig8Setting::kMixed),
+                      BrokerOptions{ContingencyMethod::kFeedback});
+  const ClassId cls2 = bb2.define_class(2.19, 0.10);
+  auto r2 = bb2.request_class_service(cls2, type0(), "I1", "E1", 0.0, 0.0);
+  ASSERT_TRUE(r2.admitted);
+  EXPECT_NEAR(r2.base_rate, 50000, 1e-3);
+}
+
+TEST(AggrMixed, MacroflowInstallsEdfEntries) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kMixed),
+                     BrokerOptions{ContingencyMethod::kFeedback});
+  const ClassId cls = bb.define_class(2.19, 0.10);
+  auto r = bb.request_class_service(cls, type0(), "I1", "E1", 0.0, 0.0);
+  ASSERT_TRUE(r.admitted);
+  const LinkQosState& edf = bb.nodes().link("R3->R4");
+  ASSERT_EQ(edf.edf_buckets().size(), 1u);
+  EXPECT_TRUE(edf.edf_buckets().contains(0.10));
+  // Entry rate equals the current allocation.
+  EXPECT_NEAR(edf.edf_buckets().at(0.10).sum_rate,
+              bb.classes().allocated(r.macroflow), 1e-6);
+}
+
+TEST(AggrMixed, TwoPathsShareMiddleLinks) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kMixed),
+                     BrokerOptions{ContingencyMethod::kFeedback});
+  const ClassId cls = bb.define_class(2.19, 0.10);
+  auto a = bb.request_class_service(cls, type0(), "I1", "E1", 0.0, 0.0);
+  auto b = bb.request_class_service(cls, type0(), "I2", "E2", 0.0, 0.0);
+  ASSERT_TRUE(a.admitted);
+  ASSERT_TRUE(b.admitted);
+  EXPECT_NE(a.macroflow, b.macroflow);
+  // Shared link carries both reservations.
+  EXPECT_NEAR(bb.nodes().link("R2->R3").reserved(),
+              bb.classes().allocated(a.macroflow) +
+                  bb.classes().allocated(b.macroflow),
+              1e-6);
+  // Two macroflow entries at the same knot cd on shared EDF links.
+  EXPECT_EQ(bb.nodes().link("R3->R4").edf_buckets().at(0.10).count, 2u);
+}
+
+TEST(AggrState, E2eBoundInEffectTracksTransients) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kRateBasedOnly),
+                     BrokerOptions{ContingencyMethod::kFeedback});
+  const ClassId cls = bb.define_class(2.44, 0.0);
+  auto r1 = bb.request_class_service(cls, type0(), "I1", "E1", 0.0, 0.0);
+  ASSERT_TRUE(r1.admitted);
+  const Seconds settled = bb.classes().e2e_bound_in_effect(r1.macroflow);
+  EXPECT_LE(settled, 2.44 + 1e-9);
+  // A join with backlog raises the in-effect bound at most to the class
+  // bound (eq. 13 guarantees max{old, new}).
+  auto r2 = bb.request_class_service(cls, type0(), "I1", "E1", 1.0, 30000.0);
+  ASSERT_TRUE(r2.admitted);
+  EXPECT_LE(bb.classes().e2e_bound_in_effect(r1.macroflow), 2.44 + 1e-9);
+}
+
+TEST(AggrContingencyManager, GrantBookkeeping) {
+  ContingencyManager mgr;
+  const GrantId g1 = mgr.add(7, 50000, 0.0, 1.0, 1.2);
+  const GrantId g2 = mgr.add(7, 25000, 0.5, 2.0, 1.3);
+  mgr.add(8, 10000, 0.0, 1.0, 0.5);
+  EXPECT_DOUBLE_EQ(mgr.total(7), 75000);
+  EXPECT_DOUBLE_EQ(mgr.max_event_edge_bound(7), 1.3);
+  EXPECT_TRUE(mgr.has_grants(7));
+  auto removed = mgr.remove(g1);
+  ASSERT_TRUE(removed.is_ok());
+  EXPECT_DOUBLE_EQ(removed.value().delta_r, 50000);
+  EXPECT_FALSE(mgr.remove(g1).is_ok());  // double removal is reported
+  auto drained = mgr.remove_all(7);
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].id, g2);
+  EXPECT_FALSE(mgr.has_grants(7));
+  EXPECT_DOUBLE_EQ(mgr.total(8), 10000);
+}
+
+}  // namespace
+}  // namespace qosbb

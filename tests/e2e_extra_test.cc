@@ -1,0 +1,159 @@
+// Additional end-to-end behaviors:
+//   * CJVC's jitter control — non-work-conserving holds compress the
+//     core-delay spread relative to C̸SVC under contention;
+//   * the packet-level contingency feedback loop — the edge conditioner's
+//     drain callback releases contingency bandwidth long before the
+//     theoretical timer;
+//   * flow-level simulator determinism.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/broker.h"
+#include "flowsim/flow_sim.h"
+#include "topo/builders.h"
+#include "vtrs/provisioned_network.h"
+
+namespace qosbb {
+namespace {
+
+TrafficProfile type0() {
+  return TrafficProfile::make(60000, 50000, 100000, 12000);
+}
+
+/// Run a contended 4-hop chain under the given policy; return the worst
+/// core delay spread (max − min) and worst delivery-spacing stddev across
+/// the flows.
+struct JitterResult {
+  double delay_spread = 0.0;
+  double spacing_stddev = 0.0;
+};
+
+JitterResult chain_delay_spread(SchedPolicy policy) {
+  ChainOptions opt;
+  opt.hops = 4;
+  opt.policy = policy;
+  const DomainSpec spec = chain_topology(opt);
+  BandwidthBroker bb(spec);
+  ProvisionedNetwork pn(spec);
+  JitterResult out;
+  for (int i = 0; i < 12; ++i) {
+    auto res = bb.request_service({type0(), 5.0, "N0", "N4"});
+    EXPECT_TRUE(res.is_ok());
+    const Reservation& r = res.value();
+    pn.install_flow(r.flow, chain_path(opt), r.params.rate, r.params.delay);
+    pn.attach_source(r.flow, std::make_unique<GreedySource>(type0(), 0.0),
+                     r.flow, 20.0)
+        .start();
+  }
+  pn.run_until(40.0);
+  for (const auto& [flow, rec] : pn.meter().records()) {
+    out.delay_spread = std::max(
+        out.delay_spread, rec.core_delay.max() - rec.core_delay.min());
+    out.spacing_stddev =
+        std::max(out.spacing_stddev, rec.delivery_spacing.stddev());
+  }
+  EXPECT_EQ(pn.vtrs().total_guarantee_violations(), 0u);
+  return out;
+}
+
+TEST(CjvcJitter, HoldsCompressDelaySpreadAndDeliveryJitter) {
+  // CJVC delays every packet to its virtual schedule; C̸SVC releases early
+  // when the link is idle. Same guarantees, tighter jitter for CJVC — in
+  // both the delay spread and the sink inter-arrival variability.
+  const JitterResult csvc = chain_delay_spread(SchedPolicy::kCsvc);
+  const JitterResult cjvc = chain_delay_spread(SchedPolicy::kCjvc);
+  EXPECT_GT(csvc.delay_spread, 0.0);
+  EXPECT_LE(cjvc.delay_spread, csvc.delay_spread + 1e-9);
+  EXPECT_LE(cjvc.spacing_stddev, csvc.spacing_stddev + 1e-9);
+}
+
+TEST(FeedbackLoop, ConditionerDrainReleasesContingencyEarly) {
+  // Packet-level closed loop: the conditioner's drain callback is the
+  // "buffer empty" message of Section 4.2.1. A join reports a large
+  // backlog (long τ backstop), but the real queue drains in well under a
+  // second — the allocation must drop to the base rate at the drain, not
+  // at the timer.
+  const DomainSpec spec = fig8_topology(Fig8Setting::kRateBasedOnly);
+  BandwidthBroker bb(spec, BrokerOptions{ContingencyMethod::kFeedback});
+  ProvisionedNetwork pn(spec);
+  const ClassId cls = bb.define_class(2.44, 0.0);
+
+  auto j1 = bb.request_class_service(cls, type0(), "I1", "E1", 0.0, 0.0);
+  ASSERT_TRUE(j1.admitted);
+  EdgeConditioner& cond = pn.install_flow(
+      j1.macroflow, fig8_path_s1(), bb.classes().allocated(j1.macroflow),
+      0.0);
+  cond.set_drain_callback([&](Seconds t) {
+    bb.edge_buffer_empty(j1.macroflow, t);
+    cond.set_rate(t, bb.classes().allocated(j1.macroflow));
+  });
+  // Smooth CBR microflow: the conditioner queue stays near-empty.
+  pn.attach_source(j1.macroflow, std::make_unique<CbrSource>(type0(), 0.0),
+                   101, 30.0)
+      .start();
+
+  Seconds drained_alloc_time = -1.0;
+  pn.events().schedule(10.0, [&] {
+    auto j2 =
+        bb.request_class_service(cls, type0(), "I1", "E1", 10.0,
+                                 /*reported backlog=*/200000.0);
+    ASSERT_TRUE(j2.admitted);
+    ASSERT_NE(j2.grant, kInvalidGrantId);
+    // Timer backstop: 200000/Δr = 4 s out.
+    EXPECT_GT(j2.contingency_expires_at, 13.0);
+    cond.set_rate(10.0, bb.classes().allocated(j2.macroflow));
+    pn.attach_source(j1.macroflow,
+                     std::make_unique<CbrSource>(type0(), 10.0), 102, 30.0)
+        .start();
+    // Watch for the early release.
+    pn.events().schedule(11.0, [&, j2] {
+      if (bb.classes().allocated(j2.macroflow) <= j2.base_rate + 1e-6) {
+        drained_alloc_time = 11.0;
+      }
+    });
+  });
+  pn.run_until(40.0);
+  // The drain fired within a second of the join: contingency gone by 11 s,
+  // three seconds before the timer backstop.
+  EXPECT_GE(drained_alloc_time, 0.0);
+  EXPECT_NEAR(bb.classes().allocated(j1.macroflow), 100000, 1e-6);
+  EXPECT_EQ(pn.meter().total_violations(), 0u);
+}
+
+TEST(FlowSimDeterminism, SameSeedSameResult) {
+  FlowSimConfig cfg;
+  cfg.scheme = AdmissionScheme::kAggrFeedback;
+  cfg.setting = Fig8Setting::kRateBasedOnly;
+  cfg.workload.arrival_rate_per_source = 0.15;
+  cfg.workload.horizon = 2000.0;
+  cfg.seed = 99;
+  const FlowSimResult a = run_flow_sim(cfg);
+  const FlowSimResult b = run_flow_sim(cfg);
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.blocked, b.blocked);
+  EXPECT_DOUBLE_EQ(a.mean_bottleneck_reserved, b.mean_bottleneck_reserved);
+
+  cfg.seed = 100;
+  const FlowSimResult c = run_flow_sim(cfg);
+  EXPECT_NE(a.offered, c.offered);  // different Poisson draw
+}
+
+TEST(FlowSimAccounting, ActiveFlowsReturnToZeroAfterHorizonDrain) {
+  // All admitted flows eventually depart; blocked + admitted == offered.
+  FlowSimConfig cfg;
+  cfg.scheme = AdmissionScheme::kPerFlowBB;
+  cfg.workload.arrival_rate_per_source = 0.2;
+  cfg.workload.horizon = 1500.0;
+  cfg.workload.mean_holding = 50.0;
+  cfg.seed = 7;
+  const FlowSimResult res = run_flow_sim(cfg);
+  EXPECT_EQ(res.offered, res.admitted + res.blocked);
+  EXPECT_GT(res.mean_active_flows, 0.0);
+  EXPECT_LT(res.mean_active_flows, 45.0);  // can't exceed capacity ceiling
+}
+
+}  // namespace
+}  // namespace qosbb

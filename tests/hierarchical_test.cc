@@ -1,0 +1,185 @@
+// Tests for the two-level bandwidth broker hierarchy: quota leases and
+// restores, local-vs-central decision accounting, proxying of delay-based
+// paths, fragmentation behavior, and conservation invariants.
+
+#include <gtest/gtest.h>
+
+#include "core/hierarchical.h"
+#include "topo/fig8.h"
+
+namespace qosbb {
+namespace {
+
+TrafficProfile type0() {
+  return TrafficProfile::make(60000, 50000, 100000, 12000);
+}
+
+FlowServiceRequest req(const char* in, const char* out, double bound = 2.44) {
+  return FlowServiceRequest{type0(), bound, in, out};
+}
+
+TEST(CentralBroker, LeaseClampsToResidual) {
+  CentralBroker central(fig8_topology(Fig8Setting::kRateBasedOnly));
+  const PathId path = central.domain().provision_path("I1", "E1").value();
+  EXPECT_DOUBLE_EQ(central.lease("edge1", path, 1.0e6), 1.0e6);
+  // Only 0.5 Mb/s left: a 1 Mb/s ask is partially granted.
+  EXPECT_DOUBLE_EQ(central.lease("edge1", path, 1.0e6), 0.5e6);
+  EXPECT_DOUBLE_EQ(central.lease("edge1", path, 1.0e6), 0.0);
+  EXPECT_DOUBLE_EQ(central.leased_to("edge1", path), 1.5e6);
+  EXPECT_DOUBLE_EQ(central.domain().nodes().link("R2->R3").reserved(), 1.5e6);
+  central.restore("edge1", path, 1.5e6);
+  EXPECT_DOUBLE_EQ(central.total_leased(), 0.0);
+  EXPECT_DOUBLE_EQ(central.domain().nodes().link("R2->R3").reserved(), 0.0);
+}
+
+TEST(CentralBroker, RestoreMoreThanLeasedIsContractViolation) {
+  CentralBroker central(fig8_topology(Fig8Setting::kRateBasedOnly));
+  const PathId path = central.domain().provision_path("I1", "E1").value();
+  central.lease("edge1", path, 100000);
+  EXPECT_THROW(central.restore("edge1", path, 200000), std::logic_error);
+  EXPECT_THROW(central.restore("edge2", path, 1.0), std::logic_error);
+}
+
+TEST(EdgeBroker, FirstRequestLeasesThenRunsLocally) {
+  CentralBroker central(fig8_topology(Fig8Setting::kRateBasedOnly));
+  EdgeBroker edge("I1", central, /*chunk=*/500000);
+  // First request: one lease contact. Next nine: pure local decisions
+  // (10 · 50 kb/s = 500 kb/s fits one chunk).
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(edge.request_service(req("I1", "E1")).is_ok()) << i;
+  }
+  EXPECT_EQ(edge.admitted(), 10u);
+  EXPECT_EQ(edge.local_decisions(), 9u);
+  // Path provisioning + one lease.
+  EXPECT_GE(edge.central_contacts(), 1u);
+  EXPECT_LE(edge.central_contacts(), 2u);
+  const PathId path = central.domain().paths().find("I1", "E1");
+  EXPECT_DOUBLE_EQ(edge.quota_held(path), 500000);
+  EXPECT_DOUBLE_EQ(edge.quota_used(path), 500000);
+}
+
+TEST(EdgeBroker, ReservationCarriesCorrectBound) {
+  CentralBroker central(fig8_topology(Fig8Setting::kRateBasedOnly));
+  EdgeBroker edge("I1", central, 500000);
+  auto res = edge.request_service(req("I1", "E1", 2.44));
+  ASSERT_TRUE(res.is_ok());
+  EXPECT_NEAR(res.value().params.rate, 50000, 1e-6);
+  EXPECT_NEAR(res.value().e2e_bound, 2.44, 1e-9);
+}
+
+TEST(EdgeBroker, ReleaseRestoresWithHysteresis) {
+  CentralBroker central(fig8_topology(Fig8Setting::kRateBasedOnly));
+  EdgeBroker edge("I1", central, /*chunk=*/100000);
+  std::vector<FlowId> flows;
+  for (int i = 0; i < 6; ++i) {
+    auto r = edge.request_service(req("I1", "E1"));
+    ASSERT_TRUE(r.is_ok());
+    flows.push_back(r.value().flow);
+  }
+  const PathId path = central.domain().paths().find("I1", "E1");
+  EXPECT_DOUBLE_EQ(edge.quota_held(path), 300000);  // 3 chunks
+  // Release everything: hysteresis keeps exactly one chunk of headroom.
+  for (FlowId f : flows) ASSERT_TRUE(edge.release_service(f).is_ok());
+  EXPECT_DOUBLE_EQ(edge.quota_used(path), 0.0);
+  EXPECT_DOUBLE_EQ(edge.quota_held(path), 100000);
+  EXPECT_DOUBLE_EQ(central.leased_to("I1", path), 100000);
+}
+
+TEST(EdgeBroker, QuotaExhaustionRejects) {
+  CentralBroker central(fig8_topology(Fig8Setting::kRateBasedOnly));
+  EdgeBroker edge("I1", central, 500000);
+  int admitted = 0;
+  while (edge.request_service(req("I1", "E1")).is_ok()) ++admitted;
+  // Same capacity as the centralized broker: 30 mean-rate flows.
+  EXPECT_EQ(admitted, 30);
+  EXPECT_EQ(edge.rejected(), 1u);
+}
+
+TEST(EdgeBroker, MixedPathIsProxiedToCenter) {
+  CentralBroker central(fig8_topology(Fig8Setting::kMixed));
+  EdgeBroker edge("I1", central, 500000);
+  auto res = edge.request_service(req("I1", "E1", 2.19));
+  ASSERT_TRUE(res.is_ok());
+  // The reservation lives in the central flow MIB, with a delay parameter.
+  EXPECT_EQ(central.domain().flows().count(), 1u);
+  EXPECT_GT(res.value().params.delay, 0.0);
+  EXPECT_EQ(edge.local_decisions(), 0u);
+  ASSERT_TRUE(edge.release_service(res.value().flow).is_ok());
+  EXPECT_EQ(central.domain().flows().count(), 0u);
+}
+
+TEST(Hierarchy, TwoEdgesShareTheCore) {
+  // S1 and S2 funnel through the same R2->R5 core: the quota ledger must
+  // arbitrate between the edges exactly like the centralized broker would.
+  CentralBroker central(fig8_topology(Fig8Setting::kRateBasedOnly));
+  EdgeBroker e1("I1", central, 250000);
+  EdgeBroker e2("I2", central, 250000);
+  int admitted = 0;
+  for (int i = 0; i < 60; ++i) {
+    EdgeBroker& edge = (i % 2 == 0) ? e1 : e2;
+    const char* in = (i % 2 == 0) ? "I1" : "I2";
+    const char* out = (i % 2 == 0) ? "E1" : "E2";
+    if (edge.request_service(req(in, out)).is_ok()) ++admitted;
+  }
+  // Chunked quotas can strand at most (2 edges · 1 chunk) of headroom:
+  // 30 flows fit centrally; the hierarchy admits within one chunk of that.
+  EXPECT_GE(admitted, 25);
+  EXPECT_LE(admitted, 30);
+  // Conservation: everything reserved in the central MIB is either leased
+  // out or zero (no per-flow reservations at the center for local flows).
+  EXPECT_NEAR(central.domain().nodes().link("R2->R3").reserved(),
+              central.total_leased(), 1e-6);
+}
+
+TEST(Hierarchy, LocalDecisionRatioDominates) {
+  CentralBroker central(fig8_topology(Fig8Setting::kRateBasedOnly));
+  EdgeBroker edge("I1", central, 750000);
+  std::vector<FlowId> live;
+  std::uint64_t requests = 0;
+  // Churn: admissions and releases in waves.
+  for (int wave = 0; wave < 5; ++wave) {
+    for (int i = 0; i < 12; ++i) {
+      auto r = edge.request_service(req("I1", "E1"));
+      ++requests;
+      if (r.is_ok()) live.push_back(r.value().flow);
+    }
+    for (int i = 0; i < 6 && !live.empty(); ++i) {
+      ASSERT_TRUE(edge.release_service(live.back()).is_ok());
+      live.pop_back();
+    }
+  }
+  // The hierarchy's point: the overwhelming majority of decisions never
+  // touch the central broker.
+  EXPECT_GT(edge.local_decisions(), requests * 3 / 4);
+  EXPECT_LT(edge.central_contacts(), requests / 4);
+}
+
+TEST(Hierarchy, FragmentationCanBlockWhatCentralWouldAdmit) {
+  // Quota fragmentation: an edge that admitted and then released a burst of
+  // flows retains one chunk of idle headroom (hysteresis). That chunk is
+  // invisible to the other edge, which therefore carries less than the
+  // centralized broker would admit.
+  CentralBroker central(fig8_topology(Fig8Setting::kRateBasedOnly));
+  EdgeBroker hog("I1", central, /*chunk=*/500000);
+  EdgeBroker other("I2", central, /*chunk=*/100000);
+  std::vector<FlowId> burst;
+  while (true) {
+    auto r = hog.request_service(req("I1", "E1"));
+    if (!r.is_ok()) break;
+    burst.push_back(r.value().flow);
+  }
+  EXPECT_EQ(burst.size(), 30u);
+  for (FlowId f : burst) ASSERT_TRUE(hog.release_service(f).is_ok());
+  // Hysteresis strands exactly one idle chunk at the hog.
+  const PathId p1 = central.domain().paths().find("I1", "E1");
+  EXPECT_DOUBLE_EQ(hog.quota_held(p1), 500000);
+  EXPECT_DOUBLE_EQ(hog.quota_used(p1), 0.0);
+  // A centralized broker would now admit 30 flows from I2; the hierarchy
+  // admits only what the non-stranded 1.0 Mb/s allows: 20.
+  int admitted = 0;
+  while (other.request_service(req("I2", "E2")).is_ok()) ++admitted;
+  EXPECT_EQ(admitted, 20);
+}
+
+}  // namespace
+}  // namespace qosbb

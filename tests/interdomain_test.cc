@@ -1,0 +1,158 @@
+// Tests for inter-domain reservation over SLA trunks: trunk provisioning,
+// end-to-end rate computation, trunk headroom gating, rollback, release.
+
+#include <gtest/gtest.h>
+
+#include "core/interdomain.h"
+#include "topo/builders.h"
+
+namespace qosbb {
+namespace {
+
+TrafficProfile type0() {
+  return TrafficProfile::make(60000, 50000, 100000, 12000);
+}
+
+ChainOptions edge_chain(const char* prefix, int hops = 2) {
+  ChainOptions opt;
+  opt.hops = hops;
+  opt.prefix = prefix;
+  opt.capacity = 1.5e6;
+  return opt;
+}
+
+/// Three-domain chain: source (2 hops, prefix A), transit (3 hops, prefix
+/// T, crossed by an SLA trunk), destination (2 hops, prefix B).
+InterDomainOrchestrator make_chain(BitsPerSecond trunk_rate = 600000) {
+  InterDomainOrchestrator orch;
+  orch.add_domain("src", chain_topology(edge_chain("A", 2)), "A0", "A2");
+  orch.add_domain("transit", chain_topology(edge_chain("T", 3)), "T0", "T3");
+  orch.add_domain("dst", chain_topology(edge_chain("B", 2)), "B0", "B2");
+  EXPECT_TRUE(orch.provision_trunk("transit", trunk_rate, 120000).is_ok());
+  return orch;
+}
+
+TEST(InterDomain, TrunkProvisioningReservesInTransitBb) {
+  InterDomainOrchestrator orch = make_chain(600000);
+  EXPECT_DOUBLE_EQ(orch.trunk_headroom("transit"), 600000);
+  // The transit BB holds the trunk as one aggregate reservation.
+  EXPECT_EQ(orch.domain("transit").flows().count(), 1u);
+  EXPECT_NEAR(orch.domain("transit").nodes().link("T0->T1").reserved(),
+              600000, 1e-6);
+  // Trunk bound: (h+1)·L/R + D_tot = 4·12000/600000 + 3·0.008 = 0.104 s.
+  EXPECT_NEAR(orch.trunk_delay("transit"), 0.104, 1e-9);
+}
+
+TEST(InterDomain, EndToEndAdmissionComputesClosedFormRate) {
+  InterDomainOrchestrator orch = make_chain();
+  // Generous budget: the mean rate suffices.
+  auto res = orch.request_service(type0(), 5.0);
+  ASSERT_TRUE(res.is_ok()) << res.status().to_string();
+  EXPECT_NEAR(res.value().rate, 50000, 1e-6);
+  EXPECT_LE(res.value().e2e_bound, 5.0 + 1e-9);
+  // Both edge legs booked, trunk headroom consumed.
+  EXPECT_EQ(orch.domain("src").flows().count(), 1u);
+  EXPECT_EQ(orch.domain("dst").flows().count(), 1u);
+  EXPECT_NEAR(orch.trunk_headroom("transit"), 550000, 1e-6);
+}
+
+TEST(InterDomain, TightBudgetRaisesRate) {
+  InterDomainOrchestrator orch = make_chain();
+  auto loose = orch.request_service(type0(), 5.0);
+  ASSERT_TRUE(loose.is_ok());
+  // Tight: 2·0.96·(P−r)/r + 6·12000/r + 0.016 + 0.016 + 0.104 <= D.
+  auto tight = orch.request_service(type0(), 2.0);
+  ASSERT_TRUE(tight.is_ok());
+  EXPECT_GT(tight.value().rate, loose.value().rate);
+  EXPECT_LE(tight.value().e2e_bound, 2.0 + 1e-6);
+  // Impossible: below the fixed chain latency.
+  EXPECT_FALSE(orch.request_service(type0(), 0.05).is_ok());
+}
+
+TEST(InterDomain, TrunkHeadroomGates) {
+  InterDomainOrchestrator orch = make_chain(/*trunk_rate=*/120000);
+  auto a = orch.request_service(type0(), 5.0);
+  auto b = orch.request_service(type0(), 5.0);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  // Third flow needs 50 kb/s; only 20 kb/s of trunk left.
+  auto c = orch.request_service(type0(), 5.0);
+  EXPECT_FALSE(c.is_ok());
+  EXPECT_NE(c.status().message().find("trunk"), std::string::npos);
+  // Edge domains untouched by the failed attempt.
+  EXPECT_EQ(orch.domain("src").flows().count(), 2u);
+}
+
+TEST(InterDomain, ReleaseRestoresEverything) {
+  InterDomainOrchestrator orch = make_chain();
+  auto res = orch.request_service(type0(), 5.0);
+  ASSERT_TRUE(res.is_ok());
+  ASSERT_TRUE(orch.release_service(res.value().id).is_ok());
+  EXPECT_DOUBLE_EQ(orch.trunk_headroom("transit"), 600000);
+  EXPECT_EQ(orch.domain("src").flows().count(), 0u);
+  EXPECT_EQ(orch.domain("dst").flows().count(), 0u);
+  EXPECT_EQ(orch.flow_count(), 0u);
+  EXPECT_FALSE(orch.release_service(res.value().id).is_ok());
+}
+
+TEST(InterDomain, SingleDomainDegeneratesToPlainAdmission) {
+  InterDomainOrchestrator orch;
+  orch.add_domain("only", chain_topology(edge_chain("A", 5)), "A0", "A5");
+  auto res = orch.request_service(type0(), 2.44);
+  ASSERT_TRUE(res.is_ok());
+  EXPECT_NEAR(res.value().rate, 50000, 1e-6);
+  EXPECT_NEAR(res.value().e2e_bound, 2.44, 1e-9);
+  ASSERT_TRUE(orch.release_service(res.value().id).is_ok());
+}
+
+TEST(InterDomain, MissingTrunkIsFailedPrecondition) {
+  InterDomainOrchestrator orch;
+  orch.add_domain("src", chain_topology(edge_chain("A", 2)), "A0", "A2");
+  orch.add_domain("transit", chain_topology(edge_chain("T", 3)), "T0", "T3");
+  orch.add_domain("dst", chain_topology(edge_chain("B", 2)), "B0", "B2");
+  auto res = orch.request_service(type0(), 5.0);
+  EXPECT_FALSE(res.is_ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(InterDomain, MixedEdgeDomainRejectedInV1) {
+  InterDomainOrchestrator orch;
+  ChainOptions mixed = edge_chain("A", 2);
+  mixed.policy = SchedPolicy::kVtEdf;
+  orch.add_domain("src", chain_topology(mixed), "A0", "A2");
+  orch.add_domain("transit", chain_topology(edge_chain("T", 3)), "T0", "T3");
+  orch.add_domain("dst", chain_topology(edge_chain("B", 2)), "B0", "B2");
+  ASSERT_TRUE(orch.provision_trunk("transit", 600000, 120000).is_ok());
+  auto res = orch.request_service(type0(), 5.0);
+  EXPECT_FALSE(res.is_ok());
+  EXPECT_NE(res.status().message().find("rate-based-only"),
+            std::string::npos);
+}
+
+TEST(InterDomain, FiveDomainChainSumsTrunkDelays) {
+  InterDomainOrchestrator orch;
+  orch.add_domain("src", chain_topology(edge_chain("A", 2)), "A0", "A2");
+  orch.add_domain("t1", chain_topology(edge_chain("T", 3)), "T0", "T3");
+  orch.add_domain("t2", chain_topology(edge_chain("U", 4)), "U0", "U4");
+  orch.add_domain("dst", chain_topology(edge_chain("B", 2)), "B0", "B2");
+  ASSERT_TRUE(orch.provision_trunk("t1", 600000, 120000).is_ok());
+  ASSERT_TRUE(orch.provision_trunk("t2", 600000, 120000).is_ok());
+  auto res = orch.request_service(type0(), 5.0);
+  ASSERT_TRUE(res.is_ok());
+  // Bound decomposes: two edge legs + both trunks.
+  const double legs = res.value().e2e_bound - orch.trunk_delay("t1") -
+                      orch.trunk_delay("t2");
+  EXPECT_GT(legs, 0.0);
+  EXPECT_LE(res.value().e2e_bound, 5.0 + 1e-9);
+}
+
+TEST(InterDomain, Contracts) {
+  InterDomainOrchestrator orch = make_chain();
+  EXPECT_THROW(orch.domain("nope"), std::logic_error);
+  EXPECT_THROW(orch.trunk_headroom("src"), std::logic_error);
+  EXPECT_THROW(orch.provision_trunk("transit", 1000, 120000),
+               std::logic_error);  // already provisioned
+}
+
+}  // namespace
+}  // namespace qosbb

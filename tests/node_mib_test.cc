@@ -1,0 +1,167 @@
+// Unit tests for the node and path QoS state MIBs, including the VT-EDF
+// residual-service computation at the heart of the Section-3.2 algorithm.
+
+#include <gtest/gtest.h>
+
+#include "core/flow_mib.h"
+#include "core/node_mib.h"
+#include "core/path_mib.h"
+#include "topo/fig8.h"
+
+namespace qosbb {
+namespace {
+
+DomainSpec mixed_spec() { return fig8_topology(Fig8Setting::kMixed); }
+
+TEST(NodeMib, PopulatesFromSpec) {
+  const DomainSpec spec = mixed_spec();
+  NodeMib mib(spec);
+  EXPECT_EQ(mib.link_count(), 7u);
+  const LinkQosState& l = mib.link("R3->R4");
+  EXPECT_DOUBLE_EQ(l.capacity(), 1.5e6);
+  EXPECT_TRUE(l.delay_based());
+  EXPECT_NEAR(l.error_term(), 0.008, 1e-12);
+  EXPECT_FALSE(mib.link("I1->R2").delay_based());
+  EXPECT_THROW(mib.link("nope"), std::logic_error);
+}
+
+TEST(LinkQosState, ReserveRelease) {
+  const DomainSpec spec = mixed_spec();
+  NodeMib mib(spec);
+  LinkQosState& l = mib.link("I1->R2");
+  EXPECT_TRUE(l.reserve(1.0e6).is_ok());
+  EXPECT_DOUBLE_EQ(l.residual(), 0.5e6);
+  // Over-reservation rejected, state unchanged.
+  EXPECT_FALSE(l.reserve(0.6e6).is_ok());
+  EXPECT_DOUBLE_EQ(l.reserved(), 1.0e6);
+  l.release(1.0e6);
+  EXPECT_DOUBLE_EQ(l.reserved(), 0.0);
+  EXPECT_THROW(l.release(1.0), std::logic_error);
+}
+
+TEST(LinkQosState, FlowCountingSeparate) {
+  NodeMib mib(mixed_spec());
+  LinkQosState& l = mib.link("I1->R2");
+  l.note_flow_added();
+  l.note_flow_added();
+  EXPECT_EQ(l.flow_count(), 2u);
+  l.note_flow_removed();
+  EXPECT_EQ(l.flow_count(), 1u);
+  l.note_flow_removed();
+  EXPECT_THROW(l.note_flow_removed(), std::logic_error);
+}
+
+TEST(LinkQosState, ResidualServiceMatchesHand) {
+  NodeMib mib(mixed_spec());
+  LinkQosState& l = mib.link("R3->R4");
+  // Two flows: (r=50k, d=0.1, L=12k) and (r=100k, d=0.3, L=12k).
+  l.add_edf_entry(50000, 0.1, 12000);
+  l.add_edf_entry(100000, 0.3, 12000);
+  // R(0.1) = 1.5e6·0.1 − 12000 = 138000.
+  EXPECT_NEAR(l.residual_service(0.1), 138000, 1e-6);
+  // R(0.3) = 450000 − [50000·0.2 + 12000] − 12000 = 416000.
+  EXPECT_NEAR(l.residual_service(0.3), 450000 - 22000 - 12000, 1e-6);
+  // Before any knot: full service.
+  EXPECT_NEAR(l.residual_service(0.05), 75000, 1e-6);
+
+  auto knots = l.residual_service_at_knots();
+  ASSERT_EQ(knots.size(), 2u);
+  EXPECT_DOUBLE_EQ(knots[0].first, 0.1);
+  EXPECT_NEAR(knots[0].second, 138000, 1e-6);
+  EXPECT_DOUBLE_EQ(knots[1].first, 0.3);
+  EXPECT_NEAR(knots[1].second, 416000, 1e-6);
+}
+
+TEST(LinkQosState, EdfBucketsAggregateEqualDelays) {
+  NodeMib mib(mixed_spec());
+  LinkQosState& l = mib.link("R3->R4");
+  l.add_edf_entry(50000, 0.1, 12000);
+  l.add_edf_entry(60000, 0.1, 12000);
+  ASSERT_EQ(l.edf_buckets().size(), 1u);
+  const auto& b = l.edf_buckets().at(0.1);
+  EXPECT_DOUBLE_EQ(b.sum_rate, 110000);
+  EXPECT_DOUBLE_EQ(b.sum_l, 24000);
+  EXPECT_EQ(b.count, 2u);
+  l.remove_edf_entry(50000, 0.1, 12000);
+  EXPECT_EQ(l.edf_buckets().at(0.1).count, 1u);
+  l.remove_edf_entry(60000, 0.1, 12000);
+  EXPECT_TRUE(l.edf_buckets().empty());
+  EXPECT_THROW(l.remove_edf_entry(1, 0.1, 1), std::logic_error);
+}
+
+TEST(LinkQosState, EdfSchedulabilityExact) {
+  NodeMib mib(mixed_spec());
+  LinkQosState& l = mib.link("R3->R4");
+  // Empty link: need C·d >= L, so d >= 0.008.
+  EXPECT_TRUE(l.edf_schedulable_with(50000, 0.008, 12000));
+  EXPECT_FALSE(l.edf_schedulable_with(50000, 0.007, 12000));
+  // Fill to capacity on the slope condition.
+  l.add_edf_entry(1.4e6, 0.5, 12000);
+  EXPECT_TRUE(l.edf_schedulable_with(100000, 0.5, 12000));
+  EXPECT_FALSE(l.edf_schedulable_with(100001, 0.5, 12000));
+  // Knot condition: a tiny-deadline newcomer steals service from the
+  // existing flow's deadline.
+  EXPECT_FALSE(l.edf_schedulable_with(100000, 0.008, 12000) &&
+               l.residual_service(0.5) < 100000 * (0.5 - 0.008) + 12000);
+}
+
+TEST(LinkQosState, EdfOperationsRequireDelayBasedLink) {
+  NodeMib mib(mixed_spec());
+  EXPECT_THROW(mib.link("I1->R2").add_edf_entry(1, 0.1, 1), std::logic_error);
+  EXPECT_THROW(mib.link("I1->R2").edf_schedulable_with(1, 0.1, 1),
+               std::logic_error);
+}
+
+TEST(PathMib, ProvisionAndLookup) {
+  const DomainSpec spec = mixed_spec();
+  NodeMib nodes(spec);
+  PathMib paths(spec);
+  const PathId p1 = paths.provision(fig8_path_s1());
+  EXPECT_EQ(paths.provision(fig8_path_s1()), p1);  // idempotent
+  EXPECT_EQ(paths.find("I1", "E1"), p1);
+  EXPECT_EQ(paths.find("I1", "E2"), kInvalidPathId);
+  const PathRecord& rec = paths.record(p1);
+  EXPECT_EQ(rec.hop_count(), 5);
+  EXPECT_EQ(rec.rate_based_count(), 3);
+  EXPECT_EQ(rec.link_names.front(), "I1->R2");
+  EXPECT_EQ(rec.ingress(), "I1");
+  EXPECT_EQ(rec.egress(), "E1");
+}
+
+TEST(PathMib, MinResidualTracksNodeMib) {
+  const DomainSpec spec = mixed_spec();
+  NodeMib nodes(spec);
+  PathMib paths(spec);
+  const PathId p1 = paths.provision(fig8_path_s1());
+  EXPECT_DOUBLE_EQ(paths.min_residual(p1, nodes), 1.5e6);
+  ASSERT_TRUE(nodes.link("R2->R3").reserve(1.0e6).is_ok());
+  EXPECT_DOUBLE_EQ(paths.min_residual(p1, nodes), 0.5e6);
+  // Shared-link pressure shows up on the other path too.
+  const PathId p2 = paths.provision(fig8_path_s2());
+  EXPECT_DOUBLE_EQ(paths.min_residual(p2, nodes), 0.5e6);
+}
+
+TEST(FlowMib, CrudAndIds) {
+  FlowMib mib;
+  const FlowId a = mib.next_id();
+  const FlowId b = mib.next_id();
+  EXPECT_NE(a, b);
+  FlowRecord rec;
+  rec.id = a;
+  rec.profile = TrafficProfile::make(60000, 50000, 100000, 12000);
+  mib.add(rec);
+  EXPECT_TRUE(mib.contains(a));
+  EXPECT_EQ(mib.count(), 1u);
+  auto got = mib.get(a);
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value().id, a);
+  EXPECT_FALSE(mib.get(b).is_ok());
+  auto removed = mib.remove(a);
+  ASSERT_TRUE(removed.is_ok());
+  EXPECT_EQ(mib.count(), 0u);
+  EXPECT_FALSE(mib.remove(a).is_ok());
+  EXPECT_THROW(mib.add(FlowRecord{}), std::logic_error);  // invalid id
+}
+
+}  // namespace
+}  // namespace qosbb

@@ -1,0 +1,221 @@
+// Tests for the Section-3 path-oriented admission algorithms, anchored to
+// the analytically derivable numbers of the paper's evaluation (Section 5):
+//   * rate-only path, D = 2.44 → r = ρ = 50 kb/s, 30 flows fill 1.5 Mb/s
+//   * rate-only path, D = 2.19 → r = 168000/3.11 ≈ 54.02 kb/s, 27 flows
+//   * mixed path: the Figure-4 scan returns the minimal feasible rate.
+
+#include <gtest/gtest.h>
+
+#include "core/broker.h"
+#include "core/perflow_admission.h"
+#include "topo/fig8.h"
+
+namespace qosbb {
+namespace {
+
+TrafficProfile type0() {
+  return TrafficProfile::make(60000, 50000, 100000, 12000);
+}
+
+class RateOnlyPath : public ::testing::Test {
+ protected:
+  RateOnlyPath()
+      : bb_(fig8_topology(Fig8Setting::kRateBasedOnly)),
+        path_(bb_.provision_path("I1", "E1").value()) {}
+
+  BandwidthBroker bb_;
+  PathId path_;
+};
+
+TEST_F(RateOnlyPath, LooseBoundAdmitsAtMeanRate) {
+  auto out = admit_rate_only(bb_.path_view(path_), type0(), 2.44);
+  ASSERT_TRUE(out.admitted);
+  EXPECT_NEAR(out.params.rate, 50000, 1e-6);
+  EXPECT_DOUBLE_EQ(out.params.delay, 0.0);
+  EXPECT_NEAR(out.e2e_bound, 2.44, 1e-9);
+}
+
+TEST_F(RateOnlyPath, TightBoundNeedsMoreThanMean) {
+  auto out = admit_rate_only(bb_.path_view(path_), type0(), 2.19);
+  ASSERT_TRUE(out.admitted);
+  EXPECT_NEAR(out.params.rate, 168000.0 / 3.11, 1e-6);
+  EXPECT_LE(out.e2e_bound, 2.19 + 1e-9);
+}
+
+TEST_F(RateOnlyPath, ImpossibleBoundRejectedAsInfeasible) {
+  auto out = admit_rate_only(bb_.path_view(path_), type0(), 0.1);
+  EXPECT_FALSE(out.admitted);
+  EXPECT_EQ(out.reason, RejectReason::kNoFeasibleRate);
+}
+
+TEST_F(RateOnlyPath, DispatcherPicksRateOnly) {
+  auto out = admit_per_flow(bb_.path_view(path_), type0(), 2.44);
+  EXPECT_TRUE(out.admitted);
+}
+
+TEST_F(RateOnlyPath, ResidualBandwidthGates) {
+  // Fill the path with 29 mean-rate flows through the broker, then the
+  // admissibility range collapses once residual < ρ.
+  FlowServiceRequest req{type0(), 2.44, "I1", "E1"};
+  for (int i = 0; i < 29; ++i) {
+    ASSERT_TRUE(bb_.request_service(req).is_ok()) << "flow " << i;
+  }
+  auto out = admit_rate_only(bb_.path_view(path_), type0(), 2.44);
+  EXPECT_TRUE(out.admitted);  // flow 30 fits exactly: 30·50k = 1.5M
+  ASSERT_TRUE(bb_.request_service(req).is_ok());
+  auto out31 = admit_rate_only(bb_.path_view(path_), type0(), 2.44);
+  EXPECT_FALSE(out31.admitted);
+  EXPECT_EQ(out31.reason, RejectReason::kInsufficientBandwidth);
+}
+
+class MixedPath : public ::testing::Test {
+ protected:
+  MixedPath()
+      : bb_(fig8_topology(Fig8Setting::kMixed)),
+        path_(bb_.provision_path("I1", "E1").value()) {}
+
+  BandwidthBroker bb_;
+  PathId path_;
+};
+
+TEST_F(MixedPath, FirstFlowGetsMeanRateAndMaximalDelay) {
+  // t^ν = (2.19 − 0.04 + 0.96)/2 = 1.555; Ξ = (0.96·100k + 4·12k)/2 = 72000.
+  // At r = ρ = 50 kb/s, d = t − Ξ/r = 0.115 — feasible on an empty path.
+  auto out = admit_mixed(bb_.path_view(path_), type0(), 2.19);
+  ASSERT_TRUE(out.admitted) << out.detail;
+  EXPECT_NEAR(out.params.rate, 50000, 1e-3);
+  EXPECT_NEAR(out.params.delay, 1.555 - 72000.0 / 50000.0, 1e-6);
+  EXPECT_LE(out.e2e_bound, 2.19 + 1e-9);
+}
+
+TEST_F(MixedPath, E2eBoundTightAtReturnedPair) {
+  auto out = admit_mixed(bb_.path_view(path_), type0(), 2.19);
+  ASSERT_TRUE(out.admitted);
+  const PathAbstract& pa = bb_.paths().record(path_).abstract;
+  EXPECT_NEAR(e2e_delay_bound(pa, type0(), out.params.rate, out.params.delay,
+                              12000),
+              out.e2e_bound, 1e-12);
+}
+
+TEST_F(MixedPath, RatesNeverDecreaseAsPathFills) {
+  // The minimal feasible rate is non-decreasing in the load (Theorem 1's
+  // monotonicity); and every admitted pair passes the exact EDF check.
+  FlowServiceRequest req{type0(), 2.19, "I1", "E1"};
+  double prev_rate = 0.0;
+  int admitted = 0;
+  while (true) {
+    auto res = bb_.request_service(req);
+    if (!res.is_ok()) break;
+    ++admitted;
+    EXPECT_GE(res.value().params.rate, prev_rate - 1e-6);
+    prev_rate = res.value().params.rate;
+    ASSERT_LT(admitted, 40) << "runaway admission";
+  }
+  // Paper (Table 2, mixed, 2.19): 27 flows for per-flow BB/VTRS.
+  EXPECT_EQ(admitted, 27);
+}
+
+TEST_F(MixedPath, DelayParamRespectsOwnDeadlineConstraint) {
+  // Even with a huge delay budget the assigned d must keep L <= R_i(d):
+  // on an empty link that means d >= L/C = 0.008.
+  auto out = admit_mixed(bb_.path_view(path_), type0(), 10.0);
+  ASSERT_TRUE(out.admitted);
+  EXPECT_GE(out.params.delay, 0.008 - 1e-12);
+}
+
+TEST_F(MixedPath, UnattainableBoundRejected) {
+  auto out = admit_mixed(bb_.path_view(path_), type0(), 0.03);
+  EXPECT_FALSE(out.admitted);
+  EXPECT_EQ(out.reason, RejectReason::kNoFeasibleRate);
+}
+
+TEST_F(MixedPath, ScanVisitsAtMostMPlusOneIntervals) {
+  FlowServiceRequest req{type0(), 2.19, "I1", "E1"};
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(bb_.request_service(req).is_ok());
+  auto out = admit_mixed(bb_.path_view(path_), type0(), 2.19);
+  ASSERT_TRUE(out.admitted);
+  // <= M+1 where M = number of distinct delay values.
+  int distinct = 0;
+  for (const LinkQosState* l : bb_.path_view(path_).edf_links) {
+    distinct = std::max(distinct,
+                        static_cast<int>(l->edf_buckets().size()));
+  }
+  EXPECT_LE(out.intervals_scanned, distinct + 1);
+}
+
+TEST_F(MixedPath, AdmittedPairsSurviveExactEdfAudit) {
+  // Property: after any admission sequence, every delay-based link's knot
+  // conditions hold with zero headroom violations.
+  FlowServiceRequest req{type0(), 2.19, "I1", "E1"};
+  while (bb_.request_service(req).is_ok()) {
+  }
+  for (const auto& ln : bb_.paths().record(path_).link_names) {
+    const LinkQosState& link = bb_.nodes().link(ln);
+    if (!link.delay_based()) continue;
+    for (const auto& [d, s] : link.residual_service_at_knots()) {
+      EXPECT_GE(s, -1e-6) << "knot " << d << " oversubscribed on " << ln;
+    }
+    EXPECT_LE(link.reserved(), link.capacity() + 1e-6);
+  }
+}
+
+TEST(MixedPathS2, WorksWithThreeDelayHops) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kMixed));
+  const PathId path = bb.provision_path("I2", "E2").value();
+  ASSERT_EQ(bb.paths().record(path).rate_based_count(), 2);
+  auto out = admit_mixed(bb.path_view(path), type0(), 2.19);
+  ASSERT_TRUE(out.admitted) << out.detail;
+  // h−q = 3: t^ν = 3.11/3, Ξ = (0.96·100k + 3·12k)/3 = 44000.
+  EXPECT_NEAR(out.params.delay,
+              3.11 / 3.0 - 44000.0 / out.params.rate, 1e-6);
+}
+
+// Table 1's loose delay bounds are calibrated so each type's minimal rate
+// is EXACTLY its mean rate on the 5-hop rate-based path — the fill count is
+// C/ρ for every type. (Analytic: r_min = [T_on·P + 6L]/[D − 0.04 + T_on].)
+struct TypeCase {
+  int type;
+  double mean_rate;
+  int expect_admitted;
+};
+
+class PerTypeCapacity : public ::testing::TestWithParam<TypeCase> {};
+
+TEST_P(PerTypeCapacity, LooseBoundAdmitsAtMeanRate) {
+  const TypeCase& tc = GetParam();
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kRateBasedOnly));
+  const TrafficProfile profiles[] = {
+      TrafficProfile::make(60000, 50000, 100000, 12000),
+      TrafficProfile::make(48000, 40000, 100000, 12000),
+      TrafficProfile::make(36000, 30000, 100000, 12000),
+      TrafficProfile::make(24000, 20000, 100000, 12000),
+  };
+  const double loose[] = {2.44, 2.74, 3.24, 4.24};
+  FlowServiceRequest req{profiles[tc.type], loose[tc.type], "I1", "E1"};
+  int n = 0;
+  while (true) {
+    auto res = bb.request_service(req);
+    if (!res.is_ok()) break;
+    EXPECT_NEAR(res.value().params.rate, tc.mean_rate, 1e-3) << "flow " << n;
+    ++n;
+  }
+  EXPECT_EQ(n, tc.expect_admitted);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1Types, PerTypeCapacity,
+    ::testing::Values(TypeCase{0, 50000, 30}, TypeCase{1, 40000, 37},
+                      TypeCase{2, 30000, 50}, TypeCase{3, 20000, 75}),
+    [](const auto& info) {
+      return "Type" + std::to_string(info.param.type);
+    });
+
+TEST(AdmissionContracts, ViewMustMatchAlgorithm) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kMixed));
+  const PathId path = bb.provision_path("I1", "E1").value();
+  EXPECT_THROW(admit_rate_only(bb.path_view(path), type0(), 2.44),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace qosbb

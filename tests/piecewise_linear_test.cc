@@ -1,0 +1,124 @@
+// Unit tests for the piecewise-linear algebra underpinning envelopes and the
+// fluid edge model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/piecewise_linear.h"
+
+namespace qosbb {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(PiecewiseLinear, AffineEvaluation) {
+  auto f = PiecewiseLinear::affine(3.0, 2.0);
+  EXPECT_DOUBLE_EQ(f(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(f(5.0), 13.0);
+}
+
+TEST(PiecewiseLinear, FromPointsEvaluation) {
+  auto f = PiecewiseLinear::from_points({{0.0, 0.0}, {2.0, 4.0}}, 1.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 2.0);   // slope 2 on [0,2]
+  EXPECT_DOUBLE_EQ(f(2.0), 4.0);
+  EXPECT_DOUBLE_EQ(f(4.0), 6.0);   // final slope 1
+}
+
+TEST(PiecewiseLinear, FromPointsValidatesInput) {
+  EXPECT_THROW(PiecewiseLinear::from_points({}, 0.0), std::logic_error);
+  EXPECT_THROW(PiecewiseLinear::from_points({{1.0, 0.0}}, 0.0),
+               std::logic_error);
+  EXPECT_THROW(
+      PiecewiseLinear::from_points({{0.0, 0.0}, {0.0, 1.0}}, 0.0),
+      std::logic_error);
+}
+
+TEST(PiecewiseLinear, DualTokenBucketKnee) {
+  // E(t) = min{Pt + L, ρt + σ} with P=100k, ρ=50k, L=12k, σ=60k:
+  // knee at T_on = 48000/50000 = 0.96.
+  auto e = PiecewiseLinear::dual_token_bucket(60000, 50000, 100000, 12000);
+  EXPECT_DOUBLE_EQ(e(0.0), 12000.0);
+  EXPECT_DOUBLE_EQ(e(0.96), 12000.0 + 100000.0 * 0.96);
+  EXPECT_DOUBLE_EQ(e(2.0), 50000.0 * 2.0 + 60000.0);
+  EXPECT_DOUBLE_EQ(e.final_slope(), 50000.0);
+}
+
+TEST(PiecewiseLinear, DualTokenBucketDegenerate) {
+  // P == ρ: single line.
+  auto e = PiecewiseLinear::dual_token_bucket(60000, 50000, 50000, 12000);
+  EXPECT_DOUBLE_EQ(e(1.0), 12000.0 + 50000.0);
+}
+
+TEST(PiecewiseLinear, Addition) {
+  auto a = PiecewiseLinear::affine(1.0, 1.0);
+  auto b = PiecewiseLinear::from_points({{0.0, 0.0}, {1.0, 2.0}}, 0.0);
+  auto c = a + b;
+  EXPECT_DOUBLE_EQ(c(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(c(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(c(2.0), 5.0);
+}
+
+TEST(PiecewiseLinear, Subtraction) {
+  auto a = PiecewiseLinear::affine(5.0, 3.0);
+  auto b = PiecewiseLinear::affine(1.0, 1.0);
+  auto c = a - b;
+  EXPECT_DOUBLE_EQ(c(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(c(10.0), 24.0);
+}
+
+TEST(PiecewiseLinear, MinFindsCrossing) {
+  auto a = PiecewiseLinear::affine(0.0, 2.0);   // 2t
+  auto b = PiecewiseLinear::affine(3.0, 1.0);   // t + 3, crosses at t=3
+  auto m = PiecewiseLinear::min(a, b);
+  EXPECT_DOUBLE_EQ(m(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(m(3.0), 6.0);
+  EXPECT_DOUBLE_EQ(m(10.0), 13.0);
+  EXPECT_DOUBLE_EQ(m.final_slope(), 1.0);
+}
+
+TEST(PiecewiseLinear, MaxMirrorsMin) {
+  auto a = PiecewiseLinear::affine(0.0, 2.0);
+  auto b = PiecewiseLinear::affine(3.0, 1.0);
+  auto m = PiecewiseLinear::max(a, b);
+  EXPECT_DOUBLE_EQ(m(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(m(10.0), 20.0);
+}
+
+TEST(PiecewiseLinear, SupOnInterval) {
+  auto f = PiecewiseLinear::from_points({{0.0, 0.0}, {1.0, 5.0}, {2.0, 1.0}},
+                                        0.0);
+  EXPECT_DOUBLE_EQ(f.sup(0.0, 2.0), 5.0);
+  EXPECT_DOUBLE_EQ(f.sup(1.5, 2.0), f(1.5));
+  EXPECT_DOUBLE_EQ(f.sup(0.0, kInf), 5.0);
+}
+
+TEST(PiecewiseLinear, SupUnboundedWhenGrowing) {
+  auto f = PiecewiseLinear::affine(0.0, 1.0);
+  EXPECT_TRUE(std::isinf(f.sup(0.0, kInf)));
+}
+
+TEST(PiecewiseLinear, FirstNonpositive) {
+  // Starts at 4, decreases with slope −2: crosses zero at t=2.
+  auto f = PiecewiseLinear::affine(4.0, -2.0);
+  EXPECT_DOUBLE_EQ(f.first_nonpositive(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(f.first_nonpositive(3.0), 3.0);  // already non-positive
+}
+
+TEST(PiecewiseLinear, FirstNonpositiveNeverCrossing) {
+  auto f = PiecewiseLinear::affine(1.0, 0.5);
+  EXPECT_TRUE(std::isinf(f.first_nonpositive(0.0)));
+}
+
+TEST(PiecewiseLinear, BacklogOfEnvelopeMinusService) {
+  // Worst-case backlog sup[E(t) − r t] for the Table-1 type-0 profile at
+  // r = ρ: attained at the knee, E(T_on) − ρ·T_on = 12000 + 48000·0.96 ≈
+  // 12000 + (P−ρ)·T_on = 60000.
+  auto e = PiecewiseLinear::dual_token_bucket(60000, 50000, 100000, 12000);
+  auto f = e - PiecewiseLinear::affine(0.0, 50000.0);
+  EXPECT_NEAR(f.sup(0.0, kInf), 12000.0 + 50000.0 * 0.96, 1e-6);
+}
+
+}  // namespace
+}  // namespace qosbb

@@ -1,0 +1,167 @@
+// Tests for priority preemption and the broker's signaling rate limiter.
+
+#include <gtest/gtest.h>
+
+#include "core/broker.h"
+#include "topo/fig8.h"
+
+namespace qosbb {
+namespace {
+
+TrafficProfile type0() {
+  return TrafficProfile::make(60000, 50000, 100000, 12000);
+}
+
+FlowServiceRequest req(FlowPriority prio = kDefaultPriority,
+                       double bound = 2.44) {
+  FlowServiceRequest r{type0(), bound, "I1", "E1"};
+  r.priority = prio;
+  return r;
+}
+
+BrokerOptions preempting() {
+  BrokerOptions opt;
+  opt.allow_preemption = true;
+  return opt;
+}
+
+TEST(Preemption, HighPriorityEvictsExactlyEnough) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kRateBasedOnly),
+                     preempting());
+  std::vector<FlowId> low;
+  for (int i = 0; i < 30; ++i) {
+    auto r = bb.request_service(req(0));
+    ASSERT_TRUE(r.is_ok());
+    low.push_back(r.value().flow);
+  }
+  // Full: a priority-0 request fails outright.
+  EXPECT_FALSE(bb.request_service(req(0)).is_ok());
+  // A priority-5 request evicts exactly one mean-rate flow.
+  auto vip = bb.request_service(req(5));
+  ASSERT_TRUE(vip.is_ok());
+  ASSERT_EQ(vip.value().preempted.size(), 1u);
+  EXPECT_FALSE(bb.flows().contains(vip.value().preempted[0]));
+  EXPECT_EQ(bb.flows().count(), 30u);  // 29 low + 1 vip
+  EXPECT_NEAR(bb.nodes().link("R2->R3").reserved(), 1.5e6, 1e-6);
+  // The audit trail records the eviction.
+  EXPECT_NE(bb.audit().last().detail.find("preempted 1"), std::string::npos);
+}
+
+TEST(Preemption, EvictsCheapestVictimsFirst) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kRateBasedOnly),
+                     preempting());
+  // 28 priority-2 flows + 2 priority-1 flows fill the path.
+  std::vector<FlowId> prio1;
+  for (int i = 0; i < 28; ++i) ASSERT_TRUE(bb.request_service(req(2)).is_ok());
+  for (int i = 0; i < 2; ++i) {
+    auto r = bb.request_service(req(1));
+    ASSERT_TRUE(r.is_ok());
+    prio1.push_back(r.value().flow);
+  }
+  // A priority-3 arrival must take a priority-1 victim, not a priority-2.
+  auto vip = bb.request_service(req(3));
+  ASSERT_TRUE(vip.is_ok());
+  ASSERT_EQ(vip.value().preempted.size(), 1u);
+  EXPECT_TRUE(vip.value().preempted[0] == prio1[0] ||
+              vip.value().preempted[0] == prio1[1]);
+}
+
+TEST(Preemption, EqualPriorityNeverPreempts) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kRateBasedOnly),
+                     preempting());
+  for (int i = 0; i < 30; ++i) ASSERT_TRUE(bb.request_service(req(5)).is_ok());
+  auto same = bb.request_service(req(5));
+  EXPECT_FALSE(same.is_ok());
+  EXPECT_EQ(bb.flows().count(), 30u);
+}
+
+TEST(Preemption, DisabledByDefault) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kRateBasedOnly));
+  for (int i = 0; i < 30; ++i) ASSERT_TRUE(bb.request_service(req(0)).is_ok());
+  EXPECT_FALSE(bb.request_service(req(9)).is_ok());
+  EXPECT_EQ(bb.flows().count(), 30u);
+}
+
+TEST(Preemption, InsufficientVictimsRestoresEverything) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kRateBasedOnly),
+                     preempting());
+  // 29 TOP-priority flows (not preemptible by the arrival below) plus one
+  // low-priority flow. The arrival needs 54 kb/s (tight bound) but its only
+  // victim frees 50 kb/s -> the attempt must fail and restore the victim.
+  for (int i = 0; i < 29; ++i) ASSERT_TRUE(bb.request_service(req(9)).is_ok());
+  auto low = bb.request_service(req(1));
+  ASSERT_TRUE(low.is_ok());
+  auto vip = bb.request_service(req(5, 2.19));
+  EXPECT_FALSE(vip.is_ok());
+  // The low-priority flow survived the failed attempt.
+  EXPECT_TRUE(bb.flows().contains(low.value().flow));
+  EXPECT_EQ(bb.flows().count(), 30u);
+  EXPECT_NEAR(bb.nodes().link("R2->R3").reserved(), 1.5e6, 1e-6);
+}
+
+TEST(Preemption, WorksOnMixedPaths) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kMixed), preempting());
+  FlowServiceRequest low{type0(), 2.19, "I1", "E1"};
+  while (bb.request_service(low).is_ok()) {
+  }
+  FlowServiceRequest vip{type0(), 2.19, "I1", "E1"};
+  vip.priority = 7;
+  auto r = bb.request_service(vip);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_GE(r.value().preempted.size(), 1u);
+  // EDF knot accounting stays sound after the eviction + admission.
+  for (const auto& [d, s] :
+       bb.nodes().link("R3->R4").residual_service_at_knots()) {
+    EXPECT_GE(s, -1e-6);
+  }
+}
+
+TEST(RateLimiter, CapsSignalingPerIngress) {
+  BrokerOptions opt;
+  opt.max_request_rate_per_ingress = 2.0;  // 2 req/s
+  opt.request_burst = 3.0;
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kRateBasedOnly), opt);
+  // Burst of 3 passes at t=0; the 4th is throttled.
+  int ok = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (bb.request_service(req(), 0.0).is_ok()) ++ok;
+  }
+  EXPECT_EQ(ok, 3);
+  EXPECT_EQ(bb.stats().rejected.at(RejectReason::kPolicy), 1u);
+  // Tokens refill: one second buys two more requests.
+  EXPECT_TRUE(bb.request_service(req(), 1.0).is_ok());
+  EXPECT_TRUE(bb.request_service(req(), 1.0).is_ok());
+  EXPECT_FALSE(bb.request_service(req(), 1.0).is_ok());
+  // Another ingress has its own budget.
+  EXPECT_TRUE(
+      bb.request_service({type0(), 2.44, "I2", "E2"}, 1.0).is_ok());
+}
+
+TEST(RateLimiter, ThrottledRequestsAreAudited) {
+  BrokerOptions opt;
+  opt.max_request_rate_per_ingress = 1.0;
+  opt.request_burst = 1.0;
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kRateBasedOnly), opt);
+  ASSERT_TRUE(bb.request_service(req(), 0.0).is_ok());
+  ASSERT_FALSE(bb.request_service(req(), 0.0).is_ok());
+  EXPECT_NE(bb.audit().last().detail.find("signaling rate"),
+            std::string::npos);
+}
+
+TEST(Snapshot, PrioritysurvivesRoundTrip) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kRateBasedOnly),
+                     preempting());
+  auto r = bb.request_service(req(7));
+  ASSERT_TRUE(r.is_ok());
+  auto frame = bb.snapshot();
+  ASSERT_TRUE(frame.is_ok());
+  auto restored = BandwidthBroker::restore(
+      fig8_topology(Fig8Setting::kRateBasedOnly), preempting(),
+      frame.value());
+  ASSERT_TRUE(restored.is_ok());
+  EXPECT_EQ(restored.value()->flows().get(r.value().flow).value().priority,
+            7);
+}
+
+}  // namespace
+}  // namespace qosbb

@@ -1,0 +1,281 @@
+// Property-based tests.
+//
+//  1. Golden model for the §3.2 Figure-4 algorithm: against randomized
+//     pre-existing EDF state, the algorithm's minimal feasible rate must
+//     match an exhaustive grid search over the (r, d) space — both in
+//     feasibility and in minimality.
+//  2. Random-domain end-to-end soundness: on random chains of random
+//     schedulers/capacities, every reservation the BB grants must hold at
+//     packet level for worst-case (greedy) traffic, with zero VTRS property
+//     violations.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/broker.h"
+#include "core/perflow_admission.h"
+#include "topo/fig8.h"
+#include "util/rng.h"
+#include "vtrs/delay_bounds.h"
+#include "vtrs/provisioned_network.h"
+
+namespace qosbb {
+namespace {
+
+TrafficProfile random_profile(Rng& rng) {
+  const double l_max = 12000.0;
+  const double rho = rng.uniform(20000.0, 80000.0);
+  const double peak = rho * rng.uniform(1.2, 3.0);
+  const double sigma = l_max + rng.uniform(10000.0, 80000.0);
+  return TrafficProfile::make(sigma, rho, peak, l_max);
+}
+
+// ---------- 1. Golden-model comparison ----------
+
+class Fig4GoldenModel : public ::testing::TestWithParam<int> {};
+
+TEST_P(Fig4GoldenModel, MinimalRateMatchesExhaustiveSearch) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kMixed));
+  const PathId path = bb.provision_path("I1", "E1").value();
+  const PathRecord& rec = bb.paths().record(path);
+
+  // Seed random pre-existing state: EDF entries on the delay-based links
+  // and background reservations on every link (Σr <= C respected).
+  const int n_entries = static_cast<int>(rng.uniform_int(0, 12));
+  double committed = 0.0;
+  for (int i = 0; i < n_entries; ++i) {
+    const double r = rng.uniform(10000.0, 80000.0);
+    if (committed + r > 1.1e6) break;
+    const double d = rng.uniform(0.01, 1.2);
+    for (const auto& ln : rec.link_names) {
+      LinkQosState& link = bb.nodes().link(ln);
+      ASSERT_TRUE(link.reserve(r).is_ok());
+      if (link.delay_based()) link.add_edf_entry(r, d, 12000.0);
+    }
+    committed += r;
+  }
+
+  const TrafficProfile profile = random_profile(rng);
+  const Seconds d_req = rng.uniform(0.8, 3.5);
+  const PathView view = bb.path_view(path);
+  const AdmissionOutcome out = admit_mixed(view, profile, d_req);
+
+  // Exhaustive grid search over r; for each r the best d is the maximal
+  // one allowed by eq. (7): d = t − Ξ/r (larger d only relaxes eq. 8).
+  const int h = rec.hop_count();
+  const int q = rec.rate_based_count();
+  const double hq = h - q;
+  const double t_nu = (d_req - rec.d_tot() + profile.t_on()) / hq;
+  const double xi =
+      (profile.t_on() * profile.peak + (q + 1) * profile.l_max) / hq;
+  const double r_cap = std::min(profile.peak, view.c_res);
+  auto feasible = [&](double r) {
+    if (r < profile.rho || r > r_cap) return false;
+    const double d = t_nu - xi / r;
+    if (d < 0.0) return false;
+    for (const LinkQosState* link : view.edf_links) {
+      if (!link->edf_schedulable_with(r, d, profile.l_max)) return false;
+    }
+    return true;
+  };
+  const double step = 25.0;  // 25 b/s grid
+  double brute_min = -1.0;
+  for (double r = profile.rho; r <= r_cap + step; r += step) {
+    const double rr = std::min(r, r_cap);
+    if (feasible(rr)) {
+      brute_min = rr;
+      break;
+    }
+    if (rr >= r_cap) break;
+  }
+
+  if (out.admitted) {
+    ASSERT_GE(brute_min, 0.0)
+        << "algorithm admitted at " << out.params.rate
+        << " but brute force found nothing";
+    // The algorithm's pair itself must be feasible...
+    EXPECT_TRUE(feasible(out.params.rate))
+        << "rate " << out.params.rate << " d " << out.params.delay;
+    // ...and minimal up to the grid resolution.
+    EXPECT_LE(out.params.rate, brute_min + step + 1e-6);
+    EXPECT_GE(out.params.rate, profile.rho - 1e-6);
+    // And the promised bound must really hold at that pair.
+    EXPECT_LE(e2e_delay_bound(rec.abstract, profile, out.params.rate,
+                              out.params.delay, profile.l_max),
+              d_req + 1e-6);
+  } else {
+    EXPECT_LT(brute_min, 0.0)
+        << "algorithm rejected but r = " << brute_min << " is feasible";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fig4GoldenModel, ::testing::Range(1, 41));
+
+// ---------- 2. Random-domain end-to-end soundness ----------
+
+struct RandomDomain {
+  DomainSpec spec;
+  std::vector<std::string> path;
+};
+
+RandomDomain random_chain(Rng& rng) {
+  RandomDomain out;
+  const int hops = static_cast<int>(rng.uniform_int(2, 7));
+  out.spec.l_max = 12000.0;
+  for (int i = 0; i <= hops; ++i) {
+    out.spec.nodes.push_back("N" + std::to_string(i));
+  }
+  for (int i = 0; i < hops; ++i) {
+    LinkSpec l;
+    l.from = out.spec.nodes[static_cast<std::size_t>(i)];
+    l.to = out.spec.nodes[static_cast<std::size_t>(i) + 1];
+    l.capacity = rng.uniform(1.0e6, 8.0e6);
+    l.propagation_delay = rng.uniform(0.0, 0.01);
+    const auto kind = rng.uniform_int(0, 2);
+    l.policy = kind == 0   ? SchedPolicy::kCsvc
+               : kind == 1 ? SchedPolicy::kVtEdf
+                           : SchedPolicy::kCjvc;
+    out.spec.links.push_back(l);
+  }
+  out.path = out.spec.nodes;
+  return out;
+}
+
+class RandomDomainE2e : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomDomainE2e, EveryGrantHoldsAtPacketLevel) {
+  Rng rng(static_cast<std::uint64_t>(1000 + GetParam()));
+  const RandomDomain domain = random_chain(rng);
+  BandwidthBroker bb(domain.spec);
+  ProvisionedNetwork pn(domain.spec);
+  const Seconds horizon = 20.0;
+
+  int admitted = 0;
+  std::vector<std::pair<FlowId, Seconds>> bounds;
+  for (int i = 0; i < 25; ++i) {
+    const TrafficProfile profile = random_profile(rng);
+    FlowServiceRequest req{profile, rng.uniform(0.5, 4.0),
+                           domain.path.front(), domain.path.back()};
+    auto res = bb.request_service(req);
+    if (!res.is_ok()) continue;
+    ++admitted;
+    const Reservation& r = res.value();
+    pn.install_flow(r.flow, domain.path, r.params.rate, r.params.delay);
+    std::unique_ptr<TrafficSource> src;
+    if (rng.bernoulli(0.6)) {
+      src = std::make_unique<GreedySource>(profile, 0.0);
+    } else {
+      src = std::make_unique<PoissonSource>(profile, 0.0, rng.fork());
+    }
+    pn.attach_source(r.flow, std::move(src), r.flow, horizon).start();
+    pn.expect_bounds(r.flow, 1e9, r.e2e_bound);
+    bounds.emplace_back(r.flow, r.e2e_bound);
+  }
+  if (admitted == 0) GTEST_SKIP() << "random domain admitted nothing";
+  pn.run_until(horizon + 30.0);
+
+  for (const auto& [flow, bound] : bounds) {
+    const auto& rec = pn.meter().record(flow);
+    EXPECT_GT(rec.total_delay.count(), 0u);
+    EXPECT_EQ(rec.total_violations, 0u)
+        << "flow " << flow << " bound " << bound << " max "
+        << rec.total_delay.max();
+  }
+  EXPECT_EQ(pn.vtrs().total_reality_check_violations(), 0u);
+  EXPECT_EQ(pn.vtrs().total_spacing_violations(), 0u);
+  EXPECT_EQ(pn.vtrs().total_guarantee_violations(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDomainE2e, ::testing::Range(1, 21));
+
+// ---------- 3. MIB conservation under random churn ----------
+
+TEST(RandomChurn, MibsConserveUnderMixedWorkload) {
+  Rng rng(77);
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kMixed),
+                     BrokerOptions{ContingencyMethod::kFeedback});
+  const ClassId cls = bb.define_class(2.19, 0.10);
+  std::vector<FlowId> per_flow, micro;
+  Seconds now = 0.0;
+  for (int round = 0; round < 400; ++round) {
+    now += rng.exponential(2.0);
+    const int action = static_cast<int>(rng.uniform_int(0, 3));
+    const bool s1 = rng.bernoulli(0.5);
+    const char* in = s1 ? "I1" : "I2";
+    const char* out = s1 ? "E1" : "E2";
+    switch (action) {
+      case 0: {
+        auto res = bb.request_service(
+            {random_profile(rng), rng.uniform(1.5, 4.0), in, out}, now);
+        if (res.is_ok()) per_flow.push_back(res.value().flow);
+        break;
+      }
+      case 1: {
+        auto join = bb.request_class_service(
+            cls, TrafficProfile::make(60000, 50000, 100000, 12000), in, out,
+            now, rng.uniform(0.0, 30000.0));
+        if (join.admitted) {
+          micro.push_back(join.microflow);
+          if (join.grant != kInvalidGrantId) {
+            bb.expire_contingency(join.grant, join.contingency_expires_at);
+          }
+        }
+        break;
+      }
+      case 2: {
+        if (per_flow.empty()) break;
+        const std::size_t i = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(per_flow.size()) - 1));
+        ASSERT_TRUE(bb.release_service(per_flow[i]).is_ok());
+        per_flow.erase(per_flow.begin() + static_cast<long>(i));
+        break;
+      }
+      default: {
+        if (micro.empty()) break;
+        const std::size_t i = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(micro.size()) - 1));
+        auto leave = bb.leave_class_service(micro[i], now, 0.0);
+        ASSERT_TRUE(leave.is_ok());
+        if (leave.value().grant != kInvalidGrantId) {
+          bb.expire_contingency(leave.value().grant,
+                                leave.value().contingency_expires_at);
+        }
+        micro.erase(micro.begin() + static_cast<long>(i));
+        break;
+      }
+    }
+    // Invariants after every step: no link oversubscribed, EDF knots sound.
+    for (const auto& l : bb.spec().links) {
+      const LinkQosState& link = bb.nodes().link(l.from + "->" + l.to);
+      ASSERT_LE(link.reserved(), link.capacity() + 1e-3) << link.name();
+      if (link.delay_based()) {
+        for (const auto& [d, s] : link.residual_service_at_knots()) {
+          ASSERT_GE(s, -1e-3) << link.name() << " knot " << d;
+        }
+      }
+    }
+  }
+  // Drain everything; the domain must return to pristine state.
+  for (FlowId f : per_flow) ASSERT_TRUE(bb.release_service(f).is_ok());
+  for (FlowId f : micro) {
+    auto leave = bb.leave_class_service(f, now, 0.0);
+    ASSERT_TRUE(leave.is_ok());
+    if (leave.value().grant != kInvalidGrantId) {
+      bb.expire_contingency(leave.value().grant,
+                            leave.value().contingency_expires_at);
+    }
+  }
+  for (const auto& l : bb.spec().links) {
+    const LinkQosState& link = bb.nodes().link(l.from + "->" + l.to);
+    EXPECT_NEAR(link.reserved(), 0.0, 1e-3) << link.name();
+    EXPECT_NEAR(link.buffer_reserved(), 0.0, 1e-3) << link.name();
+    EXPECT_TRUE(link.edf_buckets().empty()) << link.name();
+  }
+  EXPECT_EQ(bb.flows().count(), 0u);
+  EXPECT_EQ(bb.classes().macroflow_count(), 0u);
+}
+
+}  // namespace
+}  // namespace qosbb

@@ -1,0 +1,264 @@
+// Unit tests for the scheduler implementations: ordering disciplines,
+// eligibility (non-work-conserving), per-flow state handling, error terms.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sched/cjvc.h"
+#include "sched/csvc.h"
+#include "sched/fifo.h"
+#include "sched/rcedf.h"
+#include "sched/scheduler.h"
+#include "sched/static_priority.h"
+#include "sched/vc.h"
+#include "sched/vtedf.h"
+#include "sched/wfq.h"
+
+namespace qosbb {
+namespace {
+
+Packet make_packet(FlowId flow, double rate, double delay, double vtime,
+                   double size = 12000.0) {
+  Packet p;
+  p.flow = flow;
+  p.size = size;
+  p.state.rate = rate;
+  p.state.delay_param = delay;
+  p.state.virtual_time = vtime;
+  p.state.delta = 0.0;
+  return p;
+}
+
+TEST(VirtualDeadline, RateBasedUsesSizeOverRate) {
+  Packet p = make_packet(1, 50000, 0.5, 10.0);
+  EXPECT_DOUBLE_EQ(virtual_deadline(SchedulerKind::kRateBased, p), 0.24);
+  EXPECT_DOUBLE_EQ(virtual_finish_time(SchedulerKind::kRateBased, p), 10.24);
+}
+
+TEST(VirtualDeadline, DelayBasedUsesDelayParam) {
+  Packet p = make_packet(1, 50000, 0.5, 10.0);
+  EXPECT_DOUBLE_EQ(virtual_deadline(SchedulerKind::kDelayBased, p), 0.5);
+  EXPECT_DOUBLE_EQ(virtual_finish_time(SchedulerKind::kDelayBased, p), 10.5);
+}
+
+TEST(VirtualDeadline, DeltaAdjustsRateBasedDeadline) {
+  Packet p = make_packet(1, 50000, 0.0, 10.0);
+  p.state.delta = 0.1;
+  EXPECT_DOUBLE_EQ(virtual_deadline(SchedulerKind::kRateBased, p), 0.34);
+}
+
+TEST(DeadlineQueue, OrdersByKeyThenFifo) {
+  DeadlineQueue q;
+  q.push(2.0, make_packet(1, 1, 0, 0));
+  q.push(1.0, make_packet(2, 1, 0, 0));
+  q.push(2.0, make_packet(3, 1, 0, 0));
+  EXPECT_EQ(q.pop().flow, 2);
+  EXPECT_EQ(q.pop().flow, 1);  // FIFO among equal keys
+  EXPECT_EQ(q.pop().flow, 3);
+  EXPECT_TRUE(q.empty());
+  EXPECT_THROW(q.pop(), std::logic_error);
+}
+
+TEST(Csvc, ServicesInVirtualFinishOrder) {
+  CsvcScheduler s(1.5e6, 12000);
+  // Flow 1 at rate 50k: d̃ = 0.24; flow 2 at rate 100k: d̃ = 0.12.
+  s.enqueue(0.0, make_packet(1, 50000, 0, 0.0));
+  s.enqueue(0.0, make_packet(2, 100000, 0, 0.0));
+  auto first = s.dequeue(0.0);
+  ASSERT_TRUE(first);
+  EXPECT_EQ(first->flow, 2);
+  EXPECT_EQ(s.dequeue(0.0)->flow, 1);
+  EXPECT_FALSE(s.dequeue(0.0).has_value());
+}
+
+TEST(Csvc, ErrorTermIsLmaxOverC) {
+  CsvcScheduler s(1.5e6, 12000);
+  EXPECT_DOUBLE_EQ(s.error_term(), 0.008);
+  EXPECT_EQ(s.kind(), SchedulerKind::kRateBased);
+}
+
+TEST(VtEdf, ServicesByVirtualTimePlusDelay) {
+  VtEdfScheduler s(1.5e6, 12000);
+  s.enqueue(0.0, make_packet(1, 50000, 0.5, 0.0));  // ν̃ = 0.5
+  s.enqueue(0.0, make_packet(2, 50000, 0.1, 0.2));  // ν̃ = 0.3
+  EXPECT_EQ(s.dequeue(0.0)->flow, 2);
+  EXPECT_EQ(s.dequeue(0.0)->flow, 1);
+  EXPECT_EQ(s.kind(), SchedulerKind::kDelayBased);
+}
+
+TEST(Cjvc, HoldsUntilVirtualArrival) {
+  CjvcScheduler s(1.5e6, 12000);
+  s.enqueue(0.0, make_packet(1, 50000, 0, 1.0));  // eligible at ω̃ = 1.0
+  EXPECT_FALSE(s.dequeue(0.0).has_value());
+  EXPECT_FALSE(s.empty());
+  auto next = s.next_eligible_after(0.0);
+  ASSERT_TRUE(next);
+  EXPECT_DOUBLE_EQ(*next, 1.0);
+  auto p = s.dequeue(1.0);
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->flow, 1);
+}
+
+TEST(Cjvc, EligiblePacketsOrderedByFinishTime) {
+  CjvcScheduler s(1.5e6, 12000);
+  s.enqueue(0.0, make_packet(1, 50000, 0, 0.0));   // ν̃ = 0.24
+  s.enqueue(0.0, make_packet(2, 100000, 0, 0.0));  // ν̃ = 0.12
+  EXPECT_EQ(s.queue_length(), 2u);
+  EXPECT_EQ(s.dequeue(0.0)->flow, 2);
+}
+
+TEST(Vc, PerFlowClockAdvances) {
+  VcScheduler s(1.5e6, 12000);
+  s.configure_flow(1, 50000);
+  // Two back-to-back packets: VC tags 0.24 and 0.48.
+  s.enqueue(0.0, make_packet(1, 0, 0, 0));  // carried rate ignored: configured
+  s.enqueue(0.0, make_packet(1, 0, 0, 0));
+  s.configure_flow(2, 100000);
+  s.enqueue(0.0, make_packet(2, 0, 0, 0));  // VC tag 0.12 — goes first
+  EXPECT_EQ(s.dequeue(0.0)->flow, 2);
+  EXPECT_EQ(s.dequeue(0.0)->flow, 1);
+  EXPECT_EQ(s.dequeue(0.0)->flow, 1);
+  EXPECT_EQ(s.configured_flows(), 2u);
+  s.remove_flow(1);
+  EXPECT_EQ(s.configured_flows(), 1u);
+}
+
+TEST(Vc, FallsBackToCarriedRate) {
+  VcScheduler s(1.5e6, 12000);
+  s.enqueue(0.0, make_packet(9, 50000, 0, 0));
+  EXPECT_EQ(s.dequeue(0.0)->flow, 9);
+}
+
+TEST(Vc, NoRateIsContractViolation) {
+  VcScheduler s(1.5e6, 12000);
+  EXPECT_THROW(s.enqueue(0.0, make_packet(9, 0, 0, 0)), std::logic_error);
+}
+
+TEST(Wfq, FinishTagsProportionalToRates) {
+  WfqScheduler s(1.5e6, 12000);
+  s.configure_flow(1, 50000);
+  s.configure_flow(2, 100000);
+  s.enqueue(0.0, make_packet(1, 0, 0, 0));
+  s.enqueue(0.0, make_packet(2, 0, 0, 0));
+  // Higher-rate flow finishes first in GPS.
+  EXPECT_EQ(s.dequeue(0.0)->flow, 2);
+  EXPECT_EQ(s.dequeue(0.0)->flow, 1);
+}
+
+TEST(Wfq, VirtualTimeTracksRealTimeWhenIdle) {
+  WfqScheduler s(1.5e6, 12000);
+  EXPECT_DOUBLE_EQ(s.virtual_time(5.0), 5.0);
+}
+
+TEST(Wfq, RemoveWhileBackloggedIsContractViolation) {
+  WfqScheduler s(1.5e6, 12000);
+  s.configure_flow(1, 50000);
+  s.enqueue(0.0, make_packet(1, 0, 0, 0));
+  EXPECT_THROW(s.remove_flow(1), std::logic_error);
+  ASSERT_TRUE(s.dequeue(0.1).has_value());
+  EXPECT_NO_THROW(s.remove_flow(1));
+}
+
+TEST(Wfq, BacklogAccountingSurvivesChurn) {
+  WfqScheduler s(1.5e6, 12000);
+  s.configure_flow(1, 50000);
+  for (int round = 0; round < 10; ++round) {
+    s.enqueue(round * 1.0, make_packet(1, 0, 0, 0));
+    ASSERT_TRUE(s.dequeue(round * 1.0 + 0.5).has_value());
+  }
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(RcEdf, RegulatorDelaysToReservedSpacing) {
+  RcEdfScheduler s(1.5e6, 12000);
+  s.configure_flow(1, 50000, 0.1);
+  // Two packets arrive back-to-back; the second is eligible only after
+  // L/r = 0.24 s.
+  s.enqueue(0.0, make_packet(1, 0, 0, 0));
+  s.enqueue(0.0, make_packet(1, 0, 0, 0));
+  ASSERT_TRUE(s.dequeue(0.0).has_value());
+  EXPECT_FALSE(s.dequeue(0.0).has_value());
+  auto next = s.next_eligible_after(0.0);
+  ASSERT_TRUE(next);
+  EXPECT_DOUBLE_EQ(*next, 0.24);
+  EXPECT_TRUE(s.dequeue(0.24).has_value());
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(RcEdf, EdfOrderAmongEligible) {
+  RcEdfScheduler s(1.5e6, 12000);
+  s.configure_flow(1, 50000, 0.5);
+  s.configure_flow(2, 50000, 0.1);
+  s.enqueue(0.0, make_packet(1, 0, 0, 0));  // deadline 0.5
+  s.enqueue(0.0, make_packet(2, 0, 0, 0));  // deadline 0.1
+  EXPECT_EQ(s.dequeue(0.0)->flow, 2);
+  EXPECT_EQ(s.dequeue(0.0)->flow, 1);
+  EXPECT_EQ(s.kind(), SchedulerKind::kDelayBased);
+}
+
+TEST(Fifo, OrderPreserved) {
+  FifoScheduler s(1.5e6, 12000);
+  s.enqueue(0.0, make_packet(1, 1, 0, 0));
+  s.enqueue(0.0, make_packet(2, 1, 0, 0));
+  EXPECT_EQ(s.dequeue(0.0)->flow, 1);
+  EXPECT_EQ(s.dequeue(0.0)->flow, 2);
+  EXPECT_TRUE(std::isinf(s.error_term()));
+}
+
+TEST(Scheduler, ConstructorContracts) {
+  EXPECT_THROW(CsvcScheduler(0.0, 12000), std::logic_error);
+  EXPECT_THROW(CsvcScheduler(1.5e6, 0.0), std::logic_error);
+}
+
+TEST(StaticPriority, LevelMappingByDelayParam) {
+  StaticPriorityScheduler s(1.5e6, 12000, {0.1, 0.3, 1.0});
+  EXPECT_EQ(s.levels(), 3);
+  EXPECT_EQ(s.level_for(0.05), 0);
+  EXPECT_EQ(s.level_for(0.1), 0);
+  EXPECT_EQ(s.level_for(0.2), 1);
+  EXPECT_EQ(s.level_for(0.9), 2);
+  EXPECT_EQ(s.level_for(5.0), 2);  // looser than every level: lowest
+}
+
+TEST(StaticPriority, StrictPriorityAcrossLevels) {
+  StaticPriorityScheduler s(1.5e6, 12000, {0.1, 0.5});
+  s.enqueue(0.0, make_packet(1, 50000, 0.5, 0.0));  // low priority
+  s.enqueue(0.0, make_packet(2, 50000, 0.1, 0.0));  // high priority
+  s.enqueue(0.0, make_packet(3, 50000, 0.5, 0.0));  // low again
+  EXPECT_EQ(s.level_backlog(0), 1u);
+  EXPECT_EQ(s.level_backlog(1), 2u);
+  EXPECT_EQ(s.dequeue(0.0)->flow, 2);  // high level drains first
+  EXPECT_EQ(s.dequeue(0.0)->flow, 1);  // then FIFO within the low level
+  EXPECT_EQ(s.dequeue(0.0)->flow, 3);
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.dequeue(0.0).has_value());
+}
+
+TEST(StaticPriority, FifoWithinALevel) {
+  StaticPriorityScheduler s(1.5e6, 12000, {0.1});
+  for (int i = 1; i <= 5; ++i) {
+    s.enqueue(0.0, make_packet(i, 50000, 0.1, 0.0));
+  }
+  for (int i = 1; i <= 5; ++i) {
+    EXPECT_EQ(s.dequeue(0.0)->flow, i);
+  }
+}
+
+TEST(StaticPriority, IsDelayBasedWithStandardErrorTerm) {
+  StaticPriorityScheduler s(1.5e6, 12000, {0.1});
+  EXPECT_EQ(s.kind(), SchedulerKind::kDelayBased);
+  EXPECT_DOUBLE_EQ(s.error_term(), 0.008);
+  EXPECT_STREQ(s.name(), "SP");
+}
+
+TEST(StaticPriority, Contracts) {
+  EXPECT_THROW(StaticPriorityScheduler(1.5e6, 12000, {}), std::logic_error);
+  EXPECT_THROW(StaticPriorityScheduler(1.5e6, 12000, {0.5, 0.1}),
+               std::logic_error);
+  StaticPriorityScheduler s(1.5e6, 12000, {0.1});
+  EXPECT_THROW(s.level_backlog(7), std::logic_error);
+}
+
+}  // namespace
+}  // namespace qosbb

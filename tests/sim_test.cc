@@ -1,0 +1,181 @@
+// Unit tests for the discrete-event simulator: event ordering, link
+// serialization, node forwarding, meters.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sched/csvc.h"
+#include "sched/fifo.h"
+#include "sim/event_queue.h"
+#include "sim/meter.h"
+#include "sim/network.h"
+
+namespace qosbb {
+namespace {
+
+TEST(EventQueue, DispatchesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  EXPECT_EQ(q.dispatched(), 3u);
+}
+
+TEST(EventQueue, TiesBrokenByInsertion) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] { ++fired; });
+  q.schedule(2.0, [&] { ++fired; });
+  q.schedule(3.0, [&] { ++fired; });
+  q.run_until(2.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, EventsMayScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) q.schedule_in(0.5, recurse);
+  };
+  q.schedule(0.0, recurse);
+  q.run_all();
+  EXPECT_EQ(depth, 10);
+  EXPECT_DOUBLE_EQ(q.now(), 4.5);
+}
+
+TEST(EventQueue, SchedulingIntoThePastIsContractViolation) {
+  EventQueue q;
+  q.schedule(5.0, [] {});
+  q.run_all();
+  EXPECT_THROW(q.schedule(1.0, [] {}), std::logic_error);
+}
+
+Packet mk(FlowId flow, double rate, double size = 12000.0) {
+  Packet p;
+  p.flow = flow;
+  p.size = size;
+  p.state.rate = rate;
+  return p;
+}
+
+TEST(Network, LinkSerializesAtCapacity) {
+  Network net;
+  net.add_node("A");
+  net.add_node("B");
+  Link& l = net.add_link("A", "B",
+                         std::make_unique<FifoScheduler>(1.5e6, 12000), 0.0);
+  DelayMeter meter;
+  net.node("B").set_sink(1, &meter);
+  net.node("A").set_route(1, &l);
+
+  // Two 12 kb packets injected at t=0: transmissions finish at 8 ms, 16 ms.
+  net.events().schedule(0.0, [&] {
+    Packet p = mk(1, 50000);
+    p.source_time = p.edge_time = 0.0;
+    net.node("A").receive(0.0, p);
+    Packet p2 = mk(1, 50000);
+    p2.seq = 1;
+    p2.source_time = p2.edge_time = 0.0;
+    net.node("A").receive(0.0, p2);
+  });
+  net.run_all();
+  ASSERT_EQ(meter.total_packets(), 2u);
+  const auto& rec = meter.record(1);
+  EXPECT_NEAR(rec.core_delay.min(), 0.008, 1e-12);
+  EXPECT_NEAR(rec.core_delay.max(), 0.016, 1e-12);
+  EXPECT_EQ(l.packets_sent(), 2u);
+  EXPECT_DOUBLE_EQ(l.bits_sent(), 24000.0);
+}
+
+TEST(Network, PropagationDelayAdds) {
+  Network net;
+  net.add_node("A");
+  net.add_node("B");
+  net.add_link("A", "B", std::make_unique<FifoScheduler>(1.5e6, 12000),
+               0.050);
+  DelayMeter meter;
+  net.install_flow_path(7, {"A", "B"}, &meter);
+  net.events().schedule(0.0, [&] {
+    Packet p = mk(7, 50000);
+    net.node("A").receive(0.0, p);
+  });
+  net.run_all();
+  EXPECT_NEAR(meter.record(7).core_delay.mean(), 0.058, 1e-12);
+}
+
+TEST(Network, MultiHopPathDelivery) {
+  Network net;
+  for (const char* n : {"A", "B", "C"}) net.add_node(n);
+  net.add_link("A", "B", std::make_unique<CsvcScheduler>(1.5e6, 12000), 0.0);
+  net.add_link("B", "C", std::make_unique<CsvcScheduler>(1.5e6, 12000), 0.0);
+  DelayMeter meter;
+  net.install_flow_path(1, {"A", "B", "C"}, &meter);
+  net.events().schedule(0.0, [&] {
+    Packet p = mk(1, 50000);
+    net.node("A").receive(0.0, p);
+  });
+  net.run_all();
+  EXPECT_EQ(meter.total_packets(), 1u);
+  EXPECT_NEAR(meter.record(1).core_delay.mean(), 0.016, 1e-12);
+}
+
+TEST(Network, UnroutedPacketsCountedAsDropped) {
+  Network net;
+  net.add_node("A");
+  net.events().schedule(0.0, [&] { net.node("A").receive(0.0, mk(99, 1)); });
+  net.run_all();
+  EXPECT_EQ(net.node("A").packets_dropped(), 1u);
+}
+
+TEST(Network, DuplicateNodeIsContractViolation) {
+  Network net;
+  net.add_node("A");
+  EXPECT_THROW(net.add_node("A"), std::logic_error);
+  EXPECT_THROW(net.node("Z"), std::logic_error);
+}
+
+TEST(DelayMeter, ViolationAccounting) {
+  DelayMeter meter;
+  meter.set_bounds(1, 0.010, 0.020);
+  Packet p = mk(1, 50000);
+  p.edge_time = 0.0;
+  p.source_time = 0.0;
+  meter.deliver(0.005, p);  // within both bounds
+  meter.deliver(0.015, p);  // violates core bound only
+  meter.deliver(0.025, p);  // violates both
+  const auto& rec = meter.record(1);
+  EXPECT_EQ(rec.core_violations, 2u);
+  EXPECT_EQ(rec.total_violations, 1u);
+  EXPECT_EQ(meter.total_violations(), 3u);
+  EXPECT_NEAR(rec.min_core_slack, -0.015, 1e-12);
+}
+
+TEST(Network, LinksOnPathValidates) {
+  Network net;
+  net.add_node("A");
+  net.add_node("B");
+  net.add_link("A", "B", std::make_unique<FifoScheduler>(1e6, 12000), 0.0);
+  EXPECT_EQ(net.links_on_path({"A", "B"}).size(), 1u);
+  EXPECT_THROW(net.links_on_path({"A"}), std::logic_error);
+  EXPECT_THROW(net.links_on_path({"B", "A"}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace qosbb

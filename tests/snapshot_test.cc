@@ -1,0 +1,199 @@
+// Tests for broker state snapshot / crash recovery: round trip fidelity,
+// id preservation, MIB reconstruction, quiescence precondition, and
+// hostile-frame handling.
+
+#include <gtest/gtest.h>
+
+#include "core/broker.h"
+#include "core/wire.h"
+#include "topo/fig8.h"
+#include "util/rng.h"
+
+namespace qosbb {
+namespace {
+
+TrafficProfile type0() {
+  return TrafficProfile::make(60000, 50000, 100000, 12000);
+}
+
+TrafficProfile type2() {
+  return TrafficProfile::make(36000, 30000, 100000, 12000);
+}
+
+/// A broker with mixed state: per-flow reservations on both paths, two
+/// classes, two macroflows.
+std::unique_ptr<BandwidthBroker> populated_broker() {
+  auto bb = std::make_unique<BandwidthBroker>(
+      fig8_topology(Fig8Setting::kMixed),
+      BrokerOptions{ContingencyMethod::kFeedback});
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(bb->request_service({type0(), 2.19, "I1", "E1"}).is_ok());
+  }
+  EXPECT_TRUE(bb->request_service({type2(), 2.91, "I2", "E2"}).is_ok());
+  const ClassId gold = bb->define_class(2.19, 0.10, "gold");
+  const ClassId silver = bb->define_class(2.91, 0.24, "silver");
+  for (int i = 0; i < 3; ++i) {
+    auto j = bb->request_class_service(gold, type0(), "I1", "E1",
+                                       10.0 + i, 0.0);
+    EXPECT_TRUE(j.admitted);
+  }
+  auto j = bb->request_class_service(silver, type2(), "I2", "E2", 20.0, 0.0);
+  EXPECT_TRUE(j.admitted);
+  return bb;
+}
+
+/// Every piece of link-level accounting must agree between two brokers.
+void expect_same_mibs(const BandwidthBroker& a, const BandwidthBroker& b) {
+  for (const auto& l : a.spec().links) {
+    const std::string name = l.from + "->" + l.to;
+    const LinkQosState& la = a.nodes().link(name);
+    const LinkQosState& lb = b.nodes().link(name);
+    EXPECT_NEAR(la.reserved(), lb.reserved(), 1e-6) << name;
+    EXPECT_NEAR(la.buffer_reserved(), lb.buffer_reserved(), 1e-6) << name;
+    ASSERT_EQ(la.edf_buckets().size(), lb.edf_buckets().size()) << name;
+    for (const auto& [d, bucket] : la.edf_buckets()) {
+      ASSERT_TRUE(lb.edf_buckets().contains(d)) << name << " knot " << d;
+      EXPECT_NEAR(bucket.sum_rate, lb.edf_buckets().at(d).sum_rate, 1e-6);
+      EXPECT_EQ(bucket.count, lb.edf_buckets().at(d).count);
+    }
+  }
+}
+
+TEST(Snapshot, RoundTripReconstructsEverything) {
+  auto original = populated_broker();
+  auto frame = original->snapshot();
+  ASSERT_TRUE(frame.is_ok()) << frame.status().to_string();
+  EXPECT_EQ(peek_type(frame.value()).value(), MessageType::kBrokerSnapshot);
+
+  auto restored = BandwidthBroker::restore(
+      fig8_topology(Fig8Setting::kMixed),
+      BrokerOptions{ContingencyMethod::kFeedback}, frame.value());
+  ASSERT_TRUE(restored.is_ok()) << restored.status().to_string();
+  BandwidthBroker& bb = *restored.value();
+
+  EXPECT_EQ(bb.flows().count(), original->flows().count());
+  EXPECT_EQ(bb.classes().macroflow_count(),
+            original->classes().macroflow_count());
+  expect_same_mibs(*original, bb);
+  // Flow records identical, ids preserved.
+  for (const auto& [id, rec] : original->flows().all()) {
+    auto got = bb.flows().get(id);
+    ASSERT_TRUE(got.is_ok()) << "flow " << id;
+    EXPECT_EQ(got.value().kind, rec.kind);
+    EXPECT_EQ(got.value().profile, rec.profile);
+    EXPECT_NEAR(got.value().reservation.rate, rec.reservation.rate, 1e-9);
+    EXPECT_EQ(got.value().path, rec.path);
+  }
+}
+
+TEST(Snapshot, RestoredBrokerKeepsWorking) {
+  auto original = populated_broker();
+  // Record what the original would do next.
+  auto frame = original->snapshot().value();
+  auto next_original = original->request_service({type0(), 2.19, "I1", "E1"});
+
+  auto restored = BandwidthBroker::restore(
+      fig8_topology(Fig8Setting::kMixed),
+      BrokerOptions{ContingencyMethod::kFeedback}, frame);
+  ASSERT_TRUE(restored.is_ok());
+  BandwidthBroker& bb = *restored.value();
+  // The restored broker makes the SAME next decision...
+  auto next_restored = bb.request_service({type0(), 2.19, "I1", "E1"});
+  ASSERT_EQ(next_original.is_ok(), next_restored.is_ok());
+  if (next_original.is_ok()) {
+    EXPECT_NEAR(next_restored.value().params.rate,
+                next_original.value().params.rate, 1e-6);
+  }
+  // ...and can tear down pre-crash state (id continuity).
+  for (const auto& [id, rec] : bb.flows().all()) {
+    if (rec.kind == FlowKind::kPerFlow && id != next_restored.value().flow) {
+      EXPECT_TRUE(bb.release_service(id).is_ok()) << id;
+      break;
+    }
+  }
+}
+
+TEST(Snapshot, MicroflowLeaveWorksAfterRestore) {
+  auto original = populated_broker();
+  auto frame = original->snapshot().value();
+  auto restored = BandwidthBroker::restore(
+      fig8_topology(Fig8Setting::kMixed),
+      BrokerOptions{ContingencyMethod::kFeedback}, frame);
+  ASSERT_TRUE(restored.is_ok());
+  BandwidthBroker& bb = *restored.value();
+  // Find a microflow and leave.
+  FlowId micro = kInvalidFlowId;
+  for (const auto& [id, rec] : bb.flows().all()) {
+    if (rec.kind == FlowKind::kMicroflow) {
+      micro = id;
+      break;
+    }
+  }
+  ASSERT_NE(micro, kInvalidFlowId);
+  auto leave = bb.leave_class_service(micro, 100.0, 0.0);
+  ASSERT_TRUE(leave.is_ok()) << leave.status().to_string();
+}
+
+TEST(Snapshot, RequiresQuiescence) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kRateBasedOnly),
+                     BrokerOptions{ContingencyMethod::kBounding});
+  const ClassId cls = bb.define_class(2.44, 0.0);
+  ASSERT_TRUE(bb.request_class_service(cls, type0(), "I1", "E1", 0.0)
+                  .admitted);
+  auto j2 = bb.request_class_service(cls, type0(), "I1", "E1", 1.0);
+  ASSERT_TRUE(j2.admitted);
+  ASSERT_NE(j2.grant, kInvalidGrantId);  // live transient
+  auto frame = bb.snapshot();
+  EXPECT_FALSE(frame.is_ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kFailedPrecondition);
+  // After the grant expires, snapshotting works.
+  bb.expire_contingency(j2.grant, j2.contingency_expires_at);
+  EXPECT_TRUE(bb.snapshot().is_ok());
+}
+
+TEST(Snapshot, EmptyBrokerRoundTrips) {
+  BandwidthBroker bb(fig8_topology(Fig8Setting::kRateBasedOnly));
+  auto frame = bb.snapshot();
+  ASSERT_TRUE(frame.is_ok());
+  auto restored = BandwidthBroker::restore(
+      fig8_topology(Fig8Setting::kRateBasedOnly), BrokerOptions{},
+      frame.value());
+  ASSERT_TRUE(restored.is_ok());
+  EXPECT_EQ(restored.value()->flows().count(), 0u);
+  EXPECT_DOUBLE_EQ(restored.value()->nodes().total_reserved(), 0.0);
+}
+
+TEST(Snapshot, HostileFramesAreCleanErrors) {
+  auto original = populated_broker();
+  const auto frame = original->snapshot().value();
+  const DomainSpec spec = fig8_topology(Fig8Setting::kMixed);
+  // Truncations.
+  for (std::size_t n : {0ul, 4ul, 8ul, 20ul, frame.size() - 1}) {
+    std::vector<std::uint8_t> cut(frame.begin(),
+                                  frame.begin() + static_cast<long>(n));
+    EXPECT_FALSE(BandwidthBroker::restore(spec, {}, cut).is_ok()) << n;
+  }
+  // Wrong message type.
+  EXPECT_FALSE(BandwidthBroker::restore(
+                   spec, {}, encode(TeardownRequest{1}))
+                   .is_ok());
+  // Random mutations must never crash (they may fail decode or trip a
+  // booking REQUIRE, both reported as exceptions or Status; catch both).
+  Rng rng(5);
+  int clean = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto mutated = frame;
+    mutated[static_cast<std::size_t>(rng.uniform_int(
+        8, static_cast<std::int64_t>(mutated.size()) - 1))] ^= 0xff;
+    try {
+      auto out = BandwidthBroker::restore(spec, {}, mutated);
+      if (!out.is_ok()) ++clean;
+    } catch (const std::logic_error&) {
+      ++clean;  // booking invariant tripped: detected, not corrupted
+    }
+  }
+  EXPECT_GT(clean, 0);
+}
+
+}  // namespace
+}  // namespace qosbb

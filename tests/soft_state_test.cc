@@ -1,0 +1,126 @@
+// Tests for RSVP-style soft state: refresh keeps router state alive, a dead
+// sender's state decays and frees resources, explicit teardown cancels
+// timers, and the message overhead scales as h·T/R.
+
+#include <gtest/gtest.h>
+
+#include "gs/soft_state.h"
+#include "topo/fig8.h"
+
+namespace qosbb {
+namespace {
+
+TrafficProfile type0() {
+  return TrafficProfile::make(60000, 50000, 100000, 12000);
+}
+
+RsvpSoftStateDomain::Options fast_options() {
+  RsvpSoftStateDomain::Options opt;
+  opt.refresh_period = 1.0;
+  opt.lifetime_refreshes = 3;
+  opt.jitter = 0.0;  // deterministic timing for the assertions below
+  return opt;
+}
+
+TEST(SoftState, RefreshKeepsStateAlive) {
+  EventQueue events;
+  RsvpSoftStateDomain rsvp(fig8_gs_topology(Fig8Setting::kRateBasedOnly),
+                           events, fast_options(), 1);
+  auto res = rsvp.reserve(fig8_path_s1(), type0(), 2.44);
+  ASSERT_TRUE(res.admitted);
+  events.run_until(50.0);
+  EXPECT_TRUE(rsvp.alive(res.flow));
+  EXPECT_EQ(rsvp.expired_flows(), 0u);
+  EXPECT_NEAR(rsvp.domain().router_state("R2->R3").reserved(), 50000, 1e-6);
+  // ~50 refreshes × 5 hops.
+  EXPECT_NEAR(static_cast<double>(rsvp.refresh_messages()), 50.0 * 5.0, 10.0);
+}
+
+TEST(SoftState, DeadSenderStateDecays) {
+  EventQueue events;
+  RsvpSoftStateDomain rsvp(fig8_gs_topology(Fig8Setting::kRateBasedOnly),
+                           events, fast_options(), 1);
+  auto res = rsvp.reserve(fig8_path_s1(), type0(), 2.44);
+  ASSERT_TRUE(res.admitted);
+  events.schedule(10.0, [&] { rsvp.stop_refreshing(res.flow); });
+  events.run_until(10.0 + 1.5);  // within the 3 s lifetime
+  EXPECT_TRUE(rsvp.alive(res.flow));
+  events.run_until(10.0 + 5.0);  // past it
+  EXPECT_FALSE(rsvp.alive(res.flow));
+  EXPECT_EQ(rsvp.expired_flows(), 1u);
+  // Router resources reclaimed without any teardown message.
+  EXPECT_DOUBLE_EQ(rsvp.domain().router_state("R2->R3").reserved(), 0.0);
+}
+
+TEST(SoftState, ExplicitTeardownCancelsTimers) {
+  EventQueue events;
+  RsvpSoftStateDomain rsvp(fig8_gs_topology(Fig8Setting::kRateBasedOnly),
+                           events, fast_options(), 1);
+  auto res = rsvp.reserve(fig8_path_s1(), type0(), 2.44);
+  ASSERT_TRUE(res.admitted);
+  events.run_until(5.0);
+  ASSERT_TRUE(rsvp.release(res.flow).is_ok());
+  EXPECT_FALSE(rsvp.alive(res.flow));
+  const std::uint64_t msgs = rsvp.refresh_messages();
+  events.run_until(100.0);  // stale timers must all be no-ops
+  EXPECT_EQ(rsvp.refresh_messages(), msgs);
+  EXPECT_EQ(rsvp.expired_flows(), 0u);
+  EXPECT_FALSE(rsvp.release(res.flow).is_ok());
+}
+
+TEST(SoftState, OverheadScalesWithFlowsAndInverseRefreshPeriod) {
+  auto run = [](double period, int flows) {
+    EventQueue events;
+    RsvpSoftStateDomain::Options opt;
+    opt.refresh_period = period;
+    opt.lifetime_refreshes = 3;
+    opt.jitter = 0.0;
+    RsvpSoftStateDomain rsvp(fig8_gs_topology(Fig8Setting::kRateBasedOnly),
+                             events, opt, 1);
+    for (int i = 0; i < flows; ++i) {
+      auto res = rsvp.reserve(fig8_path_s1(), type0(), 2.44);
+      EXPECT_TRUE(res.admitted);
+    }
+    events.run_until(100.0);
+    return rsvp.refresh_messages();
+  };
+  const auto base = run(2.0, 10);
+  EXPECT_NEAR(static_cast<double>(run(1.0, 10)),
+              2.0 * static_cast<double>(base),
+              0.1 * static_cast<double>(base));
+  EXPECT_NEAR(static_cast<double>(run(2.0, 20)),
+              2.0 * static_cast<double>(base),
+              0.1 * static_cast<double>(base));
+}
+
+TEST(SoftState, JitterDesynchronizesButKeepsAlive) {
+  EventQueue events;
+  RsvpSoftStateDomain::Options opt;
+  opt.refresh_period = 1.0;
+  opt.lifetime_refreshes = 3;
+  opt.jitter = 0.5;
+  RsvpSoftStateDomain rsvp(fig8_gs_topology(Fig8Setting::kRateBasedOnly),
+                           events, opt, 42);
+  std::vector<FlowId> flows;
+  for (int i = 0; i < 10; ++i) {
+    auto res = rsvp.reserve(fig8_path_s1(), type0(), 2.44);
+    ASSERT_TRUE(res.admitted);
+    flows.push_back(res.flow);
+  }
+  events.run_until(60.0);
+  for (FlowId f : flows) EXPECT_TRUE(rsvp.alive(f));
+  EXPECT_EQ(rsvp.expired_flows(), 0u);
+}
+
+TEST(SoftState, OptionContracts) {
+  EventQueue events;
+  RsvpSoftStateDomain::Options bad;
+  bad.refresh_period = 0.0;
+  EXPECT_THROW(RsvpSoftStateDomain(
+                   fig8_gs_topology(Fig8Setting::kRateBasedOnly), events,
+                   bad, 1),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace qosbb

@@ -1,0 +1,132 @@
+// Tests for statistical (Hoeffding effective-bandwidth) admission: gains
+// over deterministic reservation, monotonicity in ε, bookkeeping, and a
+// Monte-Carlo check that the realized overflow probability respects ε.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/broker.h"
+#include "core/stat_admission.h"
+#include "topo/fig8.h"
+#include "util/rng.h"
+
+namespace qosbb {
+namespace {
+
+TrafficProfile type0() {
+  return TrafficProfile::make(60000, 50000, 100000, 12000);
+}
+
+/// Fill at a 15 Mb/s core — statistical multiplexing needs flows that are
+/// small relative to the pipe (the sqrt(n) headroom must amortize).
+int fill_statistical(double epsilon, double capacity = 15e6) {
+  StatisticalAdmission stat(
+      fig8_topology(Fig8Setting::kRateBasedOnly, capacity), epsilon);
+  int n = 0;
+  while (stat.request_service(type0(), "I1", "E1").is_ok()) ++n;
+  return n;
+}
+
+TEST(StatAdmission, HeadroomFormula) {
+  // sqrt(ln(1/ε)·ΣP²/2): one flow at P=100k, ε=e^{-2} → sqrt(1e10) = 1e5.
+  EXPECT_NEAR(StatisticalAdmission::headroom(1e10, std::exp(-2.0)), 1e5,
+              1e-3);
+  EXPECT_DOUBLE_EQ(StatisticalAdmission::headroom(0.0, 0.5), 0.0);
+}
+
+TEST(StatAdmission, BeatsPeakRateAllocationForLowDelayService) {
+  // The meaningful baseline: LOW-DELAY deterministic service needs
+  // near-peak reservations (the shaping delay T_on(P−r)/r blows up below
+  // the peak), carrying only C/P = 150 flows on a 15 Mb/s core.
+  // Statistical admission books Σρ + O(sqrt(n)·P) and admits far more —
+  // while staying below the Σρ = C ceiling (300) that bounds ANY scheme.
+  const int peak_det = 150;
+  const int mean_ceiling = 300;
+  const int loose = fill_statistical(1e-2);
+  const int tight = fill_statistical(1e-6);
+  EXPECT_GT(loose, peak_det);
+  EXPECT_GT(tight, peak_det);
+  EXPECT_LT(loose, mean_ceiling);
+  EXPECT_LT(tight, mean_ceiling);
+  // Monotone: looser ε admits at least as many flows.
+  EXPECT_GE(loose, tight);
+}
+
+TEST(StatAdmission, EpsilonSweepIsMonotone) {
+  int prev = 1 << 30;
+  for (double eps : {1e-1, 1e-2, 1e-3, 1e-4, 1e-6}) {
+    const int n = fill_statistical(eps);
+    EXPECT_LE(n, prev) << "eps " << eps;
+    prev = n;
+  }
+}
+
+TEST(StatAdmission, ReleaseRestoresState) {
+  StatisticalAdmission stat(fig8_topology(Fig8Setting::kRateBasedOnly),
+                            1e-3);
+  auto a = stat.request_service(type0(), "I1", "E1");
+  auto b = stat.request_service(type0(), "I1", "E1");
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_EQ(stat.link_state("R2->R3").flows, 2u);
+  EXPECT_DOUBLE_EQ(stat.link_state("R2->R3").sum_mean, 100000);
+  ASSERT_TRUE(stat.release_service(a.value().flow).is_ok());
+  ASSERT_TRUE(stat.release_service(b.value().flow).is_ok());
+  EXPECT_EQ(stat.link_state("R2->R3").flows, 0u);
+  EXPECT_DOUBLE_EQ(stat.link_state("R2->R3").sum_mean, 0.0);
+  EXPECT_DOUBLE_EQ(stat.link_state("R2->R3").sum_peak_sq, 0.0);
+  EXPECT_FALSE(stat.release_service(a.value().flow).is_ok());
+}
+
+TEST(StatAdmission, SharedLinksAccountBothPaths) {
+  StatisticalAdmission stat(fig8_topology(Fig8Setting::kRateBasedOnly),
+                            1e-3);
+  ASSERT_TRUE(stat.request_service(type0(), "I1", "E1").is_ok());
+  ASSERT_TRUE(stat.request_service(type0(), "I2", "E2").is_ok());
+  EXPECT_EQ(stat.link_state("R2->R3").flows, 2u);
+  EXPECT_EQ(stat.link_state("I1->R2").flows, 1u);
+}
+
+TEST(StatAdmission, ContractChecks) {
+  EXPECT_THROW(
+      StatisticalAdmission(fig8_topology(Fig8Setting::kRateBasedOnly), 0.0),
+      std::logic_error);
+  EXPECT_THROW(
+      StatisticalAdmission(fig8_topology(Fig8Setting::kRateBasedOnly), 1.0),
+      std::logic_error);
+  StatisticalAdmission stat(fig8_topology(Fig8Setting::kRateBasedOnly),
+                            1e-3);
+  EXPECT_THROW(stat.link_state("nope"), std::logic_error);
+  EXPECT_FALSE(stat.request_service(type0(), "I1", "nowhere").is_ok());
+}
+
+TEST(StatAdmission, MonteCarloOverflowStaysBelowEpsilon) {
+  // Fill at ε = 1e-2, then sample the stationary on–off aggregate: each
+  // admitted flow is ON (at peak P) independently with probability ρ/P.
+  // The empirical overflow frequency must be <= ε (Hoeffding is not tight,
+  // so it is usually far below).
+  const double eps = 1e-2;
+  const double capacity = 15e6;
+  StatisticalAdmission stat(
+      fig8_topology(Fig8Setting::kRateBasedOnly, capacity), eps);
+  int n = 0;
+  while (stat.request_service(type0(), "I1", "E1").is_ok()) ++n;
+  ASSERT_GT(n, 150);
+  Rng rng(4242);
+  const double p_on = type0().rho / type0().peak;  // 0.5
+  const int trials = 20000;
+  int overflow = 0;
+  for (int t = 0; t < trials; ++t) {
+    double load = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (rng.bernoulli(p_on)) load += type0().peak;
+    }
+    if (load > capacity) ++overflow;
+  }
+  const double realized = static_cast<double>(overflow) / trials;
+  EXPECT_LE(realized, eps) << "admitted " << n;
+}
+
+}  // namespace
+}  // namespace qosbb

@@ -1,0 +1,145 @@
+// Unit tests for topology: graph, Dijkstra routing, Figure-8 domain specs.
+
+#include <gtest/gtest.h>
+
+#include "topo/fig8.h"
+#include "topo/graph.h"
+#include "topo/routing.h"
+
+namespace qosbb {
+namespace {
+
+Graph diamond() {
+  // A -> B -> D (weight 1+1) and A -> C -> D (weight 2+2).
+  Graph g;
+  g.add_node("A");
+  g.add_node("B");
+  g.add_node("C");
+  g.add_node("D");
+  g.add_edge("A", "B", 1.0);
+  g.add_edge("B", "D", 1.0);
+  g.add_edge("A", "C", 2.0);
+  g.add_edge("C", "D", 2.0);
+  return g;
+}
+
+TEST(Graph, BasicAccessors) {
+  Graph g = diamond();
+  EXPECT_EQ(g.node_count(), 4);
+  EXPECT_EQ(g.edge_count(), 4);
+  EXPECT_EQ(g.name(0), "A");
+  EXPECT_EQ(g.index("C"), 2);
+  EXPECT_EQ(g.index("nope"), kInvalidNode);
+  EXPECT_EQ(g.edges_from(0).size(), 2u);
+}
+
+TEST(Graph, Contracts) {
+  Graph g = diamond();
+  EXPECT_THROW(g.add_node("A"), std::logic_error);
+  EXPECT_THROW(g.add_edge("A", "nope"), std::logic_error);
+  EXPECT_THROW(g.add_edge(0, 99), std::logic_error);
+  EXPECT_THROW(g.edge(99), std::logic_error);
+}
+
+TEST(Routing, ShortestPathPrefersLowWeight) {
+  Graph g = diamond();
+  auto p = shortest_path(g, "A", "D");
+  ASSERT_TRUE(p.is_ok());
+  EXPECT_EQ(p.value(), (std::vector<std::string>{"A", "B", "D"}));
+}
+
+TEST(Routing, UnreachableReturnsNotFound) {
+  Graph g = diamond();
+  g.add_node("Z");
+  auto p = shortest_path(g, "A", "Z");
+  EXPECT_FALSE(p.is_ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kNotFound);
+  auto q = shortest_path(g, "missing", "A");
+  EXPECT_EQ(q.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Routing, TrivialSelfPath) {
+  Graph g = diamond();
+  auto p = shortest_path(g, 0, 0);
+  ASSERT_TRUE(p.is_ok());
+  EXPECT_EQ(p.value().size(), 1u);
+}
+
+TEST(Routing, ShortestPathTreeCoversReachable) {
+  Graph g = diamond();
+  auto tree = shortest_path_tree(g, 0);
+  EXPECT_EQ(tree[3], (std::vector<NodeIndex>{0, 1, 3}));
+  EXPECT_EQ(tree[0], (std::vector<NodeIndex>{0}));
+}
+
+TEST(Fig8, TopologyShape) {
+  const DomainSpec spec = fig8_topology(Fig8Setting::kRateBasedOnly);
+  EXPECT_EQ(spec.nodes.size(), 8u);
+  EXPECT_EQ(spec.links.size(), 7u);
+  EXPECT_DOUBLE_EQ(spec.l_max, 12000.0);
+  for (const auto& l : spec.links) {
+    EXPECT_DOUBLE_EQ(l.capacity, 1.5e6);
+    EXPECT_DOUBLE_EQ(l.propagation_delay, 0.0);
+    EXPECT_EQ(l.policy, SchedPolicy::kCsvc);
+  }
+}
+
+TEST(Fig8, MixedSettingMatchesPaper) {
+  const DomainSpec spec = fig8_topology(Fig8Setting::kMixed);
+  // Delay-based: R3->R4, R4->R5, R5->E2; everything else rate-based.
+  EXPECT_EQ(spec.link("R3", "R4").policy, SchedPolicy::kVtEdf);
+  EXPECT_EQ(spec.link("R4", "R5").policy, SchedPolicy::kVtEdf);
+  EXPECT_EQ(spec.link("R5", "E2").policy, SchedPolicy::kVtEdf);
+  EXPECT_EQ(spec.link("I1", "R2").policy, SchedPolicy::kCsvc);
+  EXPECT_EQ(spec.link("R2", "R3").policy, SchedPolicy::kCsvc);
+  EXPECT_EQ(spec.link("R5", "E1").policy, SchedPolicy::kCsvc);
+}
+
+TEST(Fig8, GsTopologyMapsSchedulers) {
+  const DomainSpec spec = fig8_gs_topology(Fig8Setting::kMixed);
+  EXPECT_EQ(spec.link("I1", "R2").policy, SchedPolicy::kVc);
+  EXPECT_EQ(spec.link("R3", "R4").policy, SchedPolicy::kRcEdf);
+}
+
+TEST(Fig8, PathsHaveFiveHops) {
+  EXPECT_EQ(fig8_path_s1().size(), 6u);
+  EXPECT_EQ(fig8_path_s2().size(), 6u);
+  const Graph g = fig8_topology(Fig8Setting::kMixed).to_graph();
+  auto p1 = shortest_path(g, "I1", "E1");
+  ASSERT_TRUE(p1.is_ok());
+  EXPECT_EQ(p1.value(), fig8_path_s1());
+  auto p2 = shortest_path(g, "I2", "E2");
+  ASSERT_TRUE(p2.is_ok());
+  EXPECT_EQ(p2.value(), fig8_path_s2());
+}
+
+TEST(Fig8, MakeSchedulerCoversAllPolicies) {
+  for (SchedPolicy p :
+       {SchedPolicy::kCsvc, SchedPolicy::kCjvc, SchedPolicy::kVtEdf,
+        SchedPolicy::kVc, SchedPolicy::kWfq, SchedPolicy::kRcEdf,
+        SchedPolicy::kFifo}) {
+    auto s = make_scheduler(p, 1.5e6, 12000);
+    ASSERT_NE(s, nullptr);
+    EXPECT_STREQ(s->name(), sched_policy_name(p));
+    EXPECT_EQ(s->kind() == SchedulerKind::kRateBased, is_rate_based(p));
+  }
+}
+
+TEST(Fig8, BuildNetworkInstantiatesEverything) {
+  const DomainSpec spec = fig8_topology(Fig8Setting::kMixed);
+  Network net;
+  build_network(spec, net);
+  for (const auto& n : spec.nodes) EXPECT_TRUE(net.has_node(n));
+  for (const auto& l : spec.links) EXPECT_TRUE(net.has_link(l.from, l.to));
+  EXPECT_STREQ(net.link("R3", "R4").scheduler().name(), "VT-EDF");
+}
+
+TEST(Fig8, StatefulPolicyClassification) {
+  EXPECT_TRUE(is_stateful(SchedPolicy::kVc));
+  EXPECT_TRUE(is_stateful(SchedPolicy::kRcEdf));
+  EXPECT_FALSE(is_stateful(SchedPolicy::kCsvc));
+  EXPECT_FALSE(is_stateful(SchedPolicy::kVtEdf));
+}
+
+}  // namespace
+}  // namespace qosbb

@@ -1,0 +1,86 @@
+// Tests for the packet trace ring buffer and its VTRS hook integration.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "sim/trace.h"
+#include "topo/fig8.h"
+#include "vtrs/provisioned_network.h"
+
+namespace qosbb {
+namespace {
+
+TraceEvent ev(double t, FlowId flow, int hop) {
+  TraceEvent e;
+  e.time = t;
+  e.flow = flow;
+  e.hop_index = hop;
+  e.point = "X->Y";
+  return e;
+}
+
+TEST(PacketTrace, RecordsInOrder) {
+  PacketTrace trace(16);
+  trace.record(ev(0.1, 1, 0));
+  trace.record(ev(0.2, 1, 1));
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_DOUBLE_EQ(trace.events()[0].time, 0.1);
+  EXPECT_DOUBLE_EQ(trace.events()[1].time, 0.2);
+  EXPECT_FALSE(trace.overflowed());
+}
+
+TEST(PacketTrace, RingEvictsOldest) {
+  PacketTrace trace(4);
+  for (int i = 0; i < 10; ++i) trace.record(ev(i, i, 0));
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.total_recorded(), 10u);
+  EXPECT_TRUE(trace.overflowed());
+  EXPECT_DOUBLE_EQ(trace.events().front().time, 6.0);
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.total_recorded(), 0u);
+}
+
+TEST(PacketTrace, CsvDump) {
+  PacketTrace trace(4);
+  trace.record(ev(1.5, 7, 2));
+  std::ostringstream os;
+  trace.dump_csv(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("time,kind,flow,seq,hop,virtual_time,point"),
+            std::string::npos);
+  EXPECT_NE(s.find("1.5,hop,7,0,2,0,X->Y"), std::string::npos);
+}
+
+TEST(PacketTrace, ZeroCapacityIsContractViolation) {
+  EXPECT_THROW(PacketTrace(0), std::logic_error);
+}
+
+TEST(PacketTrace, HookIntegrationRecordsEveryHop) {
+  const DomainSpec spec = fig8_topology(Fig8Setting::kRateBasedOnly);
+  ProvisionedNetwork pn(spec, /*trace_capacity=*/1024);
+  const TrafficProfile type0 =
+      TrafficProfile::make(60000, 50000, 100000, 12000);
+  pn.install_flow(1, fig8_path_s1(), 50000, 0.0);
+  pn.attach_source(1, std::make_unique<CbrSource>(type0, 0.0), 1, 2.0)
+      .start();
+  pn.run_all();
+  // CBR at 0.24 s spacing over [0, 2]: 9 packets × 5 hops.
+  const std::uint64_t packets = pn.meter().record(1).total_delay.count();
+  EXPECT_EQ(pn.trace().total_recorded(), packets * 5);
+  // Virtual time in the trace advances along the path.
+  const auto& first = pn.trace().events().front();
+  EXPECT_EQ(first.kind, TraceEventKind::kHopDeparture);
+  EXPECT_EQ(first.hop_index, 1);  // recorded after the update
+  EXPECT_GT(first.virtual_time, 0.0);
+}
+
+TEST(PacketTrace, DisabledByDefault) {
+  ProvisionedNetwork pn(fig8_topology(Fig8Setting::kRateBasedOnly));
+  EXPECT_THROW(pn.trace(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace qosbb

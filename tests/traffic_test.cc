@@ -1,0 +1,210 @@
+// Unit tests for traffic: token buckets, profiles, envelopes, and source
+// conformance (every source must emit a sequence conforming to its own
+// dual-token-bucket profile — the precondition of all VTRS bounds).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "traffic/envelope.h"
+#include "traffic/profile.h"
+#include "traffic/source.h"
+#include "traffic/token_bucket.h"
+#include "util/rng.h"
+
+namespace qosbb {
+namespace {
+
+TrafficProfile type0() {
+  return TrafficProfile::make(60000, 50000, 100000, 12000);
+}
+
+TEST(TokenBucket, StartsFullAndDrains) {
+  TokenBucket tb(10000, 1000);
+  EXPECT_DOUBLE_EQ(tb.tokens_at(0.0), 10000.0);
+  tb.consume(0.0, 4000);
+  EXPECT_DOUBLE_EQ(tb.tokens_at(0.0), 6000.0);
+  EXPECT_DOUBLE_EQ(tb.tokens_at(2.0), 8000.0);  // refilled at 1000/s
+}
+
+TEST(TokenBucket, CapsAtBurst) {
+  TokenBucket tb(1000, 100);
+  tb.consume(0.0, 1000);
+  EXPECT_DOUBLE_EQ(tb.tokens_at(100.0), 1000.0);  // capped
+}
+
+TEST(TokenBucket, EarliestConform) {
+  TokenBucket tb(1000, 100);
+  tb.consume(0.0, 1000);
+  // Needs 500 tokens: 5 seconds at 100/s.
+  EXPECT_DOUBLE_EQ(tb.earliest_conform(0.0, 500), 5.0);
+  EXPECT_DOUBLE_EQ(tb.earliest_conform(10.0, 500), 10.0);
+}
+
+TEST(TokenBucket, OversizedPacketIsContractViolation) {
+  TokenBucket tb(1000, 100);
+  EXPECT_THROW(tb.earliest_conform(0.0, 2000), std::logic_error);
+}
+
+TEST(TokenBucket, NonConformingConsumeIsContractViolation) {
+  TokenBucket tb(1000, 100);
+  tb.consume(0.0, 1000);
+  EXPECT_THROW(tb.consume(0.0, 100), std::logic_error);
+}
+
+TEST(DualTokenBucket, PeakSpacingEnforced) {
+  // (σ=60k, ρ=50k, P=100k, L=12k): back-to-back packets are peak-spaced at
+  // L/P = 0.12 s until the σ bucket empties.
+  DualTokenBucket dtb(60000, 50000, 100000, 12000);
+  Seconds t = dtb.earliest_conform(0.0, 12000);
+  EXPECT_DOUBLE_EQ(t, 0.0);
+  dtb.consume(t, 12000);
+  t = dtb.earliest_conform(t, 12000);
+  EXPECT_DOUBLE_EQ(t, 0.12);
+}
+
+TEST(DualTokenBucket, SustainedRateLimitsLongRun) {
+  DualTokenBucket dtb(60000, 50000, 100000, 12000);
+  Seconds t = 0.0;
+  double bits = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    t = dtb.earliest_conform(t, 12000);
+    dtb.consume(t, 12000);
+    bits += 12000;
+  }
+  // Long-run rate must approach ρ from above: bits <= ρ·t + σ.
+  EXPECT_LE(bits, 50000.0 * t + 60000.0 + 1e-6);
+}
+
+TEST(TrafficProfile, InvariantsEnforced) {
+  EXPECT_THROW(TrafficProfile::make(1000, 100, 50, 1200), std::logic_error);
+  EXPECT_THROW(TrafficProfile::make(100, 100, 200, 1200), std::logic_error);
+  EXPECT_THROW(TrafficProfile::make(1000, 0, 200, 120), std::logic_error);
+}
+
+TEST(TrafficProfile, TOnMatchesPaper) {
+  // Type 0: T_on = (60000−12000)/(100000−50000) = 0.96 s.
+  EXPECT_DOUBLE_EQ(type0().t_on(), 0.96);
+}
+
+TEST(TrafficProfile, EdgeDelayBoundEq3) {
+  // d_edge(ρ) = 0.96·(100k−50k)/50k + 12k/50k = 0.96 + 0.24 = 1.2 s.
+  EXPECT_DOUBLE_EQ(type0().edge_delay_bound(50000), 1.2);
+  // At the peak rate only the packet term remains.
+  EXPECT_DOUBLE_EQ(type0().edge_delay_bound(100000), 0.12);
+  EXPECT_THROW(type0().edge_delay_bound(10000), std::logic_error);
+}
+
+TEST(TrafficProfile, AggregationIsComponentWise) {
+  auto agg = type0() + type0();
+  EXPECT_DOUBLE_EQ(agg.sigma, 120000);
+  EXPECT_DOUBLE_EQ(agg.rho, 100000);
+  EXPECT_DOUBLE_EQ(agg.peak, 200000);
+  EXPECT_DOUBLE_EQ(agg.l_max, 24000);
+  // T_on is invariant under homogeneous aggregation.
+  EXPECT_DOUBLE_EQ(agg.t_on(), type0().t_on());
+  auto back = agg - type0();
+  EXPECT_EQ(back, type0());
+}
+
+TEST(Envelope, WorstCaseDelayMatchesEdgeBound) {
+  for (double r : {50000.0, 60000.0, 80000.0, 100000.0}) {
+    EXPECT_NEAR(worst_case_delay(type0(), r), type0().edge_delay_bound(r),
+                1e-12);
+  }
+}
+
+TEST(Envelope, WorstCaseBacklog) {
+  // At r = ρ: L + (P−ρ)·T_on = 12000 + 48000 = 60000 = σ.
+  EXPECT_NEAR(worst_case_backlog(type0(), 50000), 60000, 1e-9);
+  // At r = P: just one packet.
+  EXPECT_NEAR(worst_case_backlog(type0(), 100000), 12000, 1e-9);
+}
+
+TEST(Envelope, BusyPeriod) {
+  // σ/(r−ρ) with r = 60000: 60000/10000 = 6 s.
+  EXPECT_NEAR(worst_case_busy_period(type0(), 60000), 6.0, 1e-9);
+  EXPECT_THROW(worst_case_busy_period(type0(), 50000), std::logic_error);
+}
+
+// --- Source conformance: every source type must emit within its envelope.
+class SourceConformance : public ::testing::TestWithParam<int> {};
+
+std::unique_ptr<TrafficSource> make_source(int kind, TrafficProfile p) {
+  switch (kind) {
+    case 0: return std::make_unique<GreedySource>(p, 0.0);
+    case 1: return std::make_unique<CbrSource>(p, 0.0);
+    case 2:
+      return std::make_unique<OnOffSource>(p, 0.0, 0.5, 0.5, Rng(42));
+    case 3: return std::make_unique<PoissonSource>(p, 0.0, Rng(43));
+  }
+  return nullptr;
+}
+
+TEST_P(SourceConformance, CumulativeArrivalsWithinEnvelope) {
+  const TrafficProfile p = type0();
+  auto src = make_source(GetParam(), p);
+  double bits = 0.0;
+  Seconds prev = -1.0;
+  for (int i = 0; i < 500; ++i) {
+    auto a = src->next();
+    ASSERT_TRUE(a.has_value());
+    EXPECT_GE(a->time, prev);  // non-decreasing times
+    prev = a->time;
+    bits += a->size;
+    // A(0, t] <= E(t) = min{Pt + L, ρt + σ} evaluated at the arrival time.
+    const double env = std::min(p.peak * a->time + p.l_max,
+                                p.rho * a->time + p.sigma);
+    EXPECT_LE(bits, env + 1e-6) << "packet " << i << " at t=" << a->time;
+  }
+}
+
+std::string source_kind_name(const ::testing::TestParamInfo<int>& info) {
+  switch (info.param) {
+    case 0: return "Greedy";
+    case 1: return "Cbr";
+    case 2: return "OnOff";
+    default: return "Poisson";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSources, SourceConformance,
+                         ::testing::Values(0, 1, 2, 3), source_kind_name);
+
+TEST(GreedySource, TracksEnvelopeTightly) {
+  const TrafficProfile p = type0();
+  GreedySource src(p, 0.0);
+  // First packet at t=0; the burst is spaced at the peak rate.
+  auto a0 = src.next();
+  ASSERT_TRUE(a0);
+  EXPECT_DOUBLE_EQ(a0->time, 0.0);
+  auto a1 = src.next();
+  EXPECT_DOUBLE_EQ(a1->time, 0.12);  // L/P
+  // After the σ bucket drains (≈ T_on), spacing relaxes to L/ρ = 0.24.
+  Seconds prev = a1->time;
+  Seconds spacing = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    auto a = src.next();
+    spacing = a->time - prev;
+    prev = a->time;
+  }
+  EXPECT_NEAR(spacing, 12000.0 / 50000.0, 1e-9);
+}
+
+TEST(BoundedSource, StopsAtCaps) {
+  auto inner = std::make_unique<CbrSource>(type0(), 0.0);
+  BoundedSource src(std::move(inner), 5, 1e9);
+  int n = 0;
+  while (src.next()) ++n;
+  EXPECT_EQ(n, 5);
+
+  auto inner2 = std::make_unique<CbrSource>(type0(), 0.0);
+  BoundedSource src2(std::move(inner2), 1000000, 1.0);
+  n = 0;
+  while (src2.next()) ++n;
+  // CBR spacing 0.24 s: arrivals at 0, 0.24, ..., <= 1.0 → 5 packets.
+  EXPECT_EQ(n, 5);
+}
+
+}  // namespace
+}  // namespace qosbb

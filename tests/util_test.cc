@@ -1,0 +1,210 @@
+// Unit tests for util: Status/Result, Rng, RunningStats, Histogram,
+// TimeWeightedMean, TextTable.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace qosbb {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+}
+
+TEST(Status, RejectedCarriesMessage) {
+  Status s = Status::rejected("not enough bandwidth");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kRejected);
+  EXPECT_EQ(s.message(), "not enough bandwidth");
+  EXPECT_EQ(s.to_string(), "REJECTED: not enough bandwidth");
+}
+
+TEST(Status, CodeNames) {
+  EXPECT_STREQ(status_code_name(StatusCode::kOk), "OK");
+  EXPECT_STREQ(status_code_name(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(status_code_name(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::not_found("flow 7"));
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+  EXPECT_THROW(r.value(), std::logic_error);
+}
+
+TEST(Result, OkStatusWithoutValueIsContractViolation) {
+  EXPECT_THROW(Result<int> r((Status())), std::logic_error);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(kilobits(1.5), 1500.0);
+  EXPECT_DOUBLE_EQ(megabits_per_second(1.5), 1.5e6);
+  EXPECT_DOUBLE_EQ(bytes(1500), 12000.0);
+  EXPECT_DOUBLE_EQ(milliseconds(8), 0.008);
+  EXPECT_DOUBLE_EQ(transmission_time(bytes(1500), megabits_per_second(1.5)),
+                   0.008);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng a(7);
+  Rng c = a.fork();
+  // A forked stream must not replay the parent's stream.
+  Rng a2(7);
+  bool all_equal = true;
+  for (int i = 0; i < 20; ++i) {
+    if (a2.uniform() != c.uniform()) all_equal = false;
+  }
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(Rng, ExponentialMeanCloseToRequested) {
+  Rng r(123);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(200.0);
+  EXPECT_NEAR(sum / n, 200.0, 5.0);
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng r(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    auto v = r.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ContractChecks) {
+  Rng r(1);
+  EXPECT_THROW(r.exponential(0.0), std::logic_error);
+  EXPECT_THROW(r.uniform(2.0, 1.0), std::logic_error);
+  EXPECT_THROW(r.bernoulli(1.5), std::logic_error);
+}
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesCombinedStream) {
+  RunningStats a, b, all;
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0, 10);
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, CountsAndQuantiles) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(i * 0.1);  // uniform over [0, 10)
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1.0);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(99.0);
+  EXPECT_EQ(h.counts().front(), 1u);
+  EXPECT_EQ(h.counts().back(), 1u);
+}
+
+TEST(TimeWeightedMean, PiecewiseConstantSignal) {
+  TimeWeightedMean m;
+  m.update(0.0, 10.0);   // 10 for 2 s
+  m.update(2.0, 0.0);    // 0 for 2 s
+  EXPECT_DOUBLE_EQ(m.mean_so_far(4.0), 5.0);
+  EXPECT_DOUBLE_EQ(m.finish(4.0), 5.0);
+}
+
+TEST(TimeWeightedMean, RejectsTimeTravel) {
+  TimeWeightedMean m;
+  m.update(5.0, 1.0);
+  EXPECT_THROW(m.update(4.0, 1.0), std::logic_error);
+}
+
+TEST(TextTable, AlignedRender) {
+  TextTable t({"scheme", "admitted"});
+  t.add_row({"IntServ/GS", "30"});
+  t.add_row({"Per-flow BB/VTRS", "30"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("scheme"), std::string::npos);
+  EXPECT_NE(s.find("Per-flow BB/VTRS"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, CsvRender) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, RowWidthEnforced) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::fmt(2.44, 2), "2.44");
+  EXPECT_EQ(TextTable::fmt_int(29), "29");
+}
+
+}  // namespace
+}  // namespace qosbb

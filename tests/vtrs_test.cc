@@ -1,0 +1,266 @@
+// Unit tests for the VTRS layer: delay-bound formulas (eqs. 2–4, 18), path
+// abstraction, edge conditioner shaping/stamping, per-hop update rule.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/meter.h"
+#include "sim/network.h"
+#include "topo/fig8.h"
+#include "vtrs/core_hop.h"
+#include "vtrs/delay_bounds.h"
+#include "vtrs/edge_conditioner.h"
+
+namespace qosbb {
+namespace {
+
+TrafficProfile type0() {
+  return TrafficProfile::make(60000, 50000, 100000, 12000);
+}
+
+TEST(PathAbstract, Fig8RateOnlyGeometry) {
+  const DomainSpec spec = fig8_topology(Fig8Setting::kRateBasedOnly);
+  const PathAbstract pa = path_abstract(spec, fig8_path_s1());
+  EXPECT_EQ(pa.hop_count(), 5);
+  EXPECT_EQ(pa.rate_based_count(), 5);
+  EXPECT_EQ(pa.delay_based_count(), 0);
+  // D_tot = 5 · Ψ = 5 · 12000/1.5e6 = 0.04 s (zero propagation).
+  EXPECT_NEAR(pa.total_error_and_prop(), 0.04, 1e-12);
+  EXPECT_DOUBLE_EQ(pa.min_capacity(), 1.5e6);
+}
+
+TEST(PathAbstract, Fig8MixedGeometry) {
+  const DomainSpec spec = fig8_topology(Fig8Setting::kMixed);
+  const PathAbstract s1 = path_abstract(spec, fig8_path_s1());
+  EXPECT_EQ(s1.rate_based_count(), 3);  // I1->R2, R2->R3, R5->E1
+  EXPECT_EQ(s1.delay_based_count(), 2);
+  const PathAbstract s2 = path_abstract(spec, fig8_path_s2());
+  EXPECT_EQ(s2.rate_based_count(), 2);
+  EXPECT_EQ(s2.delay_based_count(), 3);
+}
+
+TEST(DelayBounds, PaperE2eNumbersRateOnly) {
+  // With r = ρ = 50 kb/s on the all-rate-based S1 path, the end-to-end
+  // bound is exactly the paper's loose type-0 bound: 2.44 s.
+  const DomainSpec spec = fig8_topology(Fig8Setting::kRateBasedOnly);
+  const PathAbstract pa = path_abstract(spec, fig8_path_s1());
+  EXPECT_NEAR(e2e_delay_bound(pa, type0(), 50000, 0.0, 12000), 2.44, 1e-12);
+  // Edge and core split: 1.2 + 1.24.
+  EXPECT_NEAR(edge_delay_bound(type0(), 50000), 1.2, 1e-12);
+  EXPECT_NEAR(core_delay_bound(pa, 50000, 0.0, 12000), 1.24, 1e-12);
+}
+
+TEST(DelayBounds, MinRateRateOnlyInvertsBound) {
+  const DomainSpec spec = fig8_topology(Fig8Setting::kRateBasedOnly);
+  const PathAbstract pa = path_abstract(spec, fig8_path_s1());
+  // The minimal rate for D = 2.44 must be exactly ρ.
+  EXPECT_NEAR(min_rate_rate_only(pa, type0(), 2.44), 50000, 1e-6);
+  // For D = 2.19: r_min = 168000/3.11 ≈ 54019.29 (Section 5 narrative).
+  const double r219 = min_rate_rate_only(pa, type0(), 2.19);
+  EXPECT_NEAR(r219, 168000.0 / 3.11, 1e-6);
+  // Round trip: bound at r_min equals the requirement.
+  EXPECT_NEAR(e2e_delay_bound(pa, type0(), r219, 0.0, 12000), 2.19, 1e-9);
+  // A requirement below what even the peak rate can deliver: r_min > P, so
+  // the admission test must reject (the formula itself stays finite as long
+  // as D_req > D_tot − T_on).
+  EXPECT_GT(min_rate_rate_only(pa, type0(), 0.01), type0().peak);
+}
+
+TEST(DelayBounds, MixedBoundUsesDelayParam) {
+  const DomainSpec spec = fig8_topology(Fig8Setting::kMixed);
+  const PathAbstract pa = path_abstract(spec, fig8_path_s1());
+  // q = 3, h−q = 2: d_core = 3·L/r + 2·d + D_tot.
+  const double d = core_delay_bound(pa, 50000, 0.1, 12000);
+  EXPECT_NEAR(d, 3 * 0.24 + 2 * 0.1 + 0.04, 1e-12);
+}
+
+TEST(DelayBounds, RateChangeBoundUsesMinRate) {
+  const DomainSpec spec = fig8_topology(Fig8Setting::kRateBasedOnly);
+  const PathAbstract pa = path_abstract(spec, fig8_path_s1());
+  const double up = core_delay_bound_rate_change(pa, 50000, 100000, 0, 12000);
+  EXPECT_DOUBLE_EQ(up, core_delay_bound(pa, 50000, 0, 12000));
+  const double down =
+      core_delay_bound_rate_change(pa, 100000, 50000, 0, 12000);
+  EXPECT_DOUBLE_EQ(down, core_delay_bound(pa, 50000, 0, 12000));
+}
+
+TEST(EdgeConditioner, EnforcesSpacingAtReservedRate) {
+  Network net;
+  net.add_node("I");
+  struct Capture final : PacketSink {
+    std::vector<Packet> packets;
+    void deliver(Seconds, const Packet& p) override { packets.push_back(p); }
+  } sink;
+  net.node("I").set_sink(1, &sink);
+  EdgeConditioner cond(net.events(), net.node("I"), 1, 50000, 0.0);
+  // Three packets dumped at t = 0 must leave at 0, 0.24, 0.48.
+  net.events().schedule(0.0, [&] {
+    cond.submit(0.0, 12000, 101);
+    cond.submit(0.0, 12000, 102);
+    cond.submit(0.0, 12000, 103);
+  });
+  net.run_all();
+  ASSERT_EQ(sink.packets.size(), 3u);
+  EXPECT_DOUBLE_EQ(sink.packets[0].edge_time, 0.0);
+  EXPECT_DOUBLE_EQ(sink.packets[1].edge_time, 0.24);
+  EXPECT_DOUBLE_EQ(sink.packets[2].edge_time, 0.48);
+  // Packet state stamped: ω̃ = â_1, rate carried, microflow preserved.
+  EXPECT_DOUBLE_EQ(sink.packets[1].state.virtual_time, 0.24);
+  EXPECT_DOUBLE_EQ(sink.packets[1].state.rate, 50000);
+  EXPECT_EQ(sink.packets[2].microflow, 103);
+  EXPECT_EQ(cond.packets_released(), 3u);
+  EXPECT_TRUE(cond.idle());
+}
+
+TEST(EdgeConditioner, RateChangeTakesEffect) {
+  Network net;
+  net.add_node("I");
+  struct Capture final : PacketSink {
+    std::vector<Packet> packets;
+    void deliver(Seconds, const Packet& p) override { packets.push_back(p); }
+  } sink;
+  net.node("I").set_sink(1, &sink);
+  EdgeConditioner cond(net.events(), net.node("I"), 1, 50000, 0.0);
+  net.events().schedule(0.0, [&] {
+    for (int i = 0; i < 4; ++i) cond.submit(0.0, 12000, 1);
+  });
+  // Double the rate at t = 0.3: subsequent spacing halves to 0.12.
+  net.events().schedule(0.3, [&] { cond.set_rate(0.3, 100000); });
+  net.run_all();
+  ASSERT_EQ(sink.packets.size(), 4u);
+  EXPECT_DOUBLE_EQ(sink.packets[0].edge_time, 0.0);
+  EXPECT_DOUBLE_EQ(sink.packets[1].edge_time, 0.24);
+  // Third packet: earliest 0.24 + 12000/100000 = 0.36 under the new rate,
+  // but not before the change takes effect at 0.3 → 0.36.
+  EXPECT_NEAR(sink.packets[2].edge_time, 0.36, 1e-9);
+  EXPECT_NEAR(sink.packets[3].edge_time, 0.48, 1e-9);
+  EXPECT_DOUBLE_EQ(sink.packets[3].state.rate, 100000);
+}
+
+TEST(EdgeConditioner, BacklogAndDrainCallback) {
+  Network net;
+  net.add_node("I");
+  struct Null final : PacketSink {
+    void deliver(Seconds, const Packet&) override {}
+  } sink;
+  net.node("I").set_sink(1, &sink);
+  EdgeConditioner cond(net.events(), net.node("I"), 1, 50000, 0.0);
+  Seconds drained_at = -1.0;
+  cond.set_drain_callback([&](Seconds t) { drained_at = t; });
+  net.events().schedule(0.0, [&] {
+    cond.submit(0.0, 12000, 1);
+    cond.submit(0.0, 12000, 1);
+    EXPECT_DOUBLE_EQ(cond.backlog(), 24000.0);
+  });
+  net.run_all();
+  EXPECT_DOUBLE_EQ(cond.backlog(), 0.0);
+  EXPECT_DOUBLE_EQ(drained_at, 0.24);  // second packet released
+}
+
+TEST(EdgeConditioner, DeltaStaysZeroForEqualSizes) {
+  Network net;
+  net.add_node("I");
+  struct Capture final : PacketSink {
+    std::vector<Packet> packets;
+    void deliver(Seconds, const Packet& p) override { packets.push_back(p); }
+  } sink;
+  net.node("I").set_sink(1, &sink);
+  EdgeConditioner cond(net.events(), net.node("I"), 1, 50000, 0.0);
+  net.events().schedule(0.0, [&] {
+    for (int i = 0; i < 3; ++i) cond.submit(0.0, 12000, 1);
+  });
+  net.run_all();
+  for (const auto& p : sink.packets) EXPECT_DOUBLE_EQ(p.state.delta, 0.0);
+}
+
+TEST(EdgeConditioner, DeltaCompensatesShrinkingPackets) {
+  Network net;
+  net.add_node("I");
+  struct Capture final : PacketSink {
+    std::vector<Packet> packets;
+    void deliver(Seconds, const Packet& p) override { packets.push_back(p); }
+  } sink;
+  net.node("I").set_sink(1, &sink);
+  EdgeConditioner cond(net.events(), net.node("I"), 1, 50000, 0.0);
+  net.events().schedule(0.0, [&] {
+    cond.submit(0.0, 12000, 1);
+    cond.submit(0.0, 6000, 1);  // smaller: δ = (12000−6000)/50000 = 0.12
+  });
+  net.run_all();
+  ASSERT_EQ(sink.packets.size(), 2u);
+  EXPECT_DOUBLE_EQ(sink.packets[0].state.delta, 0.0);
+  EXPECT_NEAR(sink.packets[1].state.delta, 0.12, 1e-12);
+}
+
+TEST(VtrsHop, AppliesConcatenationRule) {
+  // eq. (1): ω̃_{i+1} = ω̃_i + d̃_i + Ψ_i + π_i.
+  VtrsHop hop(SchedulerKind::kRateBased, 0.008, 0.001);
+  Packet p;
+  p.flow = 1;
+  p.size = 12000;
+  p.state.rate = 50000;
+  p.state.virtual_time = 1.0;
+  p.hop_arrival = 0.9;
+  hop.on_departure(1.1, p);  // departs within ν̃ + Ψ = 1.248
+  EXPECT_NEAR(p.state.virtual_time, 1.0 + 0.24 + 0.008 + 0.001, 1e-12);
+  EXPECT_EQ(p.hop_index, 1);
+  EXPECT_NEAR(p.hop_arrival, 1.101, 1e-12);
+  EXPECT_EQ(hop.reality_check_violations(), 0u);
+  EXPECT_EQ(hop.guarantee_violations(), 0u);
+}
+
+TEST(VtrsHop, FlagsRealityCheckViolation) {
+  VtrsHop hop(SchedulerKind::kRateBased, 0.008, 0.0);
+  Packet p;
+  p.flow = 1;
+  p.size = 12000;
+  p.state.rate = 50000;
+  p.state.virtual_time = 1.0;
+  p.hop_arrival = 2.0;  // arrived after its virtual arrival time
+  hop.on_departure(2.1, p);
+  EXPECT_EQ(hop.reality_check_violations(), 1u);
+}
+
+TEST(VtrsHop, FlagsGuaranteeViolation) {
+  VtrsHop hop(SchedulerKind::kDelayBased, 0.008, 0.0);
+  Packet p;
+  p.flow = 1;
+  p.size = 12000;
+  p.state.rate = 50000;
+  p.state.delay_param = 0.1;
+  p.state.virtual_time = 1.0;
+  p.hop_arrival = 1.0;
+  hop.on_departure(5.0, p);  // way past ν̃ + Ψ = 1.108
+  EXPECT_EQ(hop.guarantee_violations(), 1u);
+  EXPECT_NEAR(hop.max_lateness(), 5.0 - 1.108, 1e-9);
+}
+
+TEST(VtrsHop, FlagsSpacingViolation) {
+  VtrsHop hop(SchedulerKind::kRateBased, 0.008, 0.0);
+  Packet a;
+  a.flow = 1;
+  a.size = 12000;
+  a.state.rate = 50000;
+  a.state.virtual_time = 1.0;
+  a.hop_arrival = 0.0;
+  hop.on_departure(1.0, a);
+  Packet b = a;
+  b.state.virtual_time = 1.1;  // spacing 0.1 < L/r = 0.24
+  hop.on_departure(1.2, b);
+  EXPECT_EQ(hop.spacing_violations(), 1u);
+}
+
+TEST(VtrsInstrumentation, InstallsOnAllLinks) {
+  const DomainSpec spec = fig8_topology(Fig8Setting::kMixed);
+  Network net;
+  build_network(spec, net);
+  auto inst = VtrsInstrumentation::install(net, spec);
+  EXPECT_NO_THROW(inst.hop("I1->R2"));
+  EXPECT_NO_THROW(inst.hop("R5->E2"));
+  EXPECT_THROW(inst.hop("Z->Q"), std::logic_error);
+  EXPECT_EQ(inst.total_reality_check_violations(), 0u);
+}
+
+}  // namespace
+}  // namespace qosbb

@@ -1,0 +1,206 @@
+// Tests for the signaling wire format: round trips, header validation, and
+// hardening against truncated / corrupted / hostile frames (every decode
+// failure must be a Status, never UB or an exception).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+
+#include "core/wire.h"
+#include "traffic/profile.h"
+#include "util/rng.h"
+
+namespace qosbb {
+namespace {
+
+FlowServiceRequest sample_request() {
+  FlowServiceRequest req;
+  req.profile = TrafficProfile::make(60000, 50000, 100000, 12000);
+  req.e2e_delay_req = 2.44;
+  req.ingress = "I1";
+  req.egress = "E1";
+  return req;
+}
+
+TEST(Wire, RequestRoundTrip) {
+  const FlowServiceRequest in = sample_request();
+  auto buf = encode(in);
+  auto out = decode_flow_service_request(buf);
+  ASSERT_TRUE(out.is_ok()) << out.status().to_string();
+  EXPECT_EQ(out.value().profile, in.profile);
+  EXPECT_DOUBLE_EQ(out.value().e2e_delay_req, 2.44);
+  EXPECT_EQ(out.value().ingress, "I1");
+  EXPECT_EQ(out.value().egress, "E1");
+}
+
+TEST(Wire, ReservationRoundTrip) {
+  Reservation in;
+  in.flow = 42;
+  in.path = 7;
+  in.params = RateDelayPair{54019.3, 0.115};
+  in.e2e_bound = 2.19;
+  auto out = decode_reservation(encode(in));
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(out.value().flow, 42);
+  EXPECT_EQ(out.value().path, 7);
+  EXPECT_DOUBLE_EQ(out.value().params.rate, 54019.3);
+  EXPECT_DOUBLE_EQ(out.value().params.delay, 0.115);
+  EXPECT_DOUBLE_EQ(out.value().e2e_bound, 2.19);
+}
+
+TEST(Wire, RejectAndTeardownRoundTrip) {
+  RejectReply rej{RejectReason::kInsufficientBandwidth, "link R2->R3 full"};
+  auto r = decode_reject_reply(encode(rej));
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().reason, RejectReason::kInsufficientBandwidth);
+  EXPECT_EQ(r.value().detail, "link R2->R3 full");
+
+  auto t = decode_teardown_request(encode(TeardownRequest{99}));
+  ASSERT_TRUE(t.is_ok());
+  EXPECT_EQ(t.value().flow, 99);
+
+  EdgeConditionerConfig cfg{5, 50000.0, 0.1};
+  auto c = decode_edge_conditioner_config(encode(cfg));
+  ASSERT_TRUE(c.is_ok());
+  EXPECT_DOUBLE_EQ(c.value().rate, 50000.0);
+}
+
+TEST(Wire, PeekTypeIdentifiesFrames) {
+  EXPECT_EQ(peek_type(encode(sample_request())).value(),
+            MessageType::kFlowServiceRequest);
+  EXPECT_EQ(peek_type(encode(TeardownRequest{1})).value(),
+            MessageType::kTeardownRequest);
+  EXPECT_FALSE(peek_type(WireBuffer{1, 2, 3}).is_ok());
+}
+
+TEST(Wire, EveryTruncationIsAGracefulError) {
+  // Chop the frame at every possible length: each must fail cleanly.
+  const auto full = encode(sample_request());
+  for (std::size_t n = 0; n < full.size(); ++n) {
+    WireBuffer cut(full.begin(), full.begin() + static_cast<long>(n));
+    auto out = decode_flow_service_request(cut);
+    EXPECT_FALSE(out.is_ok()) << "length " << n << " decoded successfully";
+    EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(Wire, SingleByteCorruptionNeverCrashes) {
+  // Flip every byte (all 8 bits at once) — decode must return either a
+  // clean error or a VALID request; it must never throw.
+  const auto full = encode(sample_request());
+  int survived = 0;
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    WireBuffer mutated = full;
+    mutated[i] ^= 0xff;
+    auto out = decode_flow_service_request(mutated);
+    if (out.is_ok()) ++survived;
+  }
+  // Corrupting the magic/version/type/length must certainly fail.
+  WireBuffer bad_magic = full;
+  bad_magic[0] ^= 0xff;
+  EXPECT_FALSE(decode_flow_service_request(bad_magic).is_ok());
+  // Most corruptions of float payloads fail validation; a few may survive
+  // as different-but-valid profiles, which is fine for a checksum-free
+  // format. The property under test is "no crash".
+  SUCCEED() << survived << " mutations decoded as valid alternates";
+}
+
+TEST(Wire, WrongTypeRejected) {
+  auto buf = encode(TeardownRequest{1});
+  EXPECT_FALSE(decode_flow_service_request(buf).is_ok());
+}
+
+TEST(Wire, TrailingGarbageRejected) {
+  auto buf = encode(sample_request());
+  buf.push_back(0x00);
+  // Header length no longer matches the frame size.
+  EXPECT_FALSE(decode_flow_service_request(buf).is_ok());
+}
+
+TEST(Wire, HostileProfileRejected) {
+  // σ < L and P < ρ must not reach TrafficProfile::make (which throws).
+  FlowServiceRequest req = sample_request();
+  auto buf = encode(req);
+  // Patch sigma (first f64 of the body at offset 8) to 1.0.
+  double tiny = 1.0;
+  std::memcpy(buf.data() + 8, &tiny, sizeof(tiny));
+  auto out = decode_flow_service_request(buf);
+  EXPECT_FALSE(out.is_ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Wire, NonFiniteFloatsRejected) {
+  auto buf = encode(sample_request());
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::memcpy(buf.data() + 8, &nan, sizeof(nan));
+  EXPECT_FALSE(decode_flow_service_request(buf).is_ok());
+  const double inf = std::numeric_limits<double>::infinity();
+  std::memcpy(buf.data() + 8, &inf, sizeof(inf));
+  EXPECT_FALSE(decode_flow_service_request(buf).is_ok());
+}
+
+TEST(Wire, NegativeRateRejected) {
+  Reservation res;
+  res.flow = 1;
+  res.path = 0;
+  res.params = RateDelayPair{50000.0, 0.0};
+  res.e2e_bound = 1.0;
+  auto buf = encode(res);
+  const double neg = -5.0;
+  // rate is the third body field: 8 (header) + 16 (two i64).
+  std::memcpy(buf.data() + 8 + 16, &neg, sizeof(neg));
+  EXPECT_FALSE(decode_reservation(buf).is_ok());
+}
+
+TEST(Wire, LongStringsTruncatedNotOverflowed) {
+  FlowServiceRequest req = sample_request();
+  req.ingress = std::string(1000, 'x');
+  auto buf = encode(req);
+  auto out = decode_flow_service_request(buf);
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(out.value().ingress.size(), 255u);
+}
+
+TEST(Wire, ReaderPrimitivesRoundTrip) {
+  WireWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.f64(3.14159);
+  w.str("hello");
+  WireBuffer buf = w.take();
+  WireReader r(buf);
+  EXPECT_EQ(r.u8().value(), 0xab);
+  EXPECT_EQ(r.u16().value(), 0x1234);
+  EXPECT_EQ(r.u32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64().value(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64().value(), -42);
+  EXPECT_DOUBLE_EQ(r.f64().value(), 3.14159);
+  EXPECT_EQ(r.str().value(), "hello");
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_FALSE(r.u8().is_ok());  // reading past the end is a clean error
+}
+
+TEST(Wire, FuzzRandomBuffersNeverCrash) {
+  Rng rng(2026);
+  for (int i = 0; i < 2000; ++i) {
+    WireBuffer buf(static_cast<std::size_t>(rng.uniform_int(0, 64)));
+    for (auto& b : buf) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    // Must not throw or crash on arbitrary input.
+    (void)peek_type(buf);
+    (void)decode_flow_service_request(buf);
+    (void)decode_reservation(buf);
+    (void)decode_reject_reply(buf);
+    (void)decode_edge_conditioner_config(buf);
+    (void)decode_teardown_request(buf);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace qosbb
