@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bb_throughput.dir/bench_bb_throughput.cc.o"
+  "CMakeFiles/bench_bb_throughput.dir/bench_bb_throughput.cc.o.d"
+  "bench_bb_throughput"
+  "bench_bb_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bb_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

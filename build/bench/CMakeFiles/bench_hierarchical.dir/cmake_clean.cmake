@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hierarchical.dir/bench_hierarchical.cc.o"
+  "CMakeFiles/bench_hierarchical.dir/bench_hierarchical.cc.o.d"
+  "bench_hierarchical"
+  "bench_hierarchical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hierarchical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

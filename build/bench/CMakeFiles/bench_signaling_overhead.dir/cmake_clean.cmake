@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_signaling_overhead.dir/bench_signaling_overhead.cc.o"
+  "CMakeFiles/bench_signaling_overhead.dir/bench_signaling_overhead.cc.o.d"
+  "bench_signaling_overhead"
+  "bench_signaling_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_signaling_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

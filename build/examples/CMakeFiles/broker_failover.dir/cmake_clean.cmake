@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broker_failover.dir/broker_failover.cpp.o"
+  "CMakeFiles/broker_failover.dir/broker_failover.cpp.o.d"
+  "broker_failover"
+  "broker_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broker_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/class_aggregation.dir/class_aggregation.cpp.o"
+  "CMakeFiles/class_aggregation.dir/class_aggregation.cpp.o.d"
+  "class_aggregation"
+  "class_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/class_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

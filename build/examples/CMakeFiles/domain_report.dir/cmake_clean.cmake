@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domain_report.dir/domain_report.cpp.o"
+  "CMakeFiles/domain_report.dir/domain_report.cpp.o.d"
+  "domain_report"
+  "domain_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domain_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_sim_cli.dir/flow_sim_cli.cpp.o"
+  "CMakeFiles/flow_sim_cli.dir/flow_sim_cli.cpp.o.d"
+  "flow_sim_cli"
+  "flow_sim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

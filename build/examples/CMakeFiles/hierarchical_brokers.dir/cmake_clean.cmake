@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_brokers.dir/hierarchical_brokers.cpp.o"
+  "CMakeFiles/hierarchical_brokers.dir/hierarchical_brokers.cpp.o.d"
+  "hierarchical_brokers"
+  "hierarchical_brokers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_brokers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hop_by_hop_vs_path.dir/hop_by_hop_vs_path.cpp.o"
+  "CMakeFiles/hop_by_hop_vs_path.dir/hop_by_hop_vs_path.cpp.o.d"
+  "hop_by_hop_vs_path"
+  "hop_by_hop_vs_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hop_by_hop_vs_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

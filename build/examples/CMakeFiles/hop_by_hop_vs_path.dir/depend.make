@@ -1,0 +1,2 @@
+# Empty dependencies file for hop_by_hop_vs_path.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interdomain_sla.dir/interdomain_sla.cpp.o"
+  "CMakeFiles/interdomain_sla.dir/interdomain_sla.cpp.o.d"
+  "interdomain_sla"
+  "interdomain_sla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interdomain_sla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

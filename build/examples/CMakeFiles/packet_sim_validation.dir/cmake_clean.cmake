@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_sim_validation.dir/packet_sim_validation.cpp.o"
+  "CMakeFiles/packet_sim_validation.dir/packet_sim_validation.cpp.o.d"
+  "packet_sim_validation"
+  "packet_sim_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_sim_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perflow_guaranteed_delay.dir/perflow_guaranteed_delay.cpp.o"
+  "CMakeFiles/perflow_guaranteed_delay.dir/perflow_guaranteed_delay.cpp.o.d"
+  "perflow_guaranteed_delay"
+  "perflow_guaranteed_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perflow_guaranteed_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_signaling.dir/remote_signaling.cpp.o"
+  "CMakeFiles/remote_signaling.dir/remote_signaling.cpp.o.d"
+  "remote_signaling"
+  "remote_signaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_signaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/audit.cc" "src/CMakeFiles/qosbb_core.dir/core/audit.cc.o" "gcc" "src/CMakeFiles/qosbb_core.dir/core/audit.cc.o.d"
+  "/root/repo/src/core/broker.cc" "src/CMakeFiles/qosbb_core.dir/core/broker.cc.o" "gcc" "src/CMakeFiles/qosbb_core.dir/core/broker.cc.o.d"
+  "/root/repo/src/core/classbased_admission.cc" "src/CMakeFiles/qosbb_core.dir/core/classbased_admission.cc.o" "gcc" "src/CMakeFiles/qosbb_core.dir/core/classbased_admission.cc.o.d"
+  "/root/repo/src/core/contingency.cc" "src/CMakeFiles/qosbb_core.dir/core/contingency.cc.o" "gcc" "src/CMakeFiles/qosbb_core.dir/core/contingency.cc.o.d"
+  "/root/repo/src/core/flow_mib.cc" "src/CMakeFiles/qosbb_core.dir/core/flow_mib.cc.o" "gcc" "src/CMakeFiles/qosbb_core.dir/core/flow_mib.cc.o.d"
+  "/root/repo/src/core/hierarchical.cc" "src/CMakeFiles/qosbb_core.dir/core/hierarchical.cc.o" "gcc" "src/CMakeFiles/qosbb_core.dir/core/hierarchical.cc.o.d"
+  "/root/repo/src/core/interdomain.cc" "src/CMakeFiles/qosbb_core.dir/core/interdomain.cc.o" "gcc" "src/CMakeFiles/qosbb_core.dir/core/interdomain.cc.o.d"
+  "/root/repo/src/core/node_mib.cc" "src/CMakeFiles/qosbb_core.dir/core/node_mib.cc.o" "gcc" "src/CMakeFiles/qosbb_core.dir/core/node_mib.cc.o.d"
+  "/root/repo/src/core/path_mib.cc" "src/CMakeFiles/qosbb_core.dir/core/path_mib.cc.o" "gcc" "src/CMakeFiles/qosbb_core.dir/core/path_mib.cc.o.d"
+  "/root/repo/src/core/perflow_admission.cc" "src/CMakeFiles/qosbb_core.dir/core/perflow_admission.cc.o" "gcc" "src/CMakeFiles/qosbb_core.dir/core/perflow_admission.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/CMakeFiles/qosbb_core.dir/core/policy.cc.o" "gcc" "src/CMakeFiles/qosbb_core.dir/core/policy.cc.o.d"
+  "/root/repo/src/core/snapshot.cc" "src/CMakeFiles/qosbb_core.dir/core/snapshot.cc.o" "gcc" "src/CMakeFiles/qosbb_core.dir/core/snapshot.cc.o.d"
+  "/root/repo/src/core/stat_admission.cc" "src/CMakeFiles/qosbb_core.dir/core/stat_admission.cc.o" "gcc" "src/CMakeFiles/qosbb_core.dir/core/stat_admission.cc.o.d"
+  "/root/repo/src/core/wire.cc" "src/CMakeFiles/qosbb_core.dir/core/wire.cc.o" "gcc" "src/CMakeFiles/qosbb_core.dir/core/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qosbb_vtrs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qosbb_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qosbb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qosbb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qosbb_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qosbb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

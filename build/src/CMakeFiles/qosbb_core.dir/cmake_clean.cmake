@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qosbb_core.dir/core/audit.cc.o"
+  "CMakeFiles/qosbb_core.dir/core/audit.cc.o.d"
+  "CMakeFiles/qosbb_core.dir/core/broker.cc.o"
+  "CMakeFiles/qosbb_core.dir/core/broker.cc.o.d"
+  "CMakeFiles/qosbb_core.dir/core/classbased_admission.cc.o"
+  "CMakeFiles/qosbb_core.dir/core/classbased_admission.cc.o.d"
+  "CMakeFiles/qosbb_core.dir/core/contingency.cc.o"
+  "CMakeFiles/qosbb_core.dir/core/contingency.cc.o.d"
+  "CMakeFiles/qosbb_core.dir/core/flow_mib.cc.o"
+  "CMakeFiles/qosbb_core.dir/core/flow_mib.cc.o.d"
+  "CMakeFiles/qosbb_core.dir/core/hierarchical.cc.o"
+  "CMakeFiles/qosbb_core.dir/core/hierarchical.cc.o.d"
+  "CMakeFiles/qosbb_core.dir/core/interdomain.cc.o"
+  "CMakeFiles/qosbb_core.dir/core/interdomain.cc.o.d"
+  "CMakeFiles/qosbb_core.dir/core/node_mib.cc.o"
+  "CMakeFiles/qosbb_core.dir/core/node_mib.cc.o.d"
+  "CMakeFiles/qosbb_core.dir/core/path_mib.cc.o"
+  "CMakeFiles/qosbb_core.dir/core/path_mib.cc.o.d"
+  "CMakeFiles/qosbb_core.dir/core/perflow_admission.cc.o"
+  "CMakeFiles/qosbb_core.dir/core/perflow_admission.cc.o.d"
+  "CMakeFiles/qosbb_core.dir/core/policy.cc.o"
+  "CMakeFiles/qosbb_core.dir/core/policy.cc.o.d"
+  "CMakeFiles/qosbb_core.dir/core/snapshot.cc.o"
+  "CMakeFiles/qosbb_core.dir/core/snapshot.cc.o.d"
+  "CMakeFiles/qosbb_core.dir/core/stat_admission.cc.o"
+  "CMakeFiles/qosbb_core.dir/core/stat_admission.cc.o.d"
+  "CMakeFiles/qosbb_core.dir/core/wire.cc.o"
+  "CMakeFiles/qosbb_core.dir/core/wire.cc.o.d"
+  "libqosbb_core.a"
+  "libqosbb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qosbb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqosbb_core.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qosbb_flowsim.dir/flowsim/blocking.cc.o"
+  "CMakeFiles/qosbb_flowsim.dir/flowsim/blocking.cc.o.d"
+  "CMakeFiles/qosbb_flowsim.dir/flowsim/flow_sim.cc.o"
+  "CMakeFiles/qosbb_flowsim.dir/flowsim/flow_sim.cc.o.d"
+  "CMakeFiles/qosbb_flowsim.dir/flowsim/fluid_edge.cc.o"
+  "CMakeFiles/qosbb_flowsim.dir/flowsim/fluid_edge.cc.o.d"
+  "CMakeFiles/qosbb_flowsim.dir/flowsim/workload.cc.o"
+  "CMakeFiles/qosbb_flowsim.dir/flowsim/workload.cc.o.d"
+  "libqosbb_flowsim.a"
+  "libqosbb_flowsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qosbb_flowsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gs/gs_admission.cc" "src/CMakeFiles/qosbb_gs.dir/gs/gs_admission.cc.o" "gcc" "src/CMakeFiles/qosbb_gs.dir/gs/gs_admission.cc.o.d"
+  "/root/repo/src/gs/hop_by_hop.cc" "src/CMakeFiles/qosbb_gs.dir/gs/hop_by_hop.cc.o" "gcc" "src/CMakeFiles/qosbb_gs.dir/gs/hop_by_hop.cc.o.d"
+  "/root/repo/src/gs/soft_state.cc" "src/CMakeFiles/qosbb_gs.dir/gs/soft_state.cc.o" "gcc" "src/CMakeFiles/qosbb_gs.dir/gs/soft_state.cc.o.d"
+  "/root/repo/src/gs/wfq_reference.cc" "src/CMakeFiles/qosbb_gs.dir/gs/wfq_reference.cc.o" "gcc" "src/CMakeFiles/qosbb_gs.dir/gs/wfq_reference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qosbb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qosbb_vtrs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qosbb_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qosbb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qosbb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qosbb_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qosbb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

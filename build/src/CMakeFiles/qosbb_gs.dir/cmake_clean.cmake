@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qosbb_gs.dir/gs/gs_admission.cc.o"
+  "CMakeFiles/qosbb_gs.dir/gs/gs_admission.cc.o.d"
+  "CMakeFiles/qosbb_gs.dir/gs/hop_by_hop.cc.o"
+  "CMakeFiles/qosbb_gs.dir/gs/hop_by_hop.cc.o.d"
+  "CMakeFiles/qosbb_gs.dir/gs/soft_state.cc.o"
+  "CMakeFiles/qosbb_gs.dir/gs/soft_state.cc.o.d"
+  "CMakeFiles/qosbb_gs.dir/gs/wfq_reference.cc.o"
+  "CMakeFiles/qosbb_gs.dir/gs/wfq_reference.cc.o.d"
+  "libqosbb_gs.a"
+  "libqosbb_gs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qosbb_gs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/cjvc.cc" "src/CMakeFiles/qosbb_sched.dir/sched/cjvc.cc.o" "gcc" "src/CMakeFiles/qosbb_sched.dir/sched/cjvc.cc.o.d"
+  "/root/repo/src/sched/csvc.cc" "src/CMakeFiles/qosbb_sched.dir/sched/csvc.cc.o" "gcc" "src/CMakeFiles/qosbb_sched.dir/sched/csvc.cc.o.d"
+  "/root/repo/src/sched/fifo.cc" "src/CMakeFiles/qosbb_sched.dir/sched/fifo.cc.o" "gcc" "src/CMakeFiles/qosbb_sched.dir/sched/fifo.cc.o.d"
+  "/root/repo/src/sched/rcedf.cc" "src/CMakeFiles/qosbb_sched.dir/sched/rcedf.cc.o" "gcc" "src/CMakeFiles/qosbb_sched.dir/sched/rcedf.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/CMakeFiles/qosbb_sched.dir/sched/scheduler.cc.o" "gcc" "src/CMakeFiles/qosbb_sched.dir/sched/scheduler.cc.o.d"
+  "/root/repo/src/sched/static_priority.cc" "src/CMakeFiles/qosbb_sched.dir/sched/static_priority.cc.o" "gcc" "src/CMakeFiles/qosbb_sched.dir/sched/static_priority.cc.o.d"
+  "/root/repo/src/sched/vc.cc" "src/CMakeFiles/qosbb_sched.dir/sched/vc.cc.o" "gcc" "src/CMakeFiles/qosbb_sched.dir/sched/vc.cc.o.d"
+  "/root/repo/src/sched/vtedf.cc" "src/CMakeFiles/qosbb_sched.dir/sched/vtedf.cc.o" "gcc" "src/CMakeFiles/qosbb_sched.dir/sched/vtedf.cc.o.d"
+  "/root/repo/src/sched/wfq.cc" "src/CMakeFiles/qosbb_sched.dir/sched/wfq.cc.o" "gcc" "src/CMakeFiles/qosbb_sched.dir/sched/wfq.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qosbb_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qosbb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qosbb_sched.dir/sched/cjvc.cc.o"
+  "CMakeFiles/qosbb_sched.dir/sched/cjvc.cc.o.d"
+  "CMakeFiles/qosbb_sched.dir/sched/csvc.cc.o"
+  "CMakeFiles/qosbb_sched.dir/sched/csvc.cc.o.d"
+  "CMakeFiles/qosbb_sched.dir/sched/fifo.cc.o"
+  "CMakeFiles/qosbb_sched.dir/sched/fifo.cc.o.d"
+  "CMakeFiles/qosbb_sched.dir/sched/rcedf.cc.o"
+  "CMakeFiles/qosbb_sched.dir/sched/rcedf.cc.o.d"
+  "CMakeFiles/qosbb_sched.dir/sched/scheduler.cc.o"
+  "CMakeFiles/qosbb_sched.dir/sched/scheduler.cc.o.d"
+  "CMakeFiles/qosbb_sched.dir/sched/static_priority.cc.o"
+  "CMakeFiles/qosbb_sched.dir/sched/static_priority.cc.o.d"
+  "CMakeFiles/qosbb_sched.dir/sched/vc.cc.o"
+  "CMakeFiles/qosbb_sched.dir/sched/vc.cc.o.d"
+  "CMakeFiles/qosbb_sched.dir/sched/vtedf.cc.o"
+  "CMakeFiles/qosbb_sched.dir/sched/vtedf.cc.o.d"
+  "CMakeFiles/qosbb_sched.dir/sched/wfq.cc.o"
+  "CMakeFiles/qosbb_sched.dir/sched/wfq.cc.o.d"
+  "libqosbb_sched.a"
+  "libqosbb_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qosbb_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

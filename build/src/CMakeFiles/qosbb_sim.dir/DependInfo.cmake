@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/qosbb_sim.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/qosbb_sim.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/link.cc" "src/CMakeFiles/qosbb_sim.dir/sim/link.cc.o" "gcc" "src/CMakeFiles/qosbb_sim.dir/sim/link.cc.o.d"
+  "/root/repo/src/sim/meter.cc" "src/CMakeFiles/qosbb_sim.dir/sim/meter.cc.o" "gcc" "src/CMakeFiles/qosbb_sim.dir/sim/meter.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/CMakeFiles/qosbb_sim.dir/sim/network.cc.o" "gcc" "src/CMakeFiles/qosbb_sim.dir/sim/network.cc.o.d"
+  "/root/repo/src/sim/node.cc" "src/CMakeFiles/qosbb_sim.dir/sim/node.cc.o" "gcc" "src/CMakeFiles/qosbb_sim.dir/sim/node.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/qosbb_sim.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/qosbb_sim.dir/sim/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qosbb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qosbb_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qosbb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

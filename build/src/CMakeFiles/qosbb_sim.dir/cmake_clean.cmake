@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qosbb_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/qosbb_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/qosbb_sim.dir/sim/link.cc.o"
+  "CMakeFiles/qosbb_sim.dir/sim/link.cc.o.d"
+  "CMakeFiles/qosbb_sim.dir/sim/meter.cc.o"
+  "CMakeFiles/qosbb_sim.dir/sim/meter.cc.o.d"
+  "CMakeFiles/qosbb_sim.dir/sim/network.cc.o"
+  "CMakeFiles/qosbb_sim.dir/sim/network.cc.o.d"
+  "CMakeFiles/qosbb_sim.dir/sim/node.cc.o"
+  "CMakeFiles/qosbb_sim.dir/sim/node.cc.o.d"
+  "CMakeFiles/qosbb_sim.dir/sim/trace.cc.o"
+  "CMakeFiles/qosbb_sim.dir/sim/trace.cc.o.d"
+  "libqosbb_sim.a"
+  "libqosbb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qosbb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

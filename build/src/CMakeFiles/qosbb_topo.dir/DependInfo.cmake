@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/builders.cc" "src/CMakeFiles/qosbb_topo.dir/topo/builders.cc.o" "gcc" "src/CMakeFiles/qosbb_topo.dir/topo/builders.cc.o.d"
+  "/root/repo/src/topo/fig8.cc" "src/CMakeFiles/qosbb_topo.dir/topo/fig8.cc.o" "gcc" "src/CMakeFiles/qosbb_topo.dir/topo/fig8.cc.o.d"
+  "/root/repo/src/topo/graph.cc" "src/CMakeFiles/qosbb_topo.dir/topo/graph.cc.o" "gcc" "src/CMakeFiles/qosbb_topo.dir/topo/graph.cc.o.d"
+  "/root/repo/src/topo/routing.cc" "src/CMakeFiles/qosbb_topo.dir/topo/routing.cc.o" "gcc" "src/CMakeFiles/qosbb_topo.dir/topo/routing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qosbb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qosbb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qosbb_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qosbb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

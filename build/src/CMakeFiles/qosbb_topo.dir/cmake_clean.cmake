@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qosbb_topo.dir/topo/builders.cc.o"
+  "CMakeFiles/qosbb_topo.dir/topo/builders.cc.o.d"
+  "CMakeFiles/qosbb_topo.dir/topo/fig8.cc.o"
+  "CMakeFiles/qosbb_topo.dir/topo/fig8.cc.o.d"
+  "CMakeFiles/qosbb_topo.dir/topo/graph.cc.o"
+  "CMakeFiles/qosbb_topo.dir/topo/graph.cc.o.d"
+  "CMakeFiles/qosbb_topo.dir/topo/routing.cc.o"
+  "CMakeFiles/qosbb_topo.dir/topo/routing.cc.o.d"
+  "libqosbb_topo.a"
+  "libqosbb_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qosbb_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/envelope.cc" "src/CMakeFiles/qosbb_traffic.dir/traffic/envelope.cc.o" "gcc" "src/CMakeFiles/qosbb_traffic.dir/traffic/envelope.cc.o.d"
+  "/root/repo/src/traffic/profile.cc" "src/CMakeFiles/qosbb_traffic.dir/traffic/profile.cc.o" "gcc" "src/CMakeFiles/qosbb_traffic.dir/traffic/profile.cc.o.d"
+  "/root/repo/src/traffic/source.cc" "src/CMakeFiles/qosbb_traffic.dir/traffic/source.cc.o" "gcc" "src/CMakeFiles/qosbb_traffic.dir/traffic/source.cc.o.d"
+  "/root/repo/src/traffic/token_bucket.cc" "src/CMakeFiles/qosbb_traffic.dir/traffic/token_bucket.cc.o" "gcc" "src/CMakeFiles/qosbb_traffic.dir/traffic/token_bucket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qosbb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

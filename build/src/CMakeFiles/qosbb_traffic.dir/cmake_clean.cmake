@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qosbb_traffic.dir/traffic/envelope.cc.o"
+  "CMakeFiles/qosbb_traffic.dir/traffic/envelope.cc.o.d"
+  "CMakeFiles/qosbb_traffic.dir/traffic/profile.cc.o"
+  "CMakeFiles/qosbb_traffic.dir/traffic/profile.cc.o.d"
+  "CMakeFiles/qosbb_traffic.dir/traffic/source.cc.o"
+  "CMakeFiles/qosbb_traffic.dir/traffic/source.cc.o.d"
+  "CMakeFiles/qosbb_traffic.dir/traffic/token_bucket.cc.o"
+  "CMakeFiles/qosbb_traffic.dir/traffic/token_bucket.cc.o.d"
+  "libqosbb_traffic.a"
+  "libqosbb_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qosbb_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qosbb_util.dir/util/piecewise_linear.cc.o"
+  "CMakeFiles/qosbb_util.dir/util/piecewise_linear.cc.o.d"
+  "CMakeFiles/qosbb_util.dir/util/rng.cc.o"
+  "CMakeFiles/qosbb_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/qosbb_util.dir/util/stats.cc.o"
+  "CMakeFiles/qosbb_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/qosbb_util.dir/util/table.cc.o"
+  "CMakeFiles/qosbb_util.dir/util/table.cc.o.d"
+  "libqosbb_util.a"
+  "libqosbb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qosbb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vtrs/core_hop.cc" "src/CMakeFiles/qosbb_vtrs.dir/vtrs/core_hop.cc.o" "gcc" "src/CMakeFiles/qosbb_vtrs.dir/vtrs/core_hop.cc.o.d"
+  "/root/repo/src/vtrs/delay_bounds.cc" "src/CMakeFiles/qosbb_vtrs.dir/vtrs/delay_bounds.cc.o" "gcc" "src/CMakeFiles/qosbb_vtrs.dir/vtrs/delay_bounds.cc.o.d"
+  "/root/repo/src/vtrs/edge_conditioner.cc" "src/CMakeFiles/qosbb_vtrs.dir/vtrs/edge_conditioner.cc.o" "gcc" "src/CMakeFiles/qosbb_vtrs.dir/vtrs/edge_conditioner.cc.o.d"
+  "/root/repo/src/vtrs/provisioned_network.cc" "src/CMakeFiles/qosbb_vtrs.dir/vtrs/provisioned_network.cc.o" "gcc" "src/CMakeFiles/qosbb_vtrs.dir/vtrs/provisioned_network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qosbb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qosbb_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qosbb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qosbb_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qosbb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qosbb_vtrs.dir/vtrs/core_hop.cc.o"
+  "CMakeFiles/qosbb_vtrs.dir/vtrs/core_hop.cc.o.d"
+  "CMakeFiles/qosbb_vtrs.dir/vtrs/delay_bounds.cc.o"
+  "CMakeFiles/qosbb_vtrs.dir/vtrs/delay_bounds.cc.o.d"
+  "CMakeFiles/qosbb_vtrs.dir/vtrs/edge_conditioner.cc.o"
+  "CMakeFiles/qosbb_vtrs.dir/vtrs/edge_conditioner.cc.o.d"
+  "CMakeFiles/qosbb_vtrs.dir/vtrs/provisioned_network.cc.o"
+  "CMakeFiles/qosbb_vtrs.dir/vtrs/provisioned_network.cc.o.d"
+  "libqosbb_vtrs.a"
+  "libqosbb_vtrs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qosbb_vtrs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

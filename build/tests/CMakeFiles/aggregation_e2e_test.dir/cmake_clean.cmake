@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregation_e2e_test.dir/aggregation_e2e_test.cc.o"
+  "CMakeFiles/aggregation_e2e_test.dir/aggregation_e2e_test.cc.o.d"
+  "aggregation_e2e_test"
+  "aggregation_e2e_test.pdb"
+  "aggregation_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregation_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

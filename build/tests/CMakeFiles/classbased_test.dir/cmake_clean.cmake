@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classbased_test.dir/classbased_test.cc.o"
+  "CMakeFiles/classbased_test.dir/classbased_test.cc.o.d"
+  "classbased_test"
+  "classbased_test.pdb"
+  "classbased_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classbased_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_test.dir/gs_test.cc.o"
+  "CMakeFiles/gs_test.dir/gs_test.cc.o.d"
+  "gs_test"
+  "gs_test.pdb"
+  "gs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/misconfiguration_test.cc" "tests/CMakeFiles/misconfiguration_test.dir/misconfiguration_test.cc.o" "gcc" "tests/CMakeFiles/misconfiguration_test.dir/misconfiguration_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qosbb_flowsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qosbb_gs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qosbb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qosbb_vtrs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qosbb_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qosbb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qosbb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qosbb_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qosbb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misconfiguration_test.dir/misconfiguration_test.cc.o"
+  "CMakeFiles/misconfiguration_test.dir/misconfiguration_test.cc.o.d"
+  "misconfiguration_test"
+  "misconfiguration_test.pdb"
+  "misconfiguration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misconfiguration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

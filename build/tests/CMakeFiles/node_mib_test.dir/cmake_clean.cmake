@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_mib_test.dir/node_mib_test.cc.o"
+  "CMakeFiles/node_mib_test.dir/node_mib_test.cc.o.d"
+  "node_mib_test"
+  "node_mib_test.pdb"
+  "node_mib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_mib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perflow_admission_test.dir/perflow_admission_test.cc.o"
+  "CMakeFiles/perflow_admission_test.dir/perflow_admission_test.cc.o.d"
+  "perflow_admission_test"
+  "perflow_admission_test.pdb"
+  "perflow_admission_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perflow_admission_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stat_admission_test.dir/stat_admission_test.cc.o"
+  "CMakeFiles/stat_admission_test.dir/stat_admission_test.cc.o.d"
+  "stat_admission_test"
+  "stat_admission_test.pdb"
+  "stat_admission_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stat_admission_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

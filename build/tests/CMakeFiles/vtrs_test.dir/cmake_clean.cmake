@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vtrs_test.dir/vtrs_test.cc.o"
+  "CMakeFiles/vtrs_test.dir/vtrs_test.cc.o.d"
+  "vtrs_test"
+  "vtrs_test.pdb"
+  "vtrs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vtrs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
