@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Run the admission-hot-path benchmark suite and emit Google Benchmark JSON.
+#
+# Usage:
+#   bench/run_benchmarks.sh [output.json] [extra benchmark args...]
+#
+# Builds (if needed) and runs bench_bb_throughput with
+# --benchmark_format=json. The checked-in trajectory lives in
+# BENCH_bb_throughput.json at the repo root: a {"before": ..., "after": ...}
+# pair of such runs bracketing the incremental-cache PR. To refresh the
+# "after" side on a quiet machine:
+#   bench/run_benchmarks.sh /tmp/after.json --benchmark_min_time=0.2
+#
+# NOTE: this container's Google Benchmark parses --benchmark_min_time as a
+# plain double (no "s" suffix).
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+out="${1:-bench_results/bb_throughput.json}"
+shift || true
+
+cmake -B "$repo_root/build" -S "$repo_root" >/dev/null
+cmake --build "$repo_root/build" --target bench_bb_throughput -j >/dev/null
+
+mkdir -p "$(dirname "$out")"
+"$repo_root/build/bench/bench_bb_throughput" \
+  --benchmark_format=json \
+  --benchmark_out="$out" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "wrote $out" >&2

@@ -65,29 +65,37 @@ Result<PathId> BandwidthBroker::provision_path(const std::string& ingress,
 
 Result<std::vector<PathId>> BandwidthBroker::candidate_paths(
     const std::string& ingress, const std::string& egress) {
+  auto ids = candidate_paths_ref(ingress, egress);
+  if (!ids.is_ok()) return ids.status();
+  return *ids.value();
+}
+
+Result<const std::vector<PathId>*> BandwidthBroker::candidate_paths_ref(
+    const std::string& ingress, const std::string& egress) {
   auto primary = provision_path(ingress, egress);
   if (!primary.is_ok()) return primary.status();
-  std::vector<PathId> ids = paths_.find_all(ingress, egress);
-  if (options_.path_selection == PathSelection::kWidestResidual) {
-    std::stable_sort(ids.begin(), ids.end(), [this](PathId a, PathId b) {
-      const BitsPerSecond ra = paths_.min_residual(a, nodes_);
-      const BitsPerSecond rb = paths_.min_residual(b, nodes_);
-      if (ra != rb) return ra > rb;
-      return paths_.record(a).hop_count() < paths_.record(b).hop_count();
-    });
+  const std::vector<PathId>& ids = paths_.find_all_ref(ingress, egress);
+  if (options_.path_selection != PathSelection::kWidestResidual) {
+    return &ids;
   }
-  return ids;
+  candidates_scratch_.assign(ids.begin(), ids.end());
+  std::stable_sort(candidates_scratch_.begin(), candidates_scratch_.end(),
+                   [this](PathId a, PathId b) {
+                     const BitsPerSecond ra = paths_.min_residual(a, nodes_);
+                     const BitsPerSecond rb = paths_.min_residual(b, nodes_);
+                     if (ra != rb) return ra > rb;
+                     return paths_.record(a).hop_count() <
+                            paths_.record(b).hop_count();
+                   });
+  return &candidates_scratch_;
 }
 
 PathView BandwidthBroker::path_view(PathId path) const {
   PathView view;
   view.record = &paths_.record(path);
   view.c_res = paths_.min_residual(path, nodes_);
-  for (const auto& ln : view.record->link_names) {
-    const LinkQosState& link = nodes_.link(ln);
-    view.links.push_back(&link);
-    if (link.delay_based()) view.edf_links.push_back(&link);
-  }
+  view.links = paths_.link_states(path, nodes_);
+  view.edf_links = paths_.edf_link_states(path, nodes_);
   return view;
 }
 
@@ -107,8 +115,9 @@ void BandwidthBroker::book_reservation(const PathRecord& rec,
   // The admissibility test ran against a consistent snapshot of the MIBs
   // (the broker is a single sequential control point), so booking cannot
   // fail; violations are internal errors.
-  for (const auto& ln : rec.link_names) {
-    LinkQosState& link = nodes_.link(ln);
+  for (const LinkQosState* cached : paths_.link_states(rec.id, nodes_)) {
+    // The cache hands out const pointers; the broker owns nodes_ mutably.
+    LinkQosState& link = const_cast<LinkQosState&>(*cached);
     Status s = link.reserve(params.rate);
     QOSBB_REQUIRE(s.is_ok(), "bookkeeping raced admissibility: rate");
     link.note_flow_added();
@@ -126,8 +135,8 @@ void BandwidthBroker::book_reservation(const PathRecord& rec,
 void BandwidthBroker::unbook_reservation(const PathRecord& rec,
                                          const RateDelayPair& params,
                                          const TrafficProfile& profile) {
-  for (const auto& ln : rec.link_names) {
-    LinkQosState& link = nodes_.link(ln);
+  for (const LinkQosState* cached : paths_.link_states(rec.id, nodes_)) {
+    LinkQosState& link = const_cast<LinkQosState&>(*cached);
     link.release(params.rate);
     link.note_flow_removed();
     link.release_buffer(per_hop_buffer_bound(
@@ -186,7 +195,7 @@ BandwidthBroker::try_preempt(const FlowServiceRequest& request,
       --it->second;
       evicted.push_back(victim);
       last_outcome_ = admit_per_flow(path_view(candidate), request.profile,
-                                     request.e2e_delay_req);
+                                     request.e2e_delay_req, &scratch_);
       if (last_outcome_.admitted) {
         std::vector<FlowId> ids;
         ids.reserve(evicted.size());
@@ -244,7 +253,7 @@ Result<Reservation> BandwidthBroker::request_service(
   }
   // Path selection: candidates in preference order; admit on the first
   // that passes (alternate routes are admission fallbacks).
-  auto candidates = candidate_paths(request.ingress, request.egress);
+  auto candidates = candidate_paths_ref(request.ingress, request.egress);
   if (!candidates.is_ok()) {
     last_outcome_ = AdmissionOutcome{};
     last_outcome_.reason = RejectReason::kNoPath;
@@ -253,10 +262,10 @@ Result<Reservation> BandwidthBroker::request_service(
   }
   // Phase 1: path-oriented admissibility test (Section 3).
   PathId chosen = kInvalidPathId;
-  for (PathId candidate : candidates.value()) {
+  for (PathId candidate : *candidates.value()) {
     const PathView view = path_view(candidate);
-    last_outcome_ =
-        admit_per_flow(view, request.profile, request.e2e_delay_req);
+    last_outcome_ = admit_per_flow(view, request.profile,
+                                   request.e2e_delay_req, &scratch_);
     if (last_outcome_.admitted) {
       chosen = candidate;
       break;
@@ -270,14 +279,14 @@ Result<Reservation> BandwidthBroker::request_service(
       (last_outcome_.reason == RejectReason::kInsufficientBandwidth ||
        last_outcome_.reason == RejectReason::kEdfUnschedulable ||
        last_outcome_.reason == RejectReason::kInsufficientBuffer)) {
-    if (auto got = try_preempt(request, candidates.value())) {
+    if (auto got = try_preempt(request, *candidates.value())) {
       chosen = got->first;
       preempted = std::move(got->second);
     }
   }
   if (chosen == kInvalidPathId) {
-    audit.path = candidates.value().empty() ? kInvalidPathId
-                                            : candidates.value().front();
+    audit.path = candidates.value()->empty() ? kInvalidPathId
+                                             : candidates.value()->front();
     if (audit.path != kInvalidPathId) {
       audit.path_residual = path_residual(audit.path);
     }
@@ -359,7 +368,8 @@ Result<Reservation> BandwidthBroker::renegotiate_service(
   // parameters or restore the old ones — atomic from the caller's view.
   unbook_reservation(path, rec.value().reservation, rec.value().profile);
   const PathView view = path_view(rec.value().path);
-  last_outcome_ = admit_per_flow(view, rec.value().profile, new_delay_req);
+  last_outcome_ = admit_per_flow(view, rec.value().profile, new_delay_req,
+                                 &scratch_);
   if (!last_outcome_.admitted) {
     book_reservation(path, rec.value().reservation, rec.value().profile);
     ++stats_.rejected[last_outcome_.reason];

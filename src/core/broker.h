@@ -151,7 +151,8 @@ class BandwidthBroker {
       const std::vector<std::uint8_t>& frame);
 
   /// Assemble the admissibility-test snapshot for a path (exposed for tests
-  /// and benches that call the Section-3 algorithms directly).
+  /// and benches that call the Section-3 algorithms directly). Allocation
+  /// free: the view's spans alias the path MIB's cached link arrays.
   PathView path_view(PathId path) const;
   /// C_res^P of a provisioned path.
   BitsPerSecond path_residual(PathId path) const;
@@ -167,6 +168,11 @@ class BandwidthBroker {
   /// Signaling-rate limiter gate (BrokerOptions::max_request_rate_per_
   /// ingress). Callers must pass non-decreasing `now` for refill to work.
   bool request_rate_ok(const std::string& ingress, Seconds now);
+  /// Candidate routes in preference order without copying: points into the
+  /// path MIB (kMinHop) or into candidates_scratch_ (kWidestResidual). The
+  /// result is invalidated by the next candidate_paths_ref call.
+  Result<const std::vector<PathId>*> candidate_paths_ref(
+      const std::string& ingress, const std::string& egress);
   /// Preemption: evict strictly lower-priority per-flow reservations from
   /// one of `candidates` until `request` fits. On success returns the path
   /// and the evicted flow ids (already released); on failure restores
@@ -189,6 +195,12 @@ class BandwidthBroker {
   std::unordered_map<std::string, std::size_t> ingress_flows_;
   /// Per-ingress signaling-rate limiters (created lazily when configured).
   std::unordered_map<std::string, TokenBucket> limiters_;
+  /// Reusable buffers for the §3.2 scan — the steady-state admission path
+  /// allocates nothing (the broker is a single sequential control point, so
+  /// one set of buffers suffices).
+  AdmissionScratch scratch_;
+  /// Reorder buffer for kWidestResidual candidate sorting.
+  std::vector<PathId> candidates_scratch_;
 };
 
 }  // namespace qosbb

@@ -111,16 +111,19 @@ Status ClassBasedManager::reserve_on_path(PathId path,
   if (dr <= kEps && !with_offset) return Status::ok();
   const PathRecord& rec = paths_.record(path);
   const Bits l_path = rec.l_path_max;
+  // Pre-resolved link pointers from the path MIB cache; the manager owns
+  // nodes_ mutably, so shedding const is sound.
+  const auto& links = paths_.link_states(path, nodes_);
   auto undo = [&](std::size_t upto) {
     for (std::size_t i = 0; i < upto; ++i) {
-      LinkQosState& link = nodes_.link(rec.link_names[i]);
+      LinkQosState& link = const_cast<LinkQosState&>(*links[i]);
       if (dr > kEps) link.release(dr);
       const Bits buf = buffer_amount(link, cls, dr, with_offset, l_path);
       if (buf > 0.0) link.release_buffer(buf);
     }
   };
-  for (std::size_t done = 0; done < rec.link_names.size(); ++done) {
-    LinkQosState& link = nodes_.link(rec.link_names[done]);
+  for (std::size_t done = 0; done < links.size(); ++done) {
+    LinkQosState& link = const_cast<LinkQosState&>(*links[done]);
     if (dr > kEps) {
       Status s = link.reserve(dr);
       if (!s.is_ok()) {
@@ -146,8 +149,8 @@ void ClassBasedManager::release_on_path(PathId path, const ServiceClass& cls,
   if (dr <= kEps && !with_offset) return;
   const PathRecord& rec = paths_.record(path);
   const Bits l_path = rec.l_path_max;
-  for (const auto& ln : rec.link_names) {
-    LinkQosState& link = nodes_.link(ln);
+  for (const LinkQosState* cached : paths_.link_states(path, nodes_)) {
+    LinkQosState& link = const_cast<LinkQosState&>(*cached);
     if (dr > kEps) link.release(dr);
     const Bits buf = buffer_amount(link, cls, dr, with_offset, l_path);
     if (buf > 0.0) link.release_buffer(buf);
@@ -159,22 +162,18 @@ Status ClassBasedManager::swap_edf_entries(PathId path,
                                            BitsPerSecond old_rate,
                                            BitsPerSecond new_rate,
                                            Bits l_path) {
-  const PathRecord& rec = paths_.record(path);
-  std::vector<LinkQosState*> edf_links;
-  for (const auto& ln : rec.link_names) {
-    LinkQosState& link = nodes_.link(ln);
-    if (link.delay_based()) edf_links.push_back(&link);
-  }
+  const auto& edf_links = paths_.edf_link_states(path, nodes_);
   if (edf_links.empty()) return Status::ok();
   // Remove the old entries, test the new rate, then either commit or
   // restore.
-  for (LinkQosState* link : edf_links) {
-    if (old_rate > kEps) link->remove_edf_entry(old_rate, cls.delay_param,
-                                                l_path);
+  for (const LinkQosState* cached : edf_links) {
+    LinkQosState& link = const_cast<LinkQosState&>(*cached);
+    if (old_rate > kEps) link.remove_edf_entry(old_rate, cls.delay_param,
+                                               l_path);
   }
   bool ok = true;
   if (new_rate > kEps) {
-    for (LinkQosState* link : edf_links) {
+    for (const LinkQosState* link : edf_links) {
       if (!link->edf_schedulable_with(new_rate, cls.delay_param, l_path)) {
         ok = false;
         break;
@@ -182,9 +181,10 @@ Status ClassBasedManager::swap_edf_entries(PathId path,
     }
   }
   const BitsPerSecond commit_rate = ok ? new_rate : old_rate;
-  for (LinkQosState* link : edf_links) {
+  for (const LinkQosState* cached : edf_links) {
+    LinkQosState& link = const_cast<LinkQosState&>(*cached);
     if (commit_rate > kEps) {
-      link->add_edf_entry(commit_rate, cls.delay_param, l_path);
+      link.add_edf_entry(commit_rate, cls.delay_param, l_path);
     }
   }
   if (!ok) {

@@ -50,6 +50,7 @@ Status LinkQosState::reserve(BitsPerSecond r) {
                             std::to_string(r));
   }
   reserved_ += r;
+  ++rate_version_;
   return Status::ok();
 }
 
@@ -58,6 +59,7 @@ void LinkQosState::release(BitsPerSecond r) {
   QOSBB_REQUIRE(reserved_ >= r - kRateTolerance,
                 "LinkQosState::release: releasing more than reserved");
   reserved_ = std::max(0.0, reserved_ - r);
+  ++rate_version_;
 }
 
 void LinkQosState::note_flow_removed() {
@@ -73,6 +75,7 @@ void LinkQosState::add_edf_entry(BitsPerSecond r, Seconds d, Bits l_max) {
   b.sum_rate += r;
   b.sum_l += l_max;
   ++b.count;
+  knots_dirty_ = true;
 }
 
 void LinkQosState::remove_edf_entry(BitsPerSecond r, Seconds d, Bits l_max) {
@@ -84,67 +87,82 @@ void LinkQosState::remove_edf_entry(BitsPerSecond r, Seconds d, Bits l_max) {
   b.sum_l -= l_max;
   --b.count;
   if (b.count == 0) edf_.erase(it);
+  knots_dirty_ = true;
 }
 
-double LinkQosState::residual_service(Seconds t) const {
-  QOSBB_REQUIRE(t >= 0.0, "residual_service: negative time");
-  double demand = 0.0;
-  for (const auto& [d, b] : edf_) {
-    if (d > t) break;
-    demand += b.sum_rate * (t - d) + b.sum_l;
-  }
-  return capacity_ * t - demand;
-}
-
-std::vector<std::pair<Seconds, double>>
-LinkQosState::residual_service_at_knots() const {
-  std::vector<std::pair<Seconds, double>> out;
-  out.reserve(edf_.size());
+void LinkQosState::rebuild_knot_cache() const {
+  // One ascending walk, identical arithmetic to a from-scratch
+  // recomputation (this IS the from-scratch recomputation, amortized to
+  // once per MIB mutation instead of once per read). Capacity is retained
+  // across rebuilds, so the steady state allocates nothing.
+  knot_cache_.clear();
+  knot_cache_.reserve(edf_.size());
   double rate_sum = 0.0;   // Σ r_j over d_j <= current knot
   double fixed_sum = 0.0;  // Σ (L_j − r_j·d_j)
   for (const auto& [d, b] : edf_) {
     rate_sum += b.sum_rate;
     fixed_sum += b.sum_l - b.sum_rate * d;
     // demand(d) = rate_sum·d + fixed_sum
-    out.emplace_back(d, capacity_ * d - (rate_sum * d + fixed_sum));
+    knot_cache_.push_back(KnotPrefix{
+        d, rate_sum, fixed_sum,
+        capacity_ * d - (rate_sum * d + fixed_sum)});
   }
+  knots_dirty_ = false;
+}
+
+double LinkQosState::residual_service(Seconds t) const {
+  QOSBB_REQUIRE(t >= 0.0, "residual_service: negative time");
+  const auto& knots = knot_prefixes();
+  // Demand parameters in effect at t: the last knot with d <= t.
+  auto it = std::upper_bound(
+      knots.begin(), knots.end(), t,
+      [](double v, const KnotPrefix& p) { return v < p.d; });
+  if (it == knots.begin()) return capacity_ * t;
+  const KnotPrefix& p = *std::prev(it);
+  return capacity_ * t - (p.rate_sum * t + p.fixed_sum);
+}
+
+std::vector<std::pair<Seconds, double>>
+LinkQosState::residual_service_at_knots() const {
+  const auto& knots = knot_prefixes();
+  std::vector<std::pair<Seconds, double>> out;
+  out.reserve(knots.size());
+  for (const KnotPrefix& p : knots) out.emplace_back(p.d, p.s);
   return out;
 }
 
 bool LinkQosState::edf_schedulable_with(BitsPerSecond r, Seconds d,
                                         Bits l_max) const {
   QOSBB_REQUIRE(delay_based(), "edf_schedulable_with on a rate-based link");
-  // Single ascending walk over the knots with running prefix sums — O(K),
-  // keeping the whole admission test within the paper's O(M) budget.
-  double rate_sum = 0.0;   // Σ r_j over knots <= current
-  double fixed_sum = 0.0;  // Σ (L_j − r_j·d_j) over knots <= current
-  bool own_checked = false;
-  for (const auto& [dk, b] : edf_) {
-    if (!own_checked && dk > d) {
-      // Own-deadline knot (eq. 5 at t = d): demand uses entries with
-      // d_j <= d, i.e. the prefix accumulated so far.
-      if (capacity_ * d - (rate_sum * d + fixed_sum) < l_max - 1e-6) {
-        return false;
-      }
-      own_checked = true;
-    }
-    rate_sum += b.sum_rate;
-    fixed_sum += b.sum_l - b.sum_rate * dk;
-    if (dk >= d) {
-      // Existing knot d^k >= d: residual there must absorb the new flow's
-      // demand r·(d^k − d) + L (eq. 8).
-      const double residual = capacity_ * dk - (rate_sum * dk + fixed_sum);
-      if (residual < r * (dk - d) + l_max - 1e-6) return false;
-    }
+  // O(log K + |knots >= d|) over the cached knot prefixes. Each clause is a
+  // pure predicate on the same state as the classic full walk, so the
+  // verdict is identical.
+  const auto& knots = knot_prefixes();
+  // Own-deadline knot (eq. 5 at t = d): demand uses entries with d_j <= d —
+  // the cached prefix at the last knot <= d.
+  double rate_sum = 0.0;   // Σ r_j over knots <= d
+  double fixed_sum = 0.0;  // Σ (L_j − r_j·d_j) over knots <= d
+  auto gt = std::upper_bound(
+      knots.begin(), knots.end(), d,
+      [](double v, const KnotPrefix& p) { return v < p.d; });
+  if (gt != knots.begin()) {
+    rate_sum = std::prev(gt)->rate_sum;
+    fixed_sum = std::prev(gt)->fixed_sum;
   }
-  if (!own_checked) {
-    // d lies at or beyond the last knot: all entries contribute.
-    if (capacity_ * d - (rate_sum * d + fixed_sum) < l_max - 1e-6) {
-      return false;
-    }
+  if (capacity_ * d - (rate_sum * d + fixed_sum) < l_max - 1e-6) {
+    return false;
+  }
+  // Existing knots d^k >= d: residual there must absorb the new flow's
+  // demand r·(d^k − d) + L (eq. 8).
+  auto ge = std::lower_bound(
+      knots.begin(), knots.end(), d,
+      [](const KnotPrefix& p, double v) { return p.d < v; });
+  for (auto it = ge; it != knots.end(); ++it) {
+    if (it->s < r * (it->d - d) + l_max - 1e-6) return false;
   }
   // Slope condition (t -> infinity).
-  return rate_sum + r <= capacity_ + kRateTolerance;
+  const double total_rate = knots.empty() ? 0.0 : knots.back().rate_sum;
+  return total_rate + r <= capacity_ + kRateTolerance;
 }
 
 NodeMib::NodeMib(const DomainSpec& spec) {

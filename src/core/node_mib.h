@@ -11,6 +11,7 @@
 #ifndef QOSBB_CORE_NODE_MIB_H_
 #define QOSBB_CORE_NODE_MIB_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -41,6 +42,11 @@ class LinkQosState {
   BitsPerSecond reserved() const { return reserved_; }
   BitsPerSecond residual() const { return capacity_ - reserved_; }
   std::size_t flow_count() const { return flows_; }
+
+  /// Monotone counter bumped on every successful reserve()/release(), i.e.
+  /// whenever residual() changes. Lets path-level caches (C_res^P) detect
+  /// staleness with one integer load per hop instead of recomputing.
+  std::uint64_t rate_version() const { return rate_version_; }
 
   /// Reserve `r` b/s (rate-based bookkeeping; also the Σr <= C slope
   /// condition of VT-EDF). Fails if residual is insufficient. Pure
@@ -74,7 +80,26 @@ class LinkQosState {
   };
   const std::map<Seconds, EdfBucket>& edf_buckets() const { return edf_; }
 
+  /// One cached knot of the EDF reservation set: the distinct delay d, the
+  /// prefix sums over all knots <= d, and the residual service S = R(d).
+  /// demand(t) for t in [d, next knot) is rate_sum·t + fixed_sum.
+  struct KnotPrefix {
+    Seconds d = 0.0;
+    double rate_sum = 0.0;   ///< Σ r_j over knots <= d
+    double fixed_sum = 0.0;  ///< Σ (L_j − r_j·d_j) over knots <= d
+    double s = 0.0;          ///< S = C·d − (rate_sum·d + fixed_sum)
+  };
+  /// The sorted knot array with prefix sums, ascending in d. Rebuilt lazily
+  /// (dirty flag set by add/remove_edf_entry) with the exact arithmetic of a
+  /// from-scratch walk, so cached values are bit-identical to recomputation.
+  /// The returned reference stays valid until the next EDF mutation.
+  const std::vector<KnotPrefix>& knot_prefixes() const {
+    if (knots_dirty_) rebuild_knot_cache();
+    return knot_cache_;
+  }
+
   /// Residual service R(t) = C·t − Σ_{d_j <= t}[r_j (t − d_j) + L_j].
+  /// O(log K) via the cached prefixes.
   double residual_service(Seconds t) const;
   /// (d^k, S^k = R(d^k)) for every distinct delay d^k, ascending — one walk.
   std::vector<std::pair<Seconds, double>> residual_service_at_knots() const;
@@ -84,6 +109,8 @@ class LinkQosState {
   bool edf_schedulable_with(BitsPerSecond r, Seconds d, Bits l_max) const;
 
  private:
+  void rebuild_knot_cache() const;
+
   std::string name_;
   BitsPerSecond capacity_;
   SchedPolicy policy_;
@@ -93,7 +120,12 @@ class LinkQosState {
   Bits buffer_reserved_ = 0.0;
   BitsPerSecond reserved_ = 0.0;
   std::size_t flows_ = 0;
+  std::uint64_t rate_version_ = 0;
   std::map<Seconds, EdfBucket> edf_;
+  /// Lazily rebuilt mirror of edf_ as a flat sorted array with prefix sums
+  /// (the §3.2 S^k values and the OwnDeadline prefixes in one structure).
+  mutable std::vector<KnotPrefix> knot_cache_;
+  mutable bool knots_dirty_ = false;
 };
 
 /// The node MIB: all links of the domain, keyed "from->to".

@@ -27,6 +27,7 @@ PathId PathMib::provision(const std::vector<std::string>& nodes) {
   by_nodes_.emplace(node_key, rec.id);
   by_endpoints_[nodes.front() + "|" + nodes.back()].push_back(rec.id);
   records_.push_back(std::move(rec));
+  cache_.emplace_back();
   return records_.back().id;
 }
 
@@ -39,8 +40,14 @@ PathId PathMib::find(const std::string& ingress,
 
 std::vector<PathId> PathMib::find_all(const std::string& ingress,
                                       const std::string& egress) const {
+  return find_all_ref(ingress, egress);
+}
+
+const std::vector<PathId>& PathMib::find_all_ref(
+    const std::string& ingress, const std::string& egress) const {
+  static const std::vector<PathId> kEmpty;
   auto it = by_endpoints_.find(ingress + "|" + egress);
-  return it == by_endpoints_.end() ? std::vector<PathId>{} : it->second;
+  return it == by_endpoints_.end() ? kEmpty : it->second;
 }
 
 const PathRecord& PathMib::record(PathId id) const {
@@ -49,13 +56,62 @@ const PathRecord& PathMib::record(PathId id) const {
   return records_[static_cast<std::size_t>(id)];
 }
 
+PathMib::PathCache& PathMib::cache_entry(PathId id,
+                                         const NodeMib& nodes) const {
+  const PathRecord& rec = record(id);
+  PathCache& c = cache_[static_cast<std::size_t>(id)];
+  if (c.resolved_for != &nodes) {
+    // First use (or a different NodeMib than last time — tests sometimes
+    // evaluate one PathMib against several MIBs): resolve the name -> link
+    // pointers once. NodeMib's map is node-based, so pointers are stable.
+    c.links.clear();
+    c.edf_links.clear();
+    c.links.reserve(rec.link_names.size());
+    for (const auto& ln : rec.link_names) {
+      const LinkQosState& link = nodes.link(ln);
+      c.links.push_back(&link);
+      if (link.delay_based()) c.edf_links.push_back(&link);
+    }
+    c.resolved_for = &nodes;
+    c.c_res_valid = false;
+  }
+  return c;
+}
+
 BitsPerSecond PathMib::min_residual(PathId id, const NodeMib& nodes) const {
+  PathCache& c = cache_entry(id, nodes);
+  std::uint64_t sum = 0;
+  for (const LinkQosState* link : c.links) sum += link->rate_version();
+  if (!c.c_res_valid || sum != c.version_sum) {
+    BitsPerSecond res = std::numeric_limits<BitsPerSecond>::infinity();
+    for (const LinkQosState* link : c.links) {
+      res = std::min(res, link->residual());
+    }
+    c.c_res = res;
+    c.version_sum = sum;
+    c.c_res_valid = true;
+  }
+  return c.c_res;
+}
+
+BitsPerSecond PathMib::min_residual_uncached(PathId id,
+                                             const NodeMib& nodes) const {
   const PathRecord& rec = record(id);
   BitsPerSecond res = std::numeric_limits<BitsPerSecond>::infinity();
   for (const auto& ln : rec.link_names) {
     res = std::min(res, nodes.link(ln).residual());
   }
   return res;
+}
+
+const std::vector<const LinkQosState*>& PathMib::link_states(
+    PathId id, const NodeMib& nodes) const {
+  return cache_entry(id, nodes).links;
+}
+
+const std::vector<const LinkQosState*>& PathMib::edf_link_states(
+    PathId id, const NodeMib& nodes) const {
+  return cache_entry(id, nodes).edf_links;
 }
 
 }  // namespace qosbb

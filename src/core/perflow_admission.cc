@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <set>
-#include <sstream>
 
 #include "util/status.h"
 #include "vtrs/delay_bounds.h"
@@ -39,60 +37,121 @@ AdmissionOutcome reject(RejectReason reason, std::string detail,
   return out;
 }
 
-/// Per-link helper for the new flow's own-deadline constraint: precomputed
-/// prefix sums over the link's EDF knots so that, inside any delay interval,
-/// the minimal d with residual_service(d) >= L is O(log K).
-class OwnDeadlineSolver {
- public:
-  explicit OwnDeadlineSolver(const LinkQosState& link)
-      : capacity_(link.capacity()) {
-    knots_.reserve(link.edf_buckets().size());
-    double rate_sum = 0.0;
-    double fixed_sum = 0.0;
-    for (const auto& [d, b] : link.edf_buckets()) {
-      rate_sum += b.sum_rate;
-      fixed_sum += b.sum_l - b.sum_rate * d;
-      knots_.push_back(Prefix{d, rate_sum, fixed_sum});
-    }
+/// The new flow's own-deadline constraint on one link: minimal d in
+/// [lo, hi) with C·d − demand(d) >= l_new, or +inf if none. demand is
+/// evaluated with knots <= d (as in eq. 5); `lo`/`hi` are a global knot
+/// interval, so no link knot lies strictly inside. O(log K) over the
+/// link's cached knot prefixes — no per-request solver construction.
+double min_feasible_d(const LinkQosState& link, double lo, double hi,
+                      Bits l_new) {
+  const auto& knots = link.knot_prefixes();
+  const double capacity = link.capacity();
+  // Demand parameters in effect over [lo, hi): knots with d <= lo.
+  double rate_sum = 0.0;
+  double fixed_sum = 0.0;
+  // Binary search the last knot <= lo.
+  auto it = std::upper_bound(
+      knots.begin(), knots.end(), lo,
+      [](double v, const LinkQosState::KnotPrefix& p) { return v < p.d; });
+  if (it != knots.begin()) {
+    const LinkQosState::KnotPrefix& p = *std::prev(it);
+    rate_sum = p.rate_sum;
+    fixed_sum = p.fixed_sum;
   }
-
-  /// Minimal d in [lo, hi) with C·d − demand(d) >= l_new, or +inf if none.
-  /// demand is evaluated with knots <= d (as in eq. 5); `lo`/`hi` are a
-  /// global knot interval, so no link knot lies strictly inside.
-  double min_feasible_d(double lo, double hi, Bits l_new) const {
-    // Demand parameters in effect over [lo, hi): knots with d <= lo.
-    double rate_sum = 0.0;
-    double fixed_sum = 0.0;
-    // Binary search the last knot <= lo.
-    auto it = std::upper_bound(knots_.begin(), knots_.end(), lo,
-                               [](double v, const Prefix& p) { return v < p.d; });
-    if (it != knots_.begin()) {
-      const Prefix& p = *std::prev(it);
-      rate_sum = p.rate_sum;
-      fixed_sum = p.fixed_sum;
-    }
-    // Need (C − rate_sum)·d >= l_new + fixed_sum.
-    const double slope = capacity_ - rate_sum;
-    const double need = l_new + fixed_sum;
-    if (slope <= kRateEps) {
-      // Demand grows as fast as service: feasible only if already met.
-      return (capacity_ * lo - (rate_sum * lo + fixed_sum) >= l_new - 1e-9)
-                 ? lo
-                 : kInf;
-    }
-    const double d_min = std::max(lo, need / slope);
-    return d_min < hi ? d_min : kInf;
+  // Need (C − rate_sum)·d >= l_new + fixed_sum.
+  const double slope = capacity - rate_sum;
+  const double need = l_new + fixed_sum;
+  if (slope <= kRateEps) {
+    // Demand grows as fast as service: feasible only if already met.
+    return (capacity * lo - (rate_sum * lo + fixed_sum) >= l_new - 1e-9)
+               ? lo
+               : kInf;
   }
+  const double d_min = std::max(lo, need / slope);
+  return d_min < hi ? d_min : kInf;
+}
 
- private:
-  struct Prefix {
-    double d;
-    double rate_sum;   // Σ r_j over knots <= d
-    double fixed_sum;  // Σ (L_j − r_j·d_j) over knots <= d
-  };
-  double capacity_;
-  std::vector<Prefix> knots_;
-};
+/// Merge the per-link cached knot arrays into the global ascending knot set
+/// d^1 < ... < d^M with S^k = min over the links CARRYING knot d^k of their
+/// residual service there (Section 3.2). A k-way merge with raw pointer
+/// cursors into the scratch buffers: no node allocations, no comparisons
+/// beyond the O(M·hq) walk.
+void merge_knots(std::span<const LinkQosState* const> links,
+                 AdmissionScratch& scratch) {
+  scratch.knots.clear();
+  scratch.s_vals.clear();
+  const std::size_t n = links.size();
+  if (n == 1) {
+    const auto& kp = links[0]->knot_prefixes();
+    scratch.knots.reserve(kp.size());
+    scratch.s_vals.reserve(kp.size());
+    for (const auto& p : kp) {
+      scratch.knots.push_back(p.d);
+      scratch.s_vals.push_back(p.s);
+    }
+    return;
+  }
+  if (n == 2) {
+    // Two delay-based hops is the common shape; plain two-pointer merge.
+    const auto& a = links[0]->knot_prefixes();
+    const auto& b = links[1]->knot_prefixes();
+    scratch.knots.reserve(a.size() + b.size());
+    scratch.s_vals.reserve(a.size() + b.size());
+    std::size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+      if (a[i].d < b[j].d) {
+        scratch.knots.push_back(a[i].d);
+        scratch.s_vals.push_back(a[i].s);
+        ++i;
+      } else if (b[j].d < a[i].d) {
+        scratch.knots.push_back(b[j].d);
+        scratch.s_vals.push_back(b[j].s);
+        ++j;
+      } else {
+        scratch.knots.push_back(a[i].d);
+        scratch.s_vals.push_back(std::min(a[i].s, b[j].s));
+        ++i;
+        ++j;
+      }
+    }
+    for (; i < a.size(); ++i) {
+      scratch.knots.push_back(a[i].d);
+      scratch.s_vals.push_back(a[i].s);
+    }
+    for (; j < b.size(); ++j) {
+      scratch.knots.push_back(b[j].d);
+      scratch.s_vals.push_back(b[j].s);
+    }
+    return;
+  }
+  // Resolve each link's cached array once (knot_prefixes() carries a dirty
+  // check); merge over [begin, end) pointer cursors held in scratch.
+  scratch.heads.clear();
+  std::size_t total = 0;
+  for (const LinkQosState* link : links) {
+    const auto& kp = link->knot_prefixes();
+    scratch.heads.push_back({kp.data(), kp.data() + kp.size()});
+    total += kp.size();
+  }
+  scratch.knots.reserve(total);
+  scratch.s_vals.reserve(total);
+  while (true) {
+    double dmin = kInf;
+    for (const auto& [cur, end] : scratch.heads) {
+      if (cur != end && cur->d < dmin) dmin = cur->d;
+    }
+    if (std::isinf(dmin)) break;
+    double s = kInf;
+    for (auto& [cur, end] : scratch.heads) {
+      if (cur != end && cur->d == dmin) {
+        s = std::min(s, cur->s);
+        ++cur;
+      }
+    }
+    scratch.knots.push_back(dmin);
+    scratch.s_vals.push_back(s);
+  }
+}
 
 }  // namespace
 
@@ -129,7 +188,10 @@ AdmissionOutcome admit_rate_only(const PathView& view,
 }
 
 AdmissionOutcome admit_mixed(const PathView& view,
-                             const TrafficProfile& profile, Seconds d_req) {
+                             const TrafficProfile& profile, Seconds d_req,
+                             AdmissionScratch* scratch) {
+  AdmissionScratch local;
+  AdmissionScratch& buf = scratch != nullptr ? *scratch : local;
   QOSBB_REQUIRE(view.record != nullptr, "admit_mixed: null path record");
   const PathRecord& rec = *view.record;
   const int h = rec.hop_count();
@@ -166,33 +228,24 @@ AdmissionOutcome admit_mixed(const PathView& view,
 
   // Global knot set d^1 < ... < d^M across the path's delay-based hops, and
   // the per-knot minimal residual service S^k = min_i R_i(d^k) over the
-  // hops that actually carry the knot (Section 3.2).
-  std::map<Seconds, double> s_at;  // knot -> S^k
-  for (const LinkQosState* link : view.edf_links) {
-    for (const auto& [d, s] : link->residual_service_at_knots()) {
-      auto [it, inserted] = s_at.emplace(d, s);
-      if (!inserted) it->second = std::min(it->second, s);
-    }
-  }
-  std::vector<Seconds> knots;
-  std::vector<double> s_vals;
-  knots.reserve(s_at.size());
-  for (const auto& [d, s] : s_at) {
-    knots.push_back(d);
-    s_vals.push_back(s);
-  }
+  // hops that actually carry the knot (Section 3.2). K-way merge of the
+  // links' cached knot arrays into the reusable scratch buffers.
+  merge_knots(view.edf_links, buf);
+  const std::vector<Seconds>& knots = buf.knots;
+  const std::vector<double>& s_vals = buf.s_vals;
   const int m_count = static_cast<int>(knots.size());  // M
 
-  std::vector<OwnDeadlineSolver> own;
-  own.reserve(view.edf_links.size());
-  for (const LinkQosState* link : view.edf_links) own.emplace_back(*link);
+  // Index of the first knot with d^k >= t^ν (knots below it cannot bound r
+  // from above, nor host t^ν as an interval right edge).
+  const int k_tnu = static_cast<int>(
+      std::lower_bound(knots.begin(), knots.end(), t_nu) - knots.begin());
 
   // Static upper bound from knots with d^k >= t^ν (eq. 11, k >= m* terms):
   //   r (d^k − d^ν) + L <= S^k  with d^ν = t − Ξ/r gives
   //   r <= (S^k − Ξ − L) / (d^k − t)  for d^k > t, and the r-independent
   //   feasibility requirement S^k >= Ξ + L for d^k == t.
   double ub_knots = kInf;
-  for (int k = 0; k < m_count; ++k) {
+  for (int k = k_tnu; k < m_count; ++k) {
     if (knots[static_cast<std::size_t>(k)] > t_nu) {
       const double num = s_vals[static_cast<std::size_t>(k)] - xi - l;
       if (num < 0.0) {
@@ -201,7 +254,7 @@ AdmissionOutcome admit_mixed(const PathView& view,
       }
       ub_knots = std::min(
           ub_knots, num / (knots[static_cast<std::size_t>(k)] - t_nu));
-    } else if (knots[static_cast<std::size_t>(k)] == t_nu) {
+    } else {  // knots[k] == t_nu (k >= k_tnu excludes d^k < t^ν)
       if (s_vals[static_cast<std::size_t>(k)] < xi + l - 1e-9) {
         return reject(RejectReason::kEdfUnschedulable,
                       "residual service at knot t^nu too small", 0);
@@ -211,7 +264,8 @@ AdmissionOutcome admit_mixed(const PathView& view,
 
   // Right-most interval index m* (1-based over intervals
   // [d^{m-1}, d^m), m = 1..M+1 with d^0 = 0, d^{M+1} = ∞): the first whose
-  // interior can contain d^ν < t^ν.
+  // interior can contain d^ν < t^ν, i.e. d^{m*−1} < t^ν <= d^{m*} — exactly
+  // the interval whose right edge is the first knot >= t^ν.
   auto knot_at = [&](int idx) -> double {  // d^idx with d^0 = 0, d^{M+1} = ∞
     if (idx <= 0) return 0.0;
     if (idx > m_count) return kInf;
@@ -220,13 +274,7 @@ AdmissionOutcome admit_mixed(const PathView& view,
   auto s_of = [&](int idx) -> double {  // S^idx, idx in [1, M]
     return s_vals[static_cast<std::size_t>(idx - 1)];
   };
-  int m_star = m_count + 1;
-  for (int m = 1; m <= m_count + 1; ++m) {
-    if (knot_at(m - 1) < t_nu && t_nu <= knot_at(m)) {
-      m_star = m;
-      break;
-    }
-  }
+  const int m_star = k_tnu + 1;
 
   // Scan m = m*, m*−1, ..., 1. Running lower bound from knots with
   // d^k < t^ν that lie at or right of the current interval (they join as m
@@ -263,8 +311,8 @@ AdmissionOutcome admit_mixed(const PathView& view,
     // as the scan moves left.
     double d_own = d_left;
     bool own_feasible = true;
-    for (const auto& solver : own) {
-      const double dm = solver.min_feasible_d(d_left, knot_at(m), l);
+    for (const LinkQosState* link : view.edf_links) {
+      const double dm = min_feasible_d(*link, d_left, knot_at(m), l);
       if (std::isinf(dm)) {
         own_feasible = false;
         break;
@@ -331,13 +379,13 @@ AdmissionOutcome admit_mixed(const PathView& view,
 }
 
 AdmissionOutcome admit_per_flow(const PathView& view,
-                                const TrafficProfile& profile,
-                                Seconds d_req) {
+                                const TrafficProfile& profile, Seconds d_req,
+                                AdmissionScratch* scratch) {
   QOSBB_REQUIRE(view.record != nullptr, "admit_per_flow: null path record");
   if (view.record->abstract.delay_based_count() == 0) {
     return admit_rate_only(view, profile, d_req);
   }
-  return admit_mixed(view, profile, d_req);
+  return admit_mixed(view, profile, d_req, scratch);
 }
 
 }  // namespace qosbb

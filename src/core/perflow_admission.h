@@ -24,6 +24,8 @@
 #ifndef QOSBB_CORE_PERFLOW_ADMISSION_H_
 #define QOSBB_CORE_PERFLOW_ADMISSION_H_
 
+#include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -45,15 +47,33 @@ struct AdmissionOutcome {
 };
 
 /// Read-only view of one path's QoS state, assembled by the broker from the
-/// path and node MIBs at test time.
+/// path and node MIBs at test time. The spans alias the path MIB's cached
+/// link-pointer arrays — assembling a view allocates nothing and copies two
+/// pointers per span.
 struct PathView {
   const PathRecord* record = nullptr;
   BitsPerSecond c_res = 0.0;  ///< C_res^P
   /// The path's delay-based links, in path order (empty on rate-only paths).
-  std::vector<const LinkQosState*> edf_links;
+  std::span<const LinkQosState* const> edf_links;
   /// ALL links of the path in hop order (aligned with record->abstract.hops);
   /// used for the per-hop buffer feasibility check.
-  std::vector<const LinkQosState*> links;
+  std::span<const LinkQosState* const> links;
+};
+
+/// Reusable scratch buffers for the §3.2 Figure-4 scan (the merged global
+/// knot array d^1..d^M with its S^k values, and the per-link merge
+/// cursors). Owned by the caller — the broker keeps one per instance — so
+/// the steady-state admission test performs no heap allocation.
+struct AdmissionScratch {
+  std::vector<Seconds> knots;
+  std::vector<double> s_vals;
+  /// Per-link [cursor, end) ranges over the cached knot arrays during the
+  /// k-way merge.
+  struct KnotRange {
+    const LinkQosState::KnotPrefix* cur = nullptr;
+    const LinkQosState::KnotPrefix* end = nullptr;
+  };
+  std::vector<KnotRange> heads;
 };
 
 /// §3.1 test. Requires a path with no delay-based hops.
@@ -61,13 +81,17 @@ AdmissionOutcome admit_rate_only(const PathView& view,
                                  const TrafficProfile& profile,
                                  Seconds d_req);
 
-/// §3.2 Figure-4 test. Requires at least one delay-based hop.
+/// §3.2 Figure-4 test. Requires at least one delay-based hop. `scratch`
+/// buffers are reused across calls when provided (nullptr falls back to
+/// function-local buffers).
 AdmissionOutcome admit_mixed(const PathView& view,
-                             const TrafficProfile& profile, Seconds d_req);
+                             const TrafficProfile& profile, Seconds d_req,
+                             AdmissionScratch* scratch = nullptr);
 
 /// Dispatcher: picks the §3.1 or §3.2 test by path composition.
 AdmissionOutcome admit_per_flow(const PathView& view,
-                                const TrafficProfile& profile, Seconds d_req);
+                                const TrafficProfile& profile, Seconds d_req,
+                                AdmissionScratch* scratch = nullptr);
 
 }  // namespace qosbb
 

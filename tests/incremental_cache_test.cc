@@ -1,0 +1,254 @@
+// Property tests for the incremental MIB caches (PR: admission hot path).
+//
+// The cached EDF knot-prefix arrays (LinkQosState::knot_prefixes) and the
+// cached per-path bottleneck C_res^P (PathMib::min_residual) must be
+// indistinguishable from from-scratch recomputation after ANY churn history
+// of admissions, releases, renegotiations, and class joins/leaves across
+// mixed paths. The lazy rebuild performs the exact arithmetic of the
+// reference walk, so all comparisons here are EXACT (EXPECT_EQ on doubles),
+// not approximate — any drift is a bug in the invalidation logic.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "core/broker.h"
+#include "core/perflow_admission.h"
+#include "topo/fig8.h"
+#include "util/rng.h"
+
+namespace qosbb {
+namespace {
+
+TrafficProfile random_profile(Rng& rng) {
+  const double l_max = 12000.0;
+  const double rho = rng.uniform(20000.0, 60000.0);
+  const double peak = rho * rng.uniform(1.2, 2.5);
+  const double sigma = l_max + rng.uniform(10000.0, 60000.0);
+  return TrafficProfile::make(sigma, rho, peak, l_max);
+}
+
+/// From-scratch (d^k, S^k) reference: one ascending walk over the raw
+/// edf_buckets() multiset, independent of the knot cache.
+std::vector<std::pair<Seconds, double>> reference_knots(
+    const LinkQosState& link) {
+  std::vector<std::pair<Seconds, double>> out;
+  double rate_sum = 0.0;
+  double fixed_sum = 0.0;
+  for (const auto& [d, b] : link.edf_buckets()) {
+    rate_sum += b.sum_rate;
+    fixed_sum += b.sum_l - b.sum_rate * d;
+    out.emplace_back(d, link.capacity() * d - (rate_sum * d + fixed_sum));
+  }
+  return out;
+}
+
+/// Every delay-based link's cached knot array must EXACTLY equal the
+/// reference recomputation, and every provisioned path's cached C_res^P
+/// must EXACTLY equal the uncached evaluation.
+void expect_caches_exact(const BandwidthBroker& bb, const DomainSpec& spec) {
+  for (const auto& l : spec.links) {
+    const LinkQosState& link = bb.nodes().link(l.from + "->" + l.to);
+    if (!link.delay_based()) continue;
+    const auto cached = link.residual_service_at_knots();
+    const auto ref = reference_knots(link);
+    ASSERT_EQ(cached.size(), ref.size()) << link.name();
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(cached[i].first, ref[i].first) << link.name() << " knot " << i;
+      EXPECT_EQ(cached[i].second, ref[i].second)
+          << link.name() << " S at knot " << i;
+    }
+  }
+  for (PathId id = 0; id < static_cast<PathId>(bb.paths().path_count());
+       ++id) {
+    EXPECT_EQ(bb.paths().min_residual(id, bb.nodes()),
+              bb.paths().min_residual_uncached(id, bb.nodes()))
+        << "path " << id;
+  }
+}
+
+/// Force every delay-based link's knot cache dirty without changing the MIB:
+/// add then remove a sentinel entry at a delay beyond any real knot. The
+/// bucket is created and erased, leaving edf_buckets() bit-identical, but
+/// the dirty flag makes the next read a full from-scratch rebuild.
+void force_dirty_all_knot_caches(BandwidthBroker& bb, const DomainSpec& spec) {
+  constexpr Seconds kSentinelDelay = 1.0e6;
+  for (const auto& l : spec.links) {
+    LinkQosState& link = bb.nodes().link(l.from + "->" + l.to);
+    if (!link.delay_based()) continue;
+    link.add_edf_entry(1.0, kSentinelDelay, 1.0);
+    link.remove_edf_entry(1.0, kSentinelDelay, 1.0);
+  }
+}
+
+class IncrementalCacheChurn : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalCacheChurn, CachesMatchFromScratchRecomputation) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const DomainSpec spec = fig8_topology(Fig8Setting::kMixed);
+  BandwidthBroker bb(spec, BrokerOptions{ContingencyMethod::kFeedback});
+  const ClassId cls = bb.define_class(2.19, 0.10, "cls");
+
+  std::vector<FlowId> per_flow, micro;
+  Seconds now = 0.0;
+  for (int round = 0; round < 60; ++round) {
+    now += 1.0;
+    switch (rng.uniform_int(0, 4)) {
+      case 0: {  // per-flow admission on a random endpoint pair
+        const bool s1 = rng.bernoulli(0.5);
+        auto res = bb.request_service(
+            {random_profile(rng), rng.uniform(1.8, 4.0),
+             s1 ? "I1" : "I2", s1 ? "E1" : "E2"},
+            now);
+        if (res.is_ok()) per_flow.push_back(res.value().flow);
+        break;
+      }
+      case 1: {  // class-based join (books through the same links)
+        auto j = bb.request_class_service(
+            cls, TrafficProfile::make(60000, 50000, 100000, 12000), "I1",
+            "E1", now, 0.0);
+        if (j.admitted) {
+          micro.push_back(j.microflow);
+          if (j.grant != kInvalidGrantId) {
+            bb.expire_contingency(j.grant, j.contingency_expires_at);
+          }
+        }
+        break;
+      }
+      case 2: {  // per-flow release
+        if (per_flow.empty()) break;
+        ASSERT_TRUE(bb.release_service(per_flow.back()).is_ok());
+        per_flow.pop_back();
+        break;
+      }
+      case 3: {  // renegotiation: unbook + re-admit + rebook, same flow id
+        if (per_flow.empty()) break;
+        const std::size_t idx = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(per_flow.size()) - 1));
+        (void)bb.renegotiate_service(per_flow[idx], rng.uniform(1.8, 4.0),
+                                     now);
+        break;
+      }
+      default: {  // class-based leave
+        if (micro.empty()) break;
+        auto l = bb.leave_class_service(micro.back(), now, 0.0);
+        ASSERT_TRUE(l.is_ok());
+        if (l.value().grant != kInvalidGrantId) {
+          bb.expire_contingency(l.value().grant,
+                                l.value().contingency_expires_at);
+        }
+        micro.pop_back();
+        break;
+      }
+    }
+    expect_caches_exact(bb, spec);
+  }
+
+  // Cached vs from-scratch admission decision: probe on warm caches, force
+  // a full rebuild of every knot cache, probe again. The §3 algorithms are
+  // deterministic in the knot arrays and C_res^P, so the two outcomes must
+  // be bit-identical.
+  const PathId path = bb.paths().find("I1", "E1");
+  ASSERT_NE(path, kInvalidPathId);
+  const TrafficProfile probe = TrafficProfile::make(60000, 50000, 100000,
+                                                    12000);
+  const AdmissionOutcome warm =
+      admit_per_flow(bb.path_view(path), probe, 2.19);
+  force_dirty_all_knot_caches(bb, spec);
+  const AdmissionOutcome cold =
+      admit_per_flow(bb.path_view(path), probe, 2.19);
+  EXPECT_EQ(warm.admitted, cold.admitted);
+  EXPECT_EQ(warm.reason, cold.reason);
+  EXPECT_EQ(warm.params.rate, cold.params.rate);
+  EXPECT_EQ(warm.params.delay, cold.params.delay);
+  EXPECT_EQ(warm.e2e_bound, cold.e2e_bound);
+  expect_caches_exact(bb, spec);
+
+  // Direct link mutation (no broker involvement) must be picked up by the
+  // version-counter revalidation of the path cache.
+  LinkQosState& mutated = bb.nodes().link(spec.links.front().from + "->" +
+                                          spec.links.front().to);
+  ASSERT_TRUE(mutated.reserve(1000.0).is_ok());
+  for (PathId id = 0; id < static_cast<PathId>(bb.paths().path_count());
+       ++id) {
+    EXPECT_EQ(bb.paths().min_residual(id, bb.nodes()),
+              bb.paths().min_residual_uncached(id, bb.nodes()))
+        << "path " << id << " after direct mutation";
+  }
+  mutated.release(1000.0);
+  expect_caches_exact(bb, spec);
+}
+
+TEST_P(IncrementalCacheChurn, SnapshotRestoreRebuildsConsistentCaches) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  const DomainSpec spec = fig8_topology(Fig8Setting::kMixed);
+  BandwidthBroker bb(spec, BrokerOptions{ContingencyMethod::kFeedback});
+
+  std::vector<FlowId> per_flow;
+  Seconds now = 0.0;
+  for (int round = 0; round < 40; ++round) {
+    now += 1.0;
+    if (rng.bernoulli(0.65) || per_flow.empty()) {
+      const bool s1 = rng.bernoulli(0.5);
+      auto res = bb.request_service(
+          {random_profile(rng), rng.uniform(1.8, 4.0),
+           s1 ? "I1" : "I2", s1 ? "E1" : "E2"},
+          now);
+      if (res.is_ok()) per_flow.push_back(res.value().flow);
+    } else {
+      ASSERT_TRUE(bb.release_service(per_flow.back()).is_ok());
+      per_flow.pop_back();
+    }
+  }
+
+  auto frame = bb.snapshot();
+  ASSERT_TRUE(frame.is_ok()) << frame.status().to_string();
+  auto restored = BandwidthBroker::restore(
+      spec, BrokerOptions{ContingencyMethod::kFeedback}, frame.value());
+  ASSERT_TRUE(restored.is_ok()) << restored.status().to_string();
+  BandwidthBroker& rb = *restored.value();
+
+  // The restored broker's caches must be internally exact (its own
+  // from-scratch reference), and match the original's observable state to
+  // float tolerance (restore re-books in flow-id order, so sums may differ
+  // in the last ulp).
+  expect_caches_exact(rb, spec);
+  for (const auto& l : spec.links) {
+    const std::string name = l.from + "->" + l.to;
+    const LinkQosState& a = bb.nodes().link(name);
+    const LinkQosState& b = rb.nodes().link(name);
+    if (!a.delay_based()) continue;
+    const auto ka = a.residual_service_at_knots();
+    const auto kb = b.residual_service_at_knots();
+    ASSERT_EQ(ka.size(), kb.size()) << name;
+    for (std::size_t i = 0; i < ka.size(); ++i) {
+      EXPECT_EQ(ka[i].first, kb[i].first) << name << " knot " << i;
+      EXPECT_NEAR(ka[i].second, kb[i].second, 1e-6)
+          << name << " S at knot " << i;
+    }
+  }
+  for (PathId id = 0; id < static_cast<PathId>(rb.paths().path_count());
+       ++id) {
+    EXPECT_EQ(rb.paths().min_residual(id, rb.nodes()),
+              rb.paths().min_residual_uncached(id, rb.nodes()))
+        << "restored path " << id;
+  }
+
+  // Identical next decision on a probe request.
+  const TrafficProfile probe =
+      TrafficProfile::make(60000, 50000, 100000, 12000);
+  auto a = bb.request_service({probe, 2.19, "I1", "E1"}, now + 1.0);
+  auto b = rb.request_service({probe, 2.19, "I1", "E1"}, now + 1.0);
+  ASSERT_EQ(a.is_ok(), b.is_ok());
+  if (a.is_ok()) {
+    EXPECT_NEAR(a.value().params.rate, b.value().params.rate, 1e-6);
+    EXPECT_NEAR(a.value().params.delay, b.value().params.delay, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalCacheChurn,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace qosbb
