@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""CI gate for the benchmark smoke run.
+
+Fails (exit 1) when the Google Benchmark JSON is missing any of the
+repository's headline benchmarks, or when any reported benchmark ran zero
+iterations — both are the signatures of a silently-broken bench binary
+that a plain exit-code check would miss.
+
+Usage: check_bench_smoke.py bench_smoke.json
+"""
+
+import json
+import sys
+
+# Benchmark families that must appear in every smoke run (a JSON entry
+# whose name starts with one of these prefixes counts).
+REQUIRED_PREFIXES = [
+    "BM_PerFlowAdmitRelease",
+    "BM_ClassJoinLeave",
+    "BM_PolicyCheckOnly",
+    "BM_PathViewOnly",
+]
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} bench_smoke.json", file=sys.stderr)
+        return 2
+    try:
+        with open(sys.argv[1], encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"FAIL: cannot read benchmark JSON: {exc}", file=sys.stderr)
+        return 1
+
+    benchmarks = report.get("benchmarks", [])
+    if not benchmarks:
+        print("FAIL: benchmark JSON contains no benchmarks", file=sys.stderr)
+        return 1
+
+    failed = False
+    for prefix in REQUIRED_PREFIXES:
+        if not any(b.get("name", "").startswith(prefix) for b in benchmarks):
+            print(f"FAIL: required benchmark missing: {prefix}",
+                  file=sys.stderr)
+            failed = True
+
+    for bench in benchmarks:
+        name = bench.get("name", "?")
+        if bench.get("run_type") == "aggregate":
+            continue
+        if bench.get("error_occurred"):
+            print(f"FAIL: {name}: {bench.get('error_message', 'error')}",
+                  file=sys.stderr)
+            failed = True
+        elif int(bench.get("iterations", 0)) <= 0:
+            print(f"FAIL: {name}: zero iterations", file=sys.stderr)
+            failed = True
+
+    if failed:
+        return 1
+    print(f"OK: {len(benchmarks)} benchmarks, all required present, "
+          "all with iterations > 0")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

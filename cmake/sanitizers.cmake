@@ -1,0 +1,29 @@
+# Sanitizer wiring, driven by the QOSBB_SANITIZE cache variable (see the
+# top-level CMakeLists). Applied globally so every target — libraries,
+# tests, the fuzz driver — runs instrumented; mixing instrumented and
+# uninstrumented TUs is how sanitizer runs silently lose coverage.
+
+if(NOT QOSBB_SANITIZE)
+  return()
+endif()
+
+string(REPLACE "," ";" _qosbb_san_list "${QOSBB_SANITIZE}")
+foreach(_san IN LISTS _qosbb_san_list)
+  if(NOT _san MATCHES "^(address|undefined|thread|leak)$")
+    message(FATAL_ERROR "QOSBB_SANITIZE: unknown sanitizer '${_san}'")
+  endif()
+endforeach()
+if("thread" IN_LIST _qosbb_san_list AND "address" IN_LIST _qosbb_san_list)
+  message(FATAL_ERROR "QOSBB_SANITIZE: thread and address are incompatible")
+endif()
+
+string(REPLACE ";" "," _qosbb_san_arg "${_qosbb_san_list}")
+set(_qosbb_san_flags
+    -fsanitize=${_qosbb_san_arg}
+    -fno-omit-frame-pointer
+    -fno-sanitize-recover=all)
+
+add_compile_options(${_qosbb_san_flags})
+add_link_options(${_qosbb_san_flags})
+
+message(STATUS "qosbb: sanitizers enabled: ${_qosbb_san_arg}")

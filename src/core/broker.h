@@ -132,6 +132,7 @@ class BandwidthBroker {
   const ClassBasedManager& classes() const { return classes_; }
   const BrokerStats& stats() const { return stats_; }
   const DomainSpec& spec() const { return spec_; }
+  const BrokerOptions& options() const { return options_; }
   const AuditLog& audit() const { return audit_; }
   AuditLog& audit() { return audit_; }
 

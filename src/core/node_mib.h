@@ -98,6 +98,15 @@ class LinkQosState {
     return knot_cache_;
   }
 
+  /// Whether the knot cache is pending a rebuild (differential-test hook).
+  bool knots_dirty() const { return knots_dirty_; }
+  /// The raw cached array WITHOUT triggering a rebuild (differential-test
+  /// hook; may be stale when knots_dirty()).
+  const std::vector<KnotPrefix>& raw_knot_cache() const { return knot_cache_; }
+  /// TEST ONLY: clear the dirty flag without rebuilding — simulates a
+  /// missed invalidation so harnesses can prove they would catch one.
+  void testonly_mark_knots_clean() { knots_dirty_ = false; }
+
   /// Residual service R(t) = C·t − Σ_{d_j <= t}[r_j (t − d_j) + L_j].
   /// O(log K) via the cached prefixes.
   double residual_service(Seconds t) const;

@@ -247,6 +247,74 @@ TEST_P(IncrementalCacheChurn, SnapshotRestoreRebuildsConsistentCaches) {
   }
 }
 
+// Regression guard for stale-cache-after-restore: snapshot a broker, keep
+// mutating the ORIGINAL, then restore — the restored broker's caches must
+// reflect the snapshot-time state (internally exact against its own
+// from-scratch reference), not the mutations that happened after the
+// frame was taken, and must stay exact under further churn of their own.
+TEST_P(IncrementalCacheChurn, RestoredCachesAreNotStale) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 3);
+  const DomainSpec spec = fig8_topology(Fig8Setting::kMixed);
+  BandwidthBroker bb(spec, BrokerOptions{ContingencyMethod::kFeedback});
+
+  std::vector<FlowId> per_flow;
+  Seconds now = 0.0;
+  for (int round = 0; round < 25; ++round) {
+    now += 1.0;
+    auto res = bb.request_service({random_profile(rng), rng.uniform(1.8, 4.0),
+                                   rng.bernoulli(0.5) ? "I1" : "I2",
+                                   rng.bernoulli(0.5) ? "E1" : "E2"},
+                                  now);
+    if (res.is_ok()) per_flow.push_back(res.value().flow);
+  }
+  // Warm every cache so the snapshot is taken from cached (not freshly
+  // rebuilt) state — the interesting starting point for staleness bugs.
+  expect_caches_exact(bb, spec);
+
+  auto frame = bb.snapshot();
+  ASSERT_TRUE(frame.is_ok()) << frame.status().to_string();
+
+  // Mutate the original AFTER the frame: the restored broker must not see
+  // any of this, cached or otherwise.
+  const BitsPerSecond reserved_before =
+      bb.nodes().link("R3->R4").reserved();
+  for (int round = 0; round < 10 && !per_flow.empty(); ++round) {
+    ASSERT_TRUE(bb.release_service(per_flow.back()).is_ok());
+    per_flow.pop_back();
+  }
+
+  auto restored = BandwidthBroker::restore(
+      spec, BrokerOptions{ContingencyMethod::kFeedback}, frame.value());
+  ASSERT_TRUE(restored.is_ok()) << restored.status().to_string();
+  BandwidthBroker& rb = *restored.value();
+
+  // Restored caches are exact against their own from-scratch reference...
+  expect_caches_exact(rb, spec);
+  // ...and reflect snapshot-time state, not the post-snapshot releases.
+  EXPECT_NEAR(rb.nodes().link("R3->R4").reserved(), reserved_before, 1e-6);
+  EXPECT_GT(rb.nodes().link("R3->R4").reserved(),
+            bb.nodes().link("R3->R4").reserved());
+
+  // Further churn on the restored broker keeps its caches exact (its
+  // version counters and dirty flags restarted from scratch).
+  std::vector<FlowId> rb_flows;
+  for (int round = 0; round < 20; ++round) {
+    now += 1.0;
+    if (rng.bernoulli(0.6) || rb_flows.empty()) {
+      auto res = rb.request_service(
+          {random_profile(rng), rng.uniform(1.8, 4.0),
+           rng.bernoulli(0.5) ? "I1" : "I2",
+           rng.bernoulli(0.5) ? "E1" : "E2"},
+          now);
+      if (res.is_ok()) rb_flows.push_back(res.value().flow);
+    } else {
+      ASSERT_TRUE(rb.release_service(rb_flows.back()).is_ok());
+      rb_flows.pop_back();
+    }
+    expect_caches_exact(rb, spec);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalCacheChurn,
                          ::testing::Range(1, 11));
 

@@ -1,0 +1,184 @@
+// Standalone differential fuzz driver (see tools/fuzz_harness.h).
+//
+//   fuzz_broker --seeds=1:10 --ops=2000              # fixed seed sweep
+//   fuzz_broker --topology=fig8-mixed --preemption   # one configuration
+//   fuzz_broker --repro=FILE                         # replay a repro file
+//   fuzz_broker --sabotage --seeds=1:3               # canary (must diverge)
+//
+// Every (seed, topology) pair runs the full differential check. On a
+// divergence the sequence is truncated + minimized and a replayable repro
+// file is written next to the binary (or to --dump-dir), then the driver
+// exits 1. --sabotage INVERTS the exit logic: it simulates a missed
+// knot-cache invalidation and the run fails unless the harness catches it.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/fuzz_harness.h"
+
+namespace {
+
+using qosbb::fuzz::FuzzConfig;
+using qosbb::fuzz::FuzzResult;
+using qosbb::fuzz::FuzzTopology;
+
+struct Args {
+  std::uint64_t seed_lo = 1;
+  std::uint64_t seed_hi = 10;
+  int ops = 2000;
+  std::vector<FuzzTopology> topologies = {FuzzTopology::kFig8Mixed,
+                                          FuzzTopology::kFig8RateOnly,
+                                          FuzzTopology::kDumbbellEdf};
+  bool preemption = false;
+  bool widest = false;
+  bool sabotage = false;
+  std::string repro_file;
+  std::string dump_dir = ".";
+};
+
+bool parse_args(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return a.compare(0, n, prefix) == 0 ? a.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--seeds=")) {
+      if (std::sscanf(v, "%llu:%llu",
+                      reinterpret_cast<unsigned long long*>(&args->seed_lo),
+                      reinterpret_cast<unsigned long long*>(
+                          &args->seed_hi)) == 2) {
+        continue;
+      }
+      args->seed_lo = args->seed_hi = std::strtoull(v, nullptr, 10);
+    } else if (const char* v2 = value("--ops=")) {
+      args->ops = std::atoi(v2);
+    } else if (const char* v3 = value("--topology=")) {
+      const std::string t = v3;
+      if (t == "fig8-mixed") {
+        args->topologies = {FuzzTopology::kFig8Mixed};
+      } else if (t == "fig8-rate-only") {
+        args->topologies = {FuzzTopology::kFig8RateOnly};
+      } else if (t == "dumbbell-edf") {
+        args->topologies = {FuzzTopology::kDumbbellEdf};
+      } else if (t == "all") {
+        // keep default
+      } else {
+        std::fprintf(stderr, "unknown topology '%s'\n", t.c_str());
+        return false;
+      }
+    } else if (a == "--preemption") {
+      args->preemption = true;
+    } else if (a == "--widest") {
+      args->widest = true;
+    } else if (a == "--sabotage") {
+      args->sabotage = true;
+    } else if (const char* v4 = value("--repro=")) {
+      args->repro_file = v4;
+    } else if (const char* v5 = value("--dump-dir=")) {
+      args->dump_dir = v5;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Minimize + dump a diverging run; returns the repro path.
+std::string dump_divergence(const FuzzConfig& cfg, const FuzzResult& result,
+                            const std::string& dump_dir) {
+  const std::vector<qosbb::fuzz::FuzzOp> minimized =
+      qosbb::fuzz::minimize(cfg, result.ops);
+  std::ostringstream name;
+  name << dump_dir << "/fuzz_repro_seed" << cfg.seed << "_"
+       << qosbb::fuzz::fuzz_topology_name(cfg.topology) << ".txt";
+  std::ofstream out(name.str());
+  out << qosbb::fuzz::dump_repro(cfg, minimized);
+  std::fprintf(stderr, "  minimized %zu -> %zu ops, repro: %s\n",
+               result.ops.size(), minimized.size(), name.str().c_str());
+  return name.str();
+}
+
+int run_repro(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open repro file '%s'\n", path.c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  auto parsed = qosbb::fuzz::parse_repro(buf.str());
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "malformed repro file '%s'\n", path.c_str());
+    return 2;
+  }
+  const FuzzResult result = qosbb::fuzz::replay(parsed->first,
+                                                parsed->second);
+  std::printf("%s\n", result.summary().c_str());
+  return result.ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, &args)) return 2;
+  if (!args.repro_file.empty()) return run_repro(args.repro_file);
+
+  if (args.sabotage) {
+    // The canary corrupts the EDF knot cache; a topology with no
+    // delay-based links has no such cache and can never diverge, so it
+    // would read as a false "sabotage undetected".
+    std::erase(args.topologies, FuzzTopology::kFig8RateOnly);
+    if (args.topologies.empty()) {
+      std::fprintf(stderr,
+                   "--sabotage needs a topology with delay-based links\n");
+      return 2;
+    }
+  }
+
+  int divergences = 0;
+  int runs = 0;
+  for (FuzzTopology topo : args.topologies) {
+    for (std::uint64_t seed = args.seed_lo; seed <= args.seed_hi; ++seed) {
+      FuzzConfig cfg;
+      cfg.seed = seed;
+      cfg.ops = args.ops;
+      cfg.topology = topo;
+      cfg.allow_preemption = args.preemption;
+      cfg.widest_residual = args.widest;
+      cfg.sabotage_knot_cache = args.sabotage;
+      const FuzzResult result = qosbb::fuzz::run_fuzz(cfg);
+      ++runs;
+      std::printf("seed %llu %s: %s\n",
+                  static_cast<unsigned long long>(seed),
+                  qosbb::fuzz::fuzz_topology_name(topo),
+                  result.summary().c_str());
+      if (!result.ok) {
+        ++divergences;
+        if (!args.sabotage) dump_divergence(cfg, result, args.dump_dir);
+      }
+    }
+  }
+  if (args.sabotage) {
+    // Canary mode: the simulated missed invalidation must be caught in
+    // EVERY run, otherwise the harness has lost its teeth.
+    if (divergences == runs) {
+      std::printf("sabotage caught in all %d runs — harness is live\n",
+                  runs);
+      return 0;
+    }
+    std::fprintf(stderr,
+                 "sabotage went UNDETECTED in %d of %d runs — the harness "
+                 "would miss a real missed-invalidation bug\n",
+                 runs - divergences, runs);
+    return 1;
+  }
+  return divergences == 0 ? 0 : 1;
+}

@@ -1,0 +1,589 @@
+#include "tools/fuzz_harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+
+#include "core/broker.h"
+#include "core/oracle.h"
+#include "topo/builders.h"
+#include "topo/fig8.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace qosbb::fuzz {
+namespace {
+
+/// Tolerance for "state unchanged after a rejected request" and for
+/// original-vs-restored comparisons (re-booking order changes float sums in
+/// the last ulp).
+constexpr double kStateTol = 1e-6;
+
+struct ExecState {
+  DomainSpec spec;
+  BrokerOptions options;
+  std::vector<std::pair<std::string, std::string>> pairs;
+  std::unique_ptr<BandwidthBroker> bb;
+  std::vector<ClassId> classes;
+  std::vector<FlowId> per_flow;
+  std::vector<FlowId> micro;
+  /// Out-of-band link reservations made by kLinkReserve, by link name —
+  /// declared to oracle_check_state so its rebooking reconstruction can
+  /// account for bandwidth no flow record explains.
+  std::unordered_map<std::string, double> external;
+  Seconds now = 0.0;
+};
+
+ExecState make_state(const FuzzConfig& cfg) {
+  ExecState st;
+  switch (cfg.topology) {
+    case FuzzTopology::kFig8Mixed:
+      st.spec = fig8_topology(Fig8Setting::kMixed);
+      st.pairs = {{"I1", "E1"}, {"I2", "E2"}};
+      break;
+    case FuzzTopology::kFig8RateOnly:
+      st.spec = fig8_topology(Fig8Setting::kRateBasedOnly);
+      st.pairs = {{"I1", "E1"}, {"I2", "E2"}};
+      break;
+    case FuzzTopology::kDumbbellEdf: {
+      DumbbellOptions opt;
+      opt.edge_pairs = 3;
+      opt.policy = SchedPolicy::kVtEdf;
+      st.spec = dumbbell_topology(opt);
+      st.pairs = {{"I0", "E0"}, {"I1", "E1"}, {"I2", "E2"}};
+      break;
+    }
+  }
+  st.options.contingency = ContingencyMethod::kFeedback;
+  st.options.allow_preemption = cfg.allow_preemption;
+  st.options.path_selection = cfg.widest_residual
+                                  ? PathSelection::kWidestResidual
+                                  : PathSelection::kMinHop;
+  st.bb = std::make_unique<BandwidthBroker>(st.spec, st.options);
+  // Provision every endpoint pair up front so broker and oracle see the
+  // same path MIB from op 0 (the broker would otherwise provision lazily
+  // inside the first request, which the oracle's pre-decision cannot see).
+  for (const auto& [in, out] : st.pairs) {
+    auto p = st.bb->provision_path(in, out);
+    QOSBB_REQUIRE(p.is_ok(), "fuzz: provisioning failed");
+  }
+  st.classes.push_back(st.bb->define_class(2.19, 0.10, "gold"));
+  st.classes.push_back(st.bb->define_class(3.0, 0.15, "silver"));
+  return st;
+}
+
+void for_each_delay_link(ExecState& st,
+                         const std::function<void(LinkQosState&)>& fn) {
+  for (const auto& l : st.spec.links) {
+    LinkQosState& link = st.bb->nodes().link(l.from + "->" + l.to);
+    if (link.delay_based()) fn(link);
+  }
+}
+
+/// Per-link (reserved, buffer_reserved) snapshot for the unchanged-on-
+/// reject check.
+std::vector<std::pair<double, double>> capture_links(const ExecState& st) {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(st.spec.links.size());
+  for (const auto& l : st.spec.links) {
+    const LinkQosState& link = st.bb->nodes().link(l.from + "->" + l.to);
+    out.emplace_back(link.reserved(), link.buffer_reserved());
+  }
+  return out;
+}
+
+bool links_unchanged(const ExecState& st,
+                     const std::vector<std::pair<double, double>>& before,
+                     bool exact, std::string* why) {
+  for (std::size_t i = 0; i < st.spec.links.size(); ++i) {
+    const auto& l = st.spec.links[i];
+    const LinkQosState& link = st.bb->nodes().link(l.from + "->" + l.to);
+    const double dr = std::abs(link.reserved() - before[i].first);
+    const double db = std::abs(link.buffer_reserved() - before[i].second);
+    const bool bad = exact ? (link.reserved() != before[i].first ||
+                              link.buffer_reserved() != before[i].second)
+                           : (dr > kStateTol || db > kStateTol);
+    if (bad) {
+      std::ostringstream os;
+      os.precision(17);
+      os << "rejected request mutated " << link.name() << ": reserved "
+         << before[i].first << " -> " << link.reserved() << ", buffer "
+         << before[i].second << " -> " << link.buffer_reserved();
+      *why = os.str();
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Validated profile from an op's recorded shape. The generator only emits
+/// shapes satisfying TrafficProfile::make's invariants.
+TrafficProfile op_profile(const FuzzOp& op) {
+  return TrafficProfile::make(op.sigma, op.rho, op.peak, op.l_max);
+}
+
+std::size_t pick(std::int64_t target, std::size_t size) {
+  return static_cast<std::size_t>(target % static_cast<std::int64_t>(size));
+}
+
+/// Execute one op differentially. Returns false and fills `why` on
+/// divergence.
+bool execute_op(ExecState& st, const FuzzOp& op, const FuzzConfig& cfg,
+                FuzzResult& stats, std::string* why) {
+  BandwidthBroker& bb = *st.bb;
+  std::ostringstream os;
+  os.precision(17);
+  switch (op.kind) {
+    case OpKind::kAdmit: {
+      const auto& [in, out] = st.pairs[pick(op.pair, st.pairs.size())];
+      FlowServiceRequest req{op_profile(op), op.d_req, in, out,
+                             cfg.allow_preemption ? op.priority : 0};
+      const OracleDecision od = oracle_decide_request(bb, req);
+      const auto before = capture_links(st);
+      auto res = bb.request_service(req, st.now);
+      const AdmissionOutcome& fast = bb.last_outcome();
+      if (res.is_ok()) {
+        ++stats.admits;
+        // Evicted victims are already released by the broker — drop them
+        // from the live list before they become dangling targets.
+        for (FlowId victim : res.value().preempted) {
+          std::erase(st.per_flow, victim);
+        }
+        st.per_flow.push_back(res.value().flow);
+        if (res.value().preempted.empty()) {
+          // Plain admission: oracle must agree on admit, path, and params.
+          if (!od.outcome.admitted) {
+            os << "broker admitted (r " << res.value().params.rate << ", d "
+               << res.value().params.delay << " on path "
+               << res.value().path << "), oracle rejected ("
+               << reject_reason_name(od.outcome.reason) << ": "
+               << od.outcome.detail << ")";
+            *why = os.str();
+            return false;
+          }
+          if (od.path != res.value().path) {
+            os << "path choice mismatch: broker " << res.value().path
+               << ", oracle " << od.path;
+            *why = os.str();
+            return false;
+          }
+          if (!oracle_outcomes_equivalent(fast, od.outcome, why)) {
+            return false;
+          }
+        }
+        // Admission via preemption: the oracle (which never preempts) is
+        // expected to reject; nothing to compare.
+      } else {
+        ++stats.rejects;
+        if (od.outcome.admitted) {
+          os << "broker rejected (" << fast.detail
+             << "), oracle admitted (r " << od.outcome.params.rate << ", d "
+             << od.outcome.params.delay << " on path " << od.path << ")";
+          *why = os.str();
+          return false;
+        }
+        // With preemption enabled a failed eviction attempt leaves
+        // last_outcome_ mid-eviction — compare reasons only without it.
+        if (!cfg.allow_preemption &&
+            !oracle_outcomes_equivalent(fast, od.outcome, why)) {
+          return false;
+        }
+        if (!links_unchanged(st, before, !cfg.allow_preemption, why)) {
+          return false;
+        }
+      }
+      break;
+    }
+    case OpKind::kRelease: {
+      if (st.per_flow.empty()) break;
+      const std::size_t idx = pick(op.target, st.per_flow.size());
+      const FlowId id = st.per_flow[idx];
+      auto s = bb.release_service(id);
+      if (!s.is_ok()) {
+        *why = "release of live flow failed: " + s.to_string();
+        return false;
+      }
+      st.per_flow[idx] = st.per_flow.back();
+      st.per_flow.pop_back();
+      ++stats.releases;
+      break;
+    }
+    case OpKind::kRenegotiate: {
+      if (st.per_flow.empty()) break;
+      const FlowId id = st.per_flow[pick(op.target, st.per_flow.size())];
+      auto rec = bb.flows().get(id);
+      QOSBB_REQUIRE(rec.is_ok(), "fuzz: live flow missing from MIB");
+      // The oracle evaluates the flow's path WITHOUT its own footprint —
+      // exactly what renegotiate_service tests after its withdraw step.
+      OracleExclusion ex;
+      ex.active = true;
+      ex.params = rec.value().reservation;
+      ex.l_max = rec.value().profile.l_max;
+      const AdmissionOutcome oracle = oracle_admit_per_flow(
+          bb.paths(), bb.nodes(), rec.value().path, rec.value().profile,
+          op.d_req, ex);
+      auto res = bb.renegotiate_service(id, op.d_req, st.now);
+      const AdmissionOutcome& fast = bb.last_outcome();
+      if (res.is_ok() != oracle.admitted) {
+        os << "renegotiation divergence for flow " << id << " to d_req "
+           << op.d_req << ": broker "
+           << (res.is_ok() ? "admitted" : "rejected") << " ("
+           << reject_reason_name(fast.reason) << "), oracle "
+           << (oracle.admitted ? "admitted" : "rejected") << " ("
+           << reject_reason_name(oracle.reason) << ")";
+        *why = os.str();
+        return false;
+      }
+      if (!oracle_outcomes_equivalent(fast, oracle, why)) return false;
+      ++stats.renegotiations;
+      break;
+    }
+    case OpKind::kClassJoin: {
+      const auto& [in, out] = st.pairs[pick(op.pair, st.pairs.size())];
+      const ClassId cls = st.classes[pick(op.target, st.classes.size())];
+      auto j = bb.request_class_service(cls, op_profile(op), in, out, st.now,
+                                        0.0);
+      if (j.admitted) {
+        ++stats.joins;
+        st.micro.push_back(j.microflow);
+        // Settle the contingency grant immediately: keeps the broker
+        // quiescent so every op may snapshot, and the settled allocation is
+        // what the oracle's rebooking reconstruction expects.
+        if (j.grant != kInvalidGrantId) {
+          bb.expire_contingency(j.grant, j.contingency_expires_at);
+        }
+      }
+      break;
+    }
+    case OpKind::kClassLeave: {
+      if (st.micro.empty()) break;
+      const std::size_t idx = pick(op.target, st.micro.size());
+      const FlowId id = st.micro[idx];
+      auto l = bb.leave_class_service(id, st.now, 0.0);
+      if (!l.is_ok()) {
+        *why = "leave of live microflow failed: " + l.status().to_string();
+        return false;
+      }
+      if (l.value().grant != kInvalidGrantId) {
+        bb.expire_contingency(l.value().grant,
+                              l.value().contingency_expires_at);
+      }
+      st.micro[idx] = st.micro.back();
+      st.micro.pop_back();
+      ++stats.leaves;
+      break;
+    }
+    case OpKind::kLinkReserve: {
+      const auto& l = st.spec.links[pick(op.target, st.spec.links.size())];
+      const std::string name = l.from + "->" + l.to;
+      if (bb.nodes().link(name).reserve(op.amount).is_ok()) {
+        st.external[name] += op.amount;
+      }
+      break;
+    }
+    case OpKind::kLinkRelease: {
+      const auto& l = st.spec.links[pick(op.target, st.spec.links.size())];
+      const std::string name = l.from + "->" + l.to;
+      const double have = st.external[name];
+      const double amt = std::min(have, op.amount);
+      if (amt > 0.0) {
+        bb.nodes().link(name).release(amt);
+        st.external[name] = have - amt;
+      }
+      break;
+    }
+    case OpKind::kSnapshotRestore: {
+      if (bb.classes().active_grants() != 0) break;  // not quiescent
+      // Out-of-band reservations are not flow state and would not survive
+      // the rebuild — drain them first (checkpoint discipline).
+      for (auto& [name, amt] : st.external) {
+        if (amt > 0.0) bb.nodes().link(name).release(amt);
+        amt = 0.0;
+      }
+      auto frame = bb.snapshot();
+      if (!frame.is_ok()) {
+        *why = "snapshot failed: " + frame.status().to_string();
+        return false;
+      }
+      auto restored =
+          BandwidthBroker::restore(st.spec, st.options, frame.value());
+      if (!restored.is_ok()) {
+        *why = "restore failed: " + restored.status().to_string();
+        return false;
+      }
+      // The rebuilt broker must present the same observable link state (to
+      // re-summation tolerance) and the same flow population.
+      for (const auto& l : st.spec.links) {
+        const std::string name = l.from + "->" + l.to;
+        const LinkQosState& a = bb.nodes().link(name);
+        const LinkQosState& b = restored.value()->nodes().link(name);
+        if (std::abs(a.reserved() - b.reserved()) > kStateTol ||
+            std::abs(a.buffer_reserved() - b.buffer_reserved()) >
+                kStateTol) {
+          os << "restore changed " << name << ": reserved " << a.reserved()
+             << " -> " << b.reserved() << ", buffer " << a.buffer_reserved()
+             << " -> " << b.buffer_reserved();
+          *why = os.str();
+          return false;
+        }
+      }
+      if (restored.value()->flows().count() != bb.flows().count() ||
+          restored.value()->classes().macroflow_count() !=
+              bb.classes().macroflow_count()) {
+        *why = "restore changed the flow population";
+        return false;
+      }
+      st.bb = std::move(restored.value());  // continue on the restored broker
+      ++stats.snapshots;
+      break;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* op_kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::kAdmit:
+      return "admit";
+    case OpKind::kRelease:
+      return "release";
+    case OpKind::kRenegotiate:
+      return "renegotiate";
+    case OpKind::kClassJoin:
+      return "class-join";
+    case OpKind::kClassLeave:
+      return "class-leave";
+    case OpKind::kLinkReserve:
+      return "link-reserve";
+    case OpKind::kLinkRelease:
+      return "link-release";
+    case OpKind::kSnapshotRestore:
+      return "snapshot-restore";
+  }
+  return "?";
+}
+
+const char* fuzz_topology_name(FuzzTopology t) {
+  switch (t) {
+    case FuzzTopology::kFig8Mixed:
+      return "fig8-mixed";
+    case FuzzTopology::kFig8RateOnly:
+      return "fig8-rate-only";
+    case FuzzTopology::kDumbbellEdf:
+      return "dumbbell-edf";
+  }
+  return "?";
+}
+
+std::string FuzzOp::to_line() const {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "%d %.17g %.17g %.17g %.17g %.17g %d %d %lld %.17g",
+                static_cast<int>(kind), sigma, rho, peak, l_max, d_req,
+                priority, pair, static_cast<long long>(target), amount);
+  return buf;
+}
+
+std::optional<FuzzOp> FuzzOp::from_line(const std::string& line) {
+  FuzzOp op;
+  int kind_int = 0;
+  long long target_ll = 0;
+  std::istringstream is(line);
+  if (!(is >> kind_int >> op.sigma >> op.rho >> op.peak >> op.l_max >>
+        op.d_req >> op.priority >> op.pair >> target_ll >> op.amount)) {
+    return std::nullopt;
+  }
+  if (kind_int < 0 || kind_int > static_cast<int>(OpKind::kSnapshotRestore)) {
+    return std::nullopt;
+  }
+  op.kind = static_cast<OpKind>(kind_int);
+  op.target = target_ll;
+  return op;
+}
+
+std::string FuzzResult::summary() const {
+  std::ostringstream os;
+  os << (ok ? "OK" : "DIVERGED") << ": " << ops_executed << " ops ("
+     << admits << " admits, " << rejects << " rejects, " << releases
+     << " releases, " << renegotiations << " renegotiations, " << joins
+     << " joins, " << leaves << " leaves, " << snapshots << " snapshots)";
+  if (!ok) os << "\n  op " << divergence_op << ": " << divergence;
+  return os.str();
+}
+
+FuzzResult replay(const FuzzConfig& cfg, const std::vector<FuzzOp>& ops) {
+  FuzzResult result;
+  result.ops = ops;
+  ExecState st = make_state(cfg);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    st.now += 1.0;
+    if (cfg.sabotage_knot_cache) {
+      // Warm every knot cache so the only pending invalidation is the one
+      // this op is about to cause...
+      for_each_delay_link(st,
+                          [](LinkQosState& l) { (void)l.knot_prefixes(); });
+    }
+    std::string why;
+    bool ok = execute_op(st, ops[i], cfg, result, &why);
+    if (ok) {
+      if (cfg.sabotage_knot_cache) {
+        // ...then drop the dirty flag without rebuilding — a simulated
+        // missed invalidation the state audit below must catch.
+        for_each_delay_link(
+            st, [](LinkQosState& l) { l.testonly_mark_knots_clean(); });
+      }
+      const OracleStateReport rep = oracle_check_state(*st.bb, &st.external);
+      if (!rep.ok) {
+        ok = false;
+        why = "after " + std::string(op_kind_name(ops[i].kind)) + ": " +
+              rep.to_string();
+      }
+    }
+    ++result.ops_executed;
+    if (!ok) {
+      result.ok = false;
+      result.divergence_op = static_cast<int>(i);
+      result.divergence = why;
+      return result;
+    }
+  }
+  return result;
+}
+
+namespace {
+
+std::vector<FuzzOp> generate_ops(const FuzzConfig& cfg) {
+  Rng rng(cfg.seed * 6364136223846793005ULL + 1442695040888963407ULL);
+  std::vector<FuzzOp> ops;
+  ops.reserve(static_cast<std::size_t>(cfg.ops));
+  for (int i = 0; i < cfg.ops; ++i) {
+    FuzzOp op;
+    const std::int64_t roll = rng.uniform_int(1, 100);
+    if (roll <= 30) {
+      op.kind = OpKind::kAdmit;
+    } else if (roll <= 44) {
+      op.kind = OpKind::kRelease;
+    } else if (roll <= 54) {
+      op.kind = OpKind::kRenegotiate;
+    } else if (roll <= 68) {
+      op.kind = OpKind::kClassJoin;
+    } else if (roll <= 77) {
+      op.kind = OpKind::kClassLeave;
+    } else if (roll <= 85) {
+      op.kind = OpKind::kLinkReserve;
+    } else if (roll <= 92) {
+      op.kind = OpKind::kLinkRelease;
+    } else {
+      op.kind = OpKind::kSnapshotRestore;
+    }
+    // Traffic shape (valid by construction: σ >= L > 0, P >= ρ > 0).
+    op.l_max = rng.uniform(3000.0, 12000.0);
+    op.rho = rng.uniform(20000.0, 60000.0);
+    op.peak = op.rho * rng.uniform(1.2, 4.0);
+    op.sigma = op.l_max + rng.uniform(10000.0, 60000.0);
+    // Mostly admissible delay requirements, some tight ones for the reject
+    // paths (kNoFeasibleRate / kEdfUnschedulable).
+    op.d_req = rng.bernoulli(0.8) ? rng.uniform(1.6, 4.0)
+                                  : rng.uniform(0.3, 1.2);
+    op.priority = static_cast<int>(rng.uniform_int(0, 3));
+    op.pair = static_cast<int>(rng.uniform_int(0, 7));
+    op.target = rng.uniform_int(0, (std::int64_t{1} << 30) - 1);
+    op.amount = rng.uniform(20000.0, 200000.0);
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+}  // namespace
+
+FuzzResult run_fuzz(const FuzzConfig& cfg) {
+  return replay(cfg, generate_ops(cfg));
+}
+
+std::vector<FuzzOp> minimize(const FuzzConfig& cfg,
+                             const std::vector<FuzzOp>& ops) {
+  FuzzResult base = replay(cfg, ops);
+  if (base.ok) return ops;  // nothing to minimize
+  std::vector<FuzzOp> cur(ops.begin(),
+                          ops.begin() + base.divergence_op + 1);
+  for (std::size_t chunk = cur.size() / 2; chunk >= 1; chunk /= 2) {
+    std::size_t start = 0;
+    while (start < cur.size() && cur.size() > 1) {
+      const std::size_t len = std::min(chunk, cur.size() - start);
+      std::vector<FuzzOp> candidate;
+      candidate.reserve(cur.size() - len);
+      candidate.insert(candidate.end(), cur.begin(),
+                       cur.begin() + static_cast<std::ptrdiff_t>(start));
+      candidate.insert(
+          candidate.end(),
+          cur.begin() + static_cast<std::ptrdiff_t>(start + len), cur.end());
+      if (!candidate.empty() && !replay(cfg, candidate).ok) {
+        cur = std::move(candidate);  // chunk was irrelevant; keep removal
+      } else {
+        start += len;
+      }
+    }
+    if (chunk == 1) break;
+  }
+  return cur;
+}
+
+std::string dump_repro(const FuzzConfig& cfg,
+                       const std::vector<FuzzOp>& ops) {
+  std::ostringstream os;
+  os << "# qosbb fuzz repro\n";
+  os << "# seed " << cfg.seed << " ops " << ops.size() << " topology "
+     << static_cast<int>(cfg.topology) << " preemption "
+     << (cfg.allow_preemption ? 1 : 0) << " widest "
+     << (cfg.widest_residual ? 1 : 0) << " sabotage "
+     << (cfg.sabotage_knot_cache ? 1 : 0) << "\n";
+  for (const FuzzOp& op : ops) os << op.to_line() << "\n";
+  return os.str();
+}
+
+std::optional<std::pair<FuzzConfig, std::vector<FuzzOp>>> parse_repro(
+    const std::string& text) {
+  FuzzConfig cfg;
+  std::vector<FuzzOp> ops;
+  std::istringstream is(text);
+  std::string line;
+  bool have_header = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream hs(line);
+      std::string hash, key;
+      hs >> hash >> key;
+      if (key != "seed") continue;
+      hs.str(line);
+      hs.clear();
+      std::uint64_t seed = 0;
+      int nops = 0, topo = 0, pre = 0, widest = 0, sab = 0;
+      std::string k1, k2, k3, k4, k5, k6;
+      if (hs >> hash >> k1 >> seed >> k2 >> nops >> k3 >> topo >> k4 >>
+          pre >> k5 >> widest >> k6 >> sab) {
+        cfg.seed = seed;
+        cfg.ops = nops;
+        cfg.topology = static_cast<FuzzTopology>(topo);
+        cfg.allow_preemption = pre != 0;
+        cfg.widest_residual = widest != 0;
+        cfg.sabotage_knot_cache = sab != 0;
+        have_header = true;
+      }
+      continue;
+    }
+    auto op = FuzzOp::from_line(line);
+    if (!op.has_value()) return std::nullopt;
+    ops.push_back(*op);
+  }
+  if (!have_header) return std::nullopt;
+  return std::make_pair(cfg, std::move(ops));
+}
+
+}  // namespace qosbb::fuzz

@@ -1,0 +1,126 @@
+// Deterministic differential fuzzer for the bandwidth broker.
+//
+// Generates long randomized operation sequences over the full broker API —
+// per-flow admit/release/renegotiate, class-based microflow join/leave,
+// out-of-band link bandwidth mutation, snapshot → restore → continue — and
+// after EVERY operation asserts equivalence between the broker's cached
+// fast path and the from-scratch reference oracle (core/oracle.h):
+//
+//   * per-flow decisions (admit bit, chosen path, rate/delay/bound within
+//     kOracleRateTol, reject-reason class) against oracle_decide_request /
+//     oracle_admit_per_flow,
+//   * the full MIB state (knot caches, C_res^P caches, reserved bandwidth
+//     vs. a full-map rebooking) against oracle_check_state,
+//   * rejected requests leave the MIB state untouched.
+//
+// All randomness is resolved at GENERATION time into concrete FuzzOp
+// records, so a dumped op log replays without the generator (and therefore
+// survives minimization and generator changes). On divergence the driver
+// truncates + greedily minimizes the sequence and produces a replayable
+// repro file ("# seed ..." header + one op per line).
+
+#ifndef QOSBB_TOOLS_FUZZ_HARNESS_H_
+#define QOSBB_TOOLS_FUZZ_HARNESS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qosbb::fuzz {
+
+enum class OpKind : int {
+  kAdmit = 0,
+  kRelease = 1,
+  kRenegotiate = 2,
+  kClassJoin = 3,
+  kClassLeave = 4,
+  kLinkReserve = 5,
+  kLinkRelease = 6,
+  kSnapshotRestore = 7,
+};
+const char* op_kind_name(OpKind k);
+
+/// One concrete, replayable operation. Ordinal fields (`pair`, `target`)
+/// are reduced modulo the relevant live-list size at execution time, so a
+/// sequence stays executable after minimization removes earlier ops.
+struct FuzzOp {
+  OpKind kind = OpKind::kAdmit;
+  // Traffic shape for kAdmit / kClassJoin (σ, ρ, P, L) and the delay
+  // requirement for kAdmit / kRenegotiate.
+  double sigma = 0.0;
+  double rho = 0.0;
+  double peak = 0.0;
+  double l_max = 0.0;
+  double d_req = 0.0;
+  int priority = 0;   ///< holding priority (preemption configs only)
+  int pair = 0;       ///< ingress/egress pair ordinal
+  std::int64_t target = 0;  ///< flow / class / link ordinal (mod list size)
+  double amount = 0.0;      ///< bandwidth for kLinkReserve / kLinkRelease
+
+  std::string to_line() const;
+  static std::optional<FuzzOp> from_line(const std::string& line);
+};
+
+enum class FuzzTopology : int {
+  kFig8Mixed = 0,     // Figure 8, Setting B (C̸SVC + VT-EDF hops)
+  kFig8RateOnly = 1,  // Figure 8, Setting A (all rate-based)
+  kDumbbellEdf = 2,   // 3-pair dumbbell, every link VT-EDF
+};
+const char* fuzz_topology_name(FuzzTopology t);
+
+struct FuzzConfig {
+  std::uint64_t seed = 1;
+  int ops = 2000;
+  FuzzTopology topology = FuzzTopology::kFig8Mixed;
+  bool allow_preemption = false;
+  bool widest_residual = false;
+  /// TEST ONLY (canary): drop every knot-cache dirty flag after each op
+  /// without rebuilding — simulates a forgotten invalidation. The harness
+  /// MUST report a divergence quickly under this flag.
+  bool sabotage_knot_cache = false;
+};
+
+struct FuzzResult {
+  bool ok = true;
+  int ops_executed = 0;
+  int divergence_op = -1;   ///< index into `ops` of the diverging op
+  std::string divergence;   ///< human-readable description
+  std::vector<FuzzOp> ops;  ///< the concrete sequence that ran
+
+  // Aggregate counters (reporting only).
+  int admits = 0;
+  int rejects = 0;
+  int releases = 0;
+  int renegotiations = 0;
+  int joins = 0;
+  int leaves = 0;
+  int snapshots = 0;
+
+  std::string summary() const;
+};
+
+/// Generate `cfg.ops` concrete operations from `cfg.seed` and run them
+/// differentially. Stops at the first divergence.
+FuzzResult run_fuzz(const FuzzConfig& cfg);
+
+/// Replay a concrete operation sequence differentially (used by repro files
+/// and by minimization; `cfg.seed`/`cfg.ops` are ignored here).
+FuzzResult replay(const FuzzConfig& cfg, const std::vector<FuzzOp>& ops);
+
+/// Greedy chunked minimization (ddmin-lite): truncate at the divergence,
+/// then repeatedly drop chunks whose removal preserves SOME divergence.
+/// Returns a sequence that still diverges under replay.
+std::vector<FuzzOp> minimize(const FuzzConfig& cfg,
+                             const std::vector<FuzzOp>& ops);
+
+/// Replayable repro text: a "# seed ... topology ..." header followed by
+/// one op per line (%.17g doubles — exact round trip).
+std::string dump_repro(const FuzzConfig& cfg, const std::vector<FuzzOp>& ops);
+std::optional<std::pair<FuzzConfig, std::vector<FuzzOp>>> parse_repro(
+    const std::string& text);
+
+}  // namespace qosbb::fuzz
+
+#endif  // QOSBB_TOOLS_FUZZ_HARNESS_H_
