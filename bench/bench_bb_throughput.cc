@@ -7,10 +7,15 @@
 //    scalability argument is that aggregation shrinks BB state and speeds
 //    up admission; compare ns/op against the per-flow rows.
 //  * BM_PolicyCheckOnly / BM_PathViewOnly — pipeline stage breakdown.
+//  * BM_JournalAppend / BM_JournalReplay — durability overhead: the cost of
+//    write-ahead logging per request, and crash-recovery time as a function
+//    of journal tail length (the knob anchor_every trades against).
 
 #include <benchmark/benchmark.h>
 
 #include "core/broker.h"
+#include "core/durable_broker.h"
+#include "core/journal.h"
 #include "topo/fig8.h"
 
 namespace {
@@ -102,6 +107,84 @@ void BM_PathViewOnly(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PathViewOnly);
+
+// Journaled admit/release cycle: BM_PerFlowAdmitRelease plus the WAL append
+// and idempotency bookkeeping — the durability tax per request.
+void BM_JournalAppend(benchmark::State& state) {
+  MemoryJournalFile file;
+  auto db = DurableBroker::open(
+      fig8_topology(Fig8Setting::kRateBasedOnly, 60000.0 * 10), {}, file);
+  if (!db.is_ok()) {
+    state.SkipWithError("durable open failed");
+    return;
+  }
+  if (!db.value()->provision_path(1, "I1", "E1").is_ok()) {
+    state.SkipWithError("provisioning failed");
+    return;
+  }
+  FlowServiceRequest req{type0(), 2.44, "I1", "E1"};
+  RequestId rid = 2;
+  for (auto _ : state) {
+    auto res = db.value()->request_service(rid++, req, 0.0);
+    if (!res.is_ok()) {
+      state.SkipWithError("admission unexpectedly rejected");
+      return;
+    }
+    (void)db.value()->release_service(rid++, res.value().flow);
+    // Keep the journal from growing unboundedly across iterations.
+    if (rid % 2048 == 0) {
+      state.PauseTiming();
+      (void)db.value()->checkpoint();
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JournalAppend);
+
+// Crash recovery: re-open a broker from a journal with `range(0)` logged
+// admit/release records after the last anchor. Linear in tail length —
+// this is the curve that sizes anchor_every for a recovery-time budget.
+void BM_JournalReplay(benchmark::State& state) {
+  const int tail_ops = static_cast<int>(state.range(0));
+  const DomainSpec spec =
+      fig8_topology(Fig8Setting::kRateBasedOnly, 60000.0 * 10);
+  MemoryJournalFile file;
+  {
+    auto db = DurableBroker::open(spec, {}, file);
+    if (!db.is_ok()) {
+      state.SkipWithError("durable open failed");
+      return;
+    }
+    if (!db.value()->provision_path(1, "I1", "E1").is_ok()) {
+      state.SkipWithError("provisioning failed");
+      return;
+    }
+    FlowServiceRequest req{type0(), 2.44, "I1", "E1"};
+    RequestId rid = 2;
+    for (int i = 0; i < tail_ops / 2; ++i) {
+      auto res = db.value()->request_service(rid++, req, 0.0);
+      if (!res.is_ok()) {
+        state.SkipWithError("admission unexpectedly rejected");
+        return;
+      }
+      (void)db.value()->release_service(rid++, res.value().flow);
+    }
+  }
+  std::uint64_t replayed = 0;
+  for (auto _ : state) {
+    auto db = DurableBroker::open(spec, {}, file);
+    if (!db.is_ok()) {
+      state.SkipWithError("recovery failed");
+      return;
+    }
+    replayed += db.value()->stats().replayed;
+    benchmark::DoNotOptimize(db);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(replayed));
+  state.SetLabel("records replayed per open");
+}
+BENCHMARK(BM_JournalReplay)->Arg(16)->Arg(256)->Arg(2048);
 
 }  // namespace
 

@@ -19,6 +19,8 @@ REQUIRED_PREFIXES = [
     "BM_ClassJoinLeave",
     "BM_PolicyCheckOnly",
     "BM_PathViewOnly",
+    "BM_JournalAppend",
+    "BM_JournalReplay",
 ]
 
 

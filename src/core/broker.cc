@@ -476,4 +476,40 @@ void BandwidthBroker::edge_buffer_empty(FlowId macroflow, Seconds now) {
   classes_.edge_buffer_empty(macroflow, now);
 }
 
+Status BandwidthBroker::reserve_link_external(const std::string& link,
+                                              BitsPerSecond amount) {
+  if (!nodes_.has_link(link)) {
+    return Status::not_found("unknown link " + link);
+  }
+  if (!(amount > 0.0)) {
+    return Status::invalid_argument("external reservation must be positive");
+  }
+  Status s = nodes_.link(link).reserve(amount);
+  if (!s.is_ok()) return s;
+  external_[link] += amount;
+  return Status::ok();
+}
+
+Result<BitsPerSecond> BandwidthBroker::release_link_external(
+    const std::string& link, BitsPerSecond amount) {
+  if (!nodes_.has_link(link)) {
+    return Status::not_found("unknown link " + link);
+  }
+  if (!(amount >= 0.0)) {
+    return Status::invalid_argument("release amount must be non-negative");
+  }
+  auto it = external_.find(link);
+  const BitsPerSecond held = it == external_.end() ? 0.0 : it->second;
+  const BitsPerSecond freed = std::min(held, amount);
+  if (freed > 0.0) {
+    nodes_.link(link).release(freed);
+    if (freed >= held) {
+      external_.erase(it);
+    } else {
+      it->second = held - freed;
+    }
+  }
+  return freed;
+}
+
 }  // namespace qosbb

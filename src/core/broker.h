@@ -122,6 +122,21 @@ class BandwidthBroker {
   void expire_contingency(GrantId grant, Seconds now);
   void edge_buffer_empty(FlowId macroflow, Seconds now);
 
+  // ---- Out-of-band link reservations ----
+  /// Reserve bandwidth on a named link for a consumer outside the flow MIB
+  /// (operator pinning, inter-broker quotas). Tracked by the broker so the
+  /// reservation survives snapshot/restore and so state audits
+  /// (oracle_check_state) can account for it.
+  Status reserve_link_external(const std::string& link, BitsPerSecond amount);
+  /// Release up to `amount` of a link's external reservation; returns the
+  /// bandwidth actually released (clamped to what is held).
+  Result<BitsPerSecond> release_link_external(const std::string& link,
+                                              BitsPerSecond amount);
+  /// Per-link external reservations, by link name ("from->to").
+  const std::map<std::string, BitsPerSecond>& external_reserved() const {
+    return external_;
+  }
+
   // ---- State access ----
   const NodeMib& nodes() const { return nodes_; }
   NodeMib& nodes() { return nodes_; }
@@ -194,6 +209,9 @@ class BandwidthBroker {
   AuditLog audit_;
   /// Live per-flow count per ingress (policy input; O(1) at request time).
   std::unordered_map<std::string, std::size_t> ingress_flows_;
+  /// Out-of-band link reservations (reserve_link_external), by link name.
+  /// std::map: deterministic iteration for snapshot serialization.
+  std::map<std::string, BitsPerSecond> external_;
   /// Per-ingress signaling-rate limiters (created lazily when configured).
   std::unordered_map<std::string, TokenBucket> limiters_;
   /// Reusable buffers for the §3.2 scan — the steady-state admission path

@@ -510,6 +510,9 @@ OracleStateReport oracle_check_state(
   if (external_reserved != nullptr) {
     for (const auto& [ln, r] : *external_reserved) want_rate[ln] += r;
   }
+  // The broker's own out-of-band reservations (reserve_link_external) are
+  // part of its declared state — account for them like flow records.
+  for (const auto& [ln, r] : bb.external_reserved()) want_rate[ln] += r;
 
   constexpr double kSumTol = 1e-3;  // float re-summation slack, b/s | bits
   std::vector<NaiveKnot> ref;

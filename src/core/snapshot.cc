@@ -11,10 +11,16 @@
 //   u32 perflow_count   { flow fields }             per per-flow record
 //   u32 class_count     { class fields }            per service class
 //   u32 macroflow_count { state + members }         per settled macroflow
-// Snapshot requires quiescence (no live contingency grants): transients
-// reference wall-clock timers that cannot be checkpointed consistently.
+//   u32 external_count  { str link, f64 amount }    out-of-band reservations
+// Snapshot requires quiescence (no live contingency grants; kUnavailable
+// otherwise): transients reference wall-clock timers that cannot be
+// checkpointed consistently. Before returning, the frame is verified by a
+// scratch restore — link state the records cannot explain (e.g. leases
+// booked directly on the node MIB) fails loudly with kFailedPrecondition
+// instead of silently emitting a partial snapshot.
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/broker.h"
 #include "core/wire.h"
@@ -71,8 +77,12 @@ Result<std::vector<std::string>> get_nodes(WireReader& r) {
 
 Result<std::vector<std::uint8_t>> BandwidthBroker::snapshot() const {
   if (classes_.active_grants() != 0) {
-    return Status::failed_precondition(
-        "snapshot requires a quiescent broker (active contingency grants)");
+    // kUnavailable, not kFailedPrecondition: the condition is transient —
+    // the caller should settle/expire the grants and retry, nothing about
+    // the request itself is wrong.
+    return Status::unavailable(
+        "snapshot requires a quiescent broker (active contingency grants); "
+        "retry after the grants settle");
   }
   WireWriter w;
   // Paths (by id order; ids are dense).
@@ -134,6 +144,13 @@ Result<std::vector<std::uint8_t>> BandwidthBroker::snapshot() const {
     }
   }
 
+  // Out-of-band link reservations (reserve_link_external).
+  w.u32(static_cast<std::uint32_t>(external_.size()));
+  for (const auto& [link, amount] : external_) {
+    w.str(link);
+    w.f64(amount);
+  }
+
   WireWriter head;
   head.u16(kWireMagic);
   head.u8(kWireVersion);
@@ -142,6 +159,31 @@ Result<std::vector<std::uint8_t>> BandwidthBroker::snapshot() const {
   WireBuffer out = head.take();
   const WireBuffer& body = w.buffer();
   out.insert(out.end(), body.begin(), body.end());
+
+  // Self-verification: the frame must explain ALL live link state. State
+  // booked behind the broker's back (e.g. hierarchical leases placed
+  // directly on the node MIB) is invisible to the flow/class/external
+  // records above; emitting the frame anyway would silently lose it on
+  // recovery. Restore into a scratch broker and compare.
+  auto check = restore(spec_, options_, out);
+  if (!check.is_ok()) {
+    return Status::internal("snapshot failed self-restore: " +
+                            check.status().to_string());
+  }
+  constexpr double kResumTol = 1e-6;  // float re-summation slack
+  for (const auto& l : spec_.links) {
+    const std::string name = l.from + "->" + l.to;
+    const LinkQosState& live = nodes_.link(name);
+    const LinkQosState& redo = check.value()->nodes().link(name);
+    if (std::abs(live.reserved() - redo.reserved()) > kResumTol ||
+        std::abs(live.buffer_reserved() - redo.buffer_reserved()) >
+            kResumTol) {
+      return Status::failed_precondition(
+          "snapshot would lose state on link " + name +
+          ": live reservation not explained by the flow/class/external "
+          "records (out-of-band booking?)");
+    }
+  }
   return out;
 }
 
@@ -285,6 +327,24 @@ Result<std::unique_ptr<BandwidthBroker>> BandwidthBroker::restore(
     }
     bb->flows_.bump_next_id(state.id);
     bb->classes_.restore_macroflow(state, members);
+  }
+  // Out-of-band link reservations.
+  auto ext_count = r.u32();
+  if (!ext_count.is_ok()) return ext_count.status();
+  if (ext_count.value() > 1 << 20) {
+    return Status::invalid_argument("snapshot: absurd external count");
+  }
+  for (std::uint32_t i = 0; i < ext_count.value(); ++i) {
+    auto link = r.str();
+    auto amount = r.f64();
+    if (!link.is_ok()) return link.status();
+    if (!amount.is_ok()) return amount.status();
+    if (Status s = bb->reserve_link_external(link.value(), amount.value());
+        !s.is_ok()) {
+      return Status::invalid_argument(
+          "snapshot: cannot re-book external reservation on " + link.value() +
+          ": " + s.to_string());
+    }
   }
   if (!r.exhausted()) {
     return Status::invalid_argument("snapshot: trailing bytes");

@@ -113,15 +113,20 @@ void WireWriter::str(const std::string& v) {
   buf_.insert(buf_.end(), v.begin(), v.begin() + static_cast<long>(n));
 }
 
+void WireWriter::bytes(const WireBuffer& v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
 // ---- WireReader ----
 
 Result<std::uint8_t> WireReader::u8() {
-  if (remaining() < 1) return Status::invalid_argument("truncated u8");
+  if (remaining() < 1) return Status::truncated("truncated u8");
   return buf_[pos_++];
 }
 
 Result<std::uint16_t> WireReader::u16() {
-  if (remaining() < 2) return Status::invalid_argument("truncated u16");
+  if (remaining() < 2) return Status::truncated("truncated u16");
   std::uint16_t v = static_cast<std::uint16_t>(buf_[pos_]) |
                     static_cast<std::uint16_t>(buf_[pos_ + 1]) << 8;
   pos_ += 2;
@@ -129,7 +134,7 @@ Result<std::uint16_t> WireReader::u16() {
 }
 
 Result<std::uint32_t> WireReader::u32() {
-  if (remaining() < 4) return Status::invalid_argument("truncated u32");
+  if (remaining() < 4) return Status::truncated("truncated u32");
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i) {
     v |= static_cast<std::uint32_t>(buf_[pos_ + static_cast<std::size_t>(i)])
@@ -140,7 +145,7 @@ Result<std::uint32_t> WireReader::u32() {
 }
 
 Result<std::uint64_t> WireReader::u64() {
-  if (remaining() < 8) return Status::invalid_argument("truncated u64");
+  if (remaining() < 8) return Status::truncated("truncated u64");
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) {
     v |= static_cast<std::uint64_t>(buf_[pos_ + static_cast<std::size_t>(i)])
@@ -172,11 +177,23 @@ Result<std::string> WireReader::str() {
   auto n = u8();
   if (!n.is_ok()) return n.status();
   if (remaining() < n.value()) {
-    return Status::invalid_argument("truncated string");
+    return Status::truncated("truncated string");
   }
   std::string s(reinterpret_cast<const char*>(&buf_[pos_]), n.value());
   pos_ += n.value();
   return s;
+}
+
+Result<WireBuffer> WireReader::bytes() {
+  auto n = u32();
+  if (!n.is_ok()) return n.status();
+  if (remaining() < n.value()) {
+    return Status::truncated("truncated byte block");
+  }
+  WireBuffer out(buf_.begin() + static_cast<long>(pos_),
+                 buf_.begin() + static_cast<long>(pos_ + n.value()));
+  pos_ += n.value();
+  return out;
 }
 
 // ---- Messages ----

@@ -83,6 +83,9 @@ class WireWriter {
   void f64(double v);
   /// Length-prefixed (u8) string, truncated to 255 bytes.
   void str(const std::string& v);
+  /// Length-prefixed (u32) raw byte block (frame embedding, e.g. a snapshot
+  /// inside a journal anchor record).
+  void bytes(const WireBuffer& v);
 
   const WireBuffer& buffer() const { return buf_; }
   WireBuffer take() { return std::move(buf_); }
@@ -91,6 +94,10 @@ class WireWriter {
   WireBuffer buf_;
 };
 
+/// Bounds-checked cursor over a WireBuffer. A read that runs past the end
+/// of the buffer fails with StatusCode::kTruncated — distinct from
+/// kInvalidArgument (structural corruption) so that log-structured callers
+/// (core/journal.cc) can tell "clean end of input" from "corrupt input".
 class WireReader {
  public:
   explicit WireReader(const WireBuffer& buffer) : buf_(buffer) {}
@@ -103,6 +110,7 @@ class WireReader {
   /// Rejects NaN/Inf — wire floats must be finite.
   Result<double> f64();
   Result<std::string> str();
+  Result<WireBuffer> bytes();
 
   std::size_t remaining() const { return buf_.size() - pos_; }
   bool exhausted() const { return pos_ == buf_.size(); }

@@ -1,0 +1,33 @@
+#include "util/backoff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace qosbb {
+
+Backoff::Backoff(BackoffPolicy policy, Rng rng)
+    : policy_(policy), rng_(std::move(rng)) {
+  if (!(policy_.base > 0.0) || !(policy_.cap >= policy_.base) ||
+      !(policy_.multiplier >= 1.0) || policy_.jitter < 0.0 ||
+      policy_.jitter > 1.0) {
+    throw std::invalid_argument("Backoff: ill-formed policy");
+  }
+}
+
+Seconds Backoff::next() {
+  const std::uint32_t k = std::min(attempts_, policy_.max_retries);
+  if (attempts_ < policy_.max_retries) ++attempts_;
+  // ceiling = min(cap, base * multiplier^k), computed in log space to dodge
+  // overflow for large k.
+  const double grown =
+      policy_.base * std::exp(static_cast<double>(k) *
+                              std::log(policy_.multiplier));
+  const Seconds ceiling = std::min(policy_.cap, grown);
+  if (policy_.jitter == 0.0) return ceiling;
+  const Seconds fixed = ceiling * (1.0 - policy_.jitter);
+  return fixed + rng_.uniform(0.0, ceiling * policy_.jitter);
+}
+
+}  // namespace qosbb

@@ -1,0 +1,56 @@
+// Jittered exponential backoff for at-least-once signaling clients.
+//
+// An edge router retrying a lost request to the bandwidth broker must not
+// hammer it in lockstep with every other edge (Section 2.2's signaling path
+// is a single logical server). The standard remedy is capped exponential
+// backoff with full jitter: the k-th retry sleeps uniform(0, min(cap,
+// base * 2^k)). Deterministic given its Rng, so the fuzz harness and tests
+// can assert exact schedules.
+
+#ifndef QOSBB_UTIL_BACKOFF_H_
+#define QOSBB_UTIL_BACKOFF_H_
+
+#include <cstdint>
+
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace qosbb {
+
+struct BackoffPolicy {
+  Seconds base = 0.050;   ///< first-retry ceiling
+  Seconds cap = 5.0;      ///< per-delay ceiling after growth
+  double multiplier = 2.0;
+  std::uint32_t max_retries = 8;  ///< exhausted() after this many next()s
+  /// 1.0 = full jitter (uniform in [0, ceiling]); 0.0 = deterministic
+  /// ceiling. Values between blend: delay = ceiling*(1-j) + uniform(0,
+  /// ceiling*j).
+  double jitter = 1.0;
+};
+
+/// One retry schedule. Not thread-safe; make one per in-flight request.
+class Backoff {
+ public:
+  Backoff(BackoffPolicy policy, Rng rng);
+
+  /// Delay to sleep before the next attempt. Grows exponentially (capped),
+  /// jittered per the policy. Calling past exhaustion keeps returning the
+  /// capped delay.
+  Seconds next();
+
+  /// True once max_retries delays have been handed out.
+  bool exhausted() const { return attempts_ >= policy_.max_retries; }
+  std::uint32_t attempts() const { return attempts_; }
+  void reset() { attempts_ = 0; }
+
+  const BackoffPolicy& policy() const { return policy_; }
+
+ private:
+  BackoffPolicy policy_;
+  Rng rng_;
+  std::uint32_t attempts_ = 0;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_UTIL_BACKOFF_H_

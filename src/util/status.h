@@ -22,6 +22,9 @@ enum class StatusCode {
   kInvalidArgument,  // caller supplied an ill-formed request
   kFailedPrecondition,
   kInternal,
+  kUnavailable,      // transiently impossible; retry after state settles
+  kTruncated,        // input ended mid-field (vs. structurally corrupt)
+  kDataLoss,         // durable state is corrupt / unrecoverable
 };
 
 /// Human-readable name for a StatusCode.
@@ -33,6 +36,9 @@ constexpr const char* status_code_name(StatusCode c) {
     case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kTruncated: return "TRUNCATED";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
   }
   return "UNKNOWN";
 }
@@ -59,6 +65,15 @@ class Status {
   }
   static Status internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status truncated(std::string msg) {
+    return Status(StatusCode::kTruncated, std::move(msg));
+  }
+  static Status data_loss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool is_ok() const { return code_ == StatusCode::kOk; }

@@ -37,10 +37,13 @@ TEST_P(FuzzDifferential, BrokerMatchesOracle) {
                          << fuzz::dump_repro(
                                 cfg, fuzz::minimize(cfg, result.ops));
   EXPECT_EQ(result.ops_executed, cfg.ops);
-  // The corpus must actually exercise the broker, not just bounce off it.
+  // The corpus must actually exercise the broker, not just bounce off it —
+  // including the durability layer (crash/recover and duplicate delivery).
   EXPECT_GT(result.admits, 0);
   EXPECT_GT(result.rejects, 0);
   EXPECT_GT(result.snapshots, 0);
+  EXPECT_GT(result.recoveries, 0);
+  EXPECT_GT(result.redeliveries, 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -106,6 +109,44 @@ TEST(FuzzDifferentialCanary, OracleStateCheckFlagsStaleKnotCache) {
   EXPECT_FALSE(report.ok);
   link.remove_edf_entry(5000.0, 0.5, 9000.0);
   EXPECT_TRUE(oracle_check_state(bb).ok);
+}
+
+// Crash-point sweep: recover at every record boundary, inside every
+// record, and under single-bit corruption; zero divergences allowed.
+TEST(FuzzCrashSweep, EveryCrashPointRecoversExactly) {
+  for (const FuzzTopology topo :
+       {FuzzTopology::kFig8Mixed, FuzzTopology::kDumbbellEdf}) {
+    fuzz::FuzzConfig cfg;
+    cfg.seed = 7;
+    cfg.ops = 150;
+    cfg.topology = topo;
+    const fuzz::CrashSweepResult sweep = fuzz::run_crash_sweep(cfg);
+    EXPECT_TRUE(sweep.ok) << sweep.summary();
+    EXPECT_GT(sweep.boundaries, 0);
+    EXPECT_GT(sweep.mid_cuts, 0);
+    EXPECT_GT(sweep.bit_flips, 0);
+    EXPECT_GT(sweep.redeliveries, 0);
+  }
+}
+
+// CANARY (acceptance criterion): a silently dropped journal append — the
+// broker acknowledges an op that never reached the log — must be detected
+// by recovery in every run. If this fails, a crash could silently lose an
+// acknowledged reservation.
+TEST(FuzzDifferentialCanary, DroppedJournalAppendIsCaught) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    FuzzConfig cfg;
+    cfg.seed = seed;
+    cfg.ops = 400;
+    cfg.topology = FuzzTopology::kFig8Mixed;
+    cfg.sabotage_drop_append = true;
+    const FuzzResult result = fuzz::run_fuzz(cfg);
+    EXPECT_FALSE(result.ok)
+        << "seed " << seed << ": dropped append went undetected for "
+        << cfg.ops << " ops";
+    EXPECT_NE(result.divergence.find("recovery"), std::string::npos)
+        << result.divergence;
+  }
 }
 
 // Repro files must round-trip exactly: %.17g serialization preserves every

@@ -1,0 +1,356 @@
+// Unit tests for the write-ahead journal (core/journal.h) and the
+// crash-consistent broker facade (core/durable_broker.h): record framing,
+// torn-tail vs. corruption classification, recovery, anchoring, and
+// idempotent duplicate delivery. The fault-injection FaultyJournalFile
+// comes from the fuzz harness library.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/durable_broker.h"
+#include "core/journal.h"
+#include "tools/fuzz_harness.h"
+#include "topo/fig8.h"
+
+namespace qosbb {
+namespace {
+
+using fuzz::FaultyJournalFile;
+
+WireBuffer payload_bytes(std::initializer_list<std::uint8_t> bytes) {
+  return WireBuffer(bytes);
+}
+
+// ---- Framing + scanning ----
+
+TEST(JournalFraming, FrameAndScanRoundTrip) {
+  WireBuffer image;
+  const WireBuffer p1 = payload_bytes({1, 2, 3});
+  const WireBuffer p2 = payload_bytes({});
+  const WireBuffer p3 = payload_bytes({0xff});
+  for (const auto& [lsn, kind, payload] :
+       {std::tuple{std::uint64_t{1}, JournalOpKind::kAdmit, p1},
+        std::tuple{std::uint64_t{2}, JournalOpKind::kRelease, p2},
+        std::tuple{std::uint64_t{3}, JournalOpKind::kAnchor, p3}}) {
+    const WireBuffer rec = frame_journal_record(lsn, kind, payload);
+    image.insert(image.end(), rec.begin(), rec.end());
+  }
+  const JournalScan scan = scan_journal(image);
+  ASSERT_TRUE(scan.error.is_ok()) << scan.error.to_string();
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_EQ(scan.clean_bytes, image.size());
+  ASSERT_EQ(scan.records.size(), 3u);
+  EXPECT_EQ(scan.records[0].lsn, 1u);
+  EXPECT_EQ(scan.records[0].kind, JournalOpKind::kAdmit);
+  EXPECT_EQ(scan.records[0].payload, p1);
+  EXPECT_EQ(scan.records[1].payload, p2);
+  EXPECT_EQ(scan.records[2].kind, JournalOpKind::kAnchor);
+}
+
+TEST(JournalFraming, EmptyImageScansClean) {
+  const JournalScan scan = scan_journal({});
+  EXPECT_TRUE(scan.error.is_ok());
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_TRUE(scan.records.empty());
+}
+
+// A record cut off by end-of-file with a consistent header is a torn tail:
+// the crash hit mid-append, nothing acknowledged was lost.
+TEST(JournalFraming, TornTailIsCleanNotCorrupt) {
+  const WireBuffer r1 =
+      frame_journal_record(1, JournalOpKind::kAdmit, payload_bytes({7, 8}));
+  const WireBuffer r2 =
+      frame_journal_record(2, JournalOpKind::kRelease,
+                           payload_bytes({9, 10, 11, 12}));
+  // Cut inside the header and at several points inside the region.
+  for (std::size_t cut = 1; cut < r2.size(); ++cut) {
+    WireBuffer image = r1;
+    image.insert(image.end(), r2.begin(),
+                 r2.begin() + static_cast<std::ptrdiff_t>(cut));
+    const JournalScan scan = scan_journal(image);
+    ASSERT_TRUE(scan.error.is_ok()) << "cut " << cut;
+    EXPECT_TRUE(scan.torn_tail) << "cut " << cut;
+    EXPECT_EQ(scan.clean_bytes, r1.size()) << "cut " << cut;
+    ASSERT_EQ(scan.records.size(), 1u) << "cut " << cut;
+    EXPECT_EQ(scan.records[0].lsn, 1u);
+  }
+}
+
+// A bit flip in the length field must read as CORRUPTION (the ones-
+// complement copy disagrees), never as a plausible torn tail.
+TEST(JournalFraming, LengthBitFlipIsDataLoss) {
+  WireBuffer image =
+      frame_journal_record(1, JournalOpKind::kAdmit, payload_bytes({1}));
+  image[0] ^= 0x40;  // low byte of len
+  const JournalScan scan = scan_journal(image);
+  EXPECT_EQ(scan.error.code(), StatusCode::kDataLoss);
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_TRUE(scan.records.empty());
+}
+
+TEST(JournalFraming, RegionBitFlipIsDataLoss) {
+  const WireBuffer r1 =
+      frame_journal_record(1, JournalOpKind::kAdmit, payload_bytes({1, 2}));
+  WireBuffer image = r1;
+  const WireBuffer r2 =
+      frame_journal_record(2, JournalOpKind::kRelease, payload_bytes({3}));
+  image.insert(image.end(), r2.begin(), r2.end());
+  // Flip every bit of the second record's region in turn: CRC must catch
+  // each one, and the valid prefix must survive.
+  for (std::size_t bit = 12 * 8; bit < r2.size() * 8; ++bit) {
+    WireBuffer bad = image;
+    bad[r1.size() + bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    const JournalScan scan = scan_journal(bad);
+    EXPECT_EQ(scan.error.code(), StatusCode::kDataLoss) << "bit " << bit;
+    EXPECT_EQ(scan.records.size(), 1u) << "bit " << bit;
+  }
+}
+
+TEST(JournalFraming, LsnGapIsDataLoss) {
+  WireBuffer image =
+      frame_journal_record(1, JournalOpKind::kAdmit, payload_bytes({}));
+  const WireBuffer r3 =
+      frame_journal_record(3, JournalOpKind::kRelease, payload_bytes({}));
+  image.insert(image.end(), r3.begin(), r3.end());
+  const JournalScan scan = scan_journal(image);
+  EXPECT_EQ(scan.error.code(), StatusCode::kDataLoss);
+  EXPECT_NE(scan.error.to_string().find("LSN"), std::string::npos);
+}
+
+TEST(JournalFraming, UnknownKindIsDataLoss) {
+  const WireBuffer image = frame_journal_record(
+      1, static_cast<JournalOpKind>(0), payload_bytes({}));
+  const JournalScan scan = scan_journal(image);
+  EXPECT_EQ(scan.error.code(), StatusCode::kDataLoss);
+}
+
+TEST(JournalFile, FsBackingRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/qosbb_journal_wal.bin";
+  std::remove(path.c_str());
+  FsJournalFile file(path);
+  EXPECT_TRUE(file.read_all().is_ok());  // absent file reads as empty
+  EXPECT_TRUE(file.read_all().value().empty());
+  const WireBuffer r1 =
+      frame_journal_record(1, JournalOpKind::kAdmit, payload_bytes({1, 2}));
+  ASSERT_TRUE(file.append(r1).is_ok());
+  ASSERT_TRUE(file.append(r1).is_ok());
+  auto all = file.read_all();
+  ASSERT_TRUE(all.is_ok());
+  EXPECT_EQ(all.value().size(), 2 * r1.size());
+  ASSERT_TRUE(file.replace(r1).is_ok());
+  all = file.read_all();
+  ASSERT_TRUE(all.is_ok());
+  EXPECT_EQ(all.value(), r1);
+  std::remove(path.c_str());
+}
+
+// ---- DurableBroker recovery + idempotency ----
+
+class DurableBrokerTest : public ::testing::Test {
+ protected:
+  DomainSpec spec_ = fig8_topology(Fig8Setting::kMixed);
+  BrokerOptions opts_;
+  FaultyJournalFile file_;
+
+  std::unique_ptr<DurableBroker> open(DurableBrokerOptions dopts = {}) {
+    auto db = DurableBroker::open(spec_, opts_, file_, dopts);
+    EXPECT_TRUE(db.is_ok()) << db.status().to_string();
+    return std::move(db.value());
+  }
+
+  static FlowServiceRequest probe_request() {
+    return {TrafficProfile::make(60000, 50000, 100000, 12000), 2.19, "I2",
+            "E2", 0};
+  }
+};
+
+TEST_F(DurableBrokerTest, RecoveryReproducesAcknowledgedState) {
+  auto db = open();
+  ASSERT_TRUE(db->provision_path(1, "I2", "E2").is_ok());
+  auto r1 = db->request_service(2, probe_request(), 0.0);
+  ASSERT_TRUE(r1.is_ok());
+  auto r2 = db->request_service(3, probe_request(), 1.0);
+  ASSERT_TRUE(r2.is_ok());
+  ASSERT_TRUE(db->release_service(4, r1.value().flow).is_ok());
+  const double reserved =
+      db->broker().nodes().link("R3->R4").reserved();
+
+  auto db2 = open();
+  EXPECT_EQ(db2->stats().replayed, db->stats().appended);
+  EXPECT_EQ(db2->next_lsn(), db->next_lsn());
+  EXPECT_EQ(db2->broker().flows().count(), 1u);
+  // Exact equality: deterministic redo from the identical base state.
+  EXPECT_EQ(db2->broker().nodes().link("R3->R4").reserved(), reserved);
+}
+
+TEST_F(DurableBrokerTest, DuplicateDeliveryReplaysWithoutStateChange) {
+  auto db = open();
+  ASSERT_TRUE(db->provision_path(1, "I2", "E2").is_ok());
+  auto first = db->request_service(2, probe_request(), 0.0);
+  ASSERT_TRUE(first.is_ok());
+  const std::uint64_t appended = db->stats().appended;
+  const double reserved = db->broker().nodes().link("R3->R4").reserved();
+
+  auto dup = db->request_service(2, probe_request(), 5.0);
+  ASSERT_TRUE(dup.is_ok());
+  EXPECT_EQ(dup.value().flow, first.value().flow);
+  EXPECT_EQ(dup.value().params.rate, first.value().params.rate);
+  EXPECT_EQ(db->stats().appended, appended);  // no new record
+  EXPECT_EQ(db->stats().dedup_hits, 1u);
+  EXPECT_EQ(db->broker().flows().count(), 1u);
+  EXPECT_EQ(db->broker().nodes().link("R3->R4").reserved(), reserved);
+}
+
+// The acid test of the dedup window: a retry of an ADMIT that arrives after
+// the flow was already RELEASED must replay the original accept — not
+// re-admit a ghost flow.
+TEST_F(DurableBrokerTest, DuplicateAfterReleaseDoesNotReadmit) {
+  auto db = open();
+  ASSERT_TRUE(db->provision_path(1, "I2", "E2").is_ok());
+  auto first = db->request_service(2, probe_request(), 0.0);
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_TRUE(db->release_service(3, first.value().flow).is_ok());
+  ASSERT_EQ(db->broker().flows().count(), 0u);
+
+  auto dup = db->request_service(2, probe_request(), 9.0);
+  ASSERT_TRUE(dup.is_ok());
+  EXPECT_EQ(dup.value().flow, first.value().flow);
+  EXPECT_EQ(db->broker().flows().count(), 0u);  // nothing re-admitted
+  EXPECT_EQ(db->broker().nodes().link("R3->R4").reserved(), 0.0);
+}
+
+TEST_F(DurableBrokerTest, RequestIdReuseAcrossKindsIsRejected) {
+  auto db = open();
+  ASSERT_TRUE(db->provision_path(1, "I2", "E2").is_ok());
+  auto first = db->request_service(2, probe_request(), 0.0);
+  ASSERT_TRUE(first.is_ok());
+  const Status s = db->release_service(2, first.value().flow);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(db->broker().flows().count(), 1u);  // nothing released
+}
+
+TEST_F(DurableBrokerTest, DedupWindowEvictsFifo) {
+  DurableBrokerOptions dopts;
+  dopts.dedup_window = 2;
+  auto db = open(dopts);
+  ASSERT_TRUE(db->provision_path(1, "I2", "E2").is_ok());
+  ASSERT_TRUE(db->request_service(2, probe_request(), 0.0).is_ok());
+  ASSERT_TRUE(db->request_service(3, probe_request(), 1.0).is_ok());
+  EXPECT_FALSE(db->remembers(1));  // evicted
+  EXPECT_TRUE(db->remembers(2));
+  EXPECT_TRUE(db->remembers(3));
+}
+
+TEST_F(DurableBrokerTest, AnchorTruncatesJournalAndSurvivesRecovery) {
+  auto db = open();
+  ASSERT_TRUE(db->provision_path(1, "I2", "E2").is_ok());
+  auto first = db->request_service(2, probe_request(), 0.0);
+  ASSERT_TRUE(first.is_ok());
+  const std::uint64_t lsn_before = db->next_lsn();
+  ASSERT_TRUE(db->checkpoint().is_ok());
+  // The journal is now a single anchor whose LSN continues the sequence.
+  const JournalScan scan = scan_journal(file_.contents());
+  ASSERT_TRUE(scan.error.is_ok());
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0].kind, JournalOpKind::kAnchor);
+  EXPECT_EQ(scan.records[0].lsn, lsn_before);
+
+  // Post-anchor ops append after the anchor; recovery = anchor + tail.
+  auto second = db->request_service(3, probe_request(), 2.0);
+  ASSERT_TRUE(second.is_ok());
+  auto db2 = open();
+  EXPECT_EQ(db2->broker().flows().count(), 2u);
+  EXPECT_EQ(db2->next_lsn(), db->next_lsn());
+  // The dedup window rode along in the anchor: a pre-anchor rid still
+  // replays instead of re-executing.
+  auto dup = db2->request_service(2, probe_request(), 9.0);
+  ASSERT_TRUE(dup.is_ok());
+  EXPECT_EQ(dup.value().flow, first.value().flow);
+  EXPECT_EQ(db2->broker().flows().count(), 2u);
+}
+
+TEST_F(DurableBrokerTest, AutoAnchorFiresAfterThreshold) {
+  DurableBrokerOptions dopts;
+  dopts.anchor_every = 3;
+  auto db = open(dopts);
+  ASSERT_TRUE(db->provision_path(1, "I2", "E2").is_ok());
+  ASSERT_TRUE(db->request_service(2, probe_request(), 0.0).is_ok());
+  ASSERT_TRUE(db->request_service(3, probe_request(), 1.0).is_ok());
+  EXPECT_GE(db->stats().checkpoints, 1u);
+  auto db2 = open(dopts);
+  EXPECT_EQ(db2->broker().flows().count(), 2u);
+}
+
+TEST_F(DurableBrokerTest, TornFinalRecordIsDroppedAndTruncated) {
+  auto db = open();
+  ASSERT_TRUE(db->provision_path(1, "I2", "E2").is_ok());
+  ASSERT_TRUE(db->request_service(2, probe_request(), 0.0).is_ok());
+  const WireBuffer clean = file_.contents();
+  // Simulate a crash mid-append of a record that was never acknowledged.
+  WireBuffer torn = frame_journal_record(db->next_lsn(),
+                                         JournalOpKind::kRelease,
+                                         payload_bytes({1, 2, 3, 4}));
+  WireBuffer image = clean;
+  image.insert(image.end(), torn.begin(), torn.end() - 3);
+  file_.set_contents(image);
+
+  auto db2 = open();
+  EXPECT_EQ(db2->broker().flows().count(), 1u);
+  EXPECT_EQ(db2->next_lsn(), db->next_lsn());
+  // Recovery truncated the torn bytes so the next append lands cleanly.
+  EXPECT_EQ(file_.contents(), clean);
+}
+
+TEST_F(DurableBrokerTest, CorruptJournalIsRefused) {
+  auto db = open();
+  ASSERT_TRUE(db->provision_path(1, "I2", "E2").is_ok());
+  ASSERT_TRUE(db->request_service(2, probe_request(), 0.0).is_ok());
+  db.reset();
+  file_.flip_bit(file_.contents().size() * 8 / 2);
+  auto bad = DurableBroker::open(spec_, opts_, file_);
+  ASSERT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(DurableBrokerTest, DroppedAppendIsCaughtOnRecovery) {
+  file_.set_drop_append_index(1);  // swallow the first admit's record
+  auto db = open();
+  ASSERT_TRUE(db->provision_path(1, "I2", "E2").is_ok());
+  ASSERT_TRUE(db->request_service(2, probe_request(), 0.0).is_ok());
+  ASSERT_TRUE(db->request_service(3, probe_request(), 1.0).is_ok());
+  db.reset();
+  auto bad = DurableBroker::open(spec_, opts_, file_);
+  ASSERT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(bad.status().to_string().find("LSN"), std::string::npos);
+}
+
+// A syntactically valid record whose recorded decision the broker cannot
+// reproduce (here: "release of a flow that does not exist succeeded") must
+// fail recovery as a replay divergence — never rebuild a different state.
+TEST_F(DurableBrokerTest, ReplayDivergenceIsRefused) {
+  auto db = open();
+  ASSERT_TRUE(db->provision_path(1, "I2", "E2").is_ok());
+  const std::uint64_t lsn = db->next_lsn();
+  db.reset();
+  WireWriter payload;
+  payload.u64(99);      // rid
+  payload.i64(424242);  // nonexistent flow
+  payload.u8(0);        // recorded outcome: OK
+  WireBuffer image = file_.contents();
+  const WireBuffer rec =
+      frame_journal_record(lsn, JournalOpKind::kRelease, payload.take());
+  image.insert(image.end(), rec.begin(), rec.end());
+  file_.set_contents(image);
+
+  auto bad = DurableBroker::open(spec_, opts_, file_);
+  ASSERT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(bad.status().to_string().find("divergence"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qosbb

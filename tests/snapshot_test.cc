@@ -5,7 +5,10 @@
 #include <gtest/gtest.h>
 
 #include "core/broker.h"
+#include "core/hierarchical.h"
+#include "core/interdomain.h"
 #include "core/wire.h"
+#include "topo/builders.h"
 #include "topo/fig8.h"
 #include "util/rng.h"
 
@@ -145,7 +148,8 @@ TEST(Snapshot, RequiresQuiescence) {
   ASSERT_NE(j2.grant, kInvalidGrantId);  // live transient
   auto frame = bb.snapshot();
   EXPECT_FALSE(frame.is_ok());
-  EXPECT_EQ(frame.status().code(), StatusCode::kFailedPrecondition);
+  // Typed transient error: settle the grants and retry.
+  EXPECT_EQ(frame.status().code(), StatusCode::kUnavailable);
   // After the grant expires, snapshotting works.
   bb.expire_contingency(j2.grant, j2.contingency_expires_at);
   EXPECT_TRUE(bb.snapshot().is_ok());
@@ -160,6 +164,93 @@ TEST(Snapshot, EmptyBrokerRoundTrips) {
       frame.value());
   ASSERT_TRUE(restored.is_ok());
   EXPECT_EQ(restored.value()->flows().count(), 0u);
+  EXPECT_DOUBLE_EQ(restored.value()->nodes().total_reserved(), 0.0);
+}
+
+// Out-of-band link reservations (reserve_link_external) are first-class
+// snapshot state: they serialize, restore, and stay releasable.
+TEST(Snapshot, ExternalReservationsRoundTrip) {
+  const DomainSpec spec = fig8_topology(Fig8Setting::kRateBasedOnly);
+  BandwidthBroker bb(spec);
+  ASSERT_TRUE(bb.request_service({type0(), 2.44, "I1", "E1"}).is_ok());
+  ASSERT_TRUE(bb.reserve_link_external("R2->R3", 120000).is_ok());
+  ASSERT_TRUE(bb.reserve_link_external("R4->R5", 80000).is_ok());
+  auto frame = bb.snapshot();
+  ASSERT_TRUE(frame.is_ok()) << frame.status().to_string();
+
+  auto restored = BandwidthBroker::restore(spec, {}, frame.value());
+  ASSERT_TRUE(restored.is_ok()) << restored.status().to_string();
+  EXPECT_EQ(restored.value()->external_reserved().size(), 2u);
+  EXPECT_DOUBLE_EQ(restored.value()->external_reserved().at("R2->R3"),
+                   120000.0);
+  expect_same_mibs(bb, *restored.value());
+  // The restored booking is live, not just cosmetic: it can be released.
+  auto freed = restored.value()->release_link_external("R2->R3", 120000);
+  ASSERT_TRUE(freed.is_ok());
+  EXPECT_DOUBLE_EQ(freed.value(), 120000.0);
+}
+
+// A hierarchical quota lease books bandwidth directly on the central node
+// MIB — state the snapshot records cannot explain. Snapshotting then MUST
+// fail loudly (kFailedPrecondition), never emit a frame that would silently
+// lose the lease on recovery. Once the lease is returned, the same broker
+// snapshots fine.
+TEST(Snapshot, HierarchicalLeaseFailsLoudlyThenRoundTripsAfterRestore) {
+  CentralBroker central(fig8_topology(Fig8Setting::kRateBasedOnly));
+  const PathId path = central.domain().provision_path("I1", "E1").value();
+  ASSERT_TRUE(
+      central.domain().request_service({type0(), 2.44, "I1", "E1"}).is_ok());
+  EXPECT_DOUBLE_EQ(central.lease("edge1", path, 200000), 200000.0);
+
+  auto frame = central.domain().snapshot();
+  ASSERT_FALSE(frame.is_ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kFailedPrecondition);
+
+  central.restore("edge1", path, 200000);
+  frame = central.domain().snapshot();
+  ASSERT_TRUE(frame.is_ok()) << frame.status().to_string();
+  auto restored = BandwidthBroker::restore(
+      fig8_topology(Fig8Setting::kRateBasedOnly), {}, frame.value());
+  ASSERT_TRUE(restored.is_ok());
+  expect_same_mibs(central.domain(), *restored.value());
+}
+
+// An SLA trunk lives inside the transit domain's broker as an ordinary
+// per-flow reservation, so a transit BB snapshot round-trips it: same link
+// accounting, same flow record, still releasable after restore.
+TEST(Snapshot, InterDomainTrunkStateRoundTrips) {
+  ChainOptions opt;
+  opt.hops = 3;
+  opt.prefix = "T";
+  opt.capacity = 1.5e6;
+  InterDomainOrchestrator orch;
+  ChainOptions src = opt, dst = opt;
+  src.prefix = "A";
+  src.hops = 2;
+  dst.prefix = "B";
+  dst.hops = 2;
+  orch.add_domain("src", chain_topology(src), "A0", "A2");
+  orch.add_domain("transit", chain_topology(opt), "T0", "T3");
+  orch.add_domain("dst", chain_topology(dst), "B0", "B2");
+  ASSERT_TRUE(orch.provision_trunk("transit", 600000, 120000).is_ok());
+  ASSERT_TRUE(orch.request_service(type0(), 6.0).is_ok());
+
+  BandwidthBroker& transit = orch.domain("transit");
+  ASSERT_EQ(transit.flows().count(), 1u);  // the trunk itself
+  auto frame = transit.snapshot();
+  ASSERT_TRUE(frame.is_ok()) << frame.status().to_string();
+  auto restored =
+      BandwidthBroker::restore(chain_topology(opt), {}, frame.value());
+  ASSERT_TRUE(restored.is_ok()) << restored.status().to_string();
+  EXPECT_EQ(restored.value()->flows().count(), 1u);
+  expect_same_mibs(transit, *restored.value());
+  // The restored trunk reservation carries the same id and rate.
+  for (const auto& [id, rec] : transit.flows().all()) {
+    auto got = restored.value()->flows().get(id);
+    ASSERT_TRUE(got.is_ok());
+    EXPECT_DOUBLE_EQ(got.value().reservation.rate, rec.reservation.rate);
+    EXPECT_TRUE(restored.value()->release_service(id).is_ok());
+  }
   EXPECT_DOUBLE_EQ(restored.value()->nodes().total_reserved(), 0.0);
 }
 

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "util/backoff.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -204,6 +205,91 @@ TEST(TextTable, RowWidthEnforced) {
 TEST(TextTable, NumberFormatting) {
   EXPECT_EQ(TextTable::fmt(2.44, 2), "2.44");
   EXPECT_EQ(TextTable::fmt_int(29), "29");
+}
+
+TEST(Backoff, DeterministicGrowthWithoutJitter) {
+  BackoffPolicy p;
+  p.base = 0.1;
+  p.cap = 1.0;
+  p.multiplier = 2.0;
+  p.max_retries = 8;
+  p.jitter = 0.0;
+  Backoff b(p, Rng(1));
+  EXPECT_DOUBLE_EQ(b.next(), 0.1);
+  EXPECT_DOUBLE_EQ(b.next(), 0.2);
+  EXPECT_DOUBLE_EQ(b.next(), 0.4);
+  EXPECT_DOUBLE_EQ(b.next(), 0.8);
+  EXPECT_DOUBLE_EQ(b.next(), 1.0);  // capped
+  EXPECT_DOUBLE_EQ(b.next(), 1.0);
+}
+
+TEST(Backoff, FullJitterStaysInsideCeiling) {
+  BackoffPolicy p;
+  p.base = 0.05;
+  p.cap = 5.0;
+  Backoff b(p, Rng(42));
+  double ceiling = p.base;
+  for (int k = 0; k < 20; ++k) {
+    const Seconds d = b.next();
+    EXPECT_GE(d, 0.0) << "attempt " << k;
+    EXPECT_LE(d, ceiling) << "attempt " << k;
+    ceiling = std::min(p.cap, ceiling * p.multiplier);
+  }
+}
+
+TEST(Backoff, PartialJitterBlendsFixedAndRandom) {
+  BackoffPolicy p;
+  p.base = 1.0;
+  p.cap = 1.0;  // ceiling pinned to 1 from the first retry
+  p.jitter = 0.25;
+  Backoff b(p, Rng(7));
+  for (int k = 0; k < 10; ++k) {
+    const Seconds d = b.next();
+    EXPECT_GE(d, 0.75);  // ceiling*(1-j)
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+TEST(Backoff, ExhaustionAndReset) {
+  BackoffPolicy p;
+  p.max_retries = 3;
+  Backoff b(p, Rng(5));
+  EXPECT_FALSE(b.exhausted());
+  (void)b.next();
+  (void)b.next();
+  (void)b.next();
+  EXPECT_TRUE(b.exhausted());
+  EXPECT_EQ(b.attempts(), 3u);
+  // Delays keep flowing past exhaustion (caller decides when to give up)...
+  EXPECT_GT(b.next(), 0.0);
+  EXPECT_EQ(b.attempts(), 3u);
+  // ...and reset() re-arms the schedule for the next request.
+  b.reset();
+  EXPECT_FALSE(b.exhausted());
+  EXPECT_EQ(b.attempts(), 0u);
+}
+
+TEST(Backoff, SameSeedSameSchedule) {
+  BackoffPolicy p;
+  Backoff a(p, Rng(99));
+  Backoff b(p, Rng(99));
+  for (int k = 0; k < 12; ++k) EXPECT_DOUBLE_EQ(a.next(), b.next());
+}
+
+TEST(Backoff, IllFormedPolicyThrows) {
+  Rng rng(1);
+  BackoffPolicy bad;
+  bad.base = 0.0;
+  EXPECT_THROW(Backoff(bad, Rng(1)), std::invalid_argument);
+  bad = {};
+  bad.cap = 0.01;  // cap < base
+  EXPECT_THROW(Backoff(bad, Rng(1)), std::invalid_argument);
+  bad = {};
+  bad.multiplier = 0.5;
+  EXPECT_THROW(Backoff(bad, Rng(1)), std::invalid_argument);
+  bad = {};
+  bad.jitter = 1.5;
+  EXPECT_THROW(Backoff(bad, Rng(1)), std::invalid_argument);
 }
 
 }  // namespace

@@ -184,6 +184,45 @@ TEST(Wire, ReaderPrimitivesRoundTrip) {
   EXPECT_FALSE(r.u8().is_ok());  // reading past the end is a clean error
 }
 
+TEST(Wire, ReaderTruncationHasDistinctCode) {
+  // Every primitive read past the end of the buffer must report
+  // kTruncated — journal recovery relies on this code to classify an
+  // incomplete final record as a clean end of log.
+  const WireBuffer empty;
+  EXPECT_EQ(WireReader(empty).u8().status().code(), StatusCode::kTruncated);
+  EXPECT_EQ(WireReader(empty).u16().status().code(), StatusCode::kTruncated);
+  EXPECT_EQ(WireReader(empty).u32().status().code(), StatusCode::kTruncated);
+  EXPECT_EQ(WireReader(empty).u64().status().code(), StatusCode::kTruncated);
+  EXPECT_EQ(WireReader(empty).i64().status().code(), StatusCode::kTruncated);
+  EXPECT_EQ(WireReader(empty).f64().status().code(), StatusCode::kTruncated);
+  EXPECT_EQ(WireReader(empty).str().status().code(), StatusCode::kTruncated);
+  // Partial fixed-width field: 4 bytes present, 8 wanted.
+  WireWriter w;
+  w.u32(7);
+  const WireBuffer four = w.take();
+  EXPECT_EQ(WireReader(four).u64().status().code(), StatusCode::kTruncated);
+  // A string whose length prefix promises more bytes than remain is also a
+  // truncation (the prefix may simply sit at the write frontier).
+  WireWriter ws;
+  ws.u8(10);
+  ws.u8('x');
+  const WireBuffer short_str = ws.take();
+  EXPECT_EQ(WireReader(short_str).str().status().code(),
+            StatusCode::kTruncated);
+}
+
+TEST(Wire, CorruptionIsNotReportedAsTruncation) {
+  // Structurally invalid content inside a complete buffer must stay
+  // kInvalidArgument — recovery treats it as corruption, not clean EOF.
+  WireWriter w;
+  std::uint64_t nan_bits = 0x7ff8000000000000ULL;
+  w.u64(nan_bits);
+  const WireBuffer buf = w.take();
+  auto f = WireReader(buf).f64();
+  EXPECT_FALSE(f.is_ok());
+  EXPECT_EQ(f.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(Wire, FuzzRandomBuffersNeverCrash) {
   Rng rng(2026);
   for (int i = 0; i < 2000; ++i) {

@@ -3,13 +3,20 @@
 //   fuzz_broker --seeds=1:10 --ops=2000              # fixed seed sweep
 //   fuzz_broker --topology=fig8-mixed --preemption   # one configuration
 //   fuzz_broker --repro=FILE                         # replay a repro file
-//   fuzz_broker --sabotage --seeds=1:3               # canary (must diverge)
+//   fuzz_broker --sabotage --seeds=1:3               # canaries (must diverge)
+//   fuzz_broker --crash-sweep --seeds=1:30           # crash-point sweep
 //
 // Every (seed, topology) pair runs the full differential check. On a
 // divergence the sequence is truncated + minimized and a replayable repro
 // file is written next to the binary (or to --dump-dir), then the driver
-// exits 1. --sabotage INVERTS the exit logic: it simulates a missed
-// knot-cache invalidation and the run fails unless the harness catches it.
+// exits 1. --sabotage INVERTS the exit logic: it injects known bugs — a
+// missed knot-cache invalidation AND, in a second pass, a silently dropped
+// journal append — and the run fails unless the harness catches every one.
+//
+// --crash-sweep trades op count for crash-point density: each sequence is
+// recovered from every record boundary, from cuts inside every record, and
+// under single-bit corruption (run_crash_sweep). With --sabotage it instead
+// requires every sweep to detect the dropped append.
 
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +30,7 @@
 
 namespace {
 
+using qosbb::fuzz::CrashSweepResult;
 using qosbb::fuzz::FuzzConfig;
 using qosbb::fuzz::FuzzResult;
 using qosbb::fuzz::FuzzTopology;
@@ -37,6 +45,7 @@ struct Args {
   bool preemption = false;
   bool widest = false;
   bool sabotage = false;
+  bool crash_sweep = false;
   std::string repro_file;
   std::string dump_dir = ".";
 };
@@ -78,6 +87,8 @@ bool parse_args(int argc, char** argv, Args* args) {
       args->widest = true;
     } else if (a == "--sabotage") {
       args->sabotage = true;
+    } else if (a == "--crash-sweep") {
+      args->crash_sweep = true;
     } else if (const char* v4 = value("--repro=")) {
       args->repro_file = v4;
     } else if (const char* v5 = value("--dump-dir=")) {
@@ -124,61 +135,137 @@ int run_repro(const std::string& path) {
   return result.ok ? 0 : 1;
 }
 
+FuzzConfig make_config(const Args& args, std::uint64_t seed,
+                       FuzzTopology topo) {
+  FuzzConfig cfg;
+  cfg.seed = seed;
+  cfg.ops = args.ops;
+  cfg.topology = topo;
+  cfg.allow_preemption = args.preemption;
+  cfg.widest_residual = args.widest;
+  return cfg;
+}
+
+/// Crash-point sweep over every (seed, topology). With sabotage, every
+/// sweep must CATCH the dropped journal append.
+int run_crash_sweeps(const Args& args) {
+  int failures = 0;
+  int caught = 0;
+  int runs = 0;
+  for (FuzzTopology topo : args.topologies) {
+    for (std::uint64_t seed = args.seed_lo; seed <= args.seed_hi; ++seed) {
+      FuzzConfig cfg = make_config(args, seed, topo);
+      cfg.sabotage_drop_append = args.sabotage;
+      const CrashSweepResult result = qosbb::fuzz::run_crash_sweep(cfg);
+      ++runs;
+      std::printf("sweep seed %llu %s: %s\n",
+                  static_cast<unsigned long long>(seed),
+                  qosbb::fuzz::fuzz_topology_name(topo),
+                  result.summary().c_str());
+      if (!result.ok) ++failures;
+      if (args.sabotage && !result.ok) ++caught;
+    }
+  }
+  if (args.sabotage) {
+    if (caught == runs) {
+      std::printf(
+          "dropped-append sabotage caught in all %d sweeps — recovery "
+          "checking is live\n",
+          runs);
+      return 0;
+    }
+    std::fprintf(stderr,
+                 "dropped-append sabotage went UNDETECTED in %d of %d "
+                 "sweeps — a lost acknowledged op would go unnoticed\n",
+                 runs - caught, runs);
+    return 1;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+/// One sabotage pass: run every (seed, topology) with `mutate` applied to
+/// the config; every run must diverge. Returns the number NOT caught.
+int sabotage_pass(const Args& args,
+                  const std::vector<FuzzTopology>& topologies,
+                  void (*mutate)(FuzzConfig*), const char* what,
+                  int* total_runs) {
+  int missed = 0;
+  for (FuzzTopology topo : topologies) {
+    for (std::uint64_t seed = args.seed_lo; seed <= args.seed_hi; ++seed) {
+      FuzzConfig cfg = make_config(args, seed, topo);
+      mutate(&cfg);
+      const FuzzResult result = qosbb::fuzz::run_fuzz(cfg);
+      ++*total_runs;
+      std::printf("%s seed %llu %s: %s\n", what,
+                  static_cast<unsigned long long>(seed),
+                  qosbb::fuzz::fuzz_topology_name(topo),
+                  result.summary().c_str());
+      if (result.ok) ++missed;
+    }
+  }
+  return missed;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args;
   if (!parse_args(argc, argv, &args)) return 2;
   if (!args.repro_file.empty()) return run_repro(args.repro_file);
+  if (args.crash_sweep) return run_crash_sweeps(args);
 
   if (args.sabotage) {
-    // The canary corrupts the EDF knot cache; a topology with no
-    // delay-based links has no such cache and can never diverge, so it
-    // would read as a false "sabotage undetected".
-    std::erase(args.topologies, FuzzTopology::kFig8RateOnly);
-    if (args.topologies.empty()) {
-      std::fprintf(stderr,
-                   "--sabotage needs a topology with delay-based links\n");
+    // Canary mode: inject known bugs; the harness must report a divergence
+    // in EVERY run or it has lost its teeth. Two independent canaries:
+    //
+    // (1) Missed knot-cache invalidation. A topology with no delay-based
+    //     links has no knot cache and can never diverge — skip it there.
+    std::vector<FuzzTopology> knot_topos = args.topologies;
+    std::erase(knot_topos, FuzzTopology::kFig8RateOnly);
+    int runs = 0;
+    int missed = 0;
+    if (!knot_topos.empty()) {
+      missed += sabotage_pass(
+          args, knot_topos,
+          [](FuzzConfig* cfg) { cfg->sabotage_knot_cache = true; },
+          "knot-sabotage", &runs);
+    }
+    // (2) Silently dropped journal append: the broker acks an op that never
+    //     reached the log. Recovery must notice on every topology.
+    missed += sabotage_pass(
+        args, args.topologies,
+        [](FuzzConfig* cfg) { cfg->sabotage_drop_append = true; },
+        "drop-sabotage", &runs);
+    if (runs == 0) {
+      std::fprintf(stderr, "--sabotage ran zero configurations\n");
       return 2;
     }
-  }
-
-  int divergences = 0;
-  int runs = 0;
-  for (FuzzTopology topo : args.topologies) {
-    for (std::uint64_t seed = args.seed_lo; seed <= args.seed_hi; ++seed) {
-      FuzzConfig cfg;
-      cfg.seed = seed;
-      cfg.ops = args.ops;
-      cfg.topology = topo;
-      cfg.allow_preemption = args.preemption;
-      cfg.widest_residual = args.widest;
-      cfg.sabotage_knot_cache = args.sabotage;
-      const FuzzResult result = qosbb::fuzz::run_fuzz(cfg);
-      ++runs;
-      std::printf("seed %llu %s: %s\n",
-                  static_cast<unsigned long long>(seed),
-                  qosbb::fuzz::fuzz_topology_name(topo),
-                  result.summary().c_str());
-      if (!result.ok) {
-        ++divergences;
-        if (!args.sabotage) dump_divergence(cfg, result, args.dump_dir);
-      }
-    }
-  }
-  if (args.sabotage) {
-    // Canary mode: the simulated missed invalidation must be caught in
-    // EVERY run, otherwise the harness has lost its teeth.
-    if (divergences == runs) {
+    if (missed == 0) {
       std::printf("sabotage caught in all %d runs — harness is live\n",
                   runs);
       return 0;
     }
     std::fprintf(stderr,
                  "sabotage went UNDETECTED in %d of %d runs — the harness "
-                 "would miss a real missed-invalidation bug\n",
-                 runs - divergences, runs);
+                 "would miss a real bug of this class\n",
+                 missed, runs);
     return 1;
+  }
+
+  int divergences = 0;
+  for (FuzzTopology topo : args.topologies) {
+    for (std::uint64_t seed = args.seed_lo; seed <= args.seed_hi; ++seed) {
+      const FuzzConfig cfg = make_config(args, seed, topo);
+      const FuzzResult result = qosbb::fuzz::run_fuzz(cfg);
+      std::printf("seed %llu %s: %s\n",
+                  static_cast<unsigned long long>(seed),
+                  qosbb::fuzz::fuzz_topology_name(topo),
+                  result.summary().c_str());
+      if (!result.ok) {
+        ++divergences;
+        dump_divergence(cfg, result, args.dump_dir);
+      }
+    }
   }
   return divergences == 0 ? 0 : 1;
 }

@@ -9,34 +9,59 @@
 #include <unordered_map>
 
 #include "core/broker.h"
+#include "core/durable_broker.h"
 #include "core/oracle.h"
 #include "topo/builders.h"
 #include "topo/fig8.h"
+#include "util/backoff.h"
 #include "util/rng.h"
 #include "util/status.h"
 
 namespace qosbb::fuzz {
 namespace {
 
-/// Tolerance for "state unchanged after a rejected request" and for
-/// original-vs-restored comparisons (re-booking order changes float sums in
-/// the last ulp).
+/// Tolerance for "state unchanged after a rejected request" checks where
+/// re-booking order changes float sums in the last ulp. Crash recovery is
+/// held to EXACT equality (deterministic redo from an identical base).
 constexpr double kStateTol = 1e-6;
+
+/// Issued-request log entry: everything needed to re-deliver a request
+/// verbatim (the resolved arguments, NOT the ordinals — redelivery must hit
+/// the dedup window, not re-resolve against changed live lists).
+struct IssuedCall {
+  RequestId rid = kNoRequestId;
+  OpKind kind = OpKind::kAdmit;
+  bool ok = false;  ///< the original decision
+  FlowId result_flow = kInvalidFlowId;  ///< admit/join: id handed out
+  FlowServiceRequest req;               // admit
+  Seconds now = 0.0;
+  FlowId flow = kInvalidFlowId;  // release / renegotiate / leave target
+  Seconds d_req = 0.0;           // renegotiate
+  ClassId cls = kInvalidClassId;  // join
+  TrafficProfile profile;         // join
+  std::string ingress, egress;    // join
+  std::string link;               // link reserve/release
+  double amount = 0.0;            // link reserve/release
+};
 
 struct ExecState {
   DomainSpec spec;
   BrokerOptions options;
   std::vector<std::pair<std::string, std::string>> pairs;
-  std::unique_ptr<BandwidthBroker> bb;
+  std::unique_ptr<FaultyJournalFile> journal;
+  std::unique_ptr<DurableBroker> db;
   std::vector<ClassId> classes;
   std::vector<FlowId> per_flow;
   std::vector<FlowId> micro;
-  /// Out-of-band link reservations made by kLinkReserve, by link name —
-  /// declared to oracle_check_state so its rebooking reconstruction can
-  /// account for bandwidth no flow record explains.
-  std::unordered_map<std::string, double> external;
+  std::vector<IssuedCall> issued;  ///< recent acked requests (redelivery pool)
+  RequestId next_rid = 1;
   Seconds now = 0.0;
 };
+
+/// The 13th append disappears under --sabotage: late enough to fall inside
+/// the op sequence (setup journals ~5 records), early enough that short
+/// sabotage runs still reach it.
+constexpr std::uint64_t kSabotageDropIndex = 12;
 
 ExecState make_state(const FuzzConfig& cfg) {
   ExecState st;
@@ -63,23 +88,33 @@ ExecState make_state(const FuzzConfig& cfg) {
   st.options.path_selection = cfg.widest_residual
                                   ? PathSelection::kWidestResidual
                                   : PathSelection::kMinHop;
-  st.bb = std::make_unique<BandwidthBroker>(st.spec, st.options);
+  st.journal = std::make_unique<FaultyJournalFile>();
+  if (cfg.sabotage_drop_append) {
+    st.journal->set_drop_append_index(kSabotageDropIndex);
+  }
+  auto db = DurableBroker::open(st.spec, st.options, *st.journal);
+  QOSBB_REQUIRE(db.is_ok(), "fuzz: durable open failed");
+  st.db = std::move(db.value());
   // Provision every endpoint pair up front so broker and oracle see the
   // same path MIB from op 0 (the broker would otherwise provision lazily
   // inside the first request, which the oracle's pre-decision cannot see).
+  // Journaled, so recovery from genesis rebuilds the same paths/classes.
   for (const auto& [in, out] : st.pairs) {
-    auto p = st.bb->provision_path(in, out);
+    auto p = st.db->provision_path(st.next_rid++, in, out);
     QOSBB_REQUIRE(p.is_ok(), "fuzz: provisioning failed");
   }
-  st.classes.push_back(st.bb->define_class(2.19, 0.10, "gold"));
-  st.classes.push_back(st.bb->define_class(3.0, 0.15, "silver"));
+  auto gold = st.db->define_class(st.next_rid++, 2.19, 0.10, "gold");
+  auto silver = st.db->define_class(st.next_rid++, 3.0, 0.15, "silver");
+  QOSBB_REQUIRE(gold.is_ok() && silver.is_ok(), "fuzz: class setup failed");
+  st.classes.push_back(gold.value());
+  st.classes.push_back(silver.value());
   return st;
 }
 
 void for_each_delay_link(ExecState& st,
                          const std::function<void(LinkQosState&)>& fn) {
   for (const auto& l : st.spec.links) {
-    LinkQosState& link = st.bb->nodes().link(l.from + "->" + l.to);
+    LinkQosState& link = st.db->broker().nodes().link(l.from + "->" + l.to);
     if (link.delay_based()) fn(link);
   }
 }
@@ -90,7 +125,8 @@ std::vector<std::pair<double, double>> capture_links(const ExecState& st) {
   std::vector<std::pair<double, double>> out;
   out.reserve(st.spec.links.size());
   for (const auto& l : st.spec.links) {
-    const LinkQosState& link = st.bb->nodes().link(l.from + "->" + l.to);
+    const LinkQosState& link =
+        st.db->broker().nodes().link(l.from + "->" + l.to);
     out.emplace_back(link.reserved(), link.buffer_reserved());
   }
   return out;
@@ -101,7 +137,8 @@ bool links_unchanged(const ExecState& st,
                      bool exact, std::string* why) {
   for (std::size_t i = 0; i < st.spec.links.size(); ++i) {
     const auto& l = st.spec.links[i];
-    const LinkQosState& link = st.bb->nodes().link(l.from + "->" + l.to);
+    const LinkQosState& link =
+        st.db->broker().nodes().link(l.from + "->" + l.to);
     const double dr = std::abs(link.reserved() - before[i].first);
     const double db = std::abs(link.buffer_reserved() - before[i].second);
     const bool bad = exact ? (link.reserved() != before[i].first ||
@@ -110,14 +147,38 @@ bool links_unchanged(const ExecState& st,
     if (bad) {
       std::ostringstream os;
       os.precision(17);
-      os << "rejected request mutated " << link.name() << ": reserved "
-         << before[i].first << " -> " << link.reserved() << ", buffer "
-         << before[i].second << " -> " << link.buffer_reserved();
+      os << "mutated " << link.name() << ": reserved " << before[i].first
+         << " -> " << link.reserved() << ", buffer " << before[i].second
+         << " -> " << link.buffer_reserved();
       *why = os.str();
       return false;
     }
   }
   return true;
+}
+
+/// Exact observable-state fingerprint used by crash-recovery equality:
+/// per-link floats bit-for-bit, flow population, and the journal position.
+struct StateDigest {
+  std::vector<std::pair<double, double>> links;
+  std::size_t flows = 0;
+  std::size_t macroflows = 0;
+  std::uint64_t next_lsn = 0;
+  bool operator==(const StateDigest&) const = default;
+};
+
+StateDigest digest_of(const DomainSpec& spec, const BandwidthBroker& bb,
+                      std::uint64_t next_lsn) {
+  StateDigest d;
+  d.links.reserve(spec.links.size());
+  for (const auto& l : spec.links) {
+    const LinkQosState& link = bb.nodes().link(l.from + "->" + l.to);
+    d.links.emplace_back(link.reserved(), link.buffer_reserved());
+  }
+  d.flows = bb.flows().count();
+  d.macroflows = bb.classes().macroflow_count();
+  d.next_lsn = next_lsn;
+  return d;
 }
 
 /// Validated profile from an op's recorded shape. The generator only emits
@@ -130,11 +191,61 @@ std::size_t pick(std::int64_t target, std::size_t size) {
   return static_cast<std::size_t>(target % static_cast<std::int64_t>(size));
 }
 
+void record_issued(ExecState& st, IssuedCall call) {
+  st.issued.push_back(std::move(call));
+  // Bounded pool: redelivery draws from the recent past, comfortably inside
+  // the broker's dedup window.
+  if (st.issued.size() > 64) st.issued.erase(st.issued.begin());
+}
+
+/// Recover a broker from `st.journal` and require bit-exact state equality
+/// with the live one. On success, `out` (if non-null) receives the
+/// recovered broker.
+bool recover_and_compare(ExecState& st,
+                         std::unique_ptr<DurableBroker>* out,
+                         std::string* why) {
+  auto recovered = DurableBroker::open(st.spec, st.options, *st.journal);
+  if (!recovered.is_ok()) {
+    *why = "recovery failed: " + recovered.status().to_string();
+    return false;
+  }
+  const StateDigest live =
+      digest_of(st.spec, st.db->broker(), st.db->next_lsn());
+  const StateDigest redo = digest_of(st.spec, recovered.value()->broker(),
+                                     recovered.value()->next_lsn());
+  if (!(live == redo)) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "recovery lost acknowledged state: live (" << live.flows
+       << " flows, " << live.macroflows << " macroflows, lsn "
+       << live.next_lsn << ") vs recovered (" << redo.flows << " flows, "
+       << redo.macroflows << " macroflows, lsn " << redo.next_lsn << ")";
+    for (std::size_t i = 0; i < live.links.size(); ++i) {
+      if (live.links[i] != redo.links[i]) {
+        os << "; link " << st.spec.links[i].from << "->"
+           << st.spec.links[i].to << " reserved " << live.links[i].first
+           << " vs " << redo.links[i].first;
+        break;
+      }
+    }
+    *why = os.str();
+    return false;
+  }
+  const OracleStateReport rep =
+      oracle_check_state(recovered.value()->broker(), nullptr);
+  if (!rep.ok) {
+    *why = "recovered broker fails the state audit: " + rep.to_string();
+    return false;
+  }
+  if (out != nullptr) *out = std::move(recovered.value());
+  return true;
+}
+
 /// Execute one op differentially. Returns false and fills `why` on
 /// divergence.
 bool execute_op(ExecState& st, const FuzzOp& op, const FuzzConfig& cfg,
                 FuzzResult& stats, std::string* why) {
-  BandwidthBroker& bb = *st.bb;
+  BandwidthBroker& bb = st.db->broker();
   std::ostringstream os;
   os.precision(17);
   switch (op.kind) {
@@ -144,10 +255,18 @@ bool execute_op(ExecState& st, const FuzzOp& op, const FuzzConfig& cfg,
                              cfg.allow_preemption ? op.priority : 0};
       const OracleDecision od = oracle_decide_request(bb, req);
       const auto before = capture_links(st);
-      auto res = bb.request_service(req, st.now);
+      const RequestId rid = st.next_rid++;
+      auto res = st.db->request_service(rid, req, st.now);
       const AdmissionOutcome& fast = bb.last_outcome();
+      IssuedCall call;
+      call.rid = rid;
+      call.kind = OpKind::kAdmit;
+      call.ok = res.is_ok();
+      call.req = req;
+      call.now = st.now;
       if (res.is_ok()) {
         ++stats.admits;
+        call.result_flow = res.value().flow;
         // Evicted victims are already released by the broker — drop them
         // from the live list before they become dangling targets.
         for (FlowId victim : res.value().preempted) {
@@ -193,16 +312,19 @@ bool execute_op(ExecState& st, const FuzzOp& op, const FuzzConfig& cfg,
           return false;
         }
         if (!links_unchanged(st, before, !cfg.allow_preemption, why)) {
+          *why = "rejected request " + *why;
           return false;
         }
       }
+      record_issued(st, std::move(call));
       break;
     }
     case OpKind::kRelease: {
       if (st.per_flow.empty()) break;
       const std::size_t idx = pick(op.target, st.per_flow.size());
       const FlowId id = st.per_flow[idx];
-      auto s = bb.release_service(id);
+      const RequestId rid = st.next_rid++;
+      auto s = st.db->release_service(rid, id);
       if (!s.is_ok()) {
         *why = "release of live flow failed: " + s.to_string();
         return false;
@@ -210,6 +332,12 @@ bool execute_op(ExecState& st, const FuzzOp& op, const FuzzConfig& cfg,
       st.per_flow[idx] = st.per_flow.back();
       st.per_flow.pop_back();
       ++stats.releases;
+      IssuedCall call;
+      call.rid = rid;
+      call.kind = OpKind::kRelease;
+      call.ok = true;
+      call.flow = id;
+      record_issued(st, std::move(call));
       break;
     }
     case OpKind::kRenegotiate: {
@@ -226,7 +354,8 @@ bool execute_op(ExecState& st, const FuzzOp& op, const FuzzConfig& cfg,
       const AdmissionOutcome oracle = oracle_admit_per_flow(
           bb.paths(), bb.nodes(), rec.value().path, rec.value().profile,
           op.d_req, ex);
-      auto res = bb.renegotiate_service(id, op.d_req, st.now);
+      const RequestId rid = st.next_rid++;
+      auto res = st.db->renegotiate_service(rid, id, op.d_req, st.now);
       const AdmissionOutcome& fast = bb.last_outcome();
       if (res.is_ok() != oracle.admitted) {
         os << "renegotiation divergence for flow " << id << " to d_req "
@@ -240,105 +369,274 @@ bool execute_op(ExecState& st, const FuzzOp& op, const FuzzConfig& cfg,
       }
       if (!oracle_outcomes_equivalent(fast, oracle, why)) return false;
       ++stats.renegotiations;
+      IssuedCall call;
+      call.rid = rid;
+      call.kind = OpKind::kRenegotiate;
+      call.ok = res.is_ok();
+      call.flow = id;
+      call.d_req = op.d_req;
+      call.now = st.now;
+      record_issued(st, std::move(call));
       break;
     }
     case OpKind::kClassJoin: {
       const auto& [in, out] = st.pairs[pick(op.pair, st.pairs.size())];
       const ClassId cls = st.classes[pick(op.target, st.classes.size())];
-      auto j = bb.request_class_service(cls, op_profile(op), in, out, st.now,
-                                        0.0);
+      const RequestId rid = st.next_rid++;
+      auto j = st.db->request_class_service(rid, cls, op_profile(op), in,
+                                            out, st.now, 0.0);
+      IssuedCall call;
+      call.rid = rid;
+      call.kind = OpKind::kClassJoin;
+      call.ok = j.admitted;
+      call.result_flow = j.microflow;
+      call.cls = cls;
+      call.profile = op_profile(op);
+      call.ingress = in;
+      call.egress = out;
+      call.now = st.now;
       if (j.admitted) {
         ++stats.joins;
         st.micro.push_back(j.microflow);
-        // Settle the contingency grant immediately: keeps the broker
-        // quiescent so every op may snapshot, and the settled allocation is
-        // what the oracle's rebooking reconstruction expects.
         if (j.grant != kInvalidGrantId) {
-          bb.expire_contingency(j.grant, j.contingency_expires_at);
+          // Checkpointing mid-grant must be refused with the typed
+          // transient error — never silently drop the contingency.
+          const Status guard = st.db->checkpoint();
+          if (guard.code() != StatusCode::kUnavailable) {
+            *why = "checkpoint during a live contingency grant was not "
+                   "refused with UNAVAILABLE: " +
+                   guard.to_string();
+            return false;
+          }
+          // Settle the grant immediately: keeps the broker quiescent so
+          // every op may checkpoint, and the settled allocation is what
+          // the oracle's rebooking reconstruction expects.
+          st.db->expire_contingency(j.grant, j.contingency_expires_at);
         }
       }
+      record_issued(st, std::move(call));
       break;
     }
     case OpKind::kClassLeave: {
       if (st.micro.empty()) break;
       const std::size_t idx = pick(op.target, st.micro.size());
       const FlowId id = st.micro[idx];
-      auto l = bb.leave_class_service(id, st.now, 0.0);
+      const RequestId rid = st.next_rid++;
+      auto l = st.db->leave_class_service(rid, id, st.now, 0.0);
       if (!l.is_ok()) {
         *why = "leave of live microflow failed: " + l.status().to_string();
         return false;
       }
       if (l.value().grant != kInvalidGrantId) {
-        bb.expire_contingency(l.value().grant,
-                              l.value().contingency_expires_at);
+        st.db->expire_contingency(l.value().grant,
+                                  l.value().contingency_expires_at);
       }
       st.micro[idx] = st.micro.back();
       st.micro.pop_back();
       ++stats.leaves;
+      IssuedCall call;
+      call.rid = rid;
+      call.kind = OpKind::kClassLeave;
+      call.ok = true;
+      call.flow = id;
+      call.now = st.now;
+      record_issued(st, std::move(call));
       break;
     }
     case OpKind::kLinkReserve: {
       const auto& l = st.spec.links[pick(op.target, st.spec.links.size())];
       const std::string name = l.from + "->" + l.to;
-      if (bb.nodes().link(name).reserve(op.amount).is_ok()) {
-        st.external[name] += op.amount;
-      }
+      const RequestId rid = st.next_rid++;
+      const Status s = st.db->reserve_link_external(rid, name, op.amount);
+      IssuedCall call;
+      call.rid = rid;
+      call.kind = OpKind::kLinkReserve;
+      call.ok = s.is_ok();
+      call.link = name;
+      call.amount = op.amount;
+      record_issued(st, std::move(call));
       break;
     }
     case OpKind::kLinkRelease: {
       const auto& l = st.spec.links[pick(op.target, st.spec.links.size())];
       const std::string name = l.from + "->" + l.to;
-      const double have = st.external[name];
-      const double amt = std::min(have, op.amount);
-      if (amt > 0.0) {
-        bb.nodes().link(name).release(amt);
-        st.external[name] = have - amt;
-      }
+      const RequestId rid = st.next_rid++;
+      auto r = st.db->release_link_external(rid, name, op.amount);
+      IssuedCall call;
+      call.rid = rid;
+      call.kind = OpKind::kLinkRelease;
+      call.ok = r.is_ok();
+      call.link = name;
+      call.amount = op.amount;
+      record_issued(st, std::move(call));
       break;
     }
     case OpKind::kSnapshotRestore: {
-      if (bb.classes().active_grants() != 0) break;  // not quiescent
-      // Out-of-band reservations are not flow state and would not survive
-      // the rebuild — drain them first (checkpoint discipline).
-      for (auto& [name, amt] : st.external) {
-        if (amt > 0.0) bb.nodes().link(name).release(amt);
-        amt = 0.0;
-      }
-      auto frame = bb.snapshot();
-      if (!frame.is_ok()) {
-        *why = "snapshot failed: " + frame.status().to_string();
-        return false;
-      }
-      auto restored =
-          BandwidthBroker::restore(st.spec, st.options, frame.value());
-      if (!restored.is_ok()) {
-        *why = "restore failed: " + restored.status().to_string();
-        return false;
-      }
-      // The rebuilt broker must present the same observable link state (to
-      // re-summation tolerance) and the same flow population.
-      for (const auto& l : st.spec.links) {
-        const std::string name = l.from + "->" + l.to;
-        const LinkQosState& a = bb.nodes().link(name);
-        const LinkQosState& b = restored.value()->nodes().link(name);
-        if (std::abs(a.reserved() - b.reserved()) > kStateTol ||
-            std::abs(a.buffer_reserved() - b.buffer_reserved()) >
-                kStateTol) {
-          os << "restore changed " << name << ": reserved " << a.reserved()
-             << " -> " << b.reserved() << ", buffer " << a.buffer_reserved()
-             << " -> " << b.buffer_reserved();
-          *why = os.str();
+      // An anchor replaces the journal wholesale, which would heal the
+      // injected append hole the sabotage canary must catch — skip.
+      if (cfg.sabotage_drop_append) break;
+      if (bb.classes().active_grants() != 0) {
+        const Status s = st.db->checkpoint();
+        if (s.code() != StatusCode::kUnavailable) {
+          *why = "checkpoint during a live contingency grant was not "
+                 "refused with UNAVAILABLE: " +
+                 s.to_string();
           return false;
         }
+        break;
       }
-      if (restored.value()->flows().count() != bb.flows().count() ||
-          restored.value()->classes().macroflow_count() !=
-              bb.classes().macroflow_count()) {
-        *why = "restore changed the flow population";
+      const Status s = st.db->checkpoint();
+      if (!s.is_ok()) {
+        *why = "checkpoint failed: " + s.to_string();
         return false;
       }
-      st.bb = std::move(restored.value());  // continue on the restored broker
       ++stats.snapshots;
+      break;
+    }
+    case OpKind::kCrashRecover: {
+      // The knot-cache canary deliberately poisons non-durable cache state;
+      // recovery would legitimately differ from the sabotaged live broker.
+      if (cfg.sabotage_knot_cache) break;
+      const WireBuffer image = st.journal->contents();
+      const int variant = static_cast<int>(op.target % 3);
+      if (variant == 2 && !image.empty()) {
+        // Corruption: recovery from a single flipped bit must refuse with
+        // kDataLoss, never rebuild a subtly different state.
+        FaultyJournalFile scratch;
+        scratch.set_contents(image);
+        scratch.flip_bit(static_cast<std::size_t>(
+            (op.target / 3) %
+            static_cast<std::int64_t>(image.size() * 8)));
+        auto r = DurableBroker::open(st.spec, st.options, scratch);
+        if (r.is_ok()) {
+          *why = "bit-flipped journal recovered silently";
+          return false;
+        }
+        if (r.status().code() != StatusCode::kDataLoss) {
+          *why = "bit flip misclassified: " + r.status().to_string();
+          return false;
+        }
+      } else if (variant == 1 && !image.empty()) {
+        // Torn final append: the crash hit mid-write. The partial record
+        // was never acknowledged; recovery must drop it cleanly.
+        WireWriter dummy;
+        dummy.u64(0);
+        WireBuffer torn = frame_journal_record(
+            st.db->next_lsn(), JournalOpKind::kRelease, dummy.take());
+        const std::size_t cut =
+            1 + static_cast<std::size_t>(
+                    (op.target / 3) %
+                    static_cast<std::int64_t>(torn.size() - 1));
+        WireBuffer with_torn = image;
+        with_torn.insert(with_torn.end(), torn.begin(),
+                         torn.begin() + static_cast<long>(cut));
+        st.journal->set_contents(std::move(with_torn));
+      }
+      // The crash proper: reopen from the journal. Every acknowledged op
+      // must survive bit-for-bit; then continue on the recovered broker.
+      std::unique_ptr<DurableBroker> recovered;
+      if (!recover_and_compare(st, &recovered, why)) return false;
+      st.db = std::move(recovered);
+      ++stats.recoveries;
+      break;
+    }
+    case OpKind::kRedeliver: {
+      if (st.issued.empty()) break;
+      const IssuedCall call = st.issued[pick(op.target, st.issued.size())];
+      if (!st.db->remembers(call.rid)) {
+        *why = "redelivery: decision for an acked request fell out of the "
+               "dedup window";
+        return false;
+      }
+      // An at-least-once client retries after a jittered exponential
+      // delay; model the wait so redeliveries land at realistic times.
+      Backoff backoff(BackoffPolicy{},
+                      Rng(cfg.seed ^ (static_cast<std::uint64_t>(op.target) *
+                                      0x9E3779B97F4A7C15ULL)));
+      st.now += backoff.next();
+      const auto before = capture_links(st);
+      const std::uint64_t lsn_before = st.db->next_lsn();
+      const std::uint64_t hits_before = st.db->stats().dedup_hits;
+      const std::size_t flows_before = bb.flows().count();
+      const std::size_t macros_before = bb.classes().macroflow_count();
+      bool ok2 = false;
+      FlowId rf = kInvalidFlowId;
+      switch (call.kind) {
+        case OpKind::kAdmit: {
+          auto r2 = st.db->request_service(call.rid, call.req, call.now);
+          ok2 = r2.is_ok();
+          if (ok2) rf = r2.value().flow;
+          break;
+        }
+        case OpKind::kRelease:
+          ok2 = st.db->release_service(call.rid, call.flow).is_ok();
+          break;
+        case OpKind::kRenegotiate:
+          ok2 = st.db
+                    ->renegotiate_service(call.rid, call.flow, call.d_req,
+                                          call.now)
+                    .is_ok();
+          break;
+        case OpKind::kClassJoin: {
+          auto j2 = st.db->request_class_service(
+              call.rid, call.cls, call.profile, call.ingress, call.egress,
+              call.now, 0.0);
+          ok2 = j2.admitted;
+          rf = j2.microflow;
+          break;
+        }
+        case OpKind::kClassLeave:
+          ok2 = st.db->leave_class_service(call.rid, call.flow, call.now, 0.0)
+                    .is_ok();
+          break;
+        case OpKind::kLinkReserve:
+          ok2 = st.db->reserve_link_external(call.rid, call.link,
+                                             call.amount)
+                    .is_ok();
+          break;
+        case OpKind::kLinkRelease:
+          ok2 = st.db->release_link_external(call.rid, call.link,
+                                             call.amount)
+                    .is_ok();
+          break;
+        default:
+          break;
+      }
+      if (st.db->stats().dedup_hits != hits_before + 1) {
+        *why = "redelivery executed instead of replaying the recorded "
+               "decision";
+        return false;
+      }
+      if (st.db->next_lsn() != lsn_before) {
+        *why = "redelivery appended a journal record";
+        return false;
+      }
+      if (ok2 != call.ok) {
+        os << "redelivery decision flipped: original "
+           << (call.ok ? "ok" : "rejected") << ", duplicate "
+           << (ok2 ? "ok" : "rejected") << " ("
+           << op_kind_name(call.kind) << " rid " << call.rid << ")";
+        *why = os.str();
+        return false;
+      }
+      if (call.ok &&
+          (call.kind == OpKind::kAdmit || call.kind == OpKind::kClassJoin) &&
+          rf != call.result_flow) {
+        os << "redelivery handed out a different flow id: " << rf << " vs "
+           << call.result_flow;
+        *why = os.str();
+        return false;
+      }
+      if (!links_unchanged(st, before, /*exact=*/true, why)) {
+        *why = "redelivery " + *why;
+        return false;
+      }
+      if (bb.flows().count() != flows_before ||
+          bb.classes().macroflow_count() != macros_before) {
+        *why = "redelivery changed the flow population";
+        return false;
+      }
+      ++stats.redeliveries;
       break;
     }
   }
@@ -365,6 +663,10 @@ const char* op_kind_name(OpKind k) {
       return "link-release";
     case OpKind::kSnapshotRestore:
       return "snapshot-restore";
+    case OpKind::kCrashRecover:
+      return "crash-recover";
+    case OpKind::kRedeliver:
+      return "redeliver";
   }
   return "?";
 }
@@ -399,7 +701,7 @@ std::optional<FuzzOp> FuzzOp::from_line(const std::string& line) {
         op.d_req >> op.priority >> op.pair >> target_ll >> op.amount)) {
     return std::nullopt;
   }
-  if (kind_int < 0 || kind_int > static_cast<int>(OpKind::kSnapshotRestore)) {
+  if (kind_int < 0 || kind_int > static_cast<int>(OpKind::kRedeliver)) {
     return std::nullopt;
   }
   op.kind = static_cast<OpKind>(kind_int);
@@ -412,7 +714,8 @@ std::string FuzzResult::summary() const {
   os << (ok ? "OK" : "DIVERGED") << ": " << ops_executed << " ops ("
      << admits << " admits, " << rejects << " rejects, " << releases
      << " releases, " << renegotiations << " renegotiations, " << joins
-     << " joins, " << leaves << " leaves, " << snapshots << " snapshots)";
+     << " joins, " << leaves << " leaves, " << snapshots << " snapshots, "
+     << recoveries << " recoveries, " << redeliveries << " redeliveries)";
   if (!ok) os << "\n  op " << divergence_op << ": " << divergence;
   return os.str();
 }
@@ -438,7 +741,8 @@ FuzzResult replay(const FuzzConfig& cfg, const std::vector<FuzzOp>& ops) {
         for_each_delay_link(
             st, [](LinkQosState& l) { l.testonly_mark_knots_clean(); });
       }
-      const OracleStateReport rep = oracle_check_state(*st.bb, &st.external);
+      const OracleStateReport rep =
+          oracle_check_state(st.db->broker(), nullptr);
       if (!rep.ok) {
         ok = false;
         why = "after " + std::string(op_kind_name(ops[i].kind)) + ": " +
@@ -451,6 +755,18 @@ FuzzResult replay(const FuzzConfig& cfg, const std::vector<FuzzOp>& ops) {
       result.divergence_op = static_cast<int>(i);
       result.divergence = why;
       return result;
+    }
+  }
+  // End-of-run crash: everything acknowledged must survive a recovery at
+  // the very end. Under sabotage_drop_append this is where the injected
+  // append hole is guaranteed to surface (LSN gap or lost acked op) even
+  // if no kCrashRecover op ran after the drop.
+  if (!cfg.sabotage_knot_cache && !ops.empty()) {
+    std::string why;
+    if (!recover_and_compare(st, nullptr, &why)) {
+      result.ok = false;
+      result.divergence_op = result.ops_executed - 1;
+      result.divergence = "end-of-run recovery: " + why;
     }
   }
   return result;
@@ -479,8 +795,12 @@ std::vector<FuzzOp> generate_ops(const FuzzConfig& cfg) {
       op.kind = OpKind::kLinkReserve;
     } else if (roll <= 92) {
       op.kind = OpKind::kLinkRelease;
-    } else {
+    } else if (roll <= 95) {
       op.kind = OpKind::kSnapshotRestore;
+    } else if (roll <= 98) {
+      op.kind = OpKind::kCrashRecover;
+    } else {
+      op.kind = OpKind::kRedeliver;
     }
     // Traffic shape (valid by construction: σ >= L > 0, P >= ρ > 0).
     op.l_max = rng.uniform(3000.0, 12000.0);
@@ -542,7 +862,8 @@ std::string dump_repro(const FuzzConfig& cfg,
      << static_cast<int>(cfg.topology) << " preemption "
      << (cfg.allow_preemption ? 1 : 0) << " widest "
      << (cfg.widest_residual ? 1 : 0) << " sabotage "
-     << (cfg.sabotage_knot_cache ? 1 : 0) << "\n";
+     << (cfg.sabotage_knot_cache ? 1 : 0) << " sabotage-drop "
+     << (cfg.sabotage_drop_append ? 1 : 0) << "\n";
   for (const FuzzOp& op : ops) os << op.to_line() << "\n";
   return os.str();
 }
@@ -564,8 +885,8 @@ std::optional<std::pair<FuzzConfig, std::vector<FuzzOp>>> parse_repro(
       hs.str(line);
       hs.clear();
       std::uint64_t seed = 0;
-      int nops = 0, topo = 0, pre = 0, widest = 0, sab = 0;
-      std::string k1, k2, k3, k4, k5, k6;
+      int nops = 0, topo = 0, pre = 0, widest = 0, sab = 0, sdrop = 0;
+      std::string k1, k2, k3, k4, k5, k6, k7;
       if (hs >> hash >> k1 >> seed >> k2 >> nops >> k3 >> topo >> k4 >>
           pre >> k5 >> widest >> k6 >> sab) {
         cfg.seed = seed;
@@ -574,6 +895,8 @@ std::optional<std::pair<FuzzConfig, std::vector<FuzzOp>>> parse_repro(
         cfg.allow_preemption = pre != 0;
         cfg.widest_residual = widest != 0;
         cfg.sabotage_knot_cache = sab != 0;
+        // Pre-journal repro files end here; the flag defaults to off.
+        if (hs >> k7 >> sdrop) cfg.sabotage_drop_append = sdrop != 0;
         have_header = true;
       }
       continue;
@@ -584,6 +907,217 @@ std::optional<std::pair<FuzzConfig, std::vector<FuzzOp>>> parse_repro(
   }
   if (!have_header) return std::nullopt;
   return std::make_pair(cfg, std::move(ops));
+}
+
+// ---- Crash sweep ----
+
+namespace {
+
+std::uint32_t peek_record_len(const WireBuffer& b, std::size_t pos) {
+  return static_cast<std::uint32_t>(b[pos]) |
+         static_cast<std::uint32_t>(b[pos + 1]) << 8 |
+         static_cast<std::uint32_t>(b[pos + 2]) << 16 |
+         static_cast<std::uint32_t>(b[pos + 3]) << 24;
+}
+
+}  // namespace
+
+std::string CrashSweepResult::summary() const {
+  std::ostringstream os;
+  os << (ok ? "OK" : "FAILED") << ": " << ops_executed << " ops, "
+     << boundaries << " boundary recoveries, " << mid_cuts
+     << " mid-record cuts, " << bit_flips << " bit flips, " << redeliveries
+     << " dedup-window survivals";
+  for (const std::string& f : failures) os << "\n  " << f;
+  return os.str();
+}
+
+CrashSweepResult run_crash_sweep(const FuzzConfig& cfg) {
+  CrashSweepResult out;
+  const std::vector<FuzzOp> ops = generate_ops(cfg);
+  ExecState st = make_state(cfg);
+  auto fail = [&](std::string msg) {
+    out.ok = false;
+    out.failures.push_back(std::move(msg));
+  };
+
+  struct Point {
+    WireBuffer image;
+    StateDigest digest;
+    RequestId last_rid = kNoRequestId;
+  };
+  std::vector<Point> points;
+  points.push_back({st.journal->contents(),
+                    digest_of(st.spec, st.db->broker(), st.db->next_lsn()),
+                    kNoRequestId});
+  FuzzResult scratch;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const FuzzOp& op = ops[i];
+    // The sweep IS the crash test; in-sequence crash/redeliver ops would
+    // only duplicate it (and swap the broker out from under the digests).
+    if (op.kind == OpKind::kCrashRecover || op.kind == OpKind::kRedeliver) {
+      continue;
+    }
+    st.now += 1.0;
+    std::string why;
+    if (!execute_op(st, op, cfg, scratch, &why)) {
+      fail("live divergence at op " + std::to_string(i) + ": " + why);
+      break;
+    }
+    ++out.ops_executed;
+    points.push_back(
+        {st.journal->contents(),
+         digest_of(st.spec, st.db->broker(), st.db->next_lsn()),
+         st.issued.empty() ? kNoRequestId : st.issued.back().rid});
+  }
+
+  // Recover a journal image and return its digest (nullopt on failure).
+  auto recover_digest =
+      [&](const WireBuffer& image,
+          std::string* err) -> std::optional<StateDigest> {
+    FaultyJournalFile f;
+    f.set_contents(image);
+    auto r = DurableBroker::open(st.spec, st.options, f);
+    if (!r.is_ok()) {
+      *err = r.status().to_string();
+      return std::nullopt;
+    }
+    return digest_of(st.spec, r.value()->broker(), r.value()->next_lsn());
+  };
+
+  for (std::size_t p = 1; p < points.size() && out.failures.size() < 8;
+       ++p) {
+    const Point& pt = points[p];
+    const Point& prev = points[p - 1];
+    // (a) Record-boundary crash: every acknowledged op must survive.
+    {
+      FaultyJournalFile f;
+      f.set_contents(pt.image);
+      auto r = DurableBroker::open(st.spec, st.options, f);
+      ++out.boundaries;
+      if (!r.is_ok()) {
+        fail("recovery failed at op " + std::to_string(p - 1) + ": " +
+             r.status().to_string());
+        continue;
+      }
+      const StateDigest got =
+          digest_of(st.spec, r.value()->broker(), r.value()->next_lsn());
+      if (!(got == pt.digest)) {
+        fail("acked op lost: recovery at op " + std::to_string(p - 1) +
+             " does not reproduce the live state");
+      } else if (p % 7 == 1) {
+        // Sampled deep audit: the recovered broker must also satisfy the
+        // from-scratch oracle, not just mirror the live floats.
+        const OracleStateReport rep =
+            oracle_check_state(r.value()->broker(), nullptr);
+        if (!rep.ok) {
+          fail("oracle divergence after recovery at op " +
+               std::to_string(p - 1) + ": " + rep.to_string());
+        }
+      }
+      if (pt.last_rid != kNoRequestId) {
+        if (!r.value()->remembers(pt.last_rid)) {
+          fail("dedup window lost across recovery at op " +
+               std::to_string(p - 1));
+        } else {
+          ++out.redeliveries;
+        }
+      }
+    }
+    // (b) Mid-record crash: cuts strictly inside each record this op
+    // appended must recover to the state just before that record — the
+    // unacked tail is cleanly absent, nothing before it is touched.
+    const bool extension =
+        pt.image.size() > prev.image.size() &&
+        std::equal(prev.image.begin(), prev.image.end(), pt.image.begin());
+    if (extension) {
+      StateDigest expected = prev.digest;
+      std::size_t a = prev.image.size();
+      while (a + 12 <= pt.image.size() && out.failures.size() < 8) {
+        const std::size_t rec_size = 12 + peek_record_len(pt.image, a);
+        const std::size_t b = a + rec_size;
+        if (b > pt.image.size()) break;  // defensive; images are clean
+        const std::size_t cuts[3] = {a + 1, a + rec_size / 2, b - 1};
+        std::size_t done = 0;
+        for (const std::size_t cut : cuts) {
+          if (cut <= a || cut >= b || cut == done) continue;
+          done = cut;
+          std::string err;
+          auto got = recover_digest(
+              WireBuffer(pt.image.begin(),
+                         pt.image.begin() + static_cast<long>(cut)),
+              &err);
+          ++out.mid_cuts;
+          if (!got.has_value()) {
+            fail("torn-tail recovery refused at op " + std::to_string(p - 1) +
+                 " cut " + std::to_string(cut) + ": " + err);
+          } else if (!(*got == expected)) {
+            fail("unacked record leaked into recovery at op " +
+                 std::to_string(p - 1) + " cut " + std::to_string(cut));
+          }
+        }
+        // The next record's pre-state is the clean prefix through this one.
+        if (b < pt.image.size()) {
+          std::string err;
+          auto mid = recover_digest(
+              WireBuffer(pt.image.begin(),
+                         pt.image.begin() + static_cast<long>(b)),
+              &err);
+          if (!mid.has_value()) {
+            fail("recovery failed at interior record boundary of op " +
+                 std::to_string(p - 1) + ": " + err);
+            break;
+          }
+          expected = *mid;
+        }
+        a = b;
+      }
+    }
+    // (c) Corruption: one flipped bit anywhere must be refused loudly.
+    if (!pt.image.empty()) {
+      FaultyJournalFile f;
+      f.set_contents(pt.image);
+      f.flip_bit(static_cast<std::size_t>(
+          (cfg.seed * 0x9E3779B97F4A7C15ULL + p * 1013904223ULL) %
+          (pt.image.size() * 8)));
+      auto r = DurableBroker::open(st.spec, st.options, f);
+      ++out.bit_flips;
+      if (r.is_ok()) {
+        fail("bit-flipped journal recovered silently at op " +
+             std::to_string(p - 1));
+      } else if (r.status().code() != StatusCode::kDataLoss) {
+        fail("bit flip misclassified at op " + std::to_string(p - 1) + ": " +
+             r.status().to_string());
+      }
+    }
+  }
+  return out;
+}
+
+// ---- FaultyJournalFile ----
+
+Status FaultyJournalFile::append(const WireBuffer& bytes) {
+  const std::uint64_t idx = appends_++;
+  if (drop_append_index_.has_value() && idx == *drop_append_index_) {
+    return Status::ok();  // acknowledged but never written — the sabotage
+  }
+  data_.insert(data_.end(), bytes.begin(), bytes.end());
+  return Status::ok();
+}
+
+Result<WireBuffer> FaultyJournalFile::read_all() const { return data_; }
+
+Status FaultyJournalFile::replace(const WireBuffer& bytes) {
+  ++replaces_;
+  data_ = bytes;
+  return Status::ok();
+}
+
+void FaultyJournalFile::flip_bit(std::size_t bit_index) {
+  if (data_.empty()) return;
+  bit_index %= data_.size() * 8;
+  data_[bit_index / 8] ^=
+      static_cast<std::uint8_t>(1u << (bit_index % 8));
 }
 
 }  // namespace qosbb::fuzz

@@ -2,9 +2,10 @@
 //
 // Generates long randomized operation sequences over the full broker API —
 // per-flow admit/release/renegotiate, class-based microflow join/leave,
-// out-of-band link bandwidth mutation, snapshot → restore → continue — and
-// after EVERY operation asserts equivalence between the broker's cached
-// fast path and the from-scratch reference oracle (core/oracle.h):
+// out-of-band link bandwidth mutation, checkpointing, crash/recover,
+// duplicate re-delivery — and after EVERY operation asserts equivalence
+// between the broker's cached fast path and the from-scratch reference
+// oracle (core/oracle.h):
 //
 //   * per-flow decisions (admit bit, chosen path, rate/delay/bound within
 //     kOracleRateTol, reject-reason class) against oracle_decide_request /
@@ -12,6 +13,20 @@
 //   * the full MIB state (knot caches, C_res^P caches, reserved bandwidth
 //     vs. a full-map rebooking) against oracle_check_state,
 //   * rejected requests leave the MIB state untouched.
+//
+// All operations run through the DurableBroker write-ahead journal
+// (core/durable_broker.h), which the harness attacks with fault injection:
+//
+//   * kCrashRecover kills the broker mid-sequence (clean cut, torn final
+//     record, or bit-flip corruption of the journal image) and requires
+//     recovery to reproduce the live state EXACTLY — every acknowledged
+//     operation survives, corruption is refused loudly (kDataLoss);
+//   * kRedeliver re-sends a previously acknowledged request (after a
+//     jittered util/backoff.h delay, as a real at-least-once client would)
+//     and requires the recorded decision back with zero state change;
+//   * run_crash_sweep() replays a sequence while snapshotting the journal
+//     after every op, then re-recovers at every record boundary, at cuts
+//     inside every record, and under single-bit flips.
 //
 // All randomness is resolved at GENERATION time into concrete FuzzOp
 // records, so a dumped op log replays without the generator (and therefore
@@ -28,6 +43,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/journal.h"
+
 namespace qosbb::fuzz {
 
 enum class OpKind : int {
@@ -38,7 +55,9 @@ enum class OpKind : int {
   kClassLeave = 4,
   kLinkReserve = 5,
   kLinkRelease = 6,
-  kSnapshotRestore = 7,
+  kSnapshotRestore = 7,  ///< anchor checkpoint (journal truncation)
+  kCrashRecover = 8,     ///< kill + recover; `target` picks the fault mode
+  kRedeliver = 9,        ///< duplicate delivery of an earlier request
 };
 const char* op_kind_name(OpKind k);
 
@@ -78,8 +97,15 @@ struct FuzzConfig {
   bool widest_residual = false;
   /// TEST ONLY (canary): drop every knot-cache dirty flag after each op
   /// without rebuilding — simulates a forgotten invalidation. The harness
-  /// MUST report a divergence quickly under this flag.
+  /// MUST report a divergence quickly under this flag. Crash/recover ops
+  /// are skipped (the deliberately-poisoned cache is not durable state).
   bool sabotage_knot_cache = false;
+  /// TEST ONLY (canary): silently drop one journal append (the broker
+  /// still acknowledges the op). Recovery MUST catch the hole — as an LSN
+  /// discontinuity or as a lost acknowledged op — and the harness reports
+  /// it as a divergence. Checkpoint ops are skipped under this flag (an
+  /// anchor truncates the journal and would heal the hole).
+  bool sabotage_drop_append = false;
 };
 
 struct FuzzResult {
@@ -97,6 +123,8 @@ struct FuzzResult {
   int joins = 0;
   int leaves = 0;
   int snapshots = 0;
+  int recoveries = 0;
+  int redeliveries = 0;
 
   std::string summary() const;
 };
@@ -120,6 +148,62 @@ std::vector<FuzzOp> minimize(const FuzzConfig& cfg,
 std::string dump_repro(const FuzzConfig& cfg, const std::vector<FuzzOp>& ops);
 std::optional<std::pair<FuzzConfig, std::vector<FuzzOp>>> parse_repro(
     const std::string& text);
+
+// ---- Crash sweep ----
+
+/// Exhaustive crash-point sweep over one generated sequence: execute ops
+/// through the journal, snapshot the journal image + an exact state digest
+/// after every acknowledged op, then for every op recover from
+///   * the image as of that op (record boundary) — must reproduce the
+///     digest exactly and satisfy oracle_check_state,
+///   * cuts INSIDE the bytes that op appended (mid-record torn tail) —
+///     must recover to the PREVIOUS op's digest (unacked op cleanly
+///     absent),
+///   * a single bit flip in the image — recovery must refuse (kDataLoss).
+/// Under sabotage_drop_append the sweep must instead detect the hole
+/// (reported via `failures`; the driver inverts the exit code).
+struct CrashSweepResult {
+  bool ok = true;
+  int ops_executed = 0;
+  int boundaries = 0;  ///< boundary recoveries checked
+  int mid_cuts = 0;    ///< torn-tail (mid-record) recoveries checked
+  int bit_flips = 0;   ///< corrupted images refused
+  int redeliveries = 0;  ///< post-recovery duplicate deliveries checked
+  std::vector<std::string> failures;
+
+  std::string summary() const;
+};
+CrashSweepResult run_crash_sweep(const FuzzConfig& cfg);
+
+// ---- Fault injection ----
+
+/// Journal backing with injectable faults, used by the harness and the
+/// journal unit tests. Behaves like MemoryJournalFile until told otherwise.
+class FaultyJournalFile : public JournalFile {
+ public:
+  Status append(const WireBuffer& bytes) override;
+  Result<WireBuffer> read_all() const override;
+  Status replace(const WireBuffer& bytes) override;
+
+  const WireBuffer& contents() const { return data_; }
+  void set_contents(WireBuffer bytes) { data_ = std::move(bytes); }
+
+  /// Silently swallow the Nth append (0-based, counted across the file's
+  /// lifetime): the caller sees OK but nothing is written — the injected
+  /// fault the --sabotage mode must catch.
+  void set_drop_append_index(std::uint64_t idx) { drop_append_index_ = idx; }
+  std::uint64_t appends() const { return appends_; }
+  std::uint64_t replaces() const { return replaces_; }
+
+  /// Flip one bit of the stored image (corruption injection).
+  void flip_bit(std::size_t bit_index);
+
+ private:
+  WireBuffer data_;
+  std::uint64_t appends_ = 0;
+  std::uint64_t replaces_ = 0;
+  std::optional<std::uint64_t> drop_append_index_;
+};
 
 }  // namespace qosbb::fuzz
 
