@@ -16,6 +16,7 @@ import sys
 # whose name starts with one of these prefixes counts).
 REQUIRED_PREFIXES = [
     "BM_PerFlowAdmitRelease",
+    "BM_ConcurrentAdmit",
     "BM_ClassJoinLeave",
     "BM_PolicyCheckOnly",
     "BM_PathViewOnly",

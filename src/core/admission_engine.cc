@@ -1,0 +1,98 @@
+#include "core/admission_engine.h"
+
+#include <span>
+
+#include "core/admission_core.h"
+#include "util/status.h"
+#include "vtrs/delay_bounds.h"
+
+namespace qosbb {
+namespace {
+
+/// Adapter giving a PathSnapshot the view shape the admission templates
+/// expect (same member names as PathView, LinkSnapshot* elements).
+struct SnapView {
+  const PathRecord* record = nullptr;
+  BitsPerSecond c_res = 0.0;
+  std::span<const LinkSnapshot* const> edf_links;
+  std::span<const LinkSnapshot* const> links;
+};
+
+SnapView as_view(const PathSnapshot& snap) {
+  SnapView v;
+  v.record = snap.record;
+  v.c_res = snap.c_res;
+  v.edf_links = snap.edf_links;
+  v.links = snap.links;
+  return v;
+}
+
+/// One hop's bookkeeping, exactly as the broker's booking phase computes it
+/// (rate + per-hop backlog bound + EDF entry on delay-based hops).
+template <typename LinkLike>
+LinkBooking booking_for(const LinkLike& link, const LinkQosState* live,
+                        std::uint64_t version, const RateDelayPair& params,
+                        const TrafficProfile& profile) {
+  LinkBooking b;
+  b.link = live;
+  b.expected_version = version;
+  b.rate = params.rate;
+  b.buffer = per_hop_buffer_bound(link.delay_based()
+                                      ? SchedulerKind::kDelayBased
+                                      : SchedulerKind::kRateBased,
+                                  params.rate, params.delay, profile.l_max,
+                                  link.error_term());
+  b.edf = link.delay_based();
+  b.delay = params.delay;
+  b.l_max = profile.l_max;
+  return b;
+}
+
+}  // namespace
+
+AdmissionOutcome AdmissionEngine::test(const PathView& view,
+                                       const TrafficProfile& profile,
+                                       Seconds d_req,
+                                       AdmissionScratch* scratch) {
+  return admission_impl::admit_per_flow_impl(view, profile, d_req, scratch);
+}
+
+AdmissionOutcome AdmissionEngine::test(const PathSnapshot& snap,
+                                       const TrafficProfile& profile,
+                                       Seconds d_req,
+                                       AdmissionScratch* scratch) {
+  return admission_impl::admit_per_flow_impl(as_view(snap), profile, d_req,
+                                             scratch);
+}
+
+void AdmissionEngine::make_delta(const PathSnapshot& snap,
+                                 const RateDelayPair& params,
+                                 const TrafficProfile& profile,
+                                 BookingDelta* out) {
+  QOSBB_REQUIRE(out != nullptr, "make_delta: null output");
+  out->clear();
+  out->items.reserve(snap.storage.size());
+  for (const LinkSnapshot& s : snap.storage) {
+    out->items.push_back(
+        booking_for(s, s.live(), s.version(), params, profile));
+  }
+}
+
+void AdmissionEngine::make_delta(const PathRecord& rec,
+                                 std::span<const LinkQosState* const>
+                                     live_links,
+                                 const RateDelayPair& params,
+                                 const TrafficProfile& profile,
+                                 BookingDelta* out) {
+  QOSBB_REQUIRE(out != nullptr, "make_delta: null output");
+  QOSBB_REQUIRE(live_links.size() == rec.link_names.size(),
+                "make_delta: link list does not match path");
+  out->clear();
+  out->items.reserve(live_links.size());
+  for (const LinkQosState* link : live_links) {
+    out->items.push_back(
+        booking_for(*link, link, link->state_version(), params, profile));
+  }
+}
+
+}  // namespace qosbb

@@ -1,0 +1,169 @@
+// Stateless admission engine (tentpole layer 2 of the decomposed broker).
+//
+// The engine owns the §3.1/§3.2 (Figure-4) admissibility algorithms and the
+// translation of an admitted ⟨r, d⟩ into per-link bookkeeping, but holds NO
+// link state and takes NO locks. It computes over either
+//
+//   * a live PathView (the sequential broker's zero-copy fast path), or
+//   * an immutable PathSnapshot captured from the LinkStateStore — the
+//     concurrent front's optimistic-concurrency protocol: snapshot under
+//     brief shard locks, test lock-free on the snapshot, then commit the
+//     BookingDelta under ordered shard locks after validating that every
+//     link's state_version still matches the snapshot.
+//
+// Both paths instantiate the SAME templates (core/admission_core.h), so a
+// snapshot test returns the bit-identical verdict the live test would have
+// returned against the same state.
+
+#ifndef QOSBB_CORE_ADMISSION_ENGINE_H_
+#define QOSBB_CORE_ADMISSION_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/node_mib.h"
+#include "core/path_mib.h"
+#include "core/perflow_admission.h"
+#include "core/types.h"
+#include "traffic/profile.h"
+
+namespace qosbb {
+
+/// Immutable copy of one link's admission-relevant state. The knot array is
+/// SHARED with the live link (shared_ptr to the copy-on-write buffer the
+/// link publishes), so capturing a snapshot copies a handful of doubles and
+/// one pointer — no per-knot work. Exposes the same read API the admission
+/// templates use on LinkQosState, evaluating the same expressions over the
+/// copied values.
+class LinkSnapshot {
+ public:
+  LinkSnapshot() = default;
+
+  /// Capture `link`'s current state. In concurrent mode the caller must
+  /// hold the link's shard lock (knots_shared() may rebuild the cache).
+  void capture(const LinkQosState& link) {
+    live_ = &link;
+    version_ = link.state_version();
+    capacity_ = link.capacity();
+    reserved_ = link.reserved();
+    buffer_capacity_ = link.buffer_capacity();
+    buffer_reserved_ = link.buffer_reserved();
+    error_term_ = link.error_term();
+    delay_based_ = link.delay_based();
+    knots_ = link.knots_shared();
+  }
+
+  /// The live link this snapshot was taken from (commit target).
+  const LinkQosState* live() const { return live_; }
+  /// state_version() at capture time (commit-time validation token).
+  std::uint64_t version() const { return version_; }
+
+  // --- Read API mirroring LinkQosState (what the admission templates and
+  // delta construction consume). ---
+  BitsPerSecond capacity() const { return capacity_; }
+  BitsPerSecond reserved() const { return reserved_; }
+  BitsPerSecond residual() const { return capacity_ - reserved_; }
+  Bits buffer_residual() const { return buffer_capacity_ - buffer_reserved_; }
+  Seconds error_term() const { return error_term_; }
+  bool delay_based() const { return delay_based_; }
+  const std::vector<LinkQosState::KnotPrefix>& knot_prefixes() const {
+    return *knots_;
+  }
+  bool edf_schedulable_with(BitsPerSecond r, Seconds d, Bits l_max) const {
+    return edf_schedulable_over(*knots_, capacity_, r, d, l_max);
+  }
+
+  /// Drop the shared knot array (lets the live link reuse its spare
+  /// buffer once no snapshot references it).
+  void reset() {
+    live_ = nullptr;
+    knots_.reset();
+  }
+
+ private:
+  const LinkQosState* live_ = nullptr;
+  std::uint64_t version_ = 0;
+  BitsPerSecond capacity_ = 0.0;
+  BitsPerSecond reserved_ = 0.0;
+  Bits buffer_capacity_ = 0.0;
+  Bits buffer_reserved_ = 0.0;
+  Seconds error_term_ = 0.0;
+  bool delay_based_ = false;
+  std::shared_ptr<const std::vector<LinkQosState::KnotPrefix>> knots_;
+};
+
+/// Immutable per-request view of one path: the path record, C_res^P, and a
+/// LinkSnapshot per hop. Reusable — the concurrent front keeps one per
+/// thread and clear()s it between requests so the steady state allocates
+/// nothing once the vectors reach path length.
+struct PathSnapshot {
+  const PathRecord* record = nullptr;
+  BitsPerSecond c_res = 0.0;  ///< C_res^P over the snapshot, hop order
+  std::vector<LinkSnapshot> storage;          ///< one per hop, hop order
+  std::vector<const LinkSnapshot*> links;     ///< aliases storage
+  std::vector<const LinkSnapshot*> edf_links; ///< delay-based subset
+
+  void clear() {
+    record = nullptr;
+    c_res = 0.0;
+    for (LinkSnapshot& s : storage) s.reset();
+    storage.clear();
+    links.clear();
+    edf_links.clear();
+  }
+};
+
+/// One link's share of an admitted reservation: exactly what the broker's
+/// bookkeeping phase writes (rate, buffer bound, EDF entry), plus the
+/// commit-time validation token.
+struct LinkBooking {
+  const LinkQosState* link = nullptr;
+  std::uint64_t expected_version = 0;  ///< state_version at test time
+  BitsPerSecond rate = 0.0;
+  Bits buffer = 0.0;     ///< per-hop backlog bound for ⟨rate, delay⟩
+  bool edf = false;      ///< install ⟨rate, delay, l_max⟩ on this link
+  Seconds delay = 0.0;
+  Bits l_max = 0.0;
+};
+
+/// The full bookkeeping delta of one reservation — the engine's output in
+/// place of mutating MIBs itself. Applied (or reverted) atomically by the
+/// LinkStateStore.
+struct BookingDelta {
+  std::vector<LinkBooking> items;
+  void clear() { items.clear(); }
+};
+
+/// The stateless engine. All methods are static and side-effect-free on
+/// shared state; every input arrives as an argument.
+class AdmissionEngine {
+ public:
+  /// Admissibility test over the live MIB (sequential fast path).
+  static AdmissionOutcome test(const PathView& view,
+                               const TrafficProfile& profile, Seconds d_req,
+                               AdmissionScratch* scratch = nullptr);
+
+  /// Admissibility test over an immutable snapshot (lock-free OCC phase).
+  /// Bit-identical to the live test against the same state.
+  static AdmissionOutcome test(const PathSnapshot& snap,
+                               const TrafficProfile& profile, Seconds d_req,
+                               AdmissionScratch* scratch = nullptr);
+
+  /// Translate an admitted ⟨r, d⟩ into the per-link bookkeeping delta, from
+  /// a snapshot (expected versions = snapshot versions). `out` is reused.
+  static void make_delta(const PathSnapshot& snap, const RateDelayPair& params,
+                         const TrafficProfile& profile, BookingDelta* out);
+
+  /// Same, from the live links (expected versions = current versions; used
+  /// by the sequential broker where no concurrent validation is needed).
+  static void make_delta(const PathRecord& rec,
+                         std::span<const LinkQosState* const> live_links,
+                         const RateDelayPair& params,
+                         const TrafficProfile& profile, BookingDelta* out);
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_CORE_ADMISSION_ENGINE_H_

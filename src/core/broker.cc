@@ -20,11 +20,7 @@ const char* reject_reason_name(RejectReason r) {
   return "?";
 }
 
-std::uint64_t BrokerStats::total_rejected() const {
-  std::uint64_t n = 0;
-  for (const auto& [r, c] : rejected) n += c;
-  return n;
-}
+std::uint64_t BrokerStats::total_rejected() const { return rejected.total(); }
 
 double BrokerStats::blocking_rate() const {
   if (requests == 0) return 0.0;
@@ -36,9 +32,9 @@ BandwidthBroker::BandwidthBroker(const DomainSpec& spec, BrokerOptions options)
     : spec_(spec),
       graph_(spec_.to_graph()),
       options_(options),
-      nodes_(spec_),
+      store_(spec_),
       paths_(spec_),
-      classes_(spec_, nodes_, paths_, flows_, options.contingency) {}
+      classes_(spec_, store_.nodes(), paths_, flows_, options.contingency) {}
 
 Result<PathId> BandwidthBroker::provision_path(const std::string& ingress,
                                                const std::string& egress) {
@@ -81,8 +77,10 @@ Result<const std::vector<PathId>*> BandwidthBroker::candidate_paths_ref(
   candidates_scratch_.assign(ids.begin(), ids.end());
   std::stable_sort(candidates_scratch_.begin(), candidates_scratch_.end(),
                    [this](PathId a, PathId b) {
-                     const BitsPerSecond ra = paths_.min_residual(a, nodes_);
-                     const BitsPerSecond rb = paths_.min_residual(b, nodes_);
+                     const BitsPerSecond ra =
+                         paths_.min_residual(a, store_.nodes());
+                     const BitsPerSecond rb =
+                         paths_.min_residual(b, store_.nodes());
                      if (ra != rb) return ra > rb;
                      return paths_.record(a).hop_count() <
                             paths_.record(b).hop_count();
@@ -93,14 +91,14 @@ Result<const std::vector<PathId>*> BandwidthBroker::candidate_paths_ref(
 PathView BandwidthBroker::path_view(PathId path) const {
   PathView view;
   view.record = &paths_.record(path);
-  view.c_res = paths_.min_residual(path, nodes_);
-  view.links = paths_.link_states(path, nodes_);
-  view.edf_links = paths_.edf_link_states(path, nodes_);
+  view.c_res = paths_.min_residual(path, store_.nodes());
+  view.links = paths_.link_states(path, store_.nodes());
+  view.edf_links = paths_.edf_link_states(path, store_.nodes());
   return view;
 }
 
 BitsPerSecond BandwidthBroker::path_residual(PathId path) const {
-  return paths_.min_residual(path, nodes_);
+  return paths_.min_residual(path, store_.nodes());
 }
 
 std::size_t BandwidthBroker::flows_from_ingress(
@@ -113,45 +111,28 @@ void BandwidthBroker::book_reservation(const PathRecord& rec,
                                        const RateDelayPair& params,
                                        const TrafficProfile& profile) {
   // The admissibility test ran against a consistent snapshot of the MIBs
-  // (the broker is a single sequential control point), so booking cannot
-  // fail; violations are internal errors.
-  for (const LinkQosState* cached : paths_.link_states(rec.id, nodes_)) {
-    // The cache hands out const pointers; the broker owns nodes_ mutably.
-    LinkQosState& link = const_cast<LinkQosState&>(*cached);
-    Status s = link.reserve(params.rate);
-    QOSBB_REQUIRE(s.is_ok(), "bookkeeping raced admissibility: rate");
-    link.note_flow_added();
-    Status b = link.reserve_buffer(per_hop_buffer_bound(
-        link.delay_based() ? SchedulerKind::kDelayBased
-                           : SchedulerKind::kRateBased,
-        params.rate, params.delay, profile.l_max, link.error_term()));
-    QOSBB_REQUIRE(b.is_ok(), "bookkeeping raced admissibility: buffer");
-    if (link.delay_based()) {
-      link.add_edf_entry(params.rate, params.delay, profile.l_max);
-    }
-  }
+  // (the broker's own entry points are a single sequential control point;
+  // the concurrent front validates versions instead), so booking cannot
+  // fail; violations are internal errors. The engine turns ⟨r, d⟩ into the
+  // per-link delta and the store applies it — the broker itself no longer
+  // touches link state.
+  AdmissionEngine::make_delta(rec, paths_.link_states(rec.id, store_.nodes()),
+                              params, profile, &delta_scratch_);
+  store_.apply(delta_scratch_);
 }
 
 void BandwidthBroker::unbook_reservation(const PathRecord& rec,
                                          const RateDelayPair& params,
                                          const TrafficProfile& profile) {
-  for (const LinkQosState* cached : paths_.link_states(rec.id, nodes_)) {
-    LinkQosState& link = const_cast<LinkQosState&>(*cached);
-    link.release(params.rate);
-    link.note_flow_removed();
-    link.release_buffer(per_hop_buffer_bound(
-        link.delay_based() ? SchedulerKind::kDelayBased
-                           : SchedulerKind::kRateBased,
-        params.rate, params.delay, profile.l_max, link.error_term()));
-    if (link.delay_based()) {
-      link.remove_edf_entry(params.rate, params.delay, profile.l_max);
-    }
-  }
+  AdmissionEngine::make_delta(rec, paths_.link_states(rec.id, store_.nodes()),
+                              params, profile, &delta_scratch_);
+  store_.revert(delta_scratch_);
 }
 
 bool BandwidthBroker::request_rate_ok(const std::string& ingress,
                                       Seconds now) {
   if (options_.max_request_rate_per_ingress <= 0.0) return true;
+  MutexLock guard(limiter_mu_);
   auto it = limiters_.find(ingress);
   if (it == limiters_.end()) {
     it = limiters_
@@ -478,13 +459,13 @@ void BandwidthBroker::edge_buffer_empty(FlowId macroflow, Seconds now) {
 
 Status BandwidthBroker::reserve_link_external(const std::string& link,
                                               BitsPerSecond amount) {
-  if (!nodes_.has_link(link)) {
+  if (!store_.nodes().has_link(link)) {
     return Status::not_found("unknown link " + link);
   }
   if (!(amount > 0.0)) {
     return Status::invalid_argument("external reservation must be positive");
   }
-  Status s = nodes_.link(link).reserve(amount);
+  Status s = store_.nodes().link(link).reserve(amount);
   if (!s.is_ok()) return s;
   external_[link] += amount;
   return Status::ok();
@@ -492,7 +473,7 @@ Status BandwidthBroker::reserve_link_external(const std::string& link,
 
 Result<BitsPerSecond> BandwidthBroker::release_link_external(
     const std::string& link, BitsPerSecond amount) {
-  if (!nodes_.has_link(link)) {
+  if (!store_.nodes().has_link(link)) {
     return Status::not_found("unknown link " + link);
   }
   if (!(amount >= 0.0)) {
@@ -502,7 +483,7 @@ Result<BitsPerSecond> BandwidthBroker::release_link_external(
   const BitsPerSecond held = it == external_.end() ? 0.0 : it->second;
   const BitsPerSecond freed = std::min(held, amount);
   if (freed > 0.0) {
-    nodes_.link(link).release(freed);
+    store_.nodes().link(link).release(freed);
     if (freed >= held) {
       external_.erase(it);
     } else {

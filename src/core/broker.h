@@ -14,16 +14,21 @@
 #ifndef QOSBB_CORE_BROKER_H_
 #define QOSBB_CORE_BROKER_H_
 
+#include <array>
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
+#include "core/admission_engine.h"
 #include "core/audit.h"
 #include "core/classbased_admission.h"
 #include "core/contingency.h"
 #include "core/flow_mib.h"
+#include "core/link_store.h"
 #include "core/node_mib.h"
 #include "core/path_mib.h"
 #include "core/perflow_admission.h"
@@ -31,6 +36,7 @@
 #include "core/types.h"
 #include "topo/graph.h"
 #include "traffic/token_bucket.h"
+#include "util/sync.h"
 
 namespace qosbb {
 
@@ -60,10 +66,62 @@ struct BrokerOptions {
   double request_burst = 10.0;
 };
 
+/// Copyable relaxed atomic counter. Reads convert implicitly to the plain
+/// integer, so existing `stats().requests == 30u`-style call sites compile
+/// unchanged; increments from the concurrent front's worker threads are
+/// lock-free. Relaxed ordering suffices — the counters are monotonic tallies
+/// with no cross-counter invariants read concurrently.
+class StatCounter {
+ public:
+  StatCounter() = default;
+  StatCounter(std::uint64_t v) : v_(v) {}  // NOLINT(google-explicit-...)
+  StatCounter(const StatCounter& o) : v_(o.load()) {}
+  StatCounter& operator=(const StatCounter& o) {
+    v_.store(o.load(), std::memory_order_relaxed);
+    return *this;
+  }
+  StatCounter& operator=(std::uint64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+  operator std::uint64_t() const { return load(); }  // NOLINT
+  StatCounter& operator++() {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  std::uint64_t load() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Per-reason rejection tallies, indexed by RejectReason. A dense array of
+/// atomic counters (the reason space is a small closed enum) instead of the
+/// former std::map — no rebalancing or allocation, and concurrent increments
+/// touch independent slots.
+class RejectCounters {
+ public:
+  static constexpr std::size_t kReasonCount = 7;  // RejectReason cardinality
+
+  StatCounter& operator[](RejectReason r) { return c_[idx(r)]; }
+  const StatCounter& at(RejectReason r) const { return c_[idx(r)]; }
+  std::uint64_t total() const {
+    std::uint64_t n = 0;
+    for (const StatCounter& c : c_) n += c.load();
+    return n;
+  }
+
+ private:
+  static std::size_t idx(RejectReason r) {
+    return static_cast<std::size_t>(r);
+  }
+  std::array<StatCounter, kReasonCount> c_;
+};
+
 struct BrokerStats {
-  std::uint64_t requests = 0;
-  std::uint64_t admitted = 0;
-  std::map<RejectReason, std::uint64_t> rejected;
+  StatCounter requests;
+  StatCounter admitted;
+  RejectCounters rejected;
 
   std::uint64_t total_rejected() const;
   double blocking_rate() const;
@@ -138,8 +196,12 @@ class BandwidthBroker {
   }
 
   // ---- State access ----
-  const NodeMib& nodes() const { return nodes_; }
-  NodeMib& nodes() { return nodes_; }
+  const NodeMib& nodes() const { return store_.nodes(); }
+  NodeMib& nodes() { return store_.nodes(); }
+  /// The sharded link-state store (layer 1 of the decomposed broker). The
+  /// concurrent front drives its snapshot/validate/commit API directly.
+  LinkStateStore& store() { return store_; }
+  const LinkStateStore& store() const { return store_; }
   const PathMib& paths() const { return paths_; }
   const FlowMib& flows() const { return flows_; }
   PolicyControl& policy() { return policy_; }
@@ -196,10 +258,15 @@ class BandwidthBroker {
   std::optional<std::pair<PathId, std::vector<FlowId>>> try_preempt(
       const FlowServiceRequest& request, const std::vector<PathId>& candidates);
 
+  friend class ConcurrentBrokerFront;
+
   DomainSpec spec_;
   Graph graph_;
   BrokerOptions options_;
-  NodeMib nodes_;
+  /// All per-link QoS state, behind the sharded store. The broker's own
+  /// (sequential) code paths use store_.nodes() directly; the concurrent
+  /// front uses the store's locked snapshot/commit protocol.
+  LinkStateStore store_;
   PathMib paths_;
   FlowMib flows_;
   PolicyControl policy_;
@@ -213,11 +280,18 @@ class BandwidthBroker {
   /// std::map: deterministic iteration for snapshot serialization.
   std::map<std::string, BitsPerSecond> external_;
   /// Per-ingress signaling-rate limiters (created lazily when configured).
-  std::unordered_map<std::string, TokenBucket> limiters_;
-  /// Reusable buffers for the §3.2 scan — the steady-state admission path
-  /// allocates nothing (the broker is a single sequential control point, so
-  /// one set of buffers suffices).
+  /// Own mutex so the concurrent front's admit fast path can gate requests
+  /// without serializing on anything wider; sequential callers pay one
+  /// uncontended lock only when a limit is actually configured.
+  Mutex limiter_mu_;
+  std::unordered_map<std::string, TokenBucket> limiters_
+      GUARDED_BY(limiter_mu_);
+  /// Reusable buffers for the §3.2 scan — the broker's own sequential
+  /// entry points allocate nothing in steady state (the concurrent front
+  /// uses thread-local scratch instead).
   AdmissionScratch scratch_;
+  /// Reusable bookkeeping delta for book/unbook (sequential entry points).
+  BookingDelta delta_scratch_;
   /// Reorder buffer for kWidestResidual candidate sorting.
   std::vector<PathId> candidates_scratch_;
 };

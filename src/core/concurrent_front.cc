@@ -1,0 +1,360 @@
+#include "core/concurrent_front.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/link_store.h"
+
+namespace qosbb {
+
+WorkerPool::WorkerPool(int threads) {
+  const int n = std::max(1, threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void WorkerPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+namespace {
+// Per-thread reusable buffers for the fast path: once the vectors reach
+// path length, a request performs no heap allocation outside string
+// building.
+thread_local AdmissionScratch t_scratch;
+thread_local PathSnapshot t_snap;
+thread_local BookingDelta t_delta;
+thread_local BookingDelta t_delta_old;
+}  // namespace
+
+ConcurrentBrokerFront::ConcurrentBrokerFront(BandwidthBroker& bb, int threads)
+    : bb_(bb),
+      fast_eligible_(bb.options().path_selection == PathSelection::kMinHop &&
+                     !bb.options().allow_preemption),
+      pool_(threads) {
+  ExclusiveLock guard(big_);
+  warm_path_caches();
+}
+
+void ConcurrentBrokerFront::warm_path_caches() {
+  // Resolving a path's cache entry is the only mutation link_states ever
+  // performs; doing it here, under exclusive big_, makes the fast path's
+  // reads of the cache genuinely read-only.
+  const std::size_t n = bb_.paths_.path_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    const PathId id = static_cast<PathId>(i);
+    (void)bb_.paths_.link_states(id, bb_.store_.nodes());
+    (void)bb_.paths_.edf_link_states(id, bb_.store_.nodes());
+  }
+}
+
+BitsPerSecond ConcurrentBrokerFront::residual_over(
+    const std::vector<const LinkQosState*>& links) {
+  BitsPerSecond res = std::numeric_limits<BitsPerSecond>::infinity();
+  for (const LinkQosState* link : links) {
+    res = std::min(res, link->residual());
+  }
+  return res;
+}
+
+FrontOutcome ConcurrentBrokerFront::request_service(
+    const FlowServiceRequest& request, Seconds now) {
+  if (fast_eligible_) {
+    SharedLock guard(big_);
+    FrontOutcome out;
+    if (try_request_fast(request, now, &out)) return out;
+    // Unprovisioned pair: fall through to the exclusive path, which routes
+    // and provisions before admitting.
+  }
+  return request_exclusive(request, now);
+}
+
+FrontOutcome ConcurrentBrokerFront::request_exclusive(
+    const FlowServiceRequest& request, Seconds now) {
+  ExclusiveLock guard(big_);
+  FrontOutcome out;
+  out.result = bb_.request_service(request, now);
+  out.outcome = bb_.last_outcome_;
+  warm_path_caches();  // the request may have provisioned new paths
+  return out;
+}
+
+bool ConcurrentBrokerFront::try_request_fast(const FlowServiceRequest& request,
+                                             Seconds now, FrontOutcome* out)
+    NO_THREAD_SAFETY_ANALYSIS /* dynamic shard-lock sets; big_ held shared */ {
+  const std::vector<PathId>& candidates =
+      bb_.paths_.find_all_ref(request.ingress, request.egress);
+  if (candidates.empty()) return false;
+
+  ++bb_.stats_.requests;
+  AuditEntry audit;
+  audit.time = now;
+  audit.kind = AuditKind::kPerFlowRequest;
+  audit.ingress = request.ingress;
+  audit.egress = request.egress;
+  audit.requested_rho = request.profile.rho;
+  audit.requested_delay = request.e2e_delay_req;
+  auto rejected = [&](RejectReason reason,
+                      const std::string& detail) -> Status {
+    ++bb_.stats_.rejected[reason];
+    audit.admitted = false;
+    audit.reason = reason;
+    audit.detail = detail;
+    MutexLock fg(flow_mu_);
+    bb_.audit_.record(std::move(audit));
+    return Status::rejected(std::string(reject_reason_name(reason)) + ": " +
+                            detail);
+  };
+
+  // Phase 0a: broker overload protection (the limiter map has its own
+  // mutex inside the broker).
+  if (!bb_.request_rate_ok(request.ingress, now)) {
+    out->outcome = AdmissionOutcome{};
+    out->outcome.reason = RejectReason::kPolicy;
+    out->outcome.detail = "signaling rate limit";
+    out->result = rejected(RejectReason::kPolicy,
+                           "signaling rate limit exceeded for " +
+                               request.ingress);
+    return true;
+  }
+  // Phase 0b: policy control. The live flow count is read under flow_mu_;
+  // concurrent admits racing a max_flows boundary may overshoot by the
+  // concurrency degree (each decision was valid when taken) — the count is
+  // advisory policy input, not a bookkeeping invariant.
+  std::size_t nflows = 0;
+  {
+    MutexLock fg(flow_mu_);
+    nflows = bb_.flows_from_ingress(request.ingress);
+  }
+  if (Status pol = bb_.policy_.check(request, nflows); !pol.is_ok()) {
+    out->outcome = AdmissionOutcome{};
+    out->outcome.reason = RejectReason::kPolicy;
+    out->outcome.detail = pol.message();
+    out->result = rejected(RejectReason::kPolicy, pol.message());
+    return true;
+  }
+
+  // Phase 1: optimistic snapshot/test/commit per candidate. A commit
+  // conflict means some other request committed on a shared link since the
+  // snapshot — retry against fresh state (system-wide progress holds:
+  // every retry is caused by someone else's success).
+  PathId chosen = kInvalidPathId;
+  AdmissionOutcome outcome;
+  const std::vector<const LinkQosState*>* chosen_links = nullptr;
+  for (PathId candidate : candidates) {
+    const PathRecord& rec = bb_.paths_.record(candidate);
+    const std::vector<const LinkQosState*>& links =
+        bb_.paths_.link_states(candidate, bb_.store_.nodes());
+    for (;;) {
+      bb_.store_.snapshot_path(rec, links, &t_snap);
+      outcome = AdmissionEngine::test(t_snap, request.profile,
+                                      request.e2e_delay_req, &t_scratch);
+      if (!outcome.admitted) break;
+      AdmissionEngine::make_delta(t_snap, outcome.params, request.profile,
+                                  &t_delta);
+      if (bb_.store_.try_commit(t_delta)) {
+        chosen = candidate;
+        chosen_links = &links;
+        break;
+      }
+      occ_conflicts_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (chosen != kInvalidPathId) break;
+  }
+  t_snap.clear();  // release the shared knot arrays promptly
+
+  if (chosen == kInvalidPathId) {
+    audit.path = candidates.front();
+    {
+      const std::vector<const LinkQosState*>& links =
+          bb_.paths_.link_states(audit.path, bb_.store_.nodes());
+      LinkStateStore::ShardLockSet sg(bb_.store_, links);
+      audit.path_residual = residual_over(links);
+    }
+    out->outcome = outcome;  // the last candidate's outcome
+    out->result = rejected(outcome.reason, outcome.detail);
+    return true;
+  }
+
+  // Phase 2: flow-table bookkeeping and audit. The audit headroom is read
+  // back from the live links under their shard locks (the snapshot's value
+  // is pre-commit).
+  BitsPerSecond residual = 0.0;
+  {
+    LinkStateStore::ShardLockSet sg(bb_.store_, *chosen_links);
+    residual = residual_over(*chosen_links);
+  }
+  Reservation res;
+  {
+    MutexLock fg(flow_mu_);
+    FlowRecord flow;
+    flow.id = bb_.flows_.next_id();
+    flow.kind = FlowKind::kPerFlow;
+    flow.profile = request.profile;
+    flow.e2e_delay_req = request.e2e_delay_req;
+    flow.path = chosen;
+    flow.reservation = outcome.params;
+    flow.admitted_at = now;
+    flow.priority = request.priority;
+    bb_.flows_.add(flow);
+    ++bb_.ingress_flows_[request.ingress];
+    ++bb_.stats_.admitted;
+
+    audit.admitted = true;
+    audit.flow = flow.id;
+    audit.path = chosen;
+    audit.granted_rate = outcome.params.rate;
+    audit.granted_delay = outcome.params.delay;
+    audit.path_residual = residual;
+    bb_.audit_.record(std::move(audit));
+
+    res.flow = flow.id;
+  }
+  res.path = chosen;
+  res.params = outcome.params;
+  res.e2e_bound = outcome.e2e_bound;
+  out->outcome = outcome;
+  out->result = std::move(res);
+  return true;
+}
+
+Status ConcurrentBrokerFront::release_service(FlowId flow)
+    NO_THREAD_SAFETY_ANALYSIS /* dynamic shard-lock set under flow_mu_ */ {
+  SharedLock guard(big_);
+  MutexLock fg(flow_mu_);
+  auto rec = bb_.flows_.remove(flow);
+  if (!rec.is_ok()) return rec.status();
+  QOSBB_REQUIRE(rec.value().kind == FlowKind::kPerFlow,
+                "release_service on a microflow; use leave_class_service");
+  const PathRecord& path = bb_.paths_.record(rec.value().path);
+  auto it = bb_.ingress_flows_.find(path.ingress());
+  QOSBB_REQUIRE(it != bb_.ingress_flows_.end() && it->second > 0,
+                "ingress flow accounting underflow");
+  --it->second;
+  const std::vector<const LinkQosState*>& links =
+      bb_.paths_.link_states(rec.value().path, bb_.store_.nodes());
+  AdmissionEngine::make_delta(path, links, rec.value().reservation,
+                              rec.value().profile, &t_delta_old);
+  BitsPerSecond residual = 0.0;
+  {
+    LinkStateStore::ShardLockSet sg(bb_.store_, t_delta_old);
+    bb_.store_.revert(t_delta_old);
+    residual = residual_over(links);
+  }
+
+  AuditEntry audit;
+  audit.kind = AuditKind::kPerFlowRelease;
+  audit.admitted = true;
+  audit.flow = flow;
+  audit.path = rec.value().path;
+  audit.ingress = path.ingress();
+  audit.egress = path.egress();
+  audit.requested_rho = rec.value().profile.rho;
+  audit.path_residual = residual;
+  bb_.audit_.record(std::move(audit));
+  return Status::ok();
+}
+
+FrontOutcome ConcurrentBrokerFront::renegotiate_service(FlowId flow,
+                                                        Seconds new_delay_req,
+                                                        Seconds now)
+    NO_THREAD_SAFETY_ANALYSIS /* dynamic shard-lock set under flow_mu_ */ {
+  SharedLock guard(big_);
+  FrontOutcome out;
+  MutexLock fg(flow_mu_);
+  auto rec = bb_.flows_.get(flow);
+  if (!rec.is_ok()) {
+    out.result = rec.status();
+    return out;
+  }
+  QOSBB_REQUIRE(rec.value().kind == FlowKind::kPerFlow,
+                "renegotiate_service: not a per-flow reservation");
+  const PathRecord& path = bb_.paths_.record(rec.value().path);
+  const std::vector<const LinkQosState*>& links =
+      bb_.paths_.link_states(rec.value().path, bb_.store_.nodes());
+  AdmissionEngine::make_delta(path, links, rec.value().reservation,
+                              rec.value().profile, &t_delta_old);
+  AdmissionOutcome outcome;
+  BitsPerSecond residual = 0.0;
+  {
+    // Whole-path shard lock set for the full withdraw-test-commit cycle:
+    // renegotiation is made atomic against concurrent admits by locking,
+    // not optimistically (its transient withdraw must never be observable).
+    LinkStateStore::ShardLockSet sg(bb_.store_, links);
+    bb_.store_.revert(t_delta_old);
+    bb_.store_.snapshot_path_locked(path, links, &t_snap);
+    outcome = AdmissionEngine::test(t_snap, rec.value().profile,
+                                    new_delay_req, &t_scratch);
+    if (outcome.admitted) {
+      AdmissionEngine::make_delta(t_snap, outcome.params, rec.value().profile,
+                                  &t_delta);
+      bb_.store_.apply(t_delta);
+    } else {
+      bb_.store_.apply(t_delta_old);
+    }
+    residual = residual_over(links);
+  }
+  t_snap.clear();
+  out.outcome = outcome;
+  if (!outcome.admitted) {
+    ++bb_.stats_.rejected[outcome.reason];
+    out.result = Status::rejected(
+        std::string(reject_reason_name(outcome.reason)) +
+        ": renegotiation infeasible; original reservation kept");
+    return out;
+  }
+  FlowRecord updated = rec.value();
+  updated.e2e_delay_req = new_delay_req;
+  updated.reservation = outcome.params;
+  (void)bb_.flows_.remove(flow);
+  bb_.flows_.add(updated);
+  ++bb_.stats_.admitted;
+  ++bb_.stats_.requests;
+
+  AuditEntry audit;
+  audit.time = now;
+  audit.kind = AuditKind::kPerFlowRequest;
+  audit.admitted = true;
+  audit.flow = flow;
+  audit.path = rec.value().path;
+  audit.ingress = path.ingress();
+  audit.egress = path.egress();
+  audit.requested_rho = rec.value().profile.rho;
+  audit.requested_delay = new_delay_req;
+  audit.granted_rate = outcome.params.rate;
+  audit.granted_delay = outcome.params.delay;
+  audit.path_residual = residual;
+  audit.detail = "renegotiation";
+  bb_.audit_.record(std::move(audit));
+
+  Reservation res;
+  res.flow = flow;
+  res.path = rec.value().path;
+  res.params = outcome.params;
+  res.e2e_bound = outcome.e2e_bound;
+  out.result = std::move(res);
+  return out;
+}
+
+}  // namespace qosbb

@@ -1,0 +1,195 @@
+// Concurrent service front (tentpole layer 3 of the decomposed broker).
+//
+// Wraps a BandwidthBroker and runs independent per-flow requests
+// concurrently: the admit fast path takes an immutable PathSnapshot from
+// the LinkStateStore, tests it lock-free through the stateless
+// AdmissionEngine, and commits the BookingDelta optimistically (validate
+// per-link state_versions under ordered shard locks, retry on conflict).
+// Requests on disjoint paths never contend on anything wider than their
+// shard mutexes and the flow-table mutex; overlapping requests serialize
+// through version conflicts, each retry observing the fresh state — the
+// final MIB state is what SOME sequential ordering of the committed
+// operations produces.
+//
+// Every request returns its own FrontOutcome (decision + diagnostics);
+// nothing reads the wrapped broker's mutable last_outcome_ concurrently.
+//
+// Operations outside the per-flow fast path — class-based service,
+// external link reservations, path provisioning, snapshots, preemption,
+// widest-residual selection — delegate to the sequential broker under the
+// exclusive mode of `big_`, so their single-writer assumptions still hold.
+//
+// Lock hierarchy (outer to inner): big_ (shared for the fast path,
+// exclusive for delegation) -> flow_mu_ (flow table, ingress counts,
+// audit log) -> shard mutexes (leaves; always through ShardLockSet in
+// ascending shard order). The admit path never holds shard locks while
+// acquiring flow_mu_.
+
+#ifndef QOSBB_CORE_CONCURRENT_FRONT_H_
+#define QOSBB_CORE_CONCURRENT_FRONT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/admission_engine.h"
+#include "core/broker.h"
+#include "core/types.h"
+#include "util/status.h"
+#include "util/sync.h"
+
+namespace qosbb {
+
+/// Fixed-size worker pool running queued closures. Deliberately built on
+/// plain std::mutex / std::condition_variable rather than the annotated
+/// wrappers: condition_variable::wait takes std::unique_lock<std::mutex>,
+/// and threading the annotated type through that libstdc++ template only
+/// manufactures thread-safety-analysis false positives. The pool's locking
+/// is self-contained in this class.
+class WorkerPool {
+ public:
+  explicit WorkerPool(int threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Queue `fn` for execution on some worker; the future carries its
+  /// result (or exception).
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F&>> {
+    using R = std::invoke_result_t<F&>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Decision + diagnostics of one front request — the per-request
+/// replacement for BandwidthBroker::last_outcome().
+struct FrontOutcome {
+  Result<Reservation> result = Status::rejected("unset");
+  AdmissionOutcome outcome;
+};
+
+class ConcurrentBrokerFront {
+ public:
+  /// Wrap `bb`. The front assumes sole ownership of the broker's mutation
+  /// for its lifetime: all access (including reads from other threads)
+  /// must go through the front or be externally quiesced.
+  ConcurrentBrokerFront(BandwidthBroker& bb, int threads);
+
+  ConcurrentBrokerFront(const ConcurrentBrokerFront&) = delete;
+  ConcurrentBrokerFront& operator=(const ConcurrentBrokerFront&) = delete;
+
+  // ---- Per-flow service (callable from any thread) ----
+  FrontOutcome request_service(const FlowServiceRequest& request,
+                               Seconds now = 0.0);
+  Status release_service(FlowId flow);
+  FrontOutcome renegotiate_service(FlowId flow, Seconds new_delay_req,
+                                   Seconds now = 0.0);
+
+  // ---- Same, dispatched onto the worker pool ----
+  std::future<FrontOutcome> submit_request(FlowServiceRequest request,
+                                           Seconds now = 0.0) {
+    return pool_.submit(
+        [this, request = std::move(request), now]() mutable {
+          return request_service(request, now);
+        });
+  }
+  std::future<Status> submit_release(FlowId flow) {
+    return pool_.submit([this, flow] { return release_service(flow); });
+  }
+  std::future<FrontOutcome> submit_renegotiate(FlowId flow,
+                                               Seconds new_delay_req,
+                                               Seconds now = 0.0) {
+    return pool_.submit([this, flow, new_delay_req, now] {
+      return renegotiate_service(flow, new_delay_req, now);
+    });
+  }
+
+  /// Run `fn(broker)` with the domain quiesced (exclusive big_ lock): class
+  /// service, external link reservations, provisioning, snapshot/restore,
+  /// policy edits — anything relying on the broker's sequential-control
+  /// assumptions. Path caches are re-warmed afterwards in case `fn`
+  /// provisioned new paths.
+  template <typename F>
+  auto exclusive(F&& fn) -> std::invoke_result_t<F&, BandwidthBroker&> {
+    using R = std::invoke_result_t<F&, BandwidthBroker&>;
+    ExclusiveLock guard(big_);
+    if constexpr (std::is_void_v<R>) {
+      fn(bb_);
+      warm_path_caches();
+    } else {
+      R out = fn(bb_);
+      warm_path_caches();
+      return out;
+    }
+  }
+
+  BandwidthBroker& broker() { return bb_; }
+  int threads() const { return pool_.size(); }
+  WorkerPool& pool() { return pool_; }
+
+  /// Optimistic-commit conflicts observed (each one is a retried admit —
+  /// evidence of genuine concurrency on overlapping paths, and of its
+  /// absence on disjoint ones).
+  std::uint64_t occ_conflicts() const { return occ_conflicts_.load(); }
+
+ private:
+  /// The optimistic admit fast path, under shared big_. Returns false when
+  /// the pair has no provisioned path yet (caller escalates to exclusive).
+  bool try_request_fast(const FlowServiceRequest& request, Seconds now,
+                        FrontOutcome* out);
+  FrontOutcome request_exclusive(const FlowServiceRequest& request,
+                                 Seconds now);
+  /// Resolve every provisioned path's link-pointer cache so the concurrent
+  /// fast path only ever reads it. Caller holds big_ exclusively.
+  void warm_path_caches() REQUIRES(big_);
+  /// Minimal live residual over `links` — caller must hold the covering
+  /// shard locks.
+  static BitsPerSecond residual_over(
+      const std::vector<const LinkQosState*>& links);
+
+  BandwidthBroker& bb_;
+  /// Fast-path eligibility, fixed by the wrapped broker's options: min-hop
+  /// selection without preemption. Anything else falls back to exclusive
+  /// delegation (trivially serialization-equivalent).
+  const bool fast_eligible_;
+  SharedMutex big_;
+  /// Protects the flow table, ingress counts, and audit log of the wrapped
+  /// broker during fast-path operation.
+  Mutex flow_mu_ ACQUIRED_AFTER(big_);
+  std::atomic<std::uint64_t> occ_conflicts_{0};
+  WorkerPool pool_;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_CORE_CONCURRENT_FRONT_H_

@@ -1,0 +1,66 @@
+#include "core/link_store.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/status.h"
+
+namespace qosbb {
+
+void LinkStateStore::snapshot_path_locked(
+    const PathRecord& rec, std::span<const LinkQosState* const> links,
+    PathSnapshot* out) {
+  QOSBB_REQUIRE(out != nullptr, "snapshot_path: null output");
+  QOSBB_REQUIRE(links.size() == rec.link_names.size(),
+                "snapshot_path: link list does not match path");
+  out->clear();
+  out->record = &rec;
+  out->storage.resize(links.size());
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    out->storage[i].capture(*links[i]);
+  }
+  // Pointer arrays only after storage stopped reallocating.
+  out->links.reserve(links.size());
+  BitsPerSecond res = std::numeric_limits<BitsPerSecond>::infinity();
+  for (const LinkSnapshot& s : out->storage) {
+    out->links.push_back(&s);
+    if (s.delay_based()) out->edf_links.push_back(&s);
+    res = std::min(res, s.residual());
+  }
+  out->c_res = res;
+}
+
+bool LinkStateStore::try_commit(const BookingDelta& delta) {
+  ShardLockSet guard(*this, delta);
+  for (const LinkBooking& b : delta.items) {
+    if (b.link->state_version() != b.expected_version) return false;
+  }
+  apply(delta);
+  return true;
+}
+
+void LinkStateStore::apply(const BookingDelta& delta) {
+  for (const LinkBooking& b : delta.items) {
+    // The node MIB keys links const through the path caches; bookkeeping is
+    // the one mutating consumer (same idiom the monolithic broker used).
+    auto& link = const_cast<LinkQosState&>(*b.link);
+    const Status rate_ok = link.reserve(b.rate);
+    QOSBB_REQUIRE(rate_ok.is_ok(), "bookkeeping raced admissibility: rate");
+    link.note_flow_added();
+    const Status buf_ok = link.reserve_buffer(b.buffer);
+    QOSBB_REQUIRE(buf_ok.is_ok(), "bookkeeping raced admissibility: buffer");
+    if (b.edf) link.add_edf_entry(b.rate, b.delay, b.l_max);
+  }
+}
+
+void LinkStateStore::revert(const BookingDelta& delta) {
+  for (const LinkBooking& b : delta.items) {
+    auto& link = const_cast<LinkQosState&>(*b.link);
+    link.release(b.rate);
+    link.note_flow_removed();
+    link.release_buffer(b.buffer);
+    if (b.edf) link.remove_edf_entry(b.rate, b.delay, b.l_max);
+  }
+}
+
+}  // namespace qosbb

@@ -1,0 +1,157 @@
+// Sharded link-state store (tentpole layer 1 of the decomposed broker).
+//
+// Owns the node MIB — ALL per-link QoS state (rate/buffer bookkeeping, EDF
+// reservation multisets, knot-prefix caches, version counters) — behind
+// striped per-link shard mutexes. The store exposes:
+//
+//   * snapshot_path — capture an immutable PathSnapshot of a path's links
+//     under briefly-held shard locks (knot arrays are shared, not copied);
+//   * try_commit — the optimistic commit: re-acquire the shard locks in
+//     canonical order, validate every link's state_version against the
+//     snapshot, and apply the BookingDelta only if nothing moved;
+//   * apply / revert — the raw bookkeeping, also used directly by the
+//     sequential broker (whose single control thread needs no locking) and
+//     by lock-holding callers (release, renegotiate).
+//
+// Lock order: shard mutexes are always acquired through ShardLockSet, which
+// sorts the shard indices ascending and deduplicates — two threads locking
+// overlapping paths therefore order their acquisitions identically and
+// cannot deadlock. Shard locks are leaves: nothing else is acquired while
+// one is held.
+
+#ifndef QOSBB_CORE_LINK_STORE_H_
+#define QOSBB_CORE_LINK_STORE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "core/admission_engine.h"
+#include "core/node_mib.h"
+#include "core/path_mib.h"
+#include "topo/fig8.h"
+#include "util/sync.h"
+
+namespace qosbb {
+
+class LinkStateStore {
+ public:
+  /// Shard stripe count. Links are assigned by pointer hash; 32 stripes keep
+  /// the false-sharing probability of two disjoint paths' links low while
+  /// the array of mutexes stays cache-resident.
+  static constexpr std::size_t kShardCount = 32;
+
+  explicit LinkStateStore(const DomainSpec& spec) : nodes_(spec) {}
+
+  LinkStateStore(const LinkStateStore&) = delete;
+  LinkStateStore& operator=(const LinkStateStore&) = delete;
+
+  /// The underlying node MIB. Sequential callers (the broker under its own
+  /// single control thread, or the front holding the big exclusive lock) may
+  /// use it directly; concurrent callers must go through the shard-locked
+  /// API below.
+  NodeMib& nodes() { return nodes_; }
+  const NodeMib& nodes() const { return nodes_; }
+
+  /// Shard index of a link (stable: NodeMib's map nodes never move).
+  std::size_t shard_of(const LinkQosState* link) const {
+    return (reinterpret_cast<std::uintptr_t>(link) >> 6) % kShardCount;
+  }
+  Mutex& shard(std::size_t idx) { return shards_[idx]; }
+
+  /// RAII ownership of the (deduplicated) shard locks covering a set of
+  /// links, acquired in ascending shard order. The lock set is dynamic, so
+  /// the acquisitions are opaque to the static thread-safety analysis.
+  class ShardLockSet {
+   public:
+    ShardLockSet(LinkStateStore& store,
+                 std::span<const LinkQosState* const> links)
+        NO_THREAD_SAFETY_ANALYSIS : store_(store) {
+      count_ = 0;
+      for (const LinkQosState* link : links) add_shard(store.shard_of(link));
+      for (std::size_t i = 0; i < count_; ++i) {
+        store_.shards_[shards_[i]].lock();
+      }
+    }
+    ShardLockSet(LinkStateStore& store, const BookingDelta& delta)
+        NO_THREAD_SAFETY_ANALYSIS : store_(store) {
+      count_ = 0;
+      for (const LinkBooking& b : delta.items) add_shard(store.shard_of(b.link));
+      for (std::size_t i = 0; i < count_; ++i) {
+        store_.shards_[shards_[i]].lock();
+      }
+    }
+    ~ShardLockSet() NO_THREAD_SAFETY_ANALYSIS {
+      for (std::size_t i = count_; i > 0; --i) {
+        store_.shards_[shards_[i - 1]].unlock();
+      }
+    }
+    ShardLockSet(const ShardLockSet&) = delete;
+    ShardLockSet& operator=(const ShardLockSet&) = delete;
+
+   private:
+    /// Insertion sort into the ascending, deduplicated shard-index array
+    /// (paths are a handful of hops; an array beats any set here).
+    void add_shard(std::size_t s) {
+      std::size_t i = 0;
+      while (i < count_ && shards_[i] < s) ++i;
+      if (i < count_ && shards_[i] == s) return;
+      for (std::size_t j = count_; j > i; --j) shards_[j] = shards_[j - 1];
+      shards_[i] = s;
+      ++count_;
+    }
+    LinkStateStore& store_;
+    std::array<std::size_t, kShardCount> shards_;
+    std::size_t count_ = 0;
+  };
+
+  /// Capture an immutable snapshot of `rec`'s links (given as resolved
+  /// pointers in hop order) under the covering shard locks. C_res^P is
+  /// computed over the captured values with the path MIB's arithmetic.
+  /// `out` is reused; the steady state allocates nothing.
+  void snapshot_path(const PathRecord& rec,
+                     std::span<const LinkQosState* const> links,
+                     PathSnapshot* out) {
+    ShardLockSet guard(*this, links);
+    snapshot_path_locked(rec, links, out);
+  }
+
+  /// Same, for callers already holding the covering shard locks
+  /// (renegotiation re-tests from live state under its full lock set).
+  void snapshot_path_locked(const PathRecord& rec,
+                            std::span<const LinkQosState* const> links,
+                            PathSnapshot* out);
+
+  /// Optimistic commit: under the covering shard locks, validate that every
+  /// booked link's state_version equals the snapshot's expectation, then
+  /// apply. Returns false (and applies nothing) on any mismatch — the
+  /// caller re-snapshots and re-tests.
+  bool try_commit(const BookingDelta& delta);
+
+  /// Raw bookkeeping of one reservation: reserve rate + buffer and install
+  /// the EDF entries. Caller must be the sole writer of the touched links
+  /// (sequential broker) or hold their shard locks. QOSBB_REQUIREs that the
+  /// resources fit — callers commit only tested deltas.
+  void apply(const BookingDelta& delta);
+  /// Exact inverse of apply.
+  void revert(const BookingDelta& delta);
+
+  /// apply/revert under the covering shard locks (release path).
+  void apply_locked(const BookingDelta& delta) {
+    ShardLockSet guard(*this, delta);
+    apply(delta);
+  }
+  void revert_locked(const BookingDelta& delta) {
+    ShardLockSet guard(*this, delta);
+    revert(delta);
+  }
+
+ private:
+  NodeMib nodes_;
+  std::array<Mutex, kShardCount> shards_;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_CORE_LINK_STORE_H_

@@ -16,7 +16,8 @@ LinkQosState::LinkQosState(std::string name, BitsPerSecond capacity,
       policy_(policy),
       error_term_(error_term),
       propagation_delay_(propagation_delay),
-      buffer_capacity_(buffer_capacity) {
+      buffer_capacity_(buffer_capacity),
+      knot_cache_(std::make_shared<std::vector<KnotPrefix>>()) {
   QOSBB_REQUIRE(capacity > 0.0, "LinkQosState: capacity must be positive");
   QOSBB_REQUIRE(buffer_capacity > 0.0,
                 "LinkQosState: buffer capacity must be positive");
@@ -30,6 +31,7 @@ Status LinkQosState::reserve_buffer(Bits b) {
                             std::to_string(b));
   }
   buffer_reserved_ += b;
+  ++state_version_;
   return Status::ok();
 }
 
@@ -38,6 +40,7 @@ void LinkQosState::release_buffer(Bits b) {
   QOSBB_REQUIRE(buffer_reserved_ >= b - 1e-6,
                 "release_buffer: releasing more than reserved");
   buffer_reserved_ = std::max(0.0, buffer_reserved_ - b);
+  ++state_version_;
 }
 
 bool LinkQosState::delay_based() const { return !is_rate_based(policy_); }
@@ -51,6 +54,7 @@ Status LinkQosState::reserve(BitsPerSecond r) {
   }
   reserved_ += r;
   ++rate_version_;
+  ++state_version_;
   return Status::ok();
 }
 
@@ -60,6 +64,7 @@ void LinkQosState::release(BitsPerSecond r) {
                 "LinkQosState::release: releasing more than reserved");
   reserved_ = std::max(0.0, reserved_ - r);
   ++rate_version_;
+  ++state_version_;
 }
 
 void LinkQosState::note_flow_removed() {
@@ -76,6 +81,7 @@ void LinkQosState::add_edf_entry(BitsPerSecond r, Seconds d, Bits l_max) {
   b.sum_l += l_max;
   ++b.count;
   knots_dirty_ = true;
+  ++state_version_;
 }
 
 void LinkQosState::remove_edf_entry(BitsPerSecond r, Seconds d, Bits l_max) {
@@ -88,25 +94,35 @@ void LinkQosState::remove_edf_entry(BitsPerSecond r, Seconds d, Bits l_max) {
   --b.count;
   if (b.count == 0) edf_.erase(it);
   knots_dirty_ = true;
+  ++state_version_;
 }
 
 void LinkQosState::rebuild_knot_cache() const {
   // One ascending walk, identical arithmetic to a from-scratch
   // recomputation (this IS the from-scratch recomputation, amortized to
-  // once per MIB mutation instead of once per read). Capacity is retained
-  // across rebuilds, so the steady state allocates nothing.
-  knot_cache_.clear();
-  knot_cache_.reserve(edf_.size());
+  // once per MIB mutation instead of once per read). The rebuild never
+  // mutates the published array in place: it fills the spare buffer —
+  // reused when no snapshot still holds it, so the sequential steady state
+  // allocates nothing — and swaps it in, retiring the old array to spare.
+  std::shared_ptr<std::vector<KnotPrefix>> buf;
+  if (knot_spare_ && knot_spare_.use_count() == 1) {
+    buf = std::move(knot_spare_);
+  } else {
+    buf = std::make_shared<std::vector<KnotPrefix>>();
+  }
+  buf->clear();
+  buf->reserve(edf_.size());
   double rate_sum = 0.0;   // Σ r_j over d_j <= current knot
   double fixed_sum = 0.0;  // Σ (L_j − r_j·d_j)
   for (const auto& [d, b] : edf_) {
     rate_sum += b.sum_rate;
     fixed_sum += b.sum_l - b.sum_rate * d;
     // demand(d) = rate_sum·d + fixed_sum
-    knot_cache_.push_back(KnotPrefix{
-        d, rate_sum, fixed_sum,
-        capacity_ * d - (rate_sum * d + fixed_sum)});
+    buf->push_back(KnotPrefix{d, rate_sum, fixed_sum,
+                              capacity_ * d - (rate_sum * d + fixed_sum)});
   }
+  knot_spare_ = std::move(knot_cache_);
+  knot_cache_ = std::move(buf);
   knots_dirty_ = false;
 }
 
@@ -131,13 +147,13 @@ LinkQosState::residual_service_at_knots() const {
   return out;
 }
 
-bool LinkQosState::edf_schedulable_with(BitsPerSecond r, Seconds d,
-                                        Bits l_max) const {
-  QOSBB_REQUIRE(delay_based(), "edf_schedulable_with on a rate-based link");
+bool edf_schedulable_over(const std::vector<LinkQosState::KnotPrefix>& knots,
+                          BitsPerSecond capacity, BitsPerSecond r, Seconds d,
+                          Bits l_max) {
+  using KnotPrefix = LinkQosState::KnotPrefix;
   // O(log K + |knots >= d|) over the cached knot prefixes. Each clause is a
   // pure predicate on the same state as the classic full walk, so the
   // verdict is identical.
-  const auto& knots = knot_prefixes();
   // Own-deadline knot (eq. 5 at t = d): demand uses entries with d_j <= d —
   // the cached prefix at the last knot <= d.
   double rate_sum = 0.0;   // Σ r_j over knots <= d
@@ -149,7 +165,7 @@ bool LinkQosState::edf_schedulable_with(BitsPerSecond r, Seconds d,
     rate_sum = std::prev(gt)->rate_sum;
     fixed_sum = std::prev(gt)->fixed_sum;
   }
-  if (capacity_ * d - (rate_sum * d + fixed_sum) < l_max - 1e-6) {
+  if (capacity * d - (rate_sum * d + fixed_sum) < l_max - 1e-6) {
     return false;
   }
   // Existing knots d^k >= d: residual there must absorb the new flow's
@@ -162,7 +178,13 @@ bool LinkQosState::edf_schedulable_with(BitsPerSecond r, Seconds d,
   }
   // Slope condition (t -> infinity).
   const double total_rate = knots.empty() ? 0.0 : knots.back().rate_sum;
-  return total_rate + r <= capacity_ + kRateTolerance;
+  return total_rate + r <= capacity + kRateTolerance;
+}
+
+bool LinkQosState::edf_schedulable_with(BitsPerSecond r, Seconds d,
+                                        Bits l_max) const {
+  QOSBB_REQUIRE(delay_based(), "edf_schedulable_with on a rate-based link");
+  return edf_schedulable_over(knot_prefixes(), capacity_, r, d, l_max);
 }
 
 NodeMib::NodeMib(const DomainSpec& spec) {

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -47,6 +48,13 @@ class LinkQosState {
   /// whenever residual() changes. Lets path-level caches (C_res^P) detect
   /// staleness with one integer load per hop instead of recomputing.
   std::uint64_t rate_version() const { return rate_version_; }
+
+  /// Monotone counter bumped by EVERY admission-relevant mutation (rate,
+  /// buffer, and EDF bookkeeping). The optimistic snapshot/validate/commit
+  /// protocol records it at snapshot time and re-checks it under the shard
+  /// lock before committing: an unchanged value proves the link's state is
+  /// exactly what the admissibility test saw (monotonicity rules out ABA).
+  std::uint64_t state_version() const { return state_version_; }
 
   /// Reserve `r` b/s (rate-based bookkeeping; also the Σr <= C slope
   /// condition of VT-EDF). Fails if residual is insufficient. Pure
@@ -95,6 +103,17 @@ class LinkQosState {
   /// The returned reference stays valid until the next EDF mutation.
   const std::vector<KnotPrefix>& knot_prefixes() const {
     if (knots_dirty_) rebuild_knot_cache();
+    return *knot_cache_;
+  }
+
+  /// Shared ownership of the current knot array for immutable per-request
+  /// snapshots (LinkSnapshot). The array behind the pointer is never mutated
+  /// in place: rebuilds publish a fresh (double-buffered) vector, so holders
+  /// keep a consistent copy for free while the link moves on. Callers in
+  /// concurrent mode must hold the link's shard lock for the duration of
+  /// this call (the rebuild mutates the cache slots).
+  std::shared_ptr<const std::vector<KnotPrefix>> knots_shared() const {
+    if (knots_dirty_) rebuild_knot_cache();
     return knot_cache_;
   }
 
@@ -102,7 +121,9 @@ class LinkQosState {
   bool knots_dirty() const { return knots_dirty_; }
   /// The raw cached array WITHOUT triggering a rebuild (differential-test
   /// hook; may be stale when knots_dirty()).
-  const std::vector<KnotPrefix>& raw_knot_cache() const { return knot_cache_; }
+  const std::vector<KnotPrefix>& raw_knot_cache() const {
+    return *knot_cache_;
+  }
   /// TEST ONLY: clear the dirty flag without rebuilding — simulates a
   /// missed invalidation so harnesses can prove they would catch one.
   void testonly_mark_knots_clean() { knots_dirty_ = false; }
@@ -130,12 +151,25 @@ class LinkQosState {
   BitsPerSecond reserved_ = 0.0;
   std::size_t flows_ = 0;
   std::uint64_t rate_version_ = 0;
+  std::uint64_t state_version_ = 0;
   std::map<Seconds, EdfBucket> edf_;
   /// Lazily rebuilt mirror of edf_ as a flat sorted array with prefix sums
   /// (the §3.2 S^k values and the OwnDeadline prefixes in one structure).
-  mutable std::vector<KnotPrefix> knot_cache_;
+  /// Copy-on-write double buffer: rebuilds fill the spare vector (reused
+  /// when no snapshot still references it — the sequential steady state
+  /// allocates nothing) and swap it in, so shared_ptr holders taken by
+  /// knots_shared() keep reading an immutable array.
+  mutable std::shared_ptr<std::vector<KnotPrefix>> knot_cache_;
+  mutable std::shared_ptr<std::vector<KnotPrefix>> knot_spare_;
   mutable bool knots_dirty_ = false;
 };
+
+/// The exact VT-EDF schedulability predicate (eq. 5/8) over a knot-prefix
+/// array — shared by LinkQosState (live MIB) and LinkSnapshot (immutable
+/// per-request copy) so both evaluate bit-identical verdicts.
+bool edf_schedulable_over(const std::vector<LinkQosState::KnotPrefix>& knots,
+                          BitsPerSecond capacity, BitsPerSecond r, Seconds d,
+                          Bits l_max);
 
 /// The node MIB: all links of the domain, keyed "from->to".
 class NodeMib {

@@ -173,7 +173,7 @@ Result<std::vector<std::uint8_t>> BandwidthBroker::snapshot() const {
   constexpr double kResumTol = 1e-6;  // float re-summation slack
   for (const auto& l : spec_.links) {
     const std::string name = l.from + "->" + l.to;
-    const LinkQosState& live = nodes_.link(name);
+    const LinkQosState& live = store_.nodes().link(name);
     const LinkQosState& redo = check.value()->nodes().link(name);
     if (std::abs(live.reserved() - redo.reserved()) > kResumTol ||
         std::abs(live.buffer_reserved() - redo.buffer_reserved()) >

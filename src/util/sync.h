@@ -1,0 +1,107 @@
+// Clang thread-safety-annotated synchronization primitives.
+//
+// libstdc++'s std::mutex carries no capability attributes, so clang's
+// -Wthread-safety analysis cannot track it. These thin wrappers attach the
+// annotations (and nothing else) so every lock-holding class in the broker
+// can declare its protected state with GUARDED_BY and its protocol with
+// REQUIRES, and the clang CI rows can enforce the declarations as errors.
+// Under gcc (or when the analysis is off) the macros expand to nothing and
+// the wrappers are zero-cost aliases of the standard types.
+
+#ifndef QOSBB_UTIL_SYNC_H_
+#define QOSBB_UTIL_SYNC_H_
+
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define QOSBB_TSA(x) __attribute__((x))
+#else
+#define QOSBB_TSA(x)  // no-op
+#endif
+
+#define QOSBB_CAPABILITY(x) QOSBB_TSA(capability(x))
+#define QOSBB_SCOPED_CAPABILITY QOSBB_TSA(scoped_lockable)
+#define GUARDED_BY(x) QOSBB_TSA(guarded_by(x))
+#define PT_GUARDED_BY(x) QOSBB_TSA(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) QOSBB_TSA(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) QOSBB_TSA(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) QOSBB_TSA(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) QOSBB_TSA(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) QOSBB_TSA(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) QOSBB_TSA(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) QOSBB_TSA(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) QOSBB_TSA(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) QOSBB_TSA(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) QOSBB_TSA(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) QOSBB_TSA(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) QOSBB_TSA(assert_capability(x))
+#define RETURN_CAPABILITY(x) QOSBB_TSA(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS QOSBB_TSA(no_thread_safety_analysis)
+
+namespace qosbb {
+
+/// std::mutex with capability annotations.
+class QOSBB_CAPABILITY("mutex") Mutex {
+ public:
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::shared_mutex with capability annotations (exclusive + shared).
+class QOSBB_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  void lock_shared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive lock over Mutex.
+class QOSBB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Scoped exclusive lock over SharedMutex.
+class QOSBB_SCOPED_CAPABILITY ExclusiveLock {
+ public:
+  explicit ExclusiveLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~ExclusiveLock() RELEASE() { mu_.unlock(); }
+  ExclusiveLock(const ExclusiveLock&) = delete;
+  ExclusiveLock& operator=(const ExclusiveLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped shared (reader) lock over SharedMutex.
+class QOSBB_SCOPED_CAPABILITY SharedLock {
+ public:
+  explicit SharedLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~SharedLock() RELEASE_GENERIC() { mu_.unlock_shared(); }
+  SharedLock(const SharedLock&) = delete;
+  SharedLock& operator=(const SharedLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_UTIL_SYNC_H_

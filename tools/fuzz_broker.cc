@@ -5,6 +5,7 @@
 //   fuzz_broker --repro=FILE                         # replay a repro file
 //   fuzz_broker --sabotage --seeds=1:3               # canaries (must diverge)
 //   fuzz_broker --crash-sweep --seeds=1:30           # crash-point sweep
+//   fuzz_broker --threads=4 --seeds=1:10             # concurrent-front diff
 //
 // Every (seed, topology) pair runs the full differential check. On a
 // divergence the sequence is truncated + minimized and a replayable repro
@@ -17,6 +18,11 @@
 // recovered from every record boundary, from cuts inside every record, and
 // under single-bit corruption (run_crash_sweep). With --sabotage it instead
 // requires every sweep to detect the dropped append.
+//
+// --threads=N switches to the concurrent-front differential
+// (run_fuzz_threaded): the same op sequences replayed through a
+// ConcurrentBrokerFront with an N-thread worker pool, barrier-sequentialized,
+// and required to be bit-identical to the sequential monolith after every op.
 
 #include <cstdio>
 #include <cstdlib>
@@ -46,6 +52,7 @@ struct Args {
   bool widest = false;
   bool sabotage = false;
   bool crash_sweep = false;
+  int threads = 0;  ///< > 0: concurrent-front differential mode
   std::string repro_file;
   std::string dump_dir = ".";
 };
@@ -89,6 +96,12 @@ bool parse_args(int argc, char** argv, Args* args) {
       args->sabotage = true;
     } else if (a == "--crash-sweep") {
       args->crash_sweep = true;
+    } else if (const char* vt = value("--threads=")) {
+      args->threads = std::atoi(vt);
+      if (args->threads < 1) {
+        std::fprintf(stderr, "--threads needs a positive count\n");
+        return false;
+      }
     } else if (const char* v4 = value("--repro=")) {
       args->repro_file = v4;
     } else if (const char* v5 = value("--dump-dir=")) {
@@ -256,14 +269,19 @@ int main(int argc, char** argv) {
   for (FuzzTopology topo : args.topologies) {
     for (std::uint64_t seed = args.seed_lo; seed <= args.seed_hi; ++seed) {
       const FuzzConfig cfg = make_config(args, seed, topo);
-      const FuzzResult result = qosbb::fuzz::run_fuzz(cfg);
-      std::printf("seed %llu %s: %s\n",
+      const FuzzResult result =
+          args.threads > 0 ? qosbb::fuzz::run_fuzz_threaded(cfg, args.threads)
+                           : qosbb::fuzz::run_fuzz(cfg);
+      std::printf("%sseed %llu %s: %s\n",
+                  args.threads > 0 ? "threaded " : "",
                   static_cast<unsigned long long>(seed),
                   qosbb::fuzz::fuzz_topology_name(topo),
                   result.summary().c_str());
       if (!result.ok) {
         ++divergences;
-        dump_divergence(cfg, result, args.dump_dir);
+        // Threaded divergences are not minimized (minimize() replays the
+        // journal-backed sequential harness); the summary pinpoints the op.
+        if (args.threads == 0) dump_divergence(cfg, result, args.dump_dir);
       }
     }
   }

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "core/broker.h"
+#include "core/concurrent_front.h"
 #include "core/durable_broker.h"
 #include "core/oracle.h"
 #include "topo/builders.h"
@@ -63,31 +64,39 @@ struct ExecState {
 /// sabotage runs still reach it.
 constexpr std::uint64_t kSabotageDropIndex = 12;
 
-ExecState make_state(const FuzzConfig& cfg) {
-  ExecState st;
+/// Topology + endpoint pairs + broker options for a config (shared between
+/// the journal-backed sequential harness and the threaded differential).
+void fuzz_domain(const FuzzConfig& cfg, DomainSpec* spec,
+                 std::vector<std::pair<std::string, std::string>>* pairs,
+                 BrokerOptions* options) {
   switch (cfg.topology) {
     case FuzzTopology::kFig8Mixed:
-      st.spec = fig8_topology(Fig8Setting::kMixed);
-      st.pairs = {{"I1", "E1"}, {"I2", "E2"}};
+      *spec = fig8_topology(Fig8Setting::kMixed);
+      *pairs = {{"I1", "E1"}, {"I2", "E2"}};
       break;
     case FuzzTopology::kFig8RateOnly:
-      st.spec = fig8_topology(Fig8Setting::kRateBasedOnly);
-      st.pairs = {{"I1", "E1"}, {"I2", "E2"}};
+      *spec = fig8_topology(Fig8Setting::kRateBasedOnly);
+      *pairs = {{"I1", "E1"}, {"I2", "E2"}};
       break;
     case FuzzTopology::kDumbbellEdf: {
       DumbbellOptions opt;
       opt.edge_pairs = 3;
       opt.policy = SchedPolicy::kVtEdf;
-      st.spec = dumbbell_topology(opt);
-      st.pairs = {{"I0", "E0"}, {"I1", "E1"}, {"I2", "E2"}};
+      *spec = dumbbell_topology(opt);
+      *pairs = {{"I0", "E0"}, {"I1", "E1"}, {"I2", "E2"}};
       break;
     }
   }
-  st.options.contingency = ContingencyMethod::kFeedback;
-  st.options.allow_preemption = cfg.allow_preemption;
-  st.options.path_selection = cfg.widest_residual
-                                  ? PathSelection::kWidestResidual
-                                  : PathSelection::kMinHop;
+  options->contingency = ContingencyMethod::kFeedback;
+  options->allow_preemption = cfg.allow_preemption;
+  options->path_selection = cfg.widest_residual
+                                ? PathSelection::kWidestResidual
+                                : PathSelection::kMinHop;
+}
+
+ExecState make_state(const FuzzConfig& cfg) {
+  ExecState st;
+  fuzz_domain(cfg, &st.spec, &st.pairs, &st.options);
   st.journal = std::make_unique<FaultyJournalFile>();
   if (cfg.sabotage_drop_append) {
     st.journal->set_drop_append_index(kSabotageDropIndex);
@@ -824,6 +833,368 @@ std::vector<FuzzOp> generate_ops(const FuzzConfig& cfg) {
 
 FuzzResult run_fuzz(const FuzzConfig& cfg) {
   return replay(cfg, generate_ops(cfg));
+}
+
+namespace {
+
+/// Bit-exact AdmissionOutcome comparison for the threaded differential.
+/// The front's snapshot-based test and the monolith's live test share the
+/// templated admission core, so every field — including the Figure-4 scan
+/// count and the detail string — must match exactly.
+bool outcomes_identical(const AdmissionOutcome& mono,
+                        const AdmissionOutcome& front, std::string* why) {
+  if (mono.admitted == front.admitted && mono.reason == front.reason &&
+      mono.params.rate == front.params.rate &&
+      mono.params.delay == front.params.delay &&
+      mono.e2e_bound == front.e2e_bound &&
+      mono.intervals_scanned == front.intervals_scanned &&
+      mono.detail == front.detail) {
+    return true;
+  }
+  std::ostringstream os;
+  os.precision(17);
+  os << "outcome mismatch: monolith (admitted " << mono.admitted << ", "
+     << reject_reason_name(mono.reason) << ", r " << mono.params.rate
+     << ", d " << mono.params.delay << ", bound " << mono.e2e_bound
+     << ", scans " << mono.intervals_scanned << ", '" << mono.detail
+     << "') vs front (admitted " << front.admitted << ", "
+     << reject_reason_name(front.reason) << ", r " << front.params.rate
+     << ", d " << front.params.delay << ", bound " << front.e2e_bound
+     << ", scans " << front.intervals_scanned << ", '" << front.detail
+     << "')";
+  *why = os.str();
+  return false;
+}
+
+}  // namespace
+
+FuzzResult run_fuzz_threaded(const FuzzConfig& cfg, int threads) {
+  FuzzResult result;
+  const std::vector<FuzzOp> ops = generate_ops(cfg);
+  result.ops = ops;
+
+  DomainSpec spec;
+  std::vector<std::pair<std::string, std::string>> pairs;
+  BrokerOptions options;
+  fuzz_domain(cfg, &spec, &pairs, &options);
+
+  // The reference: the plain sequential broker, driven directly. The
+  // subject: an identical broker behind the concurrent front, every per-flow
+  // op dispatched onto the worker pool (rotating across threads) and joined
+  // before the next op — so the interleaving is sequential but the code
+  // path is the concurrent one: snapshot, lock-free test, OCC commit.
+  BandwidthBroker mono(spec, options);
+  BandwidthBroker subject(spec, options);
+
+  for (const auto& [in, out] : pairs) {
+    QOSBB_REQUIRE(mono.provision_path(in, out).is_ok(),
+                  "fuzz-threaded: provisioning failed");
+  }
+  std::vector<ClassId> classes;
+  classes.push_back(mono.define_class(2.19, 0.10, "gold"));
+  classes.push_back(mono.define_class(3.0, 0.15, "silver"));
+
+  ConcurrentBrokerFront front(subject, threads);
+  front.exclusive([&](BandwidthBroker& b) {
+    for (const auto& [in, out] : pairs) {
+      QOSBB_REQUIRE(b.provision_path(in, out).is_ok(),
+                    "fuzz-threaded: provisioning failed");
+    }
+    QOSBB_REQUIRE(b.define_class(2.19, 0.10, "gold") == classes[0] &&
+                      b.define_class(3.0, 0.15, "silver") == classes[1],
+                  "fuzz-threaded: class id sequences differ");
+  });
+
+  std::vector<FlowId> per_flow;
+  std::vector<FlowId> micro;
+  Seconds now = 0.0;
+
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const FuzzOp& op = ops[i];
+    now += 1.0;
+    std::string why;
+    std::ostringstream os;
+    os.precision(17);
+    switch (op.kind) {
+      case OpKind::kAdmit: {
+        const auto& [in, out] = pairs[pick(op.pair, pairs.size())];
+        FlowServiceRequest req{op_profile(op), op.d_req, in, out,
+                               cfg.allow_preemption ? op.priority : 0};
+        auto rm = mono.request_service(req, now);
+        const AdmissionOutcome mo = mono.last_outcome();
+        FrontOutcome fo = front.submit_request(req, now).get();
+        if (rm.is_ok() != fo.result.is_ok()) {
+          os << "admit decision split: monolith "
+             << (rm.is_ok() ? "admitted" : "rejected") << ", front "
+             << (fo.result.is_ok() ? "admitted" : "rejected");
+          why = os.str();
+          break;
+        }
+        if (!outcomes_identical(mo, fo.outcome, &why)) break;
+        if (rm.is_ok()) {
+          const Reservation& a = rm.value();
+          const Reservation& b = fo.result.value();
+          if (a.flow != b.flow || a.path != b.path ||
+              a.params.rate != b.params.rate ||
+              a.params.delay != b.params.delay ||
+              a.e2e_bound != b.e2e_bound || a.preempted != b.preempted) {
+            os << "reservation mismatch: monolith flow " << a.flow
+               << " path " << a.path << " r " << a.params.rate << " vs front "
+               << b.flow << " path " << b.path << " r " << b.params.rate;
+            why = os.str();
+            break;
+          }
+          for (FlowId victim : a.preempted) std::erase(per_flow, victim);
+          per_flow.push_back(a.flow);
+          ++result.admits;
+        } else {
+          if (rm.status().to_string() != fo.result.status().to_string()) {
+            why = "reject status mismatch: monolith '" +
+                  rm.status().to_string() + "' vs front '" +
+                  fo.result.status().to_string() + "'";
+            break;
+          }
+          ++result.rejects;
+        }
+        break;
+      }
+      case OpKind::kRelease: {
+        if (per_flow.empty()) break;
+        const std::size_t idx = pick(op.target, per_flow.size());
+        const FlowId id = per_flow[idx];
+        const Status a = mono.release_service(id);
+        const Status b = front.submit_release(id).get();
+        if (a.to_string() != b.to_string()) {
+          why = "release status mismatch: monolith '" + a.to_string() +
+                "' vs front '" + b.to_string() + "'";
+          break;
+        }
+        if (!a.is_ok()) {
+          why = "release of live flow failed: " + a.to_string();
+          break;
+        }
+        per_flow[idx] = per_flow.back();
+        per_flow.pop_back();
+        ++result.releases;
+        break;
+      }
+      case OpKind::kRenegotiate: {
+        if (per_flow.empty()) break;
+        const FlowId id = per_flow[pick(op.target, per_flow.size())];
+        auto rm = mono.renegotiate_service(id, op.d_req, now);
+        const AdmissionOutcome mo = mono.last_outcome();
+        FrontOutcome fo = front.submit_renegotiate(id, op.d_req, now).get();
+        if (rm.is_ok() != fo.result.is_ok()) {
+          os << "renegotiation split for flow " << id << ": monolith "
+             << (rm.is_ok() ? "admitted" : "rejected") << ", front "
+             << (fo.result.is_ok() ? "admitted" : "rejected");
+          why = os.str();
+          break;
+        }
+        if (!outcomes_identical(mo, fo.outcome, &why)) break;
+        if (rm.is_ok()) {
+          const Reservation& a = rm.value();
+          const Reservation& b = fo.result.value();
+          if (a.flow != b.flow || a.path != b.path ||
+              a.params.rate != b.params.rate ||
+              a.params.delay != b.params.delay ||
+              a.e2e_bound != b.e2e_bound) {
+            os << "renegotiated reservation mismatch for flow " << id;
+            why = os.str();
+            break;
+          }
+        } else if (rm.status().to_string() !=
+                   fo.result.status().to_string()) {
+          why = "renegotiation status mismatch: monolith '" +
+                rm.status().to_string() + "' vs front '" +
+                fo.result.status().to_string() + "'";
+          break;
+        }
+        ++result.renegotiations;
+        break;
+      }
+      case OpKind::kClassJoin: {
+        const auto& [in, out] = pairs[pick(op.pair, pairs.size())];
+        const ClassId cls = classes[pick(op.target, classes.size())];
+        const TrafficProfile prof = op_profile(op);
+        JoinResult ja =
+            mono.request_class_service(cls, prof, in, out, now, std::nullopt);
+        JoinResult jb = front.exclusive([&](BandwidthBroker& b) {
+          return b.request_class_service(cls, prof, in, out, now,
+                                         std::nullopt);
+        });
+        if (ja.admitted != jb.admitted || ja.reason != jb.reason ||
+            ja.microflow != jb.microflow || ja.macroflow != jb.macroflow ||
+            ja.new_macroflow != jb.new_macroflow ||
+            ja.base_rate != jb.base_rate ||
+            ja.contingency != jb.contingency || ja.grant != jb.grant ||
+            ja.e2e_bound != jb.e2e_bound || ja.detail != jb.detail) {
+          os << "class-join mismatch: monolith (admitted " << ja.admitted
+             << ", micro " << ja.microflow << ", base " << ja.base_rate
+             << ") vs front (admitted " << jb.admitted << ", micro "
+             << jb.microflow << ", base " << jb.base_rate << ")";
+          why = os.str();
+          break;
+        }
+        if (ja.admitted) {
+          micro.push_back(ja.microflow);
+          ++result.joins;
+          if (ja.grant != kInvalidGrantId) {
+            // Settle the grant on both sides (as the sequential harness
+            // does) so every later op may checkpoint.
+            mono.expire_contingency(ja.grant, ja.contingency_expires_at);
+            front.exclusive([&](BandwidthBroker& b) {
+              b.expire_contingency(jb.grant, jb.contingency_expires_at);
+            });
+          }
+        }
+        break;
+      }
+      case OpKind::kClassLeave: {
+        if (micro.empty()) break;
+        const std::size_t idx = pick(op.target, micro.size());
+        const FlowId id = micro[idx];
+        auto la = mono.leave_class_service(id, now, std::nullopt);
+        auto lb = front.exclusive([&](BandwidthBroker& b) {
+          return b.leave_class_service(id, now, std::nullopt);
+        });
+        if (la.is_ok() != lb.is_ok()) {
+          why = "class-leave decision split";
+          break;
+        }
+        if (!la.is_ok()) {
+          why = "leave of live microflow failed: " + la.status().to_string();
+          break;
+        }
+        if (la.value().macroflow != lb.value().macroflow ||
+            la.value().base_rate != lb.value().base_rate ||
+            la.value().contingency != lb.value().contingency ||
+            la.value().grant != lb.value().grant ||
+            la.value().macroflow_removed != lb.value().macroflow_removed) {
+          os << "class-leave mismatch for microflow " << id;
+          why = os.str();
+          break;
+        }
+        if (la.value().grant != kInvalidGrantId) {
+          mono.expire_contingency(la.value().grant,
+                                  la.value().contingency_expires_at);
+          front.exclusive([&](BandwidthBroker& b) {
+            b.expire_contingency(lb.value().grant,
+                                 lb.value().contingency_expires_at);
+          });
+        }
+        micro[idx] = micro.back();
+        micro.pop_back();
+        ++result.leaves;
+        break;
+      }
+      case OpKind::kLinkReserve: {
+        const auto& l = spec.links[pick(op.target, spec.links.size())];
+        const std::string name = l.from + "->" + l.to;
+        const Status a = mono.reserve_link_external(name, op.amount);
+        const Status b = front.exclusive([&](BandwidthBroker& bb) {
+          return bb.reserve_link_external(name, op.amount);
+        });
+        if (a.to_string() != b.to_string()) {
+          why = "link-reserve status mismatch on " + name + ": monolith '" +
+                a.to_string() + "' vs front '" + b.to_string() + "'";
+        }
+        break;
+      }
+      case OpKind::kLinkRelease: {
+        const auto& l = spec.links[pick(op.target, spec.links.size())];
+        const std::string name = l.from + "->" + l.to;
+        auto a = mono.release_link_external(name, op.amount);
+        auto b = front.exclusive([&](BandwidthBroker& bb) {
+          return bb.release_link_external(name, op.amount);
+        });
+        if (a.is_ok() != b.is_ok() ||
+            (a.is_ok() && a.value() != b.value())) {
+          os << "link-release mismatch on " << name;
+          why = os.str();
+        }
+        break;
+      }
+      case OpKind::kSnapshotRestore: {
+        auto sa = mono.snapshot();
+        auto sb =
+            front.exclusive([](BandwidthBroker& b) { return b.snapshot(); });
+        if (sa.is_ok() != sb.is_ok()) {
+          why = "snapshot availability split";
+          break;
+        }
+        if (sa.is_ok()) {
+          if (sa.value() != sb.value()) {
+            why = "snapshot frames differ byte-for-byte";
+            break;
+          }
+          ++result.snapshots;
+        } else if (sa.status().code() != StatusCode::kUnavailable ||
+                   sb.status().code() != StatusCode::kUnavailable) {
+          why = "snapshot refused with the wrong code: monolith '" +
+                sa.status().to_string() + "', front '" +
+                sb.status().to_string() + "'";
+        }
+        break;
+      }
+      case OpKind::kCrashRecover:
+      case OpKind::kRedeliver:
+        // Journal-layer ops: the threaded differential drives plain
+        // brokers (run_fuzz / run_crash_sweep own durability).
+        break;
+    }
+    if (why.empty()) {
+      // Whole-MIB equality after every op: per-link floats bit-for-bit plus
+      // the flow populations (next_lsn is not meaningful here).
+      const StateDigest dm = digest_of(spec, mono, 0);
+      const StateDigest ds = digest_of(spec, subject, 0);
+      if (!(dm == ds)) {
+        os << "state split after " << op_kind_name(op.kind) << " (monolith "
+           << dm.flows << " flows, " << dm.macroflows
+           << " macroflows; front " << ds.flows << " flows, "
+           << ds.macroflows << " macroflows)";
+        for (std::size_t k = 0; k < dm.links.size(); ++k) {
+          if (dm.links[k] != ds.links[k]) {
+            os << "; link " << spec.links[k].from << "->" << spec.links[k].to
+               << " reserved " << dm.links[k].first << " vs "
+               << ds.links[k].first << ", buffer " << dm.links[k].second
+               << " vs " << ds.links[k].second;
+            break;
+          }
+        }
+        why = os.str();
+      } else if (mono.stats().requests != subject.stats().requests ||
+                 mono.stats().admitted != subject.stats().admitted ||
+                 mono.stats().total_rejected() !=
+                     subject.stats().total_rejected()) {
+        os << "stats split after " << op_kind_name(op.kind) << ": monolith "
+           << mono.stats().requests.load() << "/"
+           << mono.stats().admitted.load() << "/"
+           << mono.stats().total_rejected() << " vs front "
+           << subject.stats().requests.load() << "/"
+           << subject.stats().admitted.load() << "/"
+           << subject.stats().total_rejected();
+        why = os.str();
+      }
+    }
+    ++result.ops_executed;
+    if (!why.empty()) {
+      result.ok = false;
+      result.divergence_op = static_cast<int>(i);
+      result.divergence = why;
+      return result;
+    }
+  }
+
+  // Final deep audit: the front-driven broker's MIB state must satisfy the
+  // from-scratch oracle rebooking, not just mirror the monolith's floats.
+  const OracleStateReport rep = oracle_check_state(subject, nullptr);
+  if (!rep.ok) {
+    result.ok = false;
+    result.divergence_op = static_cast<int>(ops.size()) - 1;
+    result.divergence = "front state audit: " + rep.to_string();
+  }
+  return result;
 }
 
 std::vector<FuzzOp> minimize(const FuzzConfig& cfg,

@@ -137,6 +137,20 @@ FuzzResult run_fuzz(const FuzzConfig& cfg);
 /// and by minimization; `cfg.seed`/`cfg.ops` are ignored here).
 FuzzResult replay(const FuzzConfig& cfg, const std::vector<FuzzOp>& ops);
 
+/// Differential THREADED replay: run the generated sequence through a
+/// sequential monolith broker and through a ConcurrentBrokerFront whose
+/// worker pool has `threads` threads, dispatching each per-flow op onto the
+/// pool and joining its future before issuing the next (a
+/// barrier-sequentialized schedule). After every op the two brokers must
+/// agree bit-for-bit: decision, reservation parameters, reject reason and
+/// detail, status text, per-link (reserved, buffer) floats, flow
+/// population, and aggregate stats; snapshot ops must produce byte-equal
+/// frames. Journal-layer ops (kCrashRecover, kRedeliver) are skipped — this
+/// mode proves the decomposed front is observationally identical to the
+/// monolith, not durability (run_fuzz covers that). The front's broker
+/// passes a full oracle_check_state audit at the end.
+FuzzResult run_fuzz_threaded(const FuzzConfig& cfg, int threads);
+
 /// Greedy chunked minimization (ddmin-lite): truncate at the divergence,
 /// then repeatedly drop chunks whose removal preserves SOME divergence.
 /// Returns a sequence that still diverges under replay.
