@@ -6,6 +6,17 @@ repository's headline benchmarks, or when any reported benchmark ran zero
 iterations — both are the signatures of a silently-broken bench binary
 that a plain exit-code check would miss.
 
+Two semantic gates ride along:
+
+  * On machines with >= 4 detected cores (context.num_cpus), the
+    BM_ConcurrentAdmit 4-thread row must aggregate >= 2x the 1-thread
+    items_per_second — the disjoint-path scaling claim of the concurrent
+    front. On smaller machines (CI runners often expose 1-2 cores) the
+    check is skipped, not waved through: flat scaling there is expected,
+    not fine.
+  * Every BM_JournalGroupCommit row must report appends_per_batch == 1 —
+    the group-commit invariant (K admits, one journal append).
+
 Usage: check_bench_smoke.py bench_smoke.json
 """
 
@@ -17,12 +28,69 @@ import sys
 REQUIRED_PREFIXES = [
     "BM_PerFlowAdmitRelease",
     "BM_ConcurrentAdmit",
+    "BM_BatchAdmit",
     "BM_ClassJoinLeave",
     "BM_PolicyCheckOnly",
     "BM_PathViewOnly",
     "BM_JournalAppend",
+    "BM_JournalGroupCommit",
     "BM_JournalReplay",
 ]
+
+# Required aggregate speedup of BM_ConcurrentAdmit at 4 threads over 1
+# thread on disjoint paths, asserted only when the machine has the cores
+# to show it.
+CONCURRENT_SCALING_MIN = 2.0
+CONCURRENT_SCALING_CORES = 4
+
+
+def check_concurrent_scaling(report, benchmarks) -> bool:
+    """Return True on failure. Gated on detected core count."""
+    num_cpus = int(report.get("context", {}).get("num_cpus", 0))
+    if num_cpus < CONCURRENT_SCALING_CORES:
+        print(f"SKIP: concurrent scaling check (num_cpus={num_cpus} < "
+              f"{CONCURRENT_SCALING_CORES})")
+        return False
+
+    def rate(threads: int):
+        for bench in benchmarks:
+            name = bench.get("name", "")
+            if (name.startswith("BM_ConcurrentAdmit")
+                    and f"threads:{threads}" in name
+                    and bench.get("run_type") != "aggregate"):
+                return bench.get("items_per_second")
+        return None
+
+    base, scaled = rate(1), rate(CONCURRENT_SCALING_CORES)
+    if not base or not scaled:
+        print("FAIL: BM_ConcurrentAdmit rows for scaling check missing",
+              file=sys.stderr)
+        return True
+    speedup = scaled / base
+    if speedup < CONCURRENT_SCALING_MIN:
+        print(f"FAIL: BM_ConcurrentAdmit {CONCURRENT_SCALING_CORES}-thread "
+              f"speedup {speedup:.2f}x < {CONCURRENT_SCALING_MIN}x "
+              f"(num_cpus={num_cpus})", file=sys.stderr)
+        return True
+    print(f"OK: BM_ConcurrentAdmit scales {speedup:.2f}x at "
+          f"{CONCURRENT_SCALING_CORES} threads (num_cpus={num_cpus})")
+    return False
+
+
+def check_group_commit(benchmarks) -> bool:
+    """Return True on failure: every group-commit row appends once."""
+    failed = False
+    for bench in benchmarks:
+        name = bench.get("name", "")
+        if (not name.startswith("BM_JournalGroupCommit")
+                or bench.get("run_type") == "aggregate"):
+            continue
+        appends = bench.get("appends_per_batch")
+        if appends is None or abs(appends - 1.0) > 1e-9:
+            print(f"FAIL: {name}: appends_per_batch={appends} (expected 1)",
+                  file=sys.stderr)
+            failed = True
+    return failed
 
 
 def main() -> int:
@@ -59,6 +127,9 @@ def main() -> int:
         elif int(bench.get("iterations", 0)) <= 0:
             print(f"FAIL: {name}: zero iterations", file=sys.stderr)
             failed = True
+
+    failed |= check_concurrent_scaling(report, benchmarks)
+    failed |= check_group_commit(benchmarks)
 
     if failed:
         return 1

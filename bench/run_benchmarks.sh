@@ -30,4 +30,26 @@ mkdir -p "$(dirname "$out")"
   --benchmark_out_format=json \
   "$@"
 
-echo "wrote $out" >&2
+# Stamp provenance into the context block so trajectory entries pasted into
+# BENCH_bb_throughput.json stay attributable: the commit the numbers were
+# measured at, and the core count they were measured on (num_cpus is
+# already reported by Google Benchmark; ensure it survives even on builds
+# that omit it).
+git_sha="$(git -C "$repo_root" rev-parse HEAD 2>/dev/null || echo unknown)"
+python3 - "$out" "$git_sha" <<'PY'
+import json
+import os
+import sys
+
+path, sha = sys.argv[1], sys.argv[2]
+with open(path, encoding="utf-8") as fh:
+    report = json.load(fh)
+ctx = report.setdefault("context", {})
+ctx["git_sha"] = sha
+ctx.setdefault("num_cpus", os.cpu_count() or 1)
+with open(path, "w", encoding="utf-8") as fh:
+    json.dump(report, fh, indent=2)
+    fh.write("\n")
+PY
+
+echo "wrote $out (git_sha=$git_sha)" >&2

@@ -18,14 +18,16 @@
 //   view.links      — range of const Link* in hop order
 //   view.edf_links  — range of const Link* (delay-based subset, path order)
 // and Link must expose capacity(), buffer_residual(), knot_prefixes() (a
-// std::vector<LinkQosState::KnotPrefix>), and edf_schedulable_with().
+// KnotArray, struct-of-arrays), and edf_schedulable_with().
 
 #ifndef QOSBB_CORE_ADMISSION_CORE_H_
 #define QOSBB_CORE_ADMISSION_CORE_H_
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
+#include <span>
 #include <string>
 
 #include "core/perflow_admission.h"
@@ -70,19 +72,16 @@ inline AdmissionOutcome reject(RejectReason reason, std::string detail,
 /// link's cached knot prefixes — no per-request solver construction.
 template <typename Link>
 double min_feasible_d(const Link& link, double lo, double hi, Bits l_new) {
-  const auto& knots = link.knot_prefixes();
+  const KnotArray& knots = link.knot_prefixes();
   const double capacity = link.capacity();
   // Demand parameters in effect over [lo, hi): knots with d <= lo.
   double rate_sum = 0.0;
   double fixed_sum = 0.0;
   // Binary search the last knot <= lo.
-  auto it = std::upper_bound(
-      knots.begin(), knots.end(), lo,
-      [](double v, const LinkQosState::KnotPrefix& p) { return v < p.d; });
-  if (it != knots.begin()) {
-    const LinkQosState::KnotPrefix& p = *std::prev(it);
-    rate_sum = p.rate_sum;
-    fixed_sum = p.fixed_sum;
+  const std::size_t gt = knots.upper_bound(lo);
+  if (gt != 0) {
+    rate_sum = knots.rate_sum[gt - 1];
+    fixed_sum = knots.fixed_sum[gt - 1];
   }
   // Need (C − rate_sum)·d >= l_new + fixed_sum.
   const double slope = capacity - rate_sum;
@@ -99,84 +98,105 @@ double min_feasible_d(const Link& link, double lo, double hi, Bits l_new) {
 
 /// Merge the per-link cached knot arrays into the global ascending knot set
 /// d^1 < ... < d^M with S^k = min over the links CARRYING knot d^k of their
-/// residual service there (Section 3.2). A k-way merge with raw pointer
-/// cursors into the scratch buffers: no node allocations, no comparisons
-/// beyond the O(M·hq) walk.
+/// residual service there (Section 3.2), published through the
+/// scratch.knots / scratch.s_vals spans. With a single delay-based hop the
+/// spans alias the link's own KnotArray columns — the dominant shape pays
+/// ZERO copies. Multi-hop paths run a two-pointer / k-way merge into the
+/// owned scratch buffers: no node allocations, no comparisons beyond the
+/// O(M·hq) walk.
 template <typename EdfLinks>
 void merge_knots(const EdfLinks& links, AdmissionScratch& scratch) {
-  scratch.knots.clear();
-  scratch.s_vals.clear();
   const std::size_t n = links.size();
   if (n == 1) {
-    const auto& kp = links[0]->knot_prefixes();
-    scratch.knots.reserve(kp.size());
-    scratch.s_vals.reserve(kp.size());
-    for (const auto& p : kp) {
-      scratch.knots.push_back(p.d);
-      scratch.s_vals.push_back(p.s);
-    }
+    const KnotArray& kp = links[0]->knot_prefixes();
+    scratch.knots = std::span<const Seconds>(kp.d);
+    scratch.s_vals = std::span<const double>(kp.s);
     return;
   }
+  scratch.knots_buf.clear();
+  scratch.s_buf.clear();
   if (n == 2) {
-    // Two delay-based hops is the common shape; plain two-pointer merge.
-    const auto& a = links[0]->knot_prefixes();
-    const auto& b = links[1]->knot_prefixes();
-    scratch.knots.reserve(a.size() + b.size());
-    scratch.s_vals.reserve(a.size() + b.size());
+    const KnotArray& a = links[0]->knot_prefixes();
+    const KnotArray& b = links[1]->knot_prefixes();
+    // Same-deadline fast path: a flow installs the SAME per-hop deadline on
+    // every delay-based hop of its path, so sibling hops that serve the
+    // same flow population carry bit-identical d columns. The merged knot
+    // set is then either column and S^k the elementwise min — one dense
+    // vectorizable pass instead of the branchy two-pointer walk. Bitwise
+    // equality implies operator== equality, so this emits exactly what the
+    // general merge would.
+    if (a.size() == b.size() && !a.empty() &&
+        std::memcmp(a.d.data(), b.d.data(),
+                    a.size() * sizeof(Seconds)) == 0) {
+      scratch.s_buf.resize(a.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        scratch.s_buf[i] = std::min(a.s[i], b.s[i]);
+      }
+      scratch.knots = std::span<const Seconds>(a.d);
+      scratch.s_vals = std::span<const double>(scratch.s_buf);
+      return;
+    }
+    // Otherwise: plain two-pointer merge.
+    scratch.knots_buf.reserve(a.size() + b.size());
+    scratch.s_buf.reserve(a.size() + b.size());
     std::size_t i = 0, j = 0;
     while (i < a.size() && j < b.size()) {
-      if (a[i].d < b[j].d) {
-        scratch.knots.push_back(a[i].d);
-        scratch.s_vals.push_back(a[i].s);
+      if (a.d[i] < b.d[j]) {
+        scratch.knots_buf.push_back(a.d[i]);
+        scratch.s_buf.push_back(a.s[i]);
         ++i;
-      } else if (b[j].d < a[i].d) {
-        scratch.knots.push_back(b[j].d);
-        scratch.s_vals.push_back(b[j].s);
+      } else if (b.d[j] < a.d[i]) {
+        scratch.knots_buf.push_back(b.d[j]);
+        scratch.s_buf.push_back(b.s[j]);
         ++j;
       } else {
-        scratch.knots.push_back(a[i].d);
-        scratch.s_vals.push_back(std::min(a[i].s, b[j].s));
+        scratch.knots_buf.push_back(a.d[i]);
+        scratch.s_buf.push_back(std::min(a.s[i], b.s[j]));
         ++i;
         ++j;
       }
     }
     for (; i < a.size(); ++i) {
-      scratch.knots.push_back(a[i].d);
-      scratch.s_vals.push_back(a[i].s);
+      scratch.knots_buf.push_back(a.d[i]);
+      scratch.s_buf.push_back(a.s[i]);
     }
     for (; j < b.size(); ++j) {
-      scratch.knots.push_back(b[j].d);
-      scratch.s_vals.push_back(b[j].s);
+      scratch.knots_buf.push_back(b.d[j]);
+      scratch.s_buf.push_back(b.s[j]);
     }
+    scratch.knots = std::span<const Seconds>(scratch.knots_buf);
+    scratch.s_vals = std::span<const double>(scratch.s_buf);
     return;
   }
   // Resolve each link's cached array once (knot_prefixes() carries a dirty
-  // check); merge over [begin, end) pointer cursors held in scratch.
+  // check); merge over per-array index cursors held in scratch.
   scratch.heads.clear();
   std::size_t total = 0;
   for (const auto* link : links) {
-    const auto& kp = link->knot_prefixes();
-    scratch.heads.push_back({kp.data(), kp.data() + kp.size()});
+    const KnotArray& kp = link->knot_prefixes();
+    scratch.heads.push_back({&kp, 0});
     total += kp.size();
   }
-  scratch.knots.reserve(total);
-  scratch.s_vals.reserve(total);
+  scratch.knots_buf.reserve(total);
+  scratch.s_buf.reserve(total);
   while (true) {
     double dmin = kInf;
-    for (const auto& [cur, end] : scratch.heads) {
-      if (cur != end && cur->d < dmin) dmin = cur->d;
+    for (const auto& [ka, i] : scratch.heads) {
+      if (i < ka->size() && ka->d[i] < dmin) dmin = ka->d[i];
     }
     if (std::isinf(dmin)) break;
     double s = kInf;
-    for (auto& [cur, end] : scratch.heads) {
-      if (cur != end && cur->d == dmin) {
-        s = std::min(s, cur->s);
-        ++cur;
+    for (auto& [ka, i] : scratch.heads) {
+      if (i < ka->size() && ka->d[i] == dmin) {
+        s = std::min(s, ka->s[i]);
+        ++i;
       }
     }
-    scratch.knots.push_back(dmin);
-    scratch.s_vals.push_back(s);
+    scratch.knots_buf.push_back(dmin);
+    scratch.s_buf.push_back(s);
   }
+  scratch.knots = std::span<const Seconds>(scratch.knots_buf);
+  scratch.s_vals = std::span<const double>(scratch.s_buf);
 }
 
 /// §3.1 test (rate-based-only paths).
@@ -257,8 +277,8 @@ AdmissionOutcome admit_mixed_impl(const View& view,
   // hops that actually carry the knot (Section 3.2). K-way merge of the
   // links' cached knot arrays into the reusable scratch buffers.
   merge_knots(view.edf_links, buf);
-  const std::vector<Seconds>& knots = buf.knots;
-  const std::vector<double>& s_vals = buf.s_vals;
+  const std::span<const Seconds> knots = buf.knots;
+  const std::span<const double> s_vals = buf.s_vals;
   const int m_count = static_cast<int>(knots.size());  // M
 
   // Index of the first knot with d^k >= t^ν (knots below it cannot bound r

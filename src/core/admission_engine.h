@@ -53,6 +53,7 @@ class LinkSnapshot {
     error_term_ = link.error_term();
     delay_based_ = link.delay_based();
     knots_ = link.knots_shared();
+    owned_knots_.reset();
   }
 
   /// The live link this snapshot was taken from (commit target).
@@ -68,11 +69,32 @@ class LinkSnapshot {
   Bits buffer_residual() const { return buffer_capacity_ - buffer_reserved_; }
   Seconds error_term() const { return error_term_; }
   bool delay_based() const { return delay_based_; }
-  const std::vector<LinkQosState::KnotPrefix>& knot_prefixes() const {
-    return *knots_;
+  const KnotArray& knot_prefixes() const {
+    return owned_knots_ ? *owned_knots_ : *knots_;
   }
   bool edf_schedulable_with(BitsPerSecond r, Seconds d, Bits l_max) const {
-    return edf_schedulable_over(*knots_, capacity_, r, d, l_max);
+    return edf_schedulable_over(knot_prefixes(), capacity_, r, d, l_max);
+  }
+
+  /// Evolve the snapshot by one committed booking WITHOUT touching the live
+  /// link — the batch path's way of testing member k+1 against the state
+  /// member k will create. Mirrors the live mutators exactly: the rate and
+  /// buffer adds are the same double operations, and an EDF insert updates
+  /// a lazily-owned copy of the knot array through the same per-bucket sums
+  /// and the same full prefix re-walk as rebuild_knot_cache, so the evolved
+  /// snapshot is bit-identical to the post-commit live state. version()
+  /// intentionally stays at the CAPTURE value: commit-time validation
+  /// checks the whole batch against the base versions.
+  void apply_booking(BitsPerSecond rate, Bits buffer, bool edf, Seconds delay,
+                     Bits l_max) {
+    reserved_ += rate;
+    buffer_reserved_ += buffer;
+    if (edf) {
+      if (!owned_knots_) {
+        owned_knots_ = std::make_unique<KnotArray>(*knots_);
+      }
+      owned_knots_->insert_entry(capacity_, rate, delay, l_max);
+    }
   }
 
   /// Drop the shared knot array (lets the live link reuse its spare
@@ -80,6 +102,7 @@ class LinkSnapshot {
   void reset() {
     live_ = nullptr;
     knots_.reset();
+    owned_knots_.reset();
   }
 
  private:
@@ -91,7 +114,10 @@ class LinkSnapshot {
   Bits buffer_reserved_ = 0.0;
   Seconds error_term_ = 0.0;
   bool delay_based_ = false;
-  std::shared_ptr<const std::vector<LinkQosState::KnotPrefix>> knots_;
+  std::shared_ptr<const KnotArray> knots_;
+  /// Batch evolution only: copy-on-write private knot array, created on the
+  /// first EDF booking applied to this snapshot (apply_booking).
+  std::unique_ptr<KnotArray> owned_knots_;
 };
 
 /// Immutable per-request view of one path: the path record, C_res^P, and a

@@ -493,4 +493,22 @@ Result<BitsPerSecond> BandwidthBroker::release_link_external(
   return freed;
 }
 
+std::vector<std::size_t> batch_grouped_order(
+    std::span<const FlowServiceRequest> requests) {
+  std::vector<std::size_t> order;
+  order.reserve(requests.size());
+  std::vector<bool> placed(requests.size(), false);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (placed[i]) continue;
+    for (std::size_t j = i; j < requests.size(); ++j) {
+      if (!placed[j] && requests[j].ingress == requests[i].ingress &&
+          requests[j].egress == requests[i].egress) {
+        placed[j] = true;
+        order.push_back(j);
+      }
+    }
+  }
+  return order;
+}
+
 }  // namespace qosbb

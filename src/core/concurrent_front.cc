@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "core/link_store.h"
+#include "vtrs/delay_bounds.h"
 
 namespace qosbb {
 
@@ -39,6 +40,79 @@ void WorkerPool::worker_loop() {
 }
 
 namespace {
+
+/// Pre-filter verdict: a lock-free PREDICTION of the admission outcome,
+/// never a decision. kUnknown means neither conservative bound fired.
+enum class Prefilter { kAdmit, kReject, kUnknown };
+
+/// Lock-free admission pre-filter over per-link headroom reads (the
+/// relaxed-atomic utilization mirrors, or a batch's evolved snapshot
+/// scalars). Fast-reject fires when the request's sustained rate alone
+/// exceeds the optimistic headroom of some hop — any rate the full test
+/// could grant is >= rho and <= C_res, so the test must reject too.
+/// Fast-accept fires only on rate-based-only paths, where it replicates
+/// the §3.1 comparisons verbatim (same r_min / r_low / r_up expressions,
+/// same epsilons, same buffer bound per hop); mixed paths additionally get
+/// the §3.2 pre-scan reject conditions (t^ν <= 0, r_floor0 over r_cap) but
+/// never a fast-accept — the Figure-4 interval scan cannot be summarized
+/// by two scalars. Against quiescent mirrors every implication is over
+/// bit-identical values, so the prediction always matches the full test;
+/// under live concurrency it is a stale hint, which is why callers always
+/// run the authoritative test regardless.
+template <typename ResidualFn, typename BufResidualFn>
+Prefilter prefilter_predict(const PathRecord& rec,
+                            const TrafficProfile& profile, Seconds d_req,
+                            std::size_t nlinks, ResidualFn&& residual_of,
+                            BufResidualFn&& buf_residual_of) {
+  constexpr double kRateEps = 1e-6;  // the admission templates' b/s slack
+  double c_res = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < nlinks; ++i) {
+    c_res = std::min(c_res, residual_of(i));
+  }
+  if (profile.rho > c_res + kRateEps) return Prefilter::kReject;
+  if (rec.abstract.delay_based_count() == 0) {
+    const BitsPerSecond r_min =
+        min_rate_rate_only(rec.abstract, profile, d_req);
+    const BitsPerSecond r_low = std::max(profile.rho, r_min);
+    const BitsPerSecond r_up = std::min(profile.peak, c_res);
+    if (r_low > r_up + kRateEps) return Prefilter::kReject;
+    const auto& hops = rec.abstract.hops;
+    for (std::size_t i = 0; i < nlinks; ++i) {
+      const Bits need = per_hop_buffer_bound(hops[i].kind, r_low, 0.0,
+                                             profile.l_max,
+                                             hops[i].error_term);
+      if (buf_residual_of(i) < need - 1e-6) return Prefilter::kReject;
+    }
+    return Prefilter::kAdmit;
+  }
+  const int h = rec.hop_count();
+  const int q = rec.rate_based_count();
+  const int hq = h - q;
+  const Seconds d_tot = rec.d_tot();
+  const Seconds t_on = profile.t_on();
+  const double t_nu = (d_req - d_tot + t_on) / static_cast<double>(hq);
+  if (t_nu <= 0.0) return Prefilter::kReject;
+  const double xi =
+      (t_on * profile.peak + static_cast<double>(q + 1) * profile.l_max) /
+      static_cast<double>(hq);
+  const BitsPerSecond r_cap = std::min(profile.peak, c_res);
+  const BitsPerSecond r_floor0 = std::max(profile.rho, xi / t_nu);
+  if (r_floor0 > r_cap + kRateEps) return Prefilter::kReject;
+  return Prefilter::kUnknown;
+}
+
+/// Everything the group path decides about one batch member during its
+/// single pass, consumed by the deferred bookkeeping phase.
+struct MemberPlan {
+  bool phase0_reject = false;  ///< rejected before the admission test
+  bool admitted = false;
+  std::size_t delta_slot = 0;       ///< index into the batch delta array
+  AdmissionOutcome outcome;
+  std::string status_detail;        ///< phase-0 audit/status detail
+  BitsPerSecond audit_residual = 0.0;
+  AuditEntry audit;
+};
+
 // Per-thread reusable buffers for the fast path: once the vectors reach
 // path length, a request performs no heap allocation outside string
 // building.
@@ -46,6 +120,27 @@ thread_local AdmissionScratch t_scratch;
 thread_local PathSnapshot t_snap;
 thread_local BookingDelta t_delta;
 thread_local BookingDelta t_delta_old;
+thread_local std::vector<MemberPlan> t_plans;
+thread_local std::vector<BookingDelta> t_batch_deltas;
+thread_local std::vector<const BookingDelta*> t_delta_ptrs;
+
+/// Evolve a path snapshot by one member's committed-to-be booking: the
+/// delta's items are in hop order (make_delta walks snap.storage), so this
+/// is a parallel walk, followed by recomputing C_res^P with the same
+/// min-fold snapshot capture uses — the evolved values are bit-identical
+/// to the live state right after this member's commit.
+void evolve_snapshot(PathSnapshot* snap, const BookingDelta& delta) {
+  QOSBB_REQUIRE(delta.items.size() == snap->storage.size(),
+                "batch evolve: delta does not match path");
+  BitsPerSecond res = std::numeric_limits<BitsPerSecond>::infinity();
+  for (std::size_t i = 0; i < snap->storage.size(); ++i) {
+    const LinkBooking& b = delta.items[i];
+    snap->storage[i].apply_booking(b.rate, b.buffer, b.edf, b.delay, b.l_max);
+    res = std::min(res, snap->storage[i].residual());
+  }
+  snap->c_res = res;
+}
+
 }  // namespace
 
 ConcurrentBrokerFront::ConcurrentBrokerFront(BandwidthBroker& bb, int threads)
@@ -155,6 +250,27 @@ bool ConcurrentBrokerFront::try_request_fast(const FlowServiceRequest& request,
     return true;
   }
 
+  // Lock-free pre-filter: predict the admission verdict from the links'
+  // relaxed-atomic utilization mirrors before touching any shard lock. The
+  // prediction is recorded against the authoritative Phase-1 verdict below
+  // — it never short-circuits the test, so no admission decision can ever
+  // differ from the sequential broker's.
+  Prefilter pred = Prefilter::kUnknown;
+  if (candidates.size() == 1) {
+    const PathRecord& rec0 = bb_.paths_.record(candidates.front());
+    const std::vector<const LinkQosState*>& links0 =
+        bb_.paths_.link_states(candidates.front(), bb_.store_.nodes());
+    pred = prefilter_predict(
+        rec0, request.profile, request.e2e_delay_req, links0.size(),
+        [&links0](std::size_t i) {
+          return links0[i]->capacity() - links0[i]->opt_reserved();
+        },
+        [&links0](std::size_t i) {
+          return links0[i]->buffer_capacity() -
+                 links0[i]->opt_buffer_reserved();
+        });
+  }
+
   // Phase 1: optimistic snapshot/test/commit per candidate. A commit
   // conflict means some other request committed on a shared link since the
   // snapshot — retry against fresh state (system-wide progress holds:
@@ -183,6 +299,10 @@ bool ConcurrentBrokerFront::try_request_fast(const FlowServiceRequest& request,
     if (chosen != kInvalidPathId) break;
   }
   t_snap.clear();  // release the shared knot arrays promptly
+
+  if (pred != Prefilter::kUnknown) {
+    record_prefilter(pred == Prefilter::kAdmit, chosen != kInvalidPathId);
+  }
 
   if (chosen == kInvalidPathId) {
     audit.path = candidates.front();
@@ -236,6 +356,240 @@ bool ConcurrentBrokerFront::try_request_fast(const FlowServiceRequest& request,
   res.e2e_bound = outcome.e2e_bound;
   out->outcome = outcome;
   out->result = std::move(res);
+  return true;
+}
+
+std::vector<FrontOutcome> ConcurrentBrokerFront::submit_batch(
+    std::span<const FlowServiceRequest> requests, Seconds now) {
+  std::vector<FrontOutcome> outs(requests.size());
+  if (requests.empty()) return outs;
+  const std::vector<std::size_t> order = batch_grouped_order(requests);
+  std::size_t g = 0;
+  while (g < order.size()) {
+    const FlowServiceRequest& head = requests[order[g]];
+    std::size_t e = g + 1;
+    while (e < order.size() && requests[order[e]].ingress == head.ingress &&
+           requests[order[e]].egress == head.egress) {
+      ++e;
+    }
+    const std::span<const std::size_t> members(order.data() + g, e - g);
+    if (!fast_eligible_ || !try_group_fast(members, requests, now, &outs)) {
+      // Group shapes the single-snapshot path does not handle run
+      // per-member — which IS the batch's defined semantics (one-at-a-time
+      // in grouped order), so this fallback is exact, just unamortized.
+      for (const std::size_t idx : members) {
+        outs[idx] = request_service(requests[idx], now);
+      }
+    }
+    g = e;
+  }
+  return outs;
+}
+
+bool ConcurrentBrokerFront::try_group_fast(
+    std::span<const std::size_t> members,
+    std::span<const FlowServiceRequest> requests, Seconds now,
+    std::vector<FrontOutcome>* outs)
+    NO_THREAD_SAFETY_ANALYSIS /* dynamic shard-lock sets; big_ held shared */ {
+  SharedLock guard(big_);
+  const FlowServiceRequest& head = requests[members.front()];
+  const std::vector<PathId>& candidates =
+      bb_.paths_.find_all_ref(head.ingress, head.egress);
+  // The group path handles the canonical min-hop shape: exactly one
+  // provisioned candidate. Unprovisioned pairs (need exclusive-mode
+  // provisioning) and multi-candidate configurations (per-member candidate
+  // iteration) fall back to per-member execution.
+  if (candidates.size() != 1) return false;
+  const PathId chosen = candidates.front();
+  const PathRecord& rec = bb_.paths_.record(chosen);
+  const std::vector<const LinkQosState*>& links =
+      bb_.paths_.link_states(chosen, bb_.store_.nodes());
+
+  const std::size_t k = members.size();
+  t_plans.resize(k);
+
+  // Single pass in member order: phase 0 (rate limiter + policy, exactly
+  // once per member — results are cached in the plan so a later OCC
+  // fallback never re-runs them), then the admission test against the
+  // EVOLVED snapshot. One snapshot capture serves the whole group.
+  bb_.store_.snapshot_path(rec, links, &t_snap);
+  std::size_t inbatch_admits = 0;  // tentative admits, same ingress by def.
+  std::size_t n_admitted = 0;
+  for (std::size_t m = 0; m < k; ++m) {
+    const FlowServiceRequest& request = requests[members[m]];
+    MemberPlan& plan = t_plans[m];
+    plan = MemberPlan{};
+    ++bb_.stats_.requests;
+    plan.audit.time = now;
+    plan.audit.kind = AuditKind::kPerFlowRequest;
+    plan.audit.ingress = request.ingress;
+    plan.audit.egress = request.egress;
+    plan.audit.requested_rho = request.profile.rho;
+    plan.audit.requested_delay = request.e2e_delay_req;
+
+    // Phase 0a: broker overload protection, one token per member in order.
+    if (!bb_.request_rate_ok(request.ingress, now)) {
+      plan.phase0_reject = true;
+      plan.outcome.reason = RejectReason::kPolicy;
+      plan.outcome.detail = "signaling rate limit";
+      plan.status_detail =
+          "signaling rate limit exceeded for " + request.ingress;
+      continue;
+    }
+    // Phase 0b: policy control. Tentative in-batch admits from this group
+    // count toward the ingress total — exactly the flows one-at-a-time
+    // execution would have added before this member ran.
+    std::size_t nflows = 0;
+    {
+      MutexLock fg(flow_mu_);
+      nflows = bb_.flows_from_ingress(request.ingress);
+    }
+    nflows += inbatch_admits;
+    if (Status pol = bb_.policy_.check(request, nflows); !pol.is_ok()) {
+      plan.phase0_reject = true;
+      plan.outcome.reason = RejectReason::kPolicy;
+      plan.outcome.detail = pol.message();
+      plan.status_detail = pol.message();
+      continue;
+    }
+
+    // Pre-filter prediction against the evolved snapshot scalars (the
+    // batch-local equivalent of the live mirrors, which cannot yet reflect
+    // uncommitted in-batch members). Verified against the verdict below.
+    const Prefilter pred = prefilter_predict(
+        rec, request.profile, request.e2e_delay_req, t_snap.storage.size(),
+        [](std::size_t i) { return t_snap.storage[i].residual(); },
+        [](std::size_t i) { return t_snap.storage[i].buffer_residual(); });
+
+    plan.outcome = AdmissionEngine::test(t_snap, request.profile,
+                                         request.e2e_delay_req, &t_scratch);
+    if (pred != Prefilter::kUnknown) {
+      record_prefilter(pred == Prefilter::kAdmit, plan.outcome.admitted);
+    }
+    if (plan.outcome.admitted) {
+      if (t_batch_deltas.size() <= n_admitted) t_batch_deltas.emplace_back();
+      BookingDelta& delta = t_batch_deltas[n_admitted];
+      AdmissionEngine::make_delta(t_snap, plan.outcome.params,
+                                  request.profile, &delta);
+      evolve_snapshot(&t_snap, delta);
+      plan.admitted = true;
+      plan.delta_slot = n_admitted++;
+      ++inbatch_admits;
+    }
+    // Audit headroom: the evolved C_res^P at this point equals the live
+    // residual one-at-a-time execution reads right after this member
+    // commits (admit) or is turned away (reject).
+    plan.audit_residual = t_snap.c_res;
+  }
+
+  // Group commit: one shard-lock acquisition, one validation pass against
+  // the base versions, every member applied in order.
+  bool committed = true;
+  if (n_admitted > 0) {
+    t_delta_ptrs.clear();
+    for (std::size_t i = 0; i < n_admitted; ++i) {
+      t_delta_ptrs.push_back(&t_batch_deltas[i]);
+    }
+    committed = bb_.store_.try_commit_batch(t_delta_ptrs);
+  }
+  t_snap.clear();
+
+  if (!committed) {
+    // Some other thread committed on a shared link since the group
+    // snapshot. Only the members that needed admission re-run, each
+    // through the standard per-request OCC retry loop (phase-0 results
+    // stand — the limiter token was consumed and the policy decision was
+    // valid when taken).
+    occ_conflicts_.fetch_add(1, std::memory_order_relaxed);
+    for (std::size_t m = 0; m < k; ++m) {
+      MemberPlan& plan = t_plans[m];
+      if (plan.phase0_reject) continue;
+      const FlowServiceRequest& request = requests[members[m]];
+      plan.admitted = false;
+      for (;;) {
+        bb_.store_.snapshot_path(rec, links, &t_snap);
+        plan.outcome = AdmissionEngine::test(t_snap, request.profile,
+                                             request.e2e_delay_req,
+                                             &t_scratch);
+        if (!plan.outcome.admitted) break;
+        AdmissionEngine::make_delta(t_snap, plan.outcome.params,
+                                    request.profile, &t_delta);
+        if (bb_.store_.try_commit(t_delta)) {
+          plan.admitted = true;
+          break;
+        }
+        occ_conflicts_.fetch_add(1, std::memory_order_relaxed);
+      }
+      t_snap.clear();
+      {
+        LinkStateStore::ShardLockSet sg(bb_.store_, links);
+        plan.audit_residual = residual_over(links);
+      }
+    }
+  }
+
+  // Phase 2, deferred: flow-table bookkeeping, stats, audit, and outcome
+  // assembly for every member under ONE flow_mu_ hold, in member order —
+  // the audit sequence and flow IDs come out identical to one-at-a-time
+  // execution.
+  MutexLock fg(flow_mu_);
+  for (std::size_t m = 0; m < k; ++m) {
+    MemberPlan& plan = t_plans[m];
+    const FlowServiceRequest& request = requests[members[m]];
+    FrontOutcome& out = (*outs)[members[m]];
+    if (plan.phase0_reject) {
+      ++bb_.stats_.rejected[plan.outcome.reason];
+      plan.audit.admitted = false;
+      plan.audit.reason = plan.outcome.reason;
+      plan.audit.detail = plan.status_detail;
+      bb_.audit_.record(std::move(plan.audit));
+      out.outcome = plan.outcome;
+      out.result = Status::rejected(
+          std::string(reject_reason_name(plan.outcome.reason)) + ": " +
+          plan.status_detail);
+    } else if (!plan.admitted) {
+      ++bb_.stats_.rejected[plan.outcome.reason];
+      plan.audit.admitted = false;
+      plan.audit.reason = plan.outcome.reason;
+      plan.audit.detail = plan.outcome.detail;
+      plan.audit.path = chosen;
+      plan.audit.path_residual = plan.audit_residual;
+      bb_.audit_.record(std::move(plan.audit));
+      out.outcome = plan.outcome;
+      out.result = Status::rejected(
+          std::string(reject_reason_name(plan.outcome.reason)) + ": " +
+          plan.outcome.detail);
+    } else {
+      FlowRecord flow;
+      flow.id = bb_.flows_.next_id();
+      flow.kind = FlowKind::kPerFlow;
+      flow.profile = request.profile;
+      flow.e2e_delay_req = request.e2e_delay_req;
+      flow.path = chosen;
+      flow.reservation = plan.outcome.params;
+      flow.admitted_at = now;
+      flow.priority = request.priority;
+      bb_.flows_.add(flow);
+      ++bb_.ingress_flows_[request.ingress];
+      ++bb_.stats_.admitted;
+
+      plan.audit.admitted = true;
+      plan.audit.flow = flow.id;
+      plan.audit.path = chosen;
+      plan.audit.granted_rate = plan.outcome.params.rate;
+      plan.audit.granted_delay = plan.outcome.params.delay;
+      plan.audit.path_residual = plan.audit_residual;
+      bb_.audit_.record(std::move(plan.audit));
+
+      Reservation res;
+      res.flow = flow.id;
+      res.path = chosen;
+      res.params = plan.outcome.params;
+      res.e2e_bound = plan.outcome.e2e_bound;
+      out.outcome = plan.outcome;
+      out.result = std::move(res);
+    }
+  }
   return true;
 }
 

@@ -30,11 +30,13 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <type_traits>
@@ -115,6 +117,29 @@ class ConcurrentBrokerFront {
   FrontOutcome renegotiate_service(FlowId flow, Seconds new_delay_req,
                                    Seconds now = 0.0);
 
+  /// Batched admission. Executes the batch with the semantics of
+  /// one-at-a-time request_service calls in batch_grouped_order, but pays
+  /// the per-path costs once per GROUP instead of once per request: one
+  /// PathSnapshot capture, one shard-lock acquisition for the group's OCC
+  /// validate/commit (LinkStateStore::try_commit_batch), and one flow-table
+  /// mutex hold for the bookkeeping of every member. Members after the
+  /// first are tested against a locally EVOLVED snapshot (LinkSnapshot::
+  /// apply_booking), so their verdicts are bit-identical to what they would
+  /// have seen live after the earlier members committed. If the group
+  /// commit loses its OCC validation, only the conflicting residue falls
+  /// back to the per-request retry loop. Outcomes are indexed by submission
+  /// position.
+  std::vector<FrontOutcome> submit_batch(
+      std::span<const FlowServiceRequest> requests, Seconds now = 0.0);
+
+  /// submit_batch dispatched onto the worker pool.
+  std::future<std::vector<FrontOutcome>> submit_batch_request(
+      std::vector<FlowServiceRequest> requests, Seconds now = 0.0) {
+    return pool_.submit([this, requests = std::move(requests), now] {
+      return submit_batch(requests, now);
+    });
+  }
+
   // ---- Same, dispatched onto the worker pool ----
   std::future<FrontOutcome> submit_request(FlowServiceRequest request,
                                            Seconds now = 0.0) {
@@ -162,6 +187,29 @@ class ConcurrentBrokerFront {
   /// absence on disjoint ones).
   std::uint64_t occ_conflicts() const { return occ_conflicts_.load(); }
 
+  /// Counters of the lock-free admission pre-filter (relaxed-atomic
+  /// utilization mirrors on each link). The pre-filter is a verified hint:
+  /// its prediction never replaces the full §3.1/§3.2 test — the engine
+  /// verdict is always computed and always wins. `checked` counts requests
+  /// where the pre-filter committed to a verdict (fast-accept or
+  /// fast-reject), `agreed` how many of those matched the authoritative
+  /// test. Against quiescent state (every prior operation fully committed,
+  /// as in the barrier-sequentialized fuzz harness) the mirrors equal the
+  /// locked state bit-for-bit and the pre-filter replicates the admission
+  /// comparisons exactly, so agreed == checked is an invariant there; under
+  /// live concurrency the mirrors may lag and a disagreement just means the
+  /// hint was stale.
+  struct PrefilterStats {
+    std::uint64_t checked = 0;
+    std::uint64_t predicted_admit = 0;
+    std::uint64_t predicted_reject = 0;
+    std::uint64_t agreed = 0;
+  };
+  PrefilterStats prefilter_stats() const {
+    return {prefilter_checked_.load(), prefilter_predicted_admit_.load(),
+            prefilter_predicted_reject_.load(), prefilter_agreed_.load()};
+  }
+
  private:
   /// The optimistic admit fast path, under shared big_. Returns false when
   /// the pair has no provisioned path yet (caller escalates to exclusive).
@@ -176,6 +224,23 @@ class ConcurrentBrokerFront {
   /// shard locks.
   static BitsPerSecond residual_over(
       const std::vector<const LinkQosState*>& links);
+  /// The single-snapshot group path of submit_batch: all of `members` share
+  /// one (ingress, egress) pair. Returns false when the group shape is not
+  /// handled (no / multiple provisioned candidates) and the caller should
+  /// fall back to per-member request_service in grouped order.
+  bool try_group_fast(std::span<const std::size_t> members,
+                      std::span<const FlowServiceRequest> requests,
+                      Seconds now, std::vector<FrontOutcome>* outs);
+  /// Record one committed pre-filter prediction against the authoritative
+  /// verdict.
+  void record_prefilter(bool predicted_admit, bool actual_admit) {
+    prefilter_checked_.fetch_add(1, std::memory_order_relaxed);
+    (predicted_admit ? prefilter_predicted_admit_ : prefilter_predicted_reject_)
+        .fetch_add(1, std::memory_order_relaxed);
+    if (predicted_admit == actual_admit) {
+      prefilter_agreed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
 
   BandwidthBroker& bb_;
   /// Fast-path eligibility, fixed by the wrapped broker's options: min-hop
@@ -187,6 +252,10 @@ class ConcurrentBrokerFront {
   /// broker during fast-path operation.
   Mutex flow_mu_ ACQUIRED_AFTER(big_);
   std::atomic<std::uint64_t> occ_conflicts_{0};
+  std::atomic<std::uint64_t> prefilter_checked_{0};
+  std::atomic<std::uint64_t> prefilter_predicted_admit_{0};
+  std::atomic<std::uint64_t> prefilter_predicted_reject_{0};
+  std::atomic<std::uint64_t> prefilter_agreed_{0};
   WorkerPool pool_;
 };
 

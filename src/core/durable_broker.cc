@@ -483,6 +483,88 @@ Result<Reservation> DurableBroker::request_service(
   return res;
 }
 
+std::vector<Result<Reservation>> DurableBroker::request_service_batch(
+    std::span<const RequestId> rids,
+    std::span<const FlowServiceRequest> requests, Seconds now) {
+  QOSBB_REQUIRE(rids.size() == requests.size(),
+                "request_service_batch: rid/request count mismatch");
+  std::vector<Result<Reservation>> results(
+      requests.size(), Result<Reservation>(Status::rejected("unset")));
+  const std::vector<std::size_t> order = batch_grouped_order(requests);
+
+  // Fresh members executed this batch, in grouped order: their journal
+  // payloads (request ++ outcome) buffer up for ONE group append, and
+  // their outcomes serve in-batch duplicate rids before the window does.
+  struct Fresh {
+    std::size_t idx = 0;
+    WireBuffer outcome;
+  };
+  std::vector<Fresh> fresh;
+  std::vector<WireBuffer> payloads;
+  std::unordered_map<RequestId, std::size_t> in_batch;  // rid -> fresh slot
+
+  for (const std::size_t idx : order) {
+    const RequestId rid = rids[idx];
+    Status mismatch = Status::ok();
+    if (const Decision* d =
+            find_decision(rid, JournalOpKind::kAdmit, &mismatch)) {
+      results[idx] = decode_reservation_outcome(d->outcome, "admit");
+      continue;
+    }
+    if (!mismatch.is_ok()) {
+      results[idx] = mismatch;
+      continue;
+    }
+    if (rid != kNoRequestId) {
+      if (auto it = in_batch.find(rid); it != in_batch.end()) {
+        ++stats_.dedup_hits;
+        results[idx] =
+            decode_reservation_outcome(fresh[it->second].outcome, "admit");
+        continue;
+      }
+    }
+    const FlowServiceRequest& request = requests[idx];
+    WireWriter q;
+    q.u64(rid);
+    put_profile(q, request.profile);
+    q.f64(request.e2e_delay_req);
+    q.i64(request.priority);
+    q.str(request.ingress);
+    q.str(request.egress);
+    q.f64(now);
+    auto res = bb_->request_service(request, now);
+    WireBuffer outcome = encode_reservation_outcome(res, bb_->last_outcome());
+    WireBuffer payload = q.take();
+    payload.insert(payload.end(), outcome.begin(), outcome.end());
+    payloads.push_back(std::move(payload));
+    results[idx] = std::move(res);
+    if (rid != kNoRequestId) in_batch.emplace(rid, fresh.size());
+    fresh.push_back(Fresh{idx, std::move(outcome)});
+  }
+  if (fresh.empty()) return results;
+
+  // Group commit: every fresh record framed at a consecutive LSN, one
+  // durable append for the whole batch.
+  const WireBuffer frame =
+      frame_journal_group(next_lsn_, JournalOpKind::kAdmit, payloads);
+  if (Status s = file_.append(frame); !s.is_ok()) {
+    for (const Fresh& f : fresh) results[f.idx] = s;
+    return results;
+  }
+  next_lsn_ += fresh.size();
+  stats_.appended += fresh.size();
+  records_since_anchor_ += fresh.size();
+  for (Fresh& f : fresh) {
+    remember(rids[f.idx], JournalOpKind::kAdmit, std::move(f.outcome));
+  }
+  if (options_.anchor_every > 0 &&
+      records_since_anchor_ >= options_.anchor_every &&
+      bb_->classes().active_grants() == 0) {
+    (void)checkpoint();  // best-effort, as in log_decision
+  }
+  return results;
+}
+
 Status DurableBroker::release_service(RequestId rid, FlowId flow) {
   Status mismatch = Status::ok();
   if (const Decision* d =

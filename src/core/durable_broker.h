@@ -32,8 +32,10 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/broker.h"
 #include "core/journal.h"
@@ -84,6 +86,21 @@ class DurableBroker {
   Result<Reservation> request_service(RequestId rid,
                                       const FlowServiceRequest& request,
                                       Seconds now);
+  /// Batched admission with group commit. Decisions are identical to
+  /// calling request_service once per member in batch_grouped_order (the
+  /// broker executes the members one at a time in exactly that order), but
+  /// all FRESH members' kAdmit records are appended as ONE multi-record
+  /// frame with consecutive LSNs — one durable append (one flush on an
+  /// FsJournalFile) instead of one per member. Remembered rids replay
+  /// their recorded decision without re-executing or re-logging; a rid
+  /// repeated WITHIN the batch dedups against the earlier member's
+  /// decision. If the group append fails, every fresh member reports the
+  /// append error and nothing is remembered (the same unacknowledged-
+  /// mutation state a failed single append leaves). Results are indexed by
+  /// submission position.
+  std::vector<Result<Reservation>> request_service_batch(
+      std::span<const RequestId> rids,
+      std::span<const FlowServiceRequest> requests, Seconds now);
   Status release_service(RequestId rid, FlowId flow);
   Result<Reservation> renegotiate_service(RequestId rid, FlowId flow,
                                           Seconds new_delay_req, Seconds now);

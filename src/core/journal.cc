@@ -92,6 +92,17 @@ WireBuffer frame_journal_record(std::uint64_t lsn, JournalOpKind kind,
   return out;
 }
 
+WireBuffer frame_journal_group(std::uint64_t first_lsn, JournalOpKind kind,
+                               std::span<const WireBuffer> payloads) {
+  WireBuffer out;
+  std::uint64_t lsn = first_lsn;
+  for (const WireBuffer& payload : payloads) {
+    const WireBuffer rec = frame_journal_record(lsn++, kind, payload);
+    out.insert(out.end(), rec.begin(), rec.end());
+  }
+  return out;
+}
+
 JournalScan scan_journal(const WireBuffer& bytes) {
   JournalScan scan;
   std::size_t pos = 0;

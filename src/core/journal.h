@@ -36,6 +36,7 @@
 #define QOSBB_CORE_JOURNAL_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -121,6 +122,17 @@ std::uint32_t journal_crc32(const std::uint8_t* data, std::size_t n);
 /// Frame one record (see the layout above). Infallible.
 WireBuffer frame_journal_record(std::uint64_t lsn, JournalOpKind kind,
                                 const WireBuffer& payload);
+
+/// Frame a GROUP of payloads as one contiguous multi-record frame: each
+/// member is individually framed (consecutive LSNs starting at first_lsn)
+/// and the frames are concatenated. One durable append of the result
+/// commits the whole group with a single flush. Recovery needs no new
+/// cases: every member keeps its own length/CRC framing, so a crash that
+/// cuts the frame anywhere yields the clean member-record prefix plus at
+/// most one torn member (dropped as the usual torn tail) — all-or-prefix
+/// at record granularity, never a half-applied member.
+WireBuffer frame_journal_group(std::uint64_t first_lsn, JournalOpKind kind,
+                               std::span<const WireBuffer> payloads);
 
 struct JournalScan {
   std::vector<JournalRecord> records;  ///< the valid prefix, in LSN order

@@ -39,6 +39,24 @@ bool LinkStateStore::try_commit(const BookingDelta& delta) {
   return true;
 }
 
+bool LinkStateStore::try_commit_batch(
+    std::span<const BookingDelta* const> deltas) {
+  ShardLockSet guard(*this, deltas);
+  // Whole-group validation against the base versions: every member's
+  // expected_version comes from the one group snapshot, so a link touched
+  // by several members compares against the same base each time — one
+  // unchanged live version proves the premise for all of them.
+  for (const BookingDelta* delta : deltas) {
+    for (const LinkBooking& b : delta->items) {
+      if (b.link->state_version() != b.expected_version) return false;
+    }
+  }
+  // Apply in member order — the exact mutation sequence one-at-a-time
+  // execution in grouped order would have produced.
+  for (const BookingDelta* delta : deltas) apply(*delta);
+  return true;
+}
+
 void LinkStateStore::apply(const BookingDelta& delta) {
   for (const LinkBooking& b : delta.items) {
     // The node MIB keys links const through the path caches; bookkeeping is

@@ -82,6 +82,21 @@ class LinkStateStore {
         store_.shards_[shards_[i]].lock();
       }
     }
+    /// Covering locks of a batch: the union of every member delta's links,
+    /// still one deduplicated ascending acquisition pass.
+    ShardLockSet(LinkStateStore& store,
+                 std::span<const BookingDelta* const> deltas)
+        NO_THREAD_SAFETY_ANALYSIS : store_(store) {
+      count_ = 0;
+      for (const BookingDelta* delta : deltas) {
+        for (const LinkBooking& b : delta->items) {
+          add_shard(store.shard_of(b.link));
+        }
+      }
+      for (std::size_t i = 0; i < count_; ++i) {
+        store_.shards_[shards_[i]].lock();
+      }
+    }
     ~ShardLockSet() NO_THREAD_SAFETY_ANALYSIS {
       for (std::size_t i = count_; i > 0; --i) {
         store_.shards_[shards_[i - 1]].unlock();
@@ -128,6 +143,17 @@ class LinkStateStore {
   /// apply. Returns false (and applies nothing) on any mismatch — the
   /// caller re-snapshots and re-tests.
   bool try_commit(const BookingDelta& delta);
+
+  /// Batch optimistic commit: one shard-lock acquisition and one
+  /// validation pass over the UNION of the member deltas, then every
+  /// member applied in submission order. All expected_versions are BASE
+  /// versions (captured by one group snapshot); a link booked by several
+  /// members is validated once against that base — later members were
+  /// tested on an EVOLVED snapshot of the same base, so a single unchanged
+  /// version proves the whole group's premise. Returns false (and applies
+  /// nothing) on any mismatch — the caller falls back to per-member OCC
+  /// retry for the conflicting residue.
+  bool try_commit_batch(std::span<const BookingDelta* const> deltas);
 
   /// Raw bookkeeping of one reservation: reserve rate + buffer and install
   /// the EDF entries. Caller must be the sole writer of the touched links

@@ -11,12 +11,14 @@
 #ifndef QOSBB_CORE_NODE_MIB_H_
 #define QOSBB_CORE_NODE_MIB_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/types.h"
@@ -26,12 +28,62 @@
 
 namespace qosbb {
 
+/// Struct-of-arrays knot cache of an EDF reservation set, ascending in d.
+/// Index k holds the distinct delay d^k, the per-bucket sums at d^k, the
+/// prefix sums over all knots <= d^k, and the residual service S^k = R(d^k).
+/// The columnar layout keeps the §3.2 Figure-4 scan
+///   S^k < r·(d^k − d) + L
+/// a loop over dense contiguous doubles, which the compiler vectorizes; the
+/// AoS KnotPrefix layout it replaces strided every field by 32 bytes.
+///
+/// The bucket columns carry the SAME per-delay sums as the edf_buckets()
+/// map, so a snapshot can evolve a copy incrementally (insert_entry) and
+/// land on prefixes bit-identical to a from-scratch rebuild after the same
+/// mutation — float prefix sums are not invertible, bucket sums are.
+struct KnotArray {
+  std::vector<Seconds> d;           ///< distinct delays d^k, ascending
+  std::vector<double> bucket_rate;  ///< Σ r_j of the bucket at d^k
+  std::vector<double> bucket_l;     ///< Σ L_j of the bucket at d^k
+  std::vector<double> rate_sum;     ///< Σ r_j over knots <= d^k
+  std::vector<double> fixed_sum;    ///< Σ (L_j − r_j·d_j) over knots <= d^k
+  std::vector<double> s;            ///< S^k = C·d^k − (rate_sum·d^k + fixed_sum)
+
+  std::size_t size() const { return d.size(); }
+  bool empty() const { return d.empty(); }
+  void clear();
+  void reserve(std::size_t n);
+  /// Append one bucket column (d strictly ascending); prefixes are NOT
+  /// updated — call recompute_prefixes() after the last bucket.
+  void push_bucket(Seconds delay, double sum_rate, double sum_l);
+  /// Recompute rate_sum/fixed_sum/s from the bucket columns with the exact
+  /// arithmetic of LinkQosState::rebuild_knot_cache: the same left-to-right
+  /// walk over the same bucket sums yields bit-identical prefixes, which is
+  /// what lets an evolved snapshot (LinkSnapshot::apply_booking) match the
+  /// live MIB after commit to the last ulp.
+  void recompute_prefixes(double capacity);
+  /// Same walk, resumed at knot `from` with the accumulated sums stored at
+  /// `from − 1` — bit-identical to the full walk (prefix accumulation is
+  /// left-to-right), at suffix-only cost after a single-knot mutation.
+  void recompute_prefixes_from(double capacity, std::size_t from);
+  /// Upsert one entry ⟨r, d, L⟩ into the bucket columns (the snapshot-side
+  /// mirror of add_edf_entry) and recompute the prefixes.
+  void insert_entry(double capacity, double r, Seconds delay, double l_max);
+  /// Index of the first knot with d[k] >= t / d[k] > t.
+  std::size_t lower_bound(Seconds t) const;
+  std::size_t upper_bound(Seconds t) const;
+};
+
 /// QoS reservation state of one link (one scheduler).
 class LinkQosState {
  public:
   LinkQosState(std::string name, BitsPerSecond capacity, SchedPolicy policy,
                Seconds error_term, Seconds propagation_delay,
                Bits buffer_capacity);
+
+  // The pre-filter mirror counters are atomics, so link state lives pinned
+  // in the MIB map — never copied or moved.
+  LinkQosState(const LinkQosState&) = delete;
+  LinkQosState& operator=(const LinkQosState&) = delete;
 
   const std::string& name() const { return name_; }
   BitsPerSecond capacity() const { return capacity_; }
@@ -74,6 +126,20 @@ class LinkQosState {
   Status reserve_buffer(Bits b);
   void release_buffer(Bits b);
 
+  // --- Lock-free pre-filter mirrors (sledge-style utilization counters).
+  // Plain relaxed stores of reserved_/buffer_reserved_ written by every
+  // mutator WHILE IT HOLDS the shard lock, readable without any lock. In a
+  // quiescent state they are bit-equal to the locked values; a concurrent
+  // reader may observe a slightly stale value, which is why the pre-filter
+  // that reads them is only a verified hint (ConcurrentBrokerFront) and
+  // never a verdict. ---
+  double opt_reserved() const {
+    return opt_reserved_.load(std::memory_order_relaxed);
+  }
+  double opt_buffer_reserved() const {
+    return opt_buffer_reserved_.load(std::memory_order_relaxed);
+  }
+
   /// Install / remove a delay-based reservation entry ⟨r, d, L⟩. Valid only
   /// on delay-based links; `reserve`/`release` must be called separately
   /// (the broker's bookkeeping keeps both in sync).
@@ -88,31 +154,23 @@ class LinkQosState {
   };
   const std::map<Seconds, EdfBucket>& edf_buckets() const { return edf_; }
 
-  /// One cached knot of the EDF reservation set: the distinct delay d, the
-  /// prefix sums over all knots <= d, and the residual service S = R(d).
-  /// demand(t) for t in [d, next knot) is rate_sum·t + fixed_sum.
-  struct KnotPrefix {
-    Seconds d = 0.0;
-    double rate_sum = 0.0;   ///< Σ r_j over knots <= d
-    double fixed_sum = 0.0;  ///< Σ (L_j − r_j·d_j) over knots <= d
-    double s = 0.0;          ///< S = C·d − (rate_sum·d + fixed_sum)
-  };
-  /// The sorted knot array with prefix sums, ascending in d. Rebuilt lazily
-  /// (dirty flag set by add/remove_edf_entry) with the exact arithmetic of a
-  /// from-scratch walk, so cached values are bit-identical to recomputation.
-  /// The returned reference stays valid until the next EDF mutation.
-  const std::vector<KnotPrefix>& knot_prefixes() const {
+  /// The sorted knot array with prefix sums, ascending in d (struct-of-
+  /// arrays; see KnotArray). Rebuilt lazily (dirty flag set by
+  /// add/remove_edf_entry) with the exact arithmetic of a from-scratch
+  /// walk, so cached values are bit-identical to recomputation. The
+  /// returned reference stays valid until the next EDF mutation.
+  const KnotArray& knot_prefixes() const {
     if (knots_dirty_) rebuild_knot_cache();
     return *knot_cache_;
   }
 
   /// Shared ownership of the current knot array for immutable per-request
   /// snapshots (LinkSnapshot). The array behind the pointer is never mutated
-  /// in place: rebuilds publish a fresh (double-buffered) vector, so holders
+  /// in place: rebuilds publish a fresh (double-buffered) array, so holders
   /// keep a consistent copy for free while the link moves on. Callers in
   /// concurrent mode must hold the link's shard lock for the duration of
   /// this call (the rebuild mutates the cache slots).
-  std::shared_ptr<const std::vector<KnotPrefix>> knots_shared() const {
+  std::shared_ptr<const KnotArray> knots_shared() const {
     if (knots_dirty_) rebuild_knot_cache();
     return knot_cache_;
   }
@@ -121,9 +179,7 @@ class LinkQosState {
   bool knots_dirty() const { return knots_dirty_; }
   /// The raw cached array WITHOUT triggering a rebuild (differential-test
   /// hook; may be stale when knots_dirty()).
-  const std::vector<KnotPrefix>& raw_knot_cache() const {
-    return *knot_cache_;
-  }
+  const KnotArray& raw_knot_cache() const { return *knot_cache_; }
   /// TEST ONLY: clear the dirty flag without rebuilding — simulates a
   /// missed invalidation so harnesses can prove they would catch one.
   void testonly_mark_knots_clean() { knots_dirty_ = false; }
@@ -152,24 +208,27 @@ class LinkQosState {
   std::size_t flows_ = 0;
   std::uint64_t rate_version_ = 0;
   std::uint64_t state_version_ = 0;
+  std::atomic<double> opt_reserved_{0.0};
+  std::atomic<double> opt_buffer_reserved_{0.0};
   std::map<Seconds, EdfBucket> edf_;
-  /// Lazily rebuilt mirror of edf_ as a flat sorted array with prefix sums
-  /// (the §3.2 S^k values and the OwnDeadline prefixes in one structure).
-  /// Copy-on-write double buffer: rebuilds fill the spare vector (reused
-  /// when no snapshot still references it — the sequential steady state
-  /// allocates nothing) and swap it in, so shared_ptr holders taken by
-  /// knots_shared() keep reading an immutable array.
-  mutable std::shared_ptr<std::vector<KnotPrefix>> knot_cache_;
-  mutable std::shared_ptr<std::vector<KnotPrefix>> knot_spare_;
+  /// Lazily rebuilt mirror of edf_ as a flat sorted struct-of-arrays with
+  /// prefix sums (the §3.2 S^k values and the OwnDeadline prefixes in one
+  /// structure). Copy-on-write double buffer: rebuilds fill the spare array
+  /// (reused when no snapshot still references it — the sequential steady
+  /// state allocates nothing) and swap it in, so shared_ptr holders taken
+  /// by knots_shared() keep reading an immutable array.
+  mutable std::shared_ptr<KnotArray> knot_cache_;
+  mutable std::shared_ptr<KnotArray> knot_spare_;
   mutable bool knots_dirty_ = false;
 };
 
-/// The exact VT-EDF schedulability predicate (eq. 5/8) over a knot-prefix
-/// array — shared by LinkQosState (live MIB) and LinkSnapshot (immutable
-/// per-request copy) so both evaluate bit-identical verdicts.
-bool edf_schedulable_over(const std::vector<LinkQosState::KnotPrefix>& knots,
-                          BitsPerSecond capacity, BitsPerSecond r, Seconds d,
-                          Bits l_max);
+/// The exact VT-EDF schedulability predicate (eq. 5/8) over a knot array —
+/// shared by LinkQosState (live MIB) and LinkSnapshot (immutable
+/// per-request copy) so both evaluate bit-identical verdicts. The Figure-4
+/// scan runs blocked over the dense s/d columns so it vectorizes; the
+/// per-element comparison is the exact scalar expression.
+bool edf_schedulable_over(const KnotArray& knots, BitsPerSecond capacity,
+                          BitsPerSecond r, Seconds d, Bits l_max);
 
 /// The node MIB: all links of the domain, keyed "from->to".
 class NodeMib {

@@ -17,7 +17,7 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr double kRateEps = 1e-6;  // same comparison slack as the fast path
 
 /// One knot of a link's EDF reservation set, recomputed from the raw
-/// bucket multiset (the oracle's stand-in for KnotPrefix; same ascending
+/// bucket multiset (the oracle's stand-in for the KnotArray columns; same ascending
 /// accumulation, independent code).
 struct NaiveKnot {
   double d = 0.0;
@@ -547,9 +547,10 @@ OracleStateReport oracle_check_state(
 
     if (!link.delay_based()) continue;
 
-    // 1. Cached knot prefixes vs. fresh raw-bucket walk — EXACT.
+    // 1. Cached knot prefixes vs. fresh raw-bucket walk — EXACT (column
+    // accesses into the struct-of-arrays cache).
     naive_link_knots(link, {}, ref);
-    const auto& cached = link.knot_prefixes();
+    const KnotArray& cached = link.knot_prefixes();
     if (cached.size() != ref.size()) {
       os.str("");
       os << name << ": knot cache has " << cached.size()
@@ -557,13 +558,14 @@ OracleStateReport oracle_check_state(
       report.fail(os.str());
     } else {
       for (std::size_t i = 0; i < ref.size(); ++i) {
-        if (cached[i].d != ref[i].d || cached[i].rate_sum != ref[i].rate_sum ||
-            cached[i].fixed_sum != ref[i].fixed_sum ||
-            cached[i].s != ref[i].s) {
+        if (cached.d[i] != ref[i].d ||
+            cached.rate_sum[i] != ref[i].rate_sum ||
+            cached.fixed_sum[i] != ref[i].fixed_sum ||
+            cached.s[i] != ref[i].s) {
           os.str("");
-          os << name << ": knot " << i << " cached (d " << cached[i].d
-             << ", rsum " << cached[i].rate_sum << ", fsum "
-             << cached[i].fixed_sum << ", S " << cached[i].s
+          os << name << ": knot " << i << " cached (d " << cached.d[i]
+             << ", rsum " << cached.rate_sum[i] << ", fsum "
+             << cached.fixed_sum[i] << ", S " << cached.s[i]
              << ") != reference (d " << ref[i].d << ", rsum "
              << ref[i].rate_sum << ", fsum " << ref[i].fixed_sum << ", S "
              << ref[i].s << ")";

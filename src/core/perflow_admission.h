@@ -64,16 +64,24 @@ struct PathView {
 /// knot array d^1..d^M with its S^k values, and the per-link merge
 /// cursors). Owned by the caller — the broker keeps one per instance — so
 /// the steady-state admission test performs no heap allocation.
+///
+/// merge_knots publishes the merged arrays through the `knots`/`s_vals`
+/// SPANS: with a single delay-based hop they alias the link's own KnotArray
+/// columns directly (zero copies), otherwise they alias the owned merge
+/// buffers below. The spans stay valid until the next merge or the next
+/// mutation of the underlying link cache.
 struct AdmissionScratch {
-  std::vector<Seconds> knots;
-  std::vector<double> s_vals;
-  /// Per-link [cursor, end) ranges over the cached knot arrays during the
-  /// k-way merge.
-  struct KnotRange {
-    const LinkQosState::KnotPrefix* cur = nullptr;
-    const LinkQosState::KnotPrefix* end = nullptr;
+  std::span<const Seconds> knots;
+  std::span<const double> s_vals;
+  std::vector<Seconds> knots_buf;
+  std::vector<double> s_buf;
+  /// Per-link merge cursor over a cached knot array (index into the
+  /// struct-of-arrays columns) during the k-way merge.
+  struct KnotCursor {
+    const KnotArray* ka = nullptr;
+    std::size_t i = 0;
   };
-  std::vector<KnotRange> heads;
+  std::vector<KnotCursor> heads;
 };
 
 /// §3.1 test. Requires a path with no delay-based hops.

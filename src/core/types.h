@@ -3,7 +3,9 @@
 #ifndef QOSBB_CORE_TYPES_H_
 #define QOSBB_CORE_TYPES_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -52,6 +54,16 @@ struct FlowServiceRequest {
   std::string egress;
   FlowPriority priority = kDefaultPriority;
 };
+
+/// Grouped execution order of a batch of admission requests: stable
+/// grouping by (ingress, egress) pair in first-appearance order, preserving
+/// submission order within each group. The DEFINED semantics of a batch is
+/// one-at-a-time execution in exactly this order — the concurrent front's
+/// single-snapshot group path, the durable broker's group commit, and the
+/// fuzz harness's sequential reference all execute it, which is what makes
+/// batched and sequential runs bit-identical. (Defined in broker.cc.)
+std::vector<std::size_t> batch_grouped_order(
+    std::span<const FlowServiceRequest> requests);
 
 /// Reservation push (BB -> ingress edge conditioner): configure/reconfigure
 /// the conditioner for this (macro)flow.

@@ -44,6 +44,7 @@ TEST_P(FuzzDifferential, BrokerMatchesOracle) {
   EXPECT_GT(result.snapshots, 0);
   EXPECT_GT(result.recoveries, 0);
   EXPECT_GT(result.redeliveries, 0);
+  EXPECT_GT(result.batch_admits, 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -111,8 +112,54 @@ TEST(FuzzDifferentialCanary, OracleStateCheckFlagsStaleKnotCache) {
   EXPECT_TRUE(oracle_check_state(bb).ok);
 }
 
+// Batched admission, sequential differential: every kBatchAdmit op runs
+// the batch against a journal-clone executing its members one at a time in
+// batch_grouped_order, requiring identical per-member decisions, identical
+// state digests, AND byte-identical journal contents (the group frame is
+// the same records as member-at-a-time appends, in one flush). batch_heavy
+// widens the slice to ~24% of the mix.
+TEST(FuzzBatched, BatchHeavyMixMatchesOneAtATime) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    for (const FuzzTopology topo :
+         {FuzzTopology::kFig8Mixed, FuzzTopology::kFig8RateOnly,
+          FuzzTopology::kDumbbellEdf}) {
+      FuzzConfig cfg;
+      cfg.seed = seed;
+      cfg.ops = 1000;
+      cfg.topology = topo;
+      cfg.batch_heavy = true;
+      const FuzzResult result = fuzz::run_fuzz(cfg);
+      ASSERT_TRUE(result.ok) << "seed " << seed << ": " << result.summary();
+      EXPECT_GT(result.batch_admits, 100) << "seed " << seed;
+    }
+  }
+}
+
+// Batched admission through the CONCURRENT front: submit_batch must be
+// bit-identical to the monolith executing the members one at a time, and
+// the utilization pre-filter must agree with the full admission test on
+// every prediction (asserted inside run_fuzz_threaded).
+TEST(FuzzBatched, ThreadedBatchHeavyMatchesMonolith) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    for (const FuzzTopology topo :
+         {FuzzTopology::kFig8Mixed, FuzzTopology::kFig8RateOnly,
+          FuzzTopology::kDumbbellEdf}) {
+      FuzzConfig cfg;
+      cfg.seed = seed;
+      cfg.ops = 1000;
+      cfg.topology = topo;
+      cfg.batch_heavy = true;
+      const FuzzResult result = fuzz::run_fuzz_threaded(cfg, 4);
+      ASSERT_TRUE(result.ok) << "seed " << seed << ": " << result.summary();
+      EXPECT_GT(result.batch_admits, 100) << "seed " << seed;
+    }
+  }
+}
+
 // Crash-point sweep: recover at every record boundary, inside every
-// record, and under single-bit corruption; zero divergences allowed.
+// record, and under single-bit corruption; zero divergences allowed. With
+// kBatchAdmit in the mix, multi-record group frames are cut at EVERY byte
+// (hence the much larger mid-cut floor).
 TEST(FuzzCrashSweep, EveryCrashPointRecoversExactly) {
   for (const FuzzTopology topo :
        {FuzzTopology::kFig8Mixed, FuzzTopology::kDumbbellEdf}) {
@@ -123,7 +170,7 @@ TEST(FuzzCrashSweep, EveryCrashPointRecoversExactly) {
     const fuzz::CrashSweepResult sweep = fuzz::run_crash_sweep(cfg);
     EXPECT_TRUE(sweep.ok) << sweep.summary();
     EXPECT_GT(sweep.boundaries, 0);
-    EXPECT_GT(sweep.mid_cuts, 0);
+    EXPECT_GT(sweep.mid_cuts, 1000);
     EXPECT_GT(sweep.bit_flips, 0);
     EXPECT_GT(sweep.redeliveries, 0);
   }

@@ -79,6 +79,73 @@ TEST(JournalFraming, TornTailIsCleanNotCorrupt) {
   }
 }
 
+// A multi-record group frame (frame_journal_group) cut at EVERY byte must
+// scan as all-or-prefix: the complete member records before the cut, plus
+// at most one torn member dropped as the usual torn tail — never an error,
+// never a half-parsed member.
+TEST(JournalFraming, GroupFrameEveryByteCutIsAllOrPrefix) {
+  const WireBuffer head =
+      frame_journal_record(1, JournalOpKind::kAdmit, payload_bytes({9}));
+  const std::vector<WireBuffer> payloads = {payload_bytes({1, 2, 3}),
+                                            payload_bytes({}),
+                                            payload_bytes({4, 5})};
+  const WireBuffer group =
+      frame_journal_group(2, JournalOpKind::kAdmit, payloads);
+  WireBuffer image = head;
+  image.insert(image.end(), group.begin(), group.end());
+
+  // The intact frame: one head record plus three members, consecutive LSNs.
+  const JournalScan full = scan_journal(image);
+  ASSERT_TRUE(full.error.is_ok()) << full.error.to_string();
+  EXPECT_FALSE(full.torn_tail);
+  ASSERT_EQ(full.records.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(full.records[i].lsn, i + 1) << "record " << i;
+  }
+  EXPECT_EQ(full.records[1].payload, payloads[0]);
+  EXPECT_EQ(full.records[3].payload, payloads[2]);
+
+  // Member record boundaries inside the group portion of the image.
+  std::vector<std::size_t> boundaries = {head.size()};
+  for (std::size_t i = 1; i < full.records.size(); ++i) {
+    boundaries.push_back(boundaries.back() + 12 +
+                         9 /* lsn+kind */ + full.records[i].payload.size());
+  }
+  ASSERT_EQ(boundaries.back(), image.size());
+
+  for (std::size_t cut = head.size(); cut < image.size(); ++cut) {
+    const WireBuffer prefix(image.begin(),
+                            image.begin() + static_cast<std::ptrdiff_t>(cut));
+    const JournalScan scan = scan_journal(prefix);
+    ASSERT_TRUE(scan.error.is_ok())
+        << "cut " << cut << ": " << scan.error.to_string();
+    std::size_t complete = 0;
+    while (complete + 1 < boundaries.size() &&
+           boundaries[complete + 1] <= cut) {
+      ++complete;
+    }
+    EXPECT_EQ(scan.records.size(), 1 + complete) << "cut " << cut;
+    EXPECT_EQ(scan.clean_bytes, boundaries[complete]) << "cut " << cut;
+    EXPECT_EQ(scan.torn_tail, cut != boundaries[complete]) << "cut " << cut;
+  }
+}
+
+// A bit flip anywhere inside a group frame is CORRUPTION (kDataLoss), with
+// the member prefix before the damage surviving — same classification as
+// single-record framing.
+TEST(JournalFraming, GroupFrameBitFlipIsDataLoss) {
+  const std::vector<WireBuffer> payloads = {payload_bytes({1, 2}),
+                                            payload_bytes({3})};
+  const WireBuffer group =
+      frame_journal_group(1, JournalOpKind::kAdmit, payloads);
+  for (std::size_t bit = 0; bit < group.size() * 8; ++bit) {
+    WireBuffer bad = group;
+    bad[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    const JournalScan scan = scan_journal(bad);
+    EXPECT_EQ(scan.error.code(), StatusCode::kDataLoss) << "bit " << bit;
+  }
+}
+
 // A bit flip in the length field must read as CORRUPTION (the ones-
 // complement copy disagrees), never as a plausible torn tail.
 TEST(JournalFraming, LengthBitFlipIsDataLoss) {
@@ -242,6 +309,150 @@ TEST_F(DurableBrokerTest, DedupWindowEvictsFifo) {
   EXPECT_FALSE(db->remembers(1));  // evicted
   EXPECT_TRUE(db->remembers(2));
   EXPECT_TRUE(db->remembers(3));
+}
+
+// Group commit: a batch of fresh admits is ONE durable append carrying one
+// journal record per member with consecutive LSNs, and both whole-batch
+// redelivery and in-batch duplicate rids dedup against recorded decisions.
+TEST_F(DurableBrokerTest, BatchAdmitGroupCommitIsOneAppend) {
+  auto db = open();
+  ASSERT_TRUE(db->provision_path(1, "I2", "E2").is_ok());
+  const std::uint64_t appends_before = file_.appends();
+  const std::uint64_t lsn_before = db->next_lsn();
+
+  const std::vector<RequestId> rids = {2, 3, 4};
+  const std::vector<FlowServiceRequest> reqs(3, probe_request());
+  const auto results = db->request_service_batch(rids, reqs, 0.0);
+  ASSERT_EQ(results.size(), 3u);
+  for (std::size_t j = 0; j < 3; ++j) {
+    ASSERT_TRUE(results[j].is_ok()) << "member " << j << ": "
+                                    << results[j].status().to_string();
+  }
+  EXPECT_EQ(file_.appends(), appends_before + 1);  // one flush for three
+  EXPECT_EQ(db->next_lsn(), lsn_before + 3);
+  const JournalScan scan = scan_journal(file_.contents());
+  ASSERT_TRUE(scan.error.is_ok());
+  ASSERT_EQ(scan.records.size(), 4u);  // provision + three admits
+  EXPECT_EQ(scan.records[3].lsn, scan.records[1].lsn + 2);
+
+  // Whole-batch redelivery: every member replays its recorded decision —
+  // same flows, no execution, no new journal bytes.
+  const auto dup = db->request_service_batch(rids, reqs, 9.0);
+  EXPECT_EQ(db->stats().dedup_hits, 3u);
+  EXPECT_EQ(file_.appends(), appends_before + 1);
+  for (std::size_t j = 0; j < 3; ++j) {
+    ASSERT_TRUE(dup[j].is_ok());
+    EXPECT_EQ(dup[j].value().flow, results[j].value().flow);
+  }
+  EXPECT_EQ(db->broker().flows().count(), 3u);
+
+  // An rid repeated WITHIN a batch dedups against the earlier member: one
+  // fresh record, identical results.
+  const std::vector<RequestId> rids2 = {5, 5};
+  const std::vector<FlowServiceRequest> reqs2(2, probe_request());
+  const auto twice = db->request_service_batch(rids2, reqs2, 10.0);
+  EXPECT_EQ(db->stats().dedup_hits, 4u);
+  ASSERT_EQ(twice[0].is_ok(), twice[1].is_ok());
+  if (twice[0].is_ok()) {
+    EXPECT_EQ(twice[0].value().flow, twice[1].value().flow);
+  }
+
+  // Recovery replays the group frame like any tail records.
+  auto db2 = open();
+  EXPECT_EQ(db2->broker().flows().count(), db->broker().flows().count());
+  EXPECT_EQ(db2->next_lsn(), db->next_lsn());
+  EXPECT_TRUE(db2->remembers(3));
+}
+
+// Results are indexed by SUBMISSION position while execution happens in
+// batch_grouped_order: members of the same path group run back to back, so
+// flow ids hand out in grouped order, not submission order.
+TEST_F(DurableBrokerTest, BatchResultsSubmissionIndexedGroupedExecution) {
+  auto db = open();
+  ASSERT_TRUE(db->provision_path(1, "I2", "E2").is_ok());
+  ASSERT_TRUE(db->provision_path(2, "I1", "E1").is_ok());
+  FlowServiceRequest a = probe_request();  // I2 -> E2
+  FlowServiceRequest b = probe_request();
+  b.ingress = "I1";
+  b.egress = "E1";
+  const std::vector<RequestId> rids = {3, 4, 5, 6};
+  const std::vector<FlowServiceRequest> reqs = {a, b, a, b};
+  const auto results = db->request_service_batch(rids, reqs, 0.0);
+  for (std::size_t j = 0; j < 4; ++j) {
+    ASSERT_TRUE(results[j].is_ok()) << "member " << j;
+  }
+  // Grouped order is [0, 2, 1, 3]; sequential flow ids expose it.
+  EXPECT_LT(results[0].value().flow, results[2].value().flow);
+  EXPECT_LT(results[2].value().flow, results[1].value().flow);
+  EXPECT_LT(results[1].value().flow, results[3].value().flow);
+}
+
+// Crash anywhere inside the group frame: recovery must land on the
+// all-or-prefix state — the complete member prefix applied and remembered,
+// the torn member cleanly absent — at EVERY byte cut.
+TEST_F(DurableBrokerTest, BatchFrameCutAtEveryByteRecoversAllOrPrefix) {
+  auto db = open();
+  ASSERT_TRUE(db->provision_path(1, "I2", "E2").is_ok());
+  const WireBuffer before = file_.contents();
+
+  const std::vector<RequestId> rids = {2, 3, 4};
+  const std::vector<FlowServiceRequest> reqs(3, probe_request());
+  const auto results = db->request_service_batch(rids, reqs, 0.0);
+  for (std::size_t j = 0; j < 3; ++j) ASSERT_TRUE(results[j].is_ok());
+  const WireBuffer after = file_.contents();
+  ASSERT_GT(after.size(), before.size());
+
+  // Member record boundaries inside the appended frame.
+  const JournalScan scan = scan_journal(after);
+  ASSERT_TRUE(scan.error.is_ok());
+  std::vector<std::size_t> boundaries = {before.size()};
+  for (std::size_t i = scan.records.size() - 3; i < scan.records.size();
+       ++i) {
+    boundaries.push_back(boundaries.back() + 12 + 9 +
+                         scan.records[i].payload.size());
+  }
+  ASSERT_EQ(boundaries.back(), after.size());
+
+  for (std::size_t cut = before.size(); cut <= after.size(); ++cut) {
+    FaultyJournalFile partial;
+    partial.set_contents(WireBuffer(
+        after.begin(), after.begin() + static_cast<std::ptrdiff_t>(cut)));
+    auto r = DurableBroker::open(spec_, opts_, partial);
+    ASSERT_TRUE(r.is_ok()) << "cut " << cut << ": "
+                           << r.status().to_string();
+    std::size_t complete = 0;
+    while (complete + 1 < boundaries.size() &&
+           boundaries[complete + 1] <= cut) {
+      ++complete;
+    }
+    EXPECT_EQ(r.value()->broker().flows().count(), complete)
+        << "cut " << cut;
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(r.value()->remembers(rids[j]), j < complete)
+          << "cut " << cut << " member " << j;
+    }
+  }
+}
+
+// A silently dropped GROUP append (the broker acks a batch that never
+// reached the log) must be caught by recovery as an LSN discontinuity once
+// the next real append lands — the same guarantee the single-record
+// sabotage canary enforces, now spanning a whole batch of LSNs.
+TEST_F(DurableBrokerTest, BatchDroppedAppendIsCaughtOnRecovery) {
+  auto db = open();
+  ASSERT_TRUE(db->provision_path(1, "I2", "E2").is_ok());
+  // Swallow the NEXT append (index = appends so far): the group frame.
+  file_.set_drop_append_index(file_.appends());
+  const std::vector<RequestId> rids = {2, 3};
+  const std::vector<FlowServiceRequest> reqs(2, probe_request());
+  const auto results = db->request_service_batch(rids, reqs, 0.0);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(db->remembers(2));
+  EXPECT_TRUE(db->remembers(3));
+  ASSERT_TRUE(db->request_service(4, probe_request(), 1.0).is_ok());
+  auto rec = DurableBroker::open(spec_, opts_, file_);
+  EXPECT_FALSE(rec.is_ok());
+  EXPECT_EQ(rec.status().code(), StatusCode::kDataLoss);
 }
 
 TEST_F(DurableBrokerTest, AnchorTruncatesJournalAndSurvivesRecovery) {

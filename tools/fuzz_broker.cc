@@ -6,6 +6,7 @@
 //   fuzz_broker --sabotage --seeds=1:3               # canaries (must diverge)
 //   fuzz_broker --crash-sweep --seeds=1:30           # crash-point sweep
 //   fuzz_broker --threads=4 --seeds=1:10             # concurrent-front diff
+//   fuzz_broker --batch --seeds=1:10                 # batch-heavy op mix
 //
 // Every (seed, topology) pair runs the full differential check. On a
 // divergence the sequence is truncated + minimized and a replayable repro
@@ -23,6 +24,10 @@
 // (run_fuzz_threaded): the same op sequences replayed through a
 // ConcurrentBrokerFront with an N-thread worker pool, barrier-sequentialized,
 // and required to be bit-identical to the sequential monolith after every op.
+//
+// --batch widens the kBatchAdmit slice of the generated op mix (~6% ->
+// ~24%), stressing the grouped submit_batch / request_service_batch paths
+// against their one-at-a-time references. Composes with every other mode.
 
 #include <cstdio>
 #include <cstdlib>
@@ -52,6 +57,7 @@ struct Args {
   bool widest = false;
   bool sabotage = false;
   bool crash_sweep = false;
+  bool batch_heavy = false;
   int threads = 0;  ///< > 0: concurrent-front differential mode
   std::string repro_file;
   std::string dump_dir = ".";
@@ -96,6 +102,8 @@ bool parse_args(int argc, char** argv, Args* args) {
       args->sabotage = true;
     } else if (a == "--crash-sweep") {
       args->crash_sweep = true;
+    } else if (a == "--batch") {
+      args->batch_heavy = true;
     } else if (const char* vt = value("--threads=")) {
       args->threads = std::atoi(vt);
       if (args->threads < 1) {
@@ -156,6 +164,7 @@ FuzzConfig make_config(const Args& args, std::uint64_t seed,
   cfg.topology = topo;
   cfg.allow_preemption = args.preemption;
   cfg.widest_residual = args.widest;
+  cfg.batch_heavy = args.batch_heavy;
   return cfg;
 }
 

@@ -200,6 +200,29 @@ std::size_t pick(std::int64_t target, std::size_t size) {
   return static_cast<std::size_t>(target % static_cast<std::int64_t>(size));
 }
 
+/// Deterministic members for one kBatchAdmit op: 2-8 requests derived from
+/// the op's recorded shape. The endpoint pair rotates per member (so a batch
+/// usually spans several path groups) and rho/peak fan out per member (so a
+/// batch near saturation mixes admits and rejects). Shared by the
+/// journal-backed and threaded harnesses so both replay the SAME batch.
+std::vector<FlowServiceRequest> batch_members(
+    const FuzzOp& op, const FuzzConfig& cfg,
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  const std::size_t k = 2 + static_cast<std::size_t>(op.target % 7);
+  std::vector<FlowServiceRequest> reqs;
+  reqs.reserve(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const auto& [in, out] =
+        pairs[pick(op.pair + static_cast<std::int64_t>(j), pairs.size())];
+    const double fan = static_cast<double>(j);
+    reqs.push_back(FlowServiceRequest{
+        TrafficProfile::make(op.sigma, op.rho + 1000.0 * fan,
+                             op.peak + 2000.0 * fan, op.l_max),
+        op.d_req, in, out, cfg.allow_preemption ? op.priority : 0});
+  }
+  return reqs;
+}
+
 void record_issued(ExecState& st, IssuedCall call) {
   st.issued.push_back(std::move(call));
   // Bounded pool: redelivery draws from the recent past, comfortably inside
@@ -326,6 +349,120 @@ bool execute_op(ExecState& st, const FuzzOp& op, const FuzzConfig& cfg,
         }
       }
       record_issued(st, std::move(call));
+      break;
+    }
+    case OpKind::kBatchAdmit: {
+      const std::vector<FlowServiceRequest> reqs =
+          batch_members(op, cfg, st.pairs);
+      std::vector<RequestId> rids;
+      rids.reserve(reqs.size());
+      for (std::size_t j = 0; j < reqs.size(); ++j) {
+        rids.push_back(st.next_rid++);
+      }
+      // Sequential reference: a clone recovered from the current journal
+      // (recovery is bit-exact, so it starts identical to the live broker)
+      // executes the members ONE AT A TIME in batch_grouped_order — the
+      // defined equivalence of request_service_batch. Fault-injection
+      // configs skip the clone (a sabotaged journal cannot seed it; a
+      // poisoned knot cache is not durable state); the batch itself still
+      // runs and the per-op state audit covers it.
+      const bool cloned =
+          !cfg.sabotage_drop_append && !cfg.sabotage_knot_cache;
+      FaultyJournalFile clone_journal;
+      std::unique_ptr<DurableBroker> clone;
+      std::vector<Result<Reservation>> ref(
+          reqs.size(), Result<Reservation>(Status::rejected("unset")));
+      if (cloned) {
+        clone_journal.set_contents(st.journal->contents());
+        auto c = DurableBroker::open(st.spec, st.options, clone_journal);
+        if (!c.is_ok()) {
+          *why = "batch reference clone failed to recover: " +
+                 c.status().to_string();
+          return false;
+        }
+        clone = std::move(c.value());
+        for (const std::size_t j : batch_grouped_order(reqs)) {
+          ref[j] = clone->request_service(rids[j], reqs[j], st.now);
+        }
+      }
+      const std::vector<Result<Reservation>> got =
+          st.db->request_service_batch(rids, reqs, st.now);
+      QOSBB_REQUIRE(got.size() == reqs.size(), "fuzz: batch result arity");
+      for (std::size_t j = 0; cloned && j < reqs.size(); ++j) {
+        if (got[j].is_ok() != ref[j].is_ok()) {
+          os << "batch member " << j << " decision split: batched "
+             << (got[j].is_ok() ? "admitted" : "rejected")
+             << ", one-at-a-time "
+             << (ref[j].is_ok() ? "admitted" : "rejected");
+          *why = os.str();
+          return false;
+        }
+        if (got[j].is_ok()) {
+          const Reservation& a = got[j].value();
+          const Reservation& b = ref[j].value();
+          if (a.flow != b.flow || a.path != b.path ||
+              a.params.rate != b.params.rate ||
+              a.params.delay != b.params.delay ||
+              a.e2e_bound != b.e2e_bound || a.preempted != b.preempted) {
+            os << "batch member " << j << " reservation mismatch: batched "
+               << "flow " << a.flow << " r " << a.params.rate
+               << " vs one-at-a-time flow " << b.flow << " r "
+               << b.params.rate;
+            *why = os.str();
+            return false;
+          }
+        } else if (got[j].status().to_string() !=
+                   ref[j].status().to_string()) {
+          *why = "batch member " + std::to_string(j) +
+                 " reject status mismatch: batched '" +
+                 got[j].status().to_string() + "' vs one-at-a-time '" +
+                 ref[j].status().to_string() + "'";
+          return false;
+        }
+      }
+      if (cloned) {
+        const StateDigest dl =
+            digest_of(st.spec, st.db->broker(), st.db->next_lsn());
+        const StateDigest dc =
+            digest_of(st.spec, clone->broker(), clone->next_lsn());
+        if (!(dl == dc)) {
+          os << "batch state split: batched (" << dl.flows << " flows, lsn "
+             << dl.next_lsn << ") vs one-at-a-time (" << dc.flows
+             << " flows, lsn " << dc.next_lsn << ")";
+          *why = os.str();
+          return false;
+        }
+        // The group frame must be byte-identical to the member-at-a-time
+        // appends: same records, same consecutive LSNs — the batch only
+        // changes how many flushes carried them.
+        if (clone_journal.contents() != st.journal->contents()) {
+          *why = "batch group-commit frame differs from the one-at-a-time "
+                 "journal bytes";
+          return false;
+        }
+      }
+      // Pool updates in execution (grouped) order; members re-deliver
+      // individually through the ordinary kAdmit dedup path.
+      for (const std::size_t j : batch_grouped_order(reqs)) {
+        IssuedCall call;
+        call.rid = rids[j];
+        call.kind = OpKind::kAdmit;
+        call.ok = got[j].is_ok();
+        call.req = reqs[j];
+        call.now = st.now;
+        if (got[j].is_ok()) {
+          ++stats.admits;
+          call.result_flow = got[j].value().flow;
+          for (FlowId victim : got[j].value().preempted) {
+            std::erase(st.per_flow, victim);
+          }
+          st.per_flow.push_back(got[j].value().flow);
+        } else {
+          ++stats.rejects;
+        }
+        record_issued(st, std::move(call));
+      }
+      ++stats.batch_admits;
       break;
     }
     case OpKind::kRelease: {
@@ -676,6 +813,8 @@ const char* op_kind_name(OpKind k) {
       return "crash-recover";
     case OpKind::kRedeliver:
       return "redeliver";
+    case OpKind::kBatchAdmit:
+      return "batch-admit";
   }
   return "?";
 }
@@ -710,7 +849,7 @@ std::optional<FuzzOp> FuzzOp::from_line(const std::string& line) {
         op.d_req >> op.priority >> op.pair >> target_ll >> op.amount)) {
     return std::nullopt;
   }
-  if (kind_int < 0 || kind_int > static_cast<int>(OpKind::kRedeliver)) {
+  if (kind_int < 0 || kind_int > static_cast<int>(OpKind::kBatchAdmit)) {
     return std::nullopt;
   }
   op.kind = static_cast<OpKind>(kind_int);
@@ -724,7 +863,8 @@ std::string FuzzResult::summary() const {
      << admits << " admits, " << rejects << " rejects, " << releases
      << " releases, " << renegotiations << " renegotiations, " << joins
      << " joins, " << leaves << " leaves, " << snapshots << " snapshots, "
-     << recoveries << " recoveries, " << redeliveries << " redeliveries)";
+     << recoveries << " recoveries, " << redeliveries << " redeliveries, "
+     << batch_admits << " batches)";
   if (!ok) os << "\n  op " << divergence_op << ": " << divergence;
   return os.str();
 }
@@ -791,7 +931,11 @@ std::vector<FuzzOp> generate_ops(const FuzzConfig& cfg) {
     FuzzOp op;
     const std::int64_t roll = rng.uniform_int(1, 100);
     if (roll <= 30) {
-      op.kind = OpKind::kAdmit;
+      // The upper slice of the admission pressure arrives as a BATCH: the
+      // grouped submit_batch / request_service_batch paths must be
+      // indistinguishable from one-at-a-time admits. --batch widens it.
+      const std::int64_t batch_cut = cfg.batch_heavy ? 7 : 25;
+      op.kind = roll >= batch_cut ? OpKind::kBatchAdmit : OpKind::kAdmit;
     } else if (roll <= 44) {
       op.kind = OpKind::kRelease;
     } else if (roll <= 54) {
@@ -956,6 +1100,74 @@ FuzzResult run_fuzz_threaded(const FuzzConfig& cfg, int threads) {
           }
           ++result.rejects;
         }
+        break;
+      }
+      case OpKind::kBatchAdmit: {
+        const std::vector<FlowServiceRequest> reqs =
+            batch_members(op, cfg, pairs);
+        // Monolith reference: the members one at a time in grouped order —
+        // the batch call's defined equivalence.
+        const std::vector<std::size_t> order = batch_grouped_order(reqs);
+        std::vector<Result<Reservation>> rm(
+            reqs.size(), Result<Reservation>(Status::rejected("unset")));
+        std::vector<AdmissionOutcome> mo(reqs.size());
+        for (const std::size_t j : order) {
+          rm[j] = mono.request_service(reqs[j], now);
+          mo[j] = mono.last_outcome();
+        }
+        const std::vector<FrontOutcome> fo =
+            front.submit_batch_request(reqs, now).get();
+        QOSBB_REQUIRE(fo.size() == reqs.size(),
+                      "fuzz-threaded: batch result arity");
+        for (std::size_t j = 0; j < reqs.size() && why.empty(); ++j) {
+          if (rm[j].is_ok() != fo[j].result.is_ok()) {
+            os << "batch member " << j << " decision split: monolith "
+               << (rm[j].is_ok() ? "admitted" : "rejected") << ", front "
+               << (fo[j].result.is_ok() ? "admitted" : "rejected");
+            why = os.str();
+            break;
+          }
+          if (!outcomes_identical(mo[j], fo[j].outcome, &why)) {
+            why = "batch member " + std::to_string(j) + ": " + why;
+            break;
+          }
+          if (rm[j].is_ok()) {
+            const Reservation& a = rm[j].value();
+            const Reservation& b = fo[j].result.value();
+            if (a.flow != b.flow || a.path != b.path ||
+                a.params.rate != b.params.rate ||
+                a.params.delay != b.params.delay ||
+                a.e2e_bound != b.e2e_bound || a.preempted != b.preempted) {
+              os << "batch member " << j
+                 << " reservation mismatch: monolith flow " << a.flow
+                 << " path " << a.path << " r " << a.params.rate
+                 << " vs front " << b.flow << " path " << b.path << " r "
+                 << b.params.rate;
+              why = os.str();
+              break;
+            }
+          } else if (rm[j].status().to_string() !=
+                     fo[j].result.status().to_string()) {
+            why = "batch member " + std::to_string(j) +
+                  " reject status mismatch: monolith '" +
+                  rm[j].status().to_string() + "' vs front '" +
+                  fo[j].result.status().to_string() + "'";
+            break;
+          }
+        }
+        if (!why.empty()) break;
+        for (const std::size_t j : order) {
+          if (rm[j].is_ok()) {
+            for (FlowId victim : rm[j].value().preempted) {
+              std::erase(per_flow, victim);
+            }
+            per_flow.push_back(rm[j].value().flow);
+            ++result.admits;
+          } else {
+            ++result.rejects;
+          }
+        }
+        ++result.batch_admits;
         break;
       }
       case OpKind::kRelease: {
@@ -1186,6 +1398,21 @@ FuzzResult run_fuzz_threaded(const FuzzConfig& cfg, int threads) {
     }
   }
 
+  // The utilization pre-filter is a VERIFIED hint: in this barrier-
+  // sequentialized schedule every prediction ran against a quiescent
+  // broker, so a single disagreement with the full admission test is a bug
+  // in the pre-filter's conservative bounds.
+  const auto pf = front.prefilter_stats();
+  if (pf.agreed != pf.checked) {
+    result.ok = false;
+    result.divergence_op = static_cast<int>(ops.size()) - 1;
+    std::ostringstream pfs;
+    pfs << "pre-filter disagreed with the full admission test: " << pf.agreed
+        << " of " << pf.checked << " predictions agreed";
+    result.divergence = pfs.str();
+    return result;
+  }
+
   // Final deep audit: the front-driven broker's MIB state must satisfy the
   // from-scratch oracle rebooking, not just mirror the monolith's floats.
   const OracleStateReport rep = oracle_check_state(subject, nullptr);
@@ -1402,17 +1629,41 @@ CrashSweepResult run_crash_sweep(const FuzzConfig& cfg) {
         pt.image.size() > prev.image.size() &&
         std::equal(prev.image.begin(), prev.image.end(), pt.image.begin());
     if (extension) {
+      // Count the records this op appended. A single-record op gets sampled
+      // cuts; a MULTI-record extension is a group-commit frame (kBatchAdmit)
+      // and gets the exhaustive treatment — a cut at EVERY byte, each of
+      // which must recover to the all-or-prefix state: the clean member
+      // prefix applied, the torn member cleanly absent, never a half-applied
+      // member.
+      std::size_t frame_records = 0;
+      for (std::size_t q = prev.image.size(); q + 12 <= pt.image.size();) {
+        const std::size_t rec_size = 12 + peek_record_len(pt.image, q);
+        if (q + rec_size > pt.image.size()) break;
+        ++frame_records;
+        q += rec_size;
+      }
+      const bool exhaustive = frame_records > 1;
       StateDigest expected = prev.digest;
       std::size_t a = prev.image.size();
       while (a + 12 <= pt.image.size() && out.failures.size() < 8) {
         const std::size_t rec_size = 12 + peek_record_len(pt.image, a);
         const std::size_t b = a + rec_size;
         if (b > pt.image.size()) break;  // defensive; images are clean
-        const std::size_t cuts[3] = {a + 1, a + rec_size / 2, b - 1};
-        std::size_t done = 0;
+        std::vector<std::size_t> cuts;
+        if (exhaustive) {
+          cuts.reserve(rec_size - 1);
+          for (std::size_t cut = a + 1; cut < b; ++cut) cuts.push_back(cut);
+        } else {
+          const std::size_t sampled[3] = {a + 1, a + rec_size / 2, b - 1};
+          std::size_t done = 0;
+          for (const std::size_t cut : sampled) {
+            if (cut <= a || cut >= b || cut == done) continue;
+            done = cut;
+            cuts.push_back(cut);
+          }
+        }
         for (const std::size_t cut : cuts) {
-          if (cut <= a || cut >= b || cut == done) continue;
-          done = cut;
+          if (out.failures.size() >= 8) break;
           std::string err;
           auto got = recover_digest(
               WireBuffer(pt.image.begin(),

@@ -58,6 +58,7 @@ enum class OpKind : int {
   kSnapshotRestore = 7,  ///< anchor checkpoint (journal truncation)
   kCrashRecover = 8,     ///< kill + recover; `target` picks the fault mode
   kRedeliver = 9,        ///< duplicate delivery of an earlier request
+  kBatchAdmit = 10,      ///< 2-8 admits through the batched group-commit path
 };
 const char* op_kind_name(OpKind k);
 
@@ -106,6 +107,10 @@ struct FuzzConfig {
   /// it as a divergence. Checkpoint ops are skipped under this flag (an
   /// anchor truncates the journal and would heal the hole).
   bool sabotage_drop_append = false;
+  /// Widen the kBatchAdmit slice of the generator's op mix (~6% -> ~24%),
+  /// stress-testing the grouped submit_batch / request_service_batch paths.
+  /// Replay is unaffected (ops are concrete once generated).
+  bool batch_heavy = false;
 };
 
 struct FuzzResult {
@@ -125,6 +130,7 @@ struct FuzzResult {
   int snapshots = 0;
   int recoveries = 0;
   int redeliveries = 0;
+  int batch_admits = 0;  ///< kBatchAdmit ops (members count into admits/rejects)
 
   std::string summary() const;
 };
@@ -145,10 +151,15 @@ FuzzResult replay(const FuzzConfig& cfg, const std::vector<FuzzOp>& ops);
 /// agree bit-for-bit: decision, reservation parameters, reject reason and
 /// detail, status text, per-link (reserved, buffer) floats, flow
 /// population, and aggregate stats; snapshot ops must produce byte-equal
-/// frames. Journal-layer ops (kCrashRecover, kRedeliver) are skipped — this
+/// frames. kBatchAdmit ops run through ConcurrentBrokerFront::submit_batch
+/// against a member-at-a-time monolith reference in batch_grouped_order.
+/// Journal-layer ops (kCrashRecover, kRedeliver) are skipped — this
 /// mode proves the decomposed front is observationally identical to the
 /// monolith, not durability (run_fuzz covers that). The front's broker
-/// passes a full oracle_check_state audit at the end.
+/// passes a full oracle_check_state audit at the end, and the utilization
+/// pre-filter must have agreed with the full admission test on EVERY
+/// prediction it made (the schedule is barrier-sequentialized, so each
+/// prediction ran against a quiescent broker).
 FuzzResult run_fuzz_threaded(const FuzzConfig& cfg, int threads);
 
 /// Greedy chunked minimization (ddmin-lite): truncate at the divergence,
@@ -172,7 +183,9 @@ std::optional<std::pair<FuzzConfig, std::vector<FuzzOp>>> parse_repro(
 ///     digest exactly and satisfy oracle_check_state,
 ///   * cuts INSIDE the bytes that op appended (mid-record torn tail) —
 ///     must recover to the PREVIOUS op's digest (unacked op cleanly
-///     absent),
+///     absent); a multi-record group frame (kBatchAdmit) is cut at EVERY
+///     byte, and each cut must recover to the all-or-prefix state (the
+///     clean member prefix applied, the torn member cleanly absent),
 ///   * a single bit flip in the image — recovery must refuse (kDataLoss).
 /// Under sabotage_drop_append the sweep must instead detect the hole
 /// (reported via `failures`; the driver inverts the exit code).
