@@ -16,11 +16,18 @@ Two semantic gates ride along:
     not fine.
   * Every BM_JournalGroupCommit row must report appends_per_batch == 1 —
     the group-commit invariant (K admits, one journal append).
+  * When the JSON carries a "server_loadgen" section (bench/run_benchmarks.sh
+    merges one from the qosbbd + loadgen end-to-end run), it must be
+    healthy: admits_per_sec > 0, finite positive p50/p99 latency, zero
+    decode errors, every admit request answered, and context.num_cpus
+    stamped. Pass --require-loadgen to fail when the section is absent
+    (the bench-smoke CI job does, since it runs via run_benchmarks.sh).
 
-Usage: check_bench_smoke.py bench_smoke.json
+Usage: check_bench_smoke.py [--require-loadgen] bench_smoke.json
 """
 
 import json
+import math
 import sys
 
 # Benchmark families that must appear in every smoke run (a JSON entry
@@ -93,12 +100,66 @@ def check_group_commit(benchmarks) -> bool:
     return failed
 
 
+def check_server_loadgen(report, required: bool) -> bool:
+    """Return True on failure: validate the merged loadgen e2e section."""
+    section = report.get("server_loadgen")
+    if section is None:
+        if required:
+            print("FAIL: server_loadgen section missing (bench JSON not "
+                  "produced by bench/run_benchmarks.sh?)", file=sys.stderr)
+            return True
+        print("SKIP: no server_loadgen section")
+        return False
+
+    failed = False
+
+    def finite_positive(value) -> bool:
+        return (isinstance(value, (int, float)) and math.isfinite(value)
+                and value > 0)
+
+    if not finite_positive(section.get("admits_per_sec")):
+        print(f"FAIL: server_loadgen admits_per_sec="
+              f"{section.get('admits_per_sec')} (want finite > 0)",
+              file=sys.stderr)
+        failed = True
+    latency = section.get("latency_us", {})
+    for q in ("p50", "p99"):
+        if not finite_positive(latency.get(q)):
+            print(f"FAIL: server_loadgen latency_us.{q}={latency.get(q)} "
+                  "(want finite > 0)", file=sys.stderr)
+            failed = True
+    if section.get("decode_errors", -1) != 0:
+        print(f"FAIL: server_loadgen decode_errors="
+              f"{section.get('decode_errors')}", file=sys.stderr)
+        failed = True
+    requests = section.get("requests")
+    answered = section.get("admits", 0) + section.get("rejects", 0)
+    if requests is None or answered != requests:
+        print(f"FAIL: server_loadgen admits+rejects={answered} != "
+              f"requests={requests}", file=sys.stderr)
+        failed = True
+    if int(report.get("context", {}).get("num_cpus", 0)) <= 0:
+        print("FAIL: context.num_cpus not stamped alongside server_loadgen",
+              file=sys.stderr)
+        failed = True
+    if not failed:
+        print(f"OK: server_loadgen {section.get('admits_per_sec'):.0f} "
+              f"admits/sec, p50={latency.get('p50'):.1f}us "
+              f"p99={latency.get('p99'):.1f}us over "
+              f"{section.get('connections')} connections")
+    return failed
+
+
 def main() -> int:
-    if len(sys.argv) != 2:
-        print(f"usage: {sys.argv[0]} bench_smoke.json", file=sys.stderr)
+    argv = sys.argv[1:]
+    require_loadgen = "--require-loadgen" in argv
+    argv = [a for a in argv if a != "--require-loadgen"]
+    if len(argv) != 1:
+        print(f"usage: {sys.argv[0]} [--require-loadgen] bench_smoke.json",
+              file=sys.stderr)
         return 2
     try:
-        with open(sys.argv[1], encoding="utf-8") as fh:
+        with open(argv[0], encoding="utf-8") as fh:
             report = json.load(fh)
     except (OSError, json.JSONDecodeError) as exc:
         print(f"FAIL: cannot read benchmark JSON: {exc}", file=sys.stderr)
@@ -130,6 +191,7 @@ def main() -> int:
 
     failed |= check_concurrent_scaling(report, benchmarks)
     failed |= check_group_commit(benchmarks)
+    failed |= check_server_loadgen(report, require_loadgen)
 
     if failed:
         return 1

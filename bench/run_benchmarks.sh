@@ -21,7 +21,8 @@ out="${1:-bench_results/bb_throughput.json}"
 shift || true
 
 cmake -B "$repo_root/build" -S "$repo_root" >/dev/null
-cmake --build "$repo_root/build" --target bench_bb_throughput -j >/dev/null
+cmake --build "$repo_root/build" --target bench_bb_throughput qosbbd loadgen \
+  -j >/dev/null
 
 mkdir -p "$(dirname "$out")"
 "$repo_root/build/bench/bench_bb_throughput" \
@@ -30,23 +31,55 @@ mkdir -p "$(dirname "$out")"
   --benchmark_out_format=json \
   "$@"
 
+# End-to-end server numbers: boot qosbbd on an ephemeral loopback port,
+# drive it with the closed-loop loadgen, and merge the report into the
+# benchmark JSON as the "server_loadgen" section — admits/sec and the
+# p50/p99/p999 signaling latency through the real socket path. Scale with
+# LOADGEN_REQUESTS; skip entirely with LOADGEN_REQUESTS=0 (e.g. profiling
+# runs that only want the in-process numbers).
+loadgen_requests="${LOADGEN_REQUESTS:-100000}"
+loadgen_json=""
+if [[ "$loadgen_requests" -gt 0 ]]; then
+  tmp_dir="$(mktemp -d)"
+  trap 'rm -rf "$tmp_dir"' EXIT
+  "$repo_root/build/tools/qosbbd" --port=0 \
+    --port-file="$tmp_dir/port" 2>"$tmp_dir/qosbbd.log" &
+  server_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$tmp_dir/port" ]] && break
+    sleep 0.1
+  done
+  loadgen_json="$tmp_dir/loadgen.json"
+  "$repo_root/build/tools/loadgen" --port-file="$tmp_dir/port" \
+    --connections="${LOADGEN_CONNECTIONS:-4}" \
+    --pipeline="${LOADGEN_PIPELINE:-64}" \
+    --requests="$loadgen_requests" \
+    --teardown-every="${LOADGEN_TEARDOWN_EVERY:-8}" \
+    --json-out="$loadgen_json"
+  kill -TERM "$server_pid"
+  wait "$server_pid"
+fi
+
 # Stamp provenance into the context block so trajectory entries pasted into
 # BENCH_bb_throughput.json stay attributable: the commit the numbers were
 # measured at, and the core count they were measured on (num_cpus is
 # already reported by Google Benchmark; ensure it survives even on builds
-# that omit it).
+# that omit it). Merge the loadgen report while we are in here.
 git_sha="$(git -C "$repo_root" rev-parse HEAD 2>/dev/null || echo unknown)"
-python3 - "$out" "$git_sha" <<'PY'
+python3 - "$out" "$git_sha" "$loadgen_json" <<'PY'
 import json
 import os
 import sys
 
-path, sha = sys.argv[1], sys.argv[2]
+path, sha, loadgen_path = sys.argv[1], sys.argv[2], sys.argv[3]
 with open(path, encoding="utf-8") as fh:
     report = json.load(fh)
 ctx = report.setdefault("context", {})
 ctx["git_sha"] = sha
 ctx.setdefault("num_cpus", os.cpu_count() or 1)
+if loadgen_path:
+    with open(loadgen_path, encoding="utf-8") as fh:
+        report["server_loadgen"] = json.load(fh)
 with open(path, "w", encoding="utf-8") as fh:
     json.dump(report, fh, indent=2)
     fh.write("\n")

@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# End-to-end gate for the signaling server: boot qosbbd on loopback, drive
+# it with loadgen, SIGTERM it, and assert the full contract:
+#
+#   * loadgen exits 0 — every request got exactly one reply
+#     (admits + rejects == requests, every teardown acked), zero decode or
+#     CRC errors on the client side, no timeout;
+#   * qosbbd exits 0 after a clean SIGTERM drain;
+#   * the server log reports decode_errors=0 and
+#     admit_requests == loadgen's requests;
+#   * the server-side differential digest check passes: the recorded op
+#     sequence replayed through the library-level broker front reproduces a
+#     bit-identical state digest.
+#
+# Usage: ci/e2e_server.sh [build_dir] [requests]
+# Env:   E2E_CONNECTIONS (4), E2E_PIPELINE (64), E2E_TEARDOWN_EVERY (8),
+#        E2E_MIN_ADMITS_PER_SEC (0 = no throughput gate; CI machines are
+#        noisy — the checked-in numbers come from quiet machines),
+#        E2E_LOG_DIR (where qosbbd.log / loadgen.json land; default /tmp)
+
+set -euo pipefail
+
+build_dir="${1:-build}"
+requests="${2:-100000}"
+connections="${E2E_CONNECTIONS:-4}"
+pipeline="${E2E_PIPELINE:-64}"
+teardown_every="${E2E_TEARDOWN_EVERY:-8}"
+min_admits="${E2E_MIN_ADMITS_PER_SEC:-0}"
+log_dir="${E2E_LOG_DIR:-/tmp}"
+
+qosbbd="$build_dir/tools/qosbbd"
+loadgen="$build_dir/tools/loadgen"
+for bin in "$qosbbd" "$loadgen"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "e2e_server: missing binary $bin (build the qosbbd/loadgen targets)" >&2
+    exit 2
+  fi
+done
+
+mkdir -p "$log_dir"
+port_file="$log_dir/qosbbd.port"
+server_log="$log_dir/qosbbd.log"
+loadgen_json="$log_dir/loadgen.json"
+rm -f "$port_file" "$server_log" "$loadgen_json"
+
+"$qosbbd" --port=0 --port-file="$port_file" --differential \
+  2>"$server_log" &
+server_pid=$!
+trap 'kill -9 "$server_pid" 2>/dev/null || true' EXIT
+
+# Wait for the listening port (sanitized builds start slower).
+for _ in $(seq 1 100); do
+  [[ -s "$port_file" ]] && break
+  kill -0 "$server_pid" 2>/dev/null || {
+    echo "e2e_server: qosbbd died during startup" >&2
+    cat "$server_log" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+[[ -s "$port_file" ]] || { echo "e2e_server: no port file" >&2; exit 1; }
+
+"$loadgen" --port-file="$port_file" \
+  --connections="$connections" --pipeline="$pipeline" \
+  --requests="$requests" --teardown-every="$teardown_every" \
+  --json-out="$loadgen_json"
+echo "e2e_server: loadgen OK"
+
+kill -TERM "$server_pid"
+server_rc=0
+wait "$server_pid" || server_rc=$?
+trap - EXIT
+if [[ "$server_rc" -ne 0 ]]; then
+  echo "e2e_server: qosbbd exited $server_rc after SIGTERM" >&2
+  cat "$server_log" >&2
+  exit 1
+fi
+
+# The drain line carries the server-side counters; cross-check them.
+drained="$(grep '^qosbbd: drained\.' "$server_log" || true)"
+if [[ -z "$drained" ]]; then
+  echo "e2e_server: no drain line in server log" >&2
+  cat "$server_log" >&2
+  exit 1
+fi
+check_counter() {
+  local key="$1" expect="$2"
+  local got
+  got="$(sed -n "s/.*[ .]$key=\([0-9]*\).*/\1/p" <<<"$drained")"
+  if [[ "$got" != "$expect" ]]; then
+    echo "e2e_server: $key=$got, expected $expect" >&2
+    echo "  $drained" >&2
+    exit 1
+  fi
+}
+check_counter decode_errors 0
+check_counter teardown_failures 0
+check_counter admit_requests "$requests"
+
+if ! grep -q '^qosbbd: differential: OK' "$server_log"; then
+  echo "e2e_server: differential check did not pass" >&2
+  cat "$server_log" >&2
+  exit 1
+fi
+
+admits_per_sec="$(python3 -c '
+import json, sys
+with open(sys.argv[1]) as fh:
+    print(int(json.load(fh)["admits_per_sec"]))
+' "$loadgen_json")"
+echo "e2e_server: $admits_per_sec admits/sec" \
+  "(requests=$requests connections=$connections pipeline=$pipeline)"
+if [[ "$min_admits" -gt 0 && "$admits_per_sec" -lt "$min_admits" ]]; then
+  echo "e2e_server: admits/sec $admits_per_sec < floor $min_admits" >&2
+  exit 1
+fi
+
+echo "e2e_server: PASS"

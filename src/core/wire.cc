@@ -120,13 +120,20 @@ void WireWriter::bytes(const WireBuffer& v) {
 
 // ---- WireReader ----
 
+Status WireReader::short_read(const char* what) const {
+  if (mode_ == Mode::kStreaming) {
+    return Status::need_more_data(std::string("incomplete ") + what);
+  }
+  return Status::truncated(std::string("truncated ") + what);
+}
+
 Result<std::uint8_t> WireReader::u8() {
-  if (remaining() < 1) return Status::truncated("truncated u8");
+  if (remaining() < 1) return short_read("u8");
   return buf_[pos_++];
 }
 
 Result<std::uint16_t> WireReader::u16() {
-  if (remaining() < 2) return Status::truncated("truncated u16");
+  if (remaining() < 2) return short_read("u16");
   std::uint16_t v = static_cast<std::uint16_t>(buf_[pos_]) |
                     static_cast<std::uint16_t>(buf_[pos_ + 1]) << 8;
   pos_ += 2;
@@ -134,7 +141,7 @@ Result<std::uint16_t> WireReader::u16() {
 }
 
 Result<std::uint32_t> WireReader::u32() {
-  if (remaining() < 4) return Status::truncated("truncated u32");
+  if (remaining() < 4) return short_read("u32");
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i) {
     v |= static_cast<std::uint32_t>(buf_[pos_ + static_cast<std::size_t>(i)])
@@ -145,7 +152,7 @@ Result<std::uint32_t> WireReader::u32() {
 }
 
 Result<std::uint64_t> WireReader::u64() {
-  if (remaining() < 8) return Status::truncated("truncated u64");
+  if (remaining() < 8) return short_read("u64");
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) {
     v |= static_cast<std::uint64_t>(buf_[pos_ + static_cast<std::size_t>(i)])
@@ -177,7 +184,8 @@ Result<std::string> WireReader::str() {
   auto n = u8();
   if (!n.is_ok()) return n.status();
   if (remaining() < n.value()) {
-    return Status::truncated("truncated string");
+    pos_ -= 1;  // un-read the length prefix: a retry re-decodes the field
+    return short_read("string");
   }
   std::string s(reinterpret_cast<const char*>(&buf_[pos_]), n.value());
   pos_ += n.value();
@@ -188,7 +196,8 @@ Result<WireBuffer> WireReader::bytes() {
   auto n = u32();
   if (!n.is_ok()) return n.status();
   if (remaining() < n.value()) {
-    return Status::truncated("truncated byte block");
+    pos_ -= 4;  // un-read the length prefix: a retry re-decodes the field
+    return short_read("byte block");
   }
   WireBuffer out(buf_.begin() + static_cast<long>(pos_),
                  buf_.begin() + static_cast<long>(pos_ + n.value()));

@@ -98,9 +98,23 @@ class WireWriter {
 /// of the buffer fails with StatusCode::kTruncated — distinct from
 /// kInvalidArgument (structural corruption) so that log-structured callers
 /// (core/journal.cc) can tell "clean end of input" from "corrupt input".
+///
+/// A STREAMING reader (Mode::kStreaming) instead reports a read past the
+/// end as kNeedMoreData: the buffer is a growing prefix of a byte stream
+/// (a socket read buffer), so "ran out of bytes" means "wait for more",
+/// not "the frame is damaged". Structural failures (bad magic, CRC
+/// mismatch, non-finite floats) stay hard errors in both modes. A failed
+/// read never advances the cursor, so a streaming caller can re-decode
+/// from the same position once more bytes have arrived.
 class WireReader {
  public:
-  explicit WireReader(const WireBuffer& buffer) : buf_(buffer) {}
+  enum class Mode {
+    kComplete,   ///< buffer holds the whole input: short read = kTruncated
+    kStreaming,  ///< buffer is a stream prefix: short read = kNeedMoreData
+  };
+
+  explicit WireReader(const WireBuffer& buffer, Mode mode = Mode::kComplete)
+      : buf_(buffer), mode_(mode) {}
 
   Result<std::uint8_t> u8();
   Result<std::uint16_t> u16();
@@ -114,10 +128,16 @@ class WireReader {
 
   std::size_t remaining() const { return buf_.size() - pos_; }
   bool exhausted() const { return pos_ == buf_.size(); }
+  std::size_t position() const { return pos_; }
+  Mode mode() const { return mode_; }
 
  private:
+  /// Short-read status in this reader's mode.
+  Status short_read(const char* what) const;
+
   const WireBuffer& buf_;
   std::size_t pos_ = 0;
+  Mode mode_ = Mode::kComplete;
 };
 
 }  // namespace qosbb

@@ -1,0 +1,102 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace qosbb {
+
+BlockingClient::~BlockingClient() { close(); }
+
+void BlockingClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void BlockingClient::shutdown_send() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+Status BlockingClient::connect(const std::string& host, std::uint16_t port,
+                               int rcvbuf_bytes) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return Status::internal(std::string("socket: ") + std::strerror(errno));
+  }
+  if (rcvbuf_bytes > 0) {
+    // Before connect so the negotiated window honors it.
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                 sizeof(rcvbuf_bytes));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close();
+    return Status::invalid_argument("bad host address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Status::unavailable(std::string("connect: ") +
+                                   std::strerror(errno));
+    close();
+    return s;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::ok();
+}
+
+Status BlockingClient::send_raw(const WireBuffer& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::write(fd_, bytes.data() + sent, bytes.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::unavailable(std::string("write: ") +
+                                 std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+Status BlockingClient::send_message(const WireBuffer& message_frame) {
+  return send_raw(frame_net_message(message_frame));
+}
+
+Result<WireBuffer> BlockingClient::read_message(int timeout_ms) {
+  while (true) {
+    auto frame = decoder_.next();
+    if (frame.is_ok()) return frame;
+    if (frame.status().code() != StatusCode::kNeedMoreData) {
+      return frame.status();
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, timeout_ms);
+    if (pr == 0) return Status::unavailable("read_message timeout");
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return Status::internal(std::string("poll: ") + std::strerror(errno));
+    }
+    std::uint8_t chunk[16384];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n == 0) return Status::not_found("connection closed by peer");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::unavailable(std::string("read: ") +
+                                 std::strerror(errno));
+    }
+    decoder_.feed(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace qosbb

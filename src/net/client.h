@@ -1,0 +1,51 @@
+// Minimal blocking client for the qosbbd signaling protocol — the "edge
+// router" side of the exchange, used by unit tests, examples, and the
+// control paths of tools. (tools/loadgen.cc drives its own non-blocking
+// multi-connection loop instead; it shares only the framing codec.)
+
+#ifndef QOSBB_NET_CLIENT_H_
+#define QOSBB_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/framing.h"
+#include "util/status.h"
+
+namespace qosbb {
+
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient();
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+
+  /// `rcvbuf_bytes` > 0 shrinks SO_RCVBUF before connecting — backpressure
+  /// tests use a tiny window to make the server's reply buffer back up.
+  Status connect(const std::string& host, std::uint16_t port,
+                 int rcvbuf_bytes = 0);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Frame and send one wire.h message (blocking full write).
+  Status send_message(const WireBuffer& message_frame);
+  /// Send raw bytes verbatim — hostile-input tests only.
+  Status send_raw(const WireBuffer& bytes);
+  /// Half-close the send side (signals end-of-requests to the server).
+  void shutdown_send();
+
+  /// Next reply payload (one wire.h message frame). Blocks up to
+  /// `timeout_ms`; kUnavailable on timeout, kDataLoss on a corrupt stream,
+  /// kNotFound on clean peer close with no pending frame.
+  Result<WireBuffer> read_message(int timeout_ms = 5000);
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_NET_CLIENT_H_

@@ -1,0 +1,68 @@
+#include "net/framing.h"
+
+#include "core/journal.h"
+
+namespace qosbb {
+
+WireBuffer frame_net_message(const WireBuffer& payload) {
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  WireWriter head;
+  head.u32(len);
+  head.u32(~len);
+  head.u32(journal_crc32(payload.data(), payload.size()));
+  WireBuffer out = head.take();
+  out.reserve(out.size() + payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t n) {
+  // Compact the consumed prefix before growing: keeps the buffer bounded by
+  // (unconsumed bytes + one read chunk) under sustained pipelining.
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > (buf_.size() / 2))) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+Result<WireBuffer> FrameDecoder::next() {
+  if (!poison_.is_ok()) return poison_;
+  // View the unconsumed header bytes as a stream prefix: short reads
+  // classify as kNeedMoreData (wire.h streaming mode), structural damage
+  // as kDataLoss.
+  const std::size_t head_n = std::min(buffered(), kNetFrameHeaderSize);
+  WireBuffer header(buf_.begin() + static_cast<long>(pos_),
+                    buf_.begin() + static_cast<long>(pos_ + head_n));
+  WireReader head(header, WireReader::Mode::kStreaming);
+  const auto len_r = head.u32();
+  const auto len_check_r = head.u32();
+  const auto crc_r = head.u32();
+  for (const auto* r : {&len_r, &len_check_r, &crc_r}) {
+    if (!r->is_ok()) return r->status();
+  }
+  const std::uint32_t len = len_r.value();
+  const std::uint32_t len_check = len_check_r.value();
+  const std::uint32_t crc = crc_r.value();
+  if (static_cast<std::uint32_t>(~len) != len_check) {
+    poison_ = Status::data_loss("net frame length check mismatch");
+    return poison_;
+  }
+  if (len > kMaxNetFramePayload) {
+    poison_ = Status::data_loss("net frame payload oversized");
+    return poison_;
+  }
+  if (buffered() < kNetFrameHeaderSize + len) {
+    return Status::need_more_data("incomplete net frame payload");
+  }
+  const std::uint8_t* payload = buf_.data() + pos_ + kNetFrameHeaderSize;
+  if (journal_crc32(payload, len) != crc) {
+    poison_ = Status::data_loss("net frame CRC mismatch");
+    return poison_;
+  }
+  WireBuffer out(payload, payload + len);
+  pos_ += kNetFrameHeaderSize + len;
+  return out;
+}
+
+}  // namespace qosbb

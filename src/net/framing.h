@@ -1,0 +1,77 @@
+// Stream framing for the BB's signaling socket (qosbbd).
+//
+// A TCP connection is a byte stream; the wire.h messages are discrete
+// frames. This module carries one wire.h message per NET FRAME using the
+// same self-checking header idiom as the reservation journal
+// (core/journal.cc):
+//
+//   net-frame := u32 len | u32 ~len | u32 crc32(payload) | payload
+//
+// with len = |payload| and payload = one complete wire.h message frame
+// (magic/version/type/body). The ones-complement length copy makes a bit
+// flip in the length field detectable as CORRUPTION instead of reading as
+// an absurdly long frame that stalls the connection forever; the CRC
+// protects every payload byte. A receiver therefore classifies its buffer
+// state precisely:
+//
+//   * kNeedMoreData — the buffered bytes are a valid PREFIX of a frame;
+//     keep the connection and wait for more bytes;
+//   * kDataLoss — the buffered bytes can never become a valid frame
+//     (length check or CRC mismatch, oversized length): the peer is
+//     broken or hostile, drop the connection.
+//
+// FrameDecoder implements that classification incrementally over a
+// growing read buffer, built on WireReader's streaming mode.
+
+#ifndef QOSBB_NET_FRAMING_H_
+#define QOSBB_NET_FRAMING_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/wire.h"
+#include "util/status.h"
+
+namespace qosbb {
+
+/// Net frame header: u32 len, u32 ~len, u32 crc32(payload).
+constexpr std::size_t kNetFrameHeaderSize = 12;
+
+/// Sanity cap on one frame's payload. The largest legitimate signaling
+/// message (a FlowServiceRequest with maximal 255-byte endpoint names) is
+/// under 1 KiB; anything near the cap is corruption or abuse.
+constexpr std::uint32_t kMaxNetFramePayload = 1u << 16;
+
+/// Wrap one wire.h message frame into a net frame. Infallible.
+WireBuffer frame_net_message(const WireBuffer& payload);
+
+/// Incremental decoder over a connection's read buffer. Feed raw socket
+/// bytes in any fragmentation; `next()` yields complete payloads in order.
+class FrameDecoder {
+ public:
+  /// Append raw bytes read from the socket.
+  void feed(const std::uint8_t* data, std::size_t n);
+
+  /// Extract the next complete payload.
+  ///   OK            — one payload, removed from the buffer;
+  ///   kNeedMoreData — the buffer holds a valid proper prefix (possibly
+  ///                   empty) of a frame; feed more bytes and retry;
+  ///   kDataLoss     — the stream is corrupt at the current position
+  ///                   (length-check or CRC mismatch, oversized length).
+  ///                   The decoder stays poisoned: every later call
+  ///                   returns the same error. Close the connection.
+  Result<WireBuffer> next();
+
+  /// Bytes buffered but not yet consumed by `next()`.
+  std::size_t buffered() const { return buf_.size() - pos_; }
+  bool poisoned() const { return !poison_.is_ok(); }
+
+ private:
+  WireBuffer buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix (compacted opportunistically)
+  Status poison_ = Status::ok();
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_NET_FRAMING_H_

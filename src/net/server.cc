@@ -1,0 +1,615 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "core/journal.h"
+
+namespace qosbb {
+namespace {
+
+/// One epoll_wait batch. Events per fd are coalesced, so a connection sees
+/// at most one event per batch — handlers may close it without another
+/// event in the same batch dangling.
+constexpr int kMaxEpollEvents = 128;
+constexpr std::size_t kReadChunk = 64u << 10;
+/// Largest admit run dispatched as one submit_batch call.
+constexpr std::size_t kMaxAdmitBatch = 256;
+
+Status errno_status(const char* what) {
+  return Status::internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+struct QosbbServer::Conn {
+  int fd = -1;
+  FrameDecoder decoder;
+  WireBuffer out;
+  std::size_t out_pos = 0;
+  std::uint32_t events = 0;  ///< current epoll interest set
+  bool paused = false;       ///< reading suspended (write backpressure)
+  bool want_write = false;
+  bool close_after_flush = false;
+  bool dead = false;
+  std::size_t index = 0;  ///< position in conns_
+
+  std::size_t backlog() const { return out.size() - out_pos; }
+};
+
+QosbbServer::QosbbServer(ConcurrentBrokerFront& front, ServerOptions options)
+    : front_(&front), options_(std::move(options)) {}
+
+QosbbServer::QosbbServer(DurableBroker& durable, ServerOptions options)
+    : durable_(&durable), options_(std::move(options)) {}
+
+QosbbServer::~QosbbServer() {
+  for (Conn* c : conns_) {
+    if (c->fd >= 0) ::close(c->fd);
+    delete c;
+  }
+  conns_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  for (int fd : wake_fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+BandwidthBroker& QosbbServer::broker() {
+  return front_ != nullptr ? front_->broker() : durable_->broker();
+}
+
+Status QosbbServer::start() {
+  if (::pipe2(wake_fds_, O_NONBLOCK | O_CLOEXEC) != 0) {
+    return errno_status("pipe2");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return errno_status("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::invalid_argument("bad bind address: " +
+                                    options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return errno_status("bind");
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    return errno_status("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    return errno_status("listen");
+  }
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return errno_status("epoll_create1");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = &listen_fd_;  // sentinel tag: the listen socket
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    return errno_status("epoll_ctl(listen)");
+  }
+  ev.events = EPOLLIN;
+  ev.data.ptr = &wake_fds_[0];  // sentinel tag: the stop pipe
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fds_[0], &ev) != 0) {
+    return errno_status("epoll_ctl(wake)");
+  }
+  return Status::ok();
+}
+
+void QosbbServer::request_stop() {
+  const char byte = 's';
+  // Async-signal-safe; a full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], &byte, 1);
+}
+
+void QosbbServer::run() {
+  epoll_event events[kMaxEpollEvents];
+  while (!stopping_) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEpollEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    std::vector<Conn*> reaped;
+    for (int i = 0; i < n; ++i) {
+      void* tag = events[i].data.ptr;
+      if (tag == &listen_fd_) {
+        accept_ready();
+        continue;
+      }
+      if (tag == &wake_fds_[0]) {
+        char sink[16];
+        while (::read(wake_fds_[0], sink, sizeof(sink)) > 0) {
+        }
+        stopping_ = true;
+        continue;
+      }
+      Conn& c = *static_cast<Conn*>(tag);
+      if ((events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0 &&
+          !c.dead) {
+        conn_readable(c);
+      }
+      if ((events[i].events & EPOLLOUT) != 0 && !c.dead) {
+        conn_writable(c);
+      }
+      if (c.dead) reaped.push_back(&c);
+    }
+    for (Conn* c : reaped) {
+      // Swap-remove from conns_ and free.
+      Conn* last = conns_.back();
+      conns_[c->index] = last;
+      last->index = c->index;
+      conns_.pop_back();
+      delete c;
+    }
+  }
+  drain_and_exit();
+}
+
+void QosbbServer::drain_and_exit() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Execute whatever complete frames are already buffered, then flush.
+  for (Conn* c : conns_) {
+    if (!c->dead) {
+      drain_decoder(*c);
+      try_flush(*c);
+    }
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.drain_timeout_ms);
+  epoll_event events[kMaxEpollEvents];
+  auto pending = [&] {
+    for (Conn* c : conns_) {
+      if (!c->dead && c->backlog() > 0) return true;
+    }
+    return false;
+  };
+  while (pending() && std::chrono::steady_clock::now() < deadline) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEpollEvents, 100);
+    for (int i = 0; i < n; ++i) {
+      void* tag = events[i].data.ptr;
+      if (tag == &listen_fd_ || tag == &wake_fds_[0]) continue;
+      Conn& c = *static_cast<Conn*>(tag);
+      if (!c.dead && (events[i].events & EPOLLOUT) != 0) try_flush(c);
+    }
+  }
+  for (Conn* c : conns_) {
+    if (!c->dead) close_conn(*c);
+    delete c;
+  }
+  conns_.clear();
+}
+
+void QosbbServer::accept_ready() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto* c = new Conn();
+    c->fd = fd;
+    c->index = conns_.size();
+    c->events = EPOLLIN;
+    conns_.push_back(c);
+    epoll_event ev{};
+    ev.events = c->events;
+    ev.data.ptr = c;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      conns_.pop_back();
+      ::close(fd);
+      delete c;
+      continue;
+    }
+    ++stats_.connections_accepted;
+  }
+}
+
+void QosbbServer::conn_readable(Conn& c) {
+  std::uint8_t chunk[kReadChunk];
+  bool peer_closed = false;
+  while (!c.paused && !c.close_after_flush) {
+    const ssize_t n = ::read(c.fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      stats_.bytes_in += static_cast<std::uint64_t>(n);
+      c.decoder.feed(chunk, static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < sizeof(chunk)) break;
+      continue;
+    }
+    if (n == 0) {
+      peer_closed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    peer_closed = true;
+    break;
+  }
+  drain_decoder(c);
+  try_flush(c);
+  // If the flush already drained below the low watermark, resume NOW: a
+  // fully-flushed pause leaves no pending EPOLLOUT to resume it later.
+  while (!c.dead && c.paused && c.backlog() < options_.write_low_watermark) {
+    c.paused = false;
+    drain_decoder(c);
+    try_flush(c);
+  }
+  if (c.dead) return;
+  if (peer_closed) {
+    // Half-close: answer what arrived, then tear the connection down once
+    // the replies are flushed.
+    c.close_after_flush = true;
+    if (c.backlog() == 0) {
+      close_conn(c);
+      return;
+    }
+  }
+  update_interest(c);
+}
+
+void QosbbServer::conn_writable(Conn& c) {
+  try_flush(c);
+  // Frames decoded but deferred under backpressure run now; the socket
+  // itself re-fires via level-triggered EPOLLIN once re-armed. Loop: a
+  // re-drain may pause and then flush clean again.
+  while (!c.dead && c.paused && c.backlog() < options_.write_low_watermark) {
+    c.paused = false;
+    drain_decoder(c);
+    try_flush(c);
+  }
+  if (c.dead) return;
+  update_interest(c);
+}
+
+void QosbbServer::drain_decoder(Conn& c) {
+  std::vector<FlowServiceRequest> batch;
+  while (!c.close_after_flush) {
+    if (c.backlog() >= options_.write_high_watermark) {
+      if (!c.paused) {
+        c.paused = true;
+        ++stats_.backpressure_pauses;
+      }
+      break;
+    }
+    auto frame = c.decoder.next();
+    if (!frame.is_ok()) {
+      if (frame.status().code() == StatusCode::kNeedMoreData) break;
+      dispatch_admits(c, batch);
+      protocol_error(c, frame.status().message());
+      break;
+    }
+    ++stats_.frames_in;
+    const WireBuffer& payload = frame.value();
+    auto type = peek_type(payload);
+    if (!type.is_ok()) {
+      dispatch_admits(c, batch);
+      protocol_error(c, type.status().message());
+      break;
+    }
+    switch (type.value()) {
+      case MessageType::kFlowServiceRequest: {
+        auto req = decode_flow_service_request(payload);
+        if (!req.is_ok()) {
+          dispatch_admits(c, batch);
+          protocol_error(c, req.status().message());
+          break;
+        }
+        batch.push_back(std::move(req).value());
+        // Bound both submit_batch latency and the reply bytes a single
+        // run can queue before the watermark check at the loop top sees
+        // them: dispatch in slabs instead of one maximal run.
+        if (batch.size() >= kMaxAdmitBatch) dispatch_admits(c, batch);
+        continue;
+      }
+      case MessageType::kTeardownRequest: {
+        auto td = decode_teardown_request(payload);
+        if (!td.is_ok()) {
+          dispatch_admits(c, batch);
+          protocol_error(c, td.status().message());
+          break;
+        }
+        // A teardown splits the admit run: per-connection order of
+        // operations is part of the protocol contract.
+        dispatch_admits(c, batch);
+        dispatch_teardown(c, td.value().flow);
+        continue;
+      }
+      default:
+        dispatch_admits(c, batch);
+        protocol_error(c, "unexpected message type");
+        break;
+    }
+    break;
+  }
+  dispatch_admits(c, batch);
+}
+
+std::vector<QosbbServer::AdmitResult> QosbbServer::backend_admit(
+    std::span<const FlowServiceRequest> requests) {
+  std::vector<AdmitResult> out;
+  out.reserve(requests.size());
+  if (front_ != nullptr) {
+    std::vector<FrontOutcome> outcomes = front_->submit_batch(requests);
+    for (FrontOutcome& o : outcomes) {
+      AdmitResult r;
+      r.reason = o.outcome.reason;
+      r.detail = o.outcome.detail.empty() ? o.result.status().message()
+                                          : o.outcome.detail;
+      r.result = std::move(o.result);
+      out.push_back(std::move(r));
+    }
+    return out;
+  }
+  std::vector<RequestId> rids(requests.size());
+  for (RequestId& rid : rids) rid = next_rid_++;
+  std::vector<Result<Reservation>> results =
+      durable_->request_service_batch(rids, requests, 0.0);
+  for (Result<Reservation>& res : results) {
+    AdmitResult r;
+    r.detail = res.status().message();
+    r.result = std::move(res);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+Status QosbbServer::backend_release(FlowId flow) {
+  if (front_ != nullptr) return front_->release_service(flow);
+  return durable_->release_service(next_rid_++, flow);
+}
+
+void QosbbServer::dispatch_admits(Conn& c,
+                                  std::vector<FlowServiceRequest>& batch) {
+  if (batch.empty()) return;
+  ++stats_.batches;
+  stats_.batched_requests += batch.size();
+  stats_.admit_requests += batch.size();
+  std::vector<AdmitResult> outcomes = backend_admit(batch);
+  if (options_.record_ops) {
+    // Library-level execution order: submit_batch defines its semantics as
+    // one-at-a-time execution in batch_grouped_order.
+    for (std::size_t idx : batch_grouped_order(batch)) {
+      RecordedOp op;
+      op.kind = RecordedOp::Kind::kAdmit;
+      op.request = batch[idx];
+      op.admitted = outcomes[idx].result.is_ok();
+      op.assigned_flow =
+          op.admitted ? outcomes[idx].result.value().flow : kInvalidFlowId;
+      ops_.push_back(std::move(op));
+    }
+  }
+  for (const AdmitResult& r : outcomes) {
+    if (r.result.is_ok()) {
+      ++stats_.admits;
+      queue_reply(c, encode(r.result.value()));
+    } else {
+      ++stats_.rejects;
+      queue_reply(c, encode(RejectReply{r.reason, r.detail}));
+    }
+  }
+  batch.clear();
+}
+
+void QosbbServer::dispatch_teardown(Conn& c, FlowId flow) {
+  const Status s = backend_release(flow);
+  if (s.is_ok()) {
+    ++stats_.teardowns;
+    if (options_.record_ops) {
+      RecordedOp op;
+      op.kind = RecordedOp::Kind::kRelease;
+      op.flow = flow;
+      ops_.push_back(std::move(op));
+    }
+    // Generic status ack: a RejectReply whose reason is kNone means
+    // "operation succeeded" (teardowns have no richer reply message).
+    queue_reply(c, encode(RejectReply{RejectReason::kNone, "torn-down"}));
+  } else {
+    ++stats_.teardown_failures;
+    queue_reply(c, encode(RejectReply{RejectReason::kPolicy, s.message()}));
+  }
+}
+
+Status QosbbServer::provision_pair(const std::string& ingress,
+                                   const std::string& egress) {
+  Result<PathId> path = Status::internal("unset");
+  if (front_ != nullptr) {
+    path = front_->exclusive([&](BandwidthBroker& bb) {
+      return bb.provision_path(ingress, egress);
+    });
+  } else {
+    path = durable_->provision_path(next_rid_++, ingress, egress);
+  }
+  if (!path.is_ok()) return path.status();
+  if (options_.record_ops) {
+    RecordedOp op;
+    op.kind = RecordedOp::Kind::kProvision;
+    op.ingress = ingress;
+    op.egress = egress;
+    ops_.push_back(std::move(op));
+  }
+  return Status::ok();
+}
+
+void QosbbServer::queue_reply(Conn& c, const WireBuffer& message_frame) {
+  const WireBuffer framed = frame_net_message(message_frame);
+  c.out.insert(c.out.end(), framed.begin(), framed.end());
+  ++stats_.frames_out;
+}
+
+void QosbbServer::protocol_error(Conn& c, const std::string& detail) {
+  ++stats_.decode_errors;
+  queue_reply(c, encode(RejectReply{RejectReason::kPolicy,
+                                    "protocol error: " + detail}));
+  c.close_after_flush = true;
+}
+
+void QosbbServer::try_flush(Conn& c) {
+  while (c.out_pos < c.out.size()) {
+    const ssize_t n = ::write(c.fd, c.out.data() + c.out_pos,
+                              c.out.size() - c.out_pos);
+    if (n > 0) {
+      stats_.bytes_out += static_cast<std::uint64_t>(n);
+      c.out_pos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      c.want_write = true;
+      // Reclaim the flushed prefix so a long-lived slow reader does not
+      // accrete an unbounded buffer.
+      if (c.out_pos > (1u << 20)) {
+        c.out.erase(c.out.begin(), c.out.begin() + static_cast<long>(c.out_pos));
+        c.out_pos = 0;
+      }
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    close_conn(c);  // peer reset
+    return;
+  }
+  c.out.clear();
+  c.out_pos = 0;
+  c.want_write = false;
+  if (c.close_after_flush) close_conn(c);
+}
+
+void QosbbServer::update_interest(Conn& c) {
+  if (c.dead) return;
+  const std::uint32_t want = (c.paused ? 0u : static_cast<std::uint32_t>(EPOLLIN)) |
+                             (c.want_write ? static_cast<std::uint32_t>(EPOLLOUT) : 0u);
+  if (want == c.events) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.ptr = &c;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev) == 0) {
+    c.events = want;
+  }
+}
+
+void QosbbServer::close_conn(Conn& c) {
+  if (c.dead) return;
+  ::close(c.fd);
+  c.fd = -1;
+  c.dead = true;
+  ++stats_.connections_closed;
+}
+
+// ---- Differential digest ----
+
+Result<std::uint32_t> broker_state_digest(const BandwidthBroker& bb) {
+  auto snap = bb.snapshot();
+  if (!snap.is_ok()) return snap.status();
+  return journal_crc32(snap.value().data(), snap.value().size());
+}
+
+DifferentialReport run_differential_check(const DomainSpec& spec,
+                                          const BrokerOptions& options,
+                                          const std::vector<RecordedOp>& ops,
+                                          const BandwidthBroker& live) {
+  DifferentialReport rep;
+  BandwidthBroker fresh(spec, options);
+  ConcurrentBrokerFront front(fresh, /*threads=*/1);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const RecordedOp& op = ops[i];
+    std::ostringstream at;
+    at << "op " << i << " (";
+    switch (op.kind) {
+      case RecordedOp::Kind::kProvision: {
+        at << "provision " << op.ingress << "->" << op.egress << ")";
+        auto path = front.exclusive([&](BandwidthBroker& bb) {
+          return bb.provision_path(op.ingress, op.egress);
+        });
+        if (!path.is_ok()) {
+          rep.detail = at.str() + ": " + path.status().to_string();
+          return rep;
+        }
+        break;
+      }
+      case RecordedOp::Kind::kAdmit: {
+        at << "admit " << op.request.ingress << "->" << op.request.egress
+           << ")";
+        FrontOutcome out = front.request_service(op.request);
+        const bool admitted = out.result.is_ok();
+        if (admitted != op.admitted) {
+          rep.detail = at.str() + ": decision divergence (server " +
+                       (op.admitted ? "admitted" : "rejected") +
+                       ", library replay " +
+                       (admitted ? "admitted" : "rejected") + ")";
+          return rep;
+        }
+        if (admitted && out.result.value().flow != op.assigned_flow) {
+          std::ostringstream os;
+          os << at.str() << ": flow id divergence (server "
+             << op.assigned_flow << ", replay " << out.result.value().flow
+             << ")";
+          rep.detail = os.str();
+          return rep;
+        }
+        break;
+      }
+      case RecordedOp::Kind::kRelease: {
+        at << "release " << op.flow << ")";
+        const Status s = front.release_service(op.flow);
+        if (!s.is_ok()) {
+          rep.detail = at.str() + ": " + s.to_string();
+          return rep;
+        }
+        break;
+      }
+    }
+    ++rep.ops_replayed;
+  }
+  auto live_snap = live.snapshot();
+  auto replay_snap = fresh.snapshot();
+  if (!live_snap.is_ok() || !replay_snap.is_ok()) {
+    rep.detail = "snapshot failed: " +
+                 (!live_snap.is_ok() ? live_snap.status().to_string()
+                                     : replay_snap.status().to_string());
+    return rep;
+  }
+  rep.live_digest =
+      journal_crc32(live_snap.value().data(), live_snap.value().size());
+  rep.replay_digest =
+      journal_crc32(replay_snap.value().data(), replay_snap.value().size());
+  if (live_snap.value() != replay_snap.value()) {
+    rep.detail = "state digest divergence: server-admitted snapshot differs "
+                 "from library replay";
+    return rep;
+  }
+  rep.ok = true;
+  std::ostringstream os;
+  os << rep.ops_replayed << " ops replayed, digest " << std::hex
+     << rep.live_digest;
+  rep.detail = os.str();
+  return rep;
+}
+
+}  // namespace qosbb

@@ -1,0 +1,196 @@
+// The bandwidth broker as a network service: an epoll event-loop signaling
+// server (the process behind tools/qosbbd.cc).
+//
+// The paper's BB is signaled by edge routers over the network (Section 2.2
+// names COPS); this server is that front. Each TCP connection carries a
+// pipelined stream of net frames (net/framing.h), each holding one wire.h
+// signaling message. Requests on one connection are answered IN ORDER, so
+// a client correlates replies positionally — the same discipline as
+// pipelined HTTP/1.1 — and can keep hundreds of requests in flight.
+//
+// Dispatch is BATCHED: one readable-socket drain decodes every complete
+// frame buffered on the connection, and each maximal run of consecutive
+// FlowServiceRequests is admitted through a single
+// ConcurrentBrokerFront::submit_batch call (one snapshot capture + one
+// group OCC commit instead of per-request work). Teardowns split runs, so
+// per-connection operation order is preserved exactly.
+//
+// Backpressure: replies accumulate in a per-connection write buffer that
+// is flushed opportunistically and on EPOLLOUT. When a slow reader's
+// buffer crosses the high watermark the server STOPS READING that
+// connection (EPOLLIN removed) until the buffer drains below the low
+// watermark — memory stays bounded and TCP flow control pushes back to
+// the client; other connections are unaffected.
+//
+// Every executed operation can be recorded (ServerOptions::record_ops) in
+// its exact library-level execution order — batches expanded in
+// batch_grouped_order, the order submit_batch defines its semantics in —
+// so that run_differential_check() can replay the whole session through a
+// fresh library-level front and demand a bit-identical state digest: the
+// proof that the network path (framing -> decode -> batch dispatch)
+// admitted exactly what the library would have.
+
+#ifndef QOSBB_NET_SERVER_H_
+#define QOSBB_NET_SERVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/broker.h"
+#include "core/concurrent_front.h"
+#include "core/durable_broker.h"
+#include "net/framing.h"
+#include "util/status.h"
+
+namespace qosbb {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; QosbbServer::port() reports it
+  int backlog = 256;
+  /// Stop reading a connection when its unflushed reply bytes exceed this.
+  std::size_t write_high_watermark = 1u << 20;
+  /// Resume reading once the backlog drains below this.
+  std::size_t write_low_watermark = 64u << 10;
+  /// Keep the executed-op log for run_differential_check (costs memory
+  /// proportional to the session; off for long-lived production runs).
+  bool record_ops = false;
+  /// Wall-clock budget for the stop-drain (flush pending replies), ms.
+  int drain_timeout_ms = 5000;
+};
+
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t admit_requests = 0;
+  std::uint64_t admits = 0;
+  std::uint64_t rejects = 0;
+  std::uint64_t teardowns = 0;
+  std::uint64_t teardown_failures = 0;
+  /// Corrupt frames / undecodable messages; each closes its connection.
+  std::uint64_t decode_errors = 0;
+  std::uint64_t batches = 0;           ///< submit_batch calls
+  std::uint64_t batched_requests = 0;  ///< admit requests inside them
+  std::uint64_t backpressure_pauses = 0;
+};
+
+/// One library-level operation the server executed, in execution order.
+struct RecordedOp {
+  enum class Kind : std::uint8_t { kProvision, kAdmit, kRelease };
+  Kind kind = Kind::kAdmit;
+  FlowServiceRequest request;  ///< kAdmit
+  std::string ingress, egress;  ///< kProvision
+  FlowId flow = kInvalidFlowId;  ///< kRelease target
+  // Recorded decision (kAdmit): replay must reproduce it exactly.
+  bool admitted = false;
+  FlowId assigned_flow = kInvalidFlowId;
+};
+
+class QosbbServer {
+ public:
+  /// Serve admissions through the concurrent front (in-memory state).
+  QosbbServer(ConcurrentBrokerFront& front, ServerOptions options);
+  /// Serve admissions through the durable broker (journaled state).
+  QosbbServer(DurableBroker& durable, ServerOptions options);
+  ~QosbbServer();
+
+  QosbbServer(const QosbbServer&) = delete;
+  QosbbServer& operator=(const QosbbServer&) = delete;
+
+  /// Bind + listen + epoll setup. After OK, port() is the bound port.
+  Status start();
+  /// Event loop; returns after request_stop() (or a fatal epoll error)
+  /// once pending replies are drained.
+  void run();
+  /// Ask the loop to stop and drain. Callable from any thread AND from a
+  /// signal handler (one async-signal-safe write on a pipe).
+  void request_stop();
+
+  std::uint16_t port() const { return port_; }
+  const ServerStats& stats() const { return stats_; }
+  const std::vector<RecordedOp>& recorded_ops() const { return ops_; }
+
+  /// Provision the candidate routes for a signaling endpoint pair up front
+  /// (and record it), so the admit fast path never escalates on first use.
+  Status provision_pair(const std::string& ingress, const std::string& egress);
+
+  /// The live broker behind whichever dispatch mode was configured.
+  BandwidthBroker& broker();
+
+ private:
+  struct Conn;
+
+  void accept_ready();
+  void conn_readable(Conn& c);
+  void conn_writable(Conn& c);
+  /// Pop + execute every complete frame the decoder holds (respecting the
+  /// write watermark), appending replies to the out buffer.
+  void drain_decoder(Conn& c);
+  /// Execute one maximal run of consecutive admits as one batch.
+  void dispatch_admits(Conn& c, std::vector<FlowServiceRequest>& batch);
+  void dispatch_teardown(Conn& c, FlowId flow);
+  /// Frame + queue one reply message.
+  void queue_reply(Conn& c, const WireBuffer& message_frame);
+  /// Protocol failure on this connection: count it, best-effort a
+  /// RejectReply, close after flush.
+  void protocol_error(Conn& c, const std::string& detail);
+  void try_flush(Conn& c);
+  void update_interest(Conn& c);
+  void close_conn(Conn& c);
+  void drain_and_exit();
+
+  // Dispatch seam over the two backends.
+  struct AdmitResult {
+    Result<Reservation> result = Status::rejected("unset");
+    RejectReason reason = RejectReason::kNone;
+    std::string detail;
+  };
+  std::vector<AdmitResult> backend_admit(
+      std::span<const FlowServiceRequest> requests);
+  Status backend_release(FlowId flow);
+
+  ConcurrentBrokerFront* front_ = nullptr;
+  DurableBroker* durable_ = nullptr;
+  RequestId next_rid_ = 1;  ///< durable mode: server-assigned idempotency ids
+
+  ServerOptions options_;
+  ServerStats stats_;
+  std::vector<RecordedOp> ops_;
+
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe for request_stop
+  std::uint16_t port_ = 0;
+  bool stopping_ = false;
+  std::vector<Conn*> conns_;  ///< live connections (owned)
+};
+
+/// CRC-32 fingerprint of the broker's full snapshot frame (requires a
+/// quiescent broker — always true for a drained per-flow signaling server).
+Result<std::uint32_t> broker_state_digest(const BandwidthBroker& bb);
+
+/// Replay `ops` (a QosbbServer recorded session) through a fresh
+/// library-level broker + concurrent front built from the same domain and
+/// options, checking every recorded admit decision (admit bit + assigned
+/// flow id) and finally comparing full snapshot frames byte-for-byte
+/// against `live`.
+struct DifferentialReport {
+  bool ok = false;
+  std::string detail;
+  std::size_t ops_replayed = 0;
+  std::uint32_t live_digest = 0;
+  std::uint32_t replay_digest = 0;
+};
+DifferentialReport run_differential_check(const DomainSpec& spec,
+                                          const BrokerOptions& options,
+                                          const std::vector<RecordedOp>& ops,
+                                          const BandwidthBroker& live);
+
+}  // namespace qosbb
+
+#endif  // QOSBB_NET_SERVER_H_

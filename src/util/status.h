@@ -25,6 +25,7 @@ enum class StatusCode {
   kUnavailable,      // transiently impossible; retry after state settles
   kTruncated,        // input ended mid-field (vs. structurally corrupt)
   kDataLoss,         // durable state is corrupt / unrecoverable
+  kNeedMoreData,     // streaming input: frame incomplete, wait for bytes
 };
 
 /// Human-readable name for a StatusCode.
@@ -39,6 +40,7 @@ constexpr const char* status_code_name(StatusCode c) {
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kTruncated: return "TRUNCATED";
     case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kNeedMoreData: return "NEED_MORE_DATA";
   }
   return "UNKNOWN";
 }
@@ -74,6 +76,9 @@ class Status {
   }
   static Status data_loss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status need_more_data(std::string msg) {
+    return Status(StatusCode::kNeedMoreData, std::move(msg));
   }
 
   bool is_ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,570 @@
+// Tests for the network signaling front: stream framing (every split
+// point, every corruption class), the epoll server end to end over
+// loopback, hostile-input hardening (the broker state must be untouched by
+// garbage bytes), and the server-vs-library differential digest check.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/broker.h"
+#include "core/concurrent_front.h"
+#include "core/wire.h"
+#include "net/client.h"
+#include "net/framing.h"
+#include "net/server.h"
+#include "topo/builders.h"
+#include "util/rng.h"
+
+namespace qosbb {
+namespace {
+
+FlowServiceRequest make_request(int pair = 0, double rho = 1e5) {
+  FlowServiceRequest req;
+  req.profile = TrafficProfile::make(/*sigma=*/24000.0, rho,
+                                     /*peak=*/2.0 * rho, /*l_max=*/12000.0);
+  req.e2e_delay_req = 1.0;
+  req.ingress = "I" + std::to_string(pair);
+  req.egress = "E" + std::to_string(pair);
+  return req;
+}
+
+// ---- Framing: the length|~length|crc32 stream codec ----
+
+TEST(Framing, RoundTripSingleFrame) {
+  const WireBuffer payload = encode(make_request());
+  const WireBuffer framed = frame_net_message(payload);
+  ASSERT_EQ(framed.size(), payload.size() + kNetFrameHeaderSize);
+
+  FrameDecoder dec;
+  dec.feed(framed.data(), framed.size());
+  auto out = dec.next();
+  ASSERT_TRUE(out.is_ok()) << out.status().to_string();
+  EXPECT_EQ(out.value(), payload);
+  EXPECT_EQ(dec.next().status().code(), StatusCode::kNeedMoreData);
+  EXPECT_FALSE(dec.poisoned());
+}
+
+TEST(Framing, EverySplitPointNeedsMoreDataThenDecodes) {
+  const WireBuffer payload = encode(make_request());
+  const WireBuffer framed = frame_net_message(payload);
+  for (std::size_t cut = 0; cut < framed.size(); ++cut) {
+    FrameDecoder dec;
+    dec.feed(framed.data(), cut);
+    auto partial = dec.next();
+    ASSERT_FALSE(partial.is_ok()) << "cut=" << cut;
+    ASSERT_EQ(partial.status().code(), StatusCode::kNeedMoreData)
+        << "cut=" << cut << ": " << partial.status().to_string();
+    ASSERT_FALSE(dec.poisoned()) << "cut=" << cut;
+    dec.feed(framed.data() + cut, framed.size() - cut);
+    auto whole = dec.next();
+    ASSERT_TRUE(whole.is_ok())
+        << "cut=" << cut << ": " << whole.status().to_string();
+    EXPECT_EQ(whole.value(), payload);
+  }
+}
+
+TEST(Framing, ByteByByteFeed) {
+  const WireBuffer payload = encode(make_request());
+  const WireBuffer framed = frame_net_message(payload);
+  FrameDecoder dec;
+  for (std::size_t i = 0; i + 1 < framed.size(); ++i) {
+    dec.feed(&framed[i], 1);
+    ASSERT_EQ(dec.next().status().code(), StatusCode::kNeedMoreData)
+        << "after byte " << i;
+  }
+  dec.feed(&framed[framed.size() - 1], 1);
+  auto out = dec.next();
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(out.value(), payload);
+}
+
+TEST(Framing, PipelinedFramesDecodeInOrder) {
+  std::vector<WireBuffer> payloads;
+  WireBuffer stream;
+  for (int i = 0; i < 5; ++i) {
+    payloads.push_back(encode(make_request(i % 2)));
+    const WireBuffer framed = frame_net_message(payloads.back());
+    stream.insert(stream.end(), framed.begin(), framed.end());
+  }
+  FrameDecoder dec;
+  dec.feed(stream.data(), stream.size());
+  for (int i = 0; i < 5; ++i) {
+    auto out = dec.next();
+    ASSERT_TRUE(out.is_ok()) << "frame " << i;
+    EXPECT_EQ(out.value(), payloads[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(dec.next().status().code(), StatusCode::kNeedMoreData);
+}
+
+TEST(Framing, LengthComplementMismatchIsDataLossAndPoisons) {
+  WireBuffer framed = frame_net_message(encode(make_request()));
+  framed[5] ^= 0x10;  // corrupt the ~len word
+  FrameDecoder dec;
+  dec.feed(framed.data(), framed.size());
+  EXPECT_EQ(dec.next().status().code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(dec.poisoned());
+  // Feeding good bytes later cannot resynchronize a corrupt stream.
+  const WireBuffer good = frame_net_message(encode(make_request()));
+  dec.feed(good.data(), good.size());
+  EXPECT_EQ(dec.next().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(Framing, PayloadCorruptionFailsCrc) {
+  const WireBuffer payload = encode(make_request());
+  for (std::size_t bit = 0; bit < 8; ++bit) {
+    WireBuffer framed = frame_net_message(payload);
+    framed[kNetFrameHeaderSize + 3] ^= static_cast<std::uint8_t>(1u << bit);
+    FrameDecoder dec;
+    dec.feed(framed.data(), framed.size());
+    EXPECT_EQ(dec.next().status().code(), StatusCode::kDataLoss)
+        << "bit " << bit;
+  }
+}
+
+TEST(Framing, OversizeLengthIsDataLossNotAllocation) {
+  // A hostile length must be rejected structurally (both words consistent,
+  // so only the cap catches it) — before any payload-sized buffering.
+  const std::uint32_t huge = kMaxNetFramePayload + 1;
+  WireBuffer framed;
+  auto put_u32 = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      framed.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  put_u32(huge);
+  put_u32(~huge);
+  put_u32(0);
+  FrameDecoder dec;
+  dec.feed(framed.data(), framed.size());
+  EXPECT_EQ(dec.next().status().code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(dec.poisoned());
+}
+
+TEST(Framing, TornTailIsNeedMoreDataNotCorruption) {
+  // A frame cut anywhere (header or payload) is indistinguishable from a
+  // slow sender: kNeedMoreData, decoder stays healthy.
+  const WireBuffer framed = frame_net_message(encode(make_request()));
+  for (std::size_t keep = 0; keep < framed.size(); ++keep) {
+    FrameDecoder dec;
+    dec.feed(framed.data(), keep);
+    EXPECT_EQ(dec.next().status().code(), StatusCode::kNeedMoreData);
+    EXPECT_FALSE(dec.poisoned());
+  }
+}
+
+TEST(Framing, CompactionPreservesStreamAcrossManyFrames) {
+  // Push enough frames through a single decoder that the internal buffer
+  // compaction path runs repeatedly.
+  FrameDecoder dec;
+  const WireBuffer payload = encode(make_request());
+  const WireBuffer framed = frame_net_message(payload);
+  for (int i = 0; i < 1000; ++i) {
+    dec.feed(framed.data(), framed.size());
+    auto out = dec.next();
+    ASSERT_TRUE(out.is_ok()) << "frame " << i;
+    ASSERT_EQ(out.value(), payload);
+  }
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+// ---- The epoll server over loopback ----
+
+class NetServerTest : public ::testing::Test {
+ protected:
+  void boot(ServerOptions opts = ServerOptions{}) {
+    DumbbellOptions topo;
+    topo.edge_pairs = 2;
+    // Wide pipes: these tests admit thousands of 100 kb/s flows and only
+    // the 1e12-rho "monster" requests should ever be rejected.
+    topo.access_capacity = 10e9;
+    topo.bottleneck_capacity = 4e9;
+    spec_ = dumbbell_topology(topo);
+    bb_ = std::make_unique<BandwidthBroker>(spec_, broker_options_);
+    front_ = std::make_unique<ConcurrentBrokerFront>(*bb_, 1);
+    server_ = std::make_unique<QosbbServer>(*front_, opts);
+    ASSERT_TRUE(server_->start().is_ok());
+    ASSERT_TRUE(server_->provision_pair("I0", "E0").is_ok());
+    ASSERT_TRUE(server_->provision_pair("I1", "E1").is_ok());
+    loop_ = std::thread([this] { server_->run(); });
+  }
+
+  void stop() {
+    if (server_ != nullptr && loop_.joinable()) {
+      server_->request_stop();
+      loop_.join();
+    }
+  }
+
+  void TearDown() override { stop(); }
+
+  std::uint32_t digest() {
+    auto d = broker_state_digest(server_->broker());
+    EXPECT_TRUE(d.is_ok());
+    return d.is_ok() ? d.value() : 0;
+  }
+
+  BrokerOptions broker_options_;
+  DomainSpec spec_;
+  std::unique_ptr<BandwidthBroker> bb_;
+  std::unique_ptr<ConcurrentBrokerFront> front_;
+  std::unique_ptr<QosbbServer> server_;
+  std::thread loop_;
+};
+
+TEST_F(NetServerTest, AdmitTeardownRoundTrip) {
+  boot();
+  BlockingClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server_->port()).is_ok());
+
+  ASSERT_TRUE(client.send_message(encode(make_request())).is_ok());
+  auto reply = client.read_message();
+  ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
+  ASSERT_EQ(peek_type(reply.value()).value(), MessageType::kReservationReply);
+  auto res = decode_reservation(reply.value());
+  ASSERT_TRUE(res.is_ok());
+  EXPECT_NE(res.value().flow, kInvalidFlowId);
+  EXPECT_GE(res.value().params.rate, 1e5);
+
+  ASSERT_TRUE(
+      client.send_message(encode(TeardownRequest{res.value().flow})).is_ok());
+  auto ack = client.read_message();
+  ASSERT_TRUE(ack.is_ok());
+  ASSERT_EQ(peek_type(ack.value()).value(), MessageType::kRejectReply);
+  EXPECT_EQ(decode_reject_reply(ack.value()).value().reason,
+            RejectReason::kNone);
+}
+
+TEST_F(NetServerTest, OverloadIsRejectedWithReason) {
+  boot();
+  BlockingClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server_->port()).is_ok());
+  // A flow wider than the whole bottleneck cannot be admitted.
+  FlowServiceRequest req = make_request(0, /*rho=*/1e12);
+  ASSERT_TRUE(client.send_message(encode(req)).is_ok());
+  auto reply = client.read_message();
+  ASSERT_TRUE(reply.is_ok());
+  ASSERT_EQ(peek_type(reply.value()).value(), MessageType::kRejectReply);
+  EXPECT_NE(decode_reject_reply(reply.value()).value().reason,
+            RejectReason::kNone);
+  // Stats are written by the loop thread: only read them after stop().
+  stop();
+  EXPECT_EQ(server_->stats().admit_requests, 1u);
+  EXPECT_EQ(server_->stats().rejects, 1u);
+  EXPECT_EQ(server_->stats().admits, 0u);
+}
+
+TEST_F(NetServerTest, TeardownOfUnknownFlowFailsButKeepsConnection) {
+  boot();
+  BlockingClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server_->port()).is_ok());
+  ASSERT_TRUE(
+      client.send_message(encode(TeardownRequest{987654321})).is_ok());
+  auto ack = client.read_message();
+  ASSERT_TRUE(ack.is_ok());
+  ASSERT_EQ(peek_type(ack.value()).value(), MessageType::kRejectReply);
+  EXPECT_NE(decode_reject_reply(ack.value()).value().reason,
+            RejectReason::kNone);
+  // The connection survives a failed teardown: a real admit still works.
+  ASSERT_TRUE(client.send_message(encode(make_request())).is_ok());
+  auto reply = client.read_message();
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_EQ(peek_type(reply.value()).value(), MessageType::kReservationReply);
+}
+
+TEST_F(NetServerTest, PipelinedRepliesArriveInOrder) {
+  boot();
+  BlockingClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server_->port()).is_ok());
+  // Burst: admit, admit, teardown(unknown), admit — one write, then read
+  // the four replies back positionally.
+  WireBuffer burst;
+  for (const WireBuffer& msg :
+       {encode(make_request(0)), encode(make_request(1)),
+        encode(TeardownRequest{424242}), encode(make_request(0))}) {
+    const WireBuffer framed = frame_net_message(msg);
+    burst.insert(burst.end(), framed.begin(), framed.end());
+  }
+  ASSERT_TRUE(client.send_raw(burst).is_ok());
+
+  const MessageType expect[] = {
+      MessageType::kReservationReply, MessageType::kReservationReply,
+      MessageType::kRejectReply, MessageType::kReservationReply};
+  for (int i = 0; i < 4; ++i) {
+    auto reply = client.read_message();
+    ASSERT_TRUE(reply.is_ok()) << "reply " << i;
+    EXPECT_EQ(peek_type(reply.value()).value(), expect[i]) << "reply " << i;
+  }
+  stop();
+  // The two consecutive leading admits were dispatched as one batch.
+  EXPECT_EQ(server_->stats().admit_requests, 3u);
+  EXPECT_EQ(server_->stats().teardown_failures, 1u);
+  EXPECT_LE(server_->stats().batches, server_->stats().batched_requests);
+}
+
+TEST_F(NetServerTest, ManyPipelinedAdmitsAllAnswered) {
+  boot();
+  const int kCount = 500;
+  BlockingClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server_->port()).is_ok());
+  WireBuffer burst;
+  for (int i = 0; i < kCount; ++i) {
+    const WireBuffer framed = frame_net_message(encode(make_request(i % 2)));
+    burst.insert(burst.end(), framed.begin(), framed.end());
+  }
+  // Writer thread: a full-pipe sender must not deadlock against the reader.
+  std::thread writer([&] { EXPECT_TRUE(client.send_raw(burst).is_ok()); });
+  int admitted = 0;
+  for (int i = 0; i < kCount; ++i) {
+    auto reply = client.read_message(10000);
+    ASSERT_TRUE(reply.is_ok()) << "reply " << i;
+    if (peek_type(reply.value()).value() == MessageType::kReservationReply) {
+      ++admitted;
+    }
+  }
+  writer.join();
+  stop();
+  EXPECT_EQ(admitted, kCount);
+  EXPECT_EQ(server_->stats().admit_requests,
+            static_cast<std::uint64_t>(kCount));
+  EXPECT_EQ(server_->stats().admits + server_->stats().rejects,
+            static_cast<std::uint64_t>(kCount));
+  EXPECT_EQ(server_->stats().decode_errors, 0u);
+}
+
+TEST_F(NetServerTest, SlowReaderHitsBackpressureButLosesNothing) {
+  ServerOptions opts;
+  opts.write_high_watermark = 4096;
+  opts.write_low_watermark = 1024;
+  boot(opts);
+  const int kCount = 4000;
+  BlockingClient client;
+  // Tiny receive window: replies can't drain into the client's kernel
+  // buffer, so the server's userspace reply buffer must back up.
+  ASSERT_TRUE(
+      client.connect("127.0.0.1", server_->port(), /*rcvbuf_bytes=*/4096)
+          .is_ok());
+  WireBuffer burst;
+  for (int i = 0; i < kCount; ++i) {
+    const WireBuffer framed = frame_net_message(encode(make_request(i % 2)));
+    burst.insert(burst.end(), framed.begin(), framed.end());
+  }
+  // Send everything, and hold off reading while the server churns: its
+  // write buffer crosses the (tiny) watermark and it must pause reading
+  // instead of buffering without bound.
+  std::thread writer([&] { EXPECT_TRUE(client.send_raw(burst).is_ok()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  int answered = 0;
+  for (int i = 0; i < kCount; ++i) {
+    auto reply = client.read_message(10000);
+    ASSERT_TRUE(reply.is_ok()) << "reply " << i;
+    ++answered;
+  }
+  writer.join();
+  stop();
+  EXPECT_EQ(answered, kCount);
+  EXPECT_EQ(server_->stats().admit_requests,
+            static_cast<std::uint64_t>(kCount));
+  EXPECT_GE(server_->stats().backpressure_pauses, 1u);
+  EXPECT_EQ(server_->stats().decode_errors, 0u);
+}
+
+// ---- Hostile input: the broker must be untouchable by garbage ----
+
+TEST_F(NetServerTest, RandomGarbageLeavesBrokerUntouched) {
+  boot();
+  // Seed real state so the digest is non-trivial.
+  BlockingClient setup;
+  ASSERT_TRUE(setup.connect("127.0.0.1", server_->port()).is_ok());
+  ASSERT_TRUE(setup.send_message(encode(make_request())).is_ok());
+  ASSERT_TRUE(setup.read_message().is_ok());
+  const std::uint32_t before = digest();
+
+  Rng rng(77);
+  for (int round = 0; round < 32; ++round) {
+    BlockingClient hostile;
+    ASSERT_TRUE(hostile.connect("127.0.0.1", server_->port()).is_ok());
+    WireBuffer junk(static_cast<std::size_t>(rng.uniform_int(1, 512)));
+    for (auto& b : junk) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    ASSERT_TRUE(hostile.send_raw(junk).is_ok());
+    hostile.shutdown_send();
+    // The server either answers with a reject or just closes; it must not
+    // hang, and it must not admit anything.
+    while (true) {
+      auto reply = hostile.read_message(5000);
+      if (!reply.is_ok()) {
+        EXPECT_NE(reply.status().code(), StatusCode::kUnavailable)
+            << "server hung on garbage round " << round;
+        break;
+      }
+      EXPECT_EQ(peek_type(reply.value()).value(), MessageType::kRejectReply);
+    }
+  }
+  EXPECT_EQ(digest(), before);
+  // The server still serves real clients afterwards.
+  BlockingClient after;
+  ASSERT_TRUE(after.connect("127.0.0.1", server_->port()).is_ok());
+  ASSERT_TRUE(after.send_message(encode(make_request(1))).is_ok());
+  auto reply = after.read_message();
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_EQ(peek_type(reply.value()).value(), MessageType::kReservationReply);
+}
+
+TEST_F(NetServerTest, BitFlippedFrameIsRejectedAndConnectionClosed) {
+  boot();
+  const std::uint32_t before = digest();
+  Rng rng(99);
+  for (int round = 0; round < 64; ++round) {
+    WireBuffer framed = frame_net_message(encode(make_request()));
+    const std::size_t byte = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(framed.size()) - 1));
+    framed[byte] ^=
+        static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+    BlockingClient hostile;
+    ASSERT_TRUE(hostile.connect("127.0.0.1", server_->port()).is_ok());
+    ASSERT_TRUE(hostile.send_raw(framed).is_ok());
+    hostile.shutdown_send();
+    // Whatever the flip hit (framing header, CRC, wire header, profile
+    // floats) the flow must NOT be admitted: either a reject reply, a
+    // close, or — if the flip left the frame undecodably short — nothing.
+    while (true) {
+      auto reply = hostile.read_message(5000);
+      if (!reply.is_ok()) break;
+      ASSERT_EQ(peek_type(reply.value()).value(), MessageType::kRejectReply)
+          << "round " << round << " byte " << byte;
+    }
+  }
+  EXPECT_EQ(digest(), before);
+}
+
+TEST_F(NetServerTest, TruncatedFrameOnCloseIsDroppedSilently) {
+  boot();
+  const std::uint32_t before = digest();
+  const WireBuffer framed = frame_net_message(encode(make_request()));
+  for (std::size_t keep : {std::size_t{1}, std::size_t{6},
+                           std::size_t{kNetFrameHeaderSize},
+                           framed.size() - 1}) {
+    BlockingClient hostile;
+    ASSERT_TRUE(hostile.connect("127.0.0.1", server_->port()).is_ok());
+    WireBuffer torn(framed.begin(), framed.begin() + static_cast<long>(keep));
+    ASSERT_TRUE(hostile.send_raw(torn).is_ok());
+    hostile.shutdown_send();
+    auto reply = hostile.read_message(5000);
+    // A torn tail is a slow-sender artifact, not corruption: the server
+    // closes without a reject and without admitting anything.
+    EXPECT_FALSE(reply.is_ok());
+    EXPECT_NE(reply.status().code(), StatusCode::kUnavailable);
+  }
+  stop();
+  EXPECT_EQ(server_->stats().admit_requests, 0u);
+  EXPECT_EQ(broker_state_digest(server_->broker()).value(), before);
+}
+
+TEST_F(NetServerTest, ServerBoundMessageTypeIsAProtocolError) {
+  boot();
+  // A syntactically valid frame carrying a reply-type message (the server
+  // only ever SENDS these) must be refused without touching the broker.
+  const std::uint32_t before = digest();
+  Reservation res;
+  res.flow = 1;
+  res.path = 1;
+  res.params = {1e6, 0.01};
+  res.e2e_bound = 0.5;
+  BlockingClient hostile;
+  ASSERT_TRUE(hostile.connect("127.0.0.1", server_->port()).is_ok());
+  ASSERT_TRUE(hostile.send_message(encode(res)).is_ok());
+  auto reply = hostile.read_message(5000);
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_EQ(peek_type(reply.value()).value(), MessageType::kRejectReply);
+  stop();
+  EXPECT_EQ(server_->stats().decode_errors, 1u);
+  EXPECT_EQ(broker_state_digest(server_->broker()).value(), before);
+}
+
+// ---- The differential check: network path == library path ----
+
+TEST_F(NetServerTest, DifferentialDigestMatchesLibraryReplay) {
+  ServerOptions opts;
+  opts.record_ops = true;
+  boot(opts);
+  BlockingClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server_->port()).is_ok());
+  std::vector<FlowId> admitted;
+  for (int i = 0; i < 60; ++i) {
+    // Mix: normal admits on both pairs, a rejected monster every 7th, a
+    // teardown of an earlier flow every 5th.
+    if (i % 5 == 4 && !admitted.empty()) {
+      const FlowId victim = admitted.back();
+      admitted.pop_back();
+      ASSERT_TRUE(client.send_message(encode(TeardownRequest{victim})).is_ok());
+      auto ack = client.read_message();
+      ASSERT_TRUE(ack.is_ok());
+      EXPECT_EQ(decode_reject_reply(ack.value()).value().reason,
+                RejectReason::kNone);
+      continue;
+    }
+    const double rho = (i % 7 == 6) ? 1e12 : 1e5 * (1 + i % 3);
+    ASSERT_TRUE(client.send_message(encode(make_request(i % 2, rho))).is_ok());
+    auto reply = client.read_message();
+    ASSERT_TRUE(reply.is_ok());
+    if (peek_type(reply.value()).value() == MessageType::kReservationReply) {
+      admitted.push_back(decode_reservation(reply.value()).value().flow);
+    } else {
+      EXPECT_EQ(rho, 1e12) << "unexpected reject at op " << i;
+    }
+  }
+  client.close();
+  stop();
+
+  const DifferentialReport rep = run_differential_check(
+      spec_, broker_options_, server_->recorded_ops(), server_->broker());
+  EXPECT_TRUE(rep.ok) << rep.detail;
+  EXPECT_EQ(rep.live_digest, rep.replay_digest);
+  EXPECT_GT(rep.ops_replayed, 60u);  // provisions + admits + releases
+}
+
+TEST_F(NetServerTest, DifferentialCatchesTamperedRecording) {
+  // Sanity: the check is not vacuous — a forged admit decision must fail.
+  ServerOptions opts;
+  opts.record_ops = true;
+  boot(opts);
+  BlockingClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server_->port()).is_ok());
+  ASSERT_TRUE(client.send_message(encode(make_request())).is_ok());
+  ASSERT_TRUE(client.read_message().is_ok());
+  client.close();
+  stop();
+
+  std::vector<RecordedOp> tampered = server_->recorded_ops();
+  ASSERT_FALSE(tampered.empty());
+  RecordedOp forged = tampered.back();
+  ASSERT_EQ(forged.kind, RecordedOp::Kind::kAdmit);
+  forged.request.profile =
+      TrafficProfile::make(24000.0, 2e5, 4e5, 12000.0);  // not what ran
+  tampered.push_back(forged);
+  const DifferentialReport rep = run_differential_check(
+      spec_, broker_options_, tampered, server_->broker());
+  EXPECT_FALSE(rep.ok);
+}
+
+TEST(NetDigest, DeterministicAcrossCalls) {
+  DumbbellOptions topo;
+  topo.edge_pairs = 2;
+  const DomainSpec spec = dumbbell_topology(topo);
+  BandwidthBroker bb(spec, BrokerOptions{});
+  auto a = broker_state_digest(bb);
+  auto b = broker_state_digest(bb);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+}  // namespace
+}  // namespace qosbb

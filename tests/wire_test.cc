@@ -223,6 +223,105 @@ TEST(Wire, CorruptionIsNotReportedAsTruncation) {
   EXPECT_EQ(f.status().code(), StatusCode::kInvalidArgument);
 }
 
+// ---- Streaming mode (Mode::kStreaming): a reader over a growing stream
+// prefix reports short reads as kNeedMoreData, never kTruncated, and a
+// failed read never advances the cursor — so the caller can re-decode from
+// the same position once more bytes arrive.
+
+TEST(WireStreaming, ShortReadIsNeedMoreDataAtEverySplitPoint) {
+  WireWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.str("hello");
+  w.bytes(WireBuffer{1, 2, 3, 4});
+  const WireBuffer full = w.take();
+
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    const WireBuffer prefix(full.begin(),
+                            full.begin() + static_cast<long>(cut));
+    WireReader r(prefix, WireReader::Mode::kStreaming);
+    // Drive the exact field sequence; the first read past `cut` must be
+    // kNeedMoreData with the cursor left where that field began.
+    bool starved = false;
+    auto check = [&](const Status& s) {
+      if (!s.is_ok()) {
+        EXPECT_EQ(s.code(), StatusCode::kNeedMoreData)
+            << "cut=" << cut << ": " << s.to_string();
+        starved = true;
+      }
+    };
+    const std::size_t pos_before_u8 = r.position();
+    if (!starved) check(r.u8().status());
+    if (starved) {
+      EXPECT_EQ(r.position(), pos_before_u8);
+      continue;
+    }
+    if (!starved) check(r.u16().status());
+    if (!starved) check(r.u32().status());
+    if (!starved) check(r.u64().status());
+    const std::size_t pos_before_str = r.position();
+    if (!starved) {
+      auto s = r.str();
+      check(s.status());
+      if (starved) {
+        // The length prefix was un-read too: retrying later re-decodes the
+        // whole field, not just its tail.
+        EXPECT_EQ(r.position(), pos_before_str) << "cut=" << cut;
+      }
+    }
+    const std::size_t pos_before_bytes = r.position();
+    if (!starved) {
+      auto b = r.bytes();
+      check(b.status());
+      if (starved) {
+        EXPECT_EQ(r.position(), pos_before_bytes) << "cut=" << cut;
+      }
+    }
+    EXPECT_TRUE(starved) << "cut=" << cut << " should starve some field";
+  }
+
+  // The complete buffer decodes fully in streaming mode too.
+  WireReader r(full, WireReader::Mode::kStreaming);
+  EXPECT_EQ(r.u8().value(), 0xAB);
+  EXPECT_EQ(r.u16().value(), 0xBEEF);
+  EXPECT_EQ(r.u32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64().value(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.str().value(), "hello");
+  EXPECT_EQ(r.bytes().value(), (WireBuffer{1, 2, 3, 4}));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(WireStreaming, CompleteModeStillReportsTruncated) {
+  WireWriter w;
+  w.u32(7);
+  WireBuffer buf = w.take();
+  buf.pop_back();
+  EXPECT_EQ(WireReader(buf).u32().status().code(), StatusCode::kTruncated);
+  EXPECT_EQ(WireReader(buf, WireReader::Mode::kStreaming).u32().status().code(),
+            StatusCode::kNeedMoreData);
+}
+
+TEST(WireStreaming, RetryAfterGrowthSucceeds) {
+  // Simulate a stream: decode fails with kNeedMoreData on the prefix, then
+  // succeeds from the same position on the grown buffer.
+  WireWriter w;
+  w.str("bandwidth-broker");
+  const WireBuffer full = w.take();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    WireBuffer grow(full.begin(), full.begin() + static_cast<long>(cut));
+    WireReader r(grow, WireReader::Mode::kStreaming);
+    auto first = r.str();
+    ASSERT_FALSE(first.is_ok());
+    ASSERT_EQ(first.status().code(), StatusCode::kNeedMoreData);
+    ASSERT_EQ(r.position(), 0u);
+    grow.insert(grow.end(), full.begin() + static_cast<long>(cut), full.end());
+    WireReader r2(grow, WireReader::Mode::kStreaming);
+    EXPECT_EQ(r2.str().value(), "bandwidth-broker");
+  }
+}
+
 TEST(Wire, FuzzRandomBuffersNeverCrash) {
   Rng rng(2026);
   for (int i = 0; i < 2000; ++i) {

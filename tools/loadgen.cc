@@ -1,0 +1,486 @@
+// loadgen — closed- and open-loop signaling load for qosbbd.
+//
+// Simulates many edge-router signaling sessions over N TCP connections,
+// each pipelining up to W requests (closed loop) or pacing a fixed
+// aggregate request rate (open loop). Every request is timestamped at
+// send and matched to its in-order reply, yielding a full end-to-end
+// admission-latency distribution (p50/p90/p99/p999) plus admits/sec —
+// the measured numbers behind the BB's scalability claims.
+//
+//   loadgen --port-file=/tmp/qosbbd.port --requests=100000
+//   loadgen --port=4747 --connections=8 --pipeline=128 --teardown-every=4
+//   loadgen --mode=open --rate=50000 --requests=200000
+//
+// Invariants checked (exit 1 on violation): every request gets exactly one
+// reply (admits + rejects == admit requests sent; every teardown acked),
+// zero decode/CRC errors, no unexpected message types, completion before
+// the deadline. The JSON report (--json-out) is merged by
+// bench/run_benchmarks.sh into BENCH_bb_throughput.json as the
+// "server_loadgen" section and gated by bench/check_bench_smoke.py.
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "core/wire.h"
+#include "net/client.h"
+#include "net/framing.h"
+
+namespace {
+
+using namespace qosbb;
+using Clock = std::chrono::steady_clock;
+
+struct Args {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string port_file;
+  int connections = 4;
+  int pipeline = 64;
+  long requests = 100000;  ///< total admit requests across all connections
+  int teardown_every = 0;  ///< send a teardown after every K admits (0=off)
+  std::string mode = "closed";
+  double rate = 0.0;  ///< open loop: aggregate admit requests per second
+  int pairs = 8;      ///< ingress/egress pairs to rotate (server topology)
+  double rho_kbps = 100.0;
+  double d_req = 1.0;
+  int timeout_s = 300;
+  std::string json_out;
+};
+
+bool parse_args(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return a.compare(0, n, prefix) == 0 ? a.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--host=")) {
+      args->host = v;
+    } else if (const char* v = value("--port=")) {
+      args->port = std::atoi(v);
+    } else if (const char* v = value("--port-file=")) {
+      args->port_file = v;
+    } else if (const char* v = value("--connections=")) {
+      args->connections = std::atoi(v);
+    } else if (const char* v = value("--pipeline=")) {
+      args->pipeline = std::atoi(v);
+    } else if (const char* v = value("--requests=")) {
+      args->requests = std::atol(v);
+    } else if (const char* v = value("--teardown-every=")) {
+      args->teardown_every = std::atoi(v);
+    } else if (const char* v = value("--mode=")) {
+      args->mode = v;
+    } else if (const char* v = value("--rate=")) {
+      args->rate = std::atof(v);
+    } else if (const char* v = value("--pairs=")) {
+      args->pairs = std::atoi(v);
+    } else if (const char* v = value("--rho-kbps=")) {
+      args->rho_kbps = std::atof(v);
+    } else if (const char* v = value("--d-req=")) {
+      args->d_req = std::atof(v);
+    } else if (const char* v = value("--timeout-s=")) {
+      args->timeout_s = std::atoi(v);
+    } else if (const char* v = value("--json-out=")) {
+      args->json_out = v;
+    } else if (a == "--help" || a == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "loadgen: unknown argument: %s\n", a.c_str());
+      return false;
+    }
+  }
+  if (args->mode != "closed" && args->mode != "open") {
+    std::fprintf(stderr, "loadgen: --mode must be closed or open\n");
+    return false;
+  }
+  if (args->mode == "open" && args->rate <= 0.0) {
+    std::fprintf(stderr, "loadgen: open loop requires --rate\n");
+    return false;
+  }
+  if (args->connections < 1 || args->pipeline < 1 || args->requests < 1 ||
+      args->pairs < 1) {
+    return false;
+  }
+  return true;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: loadgen [--host=ADDR] (--port=N | --port-file=PATH)\n"
+      "               [--connections=N] [--pipeline=W] [--requests=N]\n"
+      "               [--teardown-every=K] [--mode=closed|open] [--rate=R]\n"
+      "               [--pairs=P] [--rho-kbps=X] [--d-req=S]\n"
+      "               [--timeout-s=N] [--json-out=PATH]\n");
+}
+
+struct Pending {
+  bool admit = true;
+  Clock::time_point sent;
+};
+
+struct Conn {
+  BlockingClient client;  ///< owns the fd; loadgen drives it non-blocking
+  int fd = -1;
+  FrameDecoder decoder;
+  std::vector<std::uint8_t> out;
+  std::size_t out_pos = 0;
+  std::deque<Pending> pending;
+  std::deque<FlowId> live;       ///< confirmed admitted flows
+  long admits_since_teardown = 0;
+
+  std::size_t backlog() const { return out.size() - out_pos; }
+};
+
+struct Totals {
+  long admits_sent = 0;
+  long teardowns_sent = 0;
+  long admits = 0;
+  long rejects = 0;
+  long teardown_acks = 0;
+  long teardown_failures = 0;
+  long decode_errors = 0;
+  long protocol_errors = 0;
+};
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, &args)) {
+    usage();
+    return 2;
+  }
+  if (args.port == 0 && !args.port_file.empty()) {
+    std::ifstream pf(args.port_file);
+    pf >> args.port;
+  }
+  if (args.port <= 0 || args.port > 65535) {
+    std::fprintf(stderr, "loadgen: no server port (--port or --port-file)\n");
+    return 2;
+  }
+
+  std::vector<Conn> conns(static_cast<std::size_t>(args.connections));
+  for (Conn& c : conns) {
+    if (Status s = c.client.connect(args.host,
+                                    static_cast<std::uint16_t>(args.port));
+        !s.is_ok()) {
+      std::fprintf(stderr, "loadgen: %s\n", s.to_string().c_str());
+      return 1;
+    }
+    c.fd = c.client.fd();
+    // BlockingClient connects blocking; this loop multiplexes with poll.
+    ::fcntl(c.fd, F_SETFL, ::fcntl(c.fd, F_GETFL, 0) | O_NONBLOCK);
+  }
+
+  // Deterministic request template, rotated over the endpoint pairs. The
+  // shape obeys the wire-level profile invariants (sigma >= L, P >= rho).
+  const double rho = args.rho_kbps * 1e3;
+  std::vector<std::pair<std::string, std::string>> pair_names;
+  for (int k = 0; k < args.pairs; ++k) {
+    pair_names.emplace_back("I" + std::to_string(k), "E" + std::to_string(k));
+  }
+  auto make_request = [&](long n) {
+    FlowServiceRequest req;
+    req.profile = TrafficProfile::make(/*sigma=*/24000.0, rho,
+                                       /*peak=*/2.0 * rho, /*l_max=*/12000.0);
+    req.e2e_delay_req = args.d_req;
+    const auto& names = pair_names[static_cast<std::size_t>(n % args.pairs)];
+    req.ingress = names.first;
+    req.egress = names.second;
+    return req;
+  };
+
+  Totals totals;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(static_cast<std::size_t>(args.requests));
+
+  const auto start = Clock::now();
+  const auto deadline = start + std::chrono::seconds(args.timeout_s);
+  const bool open_loop = args.mode == "open";
+
+  auto queue_message = [&](Conn& c, const WireBuffer& msg, bool admit) {
+    const WireBuffer framed = frame_net_message(msg);
+    c.out.insert(c.out.end(), framed.begin(), framed.end());
+    c.pending.push_back(Pending{admit, Clock::now()});
+  };
+
+  // One admit (or interleaved teardown) on connection `c`.
+  auto queue_next_op = [&](Conn& c) {
+    if (args.teardown_every > 0 &&
+        c.admits_since_teardown >= args.teardown_every && !c.live.empty()) {
+      const FlowId flow = c.live.front();
+      c.live.pop_front();
+      c.admits_since_teardown = 0;
+      queue_message(c, encode(TeardownRequest{flow}), /*admit=*/false);
+      ++totals.teardowns_sent;
+      return;
+    }
+    queue_message(c, encode(make_request(totals.admits_sent)), /*admit=*/true);
+    ++totals.admits_sent;
+    ++c.admits_since_teardown;
+  };
+
+  auto flush = [&](Conn& c) -> bool {
+    while (c.out_pos < c.out.size()) {
+      const ssize_t n =
+          ::write(c.fd, c.out.data() + c.out_pos, c.out.size() - c.out_pos);
+      if (n > 0) {
+        c.out_pos += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    c.out.clear();
+    c.out_pos = 0;
+    return true;
+  };
+
+  auto handle_reply = [&](Conn& c, const WireBuffer& payload) -> bool {
+    if (c.pending.empty()) {
+      ++totals.protocol_errors;
+      return false;
+    }
+    const Pending p = c.pending.front();
+    c.pending.pop_front();
+    latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(Clock::now() - p.sent)
+            .count());
+    auto type = peek_type(payload);
+    if (!type.is_ok()) {
+      ++totals.decode_errors;
+      return false;
+    }
+    if (type.value() == MessageType::kReservationReply) {
+      auto res = decode_reservation(payload);
+      if (!res.is_ok() || !p.admit) {
+        ++totals.decode_errors;
+        return false;
+      }
+      ++totals.admits;
+      c.live.push_back(res.value().flow);
+      return true;
+    }
+    if (type.value() == MessageType::kRejectReply) {
+      auto rej = decode_reject_reply(payload);
+      if (!rej.is_ok()) {
+        ++totals.decode_errors;
+        return false;
+      }
+      if (p.admit) {
+        ++totals.rejects;
+      } else if (rej.value().reason == RejectReason::kNone) {
+        ++totals.teardown_acks;
+      } else {
+        ++totals.teardown_failures;
+      }
+      return true;
+    }
+    ++totals.protocol_errors;
+    return false;
+  };
+
+  bool failed = false;
+  std::vector<pollfd> pfds(conns.size());
+  std::size_t rr = 0;  // open-loop round-robin cursor
+  while (!failed) {
+    // Top up the send windows.
+    if (open_loop) {
+      const double elapsed =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      const long due = std::min<long>(
+          args.requests,
+          static_cast<long>(elapsed * args.rate));
+      while (totals.admits_sent < due) {
+        Conn& c = conns[rr++ % conns.size()];
+        queue_next_op(c);
+      }
+    } else {
+      for (Conn& c : conns) {
+        while (totals.admits_sent < args.requests &&
+               c.pending.size() < static_cast<std::size_t>(args.pipeline)) {
+          queue_next_op(c);
+        }
+      }
+    }
+
+    bool all_idle = totals.admits_sent >= args.requests;
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      if (!flush(conns[i])) {
+        std::fprintf(stderr, "loadgen: write failed on connection %zu\n", i);
+        failed = true;
+      }
+      if (!conns[i].pending.empty() || conns[i].backlog() > 0) {
+        all_idle = false;
+      }
+      pfds[i].fd = conns[i].fd;
+      pfds[i].events = static_cast<short>(
+          (conns[i].pending.empty() ? 0 : POLLIN) |
+          (conns[i].backlog() > 0 ? POLLOUT : 0));
+      pfds[i].revents = 0;
+    }
+    if (failed || all_idle) break;
+    if (Clock::now() > deadline) {
+      std::fprintf(stderr, "loadgen: timed out after %d s\n", args.timeout_s);
+      failed = true;
+      break;
+    }
+
+    const int pr = ::poll(pfds.data(), pfds.size(), open_loop ? 1 : 1000);
+    if (pr < 0 && errno != EINTR) {
+      std::fprintf(stderr, "loadgen: poll: %s\n", std::strerror(errno));
+      failed = true;
+      break;
+    }
+    for (std::size_t i = 0; i < conns.size() && !failed; ++i) {
+      if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      Conn& c = conns[i];
+      std::uint8_t chunk[65536];
+      while (true) {
+        const ssize_t n = ::read(c.fd, chunk, sizeof(chunk));
+        if (n > 0) {
+          c.decoder.feed(chunk, static_cast<std::size_t>(n));
+          if (static_cast<std::size_t>(n) < sizeof(chunk)) break;
+          continue;
+        }
+        if (n == 0) {
+          if (!c.pending.empty()) {
+            std::fprintf(stderr,
+                         "loadgen: server closed connection %zu with %zu "
+                         "replies outstanding\n",
+                         i, c.pending.size());
+            failed = true;
+          }
+          break;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+        std::fprintf(stderr, "loadgen: read: %s\n", std::strerror(errno));
+        failed = true;
+        break;
+      }
+      while (!failed) {
+        auto frame = c.decoder.next();
+        if (!frame.is_ok()) {
+          if (frame.status().code() == StatusCode::kNeedMoreData) break;
+          std::fprintf(stderr, "loadgen: reply stream corrupt: %s\n",
+                       frame.status().to_string().c_str());
+          ++totals.decode_errors;
+          failed = true;
+          break;
+        }
+        if (!handle_reply(c, frame.value())) {
+          std::fprintf(stderr, "loadgen: bad reply on connection %zu\n", i);
+          failed = true;
+        }
+      }
+    }
+  }
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  // Invariants: one reply per request, all of them clean.
+  if (totals.admits + totals.rejects != totals.admits_sent) {
+    std::fprintf(stderr,
+                 "loadgen: reply count mismatch: admits=%ld rejects=%ld "
+                 "vs %ld admit requests sent\n",
+                 totals.admits, totals.rejects, totals.admits_sent);
+    failed = true;
+  }
+  if (totals.teardown_acks != totals.teardowns_sent) {
+    std::fprintf(stderr,
+                 "loadgen: teardown ack mismatch: %ld acks (+%ld failures) "
+                 "vs %ld sent\n",
+                 totals.teardown_acks, totals.teardown_failures,
+                 totals.teardowns_sent);
+    failed = true;
+  }
+  if (totals.decode_errors > 0 || totals.protocol_errors > 0) failed = true;
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  double mean = 0.0;
+  for (double v : latencies_us) mean += v;
+  if (!latencies_us.empty()) mean /= static_cast<double>(latencies_us.size());
+  const double p50 = percentile(latencies_us, 0.50);
+  const double p90 = percentile(latencies_us, 0.90);
+  const double p99 = percentile(latencies_us, 0.99);
+  const double p999 = percentile(latencies_us, 0.999);
+  const double pmax = latencies_us.empty() ? 0.0 : latencies_us.back();
+  const double admits_per_sec =
+      elapsed > 0.0 ? static_cast<double>(totals.admits) / elapsed : 0.0;
+  const double ops_per_sec =
+      elapsed > 0.0
+          ? static_cast<double>(totals.admits_sent + totals.teardowns_sent) /
+                elapsed
+          : 0.0;
+
+  std::fprintf(stderr,
+               "loadgen: %s-loop, %d conns x pipeline %d: "
+               "%ld admit requests (%ld admitted, %ld rejected), "
+               "%ld teardowns in %.3f s -> %.0f admits/s, %.0f ops/s; "
+               "latency us p50=%.1f p90=%.1f p99=%.1f p999=%.1f max=%.1f\n",
+               args.mode.c_str(), args.connections, args.pipeline,
+               totals.admits_sent, totals.admits, totals.rejects,
+               totals.teardowns_sent, elapsed, admits_per_sec, ops_per_sec,
+               p50, p90, p99, p999, pmax);
+
+  char json[2048];
+  std::snprintf(
+      json, sizeof(json),
+      "{\n"
+      "  \"mode\": \"%s\",\n"
+      "  \"connections\": %d,\n"
+      "  \"pipeline\": %d,\n"
+      "  \"pairs\": %d,\n"
+      "  \"requests\": %ld,\n"
+      "  \"admits\": %ld,\n"
+      "  \"rejects\": %ld,\n"
+      "  \"teardowns\": %ld,\n"
+      "  \"teardown_failures\": %ld,\n"
+      "  \"decode_errors\": %ld,\n"
+      "  \"elapsed_s\": %.6f,\n"
+      "  \"admits_per_sec\": %.1f,\n"
+      "  \"ops_per_sec\": %.1f,\n"
+      "  \"num_cpus\": %ld,\n"
+      "  \"latency_us\": {\n"
+      "    \"mean\": %.2f, \"p50\": %.2f, \"p90\": %.2f,\n"
+      "    \"p99\": %.2f, \"p999\": %.2f, \"max\": %.2f\n"
+      "  }\n"
+      "}\n",
+      args.mode.c_str(), args.connections, args.pipeline, args.pairs,
+      totals.admits_sent, totals.admits, totals.rejects,
+      totals.teardowns_sent, totals.teardown_failures, totals.decode_errors,
+      elapsed, admits_per_sec, ops_per_sec,
+      static_cast<long>(::sysconf(_SC_NPROCESSORS_ONLN)), mean, p50, p90,
+      p99, p999, pmax);
+  if (args.json_out.empty()) {
+    std::fputs(json, stdout);
+  } else {
+    std::ofstream out(args.json_out);
+    out << json;
+  }
+  return failed ? 1 : 0;
+}
