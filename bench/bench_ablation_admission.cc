@@ -73,7 +73,7 @@ void BM_Fig4ScanVsDistinctDelays(benchmark::State& state) {
   const int m = static_cast<int>(state.range(0));
   // Big pipe; install m distinct delay classes directly in the node MIB.
   BandwidthBroker bb(fig8_topology(Fig8Setting::kMixed, 1e9));
-  (void)bb.provision_path("I1", "E1");
+  (void)bb.provision_path("I1", "E1");  // qosbb-lint: allow(discarded-status)
   for (const char* ln : {"R3->R4", "R4->R5"}) {
     LinkQosState& link = bb.nodes().link(ln);
     for (int k = 0; k < m; ++k) {
@@ -113,6 +113,7 @@ void BM_HopByHopSignaling(benchmark::State& state) {
     messages += static_cast<std::uint64_t>(res.messages);
     if (res.admitted) {
       state.PauseTiming();
+      // qosbb-lint: allow(discarded-status)
       (void)gs.release_service(res.flow);
       state.ResumeTiming();
     }

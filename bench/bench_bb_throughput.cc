@@ -63,6 +63,7 @@ void BM_PerFlowAdmitRelease(benchmark::State& state) {
       state.SkipWithError("admission unexpectedly rejected");
       return;
     }
+    // qosbb-lint: allow(discarded-status)
     (void)bb.release_service(res.value().flow);
   }
   state.SetItemsProcessed(state.iterations());
@@ -94,6 +95,7 @@ void BM_ClassJoinLeave(benchmark::State& state) {
       return;
     }
     now += 1.0;
+    // qosbb-lint: allow(discarded-status)
     (void)bb.leave_class_service(join.microflow, now, 0.0);
     now += 1.0;
   }
@@ -305,11 +307,12 @@ void BM_JournalGroupCommit(benchmark::State& state) {
         state.SkipWithError("batch admission unexpectedly rejected");
         return;
       }
+      // qosbb-lint: allow(discarded-status)
       (void)db.value()->release_service(rid++, res.value().flow);
     }
     // Keep the journal from growing unboundedly across iterations.
     if (rid >= next_checkpoint) {
-      (void)db.value()->checkpoint();
+      (void)db.value()->checkpoint();  // qosbb-lint: allow(discarded-status)
       next_checkpoint += 4096;
     }
   }
@@ -350,11 +353,12 @@ void BM_JournalAppend(benchmark::State& state) {
       state.SkipWithError("admission unexpectedly rejected");
       return;
     }
+    // qosbb-lint: allow(discarded-status)
     (void)db.value()->release_service(rid++, res.value().flow);
     // Keep the journal from growing unboundedly across iterations.
     if (rid % 2048 == 0) {
       state.PauseTiming();
-      (void)db.value()->checkpoint();
+      (void)db.value()->checkpoint();  // qosbb-lint: allow(discarded-status)
       state.ResumeTiming();
     }
   }
@@ -388,6 +392,7 @@ void BM_JournalReplay(benchmark::State& state) {
         state.SkipWithError("admission unexpectedly rejected");
         return;
       }
+      // qosbb-lint: allow(discarded-status)
       (void)db.value()->release_service(rid++, res.value().flow);
     }
   }

@@ -36,6 +36,7 @@ void BM_CentralizedAdmitRelease(benchmark::State& state) {
       state.SkipWithError("admission failed");
       return;
     }
+    // qosbb-lint: allow(discarded-status)
     (void)bb.release_service(res.value().flow);
   }
   state.SetItemsProcessed(state.iterations());
@@ -53,6 +54,7 @@ void BM_HierarchicalAdmitRelease(benchmark::State& state) {
       state.SkipWithError("admission failed");
       return;
     }
+    // qosbb-lint: allow(discarded-status)
     (void)edge.release_service(res.value().flow);
   }
   (void)contacts_before;
@@ -86,7 +88,7 @@ void print_fragmentation_table() {
     };
     drive(e1, "I1", "E1", f1);
     for (std::size_t i = 0; i + 1 < f1.size(); i += 2) {
-      (void)e1.release_service(f1[i]);
+      (void)e1.release_service(f1[i]);  // qosbb-lint: allow(discarded-status)
     }
     drive(e2, "I2", "E2", f2);
     const int carried = static_cast<int>(f1.size() / 2 + f2.size());

@@ -39,6 +39,7 @@ void BM_AdmissionVsPathLength(benchmark::State& state) {
       state.SkipWithError("admission failed");
       return;
     }
+    // qosbb-lint: allow(discarded-status)
     (void)bb.release_service(res.value().flow);
   }
   state.SetItemsProcessed(state.iterations());
@@ -52,6 +53,7 @@ void BM_AdmissionVsDumbbellWidth(benchmark::State& state) {
   BandwidthBroker bb(dumbbell_topology(opt));
   // Warm every pair's path (the realistic steady state).
   for (int k = 0; k < opt.edge_pairs; ++k) {
+    // qosbb-lint: allow(discarded-status)
     (void)bb.provision_path("I" + std::to_string(k),
                             "E" + std::to_string(k));
   }
@@ -65,6 +67,7 @@ void BM_AdmissionVsDumbbellWidth(benchmark::State& state) {
       state.SkipWithError("admission failed");
       return;
     }
+    // qosbb-lint: allow(discarded-status)
     (void)bb.release_service(res.value().flow);
   }
   state.SetItemsProcessed(state.iterations());

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Per-directory line-coverage gate.
+
+Consumes the classic gcov report stream ("File '...'" / "Lines
+executed:P% of N" pairs) produced by `llvm-cov gcov` or plain `gcov` —
+the two emit the identical format, so the gate works on the clang CI rows
+and on a local gcc toolchain alike. Aggregates covered/total lines per
+configured directory prefix, fails (exit 1) when any directory is below
+its threshold, and optionally merges the percentages into the benchmark
+JSON so the coverage trajectory rides in the same artifact as the
+throughput numbers.
+
+Usage:
+  ci/check_coverage.py --report gcov_output.txt
+                       [--merge-json BENCH_bb_throughput.json]
+                       [--write-json coverage.json]
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+# Directory prefix -> minimum line coverage (percent). The numbers are
+# deliberately a cushion below the measured values (see DESIGN.md §12):
+# the gate exists to catch collapses — a subsystem whose tests stopped
+# exercising it — not to ratchet every percentage point. Measured on the
+# 2026-08 tree (gcc 12, full ctest minus the tree-lint test): src/core
+# 91.4, src/net 79.8, src/util 87.7, src/gs 95.1, src/sim 93.7,
+# tools 71.8.
+THRESHOLDS = {
+    "src/core": 85.0,
+    "src/net": 72.0,
+    "src/util": 80.0,
+    "src/gs": 85.0,
+    "src/sim": 85.0,
+    "tools": 60.0,
+}
+
+_FILE_RE = re.compile(r"^File '(?P<path>[^']+)'")
+_LINES_RE = re.compile(
+    r"^Lines executed:\s*(?P<pct>[0-9.]+)% of (?P<total>\d+)")
+
+
+def parse_gcov_stream(lines, repo_root):
+    """Return {relpath: (covered, total)}, best entry per file."""
+    per_file = {}
+    current = None
+    for raw in lines:
+        line = raw.strip()
+        m = _FILE_RE.match(line)
+        if m:
+            path = m.group("path")
+            if not os.path.isabs(path):
+                path = os.path.join(repo_root, path)
+            try:
+                current = os.path.relpath(os.path.realpath(path), repo_root)
+            except ValueError:
+                current = None
+            continue
+        m = _LINES_RE.match(line)
+        if m and current and not current.startswith(".."):
+            total = int(m.group("total"))
+            covered = round(float(m.group("pct")) * total / 100.0)
+            prev = per_file.get(current)
+            # A header measured in several TUs: keep the best view.
+            if prev is None or covered > prev[0]:
+                per_file[current] = (covered, total)
+            current = None
+    return per_file
+
+
+def aggregate(per_file):
+    agg = {d: [0, 0] for d in THRESHOLDS}
+    for path, (covered, total) in per_file.items():
+        for d in THRESHOLDS:
+            if path.startswith(d + "/") or os.path.dirname(path) == d:
+                agg[d][0] += covered
+                agg[d][1] += total
+                break
+    return agg
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--report", required=True,
+                    help="captured stdout of llvm-cov gcov / gcov")
+    ap.add_argument("--root", default=".")
+    ap.add_argument("--merge-json", default=None,
+                    help="benchmark JSON to merge a 'coverage' section into")
+    ap.add_argument("--write-json", default=None)
+    args = ap.parse_args()
+
+    repo_root = os.path.abspath(args.root)
+    with open(args.report, "r", encoding="utf-8", errors="replace") as f:
+        per_file = parse_gcov_stream(f, repo_root)
+    if not per_file:
+        print("check_coverage: no gcov file records found in report",
+              file=sys.stderr)
+        return 2
+
+    agg = aggregate(per_file)
+    result = {}
+    failed = []
+    for d, (covered, total) in sorted(agg.items()):
+        pct = 100.0 * covered / total if total else 0.0
+        result[d] = {"covered": covered, "total": total,
+                     "percent": round(pct, 2),
+                     "threshold": THRESHOLDS[d]}
+        status = "ok"
+        if total == 0:
+            status = "EMPTY"
+            failed.append(d)
+        elif pct < THRESHOLDS[d]:
+            status = "BELOW THRESHOLD"
+            failed.append(d)
+        print(f"  {d:<12} {pct:6.2f}%  ({covered}/{total} lines, "
+              f"gate {THRESHOLDS[d]:.0f}%)  {status}")
+
+    payload = {"directories": result,
+               "files_measured": len(per_file)}
+    if args.write_json:
+        with open(args.write_json, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=2)
+            f.write("\n")
+    if args.merge_json:
+        with open(args.merge_json, "r", encoding="utf-8") as f:
+            bench = json.load(f)
+        bench["coverage"] = payload
+        with open(args.merge_json, "w", encoding="utf-8") as f:
+            json.dump(bench, f, indent=2)
+            f.write("\n")
+
+    if failed:
+        print(f"check_coverage: FAILED for: {', '.join(failed)}",
+              file=sys.stderr)
+        return 1
+    print(f"check_coverage: all {len(agg)} directory gates passed "
+          f"({len(per_file)} files measured)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Line-coverage gate: build instrumented (gcc --coverage), run the test
+# suite, reduce every .gcda with llvm-cov's gcov-compatible mode (plain
+# gcov is the fallback — both emit the identical report format
+# ci/check_coverage.py parses), and enforce the per-directory thresholds.
+#
+# Usage: ci/run_coverage.sh [build_dir] [bench_json_to_merge]
+# Env:   COVERAGE_JOBS (parallel build/test jobs, default nproc)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-build-cov}"
+merge_json="${2:-}"
+jobs="${COVERAGE_JOBS:-$(nproc)}"
+
+# llvm-cov's gcov mode understands gcc's .gcno/.gcda when versions align;
+# prefer it, but PROBE before trusting it: a version-skewed llvm-cov
+# (e.g. LLVM 14 vs gcc 12 .gcno) prints "Invalid .gcno File!" and emits
+# zero records, which would silently gut the gate. Both tools emit the
+# identical File/Lines-executed stream ci/check_coverage.py parses.
+pick_gcov_tool() {
+  local probe="$1"
+  if command -v llvm-cov >/dev/null 2>&1; then
+    local tmp
+    tmp="$(mktemp -d)"
+    if (cd "$tmp" && llvm-cov gcov -o "$(dirname "$probe")" "$probe" \
+        2>/dev/null | grep -q "^File "); then
+      rm -rf "$tmp"
+      echo "llvm-cov gcov"
+      return
+    fi
+    rm -rf "$tmp"
+  fi
+  echo "gcov"
+}
+
+cmake -B "$repo_root/$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="--coverage" \
+  -DCMAKE_EXE_LINKER_FLAGS="--coverage" >/dev/null
+cmake --build "$repo_root/$build_dir" -j "$jobs" >/dev/null
+
+(cd "$repo_root/$build_dir" && ctest --output-on-failure -j "$jobs" \
+  -E 'qosbb_lint_tree' >/dev/null)
+
+# Reduce: run the gcov tool once per object directory so every .gcda is
+# attributed, capturing the classic File/Lines-executed report stream.
+report="$repo_root/$build_dir/gcov_report.txt"
+: > "$report"
+scratch="$(mktemp -d)"
+trap 'rm -rf "$scratch"' EXIT
+# -print -quit (not "| head -1"): under pipefail, head's early exit
+# SIGPIPEs find and set -e kills the whole script with 141.
+first_gcda="$(find "$repo_root/$build_dir" -name '*.gcda' -print -quit)"
+if [[ -z "$first_gcda" ]]; then
+  echo "run_coverage: no .gcda files produced — was the build instrumented?" >&2
+  exit 2
+fi
+read -r -a gcov_tool <<< "$(pick_gcov_tool "$first_gcda")"
+echo "run_coverage: reducing with '${gcov_tool[*]}'"
+while IFS= read -r gcda; do
+  (cd "$scratch" && "${gcov_tool[@]}" -o "$(dirname "$gcda")" "$gcda" \
+    2>/dev/null || true)
+done < <(find "$repo_root/$build_dir" -name '*.gcda') >> "$report"
+
+merge_args=()
+if [[ -n "$merge_json" ]]; then
+  merge_args=(--merge-json "$merge_json")
+fi
+python3 "$repo_root/ci/check_coverage.py" --report "$report" \
+  --root "$repo_root" \
+  --write-json "$repo_root/$build_dir/coverage.json" \
+  "${merge_args[@]}"

@@ -1,3 +1,12 @@
+# Coverage-guided fuzzing (libFuzzer). Orthogonal to QOSBB_SANITIZE —
+# the CI fuzz row combines it with address,undefined. clang-only: gcc has
+# no libFuzzer driver, so the option hard-fails early there instead of
+# producing a link error later.
+option(QOSBB_FUZZER "Build libFuzzer targets (clang only)" OFF)
+if(QOSBB_FUZZER AND NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+  message(FATAL_ERROR "QOSBB_FUZZER requires clang (libFuzzer runtime)")
+endif()
+
 # Sanitizer wiring, driven by the QOSBB_SANITIZE cache variable (see the
 # top-level CMakeLists). Applied globally so every target — libraries,
 # tests, the fuzz driver — runs instrumented; mixing instrumented and

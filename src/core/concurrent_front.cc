@@ -681,6 +681,8 @@ FrontOutcome ConcurrentBrokerFront::renegotiate_service(FlowId flow,
   FlowRecord updated = rec.value();
   updated.e2e_delay_req = new_delay_req;
   updated.reservation = outcome.params;
+  // rec.value() above proves the flow exists; remove cannot fail
+  // qosbb-lint: allow(discarded-status)
   (void)bb_.flows_.remove(flow);
   bb_.flows_.add(updated);
   ++bb_.stats_.admitted;

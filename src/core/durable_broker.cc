@@ -359,7 +359,8 @@ Status DurableBroker::log_decision(RequestId rid, JournalOpKind kind,
   if (options_.anchor_every > 0 &&
       records_since_anchor_ >= options_.anchor_every &&
       bb_->classes().active_grants() == 0) {
-    (void)checkpoint();  // best-effort: the un-anchored log stays valid
+    // best-effort: the un-anchored log stays valid
+    (void)checkpoint();  // qosbb-lint: allow(discarded-status)
   }
   return Status::ok();
 }
@@ -560,7 +561,8 @@ std::vector<Result<Reservation>> DurableBroker::request_service_batch(
   if (options_.anchor_every > 0 &&
       records_since_anchor_ >= options_.anchor_every &&
       bb_->classes().active_grants() == 0) {
-    (void)checkpoint();  // best-effort, as in log_decision
+    // best-effort, as in log_decision
+    (void)checkpoint();  // qosbb-lint: allow(discarded-status)
   }
   return results;
 }

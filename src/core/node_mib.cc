@@ -188,7 +188,7 @@ void LinkQosState::rebuild_knot_cache() const {
   if (knot_spare_ && knot_spare_.use_count() == 1) {
     buf = std::move(knot_spare_);
   } else {
-    buf = std::make_shared<KnotArray>();
+    buf = std::make_shared<KnotArray>();  // qosbb-lint: allow(hotpath-alloc)
   }
   buf->clear();
   buf->reserve(edf_.size());

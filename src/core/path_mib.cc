@@ -66,10 +66,12 @@ PathMib::PathCache& PathMib::cache_entry(PathId id,
     // pointers once. NodeMib's map is node-based, so pointers are stable.
     c.links.clear();
     c.edf_links.clear();
+    // qosbb-lint: allow(hotpath-alloc)
     c.links.reserve(rec.link_names.size());
     for (const auto& ln : rec.link_names) {
       const LinkQosState& link = nodes.link(ln);
-      c.links.push_back(&link);
+      c.links.push_back(&link);  // qosbb-lint: allow(hotpath-alloc)
+      // qosbb-lint: allow(hotpath-alloc)
       if (link.delay_based()) c.edf_links.push_back(&link);
     }
     c.resolved_for = &nodes;

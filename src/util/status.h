@@ -45,8 +45,10 @@ constexpr const char* status_code_name(StatusCode c) {
   return "UNKNOWN";
 }
 
-/// A status code plus an optional diagnostic message.
-class Status {
+/// A status code plus an optional diagnostic message. [[nodiscard]] at
+/// class level: every function returning a Status participates, so a
+/// dropped error is a compile error (-Werror=unused-result) on every row.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -106,7 +108,7 @@ class Status {
 /// Either a value of type T or an error Status. `value()` on an error is a
 /// contract violation and throws.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : v_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
   Result(Status status) : v_(std::move(status)) {    // NOLINT(google-explicit-constructor)

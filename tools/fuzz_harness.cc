@@ -557,7 +557,12 @@ bool execute_op(ExecState& st, const FuzzOp& op, const FuzzConfig& cfg,
           // Settle the grant immediately: keeps the broker quiescent so
           // every op may checkpoint, and the settled allocation is what
           // the oracle's rebooking reconstruction expects.
-          st.db->expire_contingency(j.grant, j.contingency_expires_at);
+          const Status settled =
+              st.db->expire_contingency(j.grant, j.contingency_expires_at);
+          if (!settled.is_ok()) {
+            *why = "settling issued grant failed: " + settled.to_string();
+            return false;
+          }
         }
       }
       record_issued(st, std::move(call));
@@ -574,8 +579,12 @@ bool execute_op(ExecState& st, const FuzzOp& op, const FuzzConfig& cfg,
         return false;
       }
       if (l.value().grant != kInvalidGrantId) {
-        st.db->expire_contingency(l.value().grant,
-                                  l.value().contingency_expires_at);
+        const Status settled = st.db->expire_contingency(
+            l.value().grant, l.value().contingency_expires_at);
+        if (!settled.is_ok()) {
+          *why = "settling leave grant failed: " + settled.to_string();
+          return false;
+        }
       }
       st.micro[idx] = st.micro.back();
       st.micro.pop_back();

@@ -1,0 +1,212 @@
+"""The three project-invariant checks, replayed over the frontend IR.
+
+1. lock-order      — the broker's lock hierarchy big_ -> flow_mu_ ->
+                     {shard mutexes, limiter_mu_} must be acquired in
+                     non-decreasing rank order on every call chain, leaves
+                     must stay leaves (nothing acquired while one is
+                     held), and no lock may be re-acquired while held.
+2. hotpath-alloc   — no heap allocation on the admission hot path: the
+                     call graph rooted at the §3.1/§3.2 admission_impl
+                     functions and the node-MIB knot-prefix/residual
+                     primitives must contain no `new`, no allocating
+                     local, and no container growth outside the
+                     sanctioned reusable scratch/cache buffers.
+3. status-discard  — no silently dropped Status/StatusOr: bare-call
+                     statements of Status-returning functions, and
+                     `(void)` / `static_cast<void>` discards that are not
+                     waived with `// qosbb-lint: allow(discarded-status)`.
+"""
+
+import re
+
+from lint_ir import Finding
+
+
+def _build_status_names(decls):
+    """Names whose every project declaration returns Status/Result."""
+    seen = {}
+    for name, _cls, ret in decls:
+        if name.startswith("~") or name.startswith("operator"):
+            continue
+        prev = seen.get(name)
+        seen[name] = ret if prev is None else (prev and ret)
+    return {n for n, all_status in seen.items() if all_status}
+
+
+def _prune_primitives(program, config):
+    prim_files = set(config.get("primitive_files", []))
+    prim_classes = set(config.get("primitive_classes", []))
+    for f in program.functions:
+        if f.file in prim_files or f.cls in prim_classes:
+            f.events = []
+
+
+def _transitive_ranks(program, config):
+    """Fixpoint: for every function, the set of ranked locks it may
+    acquire directly or through project calls."""
+    receiver_types = config.get("receiver_types", {})
+    direct = {}
+    for f in program.functions:
+        acq = {e[1] for e in f.events if e[0] == "acquire"}
+        direct[id(f)] = acq
+    trans = {k: set(v) for k, v in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for f in program.functions:
+            cur = trans[id(f)]
+            for e in f.events:
+                if e[0] != "call":
+                    continue
+                _, name, receiver, _line, _sink = e
+                for g in program.resolve(name, receiver, f, receiver_types):
+                    extra = trans.get(id(g))
+                    if extra and not extra.issubset(cur):
+                        cur |= extra
+                        changed = True
+    return trans
+
+
+def check_lock_order(program, config):
+    ranks = config.get("lock_ranks", {})
+    leaves = set(config.get("leaf_locks", []))
+    receiver_types = config.get("receiver_types", {})
+    findings = []
+    trans = _transitive_ranks(program, config)
+
+    def violates(held_name, new_name):
+        if held_name == new_name:
+            return f"'{new_name}' re-acquired while already held"
+        if held_name in leaves:
+            return (f"'{new_name}' acquired while holding leaf lock "
+                    f"'{held_name}' (leaves must stay leaves)")
+        if ranks.get(held_name, 0) > ranks.get(new_name, 0):
+            return (f"lock-order inversion: '{new_name}' (rank "
+                    f"{ranks.get(new_name)}) acquired while holding "
+                    f"'{held_name}' (rank {ranks.get(held_name)})")
+        return None
+
+    for f in program.functions:
+        held = []  # (lock_name, scope_depth)
+        for e in f.events:
+            if e[0] == "acquire":
+                _, name, line, depth = e
+                for h, _d in held:
+                    msg = violates(h, name)
+                    if msg:
+                        findings.append(Finding("lock-order", f.file, line,
+                                                f.qname, msg))
+                held.append((name, depth))
+            elif e[0] == "scope_close":
+                _, depth, _line = e
+                held = [(h, d) for h, d in held if d < depth]
+            elif e[0] == "call" and held:
+                _, name, receiver, line, _sink = e
+                callee_ranks = set()
+                for g in program.resolve(name, receiver, f, receiver_types):
+                    callee_ranks |= trans.get(id(g), set())
+                for h, _d in held:
+                    for r in callee_ranks:
+                        msg = violates(h, r)
+                        if msg:
+                            findings.append(Finding(
+                                "lock-order", f.file, line, f.qname,
+                                f"call to '{name}' may acquire '{r}': "
+                                + msg))
+    return findings
+
+
+def _hot_set(program, config):
+    receiver_types = config.get("receiver_types", {})
+    stop = set(config.get("hotpath_stop", []))
+    roots = set(config.get("hotpath_roots", []))
+    work = []
+    seen = set()
+    for f in program.functions:
+        if f.name in roots:
+            work.append(f)
+            seen.add(id(f))
+    while work:
+        f = work.pop()
+        for e in f.events:
+            if e[0] != "call":
+                continue
+            _, name, receiver, _line, in_sink = e
+            if in_sink or name in stop:
+                continue
+            for g in program.resolve(name, receiver, f, receiver_types):
+                if id(g) not in seen:
+                    seen.add(id(g))
+                    work.append(g)
+    return [f for f in program.functions if id(f) in seen]
+
+
+def check_hotpath_alloc(program, config):
+    allow_res = [re.compile(p) for p in
+                 config.get("hotpath_growth_allow", [])]
+    findings = []
+    for f in _hot_set(program, config):
+        for e in f.events:
+            if e[0] == "alloc" and not e[3]:
+                findings.append(Finding(
+                    "hotpath-alloc", f.file, e[2], f.qname,
+                    f"heap allocation ('{e[1]}') on the admission hot "
+                    f"path"))
+            elif e[0] == "alloc_local" and not e[3]:
+                findings.append(Finding(
+                    "hotpath-alloc", f.file, e[2], f.qname,
+                    f"allocating local of type '{e[1]}' constructed on "
+                    f"the admission hot path"))
+            elif e[0] == "growth":
+                _, receiver, method, line, in_sink, allowed = e
+                if in_sink or allowed:
+                    continue
+                if any(r.search(receiver) for r in allow_res):
+                    continue
+                findings.append(Finding(
+                    "hotpath-alloc", f.file, line, f.qname,
+                    f"container growth '{receiver}.{method}(...)' on the "
+                    f"admission hot path (receiver not a sanctioned "
+                    f"scratch/cache buffer)"))
+    return findings
+
+
+def check_status_discard(program, decls, config):
+    status_names = _build_status_names(decls)
+    ignore = set(config.get("status_discard_ignore", []))
+    status_names -= ignore
+    findings = []
+    for f in program.functions:
+        for e in f.events:
+            if e[0] == "bare_status_call":
+                _, name, line = e
+                if name in status_names:
+                    findings.append(Finding(
+                        "status-discard", f.file, line, f.qname,
+                        f"result of Status-returning '{name}(...)' is "
+                        f"silently discarded"))
+            elif e[0] == "void_discard":
+                _, name, line, allowed = e
+                if name in status_names and not allowed:
+                    findings.append(Finding(
+                        "status-discard", f.file, line, f.qname,
+                        f"'(void){name}(...)' discards a Status without "
+                        f"a '// qosbb-lint: allow(discarded-status)' "
+                        f"waiver"))
+    return findings
+
+
+CHECKS = {
+    "lock-order": lambda prog, decls, cfg: check_lock_order(prog, cfg),
+    "hotpath-alloc": lambda prog, decls, cfg: check_hotpath_alloc(prog, cfg),
+    "status-discard": check_status_discard,
+}
+
+
+def run_checks(program, decls, config, enabled):
+    _prune_primitives(program, config)
+    findings = []
+    for name in enabled:
+        findings.extend(CHECKS[name](program, decls, config))
+    findings.sort(key=lambda f: (f.file, f.line))
+    return findings

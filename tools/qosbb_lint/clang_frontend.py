@@ -1,0 +1,369 @@
+"""clang JSON-AST frontend: lowers TUs to the lint IR via
+`clang++ -fsyntax-only -Xclang -ast-dump=json`, one invocation per TU,
+with the compile flags taken from the build tree's compile_commands.json.
+
+Used on CI rows where clang is installed; produces the same event stream
+as internal_frontend so the checks are frontend-agnostic. Parsing is
+defensive throughout: clang's JSON omits repeated line/file fields
+(delta encoding), wraps discarded expressions in cleanup nodes, and
+varies node shapes across versions.
+"""
+
+import json
+import os
+import shlex
+import subprocess
+
+from lint_ir import FunctionIR
+
+from internal_frontend import ALLOC_CALLS, ALLOC_TYPES, GROWTH_METHODS
+
+_GUARD_TYPES = ("MutexLock", "ExclusiveLock", "SharedLock", "ShardLockSet",
+                "lock_guard", "unique_lock", "scoped_lock", "shared_lock")
+
+_FN_KINDS = ("FunctionDecl", "CXXMethodDecl", "CXXConstructorDecl",
+             "CXXDestructorDecl", "CXXConversionDecl")
+
+_CTX_KINDS = ("NamespaceDecl", "CXXRecordDecl", "ClassTemplateDecl",
+              "ClassTemplateSpecializationDecl",
+              "ClassTemplatePartialSpecializationDecl",
+              "FunctionTemplateDecl", "TranslationUnitDecl",
+              "LinkageSpecDecl", "ExportDecl")
+
+
+def _is_status_type(qual_type):
+    q = (qual_type or "").replace("qosbb::", "").replace("const ", "")
+    q = q.strip().lstrip("(").split("(")[0].strip()
+    return q == "Status" or q.startswith("Result<")
+
+
+class _Cursor:
+    """Tracks clang's delta-encoded source locations during the walk."""
+
+    def __init__(self):
+        self.file = ""
+        self.line = 0
+
+    def visit(self, node):
+        loc = node.get("loc") or {}
+        for part in (loc.get("spellingLoc"), loc):
+            if isinstance(part, dict):
+                if "file" in part:
+                    self.file = part["file"]
+                if "line" in part:
+                    self.line = part["line"]
+        rng = node.get("range") or {}
+        begin = rng.get("begin") or {}
+        for part in (begin.get("spellingLoc"), begin):
+            if isinstance(part, dict):
+                if "file" in part:
+                    self.file = part["file"]
+                if "line" in part:
+                    self.line = part["line"]
+
+
+class _TUWalker:
+    def __init__(self, config, repo_root, allow_by_file):
+        self.config = config
+        self.repo_root = repo_root
+        self.lock_names = set(config.get("lock_ranks", {}))
+        self.sink_names = set(config.get("diagnostic_sinks", []))
+        self.allow_by_file = allow_by_file
+        self.functions = []
+        self.decls = []
+        self.cursor = _Cursor()
+
+    def relpath(self, f):
+        try:
+            return os.path.relpath(os.path.realpath(f), self.repo_root)
+        except ValueError:
+            return f
+
+    def in_project(self, f):
+        rel = self.relpath(f)
+        return not rel.startswith("..") and not os.path.isabs(rel)
+
+    def allows(self, f, line, tag):
+        return tag in self.allow_by_file.get(self.relpath(f), {}) \
+            .get(line, set())
+
+    # ---- declaration walk ----
+
+    def walk(self, node, ctx_cls=""):
+        if not isinstance(node, dict):
+            return
+        self.cursor.visit(node)
+        kind = node.get("kind", "")
+        if kind in _FN_KINDS:
+            self.visit_function(node, ctx_cls)
+            return
+        new_cls = ctx_cls
+        if kind in ("CXXRecordDecl", "ClassTemplateSpecializationDecl"):
+            if node.get("name"):
+                new_cls = node["name"]
+        for child in node.get("inner", []) or []:
+            if kind in _CTX_KINDS or kind in ("CXXRecordDecl",):
+                self.walk(child, new_cls)
+
+    def visit_function(self, node, ctx_cls):
+        self.cursor.visit(node)
+        file = self.cursor.file
+        line = self.cursor.line
+        name = node.get("name", "")
+        if not name or not self.in_project(file):
+            return
+        qual = node.get("type", {}).get("qualType", "")
+        ret = qual.split("(")[0].strip() if "(" in qual else ""
+        returns_status = _is_status_type(ret)
+        self.decls.append((name, ctx_cls, returns_status))
+        body = None
+        for child in node.get("inner", []) or []:
+            if isinstance(child, dict) and child.get("kind") == "CompoundStmt":
+                body = child
+        if body is None:
+            return
+        fn = FunctionIR(name=name, cls=ctx_cls, file=self.relpath(file),
+                        line=line, returns_status=returns_status)
+        st = {"depth": 0, "sink": 0, "file": file}
+        # Constructor init lists come before the body.
+        for child in node.get("inner", []) or []:
+            if isinstance(child, dict) and \
+                    child.get("kind") == "CXXCtorInitializer":
+                self.visit_stmt(child, fn, st, stmt_level=False)
+        self.visit_stmt(body, fn, st, stmt_level=False)
+        self.functions.append(fn)
+
+    # ---- statement / expression walk ----
+
+    def visit_stmt(self, node, fn, st, stmt_level):
+        if not isinstance(node, dict):
+            return
+        self.cursor.visit(node)
+        line = self.cursor.line
+        kind = node.get("kind", "")
+        in_sink = st["sink"] > 0
+
+        if kind == "CompoundStmt":
+            st["depth"] += 1
+            for child in node.get("inner", []) or []:
+                self.visit_stmt(child, fn, st, stmt_level=True)
+            fn.events.append(("scope_close", st["depth"], self.cursor.line))
+            st["depth"] -= 1
+            return
+
+        if stmt_level:
+            self.check_discard(node, fn, line)
+
+        if kind == "DeclStmt":
+            for child in node.get("inner", []) or []:
+                self.visit_stmt(child, fn, st, stmt_level=False)
+            return
+
+        if kind == "VarDecl":
+            self.visit_vardecl(node, fn, st, line)
+            for child in node.get("inner", []) or []:
+                self.visit_stmt(child, fn, st, stmt_level=False)
+            return
+
+        if kind == "CXXNewExpr":
+            allowed = self.allows(st["file"], line, "hotpath-alloc")
+            fn.events.append(("alloc", "new", line, in_sink or allowed))
+
+        if kind == "CXXThrowExpr":
+            st["sink"] += 1
+            for child in node.get("inner", []) or []:
+                self.visit_stmt(child, fn, st, stmt_level=False)
+            st["sink"] -= 1
+            return
+
+        if kind in ("CallExpr", "CXXMemberCallExpr", "CXXOperatorCallExpr"):
+            name, receiver = self.callee_of(node)
+            if name:
+                if name in ALLOC_CALLS:
+                    allowed = self.allows(st["file"], line, "hotpath-alloc")
+                    fn.events.append(("alloc", name, line,
+                                      in_sink or allowed))
+                if name in GROWTH_METHODS and receiver:
+                    allowed = self.allows(st["file"], line, "hotpath-alloc")
+                    fn.events.append(("growth", receiver, name, line,
+                                      in_sink, allowed))
+                fn.events.append(("call", name, receiver, line, in_sink))
+                if name in self.sink_names or receiver == "Status":
+                    st["sink"] += 1
+                    for child in node.get("inner", []) or []:
+                        self.visit_stmt(child, fn, st, stmt_level=False)
+                    st["sink"] -= 1
+                    return
+
+        for child in node.get("inner", []) or []:
+            self.visit_stmt(child, fn, st, stmt_level=False)
+
+    def visit_vardecl(self, node, fn, st, line):
+        qual = node.get("type", {}).get("qualType", "")
+        base = qual.replace("qosbb::", "").replace("std::", "") \
+            .replace("const ", "").strip().split("<")[0].strip(" &*")
+        init = node.get("init")
+        in_sink = st["sink"] > 0
+        if base in _GUARD_TYPES:
+            target = "shards" if base == "ShardLockSet" else \
+                self.find_lock_name(node)
+            if target is not None:
+                fn.events.append(("acquire", target, line, st["depth"]))
+            return
+        if base in ALLOC_TYPES and init in ("call", "list"):
+            has_args = self._init_has_args(node)
+            if has_args and not self.allows(st["file"], line,
+                                            "hotpath-alloc"):
+                fn.events.append(("alloc_local", base, line, in_sink))
+
+    def _init_has_args(self, node):
+        for child in node.get("inner", []) or []:
+            k = child.get("kind", "")
+            if k == "CXXConstructExpr":
+                return bool(child.get("inner"))
+            if k in ("InitListExpr", "ExprWithCleanups", "CallExpr"):
+                return True
+        return False
+
+    def find_lock_name(self, node):
+        found = []
+
+        def rec(n):
+            if not isinstance(n, dict):
+                return
+            if n.get("kind") == "DeclRefExpr":
+                nm = (n.get("referencedDecl") or {}).get("name", "")
+                if nm in self.lock_names:
+                    found.append(nm)
+            if n.get("kind") == "MemberExpr" and \
+                    n.get("name", "") in self.lock_names:
+                found.append(n["name"])
+            for c in n.get("inner", []) or []:
+                rec(c)
+
+        rec(node)
+        return found[0] if found else None
+
+    def callee_of(self, node):
+        """(simple_name, dotted_receiver) of a call node."""
+        inner = node.get("inner", []) or []
+        if not inner:
+            return "", ""
+        head = inner[0]
+        name = ""
+        receiver_parts = []
+
+        def unwrap(n):
+            while isinstance(n, dict) and n.get("kind") in (
+                    "ImplicitCastExpr", "ParenExpr", "ConstantExpr"):
+                ch = n.get("inner", []) or []
+                if not ch:
+                    return n
+                n = ch[0]
+            return n
+
+        n = unwrap(head)
+        if n.get("kind") == "MemberExpr":
+            name = n.get("name", "")
+            base = unwrap((n.get("inner") or [{}])[0])
+            hops = 0
+            while isinstance(base, dict) and hops < 8:
+                hops += 1
+                k = base.get("kind", "")
+                if k == "MemberExpr":
+                    receiver_parts.append(base.get("name", "?"))
+                    base = unwrap((base.get("inner") or [{}])[0])
+                elif k == "DeclRefExpr":
+                    receiver_parts.append(
+                        (base.get("referencedDecl") or {}).get("name", "?"))
+                    break
+                elif k == "CXXThisExpr":
+                    break
+                else:
+                    receiver_parts.append("?")
+                    break
+        elif n.get("kind") == "DeclRefExpr":
+            ref = n.get("referencedDecl") or {}
+            name = ref.get("name", "")
+        else:
+            ref = node.get("referencedDecl") or {}
+            name = ref.get("name", "")
+        receiver_parts.reverse()
+        return name, ".".join(receiver_parts)
+
+    def check_discard(self, node, fn, line):
+        """A full-expression statement that discards a Status/Result."""
+        def unwrap(n):
+            while isinstance(n, dict) and n.get("kind") in (
+                    "ExprWithCleanups", "ConstantExpr", "ParenExpr",
+                    "CXXBindTemporaryExpr", "MaterializeTemporaryExpr"):
+                ch = n.get("inner", []) or []
+                if not ch:
+                    return n
+                n = ch[0]
+            return n
+
+        n = unwrap(node)
+        kind = n.get("kind", "")
+        qual = (n.get("type") or {}).get("qualType", "")
+        if kind in ("CallExpr", "CXXMemberCallExpr", "CXXOperatorCallExpr"):
+            if _is_status_type(qual):
+                name, _ = self.callee_of(n)
+                fn.events.append(("bare_status_call", name or "<call>",
+                                  line))
+            return
+        if kind in ("CStyleCastExpr", "CXXStaticCastExpr",
+                    "CXXFunctionalCastExpr") and qual.strip() == "void":
+            sub = unwrap((n.get("inner") or [{}])[0])
+            if sub.get("kind") in ("CallExpr", "CXXMemberCallExpr",
+                                   "CXXOperatorCallExpr"):
+                sub_q = (sub.get("type") or {}).get("qualType", "")
+                if _is_status_type(sub_q):
+                    name, _ = self.callee_of(sub)
+                    allowed = self.allows(self.cursor.file, line,
+                                          "discarded-status")
+                    fn.events.append(("void_discard", name or "<call>",
+                                      line, allowed))
+
+
+def _clang_args_for(entry, clangxx):
+    """Rewrite one compile_commands entry into a clang -ast-dump command."""
+    if "arguments" in entry:
+        argv = list(entry["arguments"])
+    else:
+        argv = shlex.split(entry["command"])
+    out = [clangxx]
+    skip = 0
+    for a in argv[1:]:
+        if skip:
+            skip -= 1
+            continue
+        if a in ("-o", "-MF", "-MT", "-MQ"):
+            skip = 1
+            continue
+        if a in ("-c", "-MD", "-MMD", "-MP") or a.startswith("-o"):
+            continue
+        if a.startswith("-f") and "sanitize" in a:
+            continue
+        out.append(a)
+    out += ["-fsyntax-only", "-Wno-everything",
+            "-Xclang", "-ast-dump=json"]
+    return out
+
+
+def parse_tu(entry, clangxx, config, repo_root, allow_by_file):
+    args = _clang_args_for(entry, clangxx)
+    proc = subprocess.run(args, cwd=entry.get("directory", repo_root),
+                          capture_output=True, text=True)
+    if proc.returncode != 0 and not proc.stdout:
+        raise RuntimeError(
+            f"clang ast-dump failed for {entry.get('file')}:\n"
+            f"{proc.stderr[-2000:]}")
+    try:
+        root = json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        raise RuntimeError(
+            f"unparseable AST JSON for {entry.get('file')}: {e}") from e
+    w = _TUWalker(config, repo_root, allow_by_file)
+    w.walk(root)
+    return w.functions, w.decls

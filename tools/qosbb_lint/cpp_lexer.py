@@ -1,0 +1,172 @@
+"""Minimal C++ lexer for the internal frontend.
+
+Produces (kind, text, line) tokens with comments, preprocessor lines and
+literals stripped, plus a per-line map of `// qosbb-lint: allow(tag)`
+waiver comments. The token stream is enough for the structural facts the
+checks need (function extents, call sites, guard declarations); it is not
+a general C++ parser and does not try to be.
+"""
+
+import re
+
+KEYWORDS = frozenset("""
+    alignas alignof auto bool break case catch char class co_await
+    co_return co_yield const consteval constexpr constinit continue
+    decltype default delete do double else enum explicit export extern
+    false final float for friend goto if inline int long mutable
+    namespace new noexcept nullptr operator override private protected
+    public register reinterpret_cast requires return short signed sizeof
+    static static_assert static_cast struct switch template this
+    thread_local throw true try typedef typeid typename union unsigned
+    using virtual void volatile wchar_t while char8_t char16_t char32_t
+    const_cast dynamic_cast
+""".split())
+
+_ALLOW_RE = re.compile(r"qosbb-lint:\s*allow\(([a-z-]+)\)")
+
+_TOKEN_RE = re.compile(r"""
+      (?P<ws>\s+)
+    | (?P<lcomment>//[^\n]*)
+    | (?P<bcomment>/\*.*?\*/)
+    | (?P<rawstr>R"([^(\s]*)\(.*?\)\2")
+    | (?P<str>"(?:[^"\\\n]|\\.)*")
+    | (?P<chr>'(?:[^'\\\n]|\\.)*')
+    | (?P<num>\.?\d(?:[\w.']|[eEpP][+-])*)
+    | (?P<id>[A-Za-z_]\w*)
+    | (?P<punct><<=|>>=|->\*|\.\.\.|::|->|\+\+|--|<<|>>|<=|>=|==|!=|&&|\|\|
+               |\+=|-=|\*=|/=|%=|&=|\|=|\^=|[{}()\[\];:,.<>+\-*/%&|^!~?=@#])
+""", re.VERBOSE | re.DOTALL)
+
+
+class Tok:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind, text, line):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self):
+        return f"{self.text!r}@{self.line}"
+
+
+def lex(source):
+    """Return (tokens, allow_by_line). Preprocessor lines are dropped
+    whole (including continuations)."""
+    # Strip preprocessor directives first, preserving line numbers.
+    lines = source.split("\n")
+    i = 0
+    while i < len(lines):
+        stripped = lines[i].lstrip()
+        if stripped.startswith("#"):
+            while lines[i].rstrip().endswith("\\") and i + 1 < len(lines):
+                lines[i] = ""
+                i += 1
+            lines[i] = ""
+        i += 1
+    text = "\n".join(lines)
+
+    tokens = []
+    allow = {}
+    line = 1
+    pos = 0
+    n = len(text)
+    while pos < n:
+        m = _TOKEN_RE.match(text, pos)
+        if not m:
+            pos += 1  # unknown byte: skip
+            continue
+        kind = m.lastgroup
+        tok = m.group()
+        if kind in ("ws", "lcomment", "bcomment"):
+            if kind != "ws":
+                for am in _ALLOW_RE.finditer(tok):
+                    allow.setdefault(line, set()).add(am.group(1))
+            line += tok.count("\n")
+        elif kind in ("str", "chr", "rawstr", "num"):
+            tokens.append(Tok("lit", tok, line))
+            line += tok.count("\n")
+        elif kind == "id":
+            tokens.append(Tok("kw" if tok in KEYWORDS else "id", tok, line))
+        else:
+            tokens.append(Tok("punct", tok, line))
+        pos = m.end()
+    return tokens, allow
+
+
+def match_paren(tokens, i):
+    """Index just past the ')' matching the '(' at tokens[i]."""
+    depth = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i].text
+        if t == "(":
+            depth += 1
+        elif t == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n
+
+
+def match_brace(tokens, i):
+    """Index just past the '}' matching the '{' at tokens[i]."""
+    depth = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i].text
+        if t == "{":
+            depth += 1
+        elif t == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n
+
+
+def match_angle(tokens, i):
+    """Best-effort skip of a template argument list opened at '<'.
+
+    Returns the index just past the matching '>', or i itself when the
+    '<' does not look like a template opener (e.g. a comparison).
+    """
+    depth = 0
+    j = i
+    n = len(tokens)
+    while j < n:
+        t = tokens[j].text
+        if t in ("(", "{", "["):
+            j = (match_paren if t == "(" else match_brace)(tokens, j) \
+                if t != "[" else _match_square(tokens, j)
+            continue
+        if t == "<":
+            depth += 1
+        elif t == ">":
+            depth -= 1
+            if depth == 0:
+                return j + 1
+        elif t == ">>":
+            depth -= 2
+            if depth <= 0:
+                return j + 1
+        elif t in (";", "&&", "||") or depth > 8:
+            return i  # not a template argument list
+        j += 1
+    return i
+
+
+def _match_square(tokens, i):
+    depth = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i].text
+        if t == "[":
+            depth += 1
+        elif t == "]":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n

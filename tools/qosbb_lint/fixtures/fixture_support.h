@@ -1,0 +1,76 @@
+// Minimal self-contained stand-ins for the project primitives, so the
+// lint fixtures compile as real TUs (the clang-json frontend parses them
+// with -fsyntax-only) while staying independent of src/. Listed in the
+// fixture config's primitive_files: the lint never replays this file.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qosbb {
+
+class Status {
+ public:
+  Status() = default;
+  static Status ok() { return Status(); }
+  static Status rejected(const std::string& why) {
+    Status s;
+    s.ok_ = why.empty();
+    return s;
+  }
+  bool is_ok() const { return ok_; }
+
+ private:
+  bool ok_ = true;
+};
+
+template <typename T>
+class Result {
+ public:
+  explicit Result(T value) : value_(value) {}
+  Status status() const { return Status::ok(); }
+  const T& value() const { return value_; }
+
+ private:
+  T value_;
+};
+
+class Mutex {};
+class SharedMutex {};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) : mu_(&mu) {}
+
+ private:
+  Mutex* mu_;
+};
+
+class ExclusiveLock {
+ public:
+  explicit ExclusiveLock(SharedMutex& mu) : mu_(&mu) {}
+
+ private:
+  SharedMutex* mu_;
+};
+
+class SharedLock {
+ public:
+  explicit SharedLock(SharedMutex& mu) : mu_(&mu) {}
+
+ private:
+  SharedMutex* mu_;
+};
+
+class ShardLockSet {
+ public:
+  ShardLockSet(int first, int last) : first_(first), last_(last) {}
+
+ private:
+  int first_;
+  int last_;
+};
+
+}  // namespace qosbb

@@ -1,0 +1,43 @@
+// lock-order fixture, CLEAN: every acquisition respects the hierarchy
+// big_ (0) -> flow_mu_ (1) -> {shards, limiter_mu_} (2, leaves).
+#include "fixture_support.h"
+
+namespace qosbb {
+
+class FixtureBroker {
+ public:
+  void clean_nested();
+  void clean_scoped_release();
+  void clean_call_chain();
+  void lock_flow();
+
+ private:
+  SharedMutex big_;
+  Mutex flow_mu_;
+  Mutex limiter_mu_;
+};
+
+void FixtureBroker::clean_nested() {
+  SharedLock g(big_);
+  MutexLock h(flow_mu_);
+  ShardLockSet shards(0, 4);
+}
+
+void FixtureBroker::clean_scoped_release() {
+  {
+    MutexLock g(flow_mu_);
+  }
+  // The guard above died with its scope: re-acquiring is fine.
+  MutexLock h(flow_mu_);
+}
+
+void FixtureBroker::lock_flow() { MutexLock g(flow_mu_); }
+
+void FixtureBroker::clean_call_chain() {
+  SharedLock g(big_);
+  // Transitively acquires flow_mu_ (rank 1) while holding big_ (rank 0):
+  // non-decreasing, allowed.
+  lock_flow();
+}
+
+}  // namespace qosbb

@@ -1,0 +1,39 @@
+// lock-order fixture, SABOTAGED: one instance of each violation class.
+// The lint must flag all three; the fixture test inverts the exit code.
+#include "fixture_support.h"
+
+namespace qosbb {
+
+class FixtureBroker {
+ public:
+  void sab_transitive_inversion();
+  void sab_leaf_escape();
+  void sab_reacquire();
+  void lock_big();
+
+ private:
+  SharedMutex big_;
+  Mutex flow_mu_;
+  Mutex limiter_mu_;
+};
+
+void FixtureBroker::lock_big() { ExclusiveLock g(big_); }
+
+void FixtureBroker::sab_transitive_inversion() {
+  MutexLock g(flow_mu_);
+  // Callee acquires big_ (rank 0) while we hold flow_mu_ (rank 1).
+  lock_big();
+}
+
+void FixtureBroker::sab_leaf_escape() {
+  MutexLock g(limiter_mu_);
+  // limiter_mu_ is a leaf: nothing may be acquired while holding it.
+  MutexLock h(flow_mu_);
+}
+
+void FixtureBroker::sab_reacquire() {
+  ExclusiveLock g(big_);
+  ExclusiveLock h(big_);
+}
+
+}  // namespace qosbb

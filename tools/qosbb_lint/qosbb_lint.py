@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""qosbb_lint — project-invariant static analysis for the qosbb tree.
+
+Enforces three invariants the compilers cannot express end to end:
+
+  lock-order      broker lock hierarchy (big_ -> flow_mu_ -> leaves) across
+                  call chains, on every row including gcc where clang's
+                  thread-safety analysis is inert
+  hotpath-alloc   no heap allocation on the admission hot path
+  status-discard  no silently dropped Status/Result values
+
+Two interchangeable frontends lower C++ to one event-stream IR:
+
+  internal        built-in tokenizer; zero toolchain dependency, used as
+                  the tree gate everywhere (default when clang is absent)
+  clang-json      `clang++ -Xclang -ast-dump=json` per TU, driven by the
+                  build tree's compile_commands.json (CI rows with clang)
+
+Exit codes: 0 clean, 1 findings, 2 infrastructure error.
+"""
+
+import argparse
+import glob
+import json
+import os
+import shutil
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import checks  # noqa: E402
+import clang_frontend  # noqa: E402
+import internal_frontend  # noqa: E402
+from cpp_lexer import lex  # noqa: E402
+from lint_ir import Program  # noqa: E402
+
+
+def load_config(path):
+    with open(path, "r", encoding="utf-8") as f:
+        cfg = json.load(f)
+    return {k: v for k, v in cfg.items() if not k.startswith("_")}
+
+
+def project_files(root, config, explicit):
+    if explicit:
+        return [os.path.relpath(os.path.abspath(p), root) for p in explicit]
+    rels = []
+    for pattern in config.get("paths", []):
+        for p in glob.glob(os.path.join(root, pattern), recursive=True):
+            rels.append(os.path.relpath(p, root))
+    skip = config.get("exclude", [])
+    rels = [r for r in rels
+            if not any(r.startswith(e) for e in skip)]
+    return sorted(set(rels))
+
+
+def build_allow_map(root, files):
+    """relpath -> {line -> {tags}} waiver comments, for the clang frontend
+    (the internal frontend reads them from its own token stream)."""
+    allow = {}
+    for rel in files:
+        try:
+            with open(os.path.join(root, rel), "r", encoding="utf-8",
+                      errors="replace") as f:
+                _, file_allow = lex(f.read())
+        except OSError:
+            continue
+        if file_allow:
+            # A waiver comment on its own line covers the next line too.
+            for ln in sorted(file_allow):
+                file_allow.setdefault(ln + 1, set()).update(file_allow[ln])
+            allow[rel] = file_allow
+    return allow
+
+
+def run_internal(root, files, config):
+    functions, decls = [], []
+    for rel in files:
+        fns, ds = internal_frontend.parse_file(
+            os.path.join(root, rel), rel, config)
+        functions.extend(fns)
+        decls.extend(ds)
+    return functions, decls
+
+
+def run_clang(root, files, config, builddir, clangxx):
+    ccdb = os.path.join(builddir, "compile_commands.json")
+    if not os.path.isfile(ccdb):
+        raise RuntimeError(f"no compile_commands.json in {builddir} "
+                           f"(configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)")
+    with open(ccdb, "r", encoding="utf-8") as f:
+        entries = json.load(f)
+    wanted = set(files)
+    allow_by_file = build_allow_map(root, files)
+    functions, decls = [], []
+    seen_fn = set()  # headers appear in many TUs: dedup by (file,line,name)
+    seen_decl = set()
+    parsed = 0
+    for entry in entries:
+        rel = os.path.relpath(
+            os.path.realpath(os.path.join(entry.get("directory", root),
+                                          entry["file"])), root)
+        if rel not in wanted:
+            continue
+        fns, ds = clang_frontend.parse_tu(entry, clangxx, config, root,
+                                          allow_by_file)
+        parsed += 1
+        for fn in fns:
+            key = (fn.file, fn.line, fn.name)
+            if key in seen_fn:
+                continue
+            seen_fn.add(key)
+            functions.append(fn)
+        for d in ds:
+            if d in seen_decl:
+                continue
+            seen_decl.add(d)
+            decls.append(d)
+    if parsed == 0:
+        raise RuntimeError("no compile_commands entries matched the "
+                           "configured source set")
+    return functions, decls
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(prog="qosbb_lint", description=__doc__)
+    ap.add_argument("--root", default=".", help="repository root")
+    ap.add_argument("--config", default=None,
+                    help="config JSON (default: <script dir>/config.json)")
+    ap.add_argument("--frontend", default="auto",
+                    choices=["auto", "internal", "clang-json"])
+    ap.add_argument("-p", dest="builddir", default="build",
+                    help="build dir with compile_commands.json "
+                         "(clang-json frontend)")
+    ap.add_argument("--clang", default=None,
+                    help="clang++ binary for the clang-json frontend")
+    ap.add_argument("--checks", default="lock-order,hotpath-alloc,"
+                                        "status-discard",
+                    help="comma-separated subset of checks to run")
+    ap.add_argument("files", nargs="*",
+                    help="restrict to these files (default: config globs)")
+    args = ap.parse_args(argv)
+
+    root = os.path.abspath(args.root)
+    cfg_path = args.config or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "config.json")
+    try:
+        config = load_config(cfg_path)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"qosbb_lint: cannot load config {cfg_path}: {e}",
+              file=sys.stderr)
+        return 2
+
+    enabled = [c.strip() for c in args.checks.split(",") if c.strip()]
+    unknown = [c for c in enabled if c not in checks.CHECKS]
+    if unknown:
+        print(f"qosbb_lint: unknown checks: {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+
+    frontend = args.frontend
+    clangxx = args.clang
+    if frontend == "auto":
+        clangxx = clangxx or shutil.which("clang++")
+        has_ccdb = os.path.isfile(
+            os.path.join(args.builddir, "compile_commands.json"))
+        frontend = "clang-json" if (clangxx and has_ccdb) else "internal"
+    elif frontend == "clang-json":
+        clangxx = clangxx or shutil.which("clang++")
+        if not clangxx:
+            print("qosbb_lint: clang-json frontend requested but no "
+                  "clang++ found", file=sys.stderr)
+            return 2
+
+    files = project_files(root, config, args.files)
+    if not files:
+        print("qosbb_lint: no source files matched", file=sys.stderr)
+        return 2
+
+    try:
+        if frontend == "internal":
+            functions, decls = run_internal(root, files, config)
+        else:
+            functions, decls = run_clang(root, files, config,
+                                         args.builddir, clangxx)
+    except RuntimeError as e:
+        print(f"qosbb_lint: {e}", file=sys.stderr)
+        return 2
+
+    program = Program(functions)
+    findings = checks.run_checks(program, decls, config, enabled)
+    for f in findings:
+        print(f.render())
+    summary = (f"qosbb_lint[{frontend}]: {len(files)} files, "
+               f"{len(functions)} functions, {len(findings)} finding(s) "
+               f"[{','.join(enabled)}]")
+    print(summary, file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

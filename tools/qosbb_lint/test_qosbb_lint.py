@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Canary tests for qosbb_lint, run under ctest.
+
+For each check we run the driver over a CLEAN fixture (must exit 0 with
+no findings) and a SABOTAGED fixture (must exit 1 and report the expected
+findings — the inverted-exit canary that proves the check can actually
+fire, the same discipline as `fuzz_broker --sabotage`). When clang++ is
+available the same matrix runs again through the clang-json frontend, so
+both lowerings stay in lockstep.
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.abspath(os.path.join(HERE, "..", ".."))
+DRIVER = os.path.join(HERE, "qosbb_lint.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+FIXTURE_CONFIG = os.path.join(FIXTURES, "config.json")
+
+# check -> (clean fixture, sabotaged fixture, substrings that must appear
+# in the sabotage findings, minimum sabotage finding count)
+MATRIX = {
+    "lock-order": (
+        "lockorder_clean.cc", "lockorder_sabotaged.cc",
+        ["re-acquired", "leaf", "inversion"], 3),
+    "hotpath-alloc": (
+        "hotpath_clean.cc", "hotpath_sabotaged.cc",
+        ["make_unique", "to_string", "push_back", "vector"], 4),
+    "status-discard": (
+        "status_clean.cc", "status_sabotaged.cc",
+        ["silently discarded", "waiver"], 2),
+}
+
+failures = []
+
+
+def run_driver(check, fixture, frontend, builddir=None):
+    cmd = [sys.executable, DRIVER, "--root", ROOT,
+           "--config", FIXTURE_CONFIG, "--frontend", frontend,
+           "--checks", check, os.path.join(FIXTURES, fixture)]
+    if builddir:
+        cmd += ["-p", builddir]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc
+
+
+def check_pair(check, frontend, builddir=None):
+    clean, sabotaged, needles, min_findings = MATRIX[check]
+
+    proc = run_driver(check, clean, frontend, builddir)
+    if proc.returncode != 0:
+        failures.append(
+            f"[{frontend}] {check}: clean fixture {clean} not clean "
+            f"(exit {proc.returncode}):\n{proc.stdout}{proc.stderr}")
+
+    proc = run_driver(check, sabotaged, frontend, builddir)
+    lines = [ln for ln in proc.stdout.splitlines() if ln.strip()]
+    if proc.returncode != 1:
+        failures.append(
+            f"[{frontend}] {check}: sabotaged fixture {sabotaged} must "
+            f"exit 1, got {proc.returncode}:\n{proc.stdout}{proc.stderr}")
+        return
+    if len(lines) < min_findings:
+        failures.append(
+            f"[{frontend}] {check}: expected >= {min_findings} findings "
+            f"in {sabotaged}, got {len(lines)}:\n{proc.stdout}")
+    for needle in needles:
+        if needle not in proc.stdout:
+            failures.append(
+                f"[{frontend}] {check}: sabotage output missing "
+                f"'{needle}':\n{proc.stdout}")
+
+
+def clang_builddir(tmp, clangxx):
+    """Fabricate a compile_commands.json covering every fixture TU."""
+    entries = []
+    for name in sorted(os.listdir(FIXTURES)):
+        if name.endswith(".cc"):
+            entries.append({
+                "directory": FIXTURES,
+                "command": f"{clangxx} -std=c++20 -c {name}",
+                "file": name,
+            })
+    with open(os.path.join(tmp, "compile_commands.json"), "w",
+              encoding="utf-8") as f:
+        json.dump(entries, f)
+    return tmp
+
+
+def main():
+    frontends = [("internal", None)]
+    clangxx = shutil.which("clang++")
+    tmp = None
+    if clangxx:
+        tmp = tempfile.mkdtemp(prefix="qosbb_lint_fixtures_")
+        frontends.append(("clang-json", clang_builddir(tmp, clangxx)))
+    else:
+        print("clang++ not found: running internal frontend only",
+              file=sys.stderr)
+
+    try:
+        for frontend, builddir in frontends:
+            for check in MATRIX:
+                check_pair(check, frontend, builddir)
+    finally:
+        if tmp:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    if failures:
+        print(f"{len(failures)} fixture expectation(s) FAILED:",
+              file=sys.stderr)
+        for f in failures:
+            print("  - " + f.replace("\n", "\n    "), file=sys.stderr)
+        return 1
+    ran = ", ".join(f for f, _ in frontends)
+    print(f"qosbb_lint fixtures OK ({len(MATRIX)} checks x clean+sabotage "
+          f"x [{ran}])")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
