@@ -22,6 +22,16 @@ Two semantic gates ride along:
     decode errors, every admit request answered, and context.num_cpus
     stamped. Pass --require-loadgen to fail when the section is absent
     (the bench-smoke CI job does, since it runs via run_benchmarks.sh).
+  * When the JSON carries a "server_overload" section (the same loadgen
+    run against a budget-constrained qosbbd at 2x concurrency), the
+    graceful-degradation claim is gated: the server SHED something
+    (sheds > 0 — budgets that never fire are decorative), every request
+    was still answered (admits + rejects + admit_sheds == requests, zero
+    decode/protocol errors), the p99 of accepted admits stayed finite,
+    and goodput (accepted admits/sec) stayed within GOODPUT_MIN_RATIO of
+    the uncontended server_loadgen number — shedding must protect
+    throughput, not replace it. --require-loadgen also requires this
+    section.
 
 Usage: check_bench_smoke.py [--require-loadgen] bench_smoke.json
 """
@@ -150,6 +160,82 @@ def check_server_loadgen(report, required: bool) -> bool:
     return failed
 
 
+# Accepted-admit throughput under 2x overload must stay within this factor
+# of the uncontended run: shedding exists to PROTECT goodput.
+GOODPUT_MIN_RATIO = 0.8
+
+
+def check_server_overload(report, required: bool) -> bool:
+    """Return True on failure: graceful degradation under 2x overload."""
+    section = report.get("server_overload")
+    if section is None:
+        if required:
+            print("FAIL: server_overload section missing (bench JSON not "
+                  "produced by bench/run_benchmarks.sh?)", file=sys.stderr)
+            return True
+        print("SKIP: no server_overload section")
+        return False
+
+    failed = False
+
+    def finite_positive(value) -> bool:
+        return (isinstance(value, (int, float)) and math.isfinite(value)
+                and value > 0)
+
+    if int(section.get("sheds", 0)) <= 0:
+        print("FAIL: server_overload sheds=0 — the budgets never fired "
+              "under 2x offered load", file=sys.stderr)
+        failed = True
+    for key in ("decode_errors", "protocol_errors"):
+        if section.get(key, -1) != 0:
+            print(f"FAIL: server_overload {key}={section.get(key)}",
+                  file=sys.stderr)
+            failed = True
+    requests = section.get("requests")
+    answered = (section.get("admits", 0) + section.get("rejects", 0)
+                + section.get("admit_sheds", 0))
+    if requests is None or answered != requests:
+        print(f"FAIL: server_overload admits+rejects+admit_sheds={answered} "
+              f"!= requests={requests} — a request went unanswered",
+              file=sys.stderr)
+        failed = True
+    if not finite_positive(section.get("latency_us", {}).get("p99")):
+        print(f"FAIL: server_overload latency_us.p99="
+              f"{section.get('latency_us', {}).get('p99')} "
+              "(want finite > 0)", file=sys.stderr)
+        failed = True
+    goodput = section.get("admits_per_sec")
+    baseline = report.get("server_loadgen", {}).get("admits_per_sec")
+    num_cpus = int(report.get("context", {}).get("num_cpus", 0))
+    if not finite_positive(goodput):
+        print(f"FAIL: server_overload admits_per_sec={goodput} "
+              "(want finite > 0)", file=sys.stderr)
+        failed = True
+    elif num_cpus < CONCURRENT_SCALING_CORES:
+        # Same policy as the scaling check: on 1-2 core runners the server
+        # and every loadgen thread fight for one core and BOTH numbers
+        # swing ~25% run to run; a ratio of two noisy measurements is not
+        # a signal. Skipped, not waved through — quiet >=4-core machines
+        # (where the checked-in trajectory is refreshed) enforce it.
+        print(f"SKIP: overload goodput ratio (num_cpus={num_cpus} < "
+              f"{CONCURRENT_SCALING_CORES}); structural checks still "
+              f"enforced (sheds={section.get('sheds')}, rate "
+              f"{section.get('shed_rate', 0):.2f})")
+    elif finite_positive(baseline):
+        ratio = goodput / baseline
+        if ratio < GOODPUT_MIN_RATIO:
+            print(f"FAIL: overload goodput {goodput:.0f} admits/sec is "
+                  f"{ratio:.2f}x the uncontended {baseline:.0f} "
+                  f"(minimum {GOODPUT_MIN_RATIO}x)", file=sys.stderr)
+            failed = True
+        else:
+            print(f"OK: server_overload sheds={section.get('sheds')} "
+                  f"(rate {section.get('shed_rate', 0):.2f}), goodput "
+                  f"{ratio:.2f}x of uncontended, "
+                  f"p99={section.get('latency_us', {}).get('p99'):.1f}us")
+    return failed
+
+
 def main() -> int:
     argv = sys.argv[1:]
     require_loadgen = "--require-loadgen" in argv
@@ -192,6 +278,7 @@ def main() -> int:
     failed |= check_concurrent_scaling(report, benchmarks)
     failed |= check_group_commit(benchmarks)
     failed |= check_server_loadgen(report, require_loadgen)
+    failed |= check_server_overload(report, require_loadgen)
 
     if failed:
         return 1

@@ -60,18 +60,56 @@ if [[ "$loadgen_requests" -gt 0 ]]; then
   wait "$server_pid"
 fi
 
+# Overload section: the SAME closed-loop load against a qosbbd with tight
+# in-flight budgets, at 2x the concurrency of the uncontended run. The
+# point is the degradation curve, not peak throughput: the server must
+# SHED (explicit kOverloadedReply, counted by loadgen) while goodput —
+# admits/sec of ACCEPTED requests — stays close to the uncontended number
+# and the p99 of accepted admits stays finite. Merged as the
+# "server_overload" section; gated by check_bench_smoke.py. Scale with
+# OVERLOAD_REQUESTS; OVERLOAD_REQUESTS=0 skips.
+overload_requests="${OVERLOAD_REQUESTS:-$((loadgen_requests / 2))}"
+overload_json=""
+if [[ "$overload_requests" -gt 0 ]]; then
+  [[ -n "${tmp_dir:-}" ]] || { tmp_dir="$(mktemp -d)"; trap 'rm -rf "$tmp_dir"' EXIT; }
+  # Budgets sized against the 8x64 offered load: the per-connection budget
+  # (56) sits just under the pipeline depth (64), so every full burst
+  # structurally sheds its tail (~12%) while the global budget stays above
+  # the service pipeline's natural queue depth — shedding trims the excess
+  # instead of starving accepted throughput.
+  "$repo_root/build/tools/qosbbd" --port=0 \
+    --port-file="$tmp_dir/overload_port" \
+    --max-inflight=448 --max-inflight-conn=56 \
+    --deadline-ms=200 --brownout-inflight=336 \
+    2>"$tmp_dir/qosbbd_overload.log" &
+  overload_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$tmp_dir/overload_port" ]] && break
+    sleep 0.1
+  done
+  overload_json="$tmp_dir/overload.json"
+  "$repo_root/build/tools/loadgen" --port-file="$tmp_dir/overload_port" \
+    --connections="${OVERLOAD_CONNECTIONS:-8}" \
+    --pipeline="${OVERLOAD_PIPELINE:-64}" \
+    --requests="$overload_requests" \
+    --teardown-every="${LOADGEN_TEARDOWN_EVERY:-8}" \
+    --json-out="$overload_json"
+  kill -TERM "$overload_pid"
+  wait "$overload_pid"
+fi
+
 # Stamp provenance into the context block so trajectory entries pasted into
 # BENCH_bb_throughput.json stay attributable: the commit the numbers were
 # measured at, and the core count they were measured on (num_cpus is
 # already reported by Google Benchmark; ensure it survives even on builds
 # that omit it). Merge the loadgen report while we are in here.
 git_sha="$(git -C "$repo_root" rev-parse HEAD 2>/dev/null || echo unknown)"
-python3 - "$out" "$git_sha" "$loadgen_json" <<'PY'
+python3 - "$out" "$git_sha" "$loadgen_json" "$overload_json" <<'PY'
 import json
 import os
 import sys
 
-path, sha, loadgen_path = sys.argv[1], sys.argv[2], sys.argv[3]
+path, sha, loadgen_path, overload_path = sys.argv[1:5]
 with open(path, encoding="utf-8") as fh:
     report = json.load(fh)
 ctx = report.setdefault("context", {})
@@ -80,6 +118,9 @@ ctx.setdefault("num_cpus", os.cpu_count() or 1)
 if loadgen_path:
     with open(loadgen_path, encoding="utf-8") as fh:
         report["server_loadgen"] = json.load(fh)
+if overload_path:
+    with open(overload_path, encoding="utf-8") as fh:
+        report["server_overload"] = json.load(fh)
 with open(path, "w", encoding="utf-8") as fh:
     json.dump(report, fh, indent=2)
     fh.write("\n")

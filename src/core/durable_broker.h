@@ -42,11 +42,9 @@
 
 namespace qosbb {
 
-/// Client-assigned idempotency key for a signaling request. 0 is reserved
-/// for internal events (contingency expiry, buffer feedback) that have no
-/// client and are never deduplicated.
-using RequestId = std::uint64_t;
-constexpr RequestId kNoRequestId = 0;
+// RequestId / kNoRequestId live in core/types.h (pulled in via broker.h):
+// the wire protocol carries the client's rid, so the vocabulary type is
+// shared by the codec, the server, and this journaled broker.
 
 struct DurableBrokerOptions {
   /// Maximum remembered decisions (FIFO eviction). A retry arriving after
@@ -143,6 +141,9 @@ class DurableBroker {
   const DurableBrokerOptions& options() const { return options_; }
   /// True if `rid` currently has a recorded decision in the dedup window.
   bool remembers(RequestId rid) const { return window_.contains(rid); }
+  /// Current dedup-window population (exported by the server's Health op so
+  /// operators can see how much retry horizon is actually retained).
+  std::size_t dedup_window_size() const { return window_.size(); }
 
  private:
   DurableBroker(const DomainSpec& spec, const BrokerOptions& broker_options,

@@ -46,6 +46,13 @@ struct Reservation {
 using FlowPriority = int;
 constexpr FlowPriority kDefaultPriority = 0;
 
+/// Client-assigned operation identity used for idempotent re-delivery: a
+/// retried operation re-sends the SAME RequestId, and the durable broker's
+/// dedup window replays the recorded decision instead of re-executing it.
+/// kNoRequestId opts out of deduplication (fire-and-forget callers).
+using RequestId = std::uint64_t;
+constexpr RequestId kNoRequestId = 0;
+
 /// New-flow service request message (ingress -> BB, Section 2.2).
 struct FlowServiceRequest {
   TrafficProfile profile;

@@ -207,7 +207,7 @@ Result<WireBuffer> WireReader::bytes() {
 
 // ---- Messages ----
 
-WireBuffer encode(const FlowServiceRequest& msg) {
+WireBuffer encode(const FlowServiceRequest& msg, RequestId rid) {
   WireWriter w;
   w.f64(msg.profile.sigma);
   w.f64(msg.profile.rho);
@@ -216,11 +216,12 @@ WireBuffer encode(const FlowServiceRequest& msg) {
   w.f64(msg.e2e_delay_req);
   w.str(msg.ingress);
   w.str(msg.egress);
+  w.u64(rid);
   return finish(MessageType::kFlowServiceRequest, std::move(w));
 }
 
 Result<FlowServiceRequest> decode_flow_service_request(
-    const WireBuffer& buffer) {
+    const WireBuffer& buffer, RequestId* rid) {
   auto body = open_body(buffer, MessageType::kFlowServiceRequest);
   if (!body.is_ok()) return body.status();
   WireReader& r = body.value();
@@ -231,9 +232,11 @@ Result<FlowServiceRequest> decode_flow_service_request(
   auto d_req = r.f64();
   auto ingress = r.str();
   auto egress = r.str();
+  auto req_id = r.u64();
   for (const Status& s :
        {sigma.status(), rho.status(), peak.status(), l_max.status(),
-        d_req.status(), ingress.status(), egress.status()}) {
+        d_req.status(), ingress.status(), egress.status(),
+        req_id.status()}) {
     if (!s.is_ok()) return s;
   }
   if (!r.exhausted()) return Status::invalid_argument("trailing bytes");
@@ -255,6 +258,7 @@ Result<FlowServiceRequest> decode_flow_service_request(
   out.e2e_delay_req = d_req.value();
   out.ingress = ingress.value();
   out.egress = egress.value();
+  if (rid != nullptr) *rid = req_id.value();
   return out;
 }
 
@@ -350,6 +354,7 @@ Result<EdgeConditionerConfig> decode_edge_conditioner_config(
 WireBuffer encode(const TeardownRequest& msg) {
   WireWriter w;
   w.i64(msg.flow);
+  w.u64(msg.rid);
   return finish(MessageType::kTeardownRequest, std::move(w));
 }
 
@@ -358,9 +363,147 @@ Result<TeardownRequest> decode_teardown_request(const WireBuffer& buffer) {
   if (!body.is_ok()) return body.status();
   WireReader& r = body.value();
   auto flow = r.i64();
+  auto rid = r.u64();
   if (!flow.is_ok()) return flow.status();
+  if (!rid.is_ok()) return rid.status();
   if (!r.exhausted()) return Status::invalid_argument("trailing bytes");
-  return TeardownRequest{flow.value()};
+  return TeardownRequest{flow.value(), rid.value()};
+}
+
+const char* shed_reason_name(ShedReason r) {
+  switch (r) {
+    case ShedReason::kNone: return "none";
+    case ShedReason::kGlobalBudget: return "global-budget";
+    case ShedReason::kConnBudget: return "conn-budget";
+    case ShedReason::kDeadline: return "deadline";
+    case ShedReason::kBrownout: return "brownout";
+  }
+  return "unknown";
+}
+
+WireBuffer encode(const OverloadedReply& msg) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(msg.reason));
+  w.u32(msg.retry_after_ms);
+  w.str(msg.detail);
+  return finish(MessageType::kOverloadedReply, std::move(w));
+}
+
+Result<OverloadedReply> decode_overloaded_reply(const WireBuffer& buffer) {
+  auto body = open_body(buffer, MessageType::kOverloadedReply);
+  if (!body.is_ok()) return body.status();
+  WireReader& r = body.value();
+  auto reason = r.u8();
+  auto retry_after = r.u32();
+  auto detail = r.str();
+  for (const Status& s :
+       {reason.status(), retry_after.status(), detail.status()}) {
+    if (!s.is_ok()) return s;
+  }
+  if (!r.exhausted()) return Status::invalid_argument("trailing bytes");
+  if (reason.value() > static_cast<std::uint8_t>(kMaxShedReason)) {
+    return Status::invalid_argument("unknown shed reason");
+  }
+  OverloadedReply out;
+  out.reason = static_cast<ShedReason>(reason.value());
+  out.retry_after_ms = retry_after.value();
+  out.detail = detail.value();
+  return out;
+}
+
+WireBuffer encode(const HealthRequest&) {
+  return finish(MessageType::kHealthRequest, WireWriter{});
+}
+
+Result<HealthRequest> decode_health_request(const WireBuffer& buffer) {
+  auto body = open_body(buffer, MessageType::kHealthRequest);
+  if (!body.is_ok()) return body.status();
+  if (!body.value().exhausted()) {
+    return Status::invalid_argument("trailing bytes");
+  }
+  return HealthRequest{};
+}
+
+WireBuffer encode(const HealthReply& msg) {
+  WireWriter w;
+  w.u64(msg.inflight);
+  w.u64(msg.connections);
+  w.u64(msg.admits);
+  w.u64(msg.rejects);
+  w.u64(msg.shed_global);
+  w.u64(msg.shed_conn);
+  w.u64(msg.shed_deadline);
+  w.u64(msg.shed_brownout);
+  w.u64(msg.reaped_partial);
+  w.u64(msg.reaped_idle);
+  w.u64(msg.journal_lsn);
+  w.u64(msg.dedup_entries);
+  w.u64(msg.live_flows);
+  w.u8(msg.brownout_active);
+  return finish(MessageType::kHealthReply, std::move(w));
+}
+
+Result<HealthReply> decode_health_reply(const WireBuffer& buffer) {
+  auto body = open_body(buffer, MessageType::kHealthReply);
+  if (!body.is_ok()) return body.status();
+  WireReader& r = body.value();
+  HealthReply out;
+  std::uint64_t* const fields[] = {
+      &out.inflight,      &out.connections,   &out.admits,
+      &out.rejects,       &out.shed_global,   &out.shed_conn,
+      &out.shed_deadline, &out.shed_brownout, &out.reaped_partial,
+      &out.reaped_idle,   &out.journal_lsn,   &out.dedup_entries,
+      &out.live_flows};
+  for (std::uint64_t* f : fields) {
+    auto v = r.u64();
+    if (!v.is_ok()) return v.status();
+    *f = v.value();
+  }
+  auto brownout = r.u8();
+  if (!brownout.is_ok()) return brownout.status();
+  if (!r.exhausted()) return Status::invalid_argument("trailing bytes");
+  if (brownout.value() > 1) {
+    return Status::invalid_argument("brownout flag must be 0 or 1");
+  }
+  out.brownout_active = brownout.value();
+  return out;
+}
+
+WireBuffer encode(const SnapshotDigestRequest&) {
+  return finish(MessageType::kSnapshotDigestRequest, WireWriter{});
+}
+
+Result<SnapshotDigestRequest> decode_snapshot_digest_request(
+    const WireBuffer& buffer) {
+  auto body = open_body(buffer, MessageType::kSnapshotDigestRequest);
+  if (!body.is_ok()) return body.status();
+  if (!body.value().exhausted()) {
+    return Status::invalid_argument("trailing bytes");
+  }
+  return SnapshotDigestRequest{};
+}
+
+WireBuffer encode(const SnapshotDigestReply& msg) {
+  WireWriter w;
+  w.u32(msg.digest);
+  w.u64(msg.journal_lsn);
+  return finish(MessageType::kSnapshotDigestReply, std::move(w));
+}
+
+Result<SnapshotDigestReply> decode_snapshot_digest_reply(
+    const WireBuffer& buffer) {
+  auto body = open_body(buffer, MessageType::kSnapshotDigestReply);
+  if (!body.is_ok()) return body.status();
+  WireReader& r = body.value();
+  auto digest = r.u32();
+  auto lsn = r.u64();
+  if (!digest.is_ok()) return digest.status();
+  if (!lsn.is_ok()) return lsn.status();
+  if (!r.exhausted()) return Status::invalid_argument("trailing bytes");
+  SnapshotDigestReply out;
+  out.digest = digest.value();
+  out.journal_lsn = lsn.value();
+  return out;
 }
 
 Result<MessageType> peek_type(const WireBuffer& buffer) {

@@ -38,8 +38,13 @@ enum class MessageType : std::uint8_t {
   kEdgeConditionerConfig = 4,  // BB -> edge conditioner
   kTeardownRequest = 5,     // ingress -> BB
   kBrokerSnapshot = 6,      // BB state checkpoint (crash recovery)
+  kOverloadedReply = 7,     // BB -> ingress (shed, NOT executed — retry)
+  kHealthRequest = 8,       // ingress/operator -> BB (never shed)
+  kHealthReply = 9,         // BB -> requester (degradation counters)
+  kSnapshotDigestRequest = 10,  // operator -> BB (expensive: brownout-shed)
+  kSnapshotDigestReply = 11,    // BB -> operator
 };
-constexpr MessageType kMaxMessageType = MessageType::kBrokerSnapshot;
+constexpr MessageType kMaxMessageType = MessageType::kSnapshotDigestReply;
 
 /// Reject reply payload.
 struct RejectReply {
@@ -47,29 +52,100 @@ struct RejectReply {
   std::string detail;  // truncated to 255 bytes on the wire
 };
 
-/// Teardown payload.
+/// Teardown payload. `rid` is the client's idempotency key (kNoRequestId
+/// opts out); a retried teardown re-sends the same rid.
 struct TeardownRequest {
   FlowId flow = kInvalidFlowId;
+  RequestId rid = kNoRequestId;
+};
+
+/// Why the server shed a request instead of executing it. Carried as u8 in
+/// the kOverloadedReply body; a shed request was NOT executed and is always
+/// safe to retry (with the same rid).
+enum class ShedReason : std::uint8_t {
+  kNone = 0,
+  kGlobalBudget = 1,  ///< server-wide in-flight budget exhausted
+  kConnBudget = 2,    ///< this connection's in-flight budget exhausted
+  kDeadline = 3,      ///< queued longer than the per-request deadline
+  kBrownout = 4,      ///< expensive op shed while the server is degraded
+};
+constexpr ShedReason kMaxShedReason = ShedReason::kBrownout;
+
+const char* shed_reason_name(ShedReason r);
+
+/// Explicit overload reply: the positional answer to a request the server
+/// refused to execute. Shed, never stall — the client sees this instead of
+/// an ever-growing queue delay.
+struct OverloadedReply {
+  ShedReason reason = ShedReason::kNone;
+  std::uint32_t retry_after_ms = 0;  ///< server's backoff hint (0 = none)
+  std::string detail;                // truncated to 255 bytes on the wire
+};
+
+/// Health probe (empty body). Served even in brownout so degradation is
+/// observable exactly when it matters.
+struct HealthRequest {};
+
+/// Health reply: the server's degradation counters, a point-in-time view.
+struct HealthReply {
+  std::uint64_t inflight = 0;        ///< ops queued awaiting dispatch
+  std::uint64_t connections = 0;     ///< open client connections
+  std::uint64_t admits = 0;          ///< executed admission requests
+  std::uint64_t rejects = 0;         ///< admission rejections (executed)
+  std::uint64_t shed_global = 0;     ///< sheds: global budget
+  std::uint64_t shed_conn = 0;       ///< sheds: per-connection budget
+  std::uint64_t shed_deadline = 0;   ///< sheds: deadline expiries
+  std::uint64_t shed_brownout = 0;   ///< sheds: brownout (expensive ops)
+  std::uint64_t reaped_partial = 0;  ///< conns closed: stalled partial frame
+  std::uint64_t reaped_idle = 0;     ///< conns closed: idle timeout
+  std::uint64_t journal_lsn = 0;     ///< durable mode: next LSN (else 0)
+  std::uint64_t dedup_entries = 0;   ///< durable mode: dedup window size
+  std::uint64_t live_flows = 0;      ///< flows currently reserved
+  std::uint8_t brownout_active = 0;  ///< 1 while the brownout gate is closed
+};
+
+/// Snapshot digest probe (empty body): asks for the CRC of a full broker
+/// snapshot — deliberately expensive, the first thing brownout sheds.
+struct SnapshotDigestRequest {};
+
+struct SnapshotDigestReply {
+  std::uint32_t digest = 0;         ///< CRC-32 of the encoded snapshot
+  std::uint64_t journal_lsn = 0;    ///< durable mode: next LSN (else 0)
 };
 
 // ---- Encoding (infallible) ----
-WireBuffer encode(const FlowServiceRequest& msg);
+/// `rid` is the client's idempotency key, carried on the wire so retries
+/// can re-send the SAME identity (exactly-once at a durable broker).
+WireBuffer encode(const FlowServiceRequest& msg, RequestId rid = kNoRequestId);
 WireBuffer encode(const Reservation& msg);
 WireBuffer encode(const RejectReply& msg);
 WireBuffer encode(const EdgeConditionerConfig& msg);
 WireBuffer encode(const TeardownRequest& msg);
+WireBuffer encode(const OverloadedReply& msg);
+WireBuffer encode(const HealthRequest& msg);
+WireBuffer encode(const HealthReply& msg);
+WireBuffer encode(const SnapshotDigestRequest& msg);
+WireBuffer encode(const SnapshotDigestReply& msg);
 
 // ---- Decoding (hardened) ----
 /// Type of a well-formed frame without decoding the body.
 Result<MessageType> peek_type(const WireBuffer& buffer);
 
+/// If `rid` is non-null it receives the request's idempotency key.
 Result<FlowServiceRequest> decode_flow_service_request(
-    const WireBuffer& buffer);
+    const WireBuffer& buffer, RequestId* rid = nullptr);
 Result<Reservation> decode_reservation(const WireBuffer& buffer);
 Result<RejectReply> decode_reject_reply(const WireBuffer& buffer);
 Result<EdgeConditionerConfig> decode_edge_conditioner_config(
     const WireBuffer& buffer);
 Result<TeardownRequest> decode_teardown_request(const WireBuffer& buffer);
+Result<OverloadedReply> decode_overloaded_reply(const WireBuffer& buffer);
+Result<HealthRequest> decode_health_request(const WireBuffer& buffer);
+Result<HealthReply> decode_health_reply(const WireBuffer& buffer);
+Result<SnapshotDigestRequest> decode_snapshot_digest_request(
+    const WireBuffer& buffer);
+Result<SnapshotDigestReply> decode_snapshot_digest_reply(
+    const WireBuffer& buffer);
 
 /// Low-level cursor primitives (exposed for tests and for extending the
 /// protocol). All reads are bounds-checked.

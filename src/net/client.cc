@@ -8,7 +8,11 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#include "core/wire.h"
 
 namespace qosbb {
 
@@ -28,6 +32,10 @@ void BlockingClient::shutdown_send() {
 Status BlockingClient::connect(const std::string& host, std::uint16_t port,
                                int rcvbuf_bytes) {
   close();
+  // A fresh socket is a fresh stream: drop any half-received frame (and a
+  // poisoned decoder state) left over from a torn predecessor, or the first
+  // reply's bytes would be glued onto stale ones and fail CRC forever.
+  decoder_ = FrameDecoder();
   fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) {
     return Status::internal(std::string("socket: ") + std::strerror(errno));
@@ -74,14 +82,30 @@ Status BlockingClient::send_message(const WireBuffer& message_frame) {
 }
 
 Result<WireBuffer> BlockingClient::read_message(int timeout_ms) {
+  // ONE overall deadline for the whole message: each short read polls only
+  // for the REMAINING budget. (The old behavior — a full timeout_ms per
+  // poll — let a trickling peer stretch one logical read to frame_size *
+  // timeout_ms.) timeout_ms < 0 blocks indefinitely, matching poll().
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
   while (true) {
     auto frame = decoder_.next();
     if (frame.is_ok()) return frame;
     if (frame.status().code() != StatusCode::kNeedMoreData) {
       return frame.status();
     }
+    int remaining_ms = -1;
+    if (timeout_ms >= 0) {
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::milliseconds>(deadline -
+                                     std::chrono::steady_clock::now());
+      if (remaining.count() <= 0) {
+        return Status::unavailable("read_message timeout");
+      }
+      remaining_ms = static_cast<int>(remaining.count());
+    }
     pollfd pfd{fd_, POLLIN, 0};
-    const int pr = ::poll(&pfd, 1, timeout_ms);
+    const int pr = ::poll(&pfd, 1, remaining_ms);
     if (pr == 0) return Status::unavailable("read_message timeout");
     if (pr < 0) {
       if (errno == EINTR) continue;
@@ -97,6 +121,129 @@ Result<WireBuffer> BlockingClient::read_message(int timeout_ms) {
     }
     decoder_.feed(chunk, static_cast<std::size_t>(n));
   }
+}
+
+// ---- RetryingClient ----
+
+RetryingClient::RetryingClient(RetryingClientOptions options)
+    : options_(std::move(options)),
+      backoff_(options_.backoff, Rng(options_.rng_seed)) {}
+
+void RetryingClient::backoff_sleep() {
+  const double delay_s = backoff_.next();
+  if (delay_s <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(delay_s));
+}
+
+Status RetryingClient::ensure_connected() {
+  if (conn_.connected()) return Status::ok();
+  const Status s = conn_.connect(options_.host, options_.port);
+  if (s.is_ok() && ever_connected_) ++stats_.reconnects;
+  if (s.is_ok()) ever_connected_ = true;
+  return s;
+}
+
+Result<WireBuffer> RetryingClient::call(const WireBuffer& message_frame,
+                                        bool retry_overloaded) {
+  Status last = Status::unavailable("no attempt made");
+  backoff_.reset();
+  for (std::uint32_t attempt = 0; attempt < options_.max_attempts;
+       ++attempt) {
+    if (attempt > 0) {
+      ++stats_.resends;
+      backoff_sleep();
+    }
+    if (Status s = ensure_connected(); !s.is_ok()) {
+      last = s;
+      continue;
+    }
+    ++stats_.attempts;
+    if (Status s = conn_.send_message(message_frame); !s.is_ok()) {
+      last = s;
+      conn_.close();
+      continue;
+    }
+    auto reply = conn_.read_message(options_.reply_timeout_ms);
+    if (!reply.is_ok()) {
+      // Timeout, peer close, or corrupt stream: the connection's reply
+      // pipeline is no longer trustworthy — drop it and re-send the same
+      // bytes on a fresh socket. The rid inside makes the retry safe.
+      if (reply.status().code() == StatusCode::kUnavailable) {
+        ++stats_.timeouts;
+      }
+      last = reply.status();
+      conn_.close();
+      continue;
+    }
+    auto type = peek_type(reply.value());
+    if (type.is_ok() && type.value() == MessageType::kOverloadedReply) {
+      ++stats_.sheds_seen;
+      if (!retry_overloaded) return reply;
+      // The server refused to execute (shed, not failed): honor its
+      // retry-after hint if it exceeds our own schedule.
+      auto shed = decode_overloaded_reply(reply.value());
+      last = Status::unavailable(
+          "shed: " + (shed.is_ok() ? std::string(shed_reason_name(
+                                         shed.value().reason))
+                                   : std::string("overloaded")));
+      if (shed.is_ok() && shed.value().retry_after_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(shed.value().retry_after_ms));
+      }
+      continue;
+    }
+    return reply;
+  }
+  return Status::unavailable("retries exhausted: " + last.message());
+}
+
+Result<Reservation> RetryingClient::admit(const FlowServiceRequest& request,
+                                          RequestId rid) {
+  auto reply = call(encode(request, rid));
+  if (!reply.is_ok()) return reply.status();
+  auto type = peek_type(reply.value());
+  if (!type.is_ok()) return type.status();
+  if (type.value() == MessageType::kReservationReply) {
+    return decode_reservation(reply.value());
+  }
+  if (type.value() == MessageType::kRejectReply) {
+    auto rej = decode_reject_reply(reply.value());
+    if (!rej.is_ok()) return rej.status();
+    return Status::rejected(std::string(reject_reason_name(
+                                rej.value().reason)) +
+                            ": " + rej.value().detail);
+  }
+  return Status::data_loss("unexpected reply type to admit");
+}
+
+Status RetryingClient::teardown(FlowId flow, RequestId rid) {
+  auto reply = call(encode(TeardownRequest{flow, rid}));
+  if (!reply.is_ok()) return reply.status();
+  auto rej = decode_reject_reply(reply.value());
+  if (!rej.is_ok()) return rej.status();
+  if (rej.value().reason == RejectReason::kNone) return Status::ok();
+  return Status::not_found(rej.value().detail);
+}
+
+Result<HealthReply> RetryingClient::health() {
+  auto reply = call(encode(HealthRequest{}));
+  if (!reply.is_ok()) return reply.status();
+  return decode_health_reply(reply.value());
+}
+
+Result<SnapshotDigestReply> RetryingClient::snapshot_digest() {
+  auto reply = call(encode(SnapshotDigestRequest{}),
+                    /*retry_overloaded=*/false);
+  if (!reply.is_ok()) return reply.status();
+  auto type = peek_type(reply.value());
+  if (type.is_ok() && type.value() == MessageType::kOverloadedReply) {
+    auto shed = decode_overloaded_reply(reply.value());
+    return Status::unavailable(
+        "shed: " + (shed.is_ok()
+                        ? std::string(shed_reason_name(shed.value().reason))
+                        : std::string("overloaded")));
+  }
+  return decode_snapshot_digest_reply(reply.value());
 }
 
 }  // namespace qosbb

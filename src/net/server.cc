@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <sstream>
 
 #include "core/journal.h"
@@ -36,14 +37,20 @@ Status errno_status(const char* what) {
 struct QosbbServer::Conn {
   int fd = -1;
   FrameDecoder decoder;
+  std::deque<PendingOp> pending;  ///< decoded, awaiting dispatch (in order)
+  std::size_t inflight = 0;       ///< non-shed entries in `pending`
   WireBuffer out;
   std::size_t out_pos = 0;
   std::uint32_t events = 0;  ///< current epoll interest set
   bool paused = false;       ///< reading suspended (write backpressure)
   bool want_write = false;
   bool close_after_flush = false;
+  bool read_closed = false;   ///< peer half-closed; quiesce then close
+  bool stop_decoding = false; ///< protocol error queued; ignore later bytes
   bool dead = false;
   std::size_t index = 0;  ///< position in conns_
+  Clock::time_point last_activity{};  ///< last byte read (idle reaping)
+  Clock::time_point last_progress{};  ///< last completed frame (slowloris)
 
   std::size_t backlog() const { return out.size() - out_pos; }
 };
@@ -124,15 +131,62 @@ void QosbbServer::request_stop() {
   [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], &byte, 1);
 }
 
+int QosbbServer::epoll_timeout_ms() const {
+  // Wake periodically only when there is something a timer could act on:
+  // stale-connection reaping or deadline expiry of queued (backpressured)
+  // work. Otherwise sleep until a socket fires.
+  if (conns_.empty()) return -1;
+  if (options_.partial_frame_timeout_ms <= 0 &&
+      options_.idle_timeout_ms <= 0 && options_.request_deadline_ms <= 0) {
+    return -1;
+  }
+  return 100;
+}
+
+void QosbbServer::sweep_dead_conns() {
+  for (std::size_t i = 0; i < conns_.size();) {
+    if (!conns_[i]->dead) {
+      ++i;
+      continue;
+    }
+    Conn* dead = conns_[i];
+    Conn* last = conns_.back();
+    conns_[i] = last;
+    last->index = i;
+    conns_.pop_back();
+    delete dead;
+  }
+}
+
+void QosbbServer::reap_stale_conns(Clock::time_point now) {
+  for (Conn* c : conns_) {
+    if (c->dead) continue;
+    if (options_.partial_frame_timeout_ms > 0 && c->decoder.buffered() > 0 &&
+        now - c->last_progress >
+            std::chrono::milliseconds(options_.partial_frame_timeout_ms)) {
+      ++stats_.reaped_partial;
+      close_conn(*c);
+      continue;
+    }
+    if (options_.idle_timeout_ms > 0 && c->pending.empty() &&
+        c->backlog() == 0 && c->decoder.buffered() == 0 &&
+        now - c->last_activity >
+            std::chrono::milliseconds(options_.idle_timeout_ms)) {
+      ++stats_.reaped_idle;
+      close_conn(*c);
+    }
+  }
+}
+
 void QosbbServer::run() {
   epoll_event events[kMaxEpollEvents];
   while (!stopping_) {
-    const int n = ::epoll_wait(epoll_fd_, events, kMaxEpollEvents, -1);
+    const int n =
+        ::epoll_wait(epoll_fd_, events, kMaxEpollEvents, epoll_timeout_ms());
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
     }
-    std::vector<Conn*> reaped;
     for (int i = 0; i < n; ++i) {
       void* tag = events[i].data.ptr;
       if (tag == &listen_fd_) {
@@ -154,16 +208,18 @@ void QosbbServer::run() {
       if ((events[i].events & EPOLLOUT) != 0 && !c.dead) {
         conn_writable(c);
       }
-      if (c.dead) reaped.push_back(&c);
     }
-    for (Conn* c : reaped) {
-      // Swap-remove from conns_ and free.
-      Conn* last = conns_.back();
-      conns_[c->index] = last;
-      last->index = c->index;
-      conns_.pop_back();
-      delete c;
+    const auto now = Clock::now();
+    reap_stale_conns(now);
+    // A paused (backpressured) connection gets no socket events until the
+    // peer reads, but its queued work still ages: expire deadlines on the
+    // timer tick so a stalled peer cannot pin stale ops forever.
+    if (options_.request_deadline_ms > 0) {
+      for (Conn* c : conns_) {
+        if (!c->dead && !c->pending.empty()) service_conn(*c);
+      }
     }
+    sweep_dead_conns();
   }
   drain_and_exit();
 }
@@ -173,30 +229,42 @@ void QosbbServer::drain_and_exit() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  // Execute whatever complete frames are already buffered, then flush.
+  // Serve what has already been received: decode, dispatch, flush. The
+  // drain keeps READING too — a client that pipelined a batch just before
+  // the stop signal still gets every reply (bounded by drain_timeout_ms).
   for (Conn* c : conns_) {
     if (!c->dead) {
-      drain_decoder(*c);
-      try_flush(*c);
+      decode_frames(*c);
+      service_conn(*c);
     }
   }
-  const auto deadline = std::chrono::steady_clock::now() +
+  sweep_dead_conns();
+  const auto deadline = Clock::now() +
                         std::chrono::milliseconds(options_.drain_timeout_ms);
   epoll_event events[kMaxEpollEvents];
-  auto pending = [&] {
+  auto quiesced = [&] {
     for (Conn* c : conns_) {
-      if (!c->dead && c->backlog() > 0) return true;
+      if (!c->dead && (c->backlog() > 0 || !c->pending.empty())) return false;
     }
-    return false;
+    return true;
   };
-  while (pending() && std::chrono::steady_clock::now() < deadline) {
-    const int n = ::epoll_wait(epoll_fd_, events, kMaxEpollEvents, 100);
+  while (!quiesced() && Clock::now() < deadline) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEpollEvents, 50);
     for (int i = 0; i < n; ++i) {
       void* tag = events[i].data.ptr;
       if (tag == &listen_fd_ || tag == &wake_fds_[0]) continue;
       Conn& c = *static_cast<Conn*>(tag);
-      if (!c.dead && (events[i].events & EPOLLOUT) != 0) try_flush(c);
+      if ((events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0 &&
+          !c.dead) {
+        conn_readable(c);
+      }
+      if ((events[i].events & EPOLLOUT) != 0 && !c.dead) conn_writable(c);
     }
+    // Deadline-expire and re-flush backpressured queues during the drain.
+    for (Conn* c : conns_) {
+      if (!c->dead && !c->pending.empty()) service_conn(*c);
+    }
+    sweep_dead_conns();
   }
   for (Conn* c : conns_) {
     if (!c->dead) close_conn(*c);
@@ -216,10 +284,16 @@ void QosbbServer::accept_ready() {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.sndbuf_bytes > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf_bytes,
+                   sizeof(options_.sndbuf_bytes));
+    }
     auto* c = new Conn();
     c->fd = fd;
     c->index = conns_.size();
     c->events = EPOLLIN;
+    c->last_activity = Clock::now();
+    c->last_progress = c->last_activity;
     conns_.push_back(c);
     epoll_event ev{};
     ev.events = c->events;
@@ -237,9 +311,11 @@ void QosbbServer::accept_ready() {
 void QosbbServer::conn_readable(Conn& c) {
   std::uint8_t chunk[kReadChunk];
   bool peer_closed = false;
+  bool read_any = false;
   while (!c.paused && !c.close_after_flush) {
     const ssize_t n = ::read(c.fd, chunk, sizeof(chunk));
     if (n > 0) {
+      read_any = true;
       stats_.bytes_in += static_cast<std::uint64_t>(n);
       c.decoder.feed(chunk, static_cast<std::size_t>(n));
       if (static_cast<std::size_t>(n) < sizeof(chunk)) break;
@@ -254,19 +330,32 @@ void QosbbServer::conn_readable(Conn& c) {
     peer_closed = true;
     break;
   }
-  drain_decoder(c);
+  if (read_any) c.last_activity = Clock::now();
+  if (peer_closed) c.read_closed = true;
+  decode_frames(c);
+  service_conn(c);
+}
+
+void QosbbServer::conn_writable(Conn& c) {
+  try_flush(c);
+  if (c.dead) return;
+  service_conn(c);
+}
+
+void QosbbServer::service_conn(Conn& c) {
+  dispatch_pending(c);
   try_flush(c);
   // If the flush already drained below the low watermark, resume NOW: a
   // fully-flushed pause leaves no pending EPOLLOUT to resume it later.
   while (!c.dead && c.paused && c.backlog() < options_.write_low_watermark) {
     c.paused = false;
-    drain_decoder(c);
+    dispatch_pending(c);
     try_flush(c);
   }
   if (c.dead) return;
-  if (peer_closed) {
-    // Half-close: answer what arrived, then tear the connection down once
-    // the replies are flushed.
+  if (c.read_closed && c.pending.empty()) {
+    // Half-close: every received op has been answered; tear the connection
+    // down once the replies are flushed.
     c.close_after_flush = true;
     if (c.backlog() == 0) {
       close_conn(c);
@@ -276,23 +365,133 @@ void QosbbServer::conn_readable(Conn& c) {
   update_interest(c);
 }
 
-void QosbbServer::conn_writable(Conn& c) {
-  try_flush(c);
-  // Frames decoded but deferred under backpressure run now; the socket
-  // itself re-fires via level-triggered EPOLLIN once re-armed. Loop: a
-  // re-drain may pause and then flush clean again.
-  while (!c.dead && c.paused && c.backlog() < options_.write_low_watermark) {
-    c.paused = false;
-    drain_decoder(c);
-    try_flush(c);
+bool QosbbServer::brownout_active(Clock::time_point now) const {
+  if (options_.brownout_inflight > 0 &&
+      global_inflight_ >= options_.brownout_inflight) {
+    return true;
   }
-  if (c.dead) return;
-  update_interest(c);
+  return options_.brownout_window_ms > 0 &&
+         last_budget_shed_.time_since_epoch().count() != 0 &&
+         now - last_budget_shed_ <=
+             std::chrono::milliseconds(options_.brownout_window_ms);
 }
 
-void QosbbServer::drain_decoder(Conn& c) {
-  std::vector<FlowServiceRequest> batch;
-  while (!c.close_after_flush) {
+void QosbbServer::enqueue_op(Conn& c, PendingOp op) {
+  op.enqueued = Clock::now();
+  // Health probes bypass the budgets entirely: they are constant-cost and
+  // exist to observe exactly the states where everything else is shed.
+  if (op.kind != PendingOp::Kind::kHealth &&
+      op.kind != PendingOp::Kind::kError) {
+    if (options_.max_inflight_global > 0 &&
+        global_inflight_ >= options_.max_inflight_global) {
+      op.shed = ShedReason::kGlobalBudget;
+      ++stats_.shed_global;
+      last_budget_shed_ = op.enqueued;
+    } else if (options_.max_inflight_per_conn > 0 &&
+               c.inflight >= options_.max_inflight_per_conn) {
+      op.shed = ShedReason::kConnBudget;
+      ++stats_.shed_conn;
+      last_budget_shed_ = op.enqueued;
+    } else if (op.kind == PendingOp::Kind::kDigest &&
+               brownout_active(op.enqueued)) {
+      // Brownout: shed the expensive op while admits keep flowing. Does
+      // NOT feed the latch — brownout must decay once budget sheds stop.
+      op.shed = ShedReason::kBrownout;
+      ++stats_.shed_brownout;
+    } else {
+      ++global_inflight_;
+      ++c.inflight;
+    }
+  }
+  c.pending.push_back(std::move(op));
+}
+
+void QosbbServer::decode_frames(Conn& c) {
+  while (!c.stop_decoding) {
+    auto frame = c.decoder.next();
+    if (!frame.is_ok()) {
+      if (frame.status().code() == StatusCode::kNeedMoreData) break;
+      ++stats_.decode_errors;
+      PendingOp err;
+      err.kind = PendingOp::Kind::kError;
+      err.detail = frame.status().message();
+      enqueue_op(c, std::move(err));
+      c.stop_decoding = true;
+      break;
+    }
+    ++stats_.frames_in;
+    c.last_progress = Clock::now();
+    const WireBuffer& payload = frame.value();
+    PendingOp op;
+    Status decoded = Status::ok();
+    auto type = peek_type(payload);
+    if (!type.is_ok()) {
+      decoded = type.status();
+    } else {
+      switch (type.value()) {
+        case MessageType::kFlowServiceRequest: {
+          auto req = decode_flow_service_request(payload, &op.rid);
+          if (!req.is_ok()) {
+            decoded = req.status();
+          } else {
+            op.kind = PendingOp::Kind::kAdmit;
+            op.request = std::move(req).value();
+            ++stats_.admit_requests;
+          }
+          break;
+        }
+        case MessageType::kTeardownRequest: {
+          auto td = decode_teardown_request(payload);
+          if (!td.is_ok()) {
+            decoded = td.status();
+          } else {
+            op.kind = PendingOp::Kind::kTeardown;
+            op.flow = td.value().flow;
+            op.rid = td.value().rid;
+          }
+          break;
+        }
+        case MessageType::kHealthRequest: {
+          auto hr = decode_health_request(payload);
+          if (!hr.is_ok()) {
+            decoded = hr.status();
+          } else {
+            op.kind = PendingOp::Kind::kHealth;
+          }
+          break;
+        }
+        case MessageType::kSnapshotDigestRequest: {
+          auto dr = decode_snapshot_digest_request(payload);
+          if (!dr.is_ok()) {
+            decoded = dr.status();
+          } else {
+            op.kind = PendingOp::Kind::kDigest;
+          }
+          break;
+        }
+        default:
+          decoded = Status::invalid_argument("unexpected message type");
+          break;
+      }
+    }
+    if (!decoded.is_ok()) {
+      ++stats_.decode_errors;
+      PendingOp err;
+      err.kind = PendingOp::Kind::kError;
+      err.detail = decoded.message();
+      enqueue_op(c, std::move(err));
+      c.stop_decoding = true;
+      break;
+    }
+    enqueue_op(c, std::move(op));
+  }
+}
+
+void QosbbServer::dispatch_pending(Conn& c) {
+  std::vector<PendingAdmit> batch;
+  const auto deadline = std::chrono::milliseconds(
+      options_.request_deadline_ms > 0 ? options_.request_deadline_ms : 0);
+  while (!c.pending.empty() && !c.close_after_flush) {
     if (c.backlog() >= options_.write_high_watermark) {
       if (!c.paused) {
         c.paused = true;
@@ -300,63 +499,73 @@ void QosbbServer::drain_decoder(Conn& c) {
       }
       break;
     }
-    auto frame = c.decoder.next();
-    if (!frame.is_ok()) {
-      if (frame.status().code() == StatusCode::kNeedMoreData) break;
+    PendingOp op = std::move(c.pending.front());
+    c.pending.pop_front();
+    if (op.shed != ShedReason::kNone) {
+      // Flush the accumulated admit run first: replies are correlated by
+      // POSITION, so the shed notice must not overtake earlier admits.
       dispatch_admits(c, batch);
-      protocol_error(c, frame.status().message());
-      break;
+      queue_overloaded(c, op.shed);
+      continue;
     }
-    ++stats_.frames_in;
-    const WireBuffer& payload = frame.value();
-    auto type = peek_type(payload);
-    if (!type.is_ok()) {
-      dispatch_admits(c, batch);
-      protocol_error(c, type.status().message());
-      break;
+    const bool counted = op.kind != PendingOp::Kind::kHealth &&
+                         op.kind != PendingOp::Kind::kError;
+    if (counted) {
+      --global_inflight_;
+      --c.inflight;
     }
-    switch (type.value()) {
-      case MessageType::kFlowServiceRequest: {
-        auto req = decode_flow_service_request(payload);
-        if (!req.is_ok()) {
-          dispatch_admits(c, batch);
-          protocol_error(c, req.status().message());
-          break;
-        }
-        batch.push_back(std::move(req).value());
+    if (counted && deadline.count() > 0 &&
+        Clock::now() - op.enqueued > deadline) {
+      // The op went stale waiting behind a slow reader or a long queue:
+      // executing it now would burn broker time on an answer the client
+      // has already given up on. Shed it in its positional slot.
+      ++stats_.shed_deadline;
+      last_budget_shed_ = Clock::now();
+      dispatch_admits(c, batch);  // positional order, as above
+      queue_overloaded(c, ShedReason::kDeadline);
+      continue;
+    }
+    switch (op.kind) {
+      case PendingOp::Kind::kAdmit:
+        batch.push_back(PendingAdmit{std::move(op.request), op.rid});
         // Bound both submit_batch latency and the reply bytes a single
         // run can queue before the watermark check at the loop top sees
         // them: dispatch in slabs instead of one maximal run.
         if (batch.size() >= kMaxAdmitBatch) dispatch_admits(c, batch);
         continue;
-      }
-      case MessageType::kTeardownRequest: {
-        auto td = decode_teardown_request(payload);
-        if (!td.is_ok()) {
-          dispatch_admits(c, batch);
-          protocol_error(c, td.status().message());
-          break;
-        }
+      case PendingOp::Kind::kTeardown:
         // A teardown splits the admit run: per-connection order of
         // operations is part of the protocol contract.
         dispatch_admits(c, batch);
-        dispatch_teardown(c, td.value().flow);
+        dispatch_teardown(c, op.flow, op.rid);
         continue;
-      }
-      default:
+      case PendingOp::Kind::kHealth:
         dispatch_admits(c, batch);
-        protocol_error(c, "unexpected message type");
-        break;
+        ++stats_.health_requests;
+        queue_reply(c, encode(make_health_reply()));
+        continue;
+      case PendingOp::Kind::kDigest:
+        dispatch_admits(c, batch);
+        dispatch_digest(c);
+        continue;
+      case PendingOp::Kind::kError:
+        dispatch_admits(c, batch);
+        queue_reply(c, encode(RejectReply{RejectReason::kPolicy,
+                                          "protocol error: " + op.detail}));
+        c.close_after_flush = true;
+        continue;
     }
-    break;
   }
   dispatch_admits(c, batch);
 }
 
 std::vector<QosbbServer::AdmitResult> QosbbServer::backend_admit(
-    std::span<const FlowServiceRequest> requests) {
+    std::span<const PendingAdmit> batch) {
   std::vector<AdmitResult> out;
-  out.reserve(requests.size());
+  out.reserve(batch.size());
+  std::vector<FlowServiceRequest> requests;
+  requests.reserve(batch.size());
+  for (const PendingAdmit& a : batch) requests.push_back(a.request);
   if (front_ != nullptr) {
     std::vector<FrontOutcome> outcomes = front_->submit_batch(requests);
     for (FrontOutcome& o : outcomes) {
@@ -369,8 +578,13 @@ std::vector<QosbbServer::AdmitResult> QosbbServer::backend_admit(
     }
     return out;
   }
-  std::vector<RequestId> rids(requests.size());
-  for (RequestId& rid : rids) rid = next_rid_++;
+  // Durable mode: the CLIENT's rid is the idempotency key — a retried
+  // request re-sends the same rid and the dedup window replays the recorded
+  // decision (exactly-once across reconnects and server restarts).
+  // kNoRequestId members are journaled but never deduplicated.
+  std::vector<RequestId> rids;
+  rids.reserve(batch.size());
+  for (const PendingAdmit& a : batch) rids.push_back(a.rid);
   std::vector<Result<Reservation>> results =
       durable_->request_service_batch(rids, requests, 0.0);
   for (Result<Reservation>& res : results) {
@@ -382,25 +596,26 @@ std::vector<QosbbServer::AdmitResult> QosbbServer::backend_admit(
   return out;
 }
 
-Status QosbbServer::backend_release(FlowId flow) {
+Status QosbbServer::backend_release(FlowId flow, RequestId rid) {
   if (front_ != nullptr) return front_->release_service(flow);
-  return durable_->release_service(next_rid_++, flow);
+  return durable_->release_service(rid, flow);
 }
 
-void QosbbServer::dispatch_admits(Conn& c,
-                                  std::vector<FlowServiceRequest>& batch) {
+void QosbbServer::dispatch_admits(Conn& c, std::vector<PendingAdmit>& batch) {
   if (batch.empty()) return;
   ++stats_.batches;
   stats_.batched_requests += batch.size();
-  stats_.admit_requests += batch.size();
   std::vector<AdmitResult> outcomes = backend_admit(batch);
   if (options_.record_ops) {
     // Library-level execution order: submit_batch defines its semantics as
     // one-at-a-time execution in batch_grouped_order.
-    for (std::size_t idx : batch_grouped_order(batch)) {
+    std::vector<FlowServiceRequest> requests;
+    requests.reserve(batch.size());
+    for (const PendingAdmit& a : batch) requests.push_back(a.request);
+    for (std::size_t idx : batch_grouped_order(requests)) {
       RecordedOp op;
       op.kind = RecordedOp::Kind::kAdmit;
-      op.request = batch[idx];
+      op.request = requests[idx];
       op.admitted = outcomes[idx].result.is_ok();
       op.assigned_flow =
           op.admitted ? outcomes[idx].result.value().flow : kInvalidFlowId;
@@ -419,8 +634,8 @@ void QosbbServer::dispatch_admits(Conn& c,
   batch.clear();
 }
 
-void QosbbServer::dispatch_teardown(Conn& c, FlowId flow) {
-  const Status s = backend_release(flow);
+void QosbbServer::dispatch_teardown(Conn& c, FlowId flow, RequestId rid) {
+  const Status s = backend_release(flow, rid);
   if (s.is_ok()) {
     ++stats_.teardowns;
     if (options_.record_ops) {
@@ -438,6 +653,41 @@ void QosbbServer::dispatch_teardown(Conn& c, FlowId flow) {
   }
 }
 
+HealthReply QosbbServer::make_health_reply() {
+  HealthReply h;
+  h.inflight = global_inflight_;
+  h.connections = conns_.size();
+  h.admits = stats_.admits;
+  h.rejects = stats_.rejects;
+  h.shed_global = stats_.shed_global;
+  h.shed_conn = stats_.shed_conn;
+  h.shed_deadline = stats_.shed_deadline;
+  h.shed_brownout = stats_.shed_brownout;
+  h.reaped_partial = stats_.reaped_partial;
+  h.reaped_idle = stats_.reaped_idle;
+  if (durable_ != nullptr) {
+    h.journal_lsn = durable_->next_lsn();
+    h.dedup_entries = durable_->dedup_window_size();
+  }
+  h.live_flows = broker().flows().count();
+  h.brownout_active = brownout_active(Clock::now()) ? 1 : 0;
+  return h;
+}
+
+void QosbbServer::dispatch_digest(Conn& c) {
+  auto digest = broker_state_digest(broker());
+  if (!digest.is_ok()) {
+    queue_reply(c, encode(RejectReply{RejectReason::kPolicy,
+                                      digest.status().message()}));
+    return;
+  }
+  ++stats_.digest_requests;
+  SnapshotDigestReply reply;
+  reply.digest = digest.value();
+  reply.journal_lsn = durable_ != nullptr ? durable_->next_lsn() : 0;
+  queue_reply(c, encode(reply));
+}
+
 Status QosbbServer::provision_pair(const std::string& ingress,
                                    const std::string& egress) {
   Result<PathId> path = Status::internal("unset");
@@ -446,7 +696,7 @@ Status QosbbServer::provision_pair(const std::string& ingress,
       return bb.provision_path(ingress, egress);
     });
   } else {
-    path = durable_->provision_path(next_rid_++, ingress, egress);
+    path = durable_->provision_path(kNoRequestId, ingress, egress);
   }
   if (!path.is_ok()) return path.status();
   if (options_.record_ops) {
@@ -465,11 +715,12 @@ void QosbbServer::queue_reply(Conn& c, const WireBuffer& message_frame) {
   ++stats_.frames_out;
 }
 
-void QosbbServer::protocol_error(Conn& c, const std::string& detail) {
-  ++stats_.decode_errors;
-  queue_reply(c, encode(RejectReply{RejectReason::kPolicy,
-                                    "protocol error: " + detail}));
-  c.close_after_flush = true;
+void QosbbServer::queue_overloaded(Conn& c, ShedReason reason) {
+  OverloadedReply reply;
+  reply.reason = reason;
+  reply.retry_after_ms = options_.retry_after_hint_ms;
+  reply.detail = shed_reason_name(reason);
+  queue_reply(c, encode(reply));
 }
 
 void QosbbServer::try_flush(Conn& c) {
@@ -503,8 +754,11 @@ void QosbbServer::try_flush(Conn& c) {
 
 void QosbbServer::update_interest(Conn& c) {
   if (c.dead) return;
-  const std::uint32_t want = (c.paused ? 0u : static_cast<std::uint32_t>(EPOLLIN)) |
-                             (c.want_write ? static_cast<std::uint32_t>(EPOLLOUT) : 0u);
+  // No EPOLLIN once the peer half-closed: level-triggered EOF would spin
+  // the loop while queued replies wait for EPOLLOUT.
+  const std::uint32_t want =
+      (c.paused || c.read_closed ? 0u : static_cast<std::uint32_t>(EPOLLIN)) |
+      (c.want_write ? static_cast<std::uint32_t>(EPOLLOUT) : 0u);
   if (want == c.events) return;
   epoll_event ev{};
   ev.events = want;
@@ -519,6 +773,10 @@ void QosbbServer::close_conn(Conn& c) {
   ::close(c.fd);
   c.fd = -1;
   c.dead = true;
+  // Queued work dies with the connection: return its budget.
+  global_inflight_ -= c.inflight;
+  c.inflight = 0;
+  c.pending.clear();
   ++stats_.connections_closed;
 }
 

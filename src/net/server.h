@@ -29,10 +29,27 @@
 // fresh library-level front and demand a bit-identical state digest: the
 // proof that the network path (framing -> decode -> batch dispatch)
 // admitted exactly what the library would have.
+//
+// Overload policy (DESIGN.md §13): decoded operations land in a
+// per-connection PENDING QUEUE before dispatch. An op that arrives past the
+// per-connection or global in-flight budget is marked SHED at enqueue and
+// answered with an explicit kOverloadedReply in its positional slot — shed,
+// never stall, and never out of order. Ops that waited in the queue longer
+// than the per-request deadline are shed at dispatch (the work is stale
+// before it runs). A brownout latch engages while budgets are actively
+// shedding (and for brownout_window_ms after) and sheds EXPENSIVE ops
+// (snapshot digests) at enqueue while admits keep flowing; Health probes
+// are never shed, so degradation stays observable exactly when it matters.
+// Connections stuck mid-frame longer than partial_frame_timeout_ms
+// (slowloris) and — optionally — fully idle connections are reaped by a
+// periodic sweep. A shed operation was NOT executed: retrying it with the
+// same RequestId is always safe, and exactly-once against a DurableBroker
+// backend (the dedup window replays the recorded decision).
 
 #ifndef QOSBB_NET_SERVER_H_
 #define QOSBB_NET_SERVER_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -40,6 +57,7 @@
 #include "core/broker.h"
 #include "core/concurrent_front.h"
 #include "core/durable_broker.h"
+#include "core/wire.h"
 #include "net/framing.h"
 #include "util/status.h"
 
@@ -56,8 +74,39 @@ struct ServerOptions {
   /// Keep the executed-op log for run_differential_check (costs memory
   /// proportional to the session; off for long-lived production runs).
   bool record_ops = false;
-  /// Wall-clock budget for the stop-drain (flush pending replies), ms.
+  /// Wall-clock budget for the stop-drain (serve already-received work and
+  /// flush pending replies), ms.
   int drain_timeout_ms = 5000;
+
+  // ---- Overload control (0 disables the individual knob) ----
+  /// Queued-but-undispatched ops one connection may hold; excess is shed
+  /// with kOverloadedReply (ShedReason::kConnBudget).
+  std::size_t max_inflight_per_conn = 1024;
+  /// Queued-but-undispatched ops across ALL connections; excess is shed
+  /// with ShedReason::kGlobalBudget.
+  std::size_t max_inflight_global = 8192;
+  /// Ops that waited in the pending queue longer than this are shed at
+  /// dispatch (ShedReason::kDeadline) instead of executing stale work.
+  int request_deadline_ms = 0;
+  /// Brownout latch: after any budget/deadline shed, expensive ops
+  /// (snapshot digests) are shed for this long (ShedReason::kBrownout).
+  int brownout_window_ms = 1000;
+  /// Instantaneous brownout trigger: global pending at/above this sheds
+  /// expensive ops even before the first budget shed.
+  std::size_t brownout_inflight = 4096;
+  /// A connection holding an incomplete frame with no completed frame for
+  /// this long is closed (slowloris defence).
+  int partial_frame_timeout_ms = 30000;
+  /// A fully idle connection (no pending ops, no buffered bytes) older
+  /// than this is closed. Off by default: signaling clients legitimately
+  /// idle between flows.
+  int idle_timeout_ms = 0;
+  /// Backoff hint stamped into kOverloadedReply.retry_after_ms.
+  std::uint32_t retry_after_hint_ms = 50;
+  /// SO_SNDBUF for accepted connections (0 = kernel default). Tests use a
+  /// tiny value so the kernel cannot absorb replies and backpressure /
+  /// deadline behavior becomes observable at small request counts.
+  int sndbuf_bytes = 0;
 };
 
 struct ServerStats {
@@ -77,6 +126,19 @@ struct ServerStats {
   std::uint64_t batches = 0;           ///< submit_batch calls
   std::uint64_t batched_requests = 0;  ///< admit requests inside them
   std::uint64_t backpressure_pauses = 0;
+  // Overload-control counters (see the header comment).
+  std::uint64_t shed_global = 0;    ///< sheds: global in-flight budget
+  std::uint64_t shed_conn = 0;      ///< sheds: per-connection budget
+  std::uint64_t shed_deadline = 0;  ///< sheds: queued past the deadline
+  std::uint64_t shed_brownout = 0;  ///< sheds: expensive op in brownout
+  std::uint64_t reaped_partial = 0;  ///< conns closed mid-frame (slowloris)
+  std::uint64_t reaped_idle = 0;     ///< conns closed idle
+  std::uint64_t health_requests = 0;
+  std::uint64_t digest_requests = 0;  ///< served (non-shed) digest probes
+
+  std::uint64_t sheds() const {
+    return shed_global + shed_conn + shed_deadline + shed_brownout;
+  }
 };
 
 /// One library-level operation the server executed, in execution order.
@@ -124,24 +186,64 @@ class QosbbServer {
 
  private:
   struct Conn;
+  using Clock = std::chrono::steady_clock;
+
+  /// One decoded-but-undispatched operation in a connection's pending
+  /// queue. Replies are emitted in queue order (positional correlation),
+  /// so a shed op is kept in its slot with `shed` set rather than answered
+  /// out of band.
+  struct PendingOp {
+    enum class Kind : std::uint8_t {
+      kAdmit,
+      kTeardown,
+      kHealth,
+      kDigest,
+      kError,  ///< protocol failure: reply + close_after_flush at dispatch
+    };
+    Kind kind = Kind::kAdmit;
+    FlowServiceRequest request;        ///< kAdmit
+    RequestId rid = kNoRequestId;      ///< kAdmit / kTeardown
+    FlowId flow = kInvalidFlowId;      ///< kTeardown
+    std::string detail;                ///< kError
+    ShedReason shed = ShedReason::kNone;
+    Clock::time_point enqueued;
+  };
+
+  struct PendingAdmit {
+    FlowServiceRequest request;
+    RequestId rid = kNoRequestId;
+  };
 
   void accept_ready();
   void conn_readable(Conn& c);
   void conn_writable(Conn& c);
-  /// Pop + execute every complete frame the decoder holds (respecting the
-  /// write watermark), appending replies to the out buffer.
-  void drain_decoder(Conn& c);
-  /// Execute one maximal run of consecutive admits as one batch.
-  void dispatch_admits(Conn& c, std::vector<FlowServiceRequest>& batch);
-  void dispatch_teardown(Conn& c, FlowId flow);
+  /// Decode every complete frame the decoder holds into the pending queue,
+  /// classifying sheds against the in-flight budgets at enqueue time.
+  void decode_frames(Conn& c);
+  /// Classify one decoded op against the budgets and append it.
+  void enqueue_op(Conn& c, PendingOp op);
+  /// Dispatch queued ops in order until the queue empties or the write
+  /// backlog crosses the high watermark; expire deadline-stale ops.
+  void dispatch_pending(Conn& c);
+  /// dispatch_pending + flush + backpressure-resume + close bookkeeping.
+  void service_conn(Conn& c);
+  /// Execute one run of consecutive admits as one batch.
+  void dispatch_admits(Conn& c, std::vector<PendingAdmit>& batch);
+  void dispatch_teardown(Conn& c, FlowId flow, RequestId rid);
+  void dispatch_digest(Conn& c);
+  HealthReply make_health_reply();
+  /// True while the brownout gate sheds expensive ops.
+  bool brownout_active(Clock::time_point now) const;
+  /// Reap slowloris / idle connections; returns the epoll tick (ms).
+  void reap_stale_conns(Clock::time_point now);
+  int epoll_timeout_ms() const;
   /// Frame + queue one reply message.
   void queue_reply(Conn& c, const WireBuffer& message_frame);
-  /// Protocol failure on this connection: count it, best-effort a
-  /// RejectReply, close after flush.
-  void protocol_error(Conn& c, const std::string& detail);
+  void queue_overloaded(Conn& c, ShedReason reason);
   void try_flush(Conn& c);
   void update_interest(Conn& c);
   void close_conn(Conn& c);
+  void sweep_dead_conns();
   void drain_and_exit();
 
   // Dispatch seam over the two backends.
@@ -150,13 +252,11 @@ class QosbbServer {
     RejectReason reason = RejectReason::kNone;
     std::string detail;
   };
-  std::vector<AdmitResult> backend_admit(
-      std::span<const FlowServiceRequest> requests);
-  Status backend_release(FlowId flow);
+  std::vector<AdmitResult> backend_admit(std::span<const PendingAdmit> batch);
+  Status backend_release(FlowId flow, RequestId rid);
 
   ConcurrentBrokerFront* front_ = nullptr;
   DurableBroker* durable_ = nullptr;
-  RequestId next_rid_ = 1;  ///< durable mode: server-assigned idempotency ids
 
   ServerOptions options_;
   ServerStats stats_;
@@ -168,6 +268,8 @@ class QosbbServer {
   std::uint16_t port_ = 0;
   bool stopping_ = false;
   std::vector<Conn*> conns_;  ///< live connections (owned)
+  std::size_t global_inflight_ = 0;  ///< non-shed pending ops, all conns
+  Clock::time_point last_budget_shed_{};  ///< brownout latch anchor
 };
 
 /// CRC-32 fingerprint of the broker's full snapshot frame (requires a

@@ -27,7 +27,13 @@ Seconds Backoff::next() {
   const Seconds ceiling = std::min(policy_.cap, grown);
   if (policy_.jitter == 0.0) return ceiling;
   const Seconds fixed = ceiling * (1.0 - policy_.jitter);
-  return fixed + rng_.uniform(0.0, ceiling * policy_.jitter);
+  const Seconds jittered = fixed + rng_.uniform(0.0, ceiling * policy_.jitter);
+  // Full jitter may draw ~0. A zero delay on the SECOND and later retries
+  // defeats the point of backing off (the retry storm the jitter exists to
+  // break up), so floor those at a small fraction of the base delay. The
+  // first retry may still fire immediately — that is the fast-path retry.
+  if (k == 0) return jittered;
+  return std::max(jittered, policy_.base * 0.1);
 }
 
 }  // namespace qosbb

@@ -35,7 +35,9 @@ class Backoff {
 
   /// Delay to sleep before the next attempt. Grows exponentially (capped),
   /// jittered per the policy. Calling past exhaustion keeps returning the
-  /// capped delay.
+  /// capped delay. Never exceeds policy.cap; from the second retry on the
+  /// jittered draw is floored at base/10 so it is never zero (a zero sleep
+  /// would re-synchronize the retry storm the jitter exists to break up).
   Seconds next();
 
   /// True once max_retries delays have been handed out.

@@ -5,7 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -14,6 +21,8 @@
 
 #include "core/broker.h"
 #include "core/concurrent_front.h"
+#include "core/durable_broker.h"
+#include "core/journal.h"
 #include "core/wire.h"
 #include "net/client.h"
 #include "net/framing.h"
@@ -552,6 +561,518 @@ TEST_F(NetServerTest, DifferentialCatchesTamperedRecording) {
   const DifferentialReport rep = run_differential_check(
       spec_, broker_options_, tampered, server_->broker());
   EXPECT_FALSE(rep.ok);
+}
+
+// ---- Overload control: budgets, deadlines, brownout, reaping ----
+
+TEST_F(NetServerTest, PerConnBudgetShedsExcessWithReason) {
+  ServerOptions opts;
+  opts.max_inflight_per_conn = 1;
+  boot(opts);
+  const int kCount = 64;
+  BlockingClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server_->port()).is_ok());
+  WireBuffer burst;
+  for (int i = 0; i < kCount; ++i) {
+    const WireBuffer framed = frame_net_message(encode(make_request(i % 2)));
+    burst.insert(burst.end(), framed.begin(), framed.end());
+  }
+  ASSERT_TRUE(client.send_raw(burst).is_ok());
+  int reserved = 0;
+  int shed = 0;
+  for (int i = 0; i < kCount; ++i) {
+    auto reply = client.read_message(10000);
+    ASSERT_TRUE(reply.is_ok()) << "reply " << i;
+    const MessageType type = peek_type(reply.value()).value();
+    if (type == MessageType::kReservationReply) {
+      ++reserved;
+    } else {
+      ASSERT_EQ(type, MessageType::kOverloadedReply) << "reply " << i;
+      auto over = decode_overloaded_reply(reply.value());
+      ASSERT_TRUE(over.is_ok());
+      EXPECT_EQ(over.value().reason, ShedReason::kConnBudget);
+      EXPECT_GT(over.value().retry_after_ms, 0u);
+      ++shed;
+    }
+  }
+  stop();
+  // Every request was answered — served or shed, never silently dropped —
+  // and a 64-deep burst against a budget of 1 must shed most of it.
+  EXPECT_EQ(reserved + shed, kCount);
+  EXPECT_GE(shed, kCount / 2);
+  EXPECT_EQ(server_->stats().shed_conn, static_cast<std::uint64_t>(shed));
+  EXPECT_EQ(server_->stats().admits, static_cast<std::uint64_t>(reserved));
+  EXPECT_EQ(server_->stats().decode_errors, 0u);
+}
+
+TEST_F(NetServerTest, GlobalBudgetShedsAcrossConnections) {
+  ServerOptions opts;
+  opts.max_inflight_global = 2;
+  opts.max_inflight_per_conn = 1024;  // isolate the global knob
+  boot(opts);
+  const int kCount = 32;
+  BlockingClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server_->port()).is_ok());
+  WireBuffer burst;
+  for (int i = 0; i < kCount; ++i) {
+    const WireBuffer framed = frame_net_message(encode(make_request(i % 2)));
+    burst.insert(burst.end(), framed.begin(), framed.end());
+  }
+  ASSERT_TRUE(client.send_raw(burst).is_ok());
+  int shed = 0;
+  for (int i = 0; i < kCount; ++i) {
+    auto reply = client.read_message(10000);
+    ASSERT_TRUE(reply.is_ok()) << "reply " << i;
+    if (peek_type(reply.value()).value() == MessageType::kOverloadedReply) {
+      auto over = decode_overloaded_reply(reply.value());
+      ASSERT_TRUE(over.is_ok());
+      EXPECT_EQ(over.value().reason, ShedReason::kGlobalBudget);
+      ++shed;
+    }
+  }
+  stop();
+  EXPECT_GE(shed, 1);
+  EXPECT_EQ(server_->stats().shed_global, static_cast<std::uint64_t>(shed));
+  EXPECT_EQ(server_->stats().shed_conn, 0u);
+}
+
+TEST_F(NetServerTest, DeadlineShedsStaleQueuedWorkNotFreshWork) {
+  ServerOptions opts;
+  // Tiny watermark so a non-reading client wedges the reply path and work
+  // piles up in the pending queue long enough to go stale.
+  opts.write_high_watermark = 4096;
+  opts.write_low_watermark = 1024;
+  // ...and a tiny kernel send buffer, or the kernel silently absorbs every
+  // reply and the userspace queue never backs up at this request count.
+  opts.sndbuf_bytes = 4096;
+  opts.request_deadline_ms = 100;
+  opts.max_inflight_per_conn = 1u << 20;  // isolate the deadline knob
+  opts.max_inflight_global = 1u << 20;
+  boot(opts);
+  const int kCount = 3000;
+  BlockingClient client;
+  ASSERT_TRUE(
+      client.connect("127.0.0.1", server_->port(), /*rcvbuf_bytes=*/4096)
+          .is_ok());
+  WireBuffer burst;
+  for (int i = 0; i < kCount; ++i) {
+    const WireBuffer framed = frame_net_message(encode(make_request(i % 2)));
+    burst.insert(burst.end(), framed.begin(), framed.end());
+  }
+  std::thread writer([&] { EXPECT_TRUE(client.send_raw(burst).is_ok()); });
+  // Let queued ops age past the deadline before draining replies.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  int answered = 0;
+  int shed = 0;
+  for (int i = 0; i < kCount; ++i) {
+    auto reply = client.read_message(10000);
+    ASSERT_TRUE(reply.is_ok()) << "reply " << i;
+    ++answered;
+    if (peek_type(reply.value()).value() == MessageType::kOverloadedReply) {
+      auto over = decode_overloaded_reply(reply.value());
+      ASSERT_TRUE(over.is_ok());
+      EXPECT_EQ(over.value().reason, ShedReason::kDeadline);
+      ++shed;
+    }
+  }
+  writer.join();
+  stop();
+  // Expired work is shed with an explicit reply — nothing vanishes — and
+  // only the deadline knob fired.
+  EXPECT_EQ(answered, kCount);
+  EXPECT_GE(shed, 1);
+  EXPECT_EQ(server_->stats().shed_deadline, static_cast<std::uint64_t>(shed));
+  EXPECT_EQ(server_->stats().shed_conn, 0u);
+  EXPECT_EQ(server_->stats().shed_global, 0u);
+  EXPECT_EQ(server_->stats().decode_errors, 0u);
+}
+
+TEST_F(NetServerTest, SlowlorisPartialFrameIsReaped) {
+  ServerOptions opts;
+  opts.partial_frame_timeout_ms = 200;
+  boot(opts);
+  BlockingClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server_->port()).is_ok());
+  const WireBuffer framed = frame_net_message(encode(make_request()));
+  WireBuffer half(framed.begin(),
+                  framed.begin() + static_cast<long>(framed.size() / 2));
+  ASSERT_TRUE(client.send_raw(half).is_ok());
+  // The server must close us, not wait forever for the rest of the frame.
+  const auto t0 = std::chrono::steady_clock::now();
+  auto reply = client.read_message(5000);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  ASSERT_FALSE(reply.is_ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kNotFound);
+  EXPECT_LT(elapsed.count(), 3000);
+  stop();
+  EXPECT_EQ(server_->stats().reaped_partial, 1u);
+  EXPECT_EQ(server_->stats().admit_requests, 0u);
+}
+
+TEST_F(NetServerTest, IdleConnectionIsReapedAfterTimeout) {
+  ServerOptions opts;
+  opts.idle_timeout_ms = 200;
+  boot(opts);
+  BlockingClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server_->port()).is_ok());
+  // A completed round-trip, then silence: the idle reaper must fire.
+  ASSERT_TRUE(client.send_message(encode(make_request())).is_ok());
+  ASSERT_TRUE(client.read_message().is_ok());
+  auto reply = client.read_message(5000);
+  ASSERT_FALSE(reply.is_ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kNotFound);
+  stop();
+  EXPECT_EQ(server_->stats().reaped_idle, 1u);
+  EXPECT_EQ(server_->stats().admits, 1u);
+}
+
+TEST_F(NetServerTest, HealthProbeReportsLiveCounters) {
+  boot();
+  BlockingClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server_->port()).is_ok());
+  ASSERT_TRUE(client.send_message(encode(make_request())).is_ok());
+  ASSERT_TRUE(client.read_message().is_ok());
+  ASSERT_TRUE(client.send_message(encode(HealthRequest{})).is_ok());
+  auto reply = client.read_message();
+  ASSERT_TRUE(reply.is_ok());
+  ASSERT_EQ(peek_type(reply.value()).value(), MessageType::kHealthReply);
+  auto health = decode_health_reply(reply.value());
+  ASSERT_TRUE(health.is_ok());
+  EXPECT_EQ(health.value().admits, 1u);
+  EXPECT_EQ(health.value().live_flows, 1u);
+  EXPECT_EQ(health.value().connections, 1u);
+  EXPECT_EQ(health.value().brownout_active, 0u);
+  EXPECT_EQ(health.value().journal_lsn, 0u);  // in-memory backend
+  stop();
+  EXPECT_EQ(server_->stats().health_requests, 1u);
+}
+
+TEST_F(NetServerTest, SnapshotDigestProbeMatchesLibraryDigest) {
+  boot();
+  BlockingClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server_->port()).is_ok());
+  ASSERT_TRUE(client.send_message(encode(make_request())).is_ok());
+  ASSERT_TRUE(client.read_message().is_ok());
+  ASSERT_TRUE(client.send_message(encode(SnapshotDigestRequest{})).is_ok());
+  auto reply = client.read_message();
+  ASSERT_TRUE(reply.is_ok());
+  ASSERT_EQ(peek_type(reply.value()).value(),
+            MessageType::kSnapshotDigestReply);
+  auto dig = decode_snapshot_digest_reply(reply.value());
+  ASSERT_TRUE(dig.is_ok());
+  client.close();
+  stop();
+  EXPECT_EQ(dig.value().digest, digest());
+  EXPECT_EQ(dig.value().journal_lsn, 0u);
+  EXPECT_EQ(server_->stats().digest_requests, 1u);
+}
+
+TEST_F(NetServerTest, BrownoutShedsDigestButKeepsAdmitting) {
+  ServerOptions opts;
+  opts.brownout_inflight = 1;  // any queued op puts digests in brownout
+  boot(opts);
+  BlockingClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server_->port()).is_ok());
+  // One write so all three land in a single decode batch: admit (queues,
+  // tripping the instantaneous brownout gate), digest (shed), admit
+  // (still served — admits are the cheap work brownout protects).
+  WireBuffer burst;
+  for (const WireBuffer& msg :
+       {encode(make_request(0)), encode(SnapshotDigestRequest{}),
+        encode(make_request(1))}) {
+    const WireBuffer framed = frame_net_message(msg);
+    burst.insert(burst.end(), framed.begin(), framed.end());
+  }
+  ASSERT_TRUE(client.send_raw(burst).is_ok());
+  const MessageType expect[] = {MessageType::kReservationReply,
+                                MessageType::kOverloadedReply,
+                                MessageType::kReservationReply};
+  for (int i = 0; i < 3; ++i) {
+    auto reply = client.read_message(10000);
+    ASSERT_TRUE(reply.is_ok()) << "reply " << i;
+    ASSERT_EQ(peek_type(reply.value()).value(), expect[i]) << "reply " << i;
+    if (i == 1) {
+      auto over = decode_overloaded_reply(reply.value());
+      ASSERT_TRUE(over.is_ok());
+      EXPECT_EQ(over.value().reason, ShedReason::kBrownout);
+    }
+  }
+  // Quiet again (no queued ops, no budget sheds latched): a digest probe
+  // must be served — brownout is a mode, not a permanent downgrade.
+  ASSERT_TRUE(client.send_message(encode(SnapshotDigestRequest{})).is_ok());
+  auto after = client.read_message(10000);
+  ASSERT_TRUE(after.is_ok());
+  EXPECT_EQ(peek_type(after.value()).value(),
+            MessageType::kSnapshotDigestReply);
+  stop();
+  EXPECT_EQ(server_->stats().shed_brownout, 1u);
+  EXPECT_EQ(server_->stats().digest_requests, 1u);
+  EXPECT_EQ(server_->stats().admits, 2u);
+}
+
+TEST_F(NetServerTest, SigtermDrainAnswersPipelinedInflightBatches) {
+  boot();
+  const int kCount = 300;
+  BlockingClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server_->port()).is_ok());
+  // One round-trip first: the drain only serves connections the loop has
+  // already ACCEPTED (it closes the listener immediately), so make sure
+  // ours is registered before racing the stop signal.
+  ASSERT_TRUE(client.send_message(encode(make_request())).is_ok());
+  ASSERT_TRUE(client.read_message().is_ok());
+  WireBuffer burst;
+  for (int i = 0; i < kCount; ++i) {
+    const WireBuffer framed = frame_net_message(encode(make_request(i % 2)));
+    burst.insert(burst.end(), framed.begin(), framed.end());
+  }
+  ASSERT_TRUE(client.send_raw(burst).is_ok());
+  // Stop while the burst is (at best) partially served: the drain must
+  // finish answering every already-sent request before closing.
+  server_->request_stop();
+  int answered = 0;
+  for (int i = 0; i < kCount; ++i) {
+    auto reply = client.read_message(10000);
+    ASSERT_TRUE(reply.is_ok()) << "reply " << i;
+    EXPECT_EQ(peek_type(reply.value()).value(),
+              MessageType::kReservationReply);
+    ++answered;
+  }
+  // After the last reply the server closes the connection cleanly.
+  auto eof = client.read_message(10000);
+  ASSERT_FALSE(eof.is_ok());
+  EXPECT_EQ(eof.status().code(), StatusCode::kNotFound);
+  stop();
+  EXPECT_EQ(answered, kCount);
+  EXPECT_EQ(server_->stats().admits,
+            static_cast<std::uint64_t>(kCount) + 1);  // + the setup admit
+}
+
+// ---- One overall read deadline (trickling peer regression) ----
+
+TEST(BlockingClientDeadline, TricklingPeerCannotStretchReadMessage) {
+  // A peer dripping one byte per poll interval used to reset the timeout
+  // on every byte, stretching one logical read to frame_size * timeout.
+  // The deadline must be for the WHOLE message.
+  const int lfd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(lfd, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+
+  std::atomic<bool> stop_trickle{false};
+  std::thread trickler([&] {
+    const int cfd = ::accept(lfd, nullptr, nullptr);
+    if (cfd < 0) return;
+    const WireBuffer framed = frame_net_message(encode(make_request()));
+    // ~76 bytes at 30 ms/byte = well over 2 s of trickle.
+    for (std::size_t i = 0; i < framed.size() && !stop_trickle.load(); ++i) {
+      (void)::send(cfd, framed.data() + i, 1, MSG_NOSIGNAL);
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }
+    ::close(cfd);
+  });
+
+  BlockingClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", port).is_ok());
+  const auto t0 = std::chrono::steady_clock::now();
+  auto reply = client.read_message(/*timeout_ms=*/250);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_FALSE(reply.is_ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kUnavailable);
+  EXPECT_GE(elapsed.count(), 200);
+  EXPECT_LT(elapsed.count(), 1500);
+
+  stop_trickle = true;
+  trickler.join();
+  ::close(lfd);
+}
+
+// ---- RetryingClient: typed helpers and give-up behavior ----
+
+TEST_F(NetServerTest, RetryingClientTypedHelpersEndToEnd) {
+  boot();
+  RetryingClientOptions ropts;
+  ropts.port = server_->port();
+  RetryingClient rc(ropts);
+  auto res = rc.admit(make_request(), /*rid=*/1001);
+  ASSERT_TRUE(res.is_ok()) << res.status().to_string();
+  auto health = rc.health();
+  ASSERT_TRUE(health.is_ok());
+  EXPECT_EQ(health.value().live_flows, 1u);
+  auto dig = rc.snapshot_digest();
+  ASSERT_TRUE(dig.is_ok());
+  ASSERT_TRUE(rc.teardown(res.value().flow, /*rid=*/1002).is_ok());
+  // A broker-level reject is an ANSWER, not an outage: no retry storm.
+  auto rejected = rc.admit(make_request(0, /*rho=*/1e12), /*rid=*/1003);
+  ASSERT_FALSE(rejected.is_ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kRejected);
+  EXPECT_EQ(rc.stats().resends, 0u);
+  EXPECT_EQ(rc.stats().timeouts, 0u);
+}
+
+TEST(RetryingClientGiveUp, ExhaustsAttemptsAgainstSilentServer) {
+  // A listener that accepts and never replies: every attempt must time
+  // out, be counted, and the call must fail kUnavailable after exactly
+  // max_attempts tries.
+  const int lfd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(lfd, 8), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+
+  constexpr std::uint32_t kAttempts = 3;
+  std::vector<int> fds;  // closed only after call() returns: an early
+                         // close would turn the final timeout into an EOF
+  std::thread sink([&] {
+    for (std::uint32_t i = 0; i < kAttempts; ++i) {
+      const int fd = ::accept(lfd, nullptr, nullptr);
+      if (fd >= 0) fds.push_back(fd);  // hold open, never reply
+    }
+  });
+
+  RetryingClientOptions ropts;
+  ropts.port = port;
+  ropts.reply_timeout_ms = 50;
+  ropts.max_attempts = kAttempts;
+  ropts.backoff.base = 0.001;
+  ropts.backoff.cap = 0.005;
+  RetryingClient rc(ropts);
+  auto reply = rc.call(encode(HealthRequest{}));
+  ASSERT_FALSE(reply.is_ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(rc.stats().attempts, kAttempts);
+  EXPECT_EQ(rc.stats().timeouts, kAttempts);
+  EXPECT_EQ(rc.stats().resends, kAttempts - 1);
+  EXPECT_EQ(rc.stats().reconnects, kAttempts - 1);
+
+  sink.join();
+  for (int fd : fds) ::close(fd);
+  ::close(lfd);
+}
+
+// ---- Exactly-once over the wire: rid dedup through a DurableBroker ----
+
+class DurableNetServerTest : public ::testing::Test {
+ protected:
+  void boot(ServerOptions opts = ServerOptions{}) {
+    DumbbellOptions topo;
+    topo.edge_pairs = 2;
+    topo.access_capacity = 10e9;
+    topo.bottleneck_capacity = 4e9;
+    spec_ = dumbbell_topology(topo);
+    path_ = ::testing::TempDir() + "/qosbb_net_dedup_wal.bin";
+    std::remove(path_.c_str());
+    file_ = std::make_unique<FsJournalFile>(path_);
+    auto opened = DurableBroker::open(spec_, BrokerOptions{}, *file_);
+    ASSERT_TRUE(opened.is_ok()) << opened.status().to_string();
+    durable_ = std::move(opened).value();
+    server_ = std::make_unique<QosbbServer>(*durable_, opts);
+    ASSERT_TRUE(server_->start().is_ok());
+    ASSERT_TRUE(server_->provision_pair("I0", "E0").is_ok());
+    ASSERT_TRUE(server_->provision_pair("I1", "E1").is_ok());
+    loop_ = std::thread([this] { server_->run(); });
+  }
+
+  void stop() {
+    if (server_ != nullptr && loop_.joinable()) {
+      server_->request_stop();
+      loop_.join();
+    }
+  }
+
+  void TearDown() override {
+    stop();
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+
+  DomainSpec spec_;
+  std::string path_;
+  std::unique_ptr<FsJournalFile> file_;
+  std::unique_ptr<DurableBroker> durable_;
+  std::unique_ptr<QosbbServer> server_;
+  std::thread loop_;
+};
+
+TEST_F(DurableNetServerTest, ResentRidReplaysSameDecisionAcrossConnections) {
+  boot();
+  const FlowServiceRequest req = make_request();
+  constexpr RequestId kAdmitRid = 42;
+  constexpr RequestId kTearRid = 43;
+
+  BlockingClient first;
+  ASSERT_TRUE(first.connect("127.0.0.1", server_->port()).is_ok());
+  ASSERT_TRUE(first.send_message(encode(req, kAdmitRid)).is_ok());
+  auto reply = first.read_message();
+  ASSERT_TRUE(reply.is_ok());
+  auto res = decode_reservation(reply.value());
+  ASSERT_TRUE(res.is_ok());
+  const FlowId flow = res.value().flow;
+  // Simulate "client saw nothing and retried after a crash": new
+  // connection, same bytes, same rid.
+  first.close();
+
+  BlockingClient retry;
+  ASSERT_TRUE(retry.connect("127.0.0.1", server_->port()).is_ok());
+  ASSERT_TRUE(retry.send_message(encode(req, kAdmitRid)).is_ok());
+  auto replay = retry.read_message();
+  ASSERT_TRUE(replay.is_ok());
+  auto res2 = decode_reservation(replay.value());
+  ASSERT_TRUE(res2.is_ok());
+  // Exactly-once: the SAME reservation, not a second flow.
+  EXPECT_EQ(res2.value().flow, flow);
+
+  // Same contract for teardown: the duplicate acks from the recorded
+  // decision instead of failing kNotFound on the already-gone flow.
+  ASSERT_TRUE(
+      retry.send_message(encode(TeardownRequest{flow, kTearRid})).is_ok());
+  auto ack = retry.read_message();
+  ASSERT_TRUE(ack.is_ok());
+  EXPECT_EQ(decode_reject_reply(ack.value()).value().reason,
+            RejectReason::kNone);
+  ASSERT_TRUE(
+      retry.send_message(encode(TeardownRequest{flow, kTearRid})).is_ok());
+  auto dup = retry.read_message();
+  ASSERT_TRUE(dup.is_ok());
+  EXPECT_EQ(decode_reject_reply(dup.value()).value().reason,
+            RejectReason::kNone);
+  retry.close();
+  stop();
+  // One flow ever existed and it is gone; the duplicate admit is not
+  // double-counted as an executed admission.
+  EXPECT_EQ(server_->broker().flows().count(), 0u);
+  auto health_lsn = durable_->stats().dedup_hits;
+  EXPECT_GE(health_lsn, 2u);  // the resent admit + the resent teardown
+}
+
+TEST_F(DurableNetServerTest, HealthReportsJournalPosition) {
+  boot();
+  BlockingClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server_->port()).is_ok());
+  ASSERT_TRUE(client.send_message(encode(make_request(), 7)).is_ok());
+  ASSERT_TRUE(client.read_message().is_ok());
+  ASSERT_TRUE(client.send_message(encode(HealthRequest{})).is_ok());
+  auto reply = client.read_message();
+  ASSERT_TRUE(reply.is_ok());
+  auto health = decode_health_reply(reply.value());
+  ASSERT_TRUE(health.is_ok());
+  // Durable backend: the probe exposes recovery-relevant positions.
+  EXPECT_GT(health.value().journal_lsn, 0u);
+  EXPECT_GE(health.value().dedup_entries, 1u);
+  EXPECT_EQ(health.value().live_flows, 1u);
 }
 
 TEST(NetDigest, DeterministicAcrossCalls) {

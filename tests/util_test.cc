@@ -269,6 +269,34 @@ TEST(Backoff, ExhaustionAndReset) {
   EXPECT_EQ(b.attempts(), 0u);
 }
 
+TEST(Backoff, NeverExceedsCapEvenPastExhaustion) {
+  BackoffPolicy p;
+  p.base = 0.010;
+  p.cap = 0.080;
+  p.max_retries = 4;
+  Backoff b(p, Rng(2024));
+  // Long past exhaustion the draw must still respect the cap: a retry
+  // storm that keeps going cannot escalate its own sleep ceiling.
+  for (int k = 0; k < 200; ++k) {
+    const Seconds d = b.next();
+    EXPECT_LE(d, p.cap) << "attempt " << k;
+    EXPECT_GE(d, 0.0) << "attempt " << k;
+  }
+  EXPECT_TRUE(b.exhausted());
+}
+
+TEST(Backoff, JitteredDrawFlooredFromSecondRetry) {
+  BackoffPolicy p;
+  p.base = 0.050;
+  Backoff b(p, Rng(31337));
+  (void)b.next();  // first retry may legitimately draw ~0
+  // From the second retry on, the draw is floored at base/10: a zero
+  // sleep would re-synchronize the storm the jitter exists to break up.
+  for (int k = 1; k < 100; ++k) {
+    EXPECT_GE(b.next(), p.base / 10.0) << "attempt " << k;
+  }
+}
+
 TEST(Backoff, SameSeedSameSchedule) {
   BackoffPolicy p;
   Backoff a(p, Rng(99));

@@ -322,6 +322,101 @@ TEST(WireStreaming, RetryAfterGrowthSucceeds) {
   }
 }
 
+// ---- Overload-control and probe messages ----
+
+TEST(Wire, RequestIdCarriedOnAdmitAndTeardown) {
+  const FlowServiceRequest in = sample_request();
+  const auto buf = encode(in, /*rid=*/0x123456789abcdefULL);
+  RequestId rid = kNoRequestId;
+  auto out = decode_flow_service_request(buf, &rid);
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(rid, 0x123456789abcdefULL);
+  EXPECT_EQ(out.value().profile, in.profile);
+  // Omitting the rid encodes the no-rid sentinel, not garbage.
+  rid = 77;
+  ASSERT_TRUE(decode_flow_service_request(encode(in), &rid).is_ok());
+  EXPECT_EQ(rid, kNoRequestId);
+
+  auto tear = decode_teardown_request(encode(TeardownRequest{99, 4242}));
+  ASSERT_TRUE(tear.is_ok());
+  EXPECT_EQ(tear.value().flow, 99u);
+  EXPECT_EQ(tear.value().rid, 4242u);
+}
+
+TEST(Wire, OverloadedReplyRoundTrip) {
+  OverloadedReply in;
+  in.reason = ShedReason::kDeadline;
+  in.retry_after_ms = 125;
+  in.detail = "queued 312ms > 100ms deadline";
+  auto out = decode_overloaded_reply(encode(in));
+  ASSERT_TRUE(out.is_ok()) << out.status().to_string();
+  EXPECT_EQ(out.value().reason, ShedReason::kDeadline);
+  EXPECT_EQ(out.value().retry_after_ms, 125u);
+  EXPECT_EQ(out.value().detail, in.detail);
+}
+
+TEST(Wire, OverloadedReplyRejectsUnknownShedReason) {
+  auto buf = encode(OverloadedReply{ShedReason::kBrownout, 10, "x"});
+  // The reason byte sits right after the 8-byte header; forge a value past
+  // the enum range and the decoder must refuse, not cast blindly.
+  buf[8] = 0xEE;
+  EXPECT_FALSE(decode_overloaded_reply(buf).is_ok());
+}
+
+TEST(Wire, HealthRoundTrip) {
+  ASSERT_TRUE(decode_health_request(encode(HealthRequest{})).is_ok());
+  HealthReply in;
+  in.inflight = 12;
+  in.connections = 3;
+  in.admits = 1000;
+  in.rejects = 17;
+  in.shed_global = 1;
+  in.shed_conn = 2;
+  in.shed_deadline = 3;
+  in.shed_brownout = 4;
+  in.reaped_partial = 5;
+  in.reaped_idle = 6;
+  in.journal_lsn = 991;
+  in.dedup_entries = 128;
+  in.live_flows = 983;
+  in.brownout_active = 1;
+  auto out = decode_health_reply(encode(in));
+  ASSERT_TRUE(out.is_ok()) << out.status().to_string();
+  EXPECT_EQ(out.value().inflight, 12u);
+  EXPECT_EQ(out.value().connections, 3u);
+  EXPECT_EQ(out.value().admits, 1000u);
+  EXPECT_EQ(out.value().rejects, 17u);
+  EXPECT_EQ(out.value().shed_global, 1u);
+  EXPECT_EQ(out.value().shed_conn, 2u);
+  EXPECT_EQ(out.value().shed_deadline, 3u);
+  EXPECT_EQ(out.value().shed_brownout, 4u);
+  EXPECT_EQ(out.value().reaped_partial, 5u);
+  EXPECT_EQ(out.value().reaped_idle, 6u);
+  EXPECT_EQ(out.value().journal_lsn, 991u);
+  EXPECT_EQ(out.value().dedup_entries, 128u);
+  EXPECT_EQ(out.value().live_flows, 983u);
+  EXPECT_EQ(out.value().brownout_active, 1u);
+}
+
+TEST(Wire, SnapshotDigestRoundTrip) {
+  ASSERT_TRUE(
+      decode_snapshot_digest_request(encode(SnapshotDigestRequest{})).is_ok());
+  SnapshotDigestReply in;
+  in.digest = 0xdeadbeef;
+  in.journal_lsn = 321;
+  auto out = decode_snapshot_digest_reply(encode(in));
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(out.value().digest, 0xdeadbeefu);
+  EXPECT_EQ(out.value().journal_lsn, 321u);
+}
+
+TEST(Wire, ShedReasonNamesAreStable) {
+  EXPECT_STREQ(shed_reason_name(ShedReason::kGlobalBudget), "global-budget");
+  EXPECT_STREQ(shed_reason_name(ShedReason::kConnBudget), "conn-budget");
+  EXPECT_STREQ(shed_reason_name(ShedReason::kDeadline), "deadline");
+  EXPECT_STREQ(shed_reason_name(ShedReason::kBrownout), "brownout");
+}
+
 TEST(Wire, FuzzRandomBuffersNeverCrash) {
   Rng rng(2026);
   for (int i = 0; i < 2000; ++i) {
@@ -338,6 +433,11 @@ TEST(Wire, FuzzRandomBuffersNeverCrash) {
     decoded += decode_reject_reply(buf).status().is_ok();
     decoded += decode_edge_conditioner_config(buf).status().is_ok();
     decoded += decode_teardown_request(buf).status().is_ok();
+    decoded += decode_overloaded_reply(buf).status().is_ok();
+    decoded += decode_health_request(buf).status().is_ok();
+    decoded += decode_health_reply(buf).status().is_ok();
+    decoded += decode_snapshot_digest_request(buf).status().is_ok();
+    decoded += decode_snapshot_digest_reply(buf).status().is_ok();
     EXPECT_GE(decoded, 0);
   }
   SUCCEED();

@@ -1,0 +1,380 @@
+// chaos_proxy — deterministic fault-injecting TCP proxy for qosbbd.
+//
+// Sits between a signaling client and the broker and mangles the TRANSPORT
+// while leaving the bytes themselves intact: frames arrive torn into tiny
+// chunks, delayed, stalled mid-message, or the connection is reset outright
+// (SO_LINGER=0 close → RST, not FIN). The payload is never corrupted — the
+// framing layer's CRC already covers corruption; what this proxy exercises
+// is every OTHER way a network hurts a protocol: partial reads straddling
+// poll wakeups, replies that never come, connections that die with requests
+// in flight. ci/e2e_chaos.sh points a chaos-mode loadgen through it and
+// asserts the exactly-once ledger still reconciles.
+//
+//   chaos_proxy --upstream-port-file=/tmp/qosbbd.port --port-file=p.txt \
+//               --chunk-max=9 --stall-prob=0.05 --stall-ms=150 \
+//               --rst-prob=0.002 --seed=42
+//
+// All faults draw from one seeded Rng, so a failing run replays exactly.
+// SIGTERM/SIGINT prints fault counters and exits 0.
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace {
+
+using qosbb::Rng;
+using Clock = std::chrono::steady_clock;
+
+volatile sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+struct Args {
+  std::string bind = "127.0.0.1";
+  int listen_port = 0;          ///< 0 = ephemeral
+  std::string port_file;        ///< where to publish the chosen port
+  std::string upstream_host = "127.0.0.1";
+  int upstream_port = 0;
+  std::string upstream_port_file;
+  unsigned long seed = 1;
+  int chunk_max = 16;     ///< forwarded write size ceiling (torn writes)
+  double stall_prob = 0.0;  ///< per-read chance of holding the data
+  int stall_ms = 100;       ///< how long a stalled buffer is held
+  int delay_ms = 0;         ///< fixed forwarding delay on every read
+  double rst_prob = 0.0;    ///< per-forwarded-chunk chance of an RST
+};
+
+bool parse_args(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return a.compare(0, n, prefix) == 0 ? a.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--bind=")) {
+      args->bind = v;
+    } else if (const char* v = value("--port=")) {
+      args->listen_port = std::atoi(v);
+    } else if (const char* v = value("--port-file=")) {
+      args->port_file = v;
+    } else if (const char* v = value("--upstream-host=")) {
+      args->upstream_host = v;
+    } else if (const char* v = value("--upstream-port=")) {
+      args->upstream_port = std::atoi(v);
+    } else if (const char* v = value("--upstream-port-file=")) {
+      args->upstream_port_file = v;
+    } else if (const char* v = value("--seed=")) {
+      args->seed = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = value("--chunk-max=")) {
+      args->chunk_max = std::atoi(v);
+    } else if (const char* v = value("--stall-prob=")) {
+      args->stall_prob = std::atof(v);
+    } else if (const char* v = value("--stall-ms=")) {
+      args->stall_ms = std::atoi(v);
+    } else if (const char* v = value("--delay-ms=")) {
+      args->delay_ms = std::atoi(v);
+    } else if (const char* v = value("--rst-prob=")) {
+      args->rst_prob = std::atof(v);
+    } else {
+      std::fprintf(stderr, "chaos_proxy: unknown argument: %s\n", a.c_str());
+      return false;
+    }
+  }
+  if (args->upstream_port == 0 && !args->upstream_port_file.empty()) {
+    std::ifstream pf(args->upstream_port_file);
+    pf >> args->upstream_port;
+  }
+  if (args->upstream_port <= 0 || args->upstream_port > 65535) {
+    std::fprintf(stderr,
+                 "chaos_proxy: no upstream (--upstream-port or "
+                 "--upstream-port-file)\n");
+    return false;
+  }
+  if (args->chunk_max < 1) args->chunk_max = 1;
+  return true;
+}
+
+void set_nonblock(int fd) {
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+}
+
+/// Bytes read from one side, waiting (possibly stalled) to be written to
+/// the other. `due` is when forwarding may begin.
+struct Parcel {
+  std::vector<std::uint8_t> bytes;
+  std::size_t pos = 0;
+  Clock::time_point due;
+};
+
+struct Pipe {
+  std::deque<Parcel> queue;
+  bool eof = false;          ///< source half-closed; FIN after queue drains
+  bool fin_sent = false;
+
+  bool idle() const { return queue.empty() && (fin_sent || !eof); }
+};
+
+struct Session {
+  int client_fd = -1;
+  int upstream_fd = -1;
+  Pipe to_upstream;  ///< client → server direction
+  Pipe to_client;    ///< server → client direction
+  bool dead = false;
+};
+
+struct Stats {
+  unsigned long conns = 0;
+  unsigned long bytes = 0;
+  unsigned long chunks = 0;
+  unsigned long stalls = 0;
+  unsigned long rsts = 0;
+};
+
+void rst_close(int fd) {
+  // Linger 0 turns close() into an RST: the hard failure mode an edge
+  // router sees when a broker machine drops off the network.
+  struct linger lg{1, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  ::close(fd);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, &args)) return 2;
+
+  ::signal(SIGTERM, on_signal);
+  ::signal(SIGINT, on_signal);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  const int lfd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (lfd < 0) {
+    std::perror("chaos_proxy: socket");
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(lfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(args.listen_port));
+  if (::inet_pton(AF_INET, args.bind.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "chaos_proxy: bad bind address\n");
+    return 1;
+  }
+  if (::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(lfd, 128) != 0) {
+    std::perror("chaos_proxy: bind/listen");
+    return 1;
+  }
+  socklen_t alen = sizeof(addr);
+  ::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &alen);
+  const int port = ntohs(addr.sin_port);
+  if (!args.port_file.empty()) {
+    std::ofstream pf(args.port_file);
+    pf << port << "\n";
+  }
+  set_nonblock(lfd);
+  std::fprintf(stderr,
+               "chaos_proxy: listening on %s:%d -> %s:%d "
+               "(seed=%lu chunk<=%d stall=%.3f/%dms delay=%dms rst=%.4f)\n",
+               args.bind.c_str(), port, args.upstream_host.c_str(),
+               args.upstream_port, args.seed, args.chunk_max,
+               args.stall_prob, args.stall_ms, args.delay_ms, args.rst_prob);
+
+  Rng rng(args.seed);
+  Stats stats;
+  std::vector<Session> sessions;
+
+  auto kill_session = [&](Session& s, bool rst) {
+    if (s.dead) return;
+    s.dead = true;
+    if (rst) {
+      rst_close(s.client_fd);
+      rst_close(s.upstream_fd);
+      ++stats.rsts;
+    } else {
+      ::close(s.client_fd);
+      ::close(s.upstream_fd);
+    }
+    s.client_fd = s.upstream_fd = -1;
+  };
+
+  // One read from `from_fd` into `pipe`, fault decisions applied.
+  auto pump_in = [&](Session& s, int from_fd, Pipe& pipe) {
+    std::uint8_t chunk[65536];
+    while (true) {
+      const ssize_t n = ::read(from_fd, chunk, sizeof(chunk));
+      if (n > 0) {
+        Parcel p;
+        p.bytes.assign(chunk, chunk + n);
+        p.due = Clock::now();
+        if (args.stall_prob > 0.0 &&
+            rng.uniform(0.0, 1.0) < args.stall_prob) {
+          p.due += std::chrono::milliseconds(args.stall_ms);
+          ++stats.stalls;
+        } else if (args.delay_ms > 0) {
+          p.due += std::chrono::milliseconds(args.delay_ms);
+        }
+        pipe.queue.push_back(std::move(p));
+        stats.bytes += static_cast<unsigned long>(n);
+        if (static_cast<std::size_t>(n) < sizeof(chunk)) return;
+        continue;
+      }
+      if (n == 0) {
+        pipe.eof = true;
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      kill_session(s, /*rst=*/false);
+      return;
+    }
+  };
+
+  // Forward due parcels to `to_fd` in torn chunks; may RST the session.
+  auto pump_out = [&](Session& s, int to_fd, Pipe& pipe) {
+    const auto now = Clock::now();
+    while (!s.dead && !pipe.queue.empty()) {
+      Parcel& p = pipe.queue.front();
+      if (p.due > now) return;
+      const std::size_t want = std::min<std::size_t>(
+          static_cast<std::size_t>(args.chunk_max), p.bytes.size() - p.pos);
+      const ssize_t n = ::write(to_fd, p.bytes.data() + p.pos, want);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        kill_session(s, /*rst=*/false);
+        return;
+      }
+      p.pos += static_cast<std::size_t>(n);
+      ++stats.chunks;
+      if (args.rst_prob > 0.0 && rng.uniform(0.0, 1.0) < args.rst_prob) {
+        kill_session(s, /*rst=*/true);
+        return;
+      }
+      if (p.pos == p.bytes.size()) pipe.queue.pop_front();
+    }
+    if (!s.dead && pipe.queue.empty() && pipe.eof && !pipe.fin_sent) {
+      ::shutdown(to_fd, SHUT_WR);
+      pipe.fin_sent = true;
+    }
+  };
+
+  std::vector<pollfd> pfds;
+  while (!g_stop) {
+    pfds.clear();
+    pfds.push_back(pollfd{lfd, POLLIN, 0});
+    int next_due_ms = 200;  // also bounds signal-check latency
+    const auto now = Clock::now();
+    for (Session& s : sessions) {
+      if (s.dead) continue;
+      auto events = [&](const Pipe& in, const Pipe& out) {
+        short ev = 0;
+        if (!in.eof) ev |= POLLIN;
+        if (!out.queue.empty()) {
+          if (out.queue.front().due <= now) {
+            ev |= POLLOUT;
+          } else {
+            const int ms = static_cast<int>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    out.queue.front().due - now)
+                    .count()) +
+                1;
+            next_due_ms = std::min(next_due_ms, std::max(ms, 1));
+          }
+        }
+        return ev;
+      };
+      pfds.push_back(
+          pollfd{s.client_fd, events(s.to_upstream, s.to_client), 0});
+      pfds.push_back(
+          pollfd{s.upstream_fd, events(s.to_client, s.to_upstream), 0});
+    }
+    const int pr = ::poll(pfds.data(), pfds.size(), next_due_ms);
+    if (pr < 0 && errno != EINTR) {
+      std::perror("chaos_proxy: poll");
+      break;
+    }
+
+    if (pfds[0].revents & POLLIN) {
+      while (true) {
+        const int cfd = ::accept4(lfd, nullptr, nullptr, SOCK_CLOEXEC);
+        if (cfd < 0) break;
+        const int ufd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        sockaddr_in up{};
+        up.sin_family = AF_INET;
+        up.sin_port = htons(static_cast<std::uint16_t>(args.upstream_port));
+        ::inet_pton(AF_INET, args.upstream_host.c_str(), &up.sin_addr);
+        if (ufd < 0 || ::connect(ufd, reinterpret_cast<sockaddr*>(&up),
+                                 sizeof(up)) != 0) {
+          // Upstream down (mid-restart): refuse hard, client backs off.
+          rst_close(cfd);
+          if (ufd >= 0) ::close(ufd);
+          continue;
+        }
+        ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        ::setsockopt(ufd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        set_nonblock(cfd);
+        set_nonblock(ufd);
+        Session s;
+        s.client_fd = cfd;
+        s.upstream_fd = ufd;
+        sessions.push_back(std::move(s));
+        ++stats.conns;
+      }
+    }
+
+    // pfds[0] is the listener; sessions follow two-per, in order.
+    std::size_t pi = 1;
+    for (Session& s : sessions) {
+      if (s.dead) continue;
+      if (pi + 1 >= pfds.size()) break;
+      const short cev = pfds[pi].revents;
+      const short uev = pfds[pi + 1].revents;
+      pi += 2;
+      if (cev & (POLLERR | POLLHUP)) s.to_upstream.eof = true;
+      if (uev & (POLLERR | POLLHUP)) s.to_client.eof = true;
+      if (!s.dead && (cev & POLLIN)) pump_in(s, s.client_fd, s.to_upstream);
+      if (!s.dead && (uev & POLLIN)) pump_in(s, s.upstream_fd, s.to_client);
+      // Writes run every tick (a due timer, not just POLLOUT, unblocks
+      // them); pump_out itself no-ops when the socket would block.
+      if (!s.dead) pump_out(s, s.upstream_fd, s.to_upstream);
+      if (!s.dead) pump_out(s, s.client_fd, s.to_client);
+      // Both directions quiesced and half-closed → done.
+      if (!s.dead && s.to_upstream.eof && s.to_client.eof &&
+          s.to_upstream.queue.empty() && s.to_client.queue.empty()) {
+        kill_session(s, /*rst=*/false);
+      }
+    }
+    sessions.erase(std::remove_if(sessions.begin(), sessions.end(),
+                                  [](const Session& s) { return s.dead; }),
+                   sessions.end());
+  }
+
+  for (Session& s : sessions) kill_session(s, /*rst=*/false);
+  ::close(lfd);
+  std::fprintf(stderr,
+               "chaos_proxy: exit: conns=%lu bytes=%lu chunks=%lu "
+               "stalls=%lu rsts=%lu\n",
+               stats.conns, stats.bytes, stats.chunks, stats.stalls,
+               stats.rsts);
+  return 0;
+}

@@ -66,7 +66,23 @@ void check_payload(const WireBuffer& payload) {
   accepted += decode_reject_reply(payload).status().is_ok();
   accepted += decode_edge_conditioner_config(payload).status().is_ok();
   accepted += decode_teardown_request(payload).status().is_ok();
+  accepted += decode_overloaded_reply(payload).status().is_ok();
+  accepted += decode_health_request(payload).status().is_ok();
+  accepted += decode_health_reply(payload).status().is_ok();
+  accepted += decode_snapshot_digest_request(payload).status().is_ok();
+  accepted += decode_snapshot_digest_reply(payload).status().is_ok();
   require(accepted <= 1, "one payload decoded as two message types");
+  // A decoded shed reason must be one of the declared values, never a
+  // blind cast of the wire byte.
+  if (auto over = decode_overloaded_reply(payload); over.status().is_ok()) {
+    const auto reason = over.value().reason;
+    require(reason == ShedReason::kNone ||
+                reason == ShedReason::kGlobalBudget ||
+                reason == ShedReason::kConnBudget ||
+                reason == ShedReason::kDeadline ||
+                reason == ShedReason::kBrownout,
+            "decoded ShedReason outside the enum");
+  }
 }
 
 void drain(FrameDecoder& decoder, std::size_t fed) {
@@ -165,6 +181,36 @@ int write_corpus(const std::filesystem::path& dir) {
   RejectReply reject;
   reject.detail = "fuzz seed";
   seed("reject_chunked.bin", encode(reject), 5);
+
+  // Overload-control and probe messages, mixed fragmentations.
+  OverloadedReply overloaded;
+  overloaded.reason = ShedReason::kConnBudget;
+  overloaded.retry_after_ms = 50;
+  overloaded.detail = "conn-budget";
+  seed("overloaded.bin", encode(overloaded), 4);
+  seed("health_request.bin", encode(HealthRequest{}), 0);
+  HealthReply health;
+  health.inflight = 3;
+  health.admits = 1000;
+  health.live_flows = 997;
+  health.journal_lsn = 12345;
+  health.brownout_active = 1;
+  seed("health_reply.bin", encode(health), 6);
+  seed("digest_request.bin", encode(SnapshotDigestRequest{}), 1);
+  SnapshotDigestReply digest;
+  digest.digest = 0xdeadbeef;
+  digest.journal_lsn = 12345;
+  seed("digest_reply.bin", encode(digest), 2);
+  // Admits and teardowns carrying an explicit idempotency key.
+  {
+    FlowServiceRequest req;
+    req.profile = TrafficProfile::make(24000.0, 1e5, 2e5, 12000.0);
+    req.e2e_delay_req = 1.0;
+    req.ingress = "I0";
+    req.egress = "E0";
+    seed("admit_rid.bin", encode(req, /*rid=*/0x0102030405060708ULL), 3);
+  }
+  seed("teardown_rid.bin", encode(TeardownRequest{7, 424242}), 1);
 
   // Two frames back to back in one stream.
   {

@@ -1,4 +1,4 @@
-// loadgen — closed- and open-loop signaling load for qosbbd.
+// loadgen — closed-loop, open-loop, chaos, and probe load for qosbbd.
 //
 // Simulates many edge-router signaling sessions over N TCP connections,
 // each pipelining up to W requests (closed loop) or pacing a fixed
@@ -10,13 +10,36 @@
 //   loadgen --port-file=/tmp/qosbbd.port --requests=100000
 //   loadgen --port=4747 --connections=8 --pipeline=128 --teardown-every=4
 //   loadgen --mode=open --rate=50000 --requests=200000
+//   loadgen --mode=chaos --connections=8 --requests=4000 --verify-drained=1
+//   loadgen --mode=probe --requests=50 --probe-interval-ms=10
 //
-// Invariants checked (exit 1 on violation): every request gets exactly one
-// reply (admits + rejects == admit requests sent; every teardown acked),
-// zero decode/CRC errors, no unexpected message types, completion before
-// the deadline. The JSON report (--json-out) is merged by
-// bench/run_benchmarks.sh into BENCH_bb_throughput.json as the
-// "server_loadgen" section and gated by bench/check_bench_smoke.py.
+// Exit accounting is strict but overload-aware: kOverloadedReply is a
+// VALID server answer (the request was shed, not lost), counted per shed
+// reason — only decode/CRC errors, protocol violations, or genuinely lost
+// replies fail the run. The accounting identities checked at exit:
+//
+//   admits + rejects + admit_sheds       == admit requests sent
+//   teardown_acks + teardown_sheds       == teardowns sent   (closed/open)
+//
+// Latency percentiles cover ACCEPTED admits only (sheds answer in
+// microseconds and would flatter the tail the deadline gate is watching).
+//
+// --mode=chaos drives one RetryingClient per connection-thread: each admit
+// carries a thread-unique RequestId ((thread+1)<<40 | seq) and is re-sent
+// through timeouts, sheds, and server restarts until its reply arrives —
+// the DurableBroker dedup window makes the retry exactly-once. Every acked
+// admission is remembered in a ledger and torn down at the end; a teardown
+// answered "unknown flow" means an acked admission was LOST (exit 1), and
+// with --verify-drained=1 a final Health probe asserts live_flows == 0, so
+// a DUPLICATED admission (an orphan flow no ledger entry names) also
+// fails the run. This is the detector behind ci/e2e_chaos.sh.
+//
+// --mode=probe is a low-rate observer: rounds of Health + SnapshotDigest
+// against a (possibly overloaded) server, reporting brownout sightings and
+// digest sheds plus the server's own shed counters.
+//
+// The JSON report (--json-out) is merged by bench/run_benchmarks.sh into
+// BENCH_bb_throughput.json and gated by bench/check_bench_smoke.py.
 
 #include <fcntl.h>
 #include <poll.h>
@@ -31,6 +54,7 @@
 #include <deque>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/types.h"
@@ -58,6 +82,13 @@ struct Args {
   double d_req = 1.0;
   int timeout_s = 300;
   std::string json_out;
+  // chaos / probe knobs
+  int reply_timeout_ms = 1000;  ///< per-attempt reply wait (chaos/probe)
+  int max_attempts = 200;       ///< re-sends per op before declaring it lost
+  int verify_drained = -1;      ///< chaos: assert live_flows==0 at the end
+                                ///< (-1 = default on for chaos)
+  int probe_interval_ms = 10;
+  unsigned long seed = 1;
 };
 
 bool parse_args(int argc, char** argv, Args* args) {
@@ -95,6 +126,16 @@ bool parse_args(int argc, char** argv, Args* args) {
       args->timeout_s = std::atoi(v);
     } else if (const char* v = value("--json-out=")) {
       args->json_out = v;
+    } else if (const char* v = value("--reply-timeout-ms=")) {
+      args->reply_timeout_ms = std::atoi(v);
+    } else if (const char* v = value("--max-attempts=")) {
+      args->max_attempts = std::atoi(v);
+    } else if (const char* v = value("--verify-drained=")) {
+      args->verify_drained = std::atoi(v);
+    } else if (const char* v = value("--probe-interval-ms=")) {
+      args->probe_interval_ms = std::atoi(v);
+    } else if (const char* v = value("--seed=")) {
+      args->seed = std::strtoul(v, nullptr, 10);
     } else if (a == "--help" || a == "-h") {
       return false;
     } else {
@@ -102,8 +143,10 @@ bool parse_args(int argc, char** argv, Args* args) {
       return false;
     }
   }
-  if (args->mode != "closed" && args->mode != "open") {
-    std::fprintf(stderr, "loadgen: --mode must be closed or open\n");
+  if (args->mode != "closed" && args->mode != "open" &&
+      args->mode != "chaos" && args->mode != "probe") {
+    std::fprintf(stderr,
+                 "loadgen: --mode must be closed, open, chaos, or probe\n");
     return false;
   }
   if (args->mode == "open" && args->rate <= 0.0) {
@@ -111,8 +154,11 @@ bool parse_args(int argc, char** argv, Args* args) {
     return false;
   }
   if (args->connections < 1 || args->pipeline < 1 || args->requests < 1 ||
-      args->pairs < 1) {
+      args->pairs < 1 || args->max_attempts < 1) {
     return false;
+  }
+  if (args->verify_drained < 0) {
+    args->verify_drained = args->mode == "chaos" ? 1 : 0;
   }
   return true;
 }
@@ -122,13 +168,18 @@ void usage() {
       stderr,
       "usage: loadgen [--host=ADDR] (--port=N | --port-file=PATH)\n"
       "               [--connections=N] [--pipeline=W] [--requests=N]\n"
-      "               [--teardown-every=K] [--mode=closed|open] [--rate=R]\n"
+      "               [--teardown-every=K]\n"
+      "               [--mode=closed|open|chaos|probe] [--rate=R]\n"
       "               [--pairs=P] [--rho-kbps=X] [--d-req=S]\n"
-      "               [--timeout-s=N] [--json-out=PATH]\n");
+      "               [--timeout-s=N] [--json-out=PATH]\n"
+      "               [--reply-timeout-ms=N] [--max-attempts=N]\n"
+      "               [--verify-drained=0|1] [--probe-interval-ms=N]\n"
+      "               [--seed=N]\n");
 }
 
 struct Pending {
   bool admit = true;
+  FlowId flow = 0;  ///< teardowns: which flow, to restore on a shed
   Clock::time_point sent;
 };
 
@@ -145,15 +196,30 @@ struct Conn {
   std::size_t backlog() const { return out.size() - out_pos; }
 };
 
+/// Everything a run can observe. One reply per request, always — sheds and
+/// rejects are answers, not losses. Only decode_errors / protocol_errors /
+/// lost replies make the run fail.
 struct Totals {
   long admits_sent = 0;
   long teardowns_sent = 0;
   long admits = 0;
   long rejects = 0;
+  long admit_sheds = 0;     ///< kOverloadedReply to an admit
   long teardown_acks = 0;
   long teardown_failures = 0;
+  long teardown_sheds = 0;  ///< kOverloadedReply to a teardown
+  long sheds_global = 0;    ///< shed replies by server-reported reason
+  long sheds_conn = 0;
+  long sheds_deadline = 0;
+  long sheds_brownout = 0;
   long decode_errors = 0;
   long protocol_errors = 0;
+  // chaos transport counters (RetryingClient)
+  long resends = 0;
+  long reconnects = 0;
+  long timeouts = 0;
+  long exhausted = 0;   ///< ops whose retry budget ran out (lost reply)
+  long lost_acked = 0;  ///< acked admissions the server no longer knows
 };
 
 double percentile(std::vector<double>& sorted, double q) {
@@ -165,23 +231,63 @@ double percentile(std::vector<double>& sorted, double q) {
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
-}  // namespace
+void count_shed_reason(Totals* t, ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kGlobalBudget: ++t->sheds_global; break;
+    case ShedReason::kConnBudget: ++t->sheds_conn; break;
+    case ShedReason::kDeadline: ++t->sheds_deadline; break;
+    case ShedReason::kBrownout: ++t->sheds_brownout; break;
+    case ShedReason::kNone: break;
+  }
+}
 
-int main(int argc, char** argv) {
-  Args args;
-  if (!parse_args(argc, argv, &args)) {
-    usage();
-    return 2;
-  }
-  if (args.port == 0 && !args.port_file.empty()) {
-    std::ifstream pf(args.port_file);
-    pf >> args.port;
-  }
-  if (args.port <= 0 || args.port > 65535) {
-    std::fprintf(stderr, "loadgen: no server port (--port or --port-file)\n");
-    return 2;
-  }
+FlowServiceRequest make_request(const Args& args, long n) {
+  // Deterministic request template, rotated over the endpoint pairs. The
+  // shape obeys the wire-level profile invariants (sigma >= L, P >= rho).
+  const double rho = args.rho_kbps * 1e3;
+  FlowServiceRequest req;
+  req.profile = TrafficProfile::make(/*sigma=*/24000.0, rho,
+                                     /*peak=*/2.0 * rho, /*l_max=*/12000.0);
+  req.e2e_delay_req = args.d_req;
+  const long k = n % args.pairs;
+  req.ingress = "I" + std::to_string(k);
+  req.egress = "E" + std::to_string(k);
+  return req;
+}
 
+void emit_json(const Args& args, const char* body) {
+  if (args.json_out.empty()) {
+    std::fputs(body, stdout);
+  } else {
+    std::ofstream out(args.json_out);
+    out << body;
+  }
+}
+
+std::string latency_json(std::vector<double>& latencies_us) {
+  std::sort(latencies_us.begin(), latencies_us.end());
+  double mean = 0.0;
+  for (double v : latencies_us) mean += v;
+  if (!latencies_us.empty()) mean /= static_cast<double>(latencies_us.size());
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  \"latency_us\": {\n"
+                "    \"mean\": %.2f, \"p50\": %.2f, \"p90\": %.2f,\n"
+                "    \"p99\": %.2f, \"p999\": %.2f, \"max\": %.2f\n"
+                "  }\n",
+                mean, percentile(latencies_us, 0.50),
+                percentile(latencies_us, 0.90),
+                percentile(latencies_us, 0.99),
+                percentile(latencies_us, 0.999),
+                latencies_us.empty() ? 0.0 : latencies_us.back());
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// closed / open loop: non-blocking pipelined poll multiplexer.
+// ---------------------------------------------------------------------------
+
+int run_poll_loop(const Args& args) {
   std::vector<Conn> conns(static_cast<std::size_t>(args.connections));
   for (Conn& c : conns) {
     if (Status s = c.client.connect(args.host,
@@ -195,36 +301,19 @@ int main(int argc, char** argv) {
     ::fcntl(c.fd, F_SETFL, ::fcntl(c.fd, F_GETFL, 0) | O_NONBLOCK);
   }
 
-  // Deterministic request template, rotated over the endpoint pairs. The
-  // shape obeys the wire-level profile invariants (sigma >= L, P >= rho).
-  const double rho = args.rho_kbps * 1e3;
-  std::vector<std::pair<std::string, std::string>> pair_names;
-  for (int k = 0; k < args.pairs; ++k) {
-    pair_names.emplace_back("I" + std::to_string(k), "E" + std::to_string(k));
-  }
-  auto make_request = [&](long n) {
-    FlowServiceRequest req;
-    req.profile = TrafficProfile::make(/*sigma=*/24000.0, rho,
-                                       /*peak=*/2.0 * rho, /*l_max=*/12000.0);
-    req.e2e_delay_req = args.d_req;
-    const auto& names = pair_names[static_cast<std::size_t>(n % args.pairs)];
-    req.ingress = names.first;
-    req.egress = names.second;
-    return req;
-  };
-
   Totals totals;
-  std::vector<double> latencies_us;
+  std::vector<double> latencies_us;  ///< accepted admits only
   latencies_us.reserve(static_cast<std::size_t>(args.requests));
 
   const auto start = Clock::now();
   const auto deadline = start + std::chrono::seconds(args.timeout_s);
   const bool open_loop = args.mode == "open";
 
-  auto queue_message = [&](Conn& c, const WireBuffer& msg, bool admit) {
+  auto queue_message = [&](Conn& c, const WireBuffer& msg, bool admit,
+                           FlowId flow) {
     const WireBuffer framed = frame_net_message(msg);
     c.out.insert(c.out.end(), framed.begin(), framed.end());
-    c.pending.push_back(Pending{admit, Clock::now()});
+    c.pending.push_back(Pending{admit, flow, Clock::now()});
   };
 
   // One admit (or interleaved teardown) on connection `c`.
@@ -234,11 +323,12 @@ int main(int argc, char** argv) {
       const FlowId flow = c.live.front();
       c.live.pop_front();
       c.admits_since_teardown = 0;
-      queue_message(c, encode(TeardownRequest{flow}), /*admit=*/false);
+      queue_message(c, encode(TeardownRequest{flow}), /*admit=*/false, flow);
       ++totals.teardowns_sent;
       return;
     }
-    queue_message(c, encode(make_request(totals.admits_sent)), /*admit=*/true);
+    queue_message(c, encode(make_request(args, totals.admits_sent)),
+                  /*admit=*/true, 0);
     ++totals.admits_sent;
     ++c.admits_since_teardown;
   };
@@ -267,9 +357,6 @@ int main(int argc, char** argv) {
     }
     const Pending p = c.pending.front();
     c.pending.pop_front();
-    latencies_us.push_back(
-        std::chrono::duration<double, std::micro>(Clock::now() - p.sent)
-            .count());
     auto type = peek_type(payload);
     if (!type.is_ok()) {
       ++totals.decode_errors;
@@ -282,6 +369,9 @@ int main(int argc, char** argv) {
         return false;
       }
       ++totals.admits;
+      latencies_us.push_back(
+          std::chrono::duration<double, std::micro>(Clock::now() - p.sent)
+              .count());
       c.live.push_back(res.value().flow);
       return true;
     }
@@ -297,6 +387,22 @@ int main(int argc, char** argv) {
         ++totals.teardown_acks;
       } else {
         ++totals.teardown_failures;
+      }
+      return true;
+    }
+    if (type.value() == MessageType::kOverloadedReply) {
+      // A shed is an answer, not a loss: the server refused to EXECUTE.
+      auto shed = decode_overloaded_reply(payload);
+      if (!shed.is_ok()) {
+        ++totals.decode_errors;
+        return false;
+      }
+      count_shed_reason(&totals, shed.value().reason);
+      if (p.admit) {
+        ++totals.admit_sheds;
+      } else {
+        ++totals.teardown_sheds;
+        c.live.push_back(p.flow);  // still admitted; put it back
       }
       return true;
     }
@@ -402,33 +508,29 @@ int main(int argc, char** argv) {
   const double elapsed =
       std::chrono::duration<double>(Clock::now() - start).count();
 
-  // Invariants: one reply per request, all of them clean.
-  if (totals.admits + totals.rejects != totals.admits_sent) {
+  // Invariants: one reply per request — admits, rejects, AND sheds are all
+  // replies. A mismatch means a reply was lost or duplicated.
+  if (totals.admits + totals.rejects + totals.admit_sheds !=
+      totals.admits_sent) {
     std::fprintf(stderr,
                  "loadgen: reply count mismatch: admits=%ld rejects=%ld "
-                 "vs %ld admit requests sent\n",
-                 totals.admits, totals.rejects, totals.admits_sent);
+                 "sheds=%ld vs %ld admit requests sent\n",
+                 totals.admits, totals.rejects, totals.admit_sheds,
+                 totals.admits_sent);
     failed = true;
   }
-  if (totals.teardown_acks != totals.teardowns_sent) {
+  if (totals.teardown_acks + totals.teardown_sheds != totals.teardowns_sent ||
+      totals.teardown_failures > 0) {
     std::fprintf(stderr,
-                 "loadgen: teardown ack mismatch: %ld acks (+%ld failures) "
-                 "vs %ld sent\n",
-                 totals.teardown_acks, totals.teardown_failures,
-                 totals.teardowns_sent);
+                 "loadgen: teardown ack mismatch: %ld acks + %ld sheds "
+                 "(+%ld failures) vs %ld sent\n",
+                 totals.teardown_acks, totals.teardown_sheds,
+                 totals.teardown_failures, totals.teardowns_sent);
     failed = true;
   }
   if (totals.decode_errors > 0 || totals.protocol_errors > 0) failed = true;
 
-  std::sort(latencies_us.begin(), latencies_us.end());
-  double mean = 0.0;
-  for (double v : latencies_us) mean += v;
-  if (!latencies_us.empty()) mean /= static_cast<double>(latencies_us.size());
-  const double p50 = percentile(latencies_us, 0.50);
-  const double p90 = percentile(latencies_us, 0.90);
-  const double p99 = percentile(latencies_us, 0.99);
-  const double p999 = percentile(latencies_us, 0.999);
-  const double pmax = latencies_us.empty() ? 0.0 : latencies_us.back();
+  const long total_sheds = totals.admit_sheds + totals.teardown_sheds;
   const double admits_per_sec =
       elapsed > 0.0 ? static_cast<double>(totals.admits) / elapsed : 0.0;
   const double ops_per_sec =
@@ -436,18 +538,22 @@ int main(int argc, char** argv) {
           ? static_cast<double>(totals.admits_sent + totals.teardowns_sent) /
                 elapsed
           : 0.0;
+  const double shed_rate =
+      totals.admits_sent > 0
+          ? static_cast<double>(totals.admit_sheds) /
+                static_cast<double>(totals.admits_sent)
+          : 0.0;
 
   std::fprintf(stderr,
                "loadgen: %s-loop, %d conns x pipeline %d: "
-               "%ld admit requests (%ld admitted, %ld rejected), "
-               "%ld teardowns in %.3f s -> %.0f admits/s, %.0f ops/s; "
-               "latency us p50=%.1f p90=%.1f p99=%.1f p999=%.1f max=%.1f\n",
+               "%ld admit requests (%ld admitted, %ld rejected, %ld shed), "
+               "%ld teardowns in %.3f s -> %.0f admits/s, %.0f ops/s\n",
                args.mode.c_str(), args.connections, args.pipeline,
                totals.admits_sent, totals.admits, totals.rejects,
-               totals.teardowns_sent, elapsed, admits_per_sec, ops_per_sec,
-               p50, p90, p99, p999, pmax);
+               totals.admit_sheds, totals.teardowns_sent, elapsed,
+               admits_per_sec, ops_per_sec);
 
-  char json[2048];
+  char json[2560];
   std::snprintf(
       json, sizeof(json),
       "{\n"
@@ -458,29 +564,358 @@ int main(int argc, char** argv) {
       "  \"requests\": %ld,\n"
       "  \"admits\": %ld,\n"
       "  \"rejects\": %ld,\n"
+      "  \"admit_sheds\": %ld,\n"
       "  \"teardowns\": %ld,\n"
       "  \"teardown_failures\": %ld,\n"
+      "  \"teardown_sheds\": %ld,\n"
+      "  \"sheds\": %ld,\n"
+      "  \"sheds_global\": %ld,\n"
+      "  \"sheds_conn\": %ld,\n"
+      "  \"sheds_deadline\": %ld,\n"
+      "  \"sheds_brownout\": %ld,\n"
+      "  \"shed_rate\": %.6f,\n"
       "  \"decode_errors\": %ld,\n"
+      "  \"protocol_errors\": %ld,\n"
       "  \"elapsed_s\": %.6f,\n"
       "  \"admits_per_sec\": %.1f,\n"
       "  \"ops_per_sec\": %.1f,\n"
       "  \"num_cpus\": %ld,\n"
-      "  \"latency_us\": {\n"
-      "    \"mean\": %.2f, \"p50\": %.2f, \"p90\": %.2f,\n"
-      "    \"p99\": %.2f, \"p999\": %.2f, \"max\": %.2f\n"
-      "  }\n"
+      "%s"
       "}\n",
       args.mode.c_str(), args.connections, args.pipeline, args.pairs,
-      totals.admits_sent, totals.admits, totals.rejects,
-      totals.teardowns_sent, totals.teardown_failures, totals.decode_errors,
-      elapsed, admits_per_sec, ops_per_sec,
-      static_cast<long>(::sysconf(_SC_NPROCESSORS_ONLN)), mean, p50, p90,
-      p99, p999, pmax);
-  if (args.json_out.empty()) {
-    std::fputs(json, stdout);
-  } else {
-    std::ofstream out(args.json_out);
-    out << json;
-  }
+      totals.admits_sent, totals.admits, totals.rejects, totals.admit_sheds,
+      totals.teardowns_sent, totals.teardown_failures, totals.teardown_sheds,
+      total_sheds, totals.sheds_global, totals.sheds_conn,
+      totals.sheds_deadline, totals.sheds_brownout, shed_rate,
+      totals.decode_errors, totals.protocol_errors, elapsed, admits_per_sec,
+      ops_per_sec, static_cast<long>(::sysconf(_SC_NPROCESSORS_ONLN)),
+      latency_json(latencies_us).c_str());
+  emit_json(args, json);
   return failed ? 1 : 0;
+}
+
+// ---------------------------------------------------------------------------
+// chaos: one RetryingClient per thread, exactly-once ledger reconciliation.
+// ---------------------------------------------------------------------------
+
+/// Per-thread outcome; merged after join so no locks are needed.
+struct ChaosThreadResult {
+  Totals totals;
+  std::vector<double> latencies_us;
+  std::vector<std::pair<FlowId, RequestId>> ledger;  ///< acked admissions
+  std::vector<std::string> errors;
+};
+
+RetryingClientOptions chaos_client_options(const Args& args, int thread_idx) {
+  RetryingClientOptions opt;
+  opt.host = args.host;
+  opt.port = static_cast<std::uint16_t>(args.port);
+  opt.reply_timeout_ms = args.reply_timeout_ms;
+  opt.max_attempts = static_cast<std::uint32_t>(args.max_attempts);
+  // Tight schedule: the point is to ride THROUGH restarts, not wait them
+  // out. Cap well below a restart interval so a kill mid-window costs at
+  // most a few hundred ms of re-send delay.
+  opt.backoff.base = 0.010;
+  opt.backoff.cap = 0.250;
+  opt.rng_seed = args.seed + static_cast<unsigned long>(thread_idx) * 7919;
+  return opt;
+}
+
+void chaos_worker(const Args& args, int thread_idx, long ops,
+                  ChaosThreadResult* out) {
+  RetryingClient client(chaos_client_options(args, thread_idx));
+  // Thread-unique non-zero rid space: high bits name the thread, low bits
+  // the op. Survives restarts because the CLIENT owns identity assignment.
+  const RequestId base = static_cast<RequestId>(thread_idx + 1) << 40;
+  RequestId seq = 0;
+  for (long i = 0; i < ops; ++i) {
+    // Interleaved teardowns exercise dedup on the release path too.
+    if (args.teardown_every > 0 && !out->ledger.empty() &&
+        (i + 1) % (args.teardown_every + 1) == 0) {
+      const auto [flow, admit_rid] = out->ledger.front();
+      out->ledger.erase(out->ledger.begin());
+      ++out->totals.teardowns_sent;
+      const Status s = client.teardown(flow, base | ++seq);
+      if (s.is_ok()) {
+        ++out->totals.teardown_acks;
+      } else if (s.code() == StatusCode::kNotFound) {
+        ++out->totals.lost_acked;
+        out->errors.push_back("acked flow " + std::to_string(flow) +
+                              " (rid " + std::to_string(admit_rid) +
+                              ") unknown at teardown: " + s.message());
+      } else {
+        ++out->totals.exhausted;
+        out->errors.push_back("teardown flow " + std::to_string(flow) +
+                              ": " + s.message());
+      }
+      continue;
+    }
+    const RequestId rid = base | ++seq;
+    ++out->totals.admits_sent;
+    const auto op_start = Clock::now();
+    auto res = client.admit(make_request(args, i), rid);
+    if (res.is_ok()) {
+      ++out->totals.admits;
+      out->latencies_us.push_back(
+          std::chrono::duration<double, std::micro>(Clock::now() - op_start)
+              .count());
+      out->ledger.emplace_back(res.value().flow, rid);
+    } else if (res.status().code() == StatusCode::kRejected) {
+      ++out->totals.rejects;  // executed and denied — a real answer
+    } else {
+      ++out->totals.exhausted;
+      out->errors.push_back("admit rid " + std::to_string(rid) + ": " +
+                            res.status().message());
+    }
+  }
+  // Reconciliation: every acked admission must still be releasable. An
+  // "unknown flow" here is a LOST acked admission — the exactly-once
+  // violation this mode exists to catch.
+  for (const auto& [flow, admit_rid] : out->ledger) {
+    ++out->totals.teardowns_sent;
+    const Status s = client.teardown(flow, base | ++seq);
+    if (s.is_ok()) {
+      ++out->totals.teardown_acks;
+    } else if (s.code() == StatusCode::kNotFound) {
+      ++out->totals.lost_acked;
+      out->errors.push_back("acked flow " + std::to_string(flow) + " (rid " +
+                            std::to_string(admit_rid) +
+                            ") unknown at reconcile: " + s.message());
+    } else {
+      ++out->totals.exhausted;
+      out->errors.push_back("reconcile teardown flow " +
+                            std::to_string(flow) + ": " + s.message());
+    }
+  }
+  const RetryingClientStats& cs = client.stats();
+  out->totals.resends += static_cast<long>(cs.resends);
+  out->totals.reconnects += static_cast<long>(cs.reconnects);
+  out->totals.timeouts += static_cast<long>(cs.timeouts);
+  out->totals.admit_sheds += static_cast<long>(cs.sheds_seen);
+}
+
+int run_chaos(const Args& args) {
+  const int threads = args.connections;
+  std::vector<ChaosThreadResult> results(static_cast<std::size_t>(threads));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  const auto start = Clock::now();
+  for (int t = 0; t < threads; ++t) {
+    const long ops = args.requests / threads +
+                     (t < args.requests % threads ? 1 : 0);
+    workers.emplace_back(chaos_worker, std::cref(args), t, ops,
+                         &results[static_cast<std::size_t>(t)]);
+  }
+  for (std::thread& w : workers) w.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  Totals totals;
+  std::vector<double> latencies_us;
+  long errors_shown = 0;
+  for (const ChaosThreadResult& r : results) {
+    totals.admits_sent += r.totals.admits_sent;
+    totals.admits += r.totals.admits;
+    totals.rejects += r.totals.rejects;
+    totals.admit_sheds += r.totals.admit_sheds;
+    totals.teardowns_sent += r.totals.teardowns_sent;
+    totals.teardown_acks += r.totals.teardown_acks;
+    totals.lost_acked += r.totals.lost_acked;
+    totals.exhausted += r.totals.exhausted;
+    totals.resends += r.totals.resends;
+    totals.reconnects += r.totals.reconnects;
+    totals.timeouts += r.totals.timeouts;
+    latencies_us.insert(latencies_us.end(), r.latencies_us.begin(),
+                        r.latencies_us.end());
+    for (const std::string& e : r.errors) {
+      if (errors_shown++ < 20) {
+        std::fprintf(stderr, "loadgen: chaos: %s\n", e.c_str());
+      }
+    }
+  }
+
+  // Orphan detection: after reconciliation the broker must hold ZERO live
+  // flows — a leftover is an admission executed twice (a retry the dedup
+  // window failed to absorb) that no ledger entry names.
+  long live_flows_final = -1;
+  bool failed = false;
+  if (args.verify_drained) {
+    RetryingClient verifier(chaos_client_options(args, threads));
+    auto health = verifier.health();
+    if (!health.is_ok()) {
+      std::fprintf(stderr, "loadgen: chaos: final health probe failed: %s\n",
+                   health.status().to_string().c_str());
+      failed = true;
+    } else {
+      live_flows_final = static_cast<long>(health.value().live_flows);
+      if (live_flows_final != 0) {
+        std::fprintf(stderr,
+                     "loadgen: chaos: %ld flows still live after "
+                     "reconciliation — duplicated admission(s)\n",
+                     live_flows_final);
+        failed = true;
+      }
+    }
+  }
+  if (totals.lost_acked > 0 || totals.exhausted > 0) failed = true;
+
+  const double admits_per_sec =
+      elapsed > 0.0 ? static_cast<double>(totals.admits) / elapsed : 0.0;
+  std::fprintf(stderr,
+               "loadgen: chaos, %d threads: %ld admits sent "
+               "(%ld acked, %ld rejected), %ld teardowns, %ld resends, "
+               "%ld reconnects, %ld timeouts, %ld sheds seen; "
+               "lost_acked=%ld exhausted=%ld live_flows_final=%ld "
+               "in %.3f s\n",
+               threads, totals.admits_sent, totals.admits, totals.rejects,
+               totals.teardowns_sent, totals.resends, totals.reconnects,
+               totals.timeouts, totals.admit_sheds, totals.lost_acked,
+               totals.exhausted, live_flows_final, elapsed);
+
+  char json[2048];
+  std::snprintf(
+      json, sizeof(json),
+      "{\n"
+      "  \"mode\": \"chaos\",\n"
+      "  \"threads\": %d,\n"
+      "  \"requests\": %ld,\n"
+      "  \"admits\": %ld,\n"
+      "  \"rejects\": %ld,\n"
+      "  \"sheds_seen\": %ld,\n"
+      "  \"teardowns\": %ld,\n"
+      "  \"teardown_acks\": %ld,\n"
+      "  \"resends\": %ld,\n"
+      "  \"reconnects\": %ld,\n"
+      "  \"timeouts\": %ld,\n"
+      "  \"exhausted\": %ld,\n"
+      "  \"lost_acked\": %ld,\n"
+      "  \"live_flows_final\": %ld,\n"
+      "  \"elapsed_s\": %.6f,\n"
+      "  \"admits_per_sec\": %.1f,\n"
+      "%s"
+      "}\n",
+      threads, totals.admits_sent, totals.admits, totals.rejects,
+      totals.admit_sheds, totals.teardowns_sent, totals.teardown_acks,
+      totals.resends, totals.reconnects, totals.timeouts, totals.exhausted,
+      totals.lost_acked, live_flows_final, elapsed, admits_per_sec,
+      latency_json(latencies_us).c_str());
+  emit_json(args, json);
+  return failed ? 1 : 0;
+}
+
+// ---------------------------------------------------------------------------
+// probe: low-rate Health + SnapshotDigest observer.
+// ---------------------------------------------------------------------------
+
+int run_probe(const Args& args) {
+  RetryingClient client(chaos_client_options(args, 0));
+  long health_ok = 0, digest_ok = 0, digest_sheds = 0, brownout_seen = 0;
+  bool failed = false;
+  HealthReply last{};
+  const auto start = Clock::now();
+  for (long i = 0; i < args.requests; ++i) {
+    auto health = client.health();
+    if (health.is_ok()) {
+      ++health_ok;
+      last = health.value();
+      if (last.brownout_active) ++brownout_seen;
+    } else {
+      std::fprintf(stderr, "loadgen: probe: health: %s\n",
+                   health.status().to_string().c_str());
+      failed = true;
+    }
+    auto digest = client.snapshot_digest();
+    if (digest.is_ok()) {
+      ++digest_ok;
+    } else if (digest.status().code() == StatusCode::kUnavailable) {
+      ++digest_sheds;  // browned out — exactly what the probe watches for
+    } else {
+      std::fprintf(stderr, "loadgen: probe: digest: %s\n",
+                   digest.status().to_string().c_str());
+      failed = true;
+    }
+    if (args.probe_interval_ms > 0 && i + 1 < args.requests) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(args.probe_interval_ms));
+    }
+  }
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::fprintf(stderr,
+               "loadgen: probe, %ld rounds in %.3f s: health_ok=%ld "
+               "digest_ok=%ld digest_sheds=%ld brownout_seen=%ld; server "
+               "sheds global=%llu conn=%llu deadline=%llu brownout=%llu "
+               "inflight=%llu live_flows=%llu\n",
+               args.requests, elapsed, health_ok, digest_ok, digest_sheds,
+               brownout_seen,
+               static_cast<unsigned long long>(last.shed_global),
+               static_cast<unsigned long long>(last.shed_conn),
+               static_cast<unsigned long long>(last.shed_deadline),
+               static_cast<unsigned long long>(last.shed_brownout),
+               static_cast<unsigned long long>(last.inflight),
+               static_cast<unsigned long long>(last.live_flows));
+
+  const unsigned long long server_shed_total =
+      static_cast<unsigned long long>(last.shed_global) + last.shed_conn +
+      last.shed_deadline + last.shed_brownout;
+  char json[1536];
+  std::snprintf(
+      json, sizeof(json),
+      "{\n"
+      "  \"mode\": \"probe\",\n"
+      "  \"rounds\": %ld,\n"
+      "  \"health_ok\": %ld,\n"
+      "  \"digest_ok\": %ld,\n"
+      "  \"digest_sheds\": %ld,\n"
+      "  \"brownout_seen\": %ld,\n"
+      "  \"server_shed_total\": %llu,\n"
+      "  \"server_shed_global\": %llu,\n"
+      "  \"server_shed_conn\": %llu,\n"
+      "  \"server_shed_deadline\": %llu,\n"
+      "  \"server_shed_brownout\": %llu,\n"
+      "  \"server_reaped_partial\": %llu,\n"
+      "  \"server_reaped_idle\": %llu,\n"
+      "  \"server_inflight\": %llu,\n"
+      "  \"server_admits\": %llu,\n"
+      "  \"server_rejects\": %llu,\n"
+      "  \"server_live_flows\": %llu,\n"
+      "  \"server_journal_lsn\": %llu,\n"
+      "  \"elapsed_s\": %.6f\n"
+      "}\n",
+      args.requests, health_ok, digest_ok, digest_sheds, brownout_seen,
+      server_shed_total, static_cast<unsigned long long>(last.shed_global),
+      static_cast<unsigned long long>(last.shed_conn),
+      static_cast<unsigned long long>(last.shed_deadline),
+      static_cast<unsigned long long>(last.shed_brownout),
+      static_cast<unsigned long long>(last.reaped_partial),
+      static_cast<unsigned long long>(last.reaped_idle),
+      static_cast<unsigned long long>(last.inflight),
+      static_cast<unsigned long long>(last.admits),
+      static_cast<unsigned long long>(last.rejects),
+      static_cast<unsigned long long>(last.live_flows),
+      static_cast<unsigned long long>(last.journal_lsn), elapsed);
+  emit_json(args, json);
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, &args)) {
+    usage();
+    return 2;
+  }
+  if (args.port == 0 && !args.port_file.empty()) {
+    std::ifstream pf(args.port_file);
+    pf >> args.port;
+  }
+  if (args.port <= 0 || args.port > 65535) {
+    std::fprintf(stderr, "loadgen: no server port (--port or --port-file)\n");
+    return 2;
+  }
+  if (args.mode == "chaos") return run_chaos(args);
+  if (args.mode == "probe") return run_probe(args);
+  return run_poll_loop(args);
 }

@@ -48,6 +48,15 @@ struct Args {
   int threads = 1;
   std::string journal;
   bool differential = false;
+  // Overload-control knobs (0 disables; defaults in ServerOptions).
+  long max_inflight = -1;
+  long max_inflight_conn = -1;
+  int deadline_ms = -1;
+  long brownout_inflight = -1;
+  int brownout_window_ms = -1;
+  int partial_frame_timeout_ms = -1;
+  int idle_timeout_ms = -1;
+  int drain_timeout_ms = -1;
 };
 
 bool parse_args(int argc, char** argv, Args* args) {
@@ -75,6 +84,22 @@ bool parse_args(int argc, char** argv, Args* args) {
       args->threads = std::atoi(v);
     } else if (const char* v = value("--journal=")) {
       args->journal = v;
+    } else if (const char* v = value("--max-inflight=")) {
+      args->max_inflight = std::atol(v);
+    } else if (const char* v = value("--max-inflight-conn=")) {
+      args->max_inflight_conn = std::atol(v);
+    } else if (const char* v = value("--deadline-ms=")) {
+      args->deadline_ms = std::atoi(v);
+    } else if (const char* v = value("--brownout-inflight=")) {
+      args->brownout_inflight = std::atol(v);
+    } else if (const char* v = value("--brownout-window-ms=")) {
+      args->brownout_window_ms = std::atoi(v);
+    } else if (const char* v = value("--partial-frame-timeout-ms=")) {
+      args->partial_frame_timeout_ms = std::atoi(v);
+    } else if (const char* v = value("--idle-timeout-ms=")) {
+      args->idle_timeout_ms = std::atoi(v);
+    } else if (const char* v = value("--drain-timeout-ms=")) {
+      args->drain_timeout_ms = std::atoi(v);
     } else if (a == "--differential") {
       args->differential = true;
     } else if (a == "--help" || a == "-h") {
@@ -93,6 +118,16 @@ bool parse_args(int argc, char** argv, Args* args) {
     std::fprintf(stderr, "qosbbd: bad --pairs/--port/--threads\n");
     return false;
   }
+  if (args->differential && !args->journal.empty()) {
+    // The recorded-op replay re-executes every op through a fresh front; a
+    // deduplicated retry (same rid) would double-execute in the replay and
+    // diverge by construction. Journal recovery is the durable mode's own
+    // differential (byte-compared on every restart).
+    std::fprintf(stderr,
+                 "qosbbd: --differential requires the in-memory backend "
+                 "(drop --journal)\n");
+    return false;
+  }
   return true;
 }
 
@@ -102,7 +137,12 @@ void usage() {
       "usage: qosbbd [--bind=ADDR] [--port=N] [--port-file=PATH]\n"
       "              [--topo=dumbbell|fig8] [--pairs=N]\n"
       "              [--access-mbps=X] [--bottleneck-mbps=X]\n"
-      "              [--threads=N] [--journal=PATH] [--differential]\n");
+      "              [--threads=N] [--journal=PATH] [--differential]\n"
+      "              [--max-inflight=N] [--max-inflight-conn=N]\n"
+      "              [--deadline-ms=N] [--brownout-inflight=N]\n"
+      "              [--brownout-window-ms=N]\n"
+      "              [--partial-frame-timeout-ms=N] [--idle-timeout-ms=N]\n"
+      "              [--drain-timeout-ms=N]\n");
 }
 
 QosbbServer* g_server = nullptr;
@@ -142,6 +182,33 @@ int main(int argc, char** argv) {
   server_options.bind_address = args.bind;
   server_options.port = static_cast<std::uint16_t>(args.port);
   server_options.record_ops = args.differential;
+  if (args.max_inflight >= 0) {
+    server_options.max_inflight_global =
+        static_cast<std::size_t>(args.max_inflight);
+  }
+  if (args.max_inflight_conn >= 0) {
+    server_options.max_inflight_per_conn =
+        static_cast<std::size_t>(args.max_inflight_conn);
+  }
+  if (args.deadline_ms >= 0) {
+    server_options.request_deadline_ms = args.deadline_ms;
+  }
+  if (args.brownout_inflight >= 0) {
+    server_options.brownout_inflight =
+        static_cast<std::size_t>(args.brownout_inflight);
+  }
+  if (args.brownout_window_ms >= 0) {
+    server_options.brownout_window_ms = args.brownout_window_ms;
+  }
+  if (args.partial_frame_timeout_ms >= 0) {
+    server_options.partial_frame_timeout_ms = args.partial_frame_timeout_ms;
+  }
+  if (args.idle_timeout_ms >= 0) {
+    server_options.idle_timeout_ms = args.idle_timeout_ms;
+  }
+  if (args.drain_timeout_ms >= 0) {
+    server_options.drain_timeout_ms = args.drain_timeout_ms;
+  }
 
   // Backend: concurrent front (in-memory) or durable broker (journaled).
   std::unique_ptr<BandwidthBroker> bb;
@@ -162,6 +229,14 @@ int main(int argc, char** argv) {
       return 1;
     }
     durable = std::move(opened).value();
+    // The harness greps this line to assert every restart actually ran
+    // recovery (replayed tail records, retained the dedup window).
+    std::fprintf(stderr,
+                 "qosbbd: journal recovered lsn=%llu replayed=%llu "
+                 "dedup=%zu\n",
+                 static_cast<unsigned long long>(durable->next_lsn()),
+                 static_cast<unsigned long long>(durable->stats().replayed),
+                 durable->dedup_window_size());
     server = std::make_unique<QosbbServer>(*durable, server_options);
   }
 
@@ -202,7 +277,10 @@ int main(int argc, char** argv) {
                "rejects=%llu teardowns=%llu teardown_failures=%llu "
                "decode_errors=%llu frames_in=%llu frames_out=%llu "
                "batches=%llu batched_requests=%llu "
-               "backpressure_pauses=%llu connections=%llu\n",
+               "backpressure_pauses=%llu connections=%llu "
+               "shed_global=%llu shed_conn=%llu shed_deadline=%llu "
+               "shed_brownout=%llu reaped_partial=%llu reaped_idle=%llu "
+               "health_requests=%llu digest_requests=%llu\n",
                static_cast<unsigned long long>(st.admit_requests),
                static_cast<unsigned long long>(st.admits),
                static_cast<unsigned long long>(st.rejects),
@@ -214,7 +292,15 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(st.batches),
                static_cast<unsigned long long>(st.batched_requests),
                static_cast<unsigned long long>(st.backpressure_pauses),
-               static_cast<unsigned long long>(st.connections_accepted));
+               static_cast<unsigned long long>(st.connections_accepted),
+               static_cast<unsigned long long>(st.shed_global),
+               static_cast<unsigned long long>(st.shed_conn),
+               static_cast<unsigned long long>(st.shed_deadline),
+               static_cast<unsigned long long>(st.shed_brownout),
+               static_cast<unsigned long long>(st.reaped_partial),
+               static_cast<unsigned long long>(st.reaped_idle),
+               static_cast<unsigned long long>(st.health_requests),
+               static_cast<unsigned long long>(st.digest_requests));
 
   auto digest = broker_state_digest(server->broker());
   if (digest.is_ok()) {
