@@ -32,6 +32,13 @@ Two semantic gates ride along:
     the uncontended server_loadgen number — shedding must protect
     throughput, not replace it. --require-loadgen also requires this
     section.
+  * When the JSON carries a "federation" section (fed_loadgen against
+    fleets of socket-connected domain brokers at broker counts 1/2/4),
+    every broker-count entry must be healthy: finite positive
+    admits_per_sec, zero lost/duplicated acked admissions, zero poisoned
+    transactions and ack failures, and every multi-broker entry must have
+    actually exercised inter-domain 2PC (inter_admits > 0).
+    --require-loadgen also requires this section.
 
 Usage: check_bench_smoke.py [--require-loadgen] bench_smoke.json
 """
@@ -236,6 +243,54 @@ def check_server_overload(report, required: bool) -> bool:
     return failed
 
 
+# Broker counts every federation section must report (the 1/2/4 scaling
+# sweep of bench/run_benchmarks.sh).
+FEDERATION_BROKER_COUNTS = [1, 2, 4]
+
+
+def check_federation(report, required: bool) -> bool:
+    """Return True on failure: validate the broker-count scaling sweep."""
+    section = report.get("federation")
+    if section is None:
+        if required:
+            print("FAIL: federation section missing (bench JSON not "
+                  "produced by bench/run_benchmarks.sh?)", file=sys.stderr)
+            return True
+        print("SKIP: no federation section")
+        return False
+
+    failed = False
+    entries = section.get("broker_counts", [])
+    counts = [e.get("domains") for e in entries]
+    if counts != FEDERATION_BROKER_COUNTS:
+        print(f"FAIL: federation broker counts {counts} != "
+              f"{FEDERATION_BROKER_COUNTS}", file=sys.stderr)
+        return True
+    for entry in entries:
+        k = entry.get("domains")
+        rate = entry.get("admits_per_sec")
+        if not (isinstance(rate, (int, float)) and math.isfinite(rate)
+                and rate > 0):
+            print(f"FAIL: federation[{k}] admits_per_sec={rate} "
+                  "(want finite > 0)", file=sys.stderr)
+            failed = True
+        for key in ("lost_acked", "orphans", "poisoned_txns",
+                    "ack_failures", "release_errors"):
+            if entry.get(key, -1) != 0:
+                print(f"FAIL: federation[{k}] {key}={entry.get(key)}",
+                      file=sys.stderr)
+                failed = True
+        if k > 1 and entry.get("inter_admits", 0) <= 0:
+            print(f"FAIL: federation[{k}] never exercised inter-domain "
+                  "2PC (inter_admits=0)", file=sys.stderr)
+            failed = True
+    if not failed:
+        rates = ", ".join(f"{e['domains']}: {e['admits_per_sec']:.0f}/s"
+                          for e in entries)
+        print(f"OK: federation broker-count sweep clean ({rates})")
+    return failed
+
+
 def main() -> int:
     argv = sys.argv[1:]
     require_loadgen = "--require-loadgen" in argv
@@ -279,6 +334,7 @@ def main() -> int:
     failed |= check_group_commit(benchmarks)
     failed |= check_server_loadgen(report, require_loadgen)
     failed |= check_server_overload(report, require_loadgen)
+    failed |= check_federation(report, require_loadgen)
 
     if failed:
         return 1

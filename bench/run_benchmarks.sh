@@ -22,7 +22,7 @@ shift || true
 
 cmake -B "$repo_root/build" -S "$repo_root" >/dev/null
 cmake --build "$repo_root/build" --target bench_bb_throughput qosbbd loadgen \
-  -j >/dev/null
+  fed_loadgen -j >/dev/null
 
 mkdir -p "$(dirname "$out")"
 "$repo_root/build/bench/bench_bb_throughput" \
@@ -98,18 +98,56 @@ if [[ "$overload_requests" -gt 0 ]]; then
   wait "$overload_pid"
 fi
 
+# Federation scaling section: the coordinator (fed_loadgen) against fleets
+# of 1, 2, and 4 socket-connected domain brokers on the partitioned
+# multi-domain topology — aggregate admits/sec per broker count, the
+# decoupling claim of the federated control plane (intra-domain decisions
+# stay member-local; only inter-domain flows pay the 2PC round trips).
+# Merged as the "federation" section, gated by check_bench_smoke.py. Scale
+# with FEDBENCH_REQUESTS; FEDBENCH_REQUESTS=0 skips.
+fedbench_requests="${FEDBENCH_REQUESTS:-$((loadgen_requests / 25))}"
+fed_jsons=()
+if [[ "$fedbench_requests" -gt 0 ]]; then
+  [[ -n "${tmp_dir:-}" ]] || { tmp_dir="$(mktemp -d)"; trap 'rm -rf "$tmp_dir"' EXIT; }
+  for brokers in 1 2 4; do
+    member_pids=()
+    for ((d = 0; d < brokers; d++)); do
+      "$repo_root/build/tools/qosbbd" --topo=multidomain \
+        --domains="$brokers" --domain-index="$d" --port=0 \
+        --port-file="$tmp_dir/fed$brokers.port.$d" \
+        2>"$tmp_dir/fed$brokers.member$d.log" &
+      member_pids+=($!)
+    done
+    for ((d = 0; d < brokers; d++)); do
+      for _ in $(seq 1 100); do
+        [[ -s "$tmp_dir/fed$brokers.port.$d" ]] && break
+        sleep 0.1
+      done
+    done
+    fed_json="$tmp_dir/fed$brokers.json"
+    "$repo_root/build/tools/fed_loadgen" \
+      --port-file-prefix="$tmp_dir/fed$brokers.port" --domains="$brokers" \
+      --requests="$fedbench_requests" --audit=0 --json-out="$fed_json"
+    kill -TERM "${member_pids[@]}"
+    wait "${member_pids[@]}" 2>/dev/null || true
+    fed_jsons+=("$fed_json")
+  done
+fi
+
 # Stamp provenance into the context block so trajectory entries pasted into
 # BENCH_bb_throughput.json stay attributable: the commit the numbers were
 # measured at, and the core count they were measured on (num_cpus is
 # already reported by Google Benchmark; ensure it survives even on builds
 # that omit it). Merge the loadgen report while we are in here.
 git_sha="$(git -C "$repo_root" rev-parse HEAD 2>/dev/null || echo unknown)"
-python3 - "$out" "$git_sha" "$loadgen_json" "$overload_json" <<'PY'
+python3 - "$out" "$git_sha" "$loadgen_json" "$overload_json" \
+  "${fed_jsons[@]:-}" <<'PY'
 import json
 import os
 import sys
 
 path, sha, loadgen_path, overload_path = sys.argv[1:5]
+fed_paths = [p for p in sys.argv[5:] if p]
 with open(path, encoding="utf-8") as fh:
     report = json.load(fh)
 ctx = report.setdefault("context", {})
@@ -121,6 +159,12 @@ if loadgen_path:
 if overload_path:
     with open(overload_path, encoding="utf-8") as fh:
         report["server_overload"] = json.load(fh)
+if fed_paths:
+    broker_counts = []
+    for fed_path in fed_paths:
+        with open(fed_path, encoding="utf-8") as fh:
+            broker_counts.append(json.load(fh))
+    report["federation"] = {"broker_counts": broker_counts}
 with open(path, "w", encoding="utf-8") as fh:
     json.dump(report, fh, indent=2)
     fh.write("\n")

@@ -506,6 +506,240 @@ Result<SnapshotDigestReply> decode_snapshot_digest_reply(
   return out;
 }
 
+WireBuffer encode(const PrepareSegment& msg) {
+  WireWriter w;
+  w.u64(msg.txn);
+  w.u64(msg.rid_segment);
+  w.u64(msg.rid_contingency);
+  w.str(msg.ingress);
+  w.str(msg.egress);
+  w.f64(msg.rate);
+  w.f64(msg.l_max);
+  w.f64(msg.contingency_rate);
+  w.str(msg.boundary_from);
+  w.str(msg.boundary_to);
+  return finish(MessageType::kPrepareSegment, std::move(w));
+}
+
+Result<PrepareSegment> decode_prepare_segment(const WireBuffer& buffer) {
+  auto body = open_body(buffer, MessageType::kPrepareSegment);
+  if (!body.is_ok()) return body.status();
+  WireReader& r = body.value();
+  auto txn = r.u64();
+  auto rid_seg = r.u64();
+  auto rid_cont = r.u64();
+  auto ingress = r.str();
+  auto egress = r.str();
+  auto rate = r.f64();
+  auto l_max = r.f64();
+  auto cont_rate = r.f64();
+  auto b_from = r.str();
+  auto b_to = r.str();
+  for (const Status& s :
+       {txn.status(), rid_seg.status(), rid_cont.status(), ingress.status(),
+        egress.status(), rate.status(), l_max.status(), cont_rate.status(),
+        b_from.status(), b_to.status()}) {
+    if (!s.is_ok()) return s;
+  }
+  if (!r.exhausted()) return Status::invalid_argument("trailing bytes");
+  if (Status s = check_rate(rate.value(), "segment rate"); !s.is_ok())
+    return s;
+  if (Status s = check_rate(l_max.value(), "l_max"); !s.is_ok()) return s;
+  if (Status s = check_nonneg(cont_rate.value(), "contingency rate");
+      !s.is_ok())
+    return s;
+  if (ingress.value().empty() || egress.value().empty()) {
+    return Status::invalid_argument("segment endpoints must be named");
+  }
+  if (cont_rate.value() > 0.0 &&
+      (b_from.value().empty() || b_to.value().empty())) {
+    return Status::invalid_argument(
+        "contingency rate without a boundary link");
+  }
+  PrepareSegment out;
+  out.txn = txn.value();
+  out.rid_segment = rid_seg.value();
+  out.rid_contingency = rid_cont.value();
+  out.ingress = ingress.value();
+  out.egress = egress.value();
+  out.rate = rate.value();
+  out.l_max = l_max.value();
+  out.contingency_rate = cont_rate.value();
+  out.boundary_from = b_from.value();
+  out.boundary_to = b_to.value();
+  return out;
+}
+
+WireBuffer encode(const PrepareReply& msg) {
+  WireWriter w;
+  w.u64(msg.txn);
+  w.u8(msg.prepared ? 1 : 0);
+  w.i64(msg.segment_flow);
+  w.i64(msg.contingency_flow);
+  w.u8(static_cast<std::uint8_t>(msg.reason));
+  w.str(msg.detail);
+  return finish(MessageType::kPrepareReply, std::move(w));
+}
+
+Result<PrepareReply> decode_prepare_reply(const WireBuffer& buffer) {
+  auto body = open_body(buffer, MessageType::kPrepareReply);
+  if (!body.is_ok()) return body.status();
+  WireReader& r = body.value();
+  auto txn = r.u64();
+  auto prepared = r.u8();
+  auto seg_flow = r.i64();
+  auto cont_flow = r.i64();
+  auto reason = r.u8();
+  auto detail = r.str();
+  for (const Status& s :
+       {txn.status(), prepared.status(), seg_flow.status(),
+        cont_flow.status(), reason.status(), detail.status()}) {
+    if (!s.is_ok()) return s;
+  }
+  if (!r.exhausted()) return Status::invalid_argument("trailing bytes");
+  if (prepared.value() > 1) {
+    return Status::invalid_argument("prepared flag must be 0 or 1");
+  }
+  if (reason.value() >
+      static_cast<std::uint8_t>(RejectReason::kInsufficientBuffer)) {
+    return Status::invalid_argument("unknown reject reason");
+  }
+  PrepareReply out;
+  out.txn = txn.value();
+  out.prepared = prepared.value() == 1;
+  out.segment_flow = seg_flow.value();
+  out.contingency_flow = cont_flow.value();
+  out.reason = static_cast<RejectReason>(reason.value());
+  out.detail = detail.value();
+  return out;
+}
+
+WireBuffer encode(const CommitSegment& msg) {
+  WireWriter w;
+  w.u64(msg.txn);
+  w.u64(msg.rid);
+  w.i64(msg.contingency_flow);
+  return finish(MessageType::kCommitSegment, std::move(w));
+}
+
+Result<CommitSegment> decode_commit_segment(const WireBuffer& buffer) {
+  auto body = open_body(buffer, MessageType::kCommitSegment);
+  if (!body.is_ok()) return body.status();
+  WireReader& r = body.value();
+  auto txn = r.u64();
+  auto rid = r.u64();
+  auto cont_flow = r.i64();
+  for (const Status& s : {txn.status(), rid.status(), cont_flow.status()}) {
+    if (!s.is_ok()) return s;
+  }
+  if (!r.exhausted()) return Status::invalid_argument("trailing bytes");
+  return CommitSegment{txn.value(), rid.value(), cont_flow.value()};
+}
+
+WireBuffer encode(const AbortSegment& msg) {
+  WireWriter w;
+  w.u64(msg.txn);
+  w.u64(msg.rid_segment);
+  w.u64(msg.rid_contingency);
+  w.i64(msg.segment_flow);
+  w.i64(msg.contingency_flow);
+  return finish(MessageType::kAbortSegment, std::move(w));
+}
+
+Result<AbortSegment> decode_abort_segment(const WireBuffer& buffer) {
+  auto body = open_body(buffer, MessageType::kAbortSegment);
+  if (!body.is_ok()) return body.status();
+  WireReader& r = body.value();
+  auto txn = r.u64();
+  auto rid_seg = r.u64();
+  auto rid_cont = r.u64();
+  auto seg_flow = r.i64();
+  auto cont_flow = r.i64();
+  for (const Status& s :
+       {txn.status(), rid_seg.status(), rid_cont.status(), seg_flow.status(),
+        cont_flow.status()}) {
+    if (!s.is_ok()) return s;
+  }
+  if (!r.exhausted()) return Status::invalid_argument("trailing bytes");
+  AbortSegment out;
+  out.txn = txn.value();
+  out.rid_segment = rid_seg.value();
+  out.rid_contingency = rid_cont.value();
+  out.segment_flow = seg_flow.value();
+  out.contingency_flow = cont_flow.value();
+  return out;
+}
+
+WireBuffer encode(const SegmentAck& msg) {
+  WireWriter w;
+  w.u64(msg.txn);
+  w.u8(msg.ok ? 1 : 0);
+  w.str(msg.detail);
+  return finish(MessageType::kSegmentAck, std::move(w));
+}
+
+Result<SegmentAck> decode_segment_ack(const WireBuffer& buffer) {
+  auto body = open_body(buffer, MessageType::kSegmentAck);
+  if (!body.is_ok()) return body.status();
+  WireReader& r = body.value();
+  auto txn = r.u64();
+  auto ok = r.u8();
+  auto detail = r.str();
+  for (const Status& s : {txn.status(), ok.status(), detail.status()}) {
+    if (!s.is_ok()) return s;
+  }
+  if (!r.exhausted()) return Status::invalid_argument("trailing bytes");
+  if (ok.value() > 1) {
+    return Status::invalid_argument("ok flag must be 0 or 1");
+  }
+  SegmentAck out;
+  out.txn = txn.value();
+  out.ok = ok.value() == 1;
+  out.detail = detail.value();
+  return out;
+}
+
+WireBuffer encode(const FederatedDigestRequest&) {
+  return finish(MessageType::kFederatedDigestRequest, WireWriter{});
+}
+
+Result<FederatedDigestRequest> decode_federated_digest_request(
+    const WireBuffer& buffer) {
+  auto body = open_body(buffer, MessageType::kFederatedDigestRequest);
+  if (!body.is_ok()) return body.status();
+  if (!body.value().exhausted()) {
+    return Status::invalid_argument("trailing bytes");
+  }
+  return FederatedDigestRequest{};
+}
+
+WireBuffer encode(const FederatedDigestReply& msg) {
+  WireWriter w;
+  w.u32(msg.digest);
+  w.u64(msg.live_flows);
+  w.u64(msg.journal_lsn);
+  return finish(MessageType::kFederatedDigestReply, std::move(w));
+}
+
+Result<FederatedDigestReply> decode_federated_digest_reply(
+    const WireBuffer& buffer) {
+  auto body = open_body(buffer, MessageType::kFederatedDigestReply);
+  if (!body.is_ok()) return body.status();
+  WireReader& r = body.value();
+  auto digest = r.u32();
+  auto live = r.u64();
+  auto lsn = r.u64();
+  for (const Status& s : {digest.status(), live.status(), lsn.status()}) {
+    if (!s.is_ok()) return s;
+  }
+  if (!r.exhausted()) return Status::invalid_argument("trailing bytes");
+  FederatedDigestReply out;
+  out.digest = digest.value();
+  out.live_flows = live.value();
+  out.journal_lsn = lsn.value();
+  return out;
+}
+
 Result<MessageType> peek_type(const WireBuffer& buffer) {
   if (buffer.size() < kHeaderSize) {
     return Status::invalid_argument("frame shorter than header");

@@ -43,8 +43,19 @@ enum class MessageType : std::uint8_t {
   kHealthReply = 9,         // BB -> requester (degradation counters)
   kSnapshotDigestRequest = 10,  // operator -> BB (expensive: brownout-shed)
   kSnapshotDigestReply = 11,    // BB -> operator
+  // Broker-to-broker federation ops (coordinator -> member). They ride the
+  // same framing/retry/rid-dedup machinery as client signaling: a retried
+  // prepare/commit/abort re-sends the SAME rids, so a mid-2PC member crash
+  // never loses or duplicates an acked admission.
+  kPrepareSegment = 12,          // coordinator -> member (2PC phase 1)
+  kPrepareReply = 13,            // member -> coordinator
+  kCommitSegment = 14,           // coordinator -> member (2PC phase 2)
+  kAbortSegment = 15,            // coordinator -> member (2PC rollback)
+  kSegmentAck = 16,              // member -> coordinator (commit/abort ack)
+  kFederatedDigestRequest = 17,  // coordinator/auditor -> member
+  kFederatedDigestReply = 18,    // member -> requester
 };
-constexpr MessageType kMaxMessageType = MessageType::kSnapshotDigestReply;
+constexpr MessageType kMaxMessageType = MessageType::kFederatedDigestReply;
 
 /// Reject reply payload.
 struct RejectReply {
@@ -113,6 +124,96 @@ struct SnapshotDigestReply {
   std::uint64_t journal_lsn = 0;    ///< durable mode: next LSN (else 0)
 };
 
+/// 2PC phase 1: reserve one per-domain segment of an inter-domain path as a
+/// pinned-rate flow (P = ρ = `rate`, delay requirement effectively open —
+/// the coordinator already folded the end-to-end delay into `rate`), plus
+/// the §4 contingency reservation on the outgoing boundary link. Both
+/// admissions are ordinary journaled ops keyed by the coordinator-chosen
+/// rids; a member that already remembers a rid replays its recorded
+/// decision, so retries after a member crash are exactly-once.
+struct PrepareSegment {
+  std::uint64_t txn = 0;              ///< coordinator transaction id (logs)
+  RequestId rid_segment = kNoRequestId;
+  RequestId rid_contingency = kNoRequestId;
+  std::string ingress;                ///< segment entry node
+  std::string egress;                 ///< segment exit node (mirror when
+                                      ///< the segment ends at a boundary)
+  BitsPerSecond rate = 0.0;           ///< pinned segment rate r*
+  Bits l_max = 0.0;                   ///< flow maximum packet size
+  /// Thm-2 contingency Δr >= P − r* on the boundary link; 0 = none (last
+  /// segment, or Δr below resolution).
+  BitsPerSecond contingency_rate = 0.0;
+  std::string boundary_from;
+  std::string boundary_to;
+};
+
+/// Phase-1 outcome. On failure the member does NOT roll back its own
+/// partial work (a torn-down flow would make a rid replay inconsistent);
+/// it reports the flows it holds and the coordinator aborts them.
+struct PrepareReply {
+  std::uint64_t txn = 0;
+  bool prepared = false;
+  FlowId segment_flow = kInvalidFlowId;
+  FlowId contingency_flow = kInvalidFlowId;
+  RejectReason reason = RejectReason::kNone;
+  std::string detail;  // truncated to 255 bytes on the wire
+};
+
+/// 2PC phase 2: the path is fully reserved — release the transient
+/// boundary contingency (kInvalidFlowId = none was reserved).
+struct CommitSegment {
+  std::uint64_t txn = 0;
+  RequestId rid = kNoRequestId;  ///< idempotency key of the teardown
+  FlowId contingency_flow = kInvalidFlowId;
+};
+
+/// 2PC rollback: tear down whatever phase 1 reserved on this member.
+/// Either flow may be kInvalidFlowId (that op never happened).
+struct AbortSegment {
+  std::uint64_t txn = 0;
+  RequestId rid_segment = kNoRequestId;
+  RequestId rid_contingency = kNoRequestId;
+  FlowId segment_flow = kInvalidFlowId;
+  FlowId contingency_flow = kInvalidFlowId;
+};
+
+/// Ack for CommitSegment / AbortSegment.
+struct SegmentAck {
+  std::uint64_t txn = 0;
+  bool ok = false;
+  std::string detail;  // truncated to 255 bytes on the wire
+};
+
+/// Member-state probe for federation audits (empty body). Cheaper than a
+/// full snapshot exchange: a CRC of the member's snapshot plus the live
+/// flow count, enough to compare a member against a replayed ground truth.
+struct FederatedDigestRequest {};
+
+struct FederatedDigestReply {
+  std::uint32_t digest = 0;       ///< CRC-32 of the encoded member snapshot
+  std::uint64_t live_flows = 0;   ///< flows currently reserved
+  std::uint64_t journal_lsn = 0;  ///< durable mode: next LSN (else 0)
+};
+
+/// Delay requirement of a pinned-rate segment flow: effectively open, so
+/// the §3.1 test books exactly `rate` (P = ρ makes T_on = 0 and r_min
+/// vanish). Part of the protocol: coordinator, member, and every replay
+/// must build the identical request for the same PrepareSegment.
+constexpr double kPinnedSegmentDelayReq = 1e6;
+
+/// The member-side admission a PrepareSegment (or its replay) executes:
+/// a CBR flow of exactly `rate` over the member's local route.
+inline FlowServiceRequest pinned_segment_request(const std::string& ingress,
+                                                 const std::string& egress,
+                                                 double rate, double l_max) {
+  FlowServiceRequest req;
+  req.profile = TrafficProfile::make(l_max, rate, rate, l_max);
+  req.e2e_delay_req = kPinnedSegmentDelayReq;
+  req.ingress = ingress;
+  req.egress = egress;
+  return req;
+}
+
 // ---- Encoding (infallible) ----
 /// `rid` is the client's idempotency key, carried on the wire so retries
 /// can re-send the SAME identity (exactly-once at a durable broker).
@@ -126,6 +227,13 @@ WireBuffer encode(const HealthRequest& msg);
 WireBuffer encode(const HealthReply& msg);
 WireBuffer encode(const SnapshotDigestRequest& msg);
 WireBuffer encode(const SnapshotDigestReply& msg);
+WireBuffer encode(const PrepareSegment& msg);
+WireBuffer encode(const PrepareReply& msg);
+WireBuffer encode(const CommitSegment& msg);
+WireBuffer encode(const AbortSegment& msg);
+WireBuffer encode(const SegmentAck& msg);
+WireBuffer encode(const FederatedDigestRequest& msg);
+WireBuffer encode(const FederatedDigestReply& msg);
 
 // ---- Decoding (hardened) ----
 /// Type of a well-formed frame without decoding the body.
@@ -145,6 +253,15 @@ Result<HealthReply> decode_health_reply(const WireBuffer& buffer);
 Result<SnapshotDigestRequest> decode_snapshot_digest_request(
     const WireBuffer& buffer);
 Result<SnapshotDigestReply> decode_snapshot_digest_reply(
+    const WireBuffer& buffer);
+Result<PrepareSegment> decode_prepare_segment(const WireBuffer& buffer);
+Result<PrepareReply> decode_prepare_reply(const WireBuffer& buffer);
+Result<CommitSegment> decode_commit_segment(const WireBuffer& buffer);
+Result<AbortSegment> decode_abort_segment(const WireBuffer& buffer);
+Result<SegmentAck> decode_segment_ack(const WireBuffer& buffer);
+Result<FederatedDigestRequest> decode_federated_digest_request(
+    const WireBuffer& buffer);
+Result<FederatedDigestReply> decode_federated_digest_reply(
     const WireBuffer& buffer);
 
 /// Low-level cursor primitives (exposed for tests and for extending the

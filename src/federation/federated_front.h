@@ -1,0 +1,210 @@
+// The federation coordinator: one front over a set of domain-scoped member
+// brokers (tentpole of ROADMAP item "federated control plane").
+//
+// Every flow-service request is classified against the partition plan:
+//
+//   * intra-domain — the global route stays inside one domain; the request
+//     is delegated WHOLE to the owning member's existing admission path, so
+//     the decision (admit bit, rate, bound) is bit-identical to what a flat
+//     single broker over the global topology would produce.
+//   * inter-domain — the route is split into per-domain segments and
+//     admitted via two-phase prepare/commit. Each member books a PINNED
+//     segment reservation at the conservative federation rate
+//
+//         r* = max(ρ, [T_on·P + (h + K)·L] / [D_req − D_tot + T_on])
+//
+//     (h = global hop count, K = segment count; K = 1 recovers the flat
+//     §3.1 formula — each boundary crossing re-shapes the flow, costing one
+//     extra L/r* resynchronization term). Prepare additionally reserves a
+//     §4-style contingency of (P − r*) on the segment's outgoing boundary
+//     link — headroom for the downstream domain's decision lag — which
+//     commit releases. Any prepare failure aborts every prepared segment
+//     exactly. Because r* >= the flat broker's minimal feasible rate and
+//     every segment admit re-checks the same per-link residuals, the
+//     federation is CONSERVATIVE: it never admits a flow the flat broker
+//     would reject (audited by federation/oracle.h).
+//
+// Inter-domain paths crossing a delay-based (VT-EDF) hop are rejected
+// outright (kNoFeasibleRate): the Figure-4 scan needs the whole path's knot
+// state, which no single member owns. Rejecting is trivially conservative.
+//
+// Transport & exactly-once: every member sub-operation carries a
+// coordinator-allocated RequestId. Socket members sit behind RetryingClient
+// (same-bytes re-send) and a durable qosbbd dedups rids, so a member crash
+// mid-2PC never double-books or loses an acked admission. An operation
+// whose transport budget is exhausted mid-transaction is counted in
+// stats().poisoned_txns — the e2e gate asserts the count stays zero.
+//
+// Locking: fed_mu_ (coordinator bookkeeping) and one mutex per member slot
+// (serializing calls into that member and appends to its audit log, so log
+// order == the member's arrival order). fed_mu_ is ranked ABOVE every
+// member mutex and is never held across a member call on the request path;
+// snapshot/restore/digests take fed_mu_ then the member mutexes in index
+// order (the one legitimate downward nesting).
+
+#ifndef QOSBB_FEDERATION_FEDERATED_FRONT_H_
+#define QOSBB_FEDERATION_FEDERATED_FRONT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "federation/member.h"
+#include "federation/partition.h"
+#include "net/server.h"
+#include "topo/graph.h"
+#include "util/sync.h"
+#include "vtrs/delay_bounds.h"
+
+namespace qosbb {
+
+struct FederatedFrontOptions {
+  /// Record every member sub-operation (as RecordedOps, in per-member
+  /// arrival order) so audits can replay each member from scratch and
+  /// compare digests (federation/oracle.h replay_member_ops).
+  bool record_member_ops = false;
+  /// First coordinator-allocated RequestId handed to members.
+  RequestId first_rid = 1;
+};
+
+struct FederationStats {
+  std::uint64_t requests = 0;
+  std::uint64_t intra_requests = 0;
+  std::uint64_t intra_admitted = 0;
+  std::uint64_t inter_requests = 0;
+  std::uint64_t inter_admitted = 0;
+  /// Inter-domain rejects decided by the coordinator alone (no path, delay-
+  /// based hop, infeasible r*) — no member was touched.
+  std::uint64_t inter_rejected_local = 0;
+  std::uint64_t prepares = 0;          ///< segment prepares attempted
+  std::uint64_t prepare_failures = 0;  ///< member said no (clean reject)
+  std::uint64_t aborts = 0;            ///< transactions rolled back
+  std::uint64_t releases = 0;
+  /// Member ops whose transport budget was exhausted mid-transaction: the
+  /// member's state is unknown to the coordinator (possible leak). The
+  /// chaos e2e gate asserts this stays zero.
+  std::uint64_t poisoned_txns = 0;
+  /// Commit/abort sub-ops the member acked with ok=false (should never
+  /// happen: the flows were just created by this coordinator).
+  std::uint64_t ack_failures = 0;
+};
+
+/// The decision for one federated request, with federation-level context
+/// that a plain Result<Reservation> cannot carry.
+struct FederatedOutcome {
+  Result<Reservation> result = Status::rejected("unset");
+  bool inter_domain = false;
+  RejectReason reason = RejectReason::kNone;
+  std::string detail;
+  /// Inter-domain admit only: the pinned rate r* each segment booked, and
+  /// how many segments the path was split into.
+  BitsPerSecond segment_rate = 0.0;
+  int segments = 0;
+};
+
+class FederatedFront {
+ public:
+  /// `members[i]` must serve plan.members[i] (same index = same domain).
+  /// Members are borrowed, not owned.
+  FederatedFront(FederationPlan plan, std::vector<FederationMember*> members,
+                 FederatedFrontOptions options = {});
+
+  FederatedFront(const FederatedFront&) = delete;
+  FederatedFront& operator=(const FederatedFront&) = delete;
+
+  /// Classify + admit. Thread-safe; the returned reservation's flow id is
+  /// a FEDERATION id (release through release_service below).
+  FederatedOutcome request_service(const FlowServiceRequest& request);
+  /// Tear down a federated reservation (intra: one member release; inter:
+  /// every segment's pinned reservation).
+  Status release_service(FlowId flow);
+
+  /// Per-member state digests, index-aligned with plan().members.
+  Result<std::vector<FederatedDigestReply>> digests();
+  /// Consistent cross-federation checkpoint: quiesces every member (all
+  /// in-process), frames member snapshots + the coordinator's flow table
+  /// and counters. Fails on socket members (their journal is their
+  /// persistence).
+  Result<WireBuffer> snapshot();
+  /// Rebuild members + coordinator state from a snapshot() frame.
+  Status restore(const WireBuffer& frame);
+
+  const FederationPlan& plan() const { return plan_; }
+  FederationStats stats() const;
+  std::uint64_t live_flows() const;
+  /// Copy of one member's recorded sub-op log (record_member_ops only).
+  std::vector<RecordedOp> member_ops(int domain) const;
+
+  /// The conservative federation rate r* for an inter-domain path (exposed
+  /// for the oracle and tests). +infinity when D_req is unattainable.
+  static BitsPerSecond inter_domain_segment_rate(const PathAbstract& path,
+                                                 const TrafficProfile& p,
+                                                 Seconds d_req,
+                                                 int num_segments);
+
+ private:
+  struct SegmentBooking {
+    int domain = -1;
+    FlowId flow = kInvalidFlowId;  ///< member-local pinned segment flow
+  };
+  struct FedFlowRecord {
+    bool inter = false;
+    int domain = -1;                     ///< intra: owning member
+    FlowId member_flow = kInvalidFlowId; ///< intra: member-local id
+    std::vector<SegmentBooking> segments;  ///< inter
+  };
+  struct MemberSlot {
+    explicit MemberSlot(FederationMember* m) : member(m) {}
+    FederationMember* member;
+    /// Serializes every call into this member AND the log append, so the
+    /// log is exactly the member's arrival order.
+    mutable Mutex member_mu_;
+    std::vector<RecordedOp> ops GUARDED_BY(member_mu_);
+  };
+  /// Rids for one segment's worth of 2PC sub-ops.
+  struct SegmentRids {
+    RequestId prepare_segment, prepare_contingency;
+    RequestId commit;
+    RequestId abort_segment, abort_contingency;
+  };
+
+  FederatedOutcome admit_intra(const FlowServiceRequest& request, int domain);
+  FederatedOutcome admit_inter(const FlowServiceRequest& request,
+                               const std::vector<std::string>& route,
+                               const std::vector<PathSegment>& segments);
+  /// Abort every prepared segment in `booked` (best effort, all attempted).
+  void abort_prepared(std::uint64_t txn,
+                      const std::vector<PrepareSegment>& sent,
+                      const std::vector<PrepareReply>& replies,
+                      const std::vector<SegmentRids>& rids);
+
+  // Per-member wrappers: hold the slot mutex across call + log append.
+  Result<Reservation> member_admit(MemberSlot& slot,
+                                   const FlowServiceRequest& request,
+                                   RequestId rid);
+  Status member_release(MemberSlot& slot, FlowId flow, RequestId rid);
+  Result<PrepareReply> member_prepare(MemberSlot& slot,
+                                      const PrepareSegment& request);
+  Result<SegmentAck> member_commit(MemberSlot& slot,
+                                   const CommitSegment& request);
+  Result<SegmentAck> member_abort(MemberSlot& slot,
+                                  const AbortSegment& request);
+
+  FederationPlan plan_;
+  Graph global_graph_;
+  FederatedFrontOptions options_;
+  std::vector<std::unique_ptr<MemberSlot>> slots_;
+
+  mutable Mutex fed_mu_;
+  RequestId next_rid_ GUARDED_BY(fed_mu_);
+  std::uint64_t next_txn_ GUARDED_BY(fed_mu_) = 1;
+  FlowId next_flow_ GUARDED_BY(fed_mu_) = 1;
+  std::map<FlowId, FedFlowRecord> flows_ GUARDED_BY(fed_mu_);
+  FederationStats stats_ GUARDED_BY(fed_mu_);
+};
+
+}  // namespace qosbb
+
+#endif  // QOSBB_FEDERATION_FEDERATED_FRONT_H_

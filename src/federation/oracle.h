@@ -1,0 +1,98 @@
+// Differential oracle for the federated control plane.
+//
+// Ground truth is a FLAT single broker over the same global topology. The
+// oracle mirrors every federated operation against it and checks the
+// federation's two-sided contract:
+//
+//   * intra-domain ops are BIT-IDENTICAL — the owning member sees exactly
+//     the link state the flat broker would see (partitions are
+//     route-closed; inter-domain bookings land on both sides with the same
+//     pinned rates), so admit bit, reserved rate, and delay bound must
+//     match exactly (== on doubles, no tolerance);
+//   * inter-domain admits are CONSERVATIVE — whenever the federation
+//     admits, a from-scratch §3 oracle decision on the flat mirror must
+//     also admit the original request (the federation never grants what
+//     the flat broker would refuse; extra federation rejects are fine).
+//
+// After every federated admit the oracle re-books the SAME pinned segment
+// reservations on the mirror, which keeps the two link-state views in
+// lockstep: check_member_links then asserts per-link reserved bandwidth is
+// equal up to the float-rounding envelope of the member's transient 2PC
+// bookings (boundary contingencies and rolled-back prepares add +r/−r
+// pairs the mirror never executes; each cancels only to within one ulp),
+// and check_state runs the §3 state audit (core/oracle.h
+// oracle_check_state) over the mirror.
+//
+// replay_member_ops closes the loop for socket members, where the mirror
+// cannot reach into the remote broker: the coordinator's per-member sub-op
+// log is replayed through a fresh in-process broker and the resulting
+// snapshot digest must equal the member's live FederatedDigest — proving
+// the member executed exactly the coordinator's op sequence, once each,
+// even across crash/retry.
+
+#ifndef QOSBB_FEDERATION_ORACLE_H_
+#define QOSBB_FEDERATION_ORACLE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/broker.h"
+#include "federation/federated_front.h"
+#include "federation/partition.h"
+#include "net/server.h"
+#include "topo/graph.h"
+
+namespace qosbb {
+
+class FederationOracle {
+ public:
+  FederationOracle(FederationPlan plan, BrokerOptions options);
+
+  /// Mirror one federated admission attempt. `request` is the ORIGINAL
+  /// request as submitted to the FederatedFront, `outcome` the front's
+  /// decision. Returns an error describing the first violated invariant.
+  Status observe_admit(const FlowServiceRequest& request,
+                       const FederatedOutcome& outcome);
+  /// Mirror a federated release (by the FEDERATION flow id).
+  Status observe_release(FlowId fed_flow);
+
+  /// Per-link reserved bandwidth of one member must equal the mirror's on
+  /// every link the member owns (up to the transient-booking ulp envelope;
+  /// see the file comment).
+  Status check_member_links(const BandwidthBroker& member, int domain) const;
+  /// Full §3 state audit of the mirror (oracle_check_state).
+  Status check_state() const;
+
+  BandwidthBroker& mirror() { return *bb_; }
+  const BandwidthBroker& mirror() const { return *bb_; }
+
+ private:
+  FederationPlan plan_;
+  Graph graph_;
+  std::unique_ptr<BandwidthBroker> bb_;
+  /// Federation flow id -> the mirror flows booked for it (1 for intra,
+  /// one per segment for inter).
+  std::map<FlowId, std::vector<FlowId>> mirror_flows_;
+};
+
+/// Replay one member's coordinator-recorded sub-op log through a fresh
+/// in-process broker built from the member's sub-spec, checking every
+/// recorded decision (admit bit + assigned flow id, releases succeed) and
+/// returning the replayed state's digest for comparison against the live
+/// member's FederatedDigestReply.
+struct MemberReplayReport {
+  bool ok = false;
+  std::string detail;
+  std::size_t ops_replayed = 0;
+  std::uint32_t digest = 0;
+  std::uint64_t live_flows = 0;
+};
+MemberReplayReport replay_member_ops(const DomainSpec& spec,
+                                     const BrokerOptions& options,
+                                     const std::vector<RecordedOp>& ops);
+
+}  // namespace qosbb
+
+#endif  // QOSBB_FEDERATION_ORACLE_H_

@@ -1,0 +1,111 @@
+#include "federation/partition.h"
+
+#include <algorithm>
+#include <set>
+
+#include "topo/builders.h"
+#include "util/status.h"
+
+namespace qosbb {
+
+int FederationPlan::domain_of(const std::string& node) const {
+  auto it = node_domain.find(node);
+  QOSBB_REQUIRE(it != node_domain.end(),
+                "FederationPlan: unknown node " + node);
+  return it->second;
+}
+
+FederationPlan partition_topology(
+    const DomainSpec& global, int num_domains,
+    const std::function<int(const std::string&)>& domain_of_node) {
+  QOSBB_REQUIRE(num_domains >= 1, "partition_topology: need >= 1 domain");
+  FederationPlan plan;
+  plan.global = global;
+  plan.num_domains = num_domains;
+  plan.members.resize(static_cast<std::size_t>(num_domains));
+  for (auto& member : plan.members) member.l_max = global.l_max;
+
+  for (const auto& node : global.nodes) {
+    const int d = domain_of_node(node);
+    QOSBB_REQUIRE(d >= 0 && d < num_domains,
+                  "partition_topology: node " + node + " maps to domain " +
+                      std::to_string(d) + " outside [0, " +
+                      std::to_string(num_domains) + ")");
+    plan.node_domain[node] = d;
+  }
+
+  // Links go to the home domain of their tail; cross-domain links also
+  // become edges of the aggregate graph.
+  for (const auto& link : global.links) {
+    const int owner = plan.domain_of(link.from);
+    const int head = plan.domain_of(link.to);
+    plan.members[static_cast<std::size_t>(owner)].links.push_back(link);
+    if (head != owner) {
+      plan.boundaries.push_back(BoundaryLink{link.from, link.to, owner, head});
+    }
+  }
+
+  // Member node lists: home nodes first (in global order), then mirrors —
+  // nodes homed elsewhere that an owned link touches.
+  for (int d = 0; d < num_domains; ++d) {
+    auto& member = plan.members[static_cast<std::size_t>(d)];
+    std::set<std::string> touched;
+    for (const auto& link : member.links) {
+      touched.insert(link.from);
+      touched.insert(link.to);
+    }
+    QOSBB_REQUIRE(!member.links.empty(),
+                  "partition_topology: domain " + std::to_string(d) +
+                      " owns no links");
+    for (const auto& node : global.nodes) {
+      if (plan.node_domain.at(node) == d) member.nodes.push_back(node);
+    }
+    for (const auto& node : global.nodes) {
+      if (plan.node_domain.at(node) != d && touched.count(node) != 0) {
+        member.nodes.push_back(node);
+      }
+    }
+  }
+  return plan;
+}
+
+FederationPlan partition_multi_domain(const DomainSpec& global,
+                                      int num_domains) {
+  return partition_topology(global, num_domains, multi_domain_node_domain);
+}
+
+std::vector<PathSegment> segment_path(const FederationPlan& plan,
+                                      const std::vector<std::string>& path) {
+  QOSBB_REQUIRE(path.size() >= 2, "segment_path: need >= 2 nodes");
+  std::vector<PathSegment> segments;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const int owner = plan.domain_of(path[i]);  // link ownership: tail node
+    if (segments.empty() || segments.back().domain != owner) {
+      PathSegment seg;
+      seg.domain = owner;
+      seg.nodes.push_back(path[i]);
+      segments.push_back(std::move(seg));
+    }
+    segments.back().nodes.push_back(path[i + 1]);
+    if (plan.domain_of(path[i + 1]) != owner) {
+      segments.back().has_boundary = true;
+      segments.back().boundary_from = path[i];
+      segments.back().boundary_to = path[i + 1];
+    }
+  }
+  // The boundary hop, when present, must be the segment's LAST link: its
+  // head starts the next domain's segment, so anything after it would have
+  // switched owner. Guard against pathological routes that re-enter.
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    const auto& seg = segments[s];
+    QOSBB_REQUIRE(!seg.has_boundary ||
+                      seg.boundary_to == seg.nodes.back(),
+                  "segment_path: path re-enters domain " +
+                      std::to_string(seg.domain) + " after leaving it");
+    QOSBB_REQUIRE(seg.has_boundary == (s + 1 < segments.size()),
+                  "segment_path: inconsistent boundary structure");
+  }
+  return segments;
+}
+
+}  // namespace qosbb

@@ -1,0 +1,82 @@
+// Topology partitioner for the federated control plane (ROADMAP item 2).
+//
+// Splits one global DomainSpec into per-domain member sub-specs plus the
+// inter-domain edge-aggregate graph. The assignment is by node: every node
+// has a home domain, and a link is OWNED by the home domain of its `from`
+// node (so a boundary link D<d>R -> D<d+1>L belongs to the upstream domain,
+// which also performs the §4 contingency reservation on it). A member
+// sub-spec carries its owned links plus every node they touch — including
+// "mirror" nodes homed downstream, so the member can route and admit its
+// segment of an inter-domain path entirely locally.
+//
+// Correctness contract (documented in DESIGN.md §14): partitions must be
+// route-closed — for every provisioned node pair handed to a member, the
+// member's local min-hop route must equal the corresponding segment of the
+// global route. Chains of dumbbells (multi_domain_topology) satisfy this by
+// construction because every node pair has a unique route.
+
+#ifndef QOSBB_FEDERATION_PARTITION_H_
+#define QOSBB_FEDERATION_PARTITION_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "topo/fig8.h"
+
+namespace qosbb {
+
+/// One inter-domain edge of the aggregate graph: a physical link whose
+/// endpoints are homed in different domains. Owned (and booked) upstream.
+struct BoundaryLink {
+  std::string from;
+  std::string to;
+  int owner = -1;       ///< home domain of `from` — books the link
+  int downstream = -1;  ///< home domain of `to`
+};
+
+/// The partition of a global topology into broker domains.
+struct FederationPlan {
+  DomainSpec global;
+  int num_domains = 0;
+  /// Per-domain sub-spec: owned links + all touched nodes (mirrors last).
+  std::vector<DomainSpec> members;
+  /// Home domain of every global node.
+  std::map<std::string, int> node_domain;
+  /// The edge-aggregate graph: every link crossing a domain boundary.
+  std::vector<BoundaryLink> boundaries;
+
+  int domain_of(const std::string& node) const;
+};
+
+/// Partition `global` by the node->domain assignment. Every node must map
+/// into [0, num_domains); every domain must own at least one link.
+FederationPlan partition_topology(
+    const DomainSpec& global, int num_domains,
+    const std::function<int(const std::string&)>& domain_of_node);
+
+/// Convenience: partition a multi_domain_topology() spec along its encoded
+/// D<d> domains.
+FederationPlan partition_multi_domain(const DomainSpec& global,
+                                      int num_domains);
+
+/// One per-domain piece of a segmented global path.
+struct PathSegment {
+  int domain = -1;
+  /// entry .. exit node sequence; when `has_boundary`, the exit node is the
+  /// downstream mirror and the final hop is the boundary link.
+  std::vector<std::string> nodes;
+  bool has_boundary = false;
+  std::string boundary_from;
+  std::string boundary_to;
+};
+
+/// Split a global node path into maximal single-domain segments in path
+/// order. A one-element result means the path is intra-domain.
+std::vector<PathSegment> segment_path(const FederationPlan& plan,
+                                      const std::vector<std::string>& path);
+
+}  // namespace qosbb
+
+#endif  // QOSBB_FEDERATION_PARTITION_H_

@@ -246,4 +246,51 @@ Result<SnapshotDigestReply> RetryingClient::snapshot_digest() {
   return decode_snapshot_digest_reply(reply.value());
 }
 
+namespace {
+/// Common reply handling for the 2PC acks: a RejectReply in the slot means
+/// the member hit an internal error executing the op (e.g. a digest
+/// failure) — surface it as a status rather than a decode error.
+Result<SegmentAck> decode_ack_or_reject(const WireBuffer& reply) {
+  auto type = peek_type(reply);
+  if (type.is_ok() && type.value() == MessageType::kRejectReply) {
+    auto rej = decode_reject_reply(reply);
+    return Status::internal(rej.is_ok() ? rej.value().detail
+                                        : "member error");
+  }
+  return decode_segment_ack(reply);
+}
+}  // namespace
+
+Result<PrepareReply> RetryingClient::prepare(const PrepareSegment& request) {
+  auto reply = call(encode(request));
+  if (!reply.is_ok()) return reply.status();
+  auto type = peek_type(reply.value());
+  if (type.is_ok() && type.value() == MessageType::kRejectReply) {
+    auto rej = decode_reject_reply(reply.value());
+    return Status::internal(rej.is_ok() ? rej.value().detail
+                                        : "member error");
+  }
+  return decode_prepare_reply(reply.value());
+}
+
+Result<SegmentAck> RetryingClient::commit_segment(
+    const CommitSegment& request) {
+  auto reply = call(encode(request));
+  if (!reply.is_ok()) return reply.status();
+  return decode_ack_or_reject(reply.value());
+}
+
+Result<SegmentAck> RetryingClient::abort_segment(
+    const AbortSegment& request) {
+  auto reply = call(encode(request));
+  if (!reply.is_ok()) return reply.status();
+  return decode_ack_or_reject(reply.value());
+}
+
+Result<FederatedDigestReply> RetryingClient::federated_digest() {
+  auto reply = call(encode(FederatedDigestRequest{}));
+  if (!reply.is_ok()) return reply.status();
+  return decode_federated_digest_reply(reply.value());
+}
+
 }  // namespace qosbb

@@ -100,6 +100,16 @@ class RetryingClient {
   /// kUnavailable("shed: ...") when the server browned it out.
   Result<SnapshotDigestReply> snapshot_digest();
 
+  /// Federation 2PC ops (coordinator -> member). All retry the SAME bytes
+  /// — the embedded rids make them exactly-once at a durable member even
+  /// across a member crash/restart mid-transaction.
+  Result<PrepareReply> prepare(const PrepareSegment& request);
+  Result<SegmentAck> commit_segment(const CommitSegment& request);
+  Result<SegmentAck> abort_segment(const AbortSegment& request);
+  /// Member-state probe; retried through overload (audits can wait out a
+  /// brownout window).
+  Result<FederatedDigestReply> federated_digest();
+
   void close() { conn_.close(); }
   const RetryingClientStats& stats() const { return stats_; }
 

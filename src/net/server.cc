@@ -392,7 +392,8 @@ void QosbbServer::enqueue_op(Conn& c, PendingOp op) {
       op.shed = ShedReason::kConnBudget;
       ++stats_.shed_conn;
       last_budget_shed_ = op.enqueued;
-    } else if (op.kind == PendingOp::Kind::kDigest &&
+    } else if ((op.kind == PendingOp::Kind::kDigest ||
+                op.kind == PendingOp::Kind::kFedDigest) &&
                brownout_active(op.enqueued)) {
       // Brownout: shed the expensive op while admits keep flowing. Does
       // NOT feed the latch — brownout must decay once budget sheds stop.
@@ -466,6 +467,45 @@ void QosbbServer::decode_frames(Conn& c) {
             decoded = dr.status();
           } else {
             op.kind = PendingOp::Kind::kDigest;
+          }
+          break;
+        }
+        case MessageType::kPrepareSegment: {
+          auto pr = decode_prepare_segment(payload);
+          if (!pr.is_ok()) {
+            decoded = pr.status();
+          } else {
+            op.kind = PendingOp::Kind::kPrepare;
+            op.prepare = std::move(pr).value();
+          }
+          break;
+        }
+        case MessageType::kCommitSegment: {
+          auto cm = decode_commit_segment(payload);
+          if (!cm.is_ok()) {
+            decoded = cm.status();
+          } else {
+            op.kind = PendingOp::Kind::kCommit;
+            op.commit = cm.value();
+          }
+          break;
+        }
+        case MessageType::kAbortSegment: {
+          auto ab = decode_abort_segment(payload);
+          if (!ab.is_ok()) {
+            decoded = ab.status();
+          } else {
+            op.kind = PendingOp::Kind::kAbort;
+            op.abort = ab.value();
+          }
+          break;
+        }
+        case MessageType::kFederatedDigestRequest: {
+          auto fr = decode_federated_digest_request(payload);
+          if (!fr.is_ok()) {
+            decoded = fr.status();
+          } else {
+            op.kind = PendingOp::Kind::kFedDigest;
           }
           break;
         }
@@ -547,6 +587,24 @@ void QosbbServer::dispatch_pending(Conn& c) {
       case PendingOp::Kind::kDigest:
         dispatch_admits(c, batch);
         dispatch_digest(c);
+        continue;
+      case PendingOp::Kind::kPrepare:
+        // Federation ops split admit runs like teardowns do: their member
+        // sub-operations must execute in their positional slot.
+        dispatch_admits(c, batch);
+        dispatch_prepare(c, op.prepare);
+        continue;
+      case PendingOp::Kind::kCommit:
+        dispatch_admits(c, batch);
+        dispatch_commit(c, op.commit);
+        continue;
+      case PendingOp::Kind::kAbort:
+        dispatch_admits(c, batch);
+        dispatch_abort(c, op.abort);
+        continue;
+      case PendingOp::Kind::kFedDigest:
+        dispatch_admits(c, batch);
+        dispatch_fed_digest(c);
         continue;
       case PendingOp::Kind::kError:
         dispatch_admits(c, batch);
@@ -684,6 +742,114 @@ void QosbbServer::dispatch_digest(Conn& c) {
   ++stats_.digest_requests;
   SnapshotDigestReply reply;
   reply.digest = digest.value();
+  reply.journal_lsn = durable_ != nullptr ? durable_->next_lsn() : 0;
+  queue_reply(c, encode(reply));
+}
+
+QosbbServer::AdmitResult QosbbServer::fed_admit(
+    const FlowServiceRequest& request, RequestId rid) {
+  PendingAdmit admit{request, rid};
+  std::vector<AdmitResult> out = backend_admit(std::span(&admit, 1));
+  if (options_.record_ops) {
+    RecordedOp op;
+    op.kind = RecordedOp::Kind::kAdmit;
+    op.request = request;
+    op.admitted = out[0].result.is_ok();
+    op.assigned_flow =
+        op.admitted ? out[0].result.value().flow : kInvalidFlowId;
+    ops_.push_back(std::move(op));
+  }
+  return std::move(out[0]);
+}
+
+Status QosbbServer::fed_release(FlowId flow, RequestId rid) {
+  if (flow == kInvalidFlowId) return Status::ok();
+  Status s = backend_release(flow, rid);
+  if (s.is_ok() && options_.record_ops) {
+    RecordedOp op;
+    op.kind = RecordedOp::Kind::kRelease;
+    op.flow = flow;
+    ops_.push_back(std::move(op));
+  }
+  return s;
+}
+
+void QosbbServer::dispatch_prepare(Conn& c, const PrepareSegment& p) {
+  ++stats_.prepares;
+  PrepareReply reply;
+  reply.txn = p.txn;
+  // Phase 1a: the segment itself, a pinned-rate flow over the member's
+  // local route. An already-remembered rid replays the recorded decision.
+  AdmitResult seg = fed_admit(
+      pinned_segment_request(p.ingress, p.egress, p.rate, p.l_max),
+      p.rid_segment);
+  if (!seg.result.is_ok()) {
+    ++stats_.prepare_failures;
+    reply.reason = seg.reason;
+    reply.detail = seg.detail;
+    queue_reply(c, encode(reply));
+    return;
+  }
+  reply.segment_flow = seg.result.value().flow;
+  // Phase 1b: §4 contingency on the outgoing boundary link, held until
+  // commit. On failure the coordinator aborts; no local rollback (see
+  // PrepareReply's contract).
+  if (p.contingency_rate > 0.0) {
+    AdmitResult cont = fed_admit(
+        pinned_segment_request(p.boundary_from, p.boundary_to,
+                               p.contingency_rate, p.l_max),
+        p.rid_contingency);
+    if (!cont.result.is_ok()) {
+      ++stats_.prepare_failures;
+      reply.reason = cont.reason;
+      reply.detail = "contingency: " + cont.detail;
+      queue_reply(c, encode(reply));
+      return;
+    }
+    reply.contingency_flow = cont.result.value().flow;
+  }
+  reply.prepared = true;
+  queue_reply(c, encode(reply));
+}
+
+void QosbbServer::dispatch_commit(Conn& c, const CommitSegment& m) {
+  ++stats_.commits;
+  SegmentAck ack;
+  ack.txn = m.txn;
+  const Status s = fed_release(m.contingency_flow, m.rid);
+  ack.ok = s.is_ok();
+  if (!s.is_ok()) ack.detail = s.message();
+  queue_reply(c, encode(ack));
+}
+
+void QosbbServer::dispatch_abort(Conn& c, const AbortSegment& a) {
+  ++stats_.aborts;
+  SegmentAck ack;
+  ack.txn = a.txn;
+  // Release both phase-1 flows; each teardown is individually idempotent
+  // under its rid, so a retried abort converges instead of double-failing.
+  const Status seg = fed_release(a.segment_flow, a.rid_segment);
+  const Status cont = fed_release(a.contingency_flow, a.rid_contingency);
+  ack.ok = seg.is_ok() && cont.is_ok();
+  if (!seg.is_ok()) ack.detail = "segment: " + seg.message();
+  if (!cont.is_ok()) {
+    if (!ack.detail.empty()) ack.detail += "; ";
+    ack.detail += "contingency: " + cont.message();
+  }
+  queue_reply(c, encode(ack));
+}
+
+void QosbbServer::dispatch_fed_digest(Conn& c) {
+  auto digest = broker_state_digest(broker());
+  if (!digest.is_ok()) {
+    queue_reply(c, encode(RejectReply{RejectReason::kPolicy,
+                                      digest.status().message()}));
+    return;
+  }
+  ++stats_.fed_digest_requests;
+  FederatedDigestReply reply;
+  reply.digest = digest.value();
+  reply.live_flows = broker().flows().count();
   reply.journal_lsn = durable_ != nullptr ? durable_->next_lsn() : 0;
   queue_reply(c, encode(reply));
 }

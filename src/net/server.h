@@ -135,6 +135,12 @@ struct ServerStats {
   std::uint64_t reaped_idle = 0;     ///< conns closed idle
   std::uint64_t health_requests = 0;
   std::uint64_t digest_requests = 0;  ///< served (non-shed) digest probes
+  // Federation member ops (coordinator -> this broker).
+  std::uint64_t prepares = 0;          ///< PrepareSegment executed
+  std::uint64_t prepare_failures = 0;  ///< ... that answered prepared=false
+  std::uint64_t commits = 0;           ///< CommitSegment executed
+  std::uint64_t aborts = 0;            ///< AbortSegment executed
+  std::uint64_t fed_digest_requests = 0;
 
   std::uint64_t sheds() const {
     return shed_global + shed_conn + shed_deadline + shed_brownout;
@@ -198,6 +204,10 @@ class QosbbServer {
       kTeardown,
       kHealth,
       kDigest,
+      kPrepare,    ///< federation 2PC phase 1
+      kCommit,     ///< federation 2PC phase 2
+      kAbort,      ///< federation 2PC rollback
+      kFedDigest,  ///< federation member-state probe (expensive: brownout)
       kError,  ///< protocol failure: reply + close_after_flush at dispatch
     };
     Kind kind = Kind::kAdmit;
@@ -205,6 +215,9 @@ class QosbbServer {
     RequestId rid = kNoRequestId;      ///< kAdmit / kTeardown
     FlowId flow = kInvalidFlowId;      ///< kTeardown
     std::string detail;                ///< kError
+    PrepareSegment prepare;            ///< kPrepare
+    CommitSegment commit;              ///< kCommit
+    AbortSegment abort;                ///< kAbort
     ShedReason shed = ShedReason::kNone;
     Clock::time_point enqueued;
   };
@@ -231,6 +244,10 @@ class QosbbServer {
   void dispatch_admits(Conn& c, std::vector<PendingAdmit>& batch);
   void dispatch_teardown(Conn& c, FlowId flow, RequestId rid);
   void dispatch_digest(Conn& c);
+  void dispatch_prepare(Conn& c, const PrepareSegment& p);
+  void dispatch_commit(Conn& c, const CommitSegment& m);
+  void dispatch_abort(Conn& c, const AbortSegment& a);
+  void dispatch_fed_digest(Conn& c);
   HealthReply make_health_reply();
   /// True while the brownout gate sheds expensive ops.
   bool brownout_active(Clock::time_point now) const;
@@ -254,6 +271,11 @@ class QosbbServer {
   };
   std::vector<AdmitResult> backend_admit(std::span<const PendingAdmit> batch);
   Status backend_release(FlowId flow, RequestId rid);
+  /// One federation sub-admission (segment or contingency flow) through the
+  /// backend, recorded like a client admit when record_ops is on.
+  AdmitResult fed_admit(const FlowServiceRequest& request, RequestId rid);
+  /// One federation teardown; kInvalidFlowId is a no-op success.
+  Status fed_release(FlowId flow, RequestId rid);
 
   ConcurrentBrokerFront* front_ = nullptr;
   DurableBroker* durable_ = nullptr;

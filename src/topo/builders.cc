@@ -92,4 +92,76 @@ std::vector<std::string> star_path(int from_leaf, int to_leaf) {
           "H" + std::to_string(to_leaf)};
 }
 
+namespace {
+std::string md_name(int domain, const char* role, int index = -1) {
+  std::string name = "D" + std::to_string(domain) + role;
+  if (index >= 0) name += std::to_string(index);
+  return name;
+}
+}  // namespace
+
+DomainSpec multi_domain_topology(const MultiDomainOptions& options) {
+  QOSBB_REQUIRE(options.domains >= 1, "multi_domain: need >= 1 domain");
+  QOSBB_REQUIRE(options.edge_pairs >= 1, "multi_domain: need >= 1 pair");
+  DomainSpec spec;
+  spec.l_max = options.l_max;
+  auto add_link = [&](std::string from, std::string to, BitsPerSecond c,
+                      SchedPolicy policy) {
+    LinkSpec l;
+    l.from = std::move(from);
+    l.to = std::move(to);
+    l.capacity = c;
+    l.propagation_delay = options.propagation_delay;
+    l.policy = policy;
+    spec.links.push_back(std::move(l));
+  };
+  for (int d = 0; d < options.domains; ++d) {
+    const std::string left = md_name(d, "L");
+    const std::string right = md_name(d, "R");
+    spec.nodes.push_back(left);
+    spec.nodes.push_back(right);
+    for (int k = 0; k < options.edge_pairs; ++k) {
+      const std::string in = md_name(d, "I", k);
+      const std::string out = md_name(d, "E", k);
+      spec.nodes.push_back(in);
+      spec.nodes.push_back(out);
+      add_link(in, left, options.access_capacity, options.policy);
+      add_link(right, out, options.access_capacity, options.policy);
+    }
+    add_link(left, right, options.core_capacity,
+             d == options.delay_based_domain ? SchedPolicy::kVtEdf
+                                             : options.policy);
+    if (d + 1 < options.domains) {
+      add_link(right, md_name(d + 1, "L"), options.boundary_capacity,
+               options.policy);
+    }
+  }
+  return spec;
+}
+
+std::vector<std::string> multi_domain_path(int from_domain, int from_pair,
+                                           int to_domain, int to_pair) {
+  QOSBB_REQUIRE(from_domain >= 0 && to_domain >= from_domain &&
+                    from_pair >= 0 && to_pair >= 0,
+                "multi_domain_path: bad endpoints");
+  std::vector<std::string> path;
+  path.push_back(md_name(from_domain, "I", from_pair));
+  for (int d = from_domain; d <= to_domain; ++d) {
+    path.push_back(md_name(d, "L"));
+    path.push_back(md_name(d, "R"));
+  }
+  path.push_back(md_name(to_domain, "E", to_pair));
+  return path;
+}
+
+int multi_domain_node_domain(const std::string& node) {
+  QOSBB_REQUIRE(node.size() >= 2 && node[0] == 'D',
+                "multi_domain_node_domain: not a D<d>... name: " + node);
+  std::size_t end = 1;
+  while (end < node.size() && node[end] >= '0' && node[end] <= '9') ++end;
+  QOSBB_REQUIRE(end > 1 && end < node.size(),
+                "multi_domain_node_domain: malformed name: " + node);
+  return std::stoi(node.substr(1, end - 1));
+}
+
 }  // namespace qosbb

@@ -55,6 +55,35 @@ struct StarOptions {
 DomainSpec star_topology(const StarOptions& options);
 std::vector<std::string> star_path(int from_leaf, int to_leaf);
 
+struct MultiDomainOptions {
+  int domains = 3;     ///< D0 .. D<domains-1>, chained left to right
+  int edge_pairs = 4;  ///< per-domain ingress/egress pairs D<d>I<k> / D<d>E<k>
+  BitsPerSecond access_capacity = 10e6;
+  BitsPerSecond core_capacity = 1.5e6;      ///< D<d>L -> D<d>R
+  BitsPerSecond boundary_capacity = 1.5e6;  ///< D<d>R -> D<d+1>L
+  Seconds propagation_delay = 0.0;
+  SchedPolicy policy = SchedPolicy::kCsvc;
+  Bits l_max = 12000.0;
+  /// When >= 0, that domain's core link D<d>L -> D<d>R runs VT-EDF instead
+  /// of C̸SVC — exercises the federation's delay-based-hop handling (intra
+  /// requests take the §3.2 path; inter requests crossing it are rejected).
+  int delay_based_domain = -1;
+};
+
+/// Chain of dumbbells: per domain d the nodes D<d>I<k> -> D<d>L -> D<d>R ->
+/// D<d>E<k>, with boundary links D<d>R -> D<d+1>L stitching adjacent
+/// domains. Every node pair has a unique min-hop route, so any partition
+/// along domain lines is route-closed: a member broker routing a sub-path
+/// locally reproduces exactly the global route's segment.
+DomainSpec multi_domain_topology(const MultiDomainOptions& options);
+
+/// Global node sequence from D<fd>I<fp> to D<td>E<tp> (fd <= td).
+std::vector<std::string> multi_domain_path(int from_domain, int from_pair,
+                                           int to_domain, int to_pair);
+
+/// Home domain encoded in a multi-domain node name ("D12L" -> 12).
+int multi_domain_node_domain(const std::string& node);
+
 }  // namespace qosbb
 
 #endif  // QOSBB_TOPO_BUILDERS_H_

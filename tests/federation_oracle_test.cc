@@ -1,0 +1,189 @@
+// Differential audit of the federated control plane against the flat
+// single-broker oracle (federation/oracle.h): seeded fuzz sweeps of mixed
+// intra/inter admits and releases with the oracle checking every decision,
+// final link-state and §3 state audits, and per-member op-log replay with
+// bit-identical digests. Sabotage canaries prove the oracle can actually
+// flag a rogue booking and a non-conservative admit.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "federation/federated_front.h"
+#include "federation/member.h"
+#include "federation/oracle.h"
+#include "federation/partition.h"
+#include "topo/builders.h"
+#include "util/rng.h"
+
+namespace qosbb {
+namespace {
+
+struct OracleFed {
+  explicit OracleFed(int domains = 3)
+      : topo([domains] {
+          MultiDomainOptions o;
+          o.domains = domains;
+          o.edge_pairs = 2;
+          return o;
+        }()),
+        plan(partition_multi_domain(multi_domain_topology(topo),
+                                    topo.domains)),
+        oracle(plan, BrokerOptions{}) {
+    for (int d = 0; d < plan.num_domains; ++d) {
+      members.push_back(std::make_unique<InProcessMember>(
+          d, plan.members[d], BrokerOptions{}));
+    }
+    std::vector<FederationMember*> raw;
+    for (auto& m : members) raw.push_back(m.get());
+    FederatedFrontOptions options;
+    options.record_member_ops = true;
+    front = std::make_unique<FederatedFront>(plan, raw, options);
+  }
+
+  MultiDomainOptions topo;
+  FederationPlan plan;
+  FederationOracle oracle;
+  std::vector<std::unique_ptr<InProcessMember>> members;
+  std::unique_ptr<FederatedFront> front;
+};
+
+FlowServiceRequest random_request(Rng& rng, const MultiDomainOptions& topo) {
+  const int fd = rng.uniform_int(0, topo.domains - 1);
+  const int td = rng.uniform_int(fd, topo.domains - 1);
+  const int fp = rng.uniform_int(0, topo.edge_pairs - 1);
+  const int tp = rng.uniform_int(0, topo.edge_pairs - 1);
+  FlowServiceRequest req;
+  req.profile = rng.bernoulli(0.5)
+                    ? TrafficProfile::make(60000, 50000, 100000, 12000)
+                    : TrafficProfile::make(24000, 10000, 40000, 12000);
+  // One delay choice is (inter-domain) unattainable, to exercise the
+  // coordinator's local r*-infeasible reject alongside member rejects.
+  const double delays[] = {0.8, 1.5, 2.0, 3.0, 0.05};
+  req.e2e_delay_req = delays[rng.uniform_int(0, 4)];
+  req.ingress = "D" + std::to_string(fd) + "I" + std::to_string(fp);
+  req.egress = "D" + std::to_string(td) + "E" + std::to_string(tp);
+  return req;
+}
+
+TEST(FederationOracle, SeededFuzzSweepStaysClean) {
+  for (const std::uint64_t seed : {7u, 2026u}) {
+    OracleFed fed;
+    Rng rng(seed);
+    std::vector<FlowId> live;
+
+    for (int op = 0; op < 160; ++op) {
+      if (!live.empty() && rng.bernoulli(0.3)) {
+        const std::size_t pick =
+            static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<int>(live.size()) - 1));
+        const FlowId flow = live[pick];
+        live.erase(live.begin() + static_cast<long>(pick));
+        ASSERT_TRUE(fed.front->release_service(flow).is_ok())
+            << "seed " << seed << " op " << op;
+        const Status s = fed.oracle.observe_release(flow);
+        ASSERT_TRUE(s.is_ok()) << "seed " << seed << " op " << op << ": "
+                               << s.to_string();
+        continue;
+      }
+      const FlowServiceRequest request = random_request(rng, fed.topo);
+      const FederatedOutcome outcome = fed.front->request_service(request);
+      const Status s = fed.oracle.observe_admit(request, outcome);
+      ASSERT_TRUE(s.is_ok()) << "seed " << seed << " op " << op << " ("
+                             << request.ingress << " -> " << request.egress
+                             << "): " << s.to_string();
+      if (outcome.result.is_ok()) live.push_back(outcome.result.value().flow);
+    }
+
+    // The sweep must have exercised both sides of every decision class.
+    const FederationStats stats = fed.front->stats();
+    EXPECT_GT(stats.intra_admitted, 0u) << "seed " << seed;
+    EXPECT_GT(stats.inter_admitted, 0u) << "seed " << seed;
+    EXPECT_GT(stats.inter_rejected_local + stats.prepare_failures, 0u)
+        << "seed " << seed;
+    EXPECT_EQ(stats.poisoned_txns, 0u) << "seed " << seed;
+    EXPECT_EQ(stats.ack_failures, 0u) << "seed " << seed;
+
+    // Final audits: member link state vs the mirror, the mirror's own §3
+    // invariants, and a from-scratch replay of every member's op log.
+    for (int d = 0; d < fed.plan.num_domains; ++d) {
+      const Status links =
+          fed.oracle.check_member_links(fed.members[d]->broker(), d);
+      EXPECT_TRUE(links.is_ok())
+          << "seed " << seed << " domain " << d << ": " << links.to_string();
+
+      const MemberReplayReport replay = replay_member_ops(
+          fed.plan.members[d], BrokerOptions{}, fed.front->member_ops(d));
+      ASSERT_TRUE(replay.ok)
+          << "seed " << seed << " domain " << d << ": " << replay.detail;
+      auto digest = fed.members[d]->digest();
+      ASSERT_TRUE(digest.is_ok());
+      EXPECT_EQ(replay.digest, digest.value().digest)
+          << "seed " << seed << " domain " << d
+          << ": replayed digest diverges from live member";
+      EXPECT_EQ(replay.live_flows, digest.value().live_flows)
+          << "seed " << seed << " domain " << d;
+    }
+    const Status state = fed.oracle.check_state();
+    EXPECT_TRUE(state.is_ok()) << "seed " << seed << ": " << state.to_string();
+  }
+}
+
+// Sabotage canary: a booking that bypasses the coordinator must be caught
+// both by the link-state audit and by the op-log replay digest.
+TEST(FederationOracle, FlagsRogueMemberBooking) {
+  OracleFed fed;
+  const FlowServiceRequest request{
+      TrafficProfile::make(60000, 50000, 100000, 12000), 2.0, "D0I0", "D0E0"};
+  const FederatedOutcome outcome = fed.front->request_service(request);
+  ASSERT_TRUE(outcome.result.is_ok());
+  ASSERT_TRUE(fed.oracle.observe_admit(request, outcome).is_ok());
+  ASSERT_TRUE(
+      fed.oracle.check_member_links(fed.members[0]->broker(), 0).is_ok());
+
+  // Behind the federation's back: book directly on member 0.
+  const FlowServiceRequest rogue{
+      TrafficProfile::make(60000, 50000, 100000, 12000), 2.0, "D0I1", "D0E1"};
+  ASSERT_TRUE(fed.members[0]->broker().request_service(rogue).is_ok());
+
+  EXPECT_FALSE(
+      fed.oracle.check_member_links(fed.members[0]->broker(), 0).is_ok());
+  const MemberReplayReport replay = replay_member_ops(
+      fed.plan.members[0], BrokerOptions{}, fed.front->member_ops(0));
+  ASSERT_TRUE(replay.ok) << replay.detail;
+  auto digest = fed.members[0]->digest();
+  ASSERT_TRUE(digest.is_ok());
+  EXPECT_NE(replay.digest, digest.value().digest)
+      << "replay failed to notice an op missing from the coordinator log";
+}
+
+// Sabotage canary: a fabricated inter-domain admit the flat broker would
+// refuse must be refuted by the conservativeness probe.
+TEST(FederationOracle, RefutesFabricatedNonConservativeAdmit) {
+  OracleFed fed;
+  // Unattainable bound: the federation (and the flat broker) reject this.
+  FlowServiceRequest request{
+      TrafficProfile::make(60000, 50000, 100000, 12000), 0.05, "D0I0", "D2E0"};
+  const FederatedOutcome honest = fed.front->request_service(request);
+  ASSERT_FALSE(honest.result.is_ok());
+  ASSERT_TRUE(fed.oracle.observe_admit(request, honest).is_ok())
+      << "an honest reject is trivially conservative";
+
+  FederatedOutcome forged;
+  forged.inter_domain = true;
+  forged.segments = 3;
+  forged.segment_rate = request.profile.peak;
+  Reservation fake;
+  fake.flow = 999;
+  fake.params = RateDelayPair{request.profile.peak, 0.0};
+  forged.result = fake;
+  const Status s = fed.oracle.observe_admit(request, forged);
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_NE(s.message().find("conservativeness"), std::string::npos)
+      << s.to_string();
+}
+
+}  // namespace
+}  // namespace qosbb

@@ -8,6 +8,9 @@
 #include "core/hierarchical.h"
 #include "core/interdomain.h"
 #include "core/wire.h"
+#include "federation/federated_front.h"
+#include "federation/member.h"
+#include "federation/partition.h"
 #include "topo/builders.h"
 #include "topo/fig8.h"
 #include "util/rng.h"
@@ -252,6 +255,108 @@ TEST(Snapshot, InterDomainTrunkStateRoundTrips) {
     EXPECT_TRUE(restored.value()->release_service(id).is_ok());
   }
   EXPECT_DOUBLE_EQ(restored.value()->nodes().total_reserved(), 0.0);
+}
+
+// An inter-domain federated admit leaves each member broker holding pinned
+// segment reservations on its slice of the edge-aggregate graph. That state
+// is ordinary per-flow state to the member, so a per-member snapshot
+// round-trips it: identical link accounting, same pinned rate, and the
+// restored segment is live (releasable).
+TEST(Snapshot, FederatedSegmentAggregateStateRoundTripsPerMember) {
+  MultiDomainOptions topo;
+  topo.domains = 3;
+  topo.edge_pairs = 2;
+  const FederationPlan plan =
+      partition_multi_domain(multi_domain_topology(topo), topo.domains);
+  std::vector<std::unique_ptr<InProcessMember>> members;
+  std::vector<FederationMember*> raw;
+  for (int d = 0; d < plan.num_domains; ++d) {
+    members.push_back(std::make_unique<InProcessMember>(
+        d, plan.members[d], BrokerOptions{}));
+    raw.push_back(members.back().get());
+  }
+  FederatedFront front(plan, raw);
+
+  const FederatedOutcome out =
+      front.request_service({type0(), 2.0, "D0I0", "D2E0"});
+  ASSERT_TRUE(out.result.is_ok()) << out.detail;
+  ASSERT_TRUE(out.inter_domain);
+  ASSERT_EQ(out.segments, 3);
+
+  for (int d = 0; d < plan.num_domains; ++d) {
+    BandwidthBroker& member = members[static_cast<std::size_t>(d)]->broker();
+    ASSERT_EQ(member.flows().count(), 1u) << "domain " << d;
+    auto frame = member.snapshot();
+    ASSERT_TRUE(frame.is_ok())
+        << "domain " << d << ": " << frame.status().to_string();
+    auto restored = BandwidthBroker::restore(
+        plan.members[static_cast<std::size_t>(d)], {}, frame.value());
+    ASSERT_TRUE(restored.is_ok())
+        << "domain " << d << ": " << restored.status().to_string();
+    expect_same_mibs(member, *restored.value());
+    // The pinned segment survives with the federation rate r* and can be
+    // torn down on the restored member.
+    for (const auto& [id, rec] : member.flows().all()) {
+      auto got = restored.value()->flows().get(id);
+      ASSERT_TRUE(got.is_ok()) << "domain " << d << " flow " << id;
+      EXPECT_DOUBLE_EQ(got.value().reservation.rate, out.segment_rate)
+          << "domain " << d;
+      EXPECT_TRUE(restored.value()->release_service(id).is_ok())
+          << "domain " << d;
+    }
+    EXPECT_DOUBLE_EQ(restored.value()->nodes().total_reserved(), 0.0)
+        << "domain " << d;
+  }
+}
+
+// The e2e legs of an inter-domain reservation live in the source and
+// destination domain brokers as per-flow state (complementing the transit
+// trunk test above): each endpoint BB snapshot round-trips its leg and the
+// restored leg is releasable.
+TEST(Snapshot, InterDomainEndpointLegStateRoundTrips) {
+  ChainOptions transit;
+  transit.hops = 3;
+  transit.prefix = "T";
+  transit.capacity = 1.5e6;
+  ChainOptions src = transit, dst = transit;
+  src.prefix = "A";
+  src.hops = 2;
+  dst.prefix = "B";
+  dst.hops = 2;
+  InterDomainOrchestrator orch;
+  orch.add_domain("src", chain_topology(src), "A0", "A2");
+  orch.add_domain("transit", chain_topology(transit), "T0", "T3");
+  orch.add_domain("dst", chain_topology(dst), "B0", "B2");
+  ASSERT_TRUE(orch.provision_trunk("transit", 600000, 120000).is_ok());
+  auto e2e = orch.request_service(type0(), 6.0);
+  ASSERT_TRUE(e2e.is_ok()) << e2e.status().to_string();
+
+  const struct {
+    const char* name;
+    ChainOptions opt;
+    FlowId leg;
+  } endpoints[] = {{"src", src, e2e.value().source_leg},
+                   {"dst", dst, e2e.value().destination_leg}};
+  for (const auto& ep : endpoints) {
+    BandwidthBroker& bb = orch.domain(ep.name);
+    ASSERT_EQ(bb.flows().count(), 1u) << ep.name;  // the leg itself
+    auto frame = bb.snapshot();
+    ASSERT_TRUE(frame.is_ok())
+        << ep.name << ": " << frame.status().to_string();
+    auto restored =
+        BandwidthBroker::restore(chain_topology(ep.opt), {}, frame.value());
+    ASSERT_TRUE(restored.is_ok())
+        << ep.name << ": " << restored.status().to_string();
+    expect_same_mibs(bb, *restored.value());
+    auto got = restored.value()->flows().get(ep.leg);
+    ASSERT_TRUE(got.is_ok()) << ep.name << " leg " << ep.leg;
+    EXPECT_DOUBLE_EQ(got.value().reservation.rate,
+                     bb.flows().get(ep.leg).value().reservation.rate)
+        << ep.name;
+    EXPECT_TRUE(restored.value()->release_service(ep.leg).is_ok()) << ep.name;
+    EXPECT_DOUBLE_EQ(restored.value()->nodes().total_reserved(), 0.0)
+        << ep.name;
+  }
 }
 
 TEST(Snapshot, HostileFramesAreCleanErrors) {

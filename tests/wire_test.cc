@@ -438,9 +438,137 @@ TEST(Wire, FuzzRandomBuffersNeverCrash) {
     decoded += decode_health_reply(buf).status().is_ok();
     decoded += decode_snapshot_digest_request(buf).status().is_ok();
     decoded += decode_snapshot_digest_reply(buf).status().is_ok();
+    decoded += decode_prepare_segment(buf).status().is_ok();
+    decoded += decode_prepare_reply(buf).status().is_ok();
+    decoded += decode_commit_segment(buf).status().is_ok();
+    decoded += decode_abort_segment(buf).status().is_ok();
+    decoded += decode_segment_ack(buf).status().is_ok();
+    decoded += decode_federated_digest_request(buf).status().is_ok();
+    decoded += decode_federated_digest_reply(buf).status().is_ok();
     EXPECT_GE(decoded, 0);
   }
   SUCCEED();
+}
+
+// ---- Federation 2PC messages (ops 12..18) ----
+
+PrepareSegment sample_prepare() {
+  PrepareSegment prep;
+  prep.txn = 77;
+  prep.rid_segment = 101;
+  prep.rid_contingency = 102;
+  prep.ingress = "D0I1";
+  prep.egress = "D1L";
+  prep.rate = 123456.25;
+  prep.l_max = 12000;
+  prep.contingency_rate = 9876.5;
+  prep.boundary_from = "D0R";
+  prep.boundary_to = "D1L";
+  return prep;
+}
+
+TEST(Wire, PrepareSegmentRoundTrip) {
+  const PrepareSegment in = sample_prepare();
+  auto out = decode_prepare_segment(encode(in));
+  ASSERT_TRUE(out.is_ok()) << out.status().to_string();
+  EXPECT_EQ(out.value().txn, in.txn);
+  EXPECT_EQ(out.value().rid_segment, in.rid_segment);
+  EXPECT_EQ(out.value().rid_contingency, in.rid_contingency);
+  EXPECT_EQ(out.value().ingress, in.ingress);
+  EXPECT_EQ(out.value().egress, in.egress);
+  EXPECT_DOUBLE_EQ(out.value().rate, in.rate);
+  EXPECT_DOUBLE_EQ(out.value().l_max, in.l_max);
+  EXPECT_DOUBLE_EQ(out.value().contingency_rate, in.contingency_rate);
+  EXPECT_EQ(out.value().boundary_from, in.boundary_from);
+  EXPECT_EQ(out.value().boundary_to, in.boundary_to);
+}
+
+TEST(Wire, PrepareReplyRoundTripBothOutcomes) {
+  PrepareReply held;
+  held.txn = 77;
+  held.prepared = true;
+  held.segment_flow = 5;
+  held.contingency_flow = 6;
+  auto out = decode_prepare_reply(encode(held));
+  ASSERT_TRUE(out.is_ok()) << out.status().to_string();
+  EXPECT_TRUE(out.value().prepared);
+  EXPECT_EQ(out.value().segment_flow, 5);
+  EXPECT_EQ(out.value().contingency_flow, 6);
+
+  PrepareReply refused;
+  refused.txn = 78;
+  refused.prepared = false;
+  refused.reason = RejectReason::kInsufficientBandwidth;
+  refused.detail = "bottleneck full";
+  out = decode_prepare_reply(encode(refused));
+  ASSERT_TRUE(out.is_ok()) << out.status().to_string();
+  EXPECT_FALSE(out.value().prepared);
+  EXPECT_EQ(out.value().reason, RejectReason::kInsufficientBandwidth);
+  EXPECT_EQ(out.value().detail, "bottleneck full");
+  EXPECT_EQ(out.value().segment_flow, kInvalidFlowId);
+}
+
+TEST(Wire, CommitAbortAckRoundTrip) {
+  CommitSegment commit;
+  commit.txn = 9;
+  commit.rid = 200;
+  commit.contingency_flow = 31;
+  auto c = decode_commit_segment(encode(commit));
+  ASSERT_TRUE(c.is_ok()) << c.status().to_string();
+  EXPECT_EQ(c.value().txn, 9u);
+  EXPECT_EQ(c.value().rid, 200u);
+  EXPECT_EQ(c.value().contingency_flow, 31);
+
+  AbortSegment abort;
+  abort.txn = 9;
+  abort.rid_segment = 201;
+  abort.rid_contingency = 202;
+  abort.segment_flow = 30;
+  abort.contingency_flow = kInvalidFlowId;
+  auto a = decode_abort_segment(encode(abort));
+  ASSERT_TRUE(a.is_ok()) << a.status().to_string();
+  EXPECT_EQ(a.value().segment_flow, 30);
+  EXPECT_EQ(a.value().contingency_flow, kInvalidFlowId);
+
+  SegmentAck ack;
+  ack.txn = 9;
+  ack.ok = false;
+  ack.detail = "contingency: not found";
+  auto k = decode_segment_ack(encode(ack));
+  ASSERT_TRUE(k.is_ok()) << k.status().to_string();
+  EXPECT_EQ(k.value().txn, 9u);
+  EXPECT_FALSE(k.value().ok);
+  EXPECT_EQ(k.value().detail, "contingency: not found");
+}
+
+TEST(Wire, FederatedDigestRoundTrip) {
+  auto req = decode_federated_digest_request(encode(FederatedDigestRequest{}));
+  ASSERT_TRUE(req.is_ok()) << req.status().to_string();
+
+  FederatedDigestReply reply;
+  reply.digest = 0xdeadbeef;
+  reply.live_flows = 12;
+  reply.journal_lsn = 345;
+  auto out = decode_federated_digest_reply(encode(reply));
+  ASSERT_TRUE(out.is_ok()) << out.status().to_string();
+  EXPECT_EQ(out.value().digest, 0xdeadbeefu);
+  EXPECT_EQ(out.value().live_flows, 12u);
+  EXPECT_EQ(out.value().journal_lsn, 345u);
+}
+
+TEST(Wire, FederationFramesSurviveTruncationAndTypeConfusion) {
+  const auto full = encode(sample_prepare());
+  EXPECT_EQ(peek_type(full).value(), MessageType::kPrepareSegment);
+  for (std::size_t n = 0; n < full.size(); ++n) {
+    WireBuffer cut(full.begin(), full.begin() + static_cast<long>(n));
+    auto out = decode_prepare_segment(cut);
+    EXPECT_FALSE(out.is_ok()) << "length " << n << " decoded successfully";
+  }
+  // A prepare frame must not decode as any other federation message.
+  EXPECT_FALSE(decode_commit_segment(full).is_ok());
+  EXPECT_FALSE(decode_abort_segment(full).is_ok());
+  EXPECT_FALSE(decode_segment_ack(full).is_ok());
+  EXPECT_FALSE(decode_federated_digest_reply(full).is_ok());
 }
 
 }  // namespace

@@ -1,0 +1,410 @@
+// fed_loadgen — the federation coordinator as a load generator + auditor.
+//
+// Boots a FederatedFront over K SocketMembers, each speaking the wire
+// protocol to a qosbbd --topo=multidomain --domain-index=d daemon, and
+// drives a seeded mix of intra- and inter-domain admissions and releases
+// through the coordinator — the federated counterpart of tools/loadgen.cc.
+//
+//   fed_loadgen --ports=4701,4702,4703 --requests=2000
+//   fed_loadgen --port-file-prefix=/tmp/fed.port --domains=3 --audit=1
+//
+// Exit accounting is strict (the detector behind ci/e2e_federation.sh):
+//
+//   * every acked federated admission must release cleanly at the end — a
+//     NotFound on release means an acked admission was LOST;
+//   * after reconciliation every member must report live_flows == 0 — a
+//     leftover is a DUPLICATED admission (a sub-op executed twice that no
+//     coordinator record names);
+//   * stats().poisoned_txns and ack_failures must be zero — no member op
+//     may exhaust its transport budget mid-2PC;
+//   * with --audit=1 the coordinator's per-member sub-op log is replayed
+//     through a fresh in-process broker (federation/oracle.h
+//     replay_member_ops) and the replayed digest must equal the member's
+//     live FederatedDigest — the member executed exactly the coordinator's
+//     op sequence, once each, even across a SIGKILL + journal restart.
+//
+// The JSON report (--json-out) carries aggregate admits/sec for the bench
+// harness's broker-count scaling section (1/2/4 members).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "federation/federated_front.h"
+#include "federation/member.h"
+#include "federation/oracle.h"
+#include "federation/partition.h"
+#include "net/client.h"
+#include "topo/builders.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace qosbb;
+using Clock = std::chrono::steady_clock;
+
+struct Args {
+  std::string host = "127.0.0.1";
+  std::vector<int> ports;
+  std::string port_file_prefix;  ///< reads PREFIX.0 .. PREFIX.(K-1)
+  int domains = 0;               ///< 0 = infer from --ports
+  int pairs = 2;                 ///< edge pairs per domain
+  long requests = 2000;
+  double release_prob = 0.35;
+  double rho_kbps = 100.0;
+  int audit = 1;
+  int reply_timeout_ms = 1000;
+  int max_attempts = 200;
+  unsigned long seed = 1;
+  unsigned long long first_rid = 1;  ///< disjoint rid spaces across runs
+  std::string json_out;
+};
+
+bool parse_args(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return a.compare(0, n, prefix) == 0 ? a.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--host=")) {
+      args->host = v;
+    } else if (const char* v = value("--ports=")) {
+      std::string list = v;
+      for (std::size_t pos = 0; pos < list.size();) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string tok =
+            list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+        args->ports.push_back(std::atoi(tok.c_str()));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (const char* v = value("--port-file-prefix=")) {
+      args->port_file_prefix = v;
+    } else if (const char* v = value("--domains=")) {
+      args->domains = std::atoi(v);
+    } else if (const char* v = value("--pairs=")) {
+      args->pairs = std::atoi(v);
+    } else if (const char* v = value("--requests=")) {
+      args->requests = std::atol(v);
+    } else if (const char* v = value("--release-prob=")) {
+      args->release_prob = std::atof(v);
+    } else if (const char* v = value("--rho-kbps=")) {
+      args->rho_kbps = std::atof(v);
+    } else if (const char* v = value("--audit=")) {
+      args->audit = std::atoi(v);
+    } else if (const char* v = value("--reply-timeout-ms=")) {
+      args->reply_timeout_ms = std::atoi(v);
+    } else if (const char* v = value("--max-attempts=")) {
+      args->max_attempts = std::atoi(v);
+    } else if (const char* v = value("--seed=")) {
+      args->seed = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = value("--first-rid=")) {
+      args->first_rid = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--json-out=")) {
+      args->json_out = v;
+    } else if (a == "--help" || a == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "fed_loadgen: unknown argument: %s\n", a.c_str());
+      return false;
+    }
+  }
+  if (args->ports.empty() && !args->port_file_prefix.empty()) {
+    if (args->domains < 1) {
+      std::fprintf(stderr,
+                   "fed_loadgen: --port-file-prefix requires --domains\n");
+      return false;
+    }
+    for (int d = 0; d < args->domains; ++d) {
+      std::ifstream pf(args->port_file_prefix + "." + std::to_string(d));
+      int port = 0;
+      pf >> port;
+      if (port <= 0) {
+        std::fprintf(stderr, "fed_loadgen: no port in %s.%d\n",
+                     args->port_file_prefix.c_str(), d);
+        return false;
+      }
+      args->ports.push_back(port);
+    }
+  }
+  if (args->ports.empty()) {
+    std::fprintf(stderr,
+                 "fed_loadgen: need --ports or --port-file-prefix\n");
+    return false;
+  }
+  if (args->domains == 0) {
+    args->domains = static_cast<int>(args->ports.size());
+  }
+  if (static_cast<int>(args->ports.size()) != args->domains) {
+    std::fprintf(stderr, "fed_loadgen: %zu ports for --domains=%d\n",
+                 args->ports.size(), args->domains);
+    return false;
+  }
+  if (args->pairs < 1 || args->requests < 1 || args->max_attempts < 1 ||
+      args->release_prob < 0.0 || args->release_prob >= 1.0) {
+    return false;
+  }
+  return true;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: fed_loadgen (--ports=P0,P1,... |\n"
+      "                    --port-file-prefix=PATH --domains=K)\n"
+      "                   [--host=ADDR] [--pairs=N] [--requests=N]\n"
+      "                   [--release-prob=P] [--rho-kbps=X] [--audit=0|1]\n"
+      "                   [--reply-timeout-ms=N] [--max-attempts=N]\n"
+      "                   [--seed=N] [--first-rid=N] [--json-out=PATH]\n");
+}
+
+FlowServiceRequest random_request(Rng& rng, const MultiDomainOptions& topo,
+                                  double rho) {
+  const int fd = rng.uniform_int(0, topo.domains - 1);
+  const int td = rng.uniform_int(fd, topo.domains - 1);
+  const int fp = rng.uniform_int(0, topo.edge_pairs - 1);
+  const int tp = rng.uniform_int(0, topo.edge_pairs - 1);
+  FlowServiceRequest req;
+  req.profile = TrafficProfile::make(/*sigma=*/24000.0, rho,
+                                     /*peak=*/2.0 * rho, /*l_max=*/12000.0);
+  const double delays[] = {0.8, 1.5, 2.0, 3.0};
+  req.e2e_delay_req = delays[rng.uniform_int(0, 3)];
+  req.ingress = "D" + std::to_string(fd) + "I" + std::to_string(fp);
+  req.egress = "D" + std::to_string(td) + "E" + std::to_string(tp);
+  return req;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, &args)) {
+    usage();
+    return 2;
+  }
+
+  MultiDomainOptions topo;
+  topo.domains = args.domains;
+  topo.edge_pairs = args.pairs;
+  const FederationPlan plan =
+      partition_multi_domain(multi_domain_topology(topo), topo.domains);
+
+  std::vector<std::unique_ptr<SocketMember>> members;
+  std::vector<FederationMember*> raw;
+  for (int d = 0; d < plan.num_domains; ++d) {
+    RetryingClientOptions opt;
+    opt.host = args.host;
+    opt.port = static_cast<std::uint16_t>(
+        args.ports[static_cast<std::size_t>(d)]);
+    opt.reply_timeout_ms = args.reply_timeout_ms;
+    opt.max_attempts = static_cast<std::uint32_t>(args.max_attempts);
+    // Ride THROUGH member restarts: cap well below a restart interval.
+    opt.backoff.base = 0.010;
+    opt.backoff.cap = 0.250;
+    opt.rng_seed = args.seed + static_cast<unsigned long>(d) * 7919;
+    members.push_back(std::make_unique<SocketMember>(d, opt));
+    raw.push_back(members.back().get());
+  }
+  FederatedFrontOptions front_options;
+  front_options.record_member_ops = args.audit != 0;
+  front_options.first_rid = static_cast<RequestId>(args.first_rid);
+  FederatedFront front(plan, raw, front_options);
+
+  Rng rng(args.seed);
+  std::vector<FlowId> live;
+  long admits = 0, rejects = 0, releases = 0;
+  long lost_acked = 0, release_errors = 0;
+  const double rho = args.rho_kbps * 1e3;
+  const auto start = Clock::now();
+  for (long i = 0; i < args.requests; ++i) {
+    if (!live.empty() && rng.bernoulli(args.release_prob)) {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(live.size()) - 1));
+      const FlowId flow = live[pick];
+      live.erase(live.begin() + static_cast<long>(pick));
+      const Status s = front.release_service(flow);
+      if (s.is_ok()) {
+        ++releases;
+      } else if (s.code() == StatusCode::kNotFound) {
+        ++lost_acked;
+        std::fprintf(stderr,
+                     "fed_loadgen: acked flow %llu unknown at release: %s\n",
+                     static_cast<unsigned long long>(flow),
+                     s.message().c_str());
+      } else {
+        ++release_errors;
+        std::fprintf(stderr, "fed_loadgen: release flow %llu: %s\n",
+                     static_cast<unsigned long long>(flow),
+                     s.message().c_str());
+      }
+      continue;
+    }
+    const FederatedOutcome out =
+        front.request_service(random_request(rng, topo, rho));
+    if (out.result.is_ok()) {
+      ++admits;
+      live.push_back(out.result.value().flow);
+    } else {
+      ++rejects;
+    }
+  }
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  // Reconciliation: every acked admission must still be releasable.
+  for (const FlowId flow : live) {
+    const Status s = front.release_service(flow);
+    if (s.is_ok()) {
+      ++releases;
+    } else if (s.code() == StatusCode::kNotFound) {
+      ++lost_acked;
+      std::fprintf(stderr,
+                   "fed_loadgen: acked flow %llu unknown at reconcile: %s\n",
+                   static_cast<unsigned long long>(flow),
+                   s.message().c_str());
+    } else {
+      ++release_errors;
+      std::fprintf(stderr, "fed_loadgen: reconcile flow %llu: %s\n",
+                   static_cast<unsigned long long>(flow),
+                   s.message().c_str());
+    }
+  }
+
+  bool failed = lost_acked > 0 || release_errors > 0;
+  const FederationStats st = front.stats();
+  if (st.poisoned_txns > 0 || st.ack_failures > 0) {
+    std::fprintf(stderr,
+                 "fed_loadgen: poisoned_txns=%llu ack_failures=%llu — a "
+                 "member op exhausted its transport budget mid-2PC\n",
+                 static_cast<unsigned long long>(st.poisoned_txns),
+                 static_cast<unsigned long long>(st.ack_failures));
+    failed = true;
+  }
+
+  // Orphan detection + (optional) op-log replay audit, per member.
+  long orphans = -1;
+  int audit_ok = -1;
+  auto digests = front.digests();
+  if (!digests.is_ok()) {
+    std::fprintf(stderr, "fed_loadgen: digest probe failed: %s\n",
+                 digests.status().to_string().c_str());
+    failed = true;
+  } else {
+    orphans = 0;
+    for (int d = 0; d < plan.num_domains; ++d) {
+      const FederatedDigestReply& dig =
+          digests.value()[static_cast<std::size_t>(d)];
+      if (dig.live_flows != 0) {
+        std::fprintf(stderr,
+                     "fed_loadgen: member %d holds %llu flows after "
+                     "reconciliation — duplicated admission(s)\n",
+                     d, static_cast<unsigned long long>(dig.live_flows));
+        orphans += static_cast<long>(dig.live_flows);
+        failed = true;
+      }
+      if (args.audit != 0) {
+        const MemberReplayReport replay = replay_member_ops(
+            plan.members[static_cast<std::size_t>(d)], BrokerOptions{},
+            front.member_ops(d));
+        if (!replay.ok) {
+          std::fprintf(stderr, "fed_loadgen: member %d replay failed: %s\n",
+                       d, replay.detail.c_str());
+          audit_ok = 0;
+          failed = true;
+        } else if (replay.digest != dig.digest ||
+                   replay.live_flows != dig.live_flows) {
+          std::fprintf(stderr,
+                       "fed_loadgen: member %d digest mismatch: replay "
+                       "%08x/%llu flows vs live %08x/%llu — the member did "
+                       "not execute exactly the coordinator's op log\n",
+                       d, replay.digest,
+                       static_cast<unsigned long long>(replay.live_flows),
+                       dig.digest,
+                       static_cast<unsigned long long>(dig.live_flows));
+          audit_ok = 0;
+          failed = true;
+        } else if (audit_ok != 0) {
+          audit_ok = 1;
+        }
+      }
+    }
+  }
+
+  long resends = 0, reconnects = 0, timeouts = 0;
+  for (const auto& m : members) {
+    resends += static_cast<long>(m->transport_stats().resends);
+    reconnects += static_cast<long>(m->transport_stats().reconnects);
+    timeouts += static_cast<long>(m->transport_stats().timeouts);
+  }
+  const double admits_per_sec =
+      elapsed > 0.0 ? static_cast<double>(admits) / elapsed : 0.0;
+
+  std::fprintf(
+      stderr,
+      "fed_loadgen: %d members, %ld requests: %ld admitted "
+      "(intra=%llu inter=%llu), %ld rejected, %ld released; prepares=%llu "
+      "prepare_failures=%llu aborts=%llu poisoned=%llu ack_failures=%llu; "
+      "resends=%ld reconnects=%ld timeouts=%ld lost_acked=%ld orphans=%ld "
+      "audit=%d in %.3f s -> %.0f admits/s\n",
+      args.domains, args.requests, admits,
+      static_cast<unsigned long long>(st.intra_admitted),
+      static_cast<unsigned long long>(st.inter_admitted), rejects, releases,
+      static_cast<unsigned long long>(st.prepares),
+      static_cast<unsigned long long>(st.prepare_failures),
+      static_cast<unsigned long long>(st.aborts),
+      static_cast<unsigned long long>(st.poisoned_txns),
+      static_cast<unsigned long long>(st.ack_failures), resends, reconnects,
+      timeouts, lost_acked, orphans, audit_ok, elapsed, admits_per_sec);
+
+  char json[2048];
+  std::snprintf(
+      json, sizeof(json),
+      "{\n"
+      "  \"mode\": \"federated\",\n"
+      "  \"domains\": %d,\n"
+      "  \"pairs\": %d,\n"
+      "  \"requests\": %ld,\n"
+      "  \"admits\": %ld,\n"
+      "  \"intra_admits\": %llu,\n"
+      "  \"inter_admits\": %llu,\n"
+      "  \"rejects\": %ld,\n"
+      "  \"releases\": %ld,\n"
+      "  \"prepares\": %llu,\n"
+      "  \"prepare_failures\": %llu,\n"
+      "  \"aborts\": %llu,\n"
+      "  \"poisoned_txns\": %llu,\n"
+      "  \"ack_failures\": %llu,\n"
+      "  \"resends\": %ld,\n"
+      "  \"reconnects\": %ld,\n"
+      "  \"timeouts\": %ld,\n"
+      "  \"lost_acked\": %ld,\n"
+      "  \"release_errors\": %ld,\n"
+      "  \"orphans\": %ld,\n"
+      "  \"audit_ok\": %d,\n"
+      "  \"elapsed_s\": %.6f,\n"
+      "  \"admits_per_sec\": %.1f\n"
+      "}\n",
+      args.domains, args.pairs, args.requests, admits,
+      static_cast<unsigned long long>(st.intra_admitted),
+      static_cast<unsigned long long>(st.inter_admitted), rejects, releases,
+      static_cast<unsigned long long>(st.prepares),
+      static_cast<unsigned long long>(st.prepare_failures),
+      static_cast<unsigned long long>(st.aborts),
+      static_cast<unsigned long long>(st.poisoned_txns),
+      static_cast<unsigned long long>(st.ack_failures), resends, reconnects,
+      timeouts, lost_acked, release_errors, orphans, audit_ok, elapsed,
+      admits_per_sec);
+  if (args.json_out.empty()) {
+    std::fputs(json, stdout);
+  } else {
+    std::ofstream out(args.json_out);
+    out << json;
+  }
+  return failed ? 1 : 0;
+}

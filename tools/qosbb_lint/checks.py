@@ -15,8 +15,12 @@
                      statements of Status-returning functions, and
                      `(void)` / `static_cast<void>` discards that are not
                      waived with `// qosbb-lint: allow(discarded-status)`.
+4. changes-tags    — every `- PR N ...` entry in CHANGES.md carries its
+                     archetype tag (`- PR N (archetype): ...`), so the
+                     per-PR ledger stays machine-greppable by archetype.
 """
 
+import os
 import re
 
 from lint_ir import Finding
@@ -196,10 +200,39 @@ def check_status_discard(program, decls, config):
     return findings
 
 
+_PR_LINE = re.compile(r"^- PR (\d+)\b")
+_PR_TAGGED = re.compile(r"^- PR \d+ \([a-z_]+\): \S")
+
+
+def check_changes_tags(program, decls, config):
+    """Every `- PR N` ledger line in CHANGES.md must carry an archetype
+    tag: `- PR N (archetype): ...`. The file lives at the repo root (the
+    driver injects `root`); a missing file is not a finding — fresh seeds
+    have no ledger yet."""
+    del program, decls  # operates on the ledger, not the parsed tree
+    rel = config.get("changes_file", "CHANGES.md")
+    findings = []
+    try:
+        with open(os.path.join(config.get("root", "."), rel), "r",
+                  encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError:
+        return findings
+    for lineno, line in enumerate(lines, 1):
+        m = _PR_LINE.match(line)
+        if m and not _PR_TAGGED.match(line):
+            findings.append(Finding(
+                "changes-tags", rel, lineno, "-",
+                f"PR {m.group(1)} entry is missing its archetype tag: "
+                f"expected '- PR {m.group(1)} (archetype): ...'"))
+    return findings
+
+
 CHECKS = {
     "lock-order": lambda prog, decls, cfg: check_lock_order(prog, cfg),
     "hotpath-alloc": lambda prog, decls, cfg: check_hotpath_alloc(prog, cfg),
     "status-discard": check_status_discard,
+    "changes-tags": check_changes_tags,
 }
 
 

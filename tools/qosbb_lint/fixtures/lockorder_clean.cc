@@ -1,5 +1,6 @@
 // lock-order fixture, CLEAN: every acquisition respects the hierarchy
-// big_ (0) -> flow_mu_ (1) -> {shards, limiter_mu_} (2, leaves).
+// fed_mu_ (0) -> member_mu_ (1) -> big_ (2) -> flow_mu_ (3)
+// -> {shards, limiter_mu_} (4, leaves).
 #include "fixture_support.h"
 
 namespace qosbb {
@@ -9,9 +10,12 @@ class FixtureBroker {
   void clean_nested();
   void clean_scoped_release();
   void clean_call_chain();
+  void clean_federation_descent();
   void lock_flow();
 
  private:
+  Mutex fed_mu_;
+  Mutex member_mu_;
   SharedMutex big_;
   Mutex flow_mu_;
   Mutex limiter_mu_;
@@ -35,8 +39,18 @@ void FixtureBroker::lock_flow() { MutexLock g(flow_mu_); }
 
 void FixtureBroker::clean_call_chain() {
   SharedLock g(big_);
-  // Transitively acquires flow_mu_ (rank 1) while holding big_ (rank 0):
+  // Transitively acquires flow_mu_ (rank 3) while holding big_ (rank 2):
   // non-decreasing, allowed.
+  lock_flow();
+}
+
+void FixtureBroker::clean_federation_descent() {
+  // The one legitimate full descent: federation coordinator (fed_mu_)
+  // above a member slot (member_mu_) above the member broker's own
+  // hierarchy — mirrors FederatedFront::snapshot().
+  MutexLock g(fed_mu_);
+  MutexLock h(member_mu_);
+  SharedLock b(big_);
   lock_flow();
 }
 

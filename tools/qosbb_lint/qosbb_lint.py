@@ -8,6 +8,8 @@ Enforces three invariants the compilers cannot express end to end:
                   thread-safety analysis is inert
   hotpath-alloc   no heap allocation on the admission hot path
   status-discard  no silently dropped Status/Result values
+  changes-tags    every CHANGES.md PR ledger line carries its archetype
+                  tag ('- PR N (archetype): ...')
 
 Two interchangeable frontends lower C++ to one event-stream IR:
 
@@ -135,7 +137,7 @@ def main(argv=None):
     ap.add_argument("--clang", default=None,
                     help="clang++ binary for the clang-json frontend")
     ap.add_argument("--checks", default="lock-order,hotpath-alloc,"
-                                        "status-discard",
+                                        "status-discard,changes-tags",
                     help="comma-separated subset of checks to run")
     ap.add_argument("files", nargs="*",
                     help="restrict to these files (default: config globs)")
@@ -150,6 +152,7 @@ def main(argv=None):
         print(f"qosbb_lint: cannot load config {cfg_path}: {e}",
               file=sys.stderr)
         return 2
+    config["root"] = root  # for checks that read repo-root files
 
     enabled = [c.strip() for c in args.checks.split(",") if c.strip()]
     unknown = [c for c in enabled if c not in checks.CHECKS]

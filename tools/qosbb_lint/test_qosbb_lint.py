@@ -27,7 +27,7 @@ FIXTURE_CONFIG = os.path.join(FIXTURES, "config.json")
 MATRIX = {
     "lock-order": (
         "lockorder_clean.cc", "lockorder_sabotaged.cc",
-        ["re-acquired", "leaf", "inversion"], 3),
+        ["re-acquired", "leaf", "inversion", "fed_mu_"], 4),
     "hotpath-alloc": (
         "hotpath_clean.cc", "hotpath_sabotaged.cc",
         ["make_unique", "to_string", "push_back", "vector"], 4),
@@ -76,6 +76,50 @@ def check_pair(check, frontend, builddir=None):
                 f"'{needle}':\n{proc.stdout}")
 
 
+def check_changes_pair(frontend, builddir=None):
+    """changes-tags operates on a markdown ledger, not a C++ TU: point the
+    config's changes_file at a clean / sabotaged fixture ledger (a clean
+    source TU is still passed so the driver has something to parse)."""
+    with open(FIXTURE_CONFIG, "r", encoding="utf-8") as f:
+        base_cfg = json.load(f)
+    cases = (("changes_clean.md", True), ("changes_sabotaged.md", False))
+    for fixture, expect_clean in cases:
+        cfg = dict(base_cfg)
+        cfg["changes_file"] = os.path.join(
+            "tools", "qosbb_lint", "fixtures", fixture)
+        fd, tmpcfg = tempfile.mkstemp(suffix=".json")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                json.dump(cfg, f)
+            cmd = [sys.executable, DRIVER, "--root", ROOT,
+                   "--config", tmpcfg, "--frontend", frontend,
+                   "--checks", "changes-tags",
+                   os.path.join(FIXTURES, "lockorder_clean.cc")]
+            if builddir:
+                cmd += ["-p", builddir]
+            proc = subprocess.run(cmd, capture_output=True, text=True)
+        finally:
+            os.unlink(tmpcfg)
+        if expect_clean:
+            if proc.returncode != 0:
+                failures.append(
+                    f"[{frontend}] changes-tags: clean ledger {fixture} "
+                    f"not clean (exit {proc.returncode}):"
+                    f"\n{proc.stdout}{proc.stderr}")
+        else:
+            lines = [ln for ln in proc.stdout.splitlines() if ln.strip()]
+            if proc.returncode != 1 or len(lines) < 2:
+                failures.append(
+                    f"[{frontend}] changes-tags: sabotaged ledger "
+                    f"{fixture} must exit 1 with >= 2 findings, got exit "
+                    f"{proc.returncode} / {len(lines)} finding(s):"
+                    f"\n{proc.stdout}{proc.stderr}")
+            elif "archetype tag" not in proc.stdout:
+                failures.append(
+                    f"[{frontend}] changes-tags: sabotage output missing "
+                    f"'archetype tag':\n{proc.stdout}")
+
+
 def clang_builddir(tmp, clangxx):
     """Fabricate a compile_commands.json covering every fixture TU."""
     entries = []
@@ -107,6 +151,7 @@ def main():
         for frontend, builddir in frontends:
             for check in MATRIX:
                 check_pair(check, frontend, builddir)
+            check_changes_pair(frontend, builddir)
     finally:
         if tmp:
             shutil.rmtree(tmp, ignore_errors=True)
@@ -118,8 +163,8 @@ def main():
             print("  - " + f.replace("\n", "\n    "), file=sys.stderr)
         return 1
     ran = ", ".join(f for f, _ in frontends)
-    print(f"qosbb_lint fixtures OK ({len(MATRIX)} checks x clean+sabotage "
-          f"x [{ran}])")
+    print(f"qosbb_lint fixtures OK ({len(MATRIX)} checks + changes-tags "
+          f"x clean+sabotage x [{ran}])")
     return 0
 
 

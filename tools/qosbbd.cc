@@ -10,6 +10,16 @@
 //   qosbbd --topo=dumbbell --pairs=8 --bottleneck-mbps=40000
 //   qosbbd --journal=/tmp/bb.journal                    # durable admission
 //   qosbbd --differential                               # record + verify
+//   qosbbd --topo=multidomain --domains=3 --domain-index=1   # fed member
+//
+// Federation member mode (--topo=multidomain): the daemon serves domain i
+// of the K-way partitioned multi-domain topology — exactly
+// partition_multi_domain(multi_domain_topology(...)).members[i] — so a
+// FederatedFront with SocketMembers can coordinate inter-domain 2PC
+// (kPrepareSegment & co) against a fleet of these. Endpoint pairs are
+// provisioned lazily by the member's own admission path; with --journal
+// the coordinator's rids are deduped, making every sub-op exactly-once
+// across a member crash + restart.
 //
 // On SIGTERM/SIGINT the server stops accepting, drains pending replies,
 // prints a stats line, and — under --differential — replays the entire
@@ -29,6 +39,7 @@
 #include "core/broker.h"
 #include "core/concurrent_front.h"
 #include "core/durable_broker.h"
+#include "federation/partition.h"
 #include "net/server.h"
 #include "topo/builders.h"
 #include "topo/fig8.h"
@@ -43,6 +54,8 @@ struct Args {
   std::string port_file;
   std::string topo = "dumbbell";
   int pairs = 8;
+  int domains = 3;        // multidomain: federation size K
+  int domain_index = -1;  // multidomain: which member this daemon serves
   double access_mbps = 100000.0;      // 100 Gb/s access links
   double bottleneck_mbps = 40000.0;   // 40 Gb/s shared bottleneck
   int threads = 1;
@@ -76,6 +89,10 @@ bool parse_args(int argc, char** argv, Args* args) {
       args->topo = v;
     } else if (const char* v = value("--pairs=")) {
       args->pairs = std::atoi(v);
+    } else if (const char* v = value("--domains=")) {
+      args->domains = std::atoi(v);
+    } else if (const char* v = value("--domain-index=")) {
+      args->domain_index = std::atoi(v);
     } else if (const char* v = value("--access-mbps=")) {
       args->access_mbps = std::atof(v);
     } else if (const char* v = value("--bottleneck-mbps=")) {
@@ -109,8 +126,18 @@ bool parse_args(int argc, char** argv, Args* args) {
       return false;
     }
   }
-  if (args->topo != "dumbbell" && args->topo != "fig8") {
-    std::fprintf(stderr, "qosbbd: --topo must be dumbbell or fig8\n");
+  if (args->topo != "dumbbell" && args->topo != "fig8" &&
+      args->topo != "multidomain") {
+    std::fprintf(stderr,
+                 "qosbbd: --topo must be dumbbell, fig8, or multidomain\n");
+    return false;
+  }
+  if (args->topo == "multidomain" &&
+      (args->domains < 1 || args->domain_index < 0 ||
+       args->domain_index >= args->domains)) {
+    std::fprintf(stderr,
+                 "qosbbd: multidomain needs --domains=K and "
+                 "--domain-index in [0, K)\n");
     return false;
   }
   if (args->pairs < 1 || args->port < 0 || args->port > 65535 ||
@@ -135,7 +162,8 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: qosbbd [--bind=ADDR] [--port=N] [--port-file=PATH]\n"
-      "              [--topo=dumbbell|fig8] [--pairs=N]\n"
+      "              [--topo=dumbbell|fig8|multidomain] [--pairs=N]\n"
+      "              [--domains=K] [--domain-index=I]\n"
       "              [--access-mbps=X] [--bottleneck-mbps=X]\n"
       "              [--threads=N] [--journal=PATH] [--differential]\n"
       "              [--max-inflight=N] [--max-inflight-conn=N]\n"
@@ -172,6 +200,15 @@ int main(int argc, char** argv) {
     for (int k = 0; k < args.pairs; ++k) {
       pairs.emplace_back("I" + std::to_string(k), "E" + std::to_string(k));
     }
+  } else if (args.topo == "multidomain") {
+    MultiDomainOptions topo;
+    topo.domains = args.domains;
+    topo.edge_pairs = args.pairs;
+    const FederationPlan plan =
+        partition_multi_domain(multi_domain_topology(topo), topo.domains);
+    spec = plan.members[static_cast<std::size_t>(args.domain_index)];
+    // No pre-provisioned pairs: intra delegations and 2PC pinned segments
+    // provision their endpoint pairs lazily through the admission path.
   } else {
     spec = fig8_topology(Fig8Setting::kRateBasedOnly);
     pairs = {{"I1", "E1"}, {"I2", "E2"}};
